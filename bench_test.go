@@ -1,0 +1,461 @@
+// Benchmark harness: one benchmark per paper artifact (see
+// EXPERIMENTS.md for the index). The paper's evaluation is qualitative
+// — state machines, protocols, TCB size — so these benchmarks measure
+// the cost of every monitor operation the figures describe, plus the
+// ablations DESIGN.md calls out. Absolute numbers are host-dependent;
+// the comparisons (who is cheaper, by what factor) are the
+// reproduction's results.
+package sanctorum_test
+
+import (
+	"fmt"
+	"testing"
+
+	"sanctorum"
+	"sanctorum/internal/adversary"
+	"sanctorum/internal/asm"
+	"sanctorum/internal/enclaves"
+	"sanctorum/internal/hw/mem"
+	"sanctorum/internal/hw/pt"
+	"sanctorum/internal/hw/tlb"
+	"sanctorum/internal/os"
+	"sanctorum/internal/sm"
+	"sanctorum/internal/sm/api"
+)
+
+func mustSystem(b *testing.B, kind sanctorum.Kind, signing [32]byte) *sanctorum.System {
+	b.Helper()
+	sys, err := sanctorum.NewSystem(sanctorum.Options{Kind: kind, SigningMeasurement: signing})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return sys
+}
+
+func mustBuild(b *testing.B, sys *sanctorum.System, l enclaves.Layout, prog *asm.Program,
+	dataInit []byte, regions []int, sharedPA uint64) *os.BuiltEnclave {
+	b.Helper()
+	spec, err := enclaves.Spec(l, prog, dataInit, regions,
+		[]os.SharedMapping{{VA: l.SharedVA, PA: sharedPA}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	built, err := sys.BuildEnclave(spec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return built
+}
+
+// --- E1 (Fig 1): SM event routing cost ---
+
+// BenchmarkE1TrapRoundTrip measures one enclave ECALL handled entirely
+// by the monitor (get_random): trap entry, authorization, service,
+// resume.
+func BenchmarkE1TrapRoundTrip(b *testing.B) {
+	for _, kind := range []sanctorum.Kind{sanctorum.Sanctum, sanctorum.Keystone} {
+		b.Run(kind.String(), func(b *testing.B) {
+			sys := mustSystem(b, kind, [32]byte{})
+			l := enclaves.DefaultLayout()
+			sharedPA, _ := sys.SetupShared(l.SharedVA)
+			regions := sys.OS.FreeRegions()
+			built := mustBuild(b, sys, l, enclaves.EcallLoop(l), nil, regions[:1], sharedPA)
+			if st := sys.OS.EnterEnclave(0, built.EID, built.TIDs[0]); st != api.OK {
+				b.Fatalf("enter: %v", st)
+			}
+			b.ResetTimer()
+			// Each Run step budget covers exactly one ecall iteration
+			// (~4 instructions); the enclave loops forever.
+			for i := 0; i < b.N; i++ {
+				if _, err := sys.Machine.Run(0, 4); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- E2 (Fig 2): resource state machine ---
+
+// BenchmarkE2RegionLifecycle measures one full block→clean→grant cycle,
+// including the region scrub, cache flush and TLB shootdowns.
+func BenchmarkE2RegionLifecycle(b *testing.B) {
+	for _, kind := range []sanctorum.Kind{sanctorum.Sanctum, sanctorum.Keystone} {
+		b.Run(kind.String(), func(b *testing.B) {
+			sys := mustSystem(b, kind, [32]byte{})
+			r := sys.OS.FreeRegions()[0]
+			mon := sys.Monitor
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if st := mon.BlockRegion(r); st != api.OK {
+					b.Fatalf("block: %v", st)
+				}
+				if st := mon.CleanRegion(r); st != api.OK {
+					b.Fatalf("clean: %v", st)
+				}
+				if st := mon.GrantRegion(r, api.DomainOS); st != api.OK {
+					b.Fatalf("grant: %v", st)
+				}
+			}
+		})
+	}
+}
+
+// --- E3 (Fig 3): enclave lifecycle, swept over enclave size ---
+
+func BenchmarkE3EnclaveLifecycle(b *testing.B) {
+	for _, pages := range []int{4, 16, 48} {
+		b.Run(fmt.Sprintf("pages=%d", pages), func(b *testing.B) {
+			sys := mustSystem(b, sanctorum.Sanctum, [32]byte{})
+			l := enclaves.DefaultLayout()
+			sharedPA, _ := sys.SetupShared(l.SharedVA)
+			grant := sys.OS.FreeRegions()[:2]
+			// A spec with `pages` data pages of initial content.
+			spec := &os.EnclaveSpec{
+				EvBase: l.EvBase, EvMask: l.EvMask,
+				Regions: grant,
+				Shared:  []os.SharedMapping{{VA: l.SharedVA, PA: sharedPA}},
+			}
+			content := make([]byte, mem.PageSize)
+			for p := 0; p < pages; p++ {
+				spec.Pages = append(spec.Pages, os.EnclavePage{
+					VA: l.EvBase + uint64(p)*mem.PageSize, Perms: pt.R | pt.X, Data: content,
+				})
+			}
+			spec.Threads = []os.ThreadSpec{{EntryVA: l.EvBase, StackVA: l.EvBase + 0x800}}
+			b.SetBytes(int64(pages) * mem.PageSize)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				built, err := sys.BuildEnclave(spec)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.StopTimer()
+				teardown(b, sys, built, grant)
+				b.StartTimer()
+			}
+		})
+	}
+}
+
+// teardown deletes an enclave and restores its resources for the next
+// benchmark iteration.
+func teardown(b *testing.B, sys *sanctorum.System, built *os.BuiltEnclave, regions []int) {
+	b.Helper()
+	mon := sys.Monitor
+	if st := mon.DeleteEnclave(built.EID); st != api.OK {
+		b.Fatalf("delete: %v", st)
+	}
+	for _, tid := range built.TIDs {
+		if st := mon.DeleteThread(tid); st != api.OK {
+			b.Fatalf("delete thread: %v", st)
+		}
+		sys.OS.ReleaseMetaPage(tid)
+	}
+	sys.OS.ReleaseMetaPage(built.EID)
+	for _, region := range regions {
+		if st := mon.CleanRegion(region); st != api.OK {
+			b.Fatalf("clean region %d: %v", region, st)
+		}
+		if st := mon.GrantRegion(region, api.DomainOS); st != api.OK {
+			b.Fatalf("grant region %d: %v", region, st)
+		}
+	}
+}
+
+// --- E4 (Fig 4): thread scheduling: enter/exit and AEX/resume ---
+
+// BenchmarkE4EnterExit measures a full enclave entry (core clean,
+// enclave view programming) plus a voluntary exit (core clean, OS view).
+func BenchmarkE4EnterExit(b *testing.B) {
+	for _, kind := range []sanctorum.Kind{sanctorum.Sanctum, sanctorum.Keystone} {
+		b.Run(kind.String(), func(b *testing.B) {
+			sys := mustSystem(b, kind, [32]byte{})
+			l := enclaves.DefaultLayout()
+			sharedPA, _ := sys.SetupShared(l.SharedVA)
+			regions := sys.OS.FreeRegions()
+			built := mustBuild(b, sys, l, enclaves.ExitImmediately(l), nil, regions[:1], sharedPA)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := sys.Enter(0, built.EID, built.TIDs[0], 100_000); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE4AEXResume measures a timer-forced AEX plus the subsequent
+// re-entry and register-file restoration.
+func BenchmarkE4AEXResume(b *testing.B) {
+	sys := mustSystem(b, sanctorum.Sanctum, [32]byte{})
+	l := enclaves.DefaultLayout()
+	sharedPA, _ := sys.SetupShared(l.SharedVA)
+	regions := sys.OS.FreeRegions()
+	built := mustBuild(b, sys, l, enclaves.Counter(l), nil, regions[:1], sharedPA)
+	core := sys.Machine.Cores[0]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if st := sys.OS.EnterEnclave(0, built.EID, built.TIDs[0]); st != api.OK {
+			b.Fatalf("enter: %v", st)
+		}
+		core.TimerCmp = core.CPU.Cycles + 500
+		if _, err := sys.Machine.Run(0, 1_000_000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- E5 (Fig 5): mailbox round trip ---
+
+func BenchmarkE5MailRoundTrip(b *testing.B) {
+	sys := mustSystem(b, sanctorum.Sanctum, [32]byte{})
+	l := enclaves.DefaultLayout()
+	sharedPA, _ := sys.SetupShared(l.SharedVA)
+	regions := sys.OS.FreeRegions()
+	built := mustBuild(b, sys, l, enclaves.MailReceiver(l),
+		enclaves.ReceiverDataInit([32]byte{}), regions[:1], sharedPA)
+	msg := []byte("benchmark ping")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Arm (enter), OS send, drain+verify (enter).
+		sys.SharedWriteWord(sharedPA, enclaves.ShInput, 0)
+		sys.SharedWriteWord(sharedPA, enclaves.ShPeerEID, api.DomainOS)
+		if _, err := sys.Enter(0, built.EID, built.TIDs[0], 100_000); err != nil {
+			b.Fatal(err)
+		}
+		if st := sys.Monitor.SendMailFromOS(built.EID, msg); st != api.OK {
+			b.Fatalf("send: %v", st)
+		}
+		sys.SharedWriteWord(sharedPA, enclaves.ShInput, 1)
+		if _, err := sys.Enter(0, built.EID, built.TIDs[0], 100_000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- E6 (Fig 6): local attestation ---
+
+func BenchmarkE6LocalAttestation(b *testing.B) {
+	sys := mustSystem(b, sanctorum.Sanctum, [32]byte{})
+	lS := enclaves.DefaultLayout()
+	lR := enclaves.DefaultLayout()
+	lR.SharedVA = 0x50002000
+	regions := sys.OS.FreeRegions()
+	shSend, _ := sys.SetupShared(lS.SharedVA)
+	shRecv, _ := sys.SetupShared(lR.SharedVA)
+	msg := make([]byte, api.MailboxSize)
+	copy(msg, "bench")
+	sendSpec, err := enclaves.Spec(lS, enclaves.MailSender(lS),
+		enclaves.SenderDataInit(msg), regions[:1],
+		[]os.SharedMapping{{VA: lS.SharedVA, PA: shSend}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	expected := os.ExpectedMeasurement(sendSpec)
+	recvSpec, _ := enclaves.Spec(lR, enclaves.MailReceiver(lR),
+		enclaves.ReceiverDataInit(expected), regions[1:2],
+		[]os.SharedMapping{{VA: lR.SharedVA, PA: shRecv}})
+	sender, err := sys.BuildEnclave(sendSpec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	receiver, err := sys.BuildEnclave(recvSpec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sys.SharedWriteWord(shRecv, enclaves.ShInput, 0)
+		sys.SharedWriteWord(shRecv, enclaves.ShPeerEID, sender.EID)
+		sys.Enter(0, receiver.EID, receiver.TIDs[0], 100_000)
+		sys.SharedWriteWord(shSend, enclaves.ShPeerEID, receiver.EID)
+		sys.Enter(0, sender.EID, sender.TIDs[0], 100_000)
+		sys.SharedWriteWord(shRecv, enclaves.ShInput, 1)
+		sys.Enter(0, receiver.EID, receiver.TIDs[0], 100_000)
+		if v, _ := sys.SharedReadWord(shRecv, enclaves.ShOutput); v != 1 {
+			b.Fatalf("attestation verdict %d", v)
+		}
+	}
+}
+
+// --- E7 (Fig 7): remote attestation ---
+
+func BenchmarkE7RemoteAttestation(b *testing.B) {
+	lES := enclaves.DefaultLayout()
+	lE1 := enclaves.DefaultLayout()
+	lE1.SharedVA = 0x50002000
+	esTemplate, _ := enclaves.Spec(lES, enclaves.SigningEnclave(lES), nil, nil,
+		[]os.SharedMapping{{VA: lES.SharedVA}})
+	sys := mustSystem(b, sanctorum.Sanctum, os.ExpectedMeasurement(esTemplate))
+	regions := sys.OS.FreeRegions()
+	shES, _ := sys.SetupShared(lES.SharedVA)
+	shE1, _ := sys.SetupShared(lE1.SharedVA)
+	esSpec, _ := enclaves.Spec(lES, enclaves.SigningEnclave(lES), nil, regions[:1],
+		[]os.SharedMapping{{VA: lES.SharedVA, PA: shES}})
+	e1Spec, _ := enclaves.Spec(lE1, enclaves.AttestedClient(lE1),
+		enclaves.ClientDataInit(), regions[1:2],
+		[]os.SharedMapping{{VA: lE1.SharedVA, PA: shE1}})
+	es, err := sys.BuildEnclave(esSpec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	e1, err := sys.BuildEnclave(e1Spec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var nonce [32]byte
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		nonce[0] = byte(i)
+		sys.SharedWriteWord(shES, enclaves.ShInput, 0)
+		sys.SharedWriteWord(shES, enclaves.ShPeerEID, e1.EID)
+		sys.Enter(0, es.EID, es.TIDs[0], 1_000_000)
+		sys.SharedWriteWord(shE1, enclaves.ShInput, 0)
+		sys.SharedWriteWord(shE1, enclaves.ShPeerEID, es.EID)
+		sys.SharedWrite(shE1+enclaves.ShNonce, nonce[:])
+		sys.Enter(0, e1.EID, e1.TIDs[0], 1_000_000)
+		sys.SharedWriteWord(shES, enclaves.ShInput, 1)
+		sys.Enter(0, es.EID, es.TIDs[0], 1_000_000)
+		sys.SharedWriteWord(shE1, enclaves.ShInput, 1)
+		sys.SharedWrite(shE1+enclaves.ShPeerKA, make([]byte, 32))
+		sys.Enter(0, e1.EID, e1.TIDs[0], 1_000_000)
+	}
+}
+
+// --- E8 (§VII-A): measurement throughput (the dominant loading cost) ---
+
+func BenchmarkE8MeasurementExtend(b *testing.B) {
+	m := sm.NewMeasurement()
+	page := make([]byte, mem.PageSize)
+	b.SetBytes(mem.PageSize)
+	for i := 0; i < b.N; i++ {
+		m.ExtendPage(uint64(i)<<12, pt.R, page)
+	}
+}
+
+// --- E9 (§VII-A/B): the isolation comparison ---
+
+func BenchmarkE9PrimeProbe(b *testing.B) {
+	for _, kind := range []sanctorum.Kind{sanctorum.Sanctum, sanctorum.Keystone} {
+		b.Run(kind.String(), func(b *testing.B) {
+			sys := mustSystem(b, kind, [32]byte{})
+			calib, calibRegion, _, err := adversary.BuildVictim(sys, 0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			victim, victimRegion, arrayIdx, err := adversary.BuildVictim(sys, 5)
+			if err != nil {
+				b.Fatal(err)
+			}
+			pp, err := adversary.NewPrimeProbe(sys, victimRegion, arrayIdx,
+				adversary.PrimeRegionsFor(sys, victimRegion, calibRegion))
+			if err != nil {
+				b.Fatal(err)
+			}
+			recovered := 0
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := pp.Run(calib.EID, calib.TIDs[0], victim.EID, victim.TIDs[0])
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Strength >= 50 && res.Guess == 5 {
+					recovered++
+				}
+			}
+			b.ReportMetric(float64(recovered)/float64(b.N), "secret-recovery-rate")
+		})
+	}
+}
+
+// --- E11 (§V-A): concurrent transaction throughput ---
+
+func BenchmarkE11ConcurrentRegionOps(b *testing.B) {
+	sys := mustSystem(b, sanctorum.Sanctum, [32]byte{})
+	mon := sys.Monitor
+	regions := sys.OS.FreeRegions()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			r := regions[i%len(regions)]
+			i++
+			if mon.BlockRegion(r) == api.OK {
+				for mon.CleanRegion(r) != api.OK {
+				}
+				for mon.GrantRegion(r, api.DomainOS) != api.OK {
+				}
+			}
+		}
+	})
+}
+
+// --- Ablations (DESIGN.md §5) ---
+
+// BenchmarkAblationMeasureGranularity compares per-page measurement
+// extension (the paper's design, enabling incremental loading) against
+// hashing the whole image at init.
+func BenchmarkAblationMeasureGranularity(b *testing.B) {
+	const pages = 64
+	image := make([]byte, pages*mem.PageSize)
+	b.Run("per-page", func(b *testing.B) {
+		b.SetBytes(int64(len(image)))
+		for i := 0; i < b.N; i++ {
+			m := sm.NewMeasurement()
+			for p := 0; p < pages; p++ {
+				m.ExtendPage(uint64(p)<<12, pt.R, image[p*mem.PageSize:(p+1)*mem.PageSize])
+			}
+			m.Finalize()
+		}
+	})
+	b.Run("whole-image", func(b *testing.B) {
+		b.SetBytes(int64(len(image)))
+		for i := 0; i < b.N; i++ {
+			m := sm.NewMeasurement()
+			m.ExtendPage(0, pt.R, image)
+			m.Finalize()
+		}
+	})
+}
+
+// BenchmarkAblationTLBInvalidate compares the selective shootdown used
+// on region re-allocation with a full TLB flush.
+func BenchmarkAblationTLBInvalidate(b *testing.B) {
+	fill := func(t *tlb.TLB) {
+		for i := uint64(0); i < 32; i++ {
+			t.Insert(tlb.Entry{VPN: i, PPN: i * 16})
+		}
+	}
+	b.Run("selective-shootdown", func(b *testing.B) {
+		t := tlb.New(32)
+		for i := 0; i < b.N; i++ {
+			fill(t)
+			t.FlushIf(func(e tlb.Entry) bool { return e.PPN >= 256 })
+		}
+	})
+	b.Run("full-flush", func(b *testing.B) {
+		t := tlb.New(32)
+		for i := 0; i < b.N; i++ {
+			fill(t)
+			t.Flush()
+		}
+	})
+}
+
+// BenchmarkAblationLockContention contrasts the paper's
+// fail-on-concurrency transactions with what blocking callers would
+// cost, measured as useful operations completed under contention.
+func BenchmarkAblationLockContention(b *testing.B) {
+	sys := mustSystem(b, sanctorum.Sanctum, [32]byte{})
+	mon := sys.Monitor
+	r := sys.OS.FreeRegions()[0]
+	b.Run("try-lock-api", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			// The monitor's calls never block; a failed transaction
+			// returns immediately.
+			mon.BlockRegion(r)
+			mon.CleanRegion(r)
+			mon.GrantRegion(r, api.DomainOS)
+		}
+	})
+}

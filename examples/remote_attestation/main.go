@@ -1,0 +1,132 @@
+// Command remote_attestation reproduces Fig 7 of the paper end to end:
+// a remote verifier performs key agreement with enclave E1, sends a
+// nonce; E1 mails (nonce ‖ key-agreement share) to the signing enclave
+// ES; ES has the monitor sign (E1's monitor-stamped measurement ‖ nonce
+// ‖ share) with the boot-derived attestation key; the verifier checks
+// the signature against the manufacturer PKI and then exchanges an
+// authenticated message with E1 over the attested channel.
+package main
+
+import (
+	"bytes"
+	"crypto/rand"
+	"fmt"
+	"log"
+
+	"sanctorum"
+	"sanctorum/internal/attest"
+	"sanctorum/internal/enclaves"
+	"sanctorum/internal/os"
+	"sanctorum/internal/sm/api"
+)
+
+func main() {
+	lES := enclaves.DefaultLayout()
+	lE1 := enclaves.DefaultLayout()
+	lE1.SharedVA = 0x50002000
+
+	// The signing enclave's measurement is hard-coded into the monitor
+	// at boot; compute it from a placement-free spec template.
+	esTemplate, err := enclaves.Spec(lES, enclaves.SigningEnclave(lES), nil, nil,
+		[]os.SharedMapping{{VA: lES.SharedVA}})
+	if err != nil {
+		log.Fatal(err)
+	}
+	signingMeas := os.ExpectedMeasurement(esTemplate)
+
+	sys, err := sanctorum.NewSystem(sanctorum.Options{
+		Kind:               sanctorum.Sanctum,
+		SigningMeasurement: signingMeas,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	regions := sys.OS.FreeRegions()
+	sharedESPA, _ := sys.SetupShared(lES.SharedVA)
+	sharedE1PA, _ := sys.SetupShared(lE1.SharedVA)
+
+	esSpec, _ := enclaves.Spec(lES, enclaves.SigningEnclave(lES), nil, regions[:1],
+		[]os.SharedMapping{{VA: lES.SharedVA, PA: sharedESPA}})
+	e1Spec, _ := enclaves.Spec(lE1, enclaves.AttestedClient(lE1),
+		enclaves.ClientDataInit(), regions[1:2],
+		[]os.SharedMapping{{VA: lE1.SharedVA, PA: sharedE1PA}})
+	expectedE1 := os.ExpectedMeasurement(e1Spec)
+
+	es, err := sys.BuildEnclave(esSpec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	e1, err := sys.BuildEnclave(e1Spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("signing enclave ES eid=%#x, client E1 eid=%#x\n", es.EID, e1.EID)
+
+	// ①② Remote verifier: key agreement + nonce.
+	verifierKA, err := attest.NewKeyAgreement(rand.Reader)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var nonce [attest.NonceSize]byte
+	rand.Read(nonce[:])
+	fmt.Printf("verifier nonce %x…\n", nonce[:8])
+
+	// ES arms its mailbox for E1.
+	sys.SharedWriteWord(sharedESPA, enclaves.ShInput, 0)
+	sys.SharedWriteWord(sharedESPA, enclaves.ShPeerEID, e1.EID)
+	sys.Enter(0, es.EID, es.TIDs[0], 1_000_000)
+
+	// ③ E1 derives its share and mails (nonce ‖ share) to ES.
+	sys.SharedWriteWord(sharedE1PA, enclaves.ShInput, 0)
+	sys.SharedWriteWord(sharedE1PA, enclaves.ShPeerEID, es.EID)
+	sys.SharedWrite(sharedE1PA+enclaves.ShNonce, nonce[:])
+	sys.Enter(0, e1.EID, e1.TIDs[0], 1_000_000)
+	fmt.Println("③ E1 mailed its request to ES")
+
+	// ④⑤ ES fetches the monitor key's signature over the evidence.
+	sys.SharedWriteWord(sharedESPA, enclaves.ShInput, 1)
+	sys.Enter(0, es.EID, es.TIDs[0], 1_000_000)
+	fmt.Println("④⑤ ES produced the attestation signature")
+
+	// ⑥⑦ E1 receives it and assembles the response.
+	sys.SharedWriteWord(sharedE1PA, enclaves.ShInput, 1)
+	sys.SharedWrite(sharedE1PA+enclaves.ShPeerKA, verifierKA.Share())
+	sys.Enter(0, e1.EID, e1.TIDs[0], 1_000_000)
+
+	// ⑧⑨ Verifier receives and verifies.
+	share, _ := sys.SharedRead(sharedE1PA+enclaves.ShShare, 32)
+	sig, _ := sys.SharedRead(sharedE1PA+enclaves.ShSig, 64)
+	chain, st := sys.Monitor.GetField(api.FieldCertChain)
+	if st != api.OK {
+		log.Fatalf("get_field: %v", st)
+	}
+	ev := &attest.Evidence{
+		EnclaveMeasurement: expectedE1,
+		Nonce:              nonce,
+		KAShare:            share,
+		Signature:          sig,
+		CertChain:          chain,
+	}
+	monitorMeas := sys.Monitor.Identity().Measurement
+	pol := attest.Policy{
+		TrustedRoot:     sys.TrustedRoot(),
+		ExpectedEnclave: expectedE1,
+		AcceptMonitor:   func(m []byte) bool { return bytes.Equal(m, monitorMeas[:]) },
+	}
+	if err := attest.Verify(ev, nonce, pol); err != nil {
+		log.Fatalf("⑧⑨ attestation REJECTED: %v", err)
+	}
+	fmt.Println("⑧⑨ attestation verified against the manufacturer PKI ✓")
+
+	// ⑩ The session key authenticates subsequent messages.
+	sessionKey, _ := verifierKA.SessionKey(share)
+	macBytes, _ := sys.SharedRead(sharedE1PA+enclaves.ShMACOut, 32)
+	var tag [32]byte
+	copy(tag[:], macBytes)
+	if !attest.Open(sessionKey, enclaves.SessionPlaintext, tag) {
+		log.Fatal("⑩ session MAC invalid")
+	}
+	fmt.Printf("⑩ authenticated channel established; message %q verified\n",
+		enclaves.SessionPlaintext)
+	fmt.Println("remote attestation complete: Fig 7 reproduced")
+}

@@ -1,0 +1,60 @@
+// Command sidechannel runs the paper's central isolation comparison
+// (§VII-A vs §VII-B, experiment E9): a prime+probe attacker in the
+// untrusted OS tries to recover an enclave's secret memory-access
+// pattern through the shared last-level cache. On the Keystone-style
+// platform (PMP isolation, shared LLC) the attack recovers the secret;
+// on Sanctum (page-colored, partitioned LLC) the identical attack sees
+// a flat timing profile.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"sanctorum"
+	"sanctorum/internal/adversary"
+)
+
+func attack(kind sanctorum.Kind, name string, secret byte) {
+	sys, err := sanctorum.NewSystem(sanctorum.Options{Kind: kind})
+	if err != nil {
+		log.Fatal(err)
+	}
+	calib, calibRegion, _, err := adversary.BuildVictim(sys, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	victim, victimRegion, arrayIdx, err := adversary.BuildVictim(sys, secret)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pp, err := adversary.NewPrimeProbe(sys, victimRegion, arrayIdx,
+		adversary.PrimeRegionsFor(sys, victimRegion, calibRegion))
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := pp.Run(calib.EID, calib.TIDs[0], victim.EID, victim.TIDs[0])
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%-9s secret=%d  probe deltas (cycles): %v\n", name, secret, res.Deltas)
+	if res.Strength >= 50 {
+		fmt.Printf("%-9s  -> attacker recovers secret = %d (signal %d cycles)\n",
+			name, res.Guess, res.Strength)
+	} else {
+		fmt.Printf("%-9s  -> no signal (amplitude %d cycles): attack defeated\n",
+			name, res.Strength)
+	}
+}
+
+func main() {
+	fmt.Println("prime+probe on the shared LLC: enclave performs one secret-dependent load")
+	fmt.Println()
+	for _, secret := range []byte{3, 6} {
+		attack(sanctorum.Keystone, "keystone", secret)
+		attack(sanctorum.Sanctum, "sanctum", secret)
+		fmt.Println()
+	}
+	fmt.Println("shape matches the paper: Keystone's threat model excludes cache")
+	fmt.Println("side channels; Sanctum's partitioned LLC closes them.")
+}

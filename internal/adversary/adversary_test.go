@@ -1,0 +1,105 @@
+package adversary
+
+import (
+	"testing"
+
+	"sanctorum"
+)
+
+func TestPrimeProbeRecoversSecretOnSharedLLC(t *testing.T) {
+	// Keystone does not partition the LLC (§VII-B): the attack works.
+	for _, secret := range []byte{1, 3, 7} {
+		sys, err := sanctorum.NewSystem(sanctorum.Options{Kind: sanctorum.Keystone})
+		if err != nil {
+			t.Fatal(err)
+		}
+		calib, calibRegion, _, err := BuildVictim(sys, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		victim, victimRegion, arrayIdx, err := BuildVictim(sys, secret)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pp, err := NewPrimeProbe(sys, victimRegion, arrayIdx,
+			PrimeRegionsFor(sys, victimRegion, calibRegion))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := pp.Run(calib.EID, calib.TIDs[0], victim.EID, victim.TIDs[0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Guess != secret {
+			t.Errorf("secret %d: attacker guessed %d (deltas %v)", secret, res.Guess, res.Deltas)
+		}
+		if res.Strength < 50 {
+			t.Errorf("secret %d: signal too weak (%d cycles)", secret, res.Strength)
+		}
+	}
+}
+
+func TestPrimeProbeDefeatedBySanctumPartitioning(t *testing.T) {
+	// Sanctum's page-colored LLC gives each region disjoint sets
+	// (§VII-A): the identical attack sees no victim-dependent signal.
+	for _, secret := range []byte{1, 3, 7} {
+		sys, err := sanctorum.NewSystem(sanctorum.Options{Kind: sanctorum.Sanctum})
+		if err != nil {
+			t.Fatal(err)
+		}
+		calib, calibRegion, _, err := BuildVictim(sys, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		victim, victimRegion, arrayIdx, err := BuildVictim(sys, secret)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pp, err := NewPrimeProbe(sys, victimRegion, arrayIdx,
+			PrimeRegionsFor(sys, victimRegion, calibRegion))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := pp.Run(calib.EID, calib.TIDs[0], victim.EID, victim.TIDs[0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Strength > 16 {
+			t.Errorf("secret %d: partitioned cache leaked signal %d (deltas %v)",
+				secret, res.Strength, res.Deltas)
+		}
+	}
+}
+
+func TestMaliciousOSBattery(t *testing.T) {
+	for _, kind := range []sanctorum.Kind{sanctorum.Sanctum, sanctorum.Keystone} {
+		sys, err := sanctorum.NewSystem(sanctorum.Options{Kind: kind})
+		if err != nil {
+			t.Fatal(err)
+		}
+		wins, err := MaliciousOSBattery(sys)
+		if err != nil {
+			t.Fatalf("%v: battery failed to run: %v", kind, err)
+		}
+		for _, w := range wins {
+			t.Errorf("%v: adversary win: %s", kind, w)
+		}
+	}
+}
+
+func TestMaliciousOSBatteryOnBaseline(t *testing.T) {
+	// The control: without an isolation primitive the adversary wins
+	// the memory attacks (and only those — the monitor's state machine
+	// still refuses the API abuses).
+	sys, err := sanctorum.NewSystem(sanctorum.Options{Kind: sanctorum.Baseline})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wins, err := MaliciousOSBattery(sys)
+	if err != nil {
+		t.Fatalf("battery failed to run: %v", err)
+	}
+	if len(wins) == 0 {
+		t.Fatal("baseline platform unexpectedly stopped the memory attacks")
+	}
+}

@@ -1,0 +1,157 @@
+package adversary
+
+import (
+	"fmt"
+
+	"sanctorum"
+	"sanctorum/internal/enclaves"
+	"sanctorum/internal/hw/pt"
+	"sanctorum/internal/isa"
+	"sanctorum/internal/os"
+	"sanctorum/internal/sm/api"
+)
+
+// MaliciousOSBattery drives the monitor with the API-abuse sequences an
+// insidious privileged adversary would try (§IV), returning a
+// description of every attack that *succeeded*. An empty slice means
+// the monitor held the line. The battery builds one sacrificial enclave
+// and leaves the system usable.
+func MaliciousOSBattery(sys *sanctorum.System) ([]string, error) {
+	var wins []string
+	note := func(format string, args ...any) {
+		wins = append(wins, fmt.Sprintf(format, args...))
+	}
+
+	l := enclaves.DefaultLayout()
+	sharedPA, err := sys.SetupShared(l.SharedVA)
+	if err != nil {
+		return nil, err
+	}
+	regions := sys.OS.FreeRegions()
+	if len(regions) < 2 {
+		return nil, fmt.Errorf("adversary: need two free regions")
+	}
+	encRegion := regions[0]
+	spec, err := enclaves.Spec(l, enclaves.Adder(l), []byte("top secret"),
+		[]int{encRegion}, []os.SharedMapping{{VA: l.SharedVA, PA: sharedPA}})
+	if err != nil {
+		return nil, err
+	}
+	built, err := sys.BuildEnclave(spec)
+	if err != nil {
+		return nil, err
+	}
+	layout := sys.Machine.DRAM
+	mon := sys.Monitor
+
+	// 1. Read/write enclave memory from S-mode.
+	core := sys.Machine.Cores[1]
+	if _, err := core.LoadAs(isa.PrivS, layout.Base(encRegion), 8); err == nil {
+		note("read enclave memory from S-mode")
+	}
+	if err := core.StoreAs(isa.PrivS, layout.Base(encRegion)+8, 8, 0xBAD); err == nil {
+		note("wrote enclave memory from S-mode")
+	}
+	// 2. Read monitor metadata (it holds enclave measurements).
+	if _, err := core.LoadAs(isa.PrivS, built.EID, 8); err == nil {
+		note("read enclave metadata from S-mode")
+	}
+	// 3. DMA into and out of the enclave.
+	if err := sys.Machine.DMATransfer(layout.Base(encRegion), sharedPA, 64); err == nil {
+		note("DMA exfiltrated enclave memory")
+	}
+	if err := sys.Machine.DMATransfer(sharedPA, layout.Base(encRegion), 64); err == nil {
+		note("DMA corrupted enclave memory")
+	}
+	// 4. Steal the enclave's region.
+	if st := mon.GrantRegion(encRegion, api.DomainOS); st == api.OK {
+		note("re-granted an enclave-owned region to the OS")
+	}
+	if st := mon.BlockRegion(encRegion); st == api.OK {
+		note("blocked an enclave-owned region as the OS")
+	}
+	// 5. Clean a region that was never blocked (would zero live data
+	// under the enclave).
+	if st := mon.CleanRegion(encRegion); st == api.OK {
+		note("cleaned an owned region in place")
+	}
+	// 6. Mutate a sealed enclave.
+	if st := mon.LoadPage(built.EID, l.DataVA+0x1000, sharedPA, pt.R); st == api.OK {
+		note("loaded a page into a sealed enclave")
+	}
+	if st := mon.LoadThread(built.EID, built.EID+0x1000, l.CodeVA, 0); st == api.OK {
+		note("loaded a thread into a sealed enclave")
+	}
+	// 7. Forge enclave metadata in OS memory.
+	if st := mon.CreateEnclave(sharedPA, l.EvBase, l.EvMask); st == api.OK {
+		note("created enclave metadata in OS-owned memory")
+	}
+	// 8. Enter with a thread the enclave never accepted.
+	rogueTID, err := sys.OS.AllocMetaPage()
+	if err != nil {
+		return nil, err
+	}
+	if st := mon.CreateThread(rogueTID); st != api.OK {
+		return nil, fmt.Errorf("adversary: creating rogue thread: %v", st)
+	}
+	if st := mon.EnterEnclave(0, built.EID, rogueTID); st == api.OK {
+		note("entered enclave with an unassigned thread")
+	}
+	// 9. Delete the enclave while a thread runs.
+	if st := sys.OS.EnterEnclave(0, built.EID, built.TIDs[0]); st != api.OK {
+		return nil, fmt.Errorf("adversary: benign enter failed: %v", st)
+	}
+	if st := mon.DeleteEnclave(built.EID); st == api.OK {
+		note("deleted an enclave with a scheduled thread")
+	}
+	// Let it finish cleanly.
+	sys.SharedWriteWord(sharedPA, enclaves.ShInput, 1)
+	if _, err := sys.Machine.Run(0, 1_000_000); err != nil {
+		return nil, err
+	}
+	// 10. Use enclave memory as a load_page source for a second enclave
+	// (exfiltration via the loader).
+	eid2, err := sys.OS.AllocMetaPage()
+	if err != nil {
+		return nil, err
+	}
+	if st := mon.CreateEnclave(eid2, l.EvBase, l.EvMask); st != api.OK {
+		return nil, fmt.Errorf("adversary: second create failed: %v", st)
+	}
+	if st := mon.GrantRegion(regions[1], eid2); st != api.OK {
+		return nil, fmt.Errorf("adversary: second grant failed: %v", st)
+	}
+	mon.AllocatePageTable(eid2, 0, 2)
+	mon.AllocatePageTable(eid2, l.EvBase, 1)
+	mon.AllocatePageTable(eid2, l.EvBase, 0)
+	if st := mon.LoadPage(eid2, l.CodeVA, layout.Base(encRegion), pt.R); st == api.OK {
+		note("loaded another enclave's memory as page contents")
+	}
+	// 11. Map another enclave's memory as a shared window.
+	if st := mon.MapShared(eid2, 0x51000000, layout.Base(encRegion)); st == api.OK {
+		note("mapped another enclave's memory as a shared window")
+	}
+	// 12. Proper teardown still works (sanity that the battery did not
+	// wedge the monitor).
+	if st := mon.DeleteEnclave(built.EID); st != api.OK {
+		return nil, fmt.Errorf("adversary: benign delete failed: %v", st)
+	}
+	if st := mon.CleanRegion(encRegion); st != api.OK {
+		return nil, fmt.Errorf("adversary: benign clean failed: %v", st)
+	}
+	// A cleaned region is not OS-accessible until re-granted (Fig 2's
+	// available state); after the grant it must read back as zeros.
+	if _, err := core.LoadAs(isa.PrivS, layout.Base(encRegion), 8); err == nil &&
+		sys.Machine.Kind != 0 /* baseline cannot enforce this */ {
+		note("available region readable before re-grant")
+	}
+	if st := mon.GrantRegion(encRegion, api.DomainOS); st != api.OK {
+		return nil, fmt.Errorf("adversary: re-grant failed: %v", st)
+	}
+	if v, err := core.LoadAs(isa.PrivS, layout.Base(encRegion), 8); err != nil {
+		return nil, fmt.Errorf("adversary: cleaned region unreadable: %v", err)
+	} else if v != 0 {
+		note("cleaned region still held enclave data")
+	}
+	return wins, nil
+}

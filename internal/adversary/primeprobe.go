@@ -1,0 +1,335 @@
+// Package adversary implements the attackers of the paper's threat
+// model: a prime+probe attacker on the shared last-level cache (the
+// side channel Sanctum's page-colored partitioning closes, §VII-A vs
+// §VII-B), and a malicious-OS driver that throws illegal API sequences
+// at the monitor (§IV's "insidious privileged software adversary").
+//
+// The prime+probe attacker is an ordinary OS user program: the only
+// thing it measures is the latency of its own loads (RDCYCLE), exactly
+// the observable a real attacker has. The attack is differential: the
+// attacker runs prime→enclave→probe twice, once against a calibration
+// enclave it built itself (identical layout, known secret 0) and once
+// against the victim; subtracting the two probe timings cancels every
+// deterministic self-effect (its own fetches, page walks, the enclave's
+// non-secret accesses) and leaves exactly the victim's
+// secret-dependent line — if the LLC is shared. Under Sanctum's
+// partitioned LLC the difference is flat and the attack learns nothing.
+package adversary
+
+import (
+	"fmt"
+	"sort"
+
+	"sanctorum"
+	"sanctorum/internal/asm"
+	"sanctorum/internal/enclaves"
+	"sanctorum/internal/hw/mem"
+	"sanctorum/internal/hw/pt"
+	"sanctorum/internal/isa"
+	"sanctorum/internal/os"
+)
+
+// probeLines is the number of cache lines the victim's secret selects
+// among (the secret is a value in [0, probeLines)).
+const probeLines = 8
+
+// Attacker VA layout.
+const (
+	attackBaseVA = uint64(0x60000000)
+	resultsVA    = uint64(0x70000000)
+	primeCodeVA  = uint64(0x10000000)
+	probeCodeVA  = uint64(0x20000000)
+	warmupOffset = 512 // within-page offset used to warm the TLB
+)
+
+// Result reports one differential attack run.
+type Result struct {
+	Guess    byte    // line with the largest victim-vs-calibration delta
+	Deltas   []int64 // per-line probe latency difference in cycles
+	Strength int64   // largest delta: the signal amplitude
+}
+
+// PrimeProbe is a prepared attack instance; Run may be invoked many
+// times (e.g. by benchmarks) without further setup.
+type PrimeProbe struct {
+	sys      *sanctorum.System
+	victimPA uint64 // physical address of the victim's probe array
+	primeRgs []int
+
+	resultsPA uint64
+	prepared  bool
+	warmed    bool
+}
+
+// NewPrimeProbe prepares an attack against the victim enclave whose
+// array page sits arrayPageIndex pages into victimRegion. The monitor
+// allocates enclave pages in ascending physical order (a property the
+// paper mandates for measurement), so the attacker — who knows the
+// loading transcript the OS performed — knows exactly where to aim.
+func NewPrimeProbe(sys *sanctorum.System, victimRegion, arrayPageIndex int, primeRegions []int) (*PrimeProbe, error) {
+	if len(primeRegions) < sys.Machine.L2.Config().Ways {
+		return nil, fmt.Errorf("adversary: need %d prime regions, have %d",
+			sys.Machine.L2.Config().Ways, len(primeRegions))
+	}
+	victimPA := sys.Machine.DRAM.Base(victimRegion) + uint64(arrayPageIndex)*mem.PageSize
+	return &PrimeProbe{sys: sys, victimPA: victimPA, primeRgs: primeRegions}, nil
+}
+
+// ArrayPageIndex computes where the victim's array page lands within
+// its region for a spec built by enclaves.Spec: after the page tables
+// (TablePlan) and all but the last of the spec's pages.
+func ArrayPageIndex(spec *os.EnclaveSpec) int {
+	var vas []uint64
+	for _, p := range spec.Pages {
+		vas = append(vas, p.VA)
+	}
+	for _, s := range spec.Shared {
+		vas = append(vas, s.VA)
+	}
+	return len(os.TablePlan(vas)) + len(spec.Pages) - 1
+}
+
+// mirrorOffset is the in-region offset of the victim's array; equal
+// offsets in other regions alias to the same LLC sets when the cache is
+// shared (region size is a multiple of the LLC span).
+func (pp *PrimeProbe) mirrorOffset() uint64 {
+	return pp.victimPA % pp.sys.Machine.DRAM.RegionSize()
+}
+
+func (pp *PrimeProbe) pageVA(j int) uint64 {
+	return attackBaseVA + uint64(j)*mem.PageSize
+}
+
+// prepare maps the prime pages and loads both attack programs once.
+//
+// The attack's own code and results pages are placed at controlled
+// physical offsets in a dedicated region, on the opposite half of the
+// LLC set space from the probed sets: otherwise the attacker's own
+// instruction fetches during the timed probe deterministically evict
+// the same LRU lines the victim would, absorbing the signal. (A real
+// attacker does the same thing: self-eviction is the first thing a
+// prime+probe implementation must engineer away.)
+func (pp *PrimeProbe) prepare() error {
+	if pp.prepared {
+		return nil
+	}
+	layout := pp.sys.Machine.DRAM
+	pageInRegion := pp.mirrorOffset() &^ uint64(mem.PageMask)
+	for j, r := range pp.primeRgs {
+		pa := layout.Base(r) + pageInRegion
+		if err := pp.sys.OS.MapUser(pp.pageVA(j), pa, pt.R|pt.W|pt.X|pt.U); err != nil {
+			return err
+		}
+	}
+
+	// The code region is the last prime region: its pages at offsets
+	// far from mirrorOffset cannot alias the probed sets.
+	codeRegion := pp.primeRgs[len(pp.primeRgs)-1]
+	llcSpan := uint64(pp.sys.Machine.L2.Config().Sets) << pp.sys.Machine.L2.Config().LineBits
+	codeOffset := (pp.mirrorOffset() + llcSpan/2) % llcSpan &^ uint64(mem.PageMask)
+	codeBase := layout.Base(codeRegion) + codeOffset
+
+	place := func(bin []byte, va, pa uint64) error {
+		for off := 0; off < len(bin); off += mem.PageSize {
+			end := off + mem.PageSize
+			if end > len(bin) {
+				end = len(bin)
+			}
+			if err := pp.sys.OS.WriteOwned(pa+uint64(off), bin[off:end]); err != nil {
+				return err
+			}
+			if err := pp.sys.OS.MapUser(va+uint64(off), pa+uint64(off), pt.R|pt.W|pt.X|pt.U); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	primeBin, err := pp.primeProgram().Assemble(primeCodeVA)
+	if err != nil {
+		return err
+	}
+	if err := place(primeBin, primeCodeVA, codeBase); err != nil {
+		return err
+	}
+	probeBin, err := pp.probeProgram().Assemble(probeCodeVA)
+	if err != nil {
+		return err
+	}
+	if err := place(probeBin, probeCodeVA, codeBase+0x1000); err != nil {
+		return err
+	}
+	pp.resultsPA = codeBase + 0x3000
+	if err := pp.sys.OS.MapUser(resultsVA, pp.resultsPA, pt.R|pt.W|pt.U); err != nil {
+		return err
+	}
+	pp.prepared = true
+	return nil
+}
+
+// primeProgram touches Ways lines in each of the probeLines target
+// sets, filling them with attacker-owned lines.
+func (pp *PrimeProbe) primeProgram() *asm.Program {
+	ways := pp.sys.Machine.L2.Config().Ways
+	inPage := pp.mirrorOffset() & mem.PageMask
+	p := asm.New()
+	for k := 0; k < probeLines; k++ {
+		for j := 0; j < ways; j++ {
+			p.Li64(isa.RegT0, pp.pageVA(j)+inPage+uint64(k)*64)
+			p.I(isa.OpLD, isa.RegT1, isa.RegT0, 0, 0)
+		}
+	}
+	p.Halt()
+	return p
+}
+
+// probeProgram re-touches the primed lines, timing each line's
+// way-group with RDCYCLE and storing the per-line totals.
+func (pp *PrimeProbe) probeProgram() *asm.Program {
+	ways := pp.sys.Machine.L2.Config().Ways
+	inPage := pp.mirrorOffset() & mem.PageMask
+	p := asm.New()
+	// Warm the TLB for every page plus the results page so probe
+	// timings contain no page-walk noise.
+	for j := 0; j < ways; j++ {
+		p.Li64(isa.RegT0, pp.pageVA(j)+warmupOffset)
+		p.I(isa.OpLD, isa.RegT1, isa.RegT0, 0, 0)
+	}
+	p.Li64(isa.RegS0, resultsVA)
+	p.I(isa.OpSD, 0, isa.RegS0, isa.RegZero, 8*probeLines)
+	for k := 0; k < probeLines; k++ {
+		p.I(isa.OpRDCYCLE, isa.RegT2, 0, 0, 0)
+		// Probe in reverse priming order: hits refresh MRU-first, so a
+		// single foreign line causes exactly one miss instead of an
+		// LRU eviction cascade through the whole set.
+		for j := ways - 1; j >= 0; j-- {
+			p.Li64(isa.RegT0, pp.pageVA(j)+inPage+uint64(k)*64)
+			p.I(isa.OpLD, isa.RegT1, isa.RegT0, 0, 0)
+		}
+		p.I(isa.OpRDCYCLE, isa.RegS1, 0, 0, 0)
+		p.I(isa.OpSUB, isa.RegS1, isa.RegS1, isa.RegT2, 0)
+		p.I(isa.OpSD, 0, isa.RegS0, isa.RegS1, int32(k*8))
+	}
+	p.Halt()
+	return p
+}
+
+// round runs prime → enclave → probe and returns the probe timings.
+func (pp *PrimeProbe) round(eid, tid uint64) ([probeLines]uint64, error) {
+	var timings [probeLines]uint64
+	runUser := func(pc uint64) error {
+		res, err := pp.sys.OS.RunUser(0, pc, 0, 2_000_000)
+		if err != nil {
+			return err
+		}
+		if res.Reason.String() != "halt" {
+			return fmt.Errorf("adversary: attack program stopped with %+v", res)
+		}
+		return nil
+	}
+	if err := runUser(primeCodeVA); err != nil {
+		return timings, err
+	}
+	if _, err := pp.sys.Enter(0, eid, tid, 1_000_000); err != nil {
+		return timings, err
+	}
+	if err := runUser(probeCodeVA); err != nil {
+		return timings, err
+	}
+	for k := 0; k < probeLines; k++ {
+		t, err := pp.sys.SharedReadWord(pp.resultsPA, k*8)
+		if err != nil {
+			return timings, err
+		}
+		timings[k] = t
+	}
+	return timings, nil
+}
+
+// Run mounts the differential attack: one round against the
+// attacker-built calibration enclave (identical layout, known secret),
+// one against the victim. The per-line timing difference exposes the
+// victim's secret line on a shared LLC and nothing on a partitioned
+// one.
+func (pp *PrimeProbe) Run(calibEID, calibTID, victimEID, victimTID uint64) (*Result, error) {
+	if err := pp.prepare(); err != nil {
+		return nil, err
+	}
+	// One throwaway round brings the attack programs' own code and
+	// tables into a steady cache state, so the measured rounds differ
+	// only in the enclave they run.
+	if !pp.warmed {
+		if _, err := pp.round(calibEID, calibTID); err != nil {
+			return nil, err
+		}
+		pp.warmed = true
+	}
+	base, err := pp.round(calibEID, calibTID)
+	if err != nil {
+		return nil, fmt.Errorf("adversary: calibration round: %w", err)
+	}
+	vic, err := pp.round(victimEID, victimTID)
+	if err != nil {
+		return nil, fmt.Errorf("adversary: victim round: %w", err)
+	}
+	res := &Result{Deltas: make([]int64, probeLines)}
+	var maxD int64 = -1 << 62
+	for k := 0; k < probeLines; k++ {
+		d := int64(vic[k]) - int64(base[k])
+		res.Deltas[k] = d
+		if d > maxD {
+			maxD = d
+			res.Guess = byte(k)
+		}
+	}
+	res.Strength = maxD
+	return res, nil
+}
+
+// BuildVictim constructs the standard victim enclave with the given
+// secret in the first free region and returns (built enclave, region,
+// array page index).
+func BuildVictim(sys *sanctorum.System, secret byte) (*os.BuiltEnclave, int, int, error) {
+	l := enclaves.DefaultLayout()
+	sharedPA, err := sys.SetupShared(l.SharedVA)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	regions := sys.OS.FreeRegions()
+	if len(regions) == 0 {
+		return nil, 0, 0, fmt.Errorf("adversary: no region for victim")
+	}
+	victimRegion := regions[0]
+	spec, err := enclaves.Spec(l, enclaves.Victim(l), enclaves.VictimDataInit(secret),
+		[]int{victimRegion}, []os.SharedMapping{{VA: l.SharedVA, PA: sharedPA}})
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	built, err := sys.BuildEnclave(spec)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	return built, victimRegion, ArrayPageIndex(spec), nil
+}
+
+// PrimeRegionsFor picks eviction-set regions: OS-owned regions distinct
+// from the excluded (victim/calibration) ones, enough to fill every way
+// of the target sets.
+func PrimeRegionsFor(sys *sanctorum.System, exclude ...int) []int {
+	ways := sys.Machine.L2.Config().Ways
+	skip := map[int]bool{}
+	for _, r := range exclude {
+		skip[r] = true
+	}
+	var out []int
+	for _, r := range sys.OS.FreeRegions() {
+		if skip[r] {
+			continue
+		}
+		out = append(out, r)
+		if len(out) == ways {
+			break
+		}
+	}
+	sort.Ints(out)
+	return out
+}

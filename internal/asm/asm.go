@@ -1,0 +1,176 @@
+// Package asm is a small label-resolving assembler for SRV64 programs.
+// OS processes, enclave binaries, and adversarial payloads throughout
+// the repository are written against it; Assemble produces the byte
+// image that the untrusted OS hands to the security monitor's
+// load_page calls (and which the SM therefore measures).
+package asm
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"sanctorum/internal/isa"
+)
+
+type fixupKind uint8
+
+const (
+	fixRelative fixupKind = iota // imm = (target - here) in bytes
+	fixAbsolute                  // imm = base + target*8; must fit int32
+)
+
+type fixup struct {
+	word  int
+	label string
+	kind  fixupKind
+}
+
+// TempReg is reserved for assembler-expanded sequences (Li64); programs
+// should not use it for their own values.
+const TempReg = 31
+
+// Program accumulates instructions, data and labels.
+type Program struct {
+	words  []uint64
+	labels map[string]int
+	fixups []fixup
+	errs   []error
+}
+
+// New returns an empty program.
+func New() *Program {
+	return &Program{labels: make(map[string]int)}
+}
+
+// Len returns the current size of the program in bytes.
+func (p *Program) Len() int { return len(p.words) * isa.InstrSize }
+
+// I appends a raw instruction.
+func (p *Program) I(op isa.Op, rd, rs1, rs2 uint8, imm int32) *Program {
+	p.words = append(p.words, isa.Instr{Op: op, Rd: rd, Rs1: rs1, Rs2: rs2, Imm: imm}.Encode())
+	return p
+}
+
+// Label defines name at the current position.
+func (p *Program) Label(name string) *Program {
+	if _, dup := p.labels[name]; dup {
+		p.errs = append(p.errs, fmt.Errorf("asm: duplicate label %q", name))
+		return p
+	}
+	p.labels[name] = len(p.words)
+	return p
+}
+
+// Branch appends a conditional branch to a label.
+func (p *Program) Branch(op isa.Op, rs1, rs2 uint8, label string) *Program {
+	p.fixups = append(p.fixups, fixup{word: len(p.words), label: label, kind: fixRelative})
+	return p.I(op, 0, rs1, rs2, 0)
+}
+
+// Jal appends a jump-and-link to a label.
+func (p *Program) Jal(rd uint8, label string) *Program {
+	p.fixups = append(p.fixups, fixup{word: len(p.words), label: label, kind: fixRelative})
+	return p.I(isa.OpJAL, rd, 0, 0, 0)
+}
+
+// La loads the absolute address of a label into rd. The resolved
+// address must fit in a sign-extended 32-bit immediate.
+func (p *Program) La(rd uint8, label string) *Program {
+	p.fixups = append(p.fixups, fixup{word: len(p.words), label: label, kind: fixAbsolute})
+	return p.I(isa.OpLI, rd, 0, 0, 0)
+}
+
+// Convenience pseudo-instructions.
+
+// Li loads a 32-bit signed immediate.
+func (p *Program) Li(rd uint8, v int32) *Program { return p.I(isa.OpLI, rd, 0, 0, v) }
+
+// Li64 loads an arbitrary 64-bit constant using TempReg.
+func (p *Program) Li64(rd uint8, v uint64) *Program {
+	if int64(v) >= math.MinInt32 && int64(v) <= math.MaxInt32 {
+		return p.Li(rd, int32(int64(v)))
+	}
+	p.Li(rd, int32(uint32(v>>32)))
+	p.I(isa.OpSLLI, rd, rd, 0, 32)
+	p.Li(TempReg, int32(uint32(v)))
+	p.I(isa.OpSLLI, TempReg, TempReg, 0, 32)
+	p.I(isa.OpSRLI, TempReg, TempReg, 0, 32)
+	return p.I(isa.OpOR, rd, rd, TempReg, 0)
+}
+
+// Mv copies rs1 into rd.
+func (p *Program) Mv(rd, rs1 uint8) *Program { return p.I(isa.OpADDI, rd, rs1, 0, 0) }
+
+// Call jumps to a label, linking in ra.
+func (p *Program) Call(label string) *Program { return p.Jal(isa.RegRA, label) }
+
+// J jumps to a label without linking.
+func (p *Program) J(label string) *Program { return p.Jal(isa.RegZero, label) }
+
+// Ret returns via ra.
+func (p *Program) Ret() *Program { return p.I(isa.OpJALR, isa.RegZero, isa.RegRA, 0, 0) }
+
+// Ecall appends an environment call.
+func (p *Program) Ecall() *Program { return p.I(isa.OpECALL, 0, 0, 0, 0) }
+
+// Halt stops the core.
+func (p *Program) Halt() *Program { return p.I(isa.OpHALT, 0, 0, 0, 0) }
+
+// Nop appends a no-op.
+func (p *Program) Nop() *Program { return p.I(isa.OpNOP, 0, 0, 0, 0) }
+
+// Data64 appends raw 8-byte data words (give them labels to address them).
+func (p *Program) Data64(vals ...uint64) *Program {
+	p.words = append(p.words, vals...)
+	return p
+}
+
+// Assemble resolves all labels against the given base virtual address
+// and returns the binary image.
+func (p *Program) Assemble(base uint64) ([]byte, error) {
+	if len(p.errs) > 0 {
+		return nil, p.errs[0]
+	}
+	if base%isa.InstrSize != 0 {
+		return nil, fmt.Errorf("asm: base %#x not %d-byte aligned", base, isa.InstrSize)
+	}
+	out := make([]uint64, len(p.words))
+	copy(out, p.words)
+	for _, f := range p.fixups {
+		target, ok := p.labels[f.label]
+		if !ok {
+			return nil, fmt.Errorf("asm: undefined label %q", f.label)
+		}
+		in := isa.Decode(out[f.word])
+		switch f.kind {
+		case fixRelative:
+			off := int64(target-f.word) * isa.InstrSize
+			if off < math.MinInt32 || off > math.MaxInt32 {
+				return nil, fmt.Errorf("asm: branch to %q out of range (%d bytes)", f.label, off)
+			}
+			in.Imm = int32(off)
+		case fixAbsolute:
+			addr := base + uint64(target)*isa.InstrSize
+			if int64(addr) < math.MinInt32 || int64(addr) > math.MaxInt32 {
+				return nil, fmt.Errorf("asm: address of %q (%#x) does not fit in an immediate", f.label, addr)
+			}
+			in.Imm = int32(addr)
+		}
+		out[f.word] = in.Encode()
+	}
+	bin := make([]byte, len(out)*isa.InstrSize)
+	for i, w := range out {
+		binary.LittleEndian.PutUint64(bin[i*isa.InstrSize:], w)
+	}
+	return bin, nil
+}
+
+// Symbols returns the address of every label for a given base.
+func (p *Program) Symbols(base uint64) map[string]uint64 {
+	syms := make(map[string]uint64, len(p.labels))
+	for name, idx := range p.labels {
+		syms[name] = base + uint64(idx)*isa.InstrSize
+	}
+	return syms
+}

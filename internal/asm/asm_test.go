@@ -1,0 +1,223 @@
+package asm
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"sanctorum/internal/isa"
+)
+
+func word(t *testing.T, bin []byte, i int) isa.Instr {
+	t.Helper()
+	return isa.Decode(binary.LittleEndian.Uint64(bin[i*isa.InstrSize:]))
+}
+
+func TestForwardAndBackwardBranches(t *testing.T) {
+	p := New()
+	p.Label("start")
+	p.Li(1, 0)                           // 0
+	p.Branch(isa.OpBEQ, 1, 0, "forward") // 1: +16
+	p.Nop()                              // 2
+	p.Label("forward")
+	p.Branch(isa.OpBNE, 1, 2, "start") // 3: -24
+	bin, err := p.Assemble(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := word(t, bin, 1).Imm; got != 16 {
+		t.Errorf("forward branch imm = %d, want 16", got)
+	}
+	if got := word(t, bin, 3).Imm; got != -24 {
+		t.Errorf("backward branch imm = %d, want -24", got)
+	}
+}
+
+func TestJalAndCall(t *testing.T) {
+	p := New()
+	p.Call("fn") // 0
+	p.Halt()     // 1
+	p.Label("fn")
+	p.Ret() // 2
+	bin, err := p.Assemble(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := word(t, bin, 0)
+	if in.Op != isa.OpJAL || in.Rd != isa.RegRA || in.Imm != 16 {
+		t.Fatalf("call encoded as %v", in)
+	}
+}
+
+func TestLaResolvesAbsolute(t *testing.T) {
+	p := New()
+	p.La(5, "data") // 0
+	p.Halt()        // 1
+	p.Label("data")
+	p.Data64(0xDEAD) // 2
+	const base = 0x40000000
+	bin, err := p.Assemble(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := word(t, bin, 0)
+	if in.Op != isa.OpLI || uint64(in.Imm) != base+2*isa.InstrSize {
+		t.Fatalf("la encoded as %v", in)
+	}
+	if got := p.Symbols(base)["data"]; got != base+2*isa.InstrSize {
+		t.Fatalf("symbol = %#x", got)
+	}
+}
+
+func TestLaOutOfRangeFails(t *testing.T) {
+	p := New()
+	p.La(5, "x")
+	p.Label("x")
+	if _, err := p.Assemble(1 << 40); err == nil {
+		t.Fatal("address beyond int32 accepted")
+	}
+}
+
+func TestUndefinedLabel(t *testing.T) {
+	p := New()
+	p.J("nowhere")
+	if _, err := p.Assemble(0); err == nil {
+		t.Fatal("undefined label accepted")
+	}
+}
+
+func TestDuplicateLabel(t *testing.T) {
+	p := New()
+	p.Label("a").Nop().Label("a")
+	if _, err := p.Assemble(0); err == nil {
+		t.Fatal("duplicate label accepted")
+	}
+}
+
+func TestUnalignedBase(t *testing.T) {
+	p := New()
+	p.Nop()
+	if _, err := p.Assemble(4); err == nil {
+		t.Fatal("unaligned base accepted")
+	}
+}
+
+func TestLi64SmallUsesOneWord(t *testing.T) {
+	p := New()
+	p.Li64(3, 42)
+	if p.Len() != isa.InstrSize {
+		t.Fatalf("len = %d, want one instruction", p.Len())
+	}
+	p2 := New()
+	p2.Li64(3, 0xFFFFFFFFFFFFFFFF) // = -1, fits as sext imm
+	if p2.Len() != isa.InstrSize {
+		t.Fatalf("-1 took %d bytes", p2.Len())
+	}
+}
+
+// Li64 must produce the exact constant when executed.
+func TestLi64Execution(t *testing.T) {
+	for _, v := range []uint64{0, 42, 0x8000_0000, 0xDEADBEEF_CAFEF00D, 1 << 63, ^uint64(0)} {
+		p := New()
+		p.Li64(3, v)
+		p.Halt()
+		bin, err := p.Assemble(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cpu, bus := execBin(t, bin)
+		_ = bus
+		if cpu.Regs[3] != v {
+			t.Errorf("Li64(%#x) produced %#x", v, cpu.Regs[3])
+		}
+	}
+}
+
+// Fibonacci via the assembler end-to-end on the interpreter.
+func TestFibonacciProgram(t *testing.T) {
+	p := New()
+	p.Li(1, 0) // a
+	p.Li(2, 1) // b
+	p.Li(3, 10)
+	p.Label("loop")
+	p.I(isa.OpADD, 4, 1, 2, 0) // t = a+b
+	p.Mv(1, 2)
+	p.Mv(2, 4)
+	p.I(isa.OpADDI, 3, 3, 0, -1)
+	p.Branch(isa.OpBNE, 3, 0, "loop")
+	p.Halt()
+	bin, err := p.Assemble(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cpu, _ := execBin(t, bin)
+	if cpu.Regs[1] != 55 { // fib(10)
+		t.Fatalf("fib = %d, want 55", cpu.Regs[1])
+	}
+}
+
+// Data words are addressable and loadable via La.
+func TestDataAccess(t *testing.T) {
+	p := New()
+	p.La(1, "tbl")
+	p.I(isa.OpLD, 2, 1, 0, 8) // second entry
+	p.Halt()
+	p.Label("tbl")
+	p.Data64(111, 222, 333)
+	bin, err := p.Assemble(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cpu, _ := execBin(t, bin)
+	if cpu.Regs[2] != 222 {
+		t.Fatalf("loaded %d, want 222", cpu.Regs[2])
+	}
+}
+
+// --- minimal bus for executing assembled binaries ---
+
+type sliceBus struct{ mem []byte }
+
+func (b *sliceBus) FetchInstr(va uint64) (uint64, uint64, *isa.MemFault) {
+	if va+8 > uint64(len(b.mem)) {
+		return 0, 1, &isa.MemFault{Kind: isa.FaultAccess, Addr: va}
+	}
+	return binary.LittleEndian.Uint64(b.mem[va:]), 1, nil
+}
+
+func (b *sliceBus) Load(va uint64, width int) (uint64, uint64, *isa.MemFault) {
+	if va+uint64(width) > uint64(len(b.mem)) {
+		return 0, 1, &isa.MemFault{Kind: isa.FaultAccess, Addr: va}
+	}
+	var v uint64
+	for i := width - 1; i >= 0; i-- {
+		v = v<<8 | uint64(b.mem[va+uint64(i)])
+	}
+	return v, 1, nil
+}
+
+func (b *sliceBus) Store(va uint64, width int, val uint64) (uint64, *isa.MemFault) {
+	if va+uint64(width) > uint64(len(b.mem)) {
+		return 1, &isa.MemFault{Kind: isa.FaultAccess, Addr: va}
+	}
+	for i := 0; i < width; i++ {
+		b.mem[va+uint64(i)] = byte(val >> (8 * uint(i)))
+	}
+	return 1, nil
+}
+
+func execBin(t *testing.T, bin []byte) (*isa.CPU, *sliceBus) {
+	t.Helper()
+	bus := &sliceBus{mem: make([]byte, 65536)}
+	copy(bus.mem, bin)
+	cpu := &isa.CPU{}
+	for i := 0; i < 100000; i++ {
+		if tr := cpu.Step(bus); tr != nil {
+			if tr.Cause != isa.CauseHalt {
+				t.Fatalf("unexpected trap: %v", tr)
+			}
+			return cpu, bus
+		}
+	}
+	t.Fatal("program did not halt")
+	return nil, nil
+}

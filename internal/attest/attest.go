@@ -1,0 +1,144 @@
+// Package attest implements the verifier side of Sanctorum's
+// attestation protocols (paper §VI): local attestation via
+// monitor-stamped mailbox measurements (Fig 6) and remote attestation
+// via the signing enclave and the manufacturer PKI (Fig 7), including
+// the key agreement that gives the remote party a private channel whose
+// trust is bootstrapped by the attestation.
+package attest
+
+import (
+	"crypto/ecdh"
+	"crypto/ed25519"
+	"errors"
+	"fmt"
+	"io"
+
+	"sanctorum/internal/crypto/cert"
+	"sanctorum/internal/crypto/kdf"
+)
+
+// NonceSize is the verifier nonce length.
+const NonceSize = 32
+
+// Errors returned by verification.
+var (
+	ErrBadEvidence    = errors.New("attest: malformed evidence")
+	ErrBadSignature   = errors.New("attest: signature verification failed")
+	ErrWrongNonce     = errors.New("attest: nonce mismatch")
+	ErrWrongEnclave   = errors.New("attest: enclave measurement mismatch")
+	ErrUntrustedChain = errors.New("attest: certificate chain not rooted in trusted key")
+	ErrWrongMonitor   = errors.New("attest: monitor measurement not acceptable")
+)
+
+// Evidence is what the remote verifier receives at step 8 of Fig 7:
+// the signing enclave's signature over (enclave measurement ‖ nonce ‖
+// key-agreement share), plus the monitor certificate chain connecting
+// the signing key to the manufacturer PKI.
+type Evidence struct {
+	EnclaveMeasurement [32]byte
+	Nonce              [NonceSize]byte
+	KAShare            []byte // enclave's key-agreement public share
+	Signature          []byte // monitor-key signature over SignedPayload()
+	CertChain          []byte // marshalled cert.Chain
+}
+
+// SignedPayload is the exact byte string the signing enclave submits to
+// the monitor's attest-sign call: measurement ‖ nonce ‖ KA share. Both
+// sides must agree on this framing.
+func (ev *Evidence) SignedPayload() []byte {
+	out := make([]byte, 0, 32+NonceSize+len(ev.KAShare))
+	out = append(out, ev.EnclaveMeasurement[:]...)
+	out = append(out, ev.Nonce[:]...)
+	out = append(out, ev.KAShare...)
+	return out
+}
+
+// Policy is what the verifier requires of the attestation.
+type Policy struct {
+	// TrustedRoot is the pinned manufacturer public key.
+	TrustedRoot ed25519.PublicKey
+	// ExpectedEnclave is the measurement the enclave must have
+	// (computed by replaying the loading transcript, e.g. with
+	// os.ExpectedMeasurement).
+	ExpectedEnclave [32]byte
+	// AcceptMonitor decides whether a monitor measurement is
+	// trustworthy (e.g. a known-good monitor release). nil accepts any
+	// monitor certified by the PKI.
+	AcceptMonitor func(measurement []byte) bool
+}
+
+// Verify checks the evidence against the policy and the nonce the
+// verifier chose (steps 9 of Fig 7). On success the verifier may trust
+// that KAShare was produced inside the expected enclave on a device
+// running a certified monitor.
+func Verify(ev *Evidence, nonce [NonceSize]byte, pol Policy) error {
+	if ev == nil || len(ev.Signature) != ed25519.SignatureSize || len(ev.KAShare) == 0 {
+		return ErrBadEvidence
+	}
+	if ev.Nonce != nonce {
+		return ErrWrongNonce
+	}
+	if ev.EnclaveMeasurement != pol.ExpectedEnclave {
+		return ErrWrongEnclave
+	}
+	chain, err := cert.UnmarshalChain(ev.CertChain)
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrBadEvidence, err)
+	}
+	leaf, err := chain.Verify(pol.TrustedRoot)
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrUntrustedChain, err)
+	}
+	if leaf.Role != cert.RoleMonitor {
+		return fmt.Errorf("%w: leaf is %v, not a monitor", ErrUntrustedChain, leaf.Role)
+	}
+	if pol.AcceptMonitor != nil && !pol.AcceptMonitor(leaf.Measurement) {
+		return ErrWrongMonitor
+	}
+	if !ed25519.Verify(leaf.SubjectKey, ev.SignedPayload(), ev.Signature) {
+		return ErrBadSignature
+	}
+	return nil
+}
+
+// KeyAgreement is one side of the X25519 exchange of Fig 7 step 1.
+type KeyAgreement struct {
+	priv *ecdh.PrivateKey
+}
+
+// NewKeyAgreement draws an ephemeral key pair from rng.
+func NewKeyAgreement(rng io.Reader) (*KeyAgreement, error) {
+	priv, err := ecdh.X25519().GenerateKey(rng)
+	if err != nil {
+		return nil, err
+	}
+	return &KeyAgreement{priv: priv}, nil
+}
+
+// Share returns the public share to transmit.
+func (ka *KeyAgreement) Share() []byte { return ka.priv.PublicKey().Bytes() }
+
+// SessionKey combines the peer's share into a symmetric session key.
+// Both sides derive the same key; transcript binds both shares.
+func (ka *KeyAgreement) SessionKey(peerShare []byte) ([]byte, error) {
+	peer, err := ecdh.X25519().NewPublicKey(peerShare)
+	if err != nil {
+		return nil, err
+	}
+	secret, err := ka.priv.ECDH(peer)
+	if err != nil {
+		return nil, err
+	}
+	return kdf.SessionKey(secret, ka.Share(), peerShare), nil
+}
+
+// Seal authenticates a message under the session key (the paper's
+// step 10: the shared key authenticates all subsequent messages). This
+// is an authenticator, not encryption: confidentiality of the channel
+// is out of scope for the reproduction's experiments.
+func Seal(sessionKey, msg []byte) [32]byte { return kdf.MAC(sessionKey, msg) }
+
+// Open verifies a sealed message.
+func Open(sessionKey, msg []byte, tag [32]byte) bool {
+	return kdf.VerifyMAC(sessionKey, msg, tag)
+}

@@ -1,0 +1,154 @@
+package attest
+
+import (
+	"crypto/ed25519"
+	"errors"
+	"testing"
+
+	"sanctorum/internal/hw/trng"
+	"sanctorum/internal/sm/boot"
+)
+
+// evidenceFixture fabricates a valid evidence blob the way the signing
+// enclave + monitor would.
+func evidenceFixture(t *testing.T) (*Evidence, [NonceSize]byte, Policy) {
+	t.Helper()
+	mfr := boot.NewManufacturer("acme", []byte("seed"))
+	dev := mfr.Provision("dev-7", []byte("secret-7"))
+	id, err := dev.Boot([]byte("good monitor"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var nonce [NonceSize]byte
+	copy(nonce[:], "a verifier-chosen random nonce!!")
+	var meas [32]byte
+	copy(meas[:], "expected enclave measurement 123")
+
+	ka, err := NewKeyAgreement(trng.NewDeterministic([]byte("enclave")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := &Evidence{
+		EnclaveMeasurement: meas,
+		Nonce:              nonce,
+		KAShare:            ka.Share(),
+		CertChain:          id.Chain.Marshal(),
+	}
+	ev.Signature = ed25519.Sign(id.AttestPriv, ev.SignedPayload())
+	pol := Policy{
+		TrustedRoot:     mfr.RootKey(),
+		ExpectedEnclave: meas,
+		AcceptMonitor:   func(m []byte) bool { return string(m) == string(id.Measurement[:]) },
+	}
+	return ev, nonce, pol
+}
+
+func TestVerifyAcceptsGoodEvidence(t *testing.T) {
+	ev, nonce, pol := evidenceFixture(t)
+	if err := Verify(ev, nonce, pol); err != nil {
+		t.Fatalf("good evidence rejected: %v", err)
+	}
+}
+
+func TestVerifyRejectsWrongNonce(t *testing.T) {
+	ev, nonce, pol := evidenceFixture(t)
+	nonce[0] ^= 1
+	if err := Verify(ev, nonce, pol); !errors.Is(err, ErrWrongNonce) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestVerifyRejectsWrongEnclave(t *testing.T) {
+	ev, nonce, pol := evidenceFixture(t)
+	pol.ExpectedEnclave[5] ^= 1
+	if err := Verify(ev, nonce, pol); !errors.Is(err, ErrWrongEnclave) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestVerifyRejectsTamperedShare(t *testing.T) {
+	ev, nonce, pol := evidenceFixture(t)
+	ev.KAShare[3] ^= 1 // MITM swap of the key agreement share
+	if err := Verify(ev, nonce, pol); !errors.Is(err, ErrBadSignature) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestVerifyRejectsForeignRoot(t *testing.T) {
+	ev, nonce, pol := evidenceFixture(t)
+	other := boot.NewManufacturer("mallory", []byte("other"))
+	pol.TrustedRoot = other.RootKey()
+	if err := Verify(ev, nonce, pol); !errors.Is(err, ErrUntrustedChain) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestVerifyRejectsBadMonitorMeasurement(t *testing.T) {
+	ev, nonce, pol := evidenceFixture(t)
+	pol.AcceptMonitor = func([]byte) bool { return false }
+	if err := Verify(ev, nonce, pol); !errors.Is(err, ErrWrongMonitor) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestVerifyRejectsMalformed(t *testing.T) {
+	_, nonce, pol := evidenceFixture(t)
+	if err := Verify(nil, nonce, pol); !errors.Is(err, ErrBadEvidence) {
+		t.Fatalf("nil evidence: %v", err)
+	}
+	ev, _, _ := evidenceFixture(t)
+	ev.Signature = ev.Signature[:10]
+	if err := Verify(ev, nonce, pol); !errors.Is(err, ErrBadEvidence) {
+		t.Fatalf("short signature: %v", err)
+	}
+	ev2, _, _ := evidenceFixture(t)
+	ev2.CertChain = ev2.CertChain[:7]
+	if err := Verify(ev2, nonce, pol); !errors.Is(err, ErrBadEvidence) {
+		t.Fatalf("truncated chain: %v", err)
+	}
+}
+
+func TestKeyAgreementDerivesSharedKey(t *testing.T) {
+	a, err := NewKeyAgreement(trng.NewDeterministic([]byte("a")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewKeyAgreement(trng.NewDeterministic([]byte("b")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ka, err := a.SessionKey(b.Share())
+	if err != nil {
+		t.Fatal(err)
+	}
+	kb, err := b.SessionKey(a.Share())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(ka) != string(kb) {
+		t.Fatal("the two sides derived different keys")
+	}
+	c, _ := NewKeyAgreement(trng.NewDeterministic([]byte("c")))
+	kc, _ := c.SessionKey(a.Share())
+	if string(kc) == string(ka) {
+		t.Fatal("third party derived the session key")
+	}
+}
+
+func TestSealOpen(t *testing.T) {
+	a, _ := NewKeyAgreement(trng.NewDeterministic([]byte("a")))
+	b, _ := NewKeyAgreement(trng.NewDeterministic([]byte("b")))
+	key, _ := a.SessionKey(b.Share())
+	msg := []byte("post-attestation traffic")
+	tag := Seal(key, msg)
+	if !Open(key, msg, tag) {
+		t.Fatal("valid message rejected")
+	}
+	if Open(key, append(msg, 'x'), tag) {
+		t.Fatal("tampered message accepted")
+	}
+	otherKey, _ := b.SessionKey(b.Share())
+	if Open(otherKey, msg, tag) {
+		t.Fatal("wrong key accepted")
+	}
+}

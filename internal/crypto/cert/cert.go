@@ -1,0 +1,219 @@
+// Package cert implements the minimal certificate infrastructure the
+// Sanctorum threat model assumes (§IV-B4): a manufacturer PKI that lets a
+// remote verifier bootstrap trust in a particular device and in the
+// security monitor measured at boot on that device.
+//
+// Certificates are deliberately not X.509: the paper only needs a chain
+// of (subject key, subject description, issuer signature) records, and a
+// small deterministic binary encoding keeps the whole verification path
+// inside this repository. Signatures are Ed25519 from the standard
+// library.
+package cert
+
+import (
+	"bytes"
+	"crypto/ed25519"
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Role describes what a certificate attests to within the chain.
+type Role uint8
+
+const (
+	// RoleManufacturer is the self-signed root of the PKI.
+	RoleManufacturer Role = iota + 1
+	// RoleDevice binds a device public key to a manufacturer.
+	RoleDevice
+	// RoleMonitor binds an SM attestation key to a device and to the
+	// measurement of the monitor binary taken by the boot ROM.
+	RoleMonitor
+)
+
+func (r Role) String() string {
+	switch r {
+	case RoleManufacturer:
+		return "manufacturer"
+	case RoleDevice:
+		return "device"
+	case RoleMonitor:
+		return "monitor"
+	default:
+		return fmt.Sprintf("role(%d)", uint8(r))
+	}
+}
+
+// Certificate binds a subject public key (and, for monitors, a
+// measurement) to an issuer via an Ed25519 signature over the
+// deterministic encoding of all other fields.
+type Certificate struct {
+	Role        Role
+	Subject     string
+	SubjectKey  ed25519.PublicKey
+	Issuer      string
+	Measurement []byte // monitor measurement; empty unless RoleMonitor
+	Signature   []byte
+}
+
+// Errors returned by chain verification.
+var (
+	ErrBadSignature = errors.New("cert: signature verification failed")
+	ErrBadChain     = errors.New("cert: malformed certificate chain")
+	ErrWrongRoot    = errors.New("cert: chain does not terminate at the trusted root")
+)
+
+// tbs returns the to-be-signed encoding of the certificate.
+func (c *Certificate) tbs() []byte {
+	var buf bytes.Buffer
+	buf.WriteByte(byte(c.Role))
+	writeLP(&buf, []byte(c.Subject))
+	writeLP(&buf, c.SubjectKey)
+	writeLP(&buf, []byte(c.Issuer))
+	writeLP(&buf, c.Measurement)
+	return buf.Bytes()
+}
+
+func writeLP(buf *bytes.Buffer, b []byte) {
+	var n [4]byte
+	binary.LittleEndian.PutUint32(n[:], uint32(len(b)))
+	buf.Write(n[:])
+	buf.Write(b)
+}
+
+func readLP(r *bytes.Reader) ([]byte, error) {
+	var n [4]byte
+	if _, err := r.Read(n[:]); err != nil {
+		return nil, err
+	}
+	ln := binary.LittleEndian.Uint32(n[:])
+	if int(ln) > r.Len() {
+		return nil, errors.New("cert: truncated field")
+	}
+	b := make([]byte, ln)
+	if _, err := r.Read(b); err != nil && ln > 0 {
+		return nil, err
+	}
+	return b, nil
+}
+
+// Sign issues the certificate with the issuer's private key, filling in
+// Signature.
+func (c *Certificate) Sign(issuerKey ed25519.PrivateKey) {
+	c.Signature = ed25519.Sign(issuerKey, c.tbs())
+}
+
+// VerifySignature checks the certificate's signature against the given
+// issuer public key.
+func (c *Certificate) VerifySignature(issuerKey ed25519.PublicKey) error {
+	if len(c.Signature) != ed25519.SignatureSize {
+		return ErrBadSignature
+	}
+	if !ed25519.Verify(issuerKey, c.tbs(), c.Signature) {
+		return ErrBadSignature
+	}
+	return nil
+}
+
+// Marshal encodes the certificate, including its signature.
+func (c *Certificate) Marshal() []byte {
+	var buf bytes.Buffer
+	buf.Write(c.tbs())
+	writeLP(&buf, c.Signature)
+	return buf.Bytes()
+}
+
+// Unmarshal decodes a certificate produced by Marshal.
+func Unmarshal(b []byte) (*Certificate, error) {
+	r := bytes.NewReader(b)
+	role, err := r.ReadByte()
+	if err != nil {
+		return nil, err
+	}
+	c := &Certificate{Role: Role(role)}
+	fields := []*[]byte{nil, nil, nil, nil, nil}
+	var subject, key, issuer, meas, sig []byte
+	fields[0], fields[1], fields[2], fields[3], fields[4] = &subject, &key, &issuer, &meas, &sig
+	for _, f := range fields {
+		v, err := readLP(r)
+		if err != nil {
+			return nil, fmt.Errorf("cert: decode: %w", err)
+		}
+		*f = v
+	}
+	c.Subject = string(subject)
+	c.SubjectKey = ed25519.PublicKey(key)
+	c.Issuer = string(issuer)
+	c.Measurement = meas
+	c.Signature = sig
+	return c, nil
+}
+
+// Chain is an ordered certificate chain, leaf first (monitor, device,
+// manufacturer root).
+type Chain []*Certificate
+
+// Verify walks the chain from the leaf to the root, checking that each
+// certificate is signed by the next one's subject key and that the chain
+// terminates in the given trusted root key (which must match the final
+// self-signed certificate). It returns the leaf on success.
+func (ch Chain) Verify(trustedRoot ed25519.PublicKey) (*Certificate, error) {
+	if len(ch) == 0 {
+		return nil, ErrBadChain
+	}
+	for i := 0; i < len(ch)-1; i++ {
+		if err := ch[i].VerifySignature(ch[i+1].SubjectKey); err != nil {
+			return nil, fmt.Errorf("cert %d (%s): %w", i, ch[i].Subject, err)
+		}
+		if ch[i].Issuer != ch[i+1].Subject {
+			return nil, fmt.Errorf("%w: cert %d issuer %q != cert %d subject %q",
+				ErrBadChain, i, ch[i].Issuer, i+1, ch[i+1].Subject)
+		}
+	}
+	root := ch[len(ch)-1]
+	if err := root.VerifySignature(root.SubjectKey); err != nil {
+		return nil, fmt.Errorf("root: %w", err)
+	}
+	if !root.SubjectKey.Equal(trustedRoot) {
+		return nil, ErrWrongRoot
+	}
+	return ch[0], nil
+}
+
+// Marshal encodes the whole chain.
+func (ch Chain) Marshal() []byte {
+	var buf bytes.Buffer
+	var n [4]byte
+	binary.LittleEndian.PutUint32(n[:], uint32(len(ch)))
+	buf.Write(n[:])
+	for _, c := range ch {
+		writeLP(&buf, c.Marshal())
+	}
+	return buf.Bytes()
+}
+
+// UnmarshalChain decodes a chain produced by Chain.Marshal.
+func UnmarshalChain(b []byte) (Chain, error) {
+	r := bytes.NewReader(b)
+	var n [4]byte
+	if _, err := r.Read(n[:]); err != nil {
+		return nil, err
+	}
+	count := binary.LittleEndian.Uint32(n[:])
+	if count > 16 {
+		return nil, fmt.Errorf("%w: implausible chain length %d", ErrBadChain, count)
+	}
+	ch := make(Chain, 0, count)
+	for i := uint32(0); i < count; i++ {
+		raw, err := readLP(r)
+		if err != nil {
+			return nil, err
+		}
+		c, err := Unmarshal(raw)
+		if err != nil {
+			return nil, err
+		}
+		ch = append(ch, c)
+	}
+	return ch, nil
+}

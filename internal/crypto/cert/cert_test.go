@@ -1,0 +1,156 @@
+package cert
+
+import (
+	"bytes"
+	"crypto/ed25519"
+	"crypto/rand"
+	"errors"
+	"testing"
+)
+
+// buildChain creates a manufacturer→device→monitor chain for tests.
+func buildChain(t *testing.T) (Chain, ed25519.PublicKey, ed25519.PrivateKey) {
+	t.Helper()
+	rootPub, rootPriv, err := ed25519.GenerateKey(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	devPub, devPriv, err := ed25519.GenerateKey(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	smPub, smPriv, err := ed25519.GenerateKey(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	root := &Certificate{Role: RoleManufacturer, Subject: "acme", SubjectKey: rootPub, Issuer: "acme"}
+	root.Sign(rootPriv)
+	dev := &Certificate{Role: RoleDevice, Subject: "device-42", SubjectKey: devPub, Issuer: "acme"}
+	dev.Sign(rootPriv)
+	sm := &Certificate{
+		Role: RoleMonitor, Subject: "sanctorum", SubjectKey: smPub,
+		Issuer: "device-42", Measurement: bytes.Repeat([]byte{0xAB}, 32),
+	}
+	sm.Sign(devPriv)
+	return Chain{sm, dev, root}, rootPub, smPriv
+}
+
+func TestChainVerifies(t *testing.T) {
+	ch, rootPub, _ := buildChain(t)
+	leaf, err := ch.Verify(rootPub)
+	if err != nil {
+		t.Fatalf("valid chain rejected: %v", err)
+	}
+	if leaf.Subject != "sanctorum" || leaf.Role != RoleMonitor {
+		t.Fatalf("wrong leaf returned: %+v", leaf)
+	}
+}
+
+func TestChainRejectsTamperedMeasurement(t *testing.T) {
+	ch, rootPub, _ := buildChain(t)
+	ch[0].Measurement[0] ^= 1
+	if _, err := ch.Verify(rootPub); !errors.Is(err, ErrBadSignature) {
+		t.Fatalf("tampered measurement accepted (err=%v)", err)
+	}
+}
+
+func TestChainRejectsWrongRoot(t *testing.T) {
+	ch, _, _ := buildChain(t)
+	otherPub, _, _ := ed25519.GenerateKey(rand.Reader)
+	if _, err := ch.Verify(otherPub); !errors.Is(err, ErrWrongRoot) {
+		t.Fatalf("chain accepted under wrong root (err=%v)", err)
+	}
+}
+
+func TestChainRejectsBrokenLinkage(t *testing.T) {
+	ch, rootPub, _ := buildChain(t)
+	ch[0].Issuer = "some-other-device"
+	if _, err := ch.Verify(rootPub); err == nil {
+		t.Fatal("broken issuer linkage accepted")
+	}
+}
+
+func TestChainRejectsEmpty(t *testing.T) {
+	var ch Chain
+	pub, _, _ := ed25519.GenerateKey(rand.Reader)
+	if _, err := ch.Verify(pub); !errors.Is(err, ErrBadChain) {
+		t.Fatalf("empty chain: err=%v", err)
+	}
+}
+
+func TestChainRejectsUnsignedRoot(t *testing.T) {
+	ch, rootPub, _ := buildChain(t)
+	ch[2].Signature[3] ^= 0xFF
+	if _, err := ch.Verify(rootPub); err == nil {
+		t.Fatal("chain with corrupt root signature accepted")
+	}
+}
+
+func TestMarshalRoundTrip(t *testing.T) {
+	ch, rootPub, _ := buildChain(t)
+	enc := ch.Marshal()
+	dec, err := UnmarshalChain(enc)
+	if err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if _, err := dec.Verify(rootPub); err != nil {
+		t.Fatalf("round-tripped chain rejected: %v", err)
+	}
+	if dec[0].Subject != ch[0].Subject || !bytes.Equal(dec[0].Measurement, ch[0].Measurement) {
+		t.Fatal("round trip lost fields")
+	}
+}
+
+func TestUnmarshalRejectsTruncation(t *testing.T) {
+	ch, _, _ := buildChain(t)
+	enc := ch.Marshal()
+	for _, cut := range []int{1, 5, len(enc) / 2, len(enc) - 1} {
+		if _, err := UnmarshalChain(enc[:cut]); err == nil {
+			t.Errorf("truncation at %d accepted", cut)
+		}
+	}
+}
+
+func TestUnmarshalRejectsHugeCount(t *testing.T) {
+	raw := []byte{0xFF, 0xFF, 0xFF, 0xFF}
+	if _, err := UnmarshalChain(raw); err == nil {
+		t.Fatal("implausible count accepted")
+	}
+}
+
+func TestCertificateSignatureBindsAllFields(t *testing.T) {
+	_, rootPriv, _ := ed25519.GenerateKey(rand.Reader)
+	pub, _, _ := ed25519.GenerateKey(rand.Reader)
+	base := Certificate{Role: RoleDevice, Subject: "d", SubjectKey: pub, Issuer: "m"}
+	base.Sign(rootPriv)
+
+	mutations := []func(c *Certificate){
+		func(c *Certificate) { c.Role = RoleMonitor },
+		func(c *Certificate) { c.Subject = "e" },
+		func(c *Certificate) { c.Issuer = "x" },
+		func(c *Certificate) { c.Measurement = []byte{1} },
+		func(c *Certificate) { k := append([]byte(nil), c.SubjectKey...); k[0] ^= 1; c.SubjectKey = k },
+	}
+	issuerPub := rootPriv.Public().(ed25519.PublicKey)
+	for i, mutate := range mutations {
+		c := base
+		mutate(&c)
+		if err := c.VerifySignature(issuerPub); err == nil {
+			t.Errorf("mutation %d not caught by signature", i)
+		}
+	}
+}
+
+func TestRoleString(t *testing.T) {
+	for r, want := range map[Role]string{
+		RoleManufacturer: "manufacturer",
+		RoleDevice:       "device",
+		RoleMonitor:      "monitor",
+		Role(99):         "role(99)",
+	} {
+		if got := r.String(); got != want {
+			t.Errorf("Role(%d).String() = %q, want %q", r, got, want)
+		}
+	}
+}

@@ -1,0 +1,86 @@
+package kdf
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeriveDeterministic(t *testing.T) {
+	a := Derive([]byte("root"), "sm-key", []byte("measurement"), 32)
+	b := Derive([]byte("root"), "sm-key", []byte("measurement"), 32)
+	if !bytes.Equal(a, b) {
+		t.Fatal("Derive is not deterministic")
+	}
+}
+
+func TestDeriveSeparatesInputs(t *testing.T) {
+	base := Derive([]byte("root"), "label", []byte("ctx"), 32)
+	cases := map[string][]byte{
+		"different secret":  Derive([]byte("toor"), "label", []byte("ctx"), 32),
+		"different label":   Derive([]byte("root"), "label2", []byte("ctx"), 32),
+		"different context": Derive([]byte("root"), "label", []byte("ctx2"), 32),
+	}
+	for name, got := range cases {
+		if bytes.Equal(base, got) {
+			t.Errorf("%s produced identical key material", name)
+		}
+	}
+}
+
+// The length-prefixed encoding must prevent boundary-shifting collisions
+// such as (label="ab", ctx="c") vs (label="a", ctx="bc").
+func TestDeriveNoBoundaryCollision(t *testing.T) {
+	a := Derive([]byte("s"), "ab", []byte("c"), 32)
+	b := Derive([]byte("s"), "a", []byte("bc"), 32)
+	if bytes.Equal(a, b) {
+		t.Fatal("boundary-shifted inputs collided")
+	}
+}
+
+func TestDerivePrefixConsistency(t *testing.T) {
+	// A longer output must begin with the shorter output for the same
+	// inputs (XOF property) — callers rely on this when extending keys.
+	short := Derive([]byte("k"), "l", nil, 16)
+	long := Derive([]byte("k"), "l", nil, 64)
+	if !bytes.Equal(short, long[:16]) {
+		t.Fatal("derive output is not prefix-consistent")
+	}
+}
+
+func TestMACRoundTrip(t *testing.T) {
+	key := []byte("0123456789abcdef")
+	msg := []byte("attestation evidence")
+	tag := MAC(key, msg)
+	if !VerifyMAC(key, msg, tag) {
+		t.Fatal("valid MAC rejected")
+	}
+	tag[0] ^= 1
+	if VerifyMAC(key, msg, tag) {
+		t.Fatal("tampered MAC accepted")
+	}
+}
+
+func TestMACProperties(t *testing.T) {
+	keyBinds := func(k1, k2, msg []byte) bool {
+		if bytes.Equal(k1, k2) {
+			return true
+		}
+		return MAC(k1, msg) != MAC(k2, msg)
+	}
+	if err := quick.Check(keyBinds, nil); err != nil {
+		t.Error(err)
+	}
+	msgBinds := func(key, m []byte, extra byte) bool {
+		return MAC(key, m) != MAC(key, append(append([]byte(nil), m...), extra))
+	}
+	if err := quick.Check(msgBinds, nil); err != nil {
+		t.Error(err)
+	}
+	verifies := func(key, m []byte) bool {
+		return VerifyMAC(key, m, MAC(key, m))
+	}
+	if err := quick.Check(verifies, nil); err != nil {
+		t.Error(err)
+	}
+}

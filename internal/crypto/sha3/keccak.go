@@ -1,0 +1,70 @@
+// Package sha3 implements the SHA-3 fixed-output hash functions and the
+// SHAKE extendable-output functions as specified in FIPS 202.
+//
+// Sanctorum measures enclaves with sha3 (the paper's TCB bundles
+// tiny_sha3); this package is the reproduction's equivalent, implemented
+// from the specification so the whole measurement path is part of this
+// repository. Only the standard library is used.
+package sha3
+
+// roundConstants are the 24 iota-step constants for Keccak-f[1600].
+var roundConstants = [24]uint64{
+	0x0000000000000001, 0x0000000000008082, 0x800000000000808a,
+	0x8000000080008000, 0x000000000000808b, 0x0000000080000001,
+	0x8000000080008081, 0x8000000000008009, 0x000000000000008a,
+	0x0000000000000088, 0x0000000080008009, 0x000000008000000a,
+	0x000000008000808b, 0x800000000000008b, 0x8000000000008089,
+	0x8000000000008003, 0x8000000000008002, 0x8000000000000080,
+	0x000000000000800a, 0x800000008000000a, 0x8000000080008081,
+	0x8000000000008080, 0x0000000080000001, 0x8000000080008008,
+}
+
+// rotc holds the rho-step rotation offsets in pi-step traversal order.
+var rotc = [24]uint{
+	1, 3, 6, 10, 15, 21, 28, 36, 45, 55, 2, 14,
+	27, 41, 56, 8, 25, 43, 62, 18, 39, 61, 20, 44,
+}
+
+// piln holds the pi-step lane permutation in traversal order.
+var piln = [24]int{
+	10, 7, 11, 17, 18, 3, 5, 16, 8, 21, 24, 4,
+	15, 23, 19, 13, 12, 2, 20, 14, 22, 9, 6, 1,
+}
+
+func rotl64(x uint64, n uint) uint64 { return x<<n | x>>(64-n) }
+
+// keccakF1600 applies the 24-round Keccak-f[1600] permutation in place.
+func keccakF1600(st *[25]uint64) {
+	var bc [5]uint64
+	for round := 0; round < 24; round++ {
+		// Theta.
+		for i := 0; i < 5; i++ {
+			bc[i] = st[i] ^ st[i+5] ^ st[i+10] ^ st[i+15] ^ st[i+20]
+		}
+		for i := 0; i < 5; i++ {
+			t := bc[(i+4)%5] ^ rotl64(bc[(i+1)%5], 1)
+			for j := 0; j < 25; j += 5 {
+				st[j+i] ^= t
+			}
+		}
+		// Rho and pi.
+		t := st[1]
+		for i := 0; i < 24; i++ {
+			j := piln[i]
+			bc[0] = st[j]
+			st[j] = rotl64(t, rotc[i])
+			t = bc[0]
+		}
+		// Chi.
+		for j := 0; j < 25; j += 5 {
+			for i := 0; i < 5; i++ {
+				bc[i] = st[j+i]
+			}
+			for i := 0; i < 5; i++ {
+				st[j+i] ^= (^bc[(i+1)%5]) & bc[(i+2)%5]
+			}
+		}
+		// Iota.
+		st[0] ^= roundConstants[round]
+	}
+}

@@ -1,0 +1,146 @@
+package sha3
+
+import (
+	"encoding/binary"
+	"hash"
+)
+
+// Domain-separation bytes appended by the sponge padding (FIPS 202 §6).
+const (
+	dsSHA3  = 0x06
+	dsSHAKE = 0x1f
+)
+
+// Size and rate constants for the instances this package exposes.
+const (
+	Size256 = 32  // SHA3-256 digest length in bytes
+	Size512 = 64  // SHA3-512 digest length in bytes
+	rate256 = 136 // SHA3-256 / SHAKE256 sponge rate in bytes
+	rate512 = 72  // SHA3-512 sponge rate in bytes
+	rate128 = 168 // SHAKE128 sponge rate in bytes
+)
+
+// state is a Keccak sponge in either absorbing or squeezing phase.
+// Plain value copies of state are independent, which Sum exploits.
+type state struct {
+	a      [25]uint64    // main state of the sponge
+	block  [rate128]byte // staging area for one rate-sized block
+	n      int           // absorbing: bytes buffered in block; squeezing: bytes of block already returned
+	rate   int           // sponge rate in bytes
+	size   int           // fixed digest size; 0 for XOF
+	ds     byte          // domain separation byte
+	squeez bool          // true once squeezing has begun
+}
+
+var _ hash.Hash = (*state)(nil)
+
+// New256 returns a new SHA3-256 hash.Hash.
+func New256() hash.Hash { return &state{rate: rate256, size: Size256, ds: dsSHA3} }
+
+// New512 returns a new SHA3-512 hash.Hash.
+func New512() hash.Hash { return &state{rate: rate512, size: Size512, ds: dsSHA3} }
+
+// Sum256 returns the SHA3-256 digest of data.
+func Sum256(data []byte) [Size256]byte {
+	var out [Size256]byte
+	h := New256()
+	h.Write(data)
+	h.Sum(out[:0])
+	return out
+}
+
+// Sum512 returns the SHA3-512 digest of data.
+func Sum512(data []byte) [Size512]byte {
+	var out [Size512]byte
+	h := New512()
+	h.Write(data)
+	h.Sum(out[:0])
+	return out
+}
+
+func (s *state) Reset() {
+	s.a = [25]uint64{}
+	s.n = 0
+	s.squeez = false
+}
+
+func (s *state) Size() int      { return s.size }
+func (s *state) BlockSize() int { return s.rate }
+
+// absorbBlock xors the staged rate-sized block into the state and permutes.
+func (s *state) absorbBlock() {
+	for i := 0; i < s.rate; i += 8 {
+		s.a[i/8] ^= binary.LittleEndian.Uint64(s.block[i:])
+	}
+	keccakF1600(&s.a)
+	s.n = 0
+}
+
+// Write absorbs p into the sponge. It panics if called after squeezing
+// has begun, mirroring the usual Go hash contract violation.
+func (s *state) Write(p []byte) (int, error) {
+	if s.squeez {
+		panic("sha3: Write after Read/Sum")
+	}
+	n := len(p)
+	for len(p) > 0 {
+		c := copy(s.block[s.n:s.rate], p)
+		s.n += c
+		p = p[c:]
+		if s.n == s.rate {
+			s.absorbBlock()
+		}
+	}
+	return n, nil
+}
+
+// pad applies the FIPS 202 multi-rate padding and switches to squeezing.
+func (s *state) pad() {
+	for i := s.n; i < s.rate; i++ {
+		s.block[i] = 0
+	}
+	s.block[s.n] ^= s.ds
+	s.block[s.rate-1] ^= 0x80
+	s.n = s.rate // absorb the whole padded block
+	for i := 0; i < s.rate; i += 8 {
+		s.a[i/8] ^= binary.LittleEndian.Uint64(s.block[i:])
+	}
+	keccakF1600(&s.a)
+	s.squeez = true
+	s.fillSqueeze()
+}
+
+// fillSqueeze stages the next rate bytes of output into block.
+func (s *state) fillSqueeze() {
+	for i := 0; i < s.rate; i += 8 {
+		binary.LittleEndian.PutUint64(s.block[i:], s.a[i/8])
+	}
+	s.n = 0
+}
+
+// Read squeezes len(p) bytes from the sponge (XOF behaviour). The first
+// call finalizes absorption.
+func (s *state) Read(p []byte) (int, error) {
+	if !s.squeez {
+		s.pad()
+	}
+	n := len(p)
+	for len(p) > 0 {
+		if s.n == s.rate {
+			keccakF1600(&s.a)
+			s.fillSqueeze()
+		}
+		c := copy(p, s.block[s.n:s.rate])
+		s.n += c
+		p = p[c:]
+	}
+	return n, nil
+}
+
+// Sum appends the digest to b without disturbing the running state.
+func (s *state) Sum(b []byte) []byte {
+	dup := *s
+	out := make([]byte, dup.size)
+	dup.Read(out)
+	return append(b, out...)
+}

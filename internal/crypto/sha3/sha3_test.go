@@ -1,0 +1,196 @@
+package sha3
+
+import (
+	"bytes"
+	"encoding/hex"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func fromHex(t *testing.T, s string) []byte {
+	t.Helper()
+	b, err := hex.DecodeString(s)
+	if err != nil {
+		t.Fatalf("bad hex constant %q: %v", s, err)
+	}
+	return b
+}
+
+// FIPS 202 / NIST CAVP known-answer vectors.
+var sha3_256Vectors = []struct{ in, out string }{
+	{"", "a7ffc6f8bf1ed76651c14756a061d662f580ff4de43b49fa82d80a4b80f8434a"},
+	{"abc", "3a985da74fe225b2045c172d6bd390bd855f086e3e9d525b46bfe24511431532"},
+	{"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq",
+		"41c0dba2a9d6240849100376a8235e2c82e1b9998a999e21db32dd97496d3376"},
+	{"abcdefghbcdefghicdefghijdefghijkefghijklfghijklmghijklmnhijklmnoijklmnopjklmnopqklmnopqrlmnopqrsmnopqrstnopqrstu",
+		"916f6061fe879741ca6469b43971dfdb28b1a32dc36cb3254e812be27aad1d18"},
+}
+
+var sha3_512Vectors = []struct{ in, out string }{
+	{"", "a69f73cca23a9ac5c8b567dc185a756e97c982164fe25859e0d1dcc1475c80a615b2123af1f5f94c11e3e9402c3ac558f500199d95b6d3e301758586281dcd26"},
+	{"abc", "b751850b1a57168a5693cd924b6b096e08f621827444f70d884f5d0240d2712e10e116e9192af3c91a7ec57647e3934057340b4cf408d5a56592f8274eec53f0"},
+	{"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq",
+		"04a371e84ecfb5b8b77cb48610fca8182dd457ce6f326a0fd3d7ec2f1e91636dee691fbe0c985302ba1b0d8dc78c086346b533b49c030d99a27daf1139d6e75e"},
+}
+
+func TestSHA3_256Vectors(t *testing.T) {
+	for _, v := range sha3_256Vectors {
+		got := Sum256([]byte(v.in))
+		if want := fromHex(t, v.out); !bytes.Equal(got[:], want) {
+			t.Errorf("SHA3-256(%q) = %x, want %s", v.in, got, v.out)
+		}
+	}
+}
+
+func TestSHA3_512Vectors(t *testing.T) {
+	for _, v := range sha3_512Vectors {
+		got := Sum512([]byte(v.in))
+		if want := fromHex(t, v.out); !bytes.Equal(got[:], want) {
+			t.Errorf("SHA3-512(%q) = %x, want %s", v.in, got, v.out)
+		}
+	}
+}
+
+func TestSHAKEVectors(t *testing.T) {
+	out := make([]byte, 32)
+	ShakeSum128(out, nil)
+	if want := fromHex(t, "7f9c2ba4e88f827d616045507605853ed73b8093f6efbc88eb1a6eacfa66ef26"); !bytes.Equal(out, want) {
+		t.Errorf("SHAKE128('',32) = %x, want %x", out, want)
+	}
+	ShakeSum256(out, nil)
+	if want := fromHex(t, "46b9dd2b0ba88d13233b3feb743eeb243fcd52ea62b81b82b50c27646ed5762f"); !bytes.Equal(out, want) {
+		t.Errorf("SHAKE256('',32) = %x, want %x", out, want)
+	}
+}
+
+// Long-input vector: SHA3-256 of one million 'a' bytes.
+func TestSHA3_256Million(t *testing.T) {
+	h := New256()
+	chunk := bytes.Repeat([]byte{'a'}, 1000)
+	for i := 0; i < 1000; i++ {
+		h.Write(chunk)
+	}
+	got := h.Sum(nil)
+	want := fromHex(t, "5c8875ae474a3634ba4fd55ec85bffd661f32aca75c6d699d0cdcb6c115891c1")
+	if !bytes.Equal(got, want) {
+		t.Errorf("SHA3-256(10^6 x 'a') = %x, want %x", got, want)
+	}
+}
+
+// Chunked writes must agree with one-shot hashing regardless of split.
+func TestChunkedWriteEquivalence(t *testing.T) {
+	data := []byte(strings.Repeat("sanctorum security monitor ", 40))
+	want := Sum256(data)
+	for split := 1; split < len(data); split += 7 {
+		h := New256()
+		h.Write(data[:split])
+		h.Write(data[split:])
+		if got := h.Sum(nil); !bytes.Equal(got, want[:]) {
+			t.Fatalf("split %d: digest mismatch", split)
+		}
+	}
+}
+
+// Sum must not disturb the running state.
+func TestSumIsNonDestructive(t *testing.T) {
+	h := New256()
+	h.Write([]byte("part one"))
+	first := h.Sum(nil)
+	second := h.Sum(nil)
+	if !bytes.Equal(first, second) {
+		t.Fatalf("repeated Sum differs: %x vs %x", first, second)
+	}
+	h.Write([]byte(" part two"))
+	cont := h.Sum(nil)
+	oneShot := Sum256([]byte("part one part two"))
+	if !bytes.Equal(cont, oneShot[:]) {
+		t.Fatalf("continued hash %x differs from one-shot %x", cont, oneShot)
+	}
+}
+
+func TestResetRestoresInitialState(t *testing.T) {
+	h := New512()
+	h.Write([]byte("garbage"))
+	h.Sum(nil)
+	h.Reset()
+	h.Write([]byte("abc"))
+	got := h.Sum(nil)
+	want := fromHex(t, sha3_512Vectors[1].out)
+	if !bytes.Equal(got, want) {
+		t.Fatalf("after Reset: got %x want %x", got, want)
+	}
+}
+
+func TestXOFStreamingEquivalence(t *testing.T) {
+	// Reading the XOF output in pieces must equal one big read.
+	data := []byte("stream me")
+	big := make([]byte, 500)
+	ShakeSum256(big, data)
+
+	x := NewShake256()
+	x.Write(data)
+	var pieces []byte
+	buf := make([]byte, 33) // deliberately not aligned to the rate
+	for len(pieces) < 500 {
+		x.Read(buf)
+		pieces = append(pieces, buf...)
+	}
+	if !bytes.Equal(pieces[:500], big) {
+		t.Fatal("piecewise XOF read differs from bulk read")
+	}
+}
+
+func TestWriteAfterReadPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on Write after Read")
+		}
+	}()
+	x := NewShake128()
+	x.Write([]byte("a"))
+	x.Read(make([]byte, 1))
+	x.Write([]byte("b"))
+}
+
+// Property: distinct inputs produce distinct digests, and hashing is a
+// pure function of the input bytes.
+func TestHashProperties(t *testing.T) {
+	deterministic := func(b []byte) bool {
+		return Sum256(b) == Sum256(append([]byte(nil), b...))
+	}
+	if err := quick.Check(deterministic, nil); err != nil {
+		t.Error(err)
+	}
+	appendByteChanges := func(b []byte, extra byte) bool {
+		return Sum256(b) != Sum256(append(append([]byte(nil), b...), extra))
+	}
+	if err := quick.Check(appendByteChanges, nil); err != nil {
+		t.Error(err)
+	}
+	domainSeparated := func(b []byte) bool {
+		var shake [32]byte
+		ShakeSum256(shake[:], b)
+		return Sum256(b) != shake
+	}
+	if err := quick.Check(domainSeparated, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkSHA3_256_1K(b *testing.B) {
+	data := make([]byte, 1024)
+	b.SetBytes(1024)
+	for i := 0; i < b.N; i++ {
+		Sum256(data)
+	}
+}
+
+func BenchmarkSHAKE256_1K(b *testing.B) {
+	data := make([]byte, 1024)
+	out := make([]byte, 64)
+	b.SetBytes(1024)
+	for i := 0; i < b.N; i++ {
+		ShakeSum256(out, data)
+	}
+}

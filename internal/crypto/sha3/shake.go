@@ -1,0 +1,31 @@
+package sha3
+
+import "io"
+
+// XOF is an extendable-output function: absorb with Write, squeeze with
+// Read. Write must not be called after the first Read.
+type XOF interface {
+	io.Writer
+	io.Reader
+	Reset()
+}
+
+// NewShake128 returns a SHAKE128 XOF.
+func NewShake128() XOF { return &state{rate: rate128, ds: dsSHAKE} }
+
+// NewShake256 returns a SHAKE256 XOF.
+func NewShake256() XOF { return &state{rate: rate256, ds: dsSHAKE} }
+
+// ShakeSum128 writes an arbitrary-length SHAKE128 digest of data into out.
+func ShakeSum128(out, data []byte) {
+	x := NewShake128()
+	x.Write(data)
+	x.Read(out)
+}
+
+// ShakeSum256 writes an arbitrary-length SHAKE256 digest of data into out.
+func ShakeSum256(out, data []byte) {
+	x := NewShake256()
+	x.Write(data)
+	x.Read(out)
+}

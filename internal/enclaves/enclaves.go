@@ -1,0 +1,491 @@
+// Package enclaves contains the SRV64 enclave programs the examples,
+// integration tests and benchmarks load: a quickstart adder, an
+// AEX-resumable counter, the local-attestation sender/receiver pair
+// (Fig 6), the signing enclave and attested client of the remote
+// attestation protocol (Fig 7), and the side-channel victim of the
+// isolation experiments (E9).
+//
+// All programs share one virtual layout inside a 2 MiB evrange, so a
+// single leaf page table serves the private range. The shared buffer
+// lives at a fixed address outside evrange; under Sanctum it resolves
+// through the OS page tables, under Keystone through a MapShared
+// window — the programs are identical either way, which is the paper's
+// portability claim (§VII) made concrete.
+package enclaves
+
+import (
+	"fmt"
+
+	"sanctorum/internal/asm"
+	"sanctorum/internal/hw/mem"
+	"sanctorum/internal/hw/pt"
+	"sanctorum/internal/isa"
+	"sanctorum/internal/os"
+	"sanctorum/internal/sm/api"
+)
+
+// Layout fixes the virtual addresses every program uses.
+type Layout struct {
+	EvBase   uint64 // enclave virtual range base
+	EvMask   uint64 // enclave virtual range mask
+	CodeVA   uint64 // program text (R|X), up to 8 pages
+	DataVA   uint64 // private data page (R|W)
+	StackVA  uint64 // private stack page (R|W); SP starts at its top
+	ArrayVA  uint64 // probe-array page for the side-channel victim
+	SharedVA uint64 // OS shared buffer, outside evrange
+}
+
+// DefaultLayout returns the standard layout used throughout the
+// repository.
+func DefaultLayout() Layout {
+	base := uint64(0x4000000000)
+	return Layout{
+		EvBase:   base,
+		EvMask:   ^uint64(1<<21 - 1), // 2 MiB evrange
+		CodeVA:   base,
+		DataVA:   base + 0x10000,
+		StackVA:  base + 0x11000,
+		ArrayVA:  base + 0x12000,
+		SharedVA: 0x50000000,
+	}
+}
+
+// SP returns the initial stack pointer (top of the stack page).
+func (l Layout) SP() uint64 { return l.StackVA + mem.PageSize }
+
+// Registers the programs reserve for their own state (outside the
+// a0..a7 ECALL window and the assembler temp x31).
+const (
+	rShared = 20 // shared buffer base
+	rData   = 21 // private data base
+	rTmp1   = 22
+	rTmp2   = 23
+	rTmp3   = 24
+	rTmp4   = 25
+	rAcc    = 26
+	rIdx    = 27
+)
+
+// Shared-buffer slots (offsets into SharedVA) used by the protocol
+// programs; the OS and the verifier use the same constants.
+const (
+	ShInput   = 0   // generic input word (adder n, phase selectors)
+	ShOutput  = 8   // generic output word
+	ShPeerEID = 16  // peer enclave ID for mailbox protocols
+	ShCounter = 24  // live counter for the AEX demo
+	ShNonce   = 32  // 32-byte verifier nonce
+	ShShare   = 64  // 32-byte enclave key-agreement share (out)
+	ShSig     = 96  // 64-byte attestation signature (out)
+	ShPeerKA  = 160 // 32-byte remote verifier share (in)
+	ShMACOut  = 192 // 32-byte session MAC (out)
+)
+
+// Private data-page offsets.
+const (
+	dExpected = 0   // 32-byte expected peer measurement (receiver)
+	dMailBuf  = 64  // 160-byte get_mail output: measurement ‖ message
+	dMsg      = 256 // 128-byte outgoing mailbox message
+	dKAPriv   = 384 // 32-byte private scalar
+	dKAShare  = 416 // 32-byte derived share
+	dPeerKA   = 448 // 32-byte peer share copied from shared memory
+	dSessKey  = 480 // 32-byte session key
+	dMACMsg   = 512 // channel message to authenticate
+	dMACOut   = 544 // 32-byte MAC
+	dSignBuf  = 576 // signing-enclave staging: payload then signature
+)
+
+// SessionPlaintext is the message the attested client authenticates
+// under the session key in the Fig 7 example (16 bytes, fixed).
+var SessionPlaintext = []byte("enclave-channel!")
+
+func ecall(p *asm.Program, call api.Call) {
+	p.Li(isa.RegA7, int32(call))
+	p.Ecall()
+}
+
+// exit emits exit_enclave(status register a0 already set).
+func exitCall(p *asm.Program) { ecall(p, api.CallExitEnclave) }
+
+// memcpyLoop emits a byte-copy of n bytes from the address in srcReg to
+// the address in dstReg, clobbering rTmp3/rTmp4 and rIdx.
+func memcpyLoop(p *asm.Program, label string, dstReg, srcReg uint8, n int32) {
+	p.Li(rIdx, 0)
+	p.Li(rTmp3, n)
+	p.Label(label)
+	p.Branch(isa.OpBEQ, rIdx, rTmp3, label+"_done")
+	p.I(isa.OpADD, rTmp4, srcReg, rIdx, 0)
+	p.I(isa.OpLBU, rTmp4, rTmp4, 0, 0)
+	p.I(isa.OpADD, rAcc, dstReg, rIdx, 0)
+	p.I(isa.OpSB, 0, rAcc, rTmp4, 0)
+	p.I(isa.OpADDI, rIdx, rIdx, 0, 1)
+	p.J(label)
+	p.Label(label + "_done")
+}
+
+// Spec assembles a program and wraps it in an enclave spec: code pages,
+// a data page (with optional initial content), a stack page, and the
+// probe-array page. regions and shared come from the caller (they are
+// machine-dependent).
+func Spec(l Layout, prog *asm.Program, dataInit []byte, regions []int, shared []os.SharedMapping) (*os.EnclaveSpec, error) {
+	bin, err := prog.Assemble(l.CodeVA)
+	if err != nil {
+		return nil, err
+	}
+	if len(bin) > 8*mem.PageSize {
+		return nil, fmt.Errorf("enclaves: program too large (%d bytes)", len(bin))
+	}
+	spec := &os.EnclaveSpec{
+		EvBase:  l.EvBase,
+		EvMask:  l.EvMask,
+		Regions: regions,
+		Shared:  shared,
+	}
+	for off := 0; off < len(bin); off += mem.PageSize {
+		end := off + mem.PageSize
+		if end > len(bin) {
+			end = len(bin)
+		}
+		spec.Pages = append(spec.Pages, os.EnclavePage{
+			VA: l.CodeVA + uint64(off), Perms: pt.R | pt.X, Data: bin[off:end],
+		})
+	}
+	spec.Pages = append(spec.Pages,
+		os.EnclavePage{VA: l.DataVA, Perms: pt.R | pt.W, Data: dataInit},
+		os.EnclavePage{VA: l.StackVA, Perms: pt.R | pt.W},
+		os.EnclavePage{VA: l.ArrayVA, Perms: pt.R | pt.W},
+	)
+	spec.Threads = []os.ThreadSpec{{EntryVA: l.CodeVA, StackVA: l.SP()}}
+	return spec, nil
+}
+
+// Adder is the quickstart program: read n from the shared buffer,
+// compute 1+2+…+n, write the sum back, exit with status 0x42.
+func Adder(l Layout) *asm.Program {
+	p := asm.New()
+	p.Li64(rShared, l.SharedVA)
+	p.I(isa.OpLD, rTmp1, rShared, 0, ShInput) // n
+	p.Li(rAcc, 0)
+	p.Li(rIdx, 1)
+	p.Label("loop")
+	p.Branch(isa.OpBLTU, rTmp1, rIdx, "done") // n < i ?
+	p.I(isa.OpADD, rAcc, rAcc, rIdx, 0)
+	p.I(isa.OpADDI, rIdx, rIdx, 0, 1)
+	p.J("loop")
+	p.Label("done")
+	p.I(isa.OpSD, 0, rShared, rAcc, ShOutput)
+	p.Li(isa.RegA0, 0x42)
+	exitCall(p)
+	return p
+}
+
+// Counter is the AEX demo: on a fresh entry it counts upward forever,
+// publishing the count to the shared buffer; when re-entered after an
+// asynchronous exit (a0 != 0 at entry) it resumes the interrupted loop
+// via the monitor, preserving its registers exactly.
+func Counter(l Layout) *asm.Program {
+	p := asm.New()
+	p.Branch(isa.OpBEQ, isa.RegA0, isa.RegZero, "fresh")
+	ecall(p, api.CallResumeAEX) // does not return on success
+	p.Label("fresh")
+	p.Li64(rShared, l.SharedVA)
+	p.Li(rAcc, 0)
+	p.Label("loop")
+	p.I(isa.OpADDI, rAcc, rAcc, 0, 1)
+	p.I(isa.OpSD, 0, rShared, rAcc, ShCounter)
+	p.J("loop")
+	return p
+}
+
+// MailSender is E1 of the local attestation example (Fig 6): it sends
+// the 128-byte message in its private data page (offset dMsg) to the
+// peer enclave named in the shared buffer.
+func MailSender(l Layout) *asm.Program {
+	p := asm.New()
+	p.Li64(rShared, l.SharedVA)
+	p.Li64(rData, l.DataVA)
+	p.I(isa.OpLD, isa.RegA0, rShared, 0, ShPeerEID)
+	p.I(isa.OpADDI, isa.RegA1, rData, 0, dMsg)
+	ecall(p, api.CallSendMail)
+	// a0 already holds the monitor status; report it to the OS.
+	exitCall(p)
+	return p
+}
+
+// MailReceiver is E2 of the local attestation example (Fig 6). Phase 0
+// (shared ShInput = 0): arm mailbox 0 for the peer in ShPeerEID.
+// Phase 1: drain the mailbox, compare the monitor-stamped sender
+// measurement with the expected one baked into its data page, and
+// publish the verdict (1 = authentic, 2 = mismatch) to ShOutput.
+func MailReceiver(l Layout) *asm.Program {
+	p := asm.New()
+	p.Li64(rShared, l.SharedVA)
+	p.Li64(rData, l.DataVA)
+	p.I(isa.OpLD, rTmp1, rShared, 0, ShInput)
+	p.Branch(isa.OpBNE, rTmp1, isa.RegZero, "phase1")
+	// Phase 0: accept_mail(0, peer).
+	p.Li(isa.RegA0, 0)
+	p.I(isa.OpLD, isa.RegA1, rShared, 0, ShPeerEID)
+	ecall(p, api.CallAcceptMail)
+	exitCall(p)
+
+	p.Label("phase1")
+	p.Li(isa.RegA0, 0)
+	p.I(isa.OpADDI, isa.RegA1, rData, 0, dMailBuf)
+	ecall(p, api.CallGetMail)
+	p.Branch(isa.OpBNE, isa.RegA0, isa.RegZero, "fail")
+	// Compare buf[0:32] (sender measurement) with expected at dExpected.
+	p.Li(rIdx, 0)
+	p.Li(rTmp1, 32)
+	p.Label("cmp")
+	p.Branch(isa.OpBEQ, rIdx, rTmp1, "ok")
+	p.I(isa.OpADDI, rTmp2, rData, 0, dMailBuf)
+	p.I(isa.OpADD, rTmp2, rTmp2, rIdx, 0)
+	p.I(isa.OpLBU, rTmp2, rTmp2, 0, 0)
+	p.I(isa.OpADDI, rTmp3, rData, 0, dExpected)
+	p.I(isa.OpADD, rTmp3, rTmp3, rIdx, 0)
+	p.I(isa.OpLBU, rTmp3, rTmp3, 0, 0)
+	p.Branch(isa.OpBNE, rTmp2, rTmp3, "fail")
+	p.I(isa.OpADDI, rIdx, rIdx, 0, 1)
+	p.J("cmp")
+	p.Label("ok")
+	p.Li(rTmp4, 1)
+	p.I(isa.OpSD, 0, rShared, rTmp4, ShOutput)
+	p.Li(isa.RegA0, 0)
+	exitCall(p)
+	p.Label("fail")
+	p.Li(rTmp4, 2)
+	p.I(isa.OpSD, 0, rShared, rTmp4, ShOutput)
+	p.Li(isa.RegA0, 1)
+	exitCall(p)
+	return p
+}
+
+// SigningEnclave is ES of Fig 7. Phase 0: arm mailbox 0 for the client
+// in ShPeerEID. Phase 1: drain the mailbox — the buffer then holds
+// (client measurement ‖ nonce ‖ KA share) contiguously, exactly the
+// evidence payload — have the monitor sign it, and mail the signature
+// back to the client.
+func SigningEnclave(l Layout) *asm.Program {
+	p := asm.New()
+	p.Li64(rShared, l.SharedVA)
+	p.Li64(rData, l.DataVA)
+	p.I(isa.OpLD, rTmp1, rShared, 0, ShInput)
+	p.Branch(isa.OpBNE, rTmp1, isa.RegZero, "phase1")
+	p.Li(isa.RegA0, 0)
+	p.I(isa.OpLD, isa.RegA1, rShared, 0, ShPeerEID)
+	ecall(p, api.CallAcceptMail)
+	exitCall(p)
+
+	p.Label("phase1")
+	// get_mail(0, dMailBuf): buf = senderMeas(32) ‖ msg(128); the
+	// client's msg is nonce(32) ‖ share(32) ‖ zeros, so buf[0:96] is
+	// the attestation payload with no copying.
+	p.Li(isa.RegA0, 0)
+	p.I(isa.OpADDI, isa.RegA1, rData, 0, dMailBuf)
+	ecall(p, api.CallGetMail)
+	p.Branch(isa.OpBNE, isa.RegA0, isa.RegZero, "fail")
+	// attest_sign(dMailBuf, 96, dSignBuf).
+	p.I(isa.OpADDI, isa.RegA0, rData, 0, dMailBuf)
+	p.Li(isa.RegA1, 96)
+	p.I(isa.OpADDI, isa.RegA2, rData, 0, dSignBuf)
+	ecall(p, api.CallAttestSign)
+	p.Branch(isa.OpBNE, isa.RegA0, isa.RegZero, "fail")
+	// send_mail(client, dSignBuf): 64-byte signature, zero padded.
+	p.I(isa.OpLD, isa.RegA0, rShared, 0, ShPeerEID)
+	p.I(isa.OpADDI, isa.RegA1, rData, 0, dSignBuf)
+	ecall(p, api.CallSendMail)
+	exitCall(p)
+	p.Label("fail")
+	exitCall(p)
+	return p
+}
+
+// AttestedClient is E1 of Fig 7. Phase 0: draw a private scalar from
+// the trusted entropy source, derive its key-agreement share, publish
+// the share (public) to the shared buffer, copy the verifier nonce
+// (public) into the outgoing message, arm mailbox 0 for the signing
+// enclave, and mail (nonce ‖ share) to it. Phase 1: receive the
+// signature, publish it, then derive the session key from the
+// verifier's share and authenticate SessionPlaintext under it.
+func AttestedClient(l Layout) *asm.Program {
+	p := asm.New()
+	p.Li64(rShared, l.SharedVA)
+	p.Li64(rData, l.DataVA)
+	p.I(isa.OpLD, rTmp1, rShared, 0, ShInput)
+	p.Branch(isa.OpBNE, rTmp1, isa.RegZero, "phase1")
+
+	// --- Phase 0 ---
+	// Private scalar: 4 × get_random into dKAPriv.
+	for i := int32(0); i < 4; i++ {
+		ecall(p, api.CallGetRandom)
+		p.I(isa.OpSD, 0, rData, isa.RegA1, dKAPriv+8*i)
+	}
+	// Derive the public share.
+	p.I(isa.OpADDI, isa.RegA0, rData, 0, dKAPriv)
+	p.I(isa.OpADDI, isa.RegA1, rData, 0, dKAShare)
+	ecall(p, api.CallKADerive)
+	p.Branch(isa.OpBNE, isa.RegA0, isa.RegZero, "fail")
+	// Publish the share (it is public) for transport to the verifier.
+	p.I(isa.OpADDI, rTmp1, rShared, 0, ShShare)
+	p.I(isa.OpADDI, rTmp2, rData, 0, dKAShare)
+	memcpyLoop(p, "cpShare", rTmp1, rTmp2, 32)
+	// Outgoing message: nonce(32) ‖ share(32) at dMsg.
+	p.I(isa.OpADDI, rTmp1, rData, 0, dMsg)
+	p.I(isa.OpADDI, rTmp2, rShared, 0, ShNonce)
+	memcpyLoop(p, "cpNonce", rTmp1, rTmp2, 32)
+	p.I(isa.OpADDI, rTmp1, rData, 0, dMsg+32)
+	p.I(isa.OpADDI, rTmp2, rData, 0, dKAShare)
+	memcpyLoop(p, "cpShare2", rTmp1, rTmp2, 32)
+	// Arm mailbox 0 for the signing enclave's reply.
+	p.Li(isa.RegA0, 0)
+	p.I(isa.OpLD, isa.RegA1, rShared, 0, ShPeerEID)
+	ecall(p, api.CallAcceptMail)
+	p.Branch(isa.OpBNE, isa.RegA0, isa.RegZero, "fail")
+	// Mail the request to the signing enclave.
+	p.I(isa.OpLD, isa.RegA0, rShared, 0, ShPeerEID)
+	p.I(isa.OpADDI, isa.RegA1, rData, 0, dMsg)
+	ecall(p, api.CallSendMail)
+	exitCall(p)
+
+	// --- Phase 1 ---
+	p.Label("phase1")
+	p.Li(isa.RegA0, 0)
+	p.I(isa.OpADDI, isa.RegA1, rData, 0, dMailBuf)
+	ecall(p, api.CallGetMail)
+	p.Branch(isa.OpBNE, isa.RegA0, isa.RegZero, "fail")
+	// Publish the signature: mailbox message starts at dMailBuf+32.
+	p.I(isa.OpADDI, rTmp1, rShared, 0, ShSig)
+	p.I(isa.OpADDI, rTmp2, rData, 0, dMailBuf+32)
+	memcpyLoop(p, "cpSig", rTmp1, rTmp2, 64)
+	// Copy the verifier's share into private memory, derive the
+	// session key, and MAC the channel message.
+	p.I(isa.OpADDI, rTmp1, rData, 0, dPeerKA)
+	p.I(isa.OpADDI, rTmp2, rShared, 0, ShPeerKA)
+	memcpyLoop(p, "cpPeer", rTmp1, rTmp2, 32)
+	p.I(isa.OpADDI, isa.RegA0, rData, 0, dKAPriv)
+	p.I(isa.OpADDI, isa.RegA1, rData, 0, dPeerKA)
+	p.I(isa.OpADDI, isa.RegA2, rData, 0, dSessKey)
+	ecall(p, api.CallKACombine)
+	p.Branch(isa.OpBNE, isa.RegA0, isa.RegZero, "fail")
+	p.I(isa.OpADDI, isa.RegA0, rData, 0, dSessKey)
+	p.I(isa.OpADDI, isa.RegA1, rData, 0, dMACMsg)
+	p.Li(isa.RegA2, int32(len(SessionPlaintext)))
+	p.I(isa.OpADDI, isa.RegA3, rData, 0, dMACOut)
+	ecall(p, api.CallMAC)
+	p.Branch(isa.OpBNE, isa.RegA0, isa.RegZero, "fail")
+	p.I(isa.OpADDI, rTmp1, rShared, 0, ShMACOut)
+	p.I(isa.OpADDI, rTmp2, rData, 0, dMACOut)
+	memcpyLoop(p, "cpMAC", rTmp1, rTmp2, 32)
+	p.Li(isa.RegA0, 0)
+	exitCall(p)
+	p.Label("fail")
+	exitCall(p)
+	return p
+}
+
+// ClientDataInit returns the initial data page for AttestedClient: the
+// channel plaintext is baked at dMACMsg so the MAC covers private,
+// measured content.
+func ClientDataInit() []byte {
+	data := make([]byte, dMACMsg+len(SessionPlaintext))
+	copy(data[dMACMsg:], SessionPlaintext)
+	return data
+}
+
+// ReceiverDataInit returns the initial data page for MailReceiver with
+// the expected sender measurement baked in.
+func ReceiverDataInit(expected [32]byte) []byte {
+	data := make([]byte, 64)
+	copy(data[dExpected:], expected[:])
+	return data
+}
+
+// SenderDataInit returns the initial data page for MailSender with the
+// outgoing message baked in.
+func SenderDataInit(msg []byte) []byte {
+	data := make([]byte, dMsg+api.MailboxSize)
+	copy(data[dMsg:], msg)
+	return data
+}
+
+// Victim is the side-channel victim (E9): it makes a single load whose
+// cache line depends on the secret byte baked into its data page, the
+// canonical secret-dependent memory access a cache-timing attacker
+// tries to observe.
+func Victim(l Layout) *asm.Program {
+	p := asm.New()
+	p.Li64(rData, l.DataVA)
+	p.I(isa.OpLBU, rTmp1, rData, 0, 0)  // secret line index 0..7
+	p.I(isa.OpSLLI, rTmp1, rTmp1, 0, 6) // ×64 bytes
+	p.Li64(rTmp2, l.ArrayVA)
+	p.I(isa.OpADD, rTmp2, rTmp2, rTmp1, 0)
+	p.I(isa.OpLD, rTmp3, rTmp2, 0, 0) // the secret-dependent access
+	p.Li(isa.RegA0, 0)
+	exitCall(p)
+	return p
+}
+
+// VictimDataInit bakes the secret line index into the victim's data
+// page.
+func VictimDataInit(secret byte) []byte { return []byte{secret} }
+
+// EcallLoop issues monitor calls (get_random) in a tight loop forever —
+// the workload for measuring the trap round-trip cost (E1).
+func EcallLoop(l Layout) *asm.Program {
+	p := asm.New()
+	p.Label("loop")
+	ecall(p, api.CallGetRandom)
+	p.J("loop")
+	return p
+}
+
+// ExitImmediately performs a voluntary exit as its first action — the
+// workload for measuring enter/exit cost (E4).
+func ExitImmediately(l Layout) *asm.Program {
+	p := asm.New()
+	p.Li(isa.RegA0, 0)
+	exitCall(p)
+	return p
+}
+
+// FaultingProgram dereferences an unmapped address inside evrange: the
+// monitor either delivers the fault to a registered handler or forces
+// an AEX (Fig 1's fault path).
+func FaultingProgram(l Layout) *asm.Program {
+	p := asm.New()
+	p.Li64(rTmp1, l.EvBase+0x100000) // inside evrange, never mapped
+	p.I(isa.OpLD, rTmp2, rTmp1, 0, 0)
+	p.Li(isa.RegA0, 0)
+	exitCall(p)
+	return p
+}
+
+// FaultHandlerProgram registers a fault handler, then touches an
+// unmapped address; the handler publishes the fault cause and address
+// to the shared buffer and exits cleanly — the enclave-managed paging
+// path of Fig 1.
+func FaultHandlerProgram(l Layout) *asm.Program {
+	p := asm.New()
+	// The handler sits at the fixed offset CodeVA+8 so its 64-bit
+	// address can be materialized without label arithmetic.
+	p.J("main")
+	p.Label("handler") // at l.CodeVA + 8
+	// a0 = cause, a1 = faulting VA (set by the monitor).
+	p.Li64(rShared, l.SharedVA)
+	p.I(isa.OpSD, 0, rShared, isa.RegA0, ShOutput)
+	p.I(isa.OpSD, 0, rShared, isa.RegA1, ShOutput+8)
+	p.Li(isa.RegA0, 7)
+	exitCall(p)
+
+	p.Label("main")
+	p.Li64(isa.RegA0, l.CodeVA+8)
+	p.Li64(isa.RegA1, l.SP()-256)
+	ecall(p, api.CallSetFaultHandler)
+	// Fault.
+	p.Li64(rTmp1, l.EvBase+0x100000)
+	p.I(isa.OpLD, rTmp2, rTmp1, 0, 0)
+	// Unreachable if the handler exits.
+	p.Li(isa.RegA0, 99)
+	exitCall(p)
+	return p
+}

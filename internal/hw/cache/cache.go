@@ -1,0 +1,185 @@
+// Package cache models the set-associative caches of the simulated
+// machine with a deterministic cycle cost per access. The shared
+// last-level cache is the side-channel surface the paper's threat model
+// centres on: Sanctum partitions it by DRAM region (page coloring) so
+// that no two protection domains contend for the same sets, while
+// Keystone (and the insecure baseline) leave it shared. The model
+// exposes exactly the observable an attacker has on real hardware —
+// the latency of its own accesses — plus white-box inspection hooks for
+// tests.
+package cache
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Config describes a cache.
+type Config struct {
+	Sets       int    // number of sets; power of two
+	Ways       int    // associativity
+	LineBits   uint   // log2 of line size in bytes
+	HitCycles  uint64 // latency of a hit
+	MissCycles uint64 // latency of a miss (includes fill)
+
+	// PartitionOf, when non-nil, maps a physical address to a partition
+	// index in [0, Partitions); each partition owns Sets/Partitions
+	// consecutive sets. This models Sanctum's page-colored LLC where the
+	// partition is the DRAM region. When nil the cache is fully shared.
+	PartitionOf func(pa uint64) int
+	Partitions  int
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	if c.Sets <= 0 || bits.OnesCount(uint(c.Sets)) != 1 {
+		return fmt.Errorf("cache: sets %d not a positive power of two", c.Sets)
+	}
+	if c.Ways <= 0 {
+		return fmt.Errorf("cache: ways %d", c.Ways)
+	}
+	if c.LineBits < 3 || c.LineBits > 12 {
+		return fmt.Errorf("cache: line bits %d outside [3,12]", c.LineBits)
+	}
+	if c.PartitionOf != nil {
+		if c.Partitions <= 0 || c.Sets%c.Partitions != 0 {
+			return fmt.Errorf("cache: %d partitions does not divide %d sets", c.Partitions, c.Sets)
+		}
+	}
+	return nil
+}
+
+type line struct {
+	tag   uint64 // full line address (pa >> LineBits)
+	valid bool
+	lru   uint64 // last-access stamp
+}
+
+// Cache is a set-associative cache with LRU replacement.
+type Cache struct {
+	cfg   Config
+	sets  [][]line
+	stamp uint64
+
+	// Statistics.
+	Hits      uint64
+	Misses    uint64
+	Evictions uint64
+}
+
+// New builds a cache. It panics on invalid configuration, which is a
+// programming error in platform setup rather than a runtime condition.
+func New(cfg Config) *Cache {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	sets := make([][]line, cfg.Sets)
+	lines := make([]line, cfg.Sets*cfg.Ways)
+	for i := range sets {
+		sets[i], lines = lines[:cfg.Ways], lines[cfg.Ways:]
+	}
+	return &Cache{cfg: cfg, sets: sets}
+}
+
+// Config returns the cache configuration.
+func (c *Cache) Config() Config { return c.cfg }
+
+// setIndex computes the set for a physical address, honouring
+// partitioning.
+func (c *Cache) setIndex(pa uint64) int {
+	lineAddr := pa >> c.cfg.LineBits
+	if c.cfg.PartitionOf == nil {
+		return int(lineAddr % uint64(c.cfg.Sets))
+	}
+	per := c.cfg.Sets / c.cfg.Partitions
+	part := c.cfg.PartitionOf(pa) % c.cfg.Partitions
+	if part < 0 {
+		part = 0
+	}
+	return part*per + int(lineAddr%uint64(per))
+}
+
+// Access performs a cached access to pa, returning whether it hit and
+// the cycle cost. A miss fills the line, evicting LRU if needed.
+func (c *Cache) Access(pa uint64) (hit bool, cycles uint64) {
+	c.stamp++
+	set := c.sets[c.setIndex(pa)]
+	tag := pa >> c.cfg.LineBits
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			set[i].lru = c.stamp
+			c.Hits++
+			return true, c.cfg.HitCycles
+		}
+	}
+	c.Misses++
+	// Fill: choose invalid way, else LRU.
+	victim := 0
+	for i := range set {
+		if !set[i].valid {
+			victim = i
+			goto fill
+		}
+		if set[i].lru < set[victim].lru {
+			victim = i
+		}
+	}
+	c.Evictions++
+fill:
+	set[victim] = line{tag: tag, valid: true, lru: c.stamp}
+	return false, c.cfg.MissCycles
+}
+
+// Probe reports whether pa is cached without updating any state; the
+// white-box equivalent of a timing probe, used by tests.
+func (c *Cache) Probe(pa uint64) bool {
+	set := c.sets[c.setIndex(pa)]
+	tag := pa >> c.cfg.LineBits
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// FlushAll invalidates the entire cache (core cleaning).
+func (c *Cache) FlushAll() {
+	for _, set := range c.sets {
+		for i := range set {
+			set[i].valid = false
+		}
+	}
+}
+
+// FlushIf invalidates lines whose physical line address matches pred,
+// returning the count. The SM uses this to clean a DRAM region's cache
+// footprint on re-allocation when partitioning is not available.
+func (c *Cache) FlushIf(pred func(lineAddr uint64) bool) int {
+	n := 0
+	for _, set := range c.sets {
+		for i := range set {
+			if set[i].valid && pred(set[i].tag) {
+				set[i].valid = false
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// Live returns the number of valid lines.
+func (c *Cache) Live() int {
+	n := 0
+	for _, set := range c.sets {
+		for i := range set {
+			if set[i].valid {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// SetOf exposes the set index mapping for tests and attack tooling.
+func (c *Cache) SetOf(pa uint64) int { return c.setIndex(pa) }

@@ -1,0 +1,98 @@
+package machine
+
+import (
+	"sanctorum/internal/hw/pt"
+	"sanctorum/internal/isa"
+)
+
+// The core implements isa.Bus: every fetch, load and store of the
+// running program is translated, isolation-checked and cache-timed.
+
+// FetchInstr implements isa.Bus.
+func (c *Core) FetchInstr(va uint64) (uint64, uint64, *isa.MemFault) {
+	pa, walkCyc, fault := c.translate(va, pt.Fetch, c.CPU.Mode)
+	if fault != nil {
+		return 0, walkCyc, fault
+	}
+	cyc := c.cachedAccess(pa)
+	word, err := c.machine.Mem.Load(pa, 8)
+	if err != nil {
+		return 0, walkCyc + cyc, &isa.MemFault{Kind: isa.FaultAccess, Addr: va}
+	}
+	return word, walkCyc + cyc, nil
+}
+
+// Load implements isa.Bus.
+func (c *Core) Load(va uint64, width int) (uint64, uint64, *isa.MemFault) {
+	if va%uint64(width) != 0 {
+		return 0, 0, &isa.MemFault{Kind: isa.FaultMisaligned, Addr: va}
+	}
+	pa, walkCyc, fault := c.translate(va, pt.Load, c.CPU.Mode)
+	if fault != nil {
+		return 0, walkCyc, fault
+	}
+	cyc := c.cachedAccess(pa)
+	val, err := c.machine.Mem.Load(pa, width)
+	if err != nil {
+		return 0, walkCyc + cyc, &isa.MemFault{Kind: isa.FaultAccess, Addr: va}
+	}
+	return val, walkCyc + cyc, nil
+}
+
+// Store implements isa.Bus.
+func (c *Core) Store(va uint64, width int, val uint64) (uint64, *isa.MemFault) {
+	if va%uint64(width) != 0 {
+		return 0, &isa.MemFault{Kind: isa.FaultMisaligned, Addr: va}
+	}
+	pa, walkCyc, fault := c.translate(va, pt.Store, c.CPU.Mode)
+	if fault != nil {
+		return walkCyc, fault
+	}
+	cyc := c.cachedAccess(pa)
+	if err := c.machine.Mem.Store(pa, width, val); err != nil {
+		return walkCyc + cyc, &isa.MemFault{Kind: isa.FaultAccess, Addr: va}
+	}
+	return walkCyc + cyc, nil
+}
+
+// LoadAs performs a one-off data load on this core's translation state
+// with an explicit privilege mode. Go-level untrusted OS code uses this
+// (with isa.PrivS) so that its accesses face exactly the checks an
+// S-mode kernel would.
+func (c *Core) LoadAs(mode isa.Priv, va uint64, width int) (uint64, error) {
+	if va%uint64(width) != 0 {
+		return 0, &isa.Trap{Cause: isa.CauseMisalignedLoad, Value: va}
+	}
+	pa, _, fault := c.translate(va, pt.Load, mode)
+	if fault != nil {
+		return 0, &isa.Trap{Cause: trapCauseFor(fault, pt.Load), PC: 0, Value: va}
+	}
+	c.cachedAccess(pa)
+	return c.machine.Mem.Load(pa, width)
+}
+
+// StoreAs is the store counterpart of LoadAs.
+func (c *Core) StoreAs(mode isa.Priv, va uint64, width int, val uint64) error {
+	if va%uint64(width) != 0 {
+		return &isa.Trap{Cause: isa.CauseMisalignedStore, Value: va}
+	}
+	pa, _, fault := c.translate(va, pt.Store, mode)
+	if fault != nil {
+		return &isa.Trap{Cause: trapCauseFor(fault, pt.Store), PC: 0, Value: va}
+	}
+	c.cachedAccess(pa)
+	return c.machine.Mem.Store(pa, width, val)
+}
+
+func trapCauseFor(f *isa.MemFault, acc pt.Access) isa.Cause {
+	switch {
+	case acc == pt.Load && f.Kind == isa.FaultPage:
+		return isa.CauseLoadPageFault
+	case acc == pt.Load:
+		return isa.CauseLoadAccess
+	case acc == pt.Store && f.Kind == isa.FaultPage:
+		return isa.CauseStorePageFault
+	default:
+		return isa.CauseStoreAccess
+	}
+}

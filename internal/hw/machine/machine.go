@@ -1,0 +1,225 @@
+// Package machine assembles the simulated hardware platform: SRV64
+// cores with per-core TLBs and L1 caches, a shared L2/LLC, sparse
+// physical memory, DRAM regions or PMP as the isolation primitive, a
+// DMA engine, and trap dispatch into machine-mode firmware.
+//
+// This package is the reproduction's substitute for the RISC-V hardware
+// the paper's security monitor runs on (see DESIGN.md §2): the security
+// monitor registers itself as the Firmware trap handler and manipulates
+// cores, translation state and physical memory with M-mode authority,
+// while untrusted OS code is confined to the S/U-mode access paths this
+// package exposes.
+package machine
+
+import (
+	"fmt"
+
+	"sanctorum/internal/hw/cache"
+	"sanctorum/internal/hw/dram"
+	"sanctorum/internal/hw/mem"
+	"sanctorum/internal/hw/pmp"
+	"sanctorum/internal/hw/tlb"
+	"sanctorum/internal/hw/trng"
+	"sanctorum/internal/isa"
+)
+
+// IsolationKind selects the platform's memory isolation primitive.
+type IsolationKind int
+
+// Isolation primitives.
+const (
+	// IsolationNone applies no physical memory checks: the insecure
+	// baseline used for comparison experiments.
+	IsolationNone IsolationKind = iota
+	// IsolationSanctum isolates memory as DRAM regions with per-domain
+	// region bitmaps and a private page walk for enclave VAs (§VII-A).
+	IsolationSanctum
+	// IsolationKeystone isolates memory with per-core PMP units (§VII-B).
+	IsolationKeystone
+)
+
+func (k IsolationKind) String() string {
+	switch k {
+	case IsolationNone:
+		return "none"
+	case IsolationSanctum:
+		return "sanctum"
+	case IsolationKeystone:
+		return "keystone"
+	default:
+		return fmt.Sprintf("isolation(%d)", int(k))
+	}
+}
+
+// Disposition is the firmware's verdict on a trap.
+type Disposition int
+
+// Trap dispositions.
+const (
+	// DispResume continues executing on the core (the firmware handled
+	// the event, e.g. delivered it to an enclave handler).
+	DispResume Disposition = iota
+	// DispReturnToOS stops the run loop and returns control to the
+	// untrusted OS (Go-level caller), e.g. after an AEX.
+	DispReturnToOS
+	// DispHalt stops the core permanently.
+	DispHalt
+)
+
+// Firmware handles machine-mode events: every trap and interrupt on any
+// core lands here first, exactly as all events reach the security
+// monitor before any untrusted software (paper Fig 1).
+type Firmware interface {
+	HandleTrap(c *Core, tr *isa.Trap) Disposition
+}
+
+// Config describes a machine.
+type Config struct {
+	Cores      int
+	DRAM       dram.Layout
+	Kind       IsolationKind
+	TLBEntries int
+	L1         cache.Config
+	L2         cache.Config
+	Seed       []byte // deterministic entropy seed; nil for host CSPRNG
+}
+
+// DefaultConfig returns a 2-core machine with the default DRAM layout
+// and modest cache sizes. The L2 partition function is installed by
+// New when the Sanctum isolation kind is selected.
+func DefaultConfig(kind IsolationKind) Config {
+	return Config{
+		Cores:      2,
+		DRAM:       dram.DefaultLayout(),
+		Kind:       kind,
+		TLBEntries: 32,
+		L1:         cache.Config{Sets: 64, Ways: 4, LineBits: 6, HitCycles: 2, MissCycles: 0},
+		L2:         cache.Config{Sets: 1024, Ways: 8, LineBits: 6, HitCycles: 12, MissCycles: 100},
+		Seed:       []byte("sanctorum-sim"),
+	}
+}
+
+// Machine is the simulated hardware platform.
+type Machine struct {
+	Mem      *mem.Phys
+	DRAM     dram.Layout
+	L2       *cache.Cache
+	Kind     IsolationKind
+	Cores    []*Core
+	Firmware Firmware
+	Entropy  trng.Source
+
+	// DMAAllowed is the SM-installed DMA filter (§IV-B1: the SM must be
+	// able to restrict DMA). nil denies all DMA.
+	DMAAllowed func(pa, n uint64) bool
+}
+
+// New builds a machine from the configuration.
+func New(cfg Config) (*Machine, error) {
+	if err := cfg.DRAM.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Cores <= 0 {
+		return nil, fmt.Errorf("machine: need at least one core")
+	}
+	l2cfg := cfg.L2
+	if cfg.Kind == IsolationSanctum {
+		// Page-colored LLC: each DRAM region owns a disjoint set group.
+		layout := cfg.DRAM
+		l2cfg.Partitions = layout.RegionCount
+		l2cfg.PartitionOf = func(pa uint64) int {
+			if r := layout.RegionOf(pa); r >= 0 {
+				return r
+			}
+			return 0
+		}
+		if l2cfg.Sets%l2cfg.Partitions != 0 {
+			return nil, fmt.Errorf("machine: %d L2 sets not divisible by %d regions",
+				l2cfg.Sets, l2cfg.Partitions)
+		}
+	}
+	var entropy trng.Source
+	if cfg.Seed != nil {
+		entropy = trng.NewDeterministic(cfg.Seed)
+	} else {
+		entropy = trng.NewSystem()
+	}
+	m := &Machine{
+		Mem:     mem.New(cfg.DRAM.MemorySize()),
+		DRAM:    cfg.DRAM,
+		L2:      cache.New(l2cfg),
+		Kind:    cfg.Kind,
+		Entropy: entropy,
+	}
+	for i := 0; i < cfg.Cores; i++ {
+		c := &Core{
+			ID:      i,
+			TLB:     tlb.New(cfg.TLBEntries),
+			L1:      cache.New(cfg.L1),
+			machine: m,
+		}
+		if cfg.Kind == IsolationKeystone {
+			c.PMP = new(pmp.Unit)
+		}
+		m.Cores = append(m.Cores, c)
+	}
+	return m, nil
+}
+
+// Core is one simulated hart plus the per-core hardware the paper's
+// threat model names: TLB, private L1, timer, and the isolation state
+// that the security monitor programs on protection-domain switches.
+type Core struct {
+	ID  int
+	CPU isa.CPU
+	TLB *tlb.TLB
+	L1  *cache.Cache
+
+	// Satp is the page-table root PPN for non-enclave VAs (and for all
+	// VAs under Keystone, where the enclave brings its own table). Zero
+	// means bare (identity) translation.
+	Satp uint64
+
+	// Sanctum per-core isolation registers (§VII-A).
+	ESatp      uint64      // enclave page-table root for evrange
+	EvBase     uint64      // enclave virtual range base
+	EvMask     uint64      // enclave virtual range mask
+	OSRegions  dram.Bitmap // DRAM regions the OS domain may touch
+	EncRegions dram.Bitmap // DRAM regions the running enclave may touch
+
+	// Keystone per-core PMP unit (nil unless IsolationKeystone).
+	PMP *pmp.Unit
+
+	// EnclaveMode is set by the SM while the core runs enclave code.
+	EnclaveMode bool
+
+	// TimerCmp fires a timer interrupt when CPU.Cycles passes it; zero
+	// disables the timer. The untrusted OS uses this to force an AEX.
+	TimerCmp uint64
+
+	pendingIRQ bool // external interrupt latched by InterruptCore
+
+	machine *Machine
+}
+
+// Machine returns the machine this core belongs to.
+func (c *Core) Machine() *Machine { return c.machine }
+
+// InEvrange reports whether va falls in the enclave virtual range
+// programmed on this core.
+func (c *Core) InEvrange(va uint64) bool {
+	return c.EvMask != 0 && va&c.EvMask == c.EvBase
+}
+
+// ClearMicroarch flushes the core's TLB and private L1 cache: the
+// "cleaning" of a core resource on protection-domain re-allocation.
+func (c *Core) ClearMicroarch() {
+	c.TLB.Flush()
+	c.L1.FlushAll()
+}
+
+// ClearArchState zeroes the architectural registers, as the SM must do
+// before handing a core from an enclave to the OS.
+func (c *Core) ClearArchState() {
+	c.CPU.Regs = [isa.NumRegs]uint64{}
+}

@@ -1,0 +1,129 @@
+package machine
+
+import (
+	"errors"
+	"fmt"
+
+	"sanctorum/internal/isa"
+)
+
+// StopReason explains why Run returned.
+type StopReason int
+
+// Stop reasons.
+const (
+	StopReturnToOS StopReason = iota // firmware delegated control to the OS
+	StopHalt                         // core halted
+	StopMaxSteps                     // step budget exhausted
+)
+
+func (r StopReason) String() string {
+	switch r {
+	case StopReturnToOS:
+		return "return-to-os"
+	case StopHalt:
+		return "halt"
+	case StopMaxSteps:
+		return "max-steps"
+	default:
+		return fmt.Sprintf("stop(%d)", int(r))
+	}
+}
+
+// RunResult reports how a Run ended.
+type RunResult struct {
+	Reason StopReason
+	Trap   *isa.Trap // the final trap, if any
+	Steps  int       // instructions retired
+}
+
+// ErrNoFirmware is returned when a trap occurs with no firmware
+// installed; a machine without a security monitor cannot field events.
+var ErrNoFirmware = errors.New("machine: trap with no firmware installed")
+
+// InterruptCore latches an external interrupt on the core; it is
+// delivered at the next instruction boundary. The untrusted OS uses this
+// to de-schedule an enclave (forcing an AEX via the firmware).
+func (m *Machine) InterruptCore(id int) {
+	m.Cores[id].pendingIRQ = true
+}
+
+// Run executes instructions on the core until the firmware hands
+// control back to the OS, the core halts, or maxSteps retire. All traps
+// — synchronous faults, ECALLs, timer and external interrupts — are
+// routed to the machine's firmware, mirroring the paper's Fig 1 where
+// the security monitor receives every event first.
+func (m *Machine) Run(coreID int, maxSteps int) (RunResult, error) {
+	c := m.Cores[coreID]
+	steps := 0
+	for steps < maxSteps {
+		// Asynchronous events are checked at instruction boundaries.
+		if tr := c.takeInterrupt(); tr != nil {
+			res, done, err := m.dispatch(c, tr, steps)
+			if done {
+				return res, err
+			}
+			continue
+		}
+		tr := c.CPU.Step(c)
+		steps++
+		if tr == nil {
+			continue
+		}
+		res, done, err := m.dispatch(c, tr, steps)
+		if done {
+			return res, err
+		}
+	}
+	return RunResult{Reason: StopMaxSteps, Steps: steps}, nil
+}
+
+// takeInterrupt returns a pending asynchronous trap, or nil.
+func (c *Core) takeInterrupt() *isa.Trap {
+	if c.pendingIRQ {
+		c.pendingIRQ = false
+		return &isa.Trap{Cause: isa.CauseExternalInterrupt, PC: c.CPU.PC}
+	}
+	if c.TimerCmp != 0 && c.CPU.Cycles >= c.TimerCmp {
+		c.TimerCmp = 0 // one-shot
+		return &isa.Trap{Cause: isa.CauseTimerInterrupt, PC: c.CPU.PC}
+	}
+	return nil
+}
+
+func (m *Machine) dispatch(c *Core, tr *isa.Trap, steps int) (RunResult, bool, error) {
+	if tr.Cause == isa.CauseHalt {
+		// The firmware is notified (it may need to scrub protection-
+		// domain state off the core) but a halted core always stops.
+		if m.Firmware != nil {
+			m.Firmware.HandleTrap(c, tr)
+		}
+		return RunResult{Reason: StopHalt, Trap: tr, Steps: steps}, true, nil
+	}
+	if m.Firmware == nil {
+		return RunResult{Trap: tr, Steps: steps}, true, ErrNoFirmware
+	}
+	switch m.Firmware.HandleTrap(c, tr) {
+	case DispResume:
+		return RunResult{}, false, nil
+	case DispHalt:
+		return RunResult{Reason: StopHalt, Trap: tr, Steps: steps}, true, nil
+	default:
+		return RunResult{Reason: StopReturnToOS, Trap: tr, Steps: steps}, true, nil
+	}
+}
+
+// DMATransfer models a DMA device copying n bytes from src to dst
+// (physical addresses). The transfer is subject to the SM-installed DMA
+// policy; with no policy installed all DMA is denied, the safe default
+// the paper requires.
+func (m *Machine) DMATransfer(src, dst, n uint64) error {
+	if m.DMAAllowed == nil || !m.DMAAllowed(src, n) || !m.DMAAllowed(dst, n) {
+		return fmt.Errorf("machine: DMA transfer %#x->%#x (%d bytes) denied", src, dst, n)
+	}
+	buf := make([]byte, n)
+	if err := m.Mem.ReadBytes(src, buf); err != nil {
+		return err
+	}
+	return m.Mem.WriteBytes(dst, buf)
+}

@@ -1,0 +1,184 @@
+// Package mem models the physical memory of the simulated machine.
+//
+// Memory is sparse: pages are materialized (zero-filled) on first touch,
+// so a simulated machine can expose a large physical address space while
+// the host allocation stays proportional to the pages actually used.
+// All privileged software in the reproduction (the security monitor) and
+// all hardware-mediated paths (page-table walks, DMA, the interpreter's
+// loads and stores) ultimately read and write through this package.
+package mem
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Page geometry, shared by the whole simulator.
+const (
+	PageBits = 12
+	PageSize = 1 << PageBits
+	PageMask = PageSize - 1
+)
+
+// Errors reported by physical memory. Higher layers translate these into
+// architectural access faults.
+var (
+	ErrOutOfRange = errors.New("mem: physical address out of range")
+	ErrUnaligned  = errors.New("mem: unaligned access")
+	ErrBadWidth   = errors.New("mem: unsupported access width")
+)
+
+// Phys is a sparse physical memory of a fixed size.
+type Phys struct {
+	size  uint64
+	pages map[uint64]*[PageSize]byte
+}
+
+// New returns a physical memory covering addresses [0, size). Size is
+// rounded up to a whole number of pages.
+func New(size uint64) *Phys {
+	size = (size + PageMask) &^ uint64(PageMask)
+	return &Phys{size: size, pages: make(map[uint64]*[PageSize]byte)}
+}
+
+// Size returns the extent of physical memory in bytes.
+func (m *Phys) Size() uint64 { return m.size }
+
+// Pages returns the number of 4 KiB pages in the address space.
+func (m *Phys) Pages() uint64 { return m.size >> PageBits }
+
+// page returns the backing page for ppn, materializing it if needed.
+func (m *Phys) page(ppn uint64) *[PageSize]byte {
+	p, ok := m.pages[ppn]
+	if !ok {
+		p = new([PageSize]byte)
+		m.pages[ppn] = p
+	}
+	return p
+}
+
+// TouchedPages reports how many pages have been materialized; useful for
+// asserting that the simulation stays sparse.
+func (m *Phys) TouchedPages() int { return len(m.pages) }
+
+func (m *Phys) checkRange(addr uint64, n int) error {
+	if n < 0 || addr >= m.size || uint64(n) > m.size-addr {
+		return fmt.Errorf("%w: %#x+%d (size %#x)", ErrOutOfRange, addr, n, m.size)
+	}
+	return nil
+}
+
+// ReadBytes copies len(dst) bytes starting at addr into dst.
+func (m *Phys) ReadBytes(addr uint64, dst []byte) error {
+	if err := m.checkRange(addr, len(dst)); err != nil {
+		return err
+	}
+	for len(dst) > 0 {
+		ppn, off := addr>>PageBits, addr&PageMask
+		n := copy(dst, m.page(ppn)[off:])
+		dst = dst[n:]
+		addr += uint64(n)
+	}
+	return nil
+}
+
+// WriteBytes copies src into memory starting at addr.
+func (m *Phys) WriteBytes(addr uint64, src []byte) error {
+	if err := m.checkRange(addr, len(src)); err != nil {
+		return err
+	}
+	for len(src) > 0 {
+		ppn, off := addr>>PageBits, addr&PageMask
+		n := copy(m.page(ppn)[off:], src)
+		src = src[n:]
+		addr += uint64(n)
+	}
+	return nil
+}
+
+// Load reads a naturally-aligned little-endian value of width 1, 2, 4 or
+// 8 bytes.
+func (m *Phys) Load(addr uint64, width int) (uint64, error) {
+	switch width {
+	case 1, 2, 4, 8:
+	default:
+		return 0, fmt.Errorf("%w: %d", ErrBadWidth, width)
+	}
+	if addr&(uint64(width)-1) != 0 {
+		return 0, fmt.Errorf("%w: %#x width %d", ErrUnaligned, addr, width)
+	}
+	if err := m.checkRange(addr, width); err != nil {
+		return 0, err
+	}
+	p := m.page(addr >> PageBits)
+	off := addr & PageMask
+	switch width {
+	case 1:
+		return uint64(p[off]), nil
+	case 2:
+		return uint64(binary.LittleEndian.Uint16(p[off:])), nil
+	case 4:
+		return uint64(binary.LittleEndian.Uint32(p[off:])), nil
+	default:
+		return binary.LittleEndian.Uint64(p[off:]), nil
+	}
+}
+
+// Store writes a naturally-aligned little-endian value of width 1, 2, 4
+// or 8 bytes.
+func (m *Phys) Store(addr uint64, width int, val uint64) error {
+	switch width {
+	case 1, 2, 4, 8:
+	default:
+		return fmt.Errorf("%w: %d", ErrBadWidth, width)
+	}
+	if addr&(uint64(width)-1) != 0 {
+		return fmt.Errorf("%w: %#x width %d", ErrUnaligned, addr, width)
+	}
+	if err := m.checkRange(addr, width); err != nil {
+		return err
+	}
+	p := m.page(addr >> PageBits)
+	off := addr & PageMask
+	switch width {
+	case 1:
+		p[off] = byte(val)
+	case 2:
+		binary.LittleEndian.PutUint16(p[off:], uint16(val))
+	case 4:
+		binary.LittleEndian.PutUint32(p[off:], uint32(val))
+	default:
+		binary.LittleEndian.PutUint64(p[off:], val)
+	}
+	return nil
+}
+
+// ZeroRange clears [addr, addr+n). The security monitor uses this when
+// cleaning a memory resource before re-allocation (Fig 2 of the paper).
+func (m *Phys) ZeroRange(addr uint64, n uint64) error {
+	if err := m.checkRange(addr, int(n)); err != nil {
+		return err
+	}
+	end := addr + n
+	for addr < end {
+		ppn, off := addr>>PageBits, addr&PageMask
+		chunk := uint64(PageSize) - off
+		if chunk > end-addr {
+			chunk = end - addr
+		}
+		if p, ok := m.pages[ppn]; ok {
+			for i := off; i < off+chunk; i++ {
+				p[i] = 0
+			}
+		}
+		// Untouched pages are already zero; skip materializing them.
+		addr += chunk
+	}
+	return nil
+}
+
+// ZeroPage clears the page containing addr.
+func (m *Phys) ZeroPage(addr uint64) error {
+	return m.ZeroRange(addr&^uint64(PageMask), PageSize)
+}

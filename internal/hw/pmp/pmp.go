@@ -1,0 +1,149 @@
+// Package pmp models RISC-V Physical Memory Protection, the isolation
+// primitive used by the Keystone backend (§VII-B of the paper). PMP is a
+// per-hart array of prioritized entries, each white-listing a physical
+// range with read/write/execute permissions for less-privileged modes.
+// M-mode (the security monitor) bypasses non-locked entries; a locked
+// entry binds M-mode as well.
+//
+// The model keeps RISC-V's essential semantics — priority by index,
+// whole-access matching, deny-by-default for S/U mode when any entry is
+// implemented — without the NAPOT address encoding, which is an encoding
+// detail rather than a security property: entries are (base, size)
+// ranges that must be page-aligned.
+package pmp
+
+import (
+	"fmt"
+
+	"sanctorum/internal/hw/mem"
+)
+
+// Perm is a permission bit set.
+type Perm uint8
+
+// Permission bits.
+const (
+	R Perm = 1 << iota
+	W
+	X
+)
+
+func (p Perm) String() string {
+	s := [3]byte{'-', '-', '-'}
+	if p&R != 0 {
+		s[0] = 'r'
+	}
+	if p&W != 0 {
+		s[1] = 'w'
+	}
+	if p&X != 0 {
+		s[2] = 'x'
+	}
+	return string(s[:])
+}
+
+// Mode is the privilege mode performing an access.
+type Mode uint8
+
+// Privilege modes, ordered low to high.
+const (
+	ModeU Mode = iota
+	ModeS
+	ModeM
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModeU:
+		return "U"
+	case ModeS:
+		return "S"
+	case ModeM:
+		return "M"
+	default:
+		return fmt.Sprintf("mode(%d)", uint8(m))
+	}
+}
+
+// Entry is one PMP entry.
+type Entry struct {
+	Valid bool
+	Base  uint64 // page-aligned start
+	Size  uint64 // page-aligned length, > 0
+	Perm  Perm
+	Lock  bool // applies to M-mode as well, and entry cannot be rewritten
+}
+
+// contains reports whether the whole access [addr, addr+n) lies in the
+// entry's range.
+func (e Entry) contains(addr, n uint64) bool {
+	return e.Valid && addr >= e.Base && n <= e.Size && addr-e.Base <= e.Size-n
+}
+
+// NumEntries is the number of PMP entries per unit, matching the common
+// RISC-V configuration.
+const NumEntries = 16
+
+// Unit is a per-hart PMP unit.
+type Unit struct {
+	entries [NumEntries]Entry
+}
+
+// ErrLocked is returned when software attempts to rewrite a locked entry.
+var ErrLocked = fmt.Errorf("pmp: entry is locked")
+
+// Configure installs entry i. Only M-mode software (the SM) calls this.
+// A locked entry can never be reconfigured, mirroring the RISC-V L bit.
+func (u *Unit) Configure(i int, e Entry) error {
+	if i < 0 || i >= NumEntries {
+		return fmt.Errorf("pmp: entry index %d out of range", i)
+	}
+	if u.entries[i].Valid && u.entries[i].Lock {
+		return ErrLocked
+	}
+	if e.Valid {
+		if e.Base&mem.PageMask != 0 || e.Size == 0 || e.Size&mem.PageMask != 0 {
+			return fmt.Errorf("pmp: entry %d not page-aligned (base %#x size %#x)", i, e.Base, e.Size)
+		}
+	}
+	u.entries[i] = e
+	return nil
+}
+
+// Entry returns a copy of entry i.
+func (u *Unit) Entry(i int) Entry { return u.entries[i] }
+
+// Clear invalidates entry i unless it is locked.
+func (u *Unit) Clear(i int) error { return u.Configure(i, Entry{}) }
+
+// Check reports whether an access of n bytes at addr with the given
+// permission is allowed in the given mode. The lowest-numbered matching
+// entry decides; if no entry matches, M-mode is allowed and S/U are
+// denied (the RISC-V behaviour when PMP is implemented).
+func (u *Unit) Check(addr, n uint64, want Perm, mode Mode) bool {
+	if n == 0 {
+		n = 1
+	}
+	for i := range u.entries {
+		e := &u.entries[i]
+		if !e.contains(addr, n) {
+			continue
+		}
+		if mode == ModeM && !e.Lock {
+			return true
+		}
+		return e.Perm&want == want
+	}
+	return mode == ModeM
+}
+
+// Snapshot returns the valid entries, for debugging and tests.
+func (u *Unit) Snapshot() []Entry {
+	var out []Entry
+	for _, e := range u.entries {
+		if e.Valid {
+			out = append(out, e)
+		}
+	}
+	return out
+}

@@ -1,0 +1,151 @@
+package pmp
+
+import (
+	"errors"
+	"testing"
+)
+
+const page = 0x1000
+
+func entry(base, size uint64, p Perm) Entry {
+	return Entry{Valid: true, Base: base, Size: size, Perm: p}
+}
+
+func TestDefaultPolicy(t *testing.T) {
+	var u Unit
+	// With no matching entries M-mode is allowed, S/U denied.
+	if !u.Check(0, 8, R, ModeM) {
+		t.Error("M-mode denied with empty PMP")
+	}
+	if u.Check(0, 8, R, ModeS) || u.Check(0, 8, R, ModeU) {
+		t.Error("S/U-mode allowed with empty PMP")
+	}
+}
+
+func TestWhitelisting(t *testing.T) {
+	var u Unit
+	if err := u.Configure(0, entry(0x10000, 4*page, R|W)); err != nil {
+		t.Fatal(err)
+	}
+	if !u.Check(0x10000, 8, R, ModeU) || !u.Check(0x13ff8, 8, W, ModeS) {
+		t.Error("in-range access denied")
+	}
+	if u.Check(0x10000, 8, X, ModeU) {
+		t.Error("execute allowed on rw- entry")
+	}
+	if u.Check(0x14000, 8, R, ModeU) {
+		t.Error("access just past range allowed")
+	}
+	if u.Check(0x13ffc, 8, R, ModeU) {
+		t.Error("access straddling the range end allowed")
+	}
+}
+
+func TestPriorityByIndex(t *testing.T) {
+	var u Unit
+	// Entry 0 denies a sub-range that entry 1 would allow.
+	u.Configure(0, entry(0x20000, page, 0)) // matches, no perms
+	u.Configure(1, entry(0x20000, 8*page, R|W|X))
+	if u.Check(0x20000, 8, R, ModeS) {
+		t.Error("lower-priority allow overrode higher-priority deny")
+	}
+	if !u.Check(0x21000, 8, R, ModeS) {
+		t.Error("outside the deny entry, allow entry should match")
+	}
+}
+
+func TestMModeBypassesUnlocked(t *testing.T) {
+	var u Unit
+	u.Configure(0, entry(0x30000, page, 0)) // no perms, not locked
+	if !u.Check(0x30000, 8, W, ModeM) {
+		t.Error("M-mode should bypass unlocked entries")
+	}
+}
+
+func TestLockBindsMMode(t *testing.T) {
+	var u Unit
+	e := entry(0x40000, page, R)
+	e.Lock = true
+	u.Configure(0, e)
+	if u.Check(0x40000, 8, W, ModeM) {
+		t.Error("locked entry did not bind M-mode write")
+	}
+	if !u.Check(0x40000, 8, R, ModeM) {
+		t.Error("locked entry denied permitted M-mode read")
+	}
+}
+
+func TestLockedEntryImmutable(t *testing.T) {
+	var u Unit
+	e := entry(0x50000, page, R)
+	e.Lock = true
+	u.Configure(0, e)
+	if err := u.Configure(0, entry(0x50000, page, R|W|X)); !errors.Is(err, ErrLocked) {
+		t.Fatalf("rewriting locked entry: err = %v", err)
+	}
+	if err := u.Clear(0); !errors.Is(err, ErrLocked) {
+		t.Fatalf("clearing locked entry: err = %v", err)
+	}
+}
+
+func TestConfigureValidation(t *testing.T) {
+	var u Unit
+	if err := u.Configure(-1, Entry{}); err == nil {
+		t.Error("negative index accepted")
+	}
+	if err := u.Configure(NumEntries, Entry{}); err == nil {
+		t.Error("index past end accepted")
+	}
+	if err := u.Configure(0, entry(0x1001, page, R)); err == nil {
+		t.Error("unaligned base accepted")
+	}
+	if err := u.Configure(0, entry(0x1000, 0, R)); err == nil {
+		t.Error("zero size accepted")
+	}
+	if err := u.Configure(0, entry(0x1000, page+1, R)); err == nil {
+		t.Error("unaligned size accepted")
+	}
+}
+
+func TestClearRestoresDeny(t *testing.T) {
+	var u Unit
+	u.Configure(0, entry(0x60000, page, R|W))
+	if !u.Check(0x60000, 8, R, ModeU) {
+		t.Fatal("setup failed")
+	}
+	if err := u.Clear(0); err != nil {
+		t.Fatal(err)
+	}
+	if u.Check(0x60000, 8, R, ModeU) {
+		t.Error("cleared entry still grants access")
+	}
+}
+
+func TestSnapshot(t *testing.T) {
+	var u Unit
+	u.Configure(3, entry(0x1000, page, R))
+	u.Configure(7, entry(0x2000, page, W))
+	if got := len(u.Snapshot()); got != 2 {
+		t.Fatalf("snapshot has %d entries, want 2", got)
+	}
+}
+
+func TestZeroLengthAccessTreatedAsByte(t *testing.T) {
+	var u Unit
+	u.Configure(0, entry(0x1000, page, R))
+	if !u.Check(0x1000, 0, R, ModeU) {
+		t.Error("zero-length access at start of range denied")
+	}
+}
+
+func TestPermString(t *testing.T) {
+	if (R|W|X).String() != "rwx" || Perm(0).String() != "---" || (R|X).String() != "r-x" {
+		t.Error("perm string formatting wrong")
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if ModeU.String() != "U" || ModeS.String() != "S" || ModeM.String() != "M" {
+		t.Error("mode string formatting wrong")
+	}
+}

@@ -1,0 +1,282 @@
+// Package pt implements the sv39-style three-level page tables used by
+// the simulated machine. Page tables live in simulated physical memory
+// (they are ordinary pages), so both the untrusted OS and the security
+// monitor manipulate them through the same primitives the hardware
+// walker reads — which is what lets Sanctorum enforce its invariants
+// over enclave page tables (paper §VI-A: tables at the base of enclave
+// physical memory, initialized before data pages).
+package pt
+
+import (
+	"errors"
+	"fmt"
+
+	"sanctorum/internal/hw/mem"
+)
+
+// PTE bits, following the RISC-V privileged specification layout.
+const (
+	V uint64 = 1 << 0 // valid
+	R uint64 = 1 << 1 // readable
+	W uint64 = 1 << 2 // writable
+	X uint64 = 1 << 3 // executable
+	U uint64 = 1 << 4 // user-accessible
+	G uint64 = 1 << 5 // global
+	A uint64 = 1 << 6 // accessed
+	D uint64 = 1 << 7 // dirty
+
+	ppnShift = 10
+)
+
+// Geometry of the three-level walk.
+const (
+	Levels     = 3
+	vpnBits    = 9
+	vpnMask    = 1<<vpnBits - 1
+	VABits     = Levels*vpnBits + mem.PageBits // 39
+	EntrySize  = 8
+	EntriesPer = mem.PageSize / EntrySize
+)
+
+// VAMask selects the translatable bits of a virtual address.
+const VAMask = 1<<VABits - 1
+
+// Access distinguishes the three access types for permission checks.
+type Access uint8
+
+// Access types.
+const (
+	Fetch Access = iota
+	Load
+	Store
+)
+
+func (a Access) String() string {
+	switch a {
+	case Fetch:
+		return "fetch"
+	case Load:
+		return "load"
+	case Store:
+		return "store"
+	default:
+		return fmt.Sprintf("access(%d)", uint8(a))
+	}
+}
+
+// FaultKind classifies a translation failure.
+type FaultKind uint8
+
+// Translation failure kinds.
+const (
+	FaultNone       FaultKind = iota
+	FaultPage                 // invalid mapping or insufficient permissions
+	FaultPhysAccess           // a physical access during or after the walk was denied
+)
+
+// Fault describes a failed translation.
+type Fault struct {
+	Kind FaultKind
+	VA   uint64
+	Acc  Access
+}
+
+func (f *Fault) Error() string {
+	if f == nil {
+		return "pt: no fault"
+	}
+	kind := "page fault"
+	if f.Kind == FaultPhysAccess {
+		kind = "access fault"
+	}
+	return fmt.Sprintf("pt: %s on %s at va %#x", kind, f.Acc, f.VA)
+}
+
+// VPN extracts the level-l virtual page number component of va.
+func VPN(va uint64, l int) uint64 {
+	return (va >> (mem.PageBits + uint(l)*vpnBits)) & vpnMask
+}
+
+// MakePTE builds a leaf or intermediate PTE for the given physical page
+// number and flag bits.
+func MakePTE(ppn uint64, flags uint64) uint64 { return ppn<<ppnShift | flags }
+
+// PPNOf extracts the physical page number from a PTE.
+func PPNOf(pte uint64) uint64 { return pte >> ppnShift }
+
+// IsLeaf reports whether the PTE maps a page (has any of R/W/X).
+func IsLeaf(pte uint64) bool { return pte&(R|W|X) != 0 }
+
+// Result is a successful translation.
+type Result struct {
+	PA    uint64 // translated physical address
+	Perms uint64 // leaf PTE flag bits
+	Steps int    // number of PTE fetches the walk performed
+}
+
+// PhysReader reads an 8-byte PTE from physical memory. It returns false
+// if the physical access is denied by the platform's isolation primitive
+// (Sanctum region bitmaps or Keystone PMP); the walker converts that
+// into a FaultPhysAccess.
+type PhysReader func(pa uint64) (uint64, bool)
+
+// Walk translates va using the table rooted at physical page rootPPN.
+// user selects U-mode permission checking (true for U-mode accesses;
+// S-mode accesses require the U bit clear, mirroring RISC-V without
+// SUM).
+func Walk(read PhysReader, rootPPN, va uint64, acc Access, user bool) (Result, *Fault) {
+	fault := func(k FaultKind) (Result, *Fault) {
+		return Result{}, &Fault{Kind: k, VA: va, Acc: acc}
+	}
+	root := rootPPN
+	steps := 0
+	for level := Levels - 1; level >= 0; level-- {
+		pteAddr := root<<mem.PageBits + VPN(va, level)*EntrySize
+		pte, ok := read(pteAddr)
+		steps++
+		if !ok {
+			return fault(FaultPhysAccess)
+		}
+		if pte&V == 0 {
+			return fault(FaultPage)
+		}
+		if !IsLeaf(pte) {
+			if level == 0 {
+				return fault(FaultPage) // non-leaf at last level
+			}
+			root = PPNOf(pte)
+			continue
+		}
+		// Leaf: superpages must be aligned; we only issue 4K leaves at
+		// level 0 but reject a malformed superpage rather than mapping it.
+		if level != 0 {
+			return fault(FaultPage)
+		}
+		if !permOK(pte, acc, user) {
+			return fault(FaultPage)
+		}
+		pa := PPNOf(pte)<<mem.PageBits | va&mem.PageMask
+		return Result{PA: pa, Perms: pte & 0xFF, Steps: steps}, nil
+	}
+	return fault(FaultPage)
+}
+
+func permOK(pte uint64, acc Access, user bool) bool {
+	if user && pte&U == 0 {
+		return false
+	}
+	if !user && pte&U != 0 {
+		return false
+	}
+	switch acc {
+	case Fetch:
+		return pte&X != 0
+	case Load:
+		return pte&R != 0
+	case Store:
+		return pte&W != 0
+	default:
+		return false
+	}
+}
+
+// Builder constructs page tables in physical memory. Alloc returns the
+// physical page number of a fresh, zeroed page to use for a table node.
+type Builder struct {
+	Mem   *mem.Phys
+	Alloc func() (uint64, error)
+	Root  uint64 // root table PPN
+}
+
+// ErrNoMapping is returned by Unmap/Lookup for absent mappings.
+var ErrNoMapping = errors.New("pt: no mapping")
+
+// NewBuilder allocates a root table and returns a builder.
+func NewBuilder(m *mem.Phys, alloc func() (uint64, error)) (*Builder, error) {
+	root, err := alloc()
+	if err != nil {
+		return nil, fmt.Errorf("pt: allocating root: %w", err)
+	}
+	if err := m.ZeroPage(root << mem.PageBits); err != nil {
+		return nil, err
+	}
+	return &Builder{Mem: m, Alloc: alloc, Root: root}, nil
+}
+
+// Map installs a 4 KiB translation va→pa with the given flag bits
+// (V is implied), allocating intermediate tables as needed.
+func (b *Builder) Map(va, pa uint64, flags uint64) error {
+	if va&mem.PageMask != 0 || pa&mem.PageMask != 0 {
+		return fmt.Errorf("pt: Map of unaligned addresses va=%#x pa=%#x", va, pa)
+	}
+	node := b.Root
+	for level := Levels - 1; level > 0; level-- {
+		pteAddr := node<<mem.PageBits + VPN(va, level)*EntrySize
+		pte, err := b.Mem.Load(pteAddr, 8)
+		if err != nil {
+			return err
+		}
+		if pte&V == 0 {
+			next, err := b.Alloc()
+			if err != nil {
+				return fmt.Errorf("pt: allocating level-%d table: %w", level-1, err)
+			}
+			if err := b.Mem.ZeroPage(next << mem.PageBits); err != nil {
+				return err
+			}
+			pte = MakePTE(next, V)
+			if err := b.Mem.Store(pteAddr, 8, pte); err != nil {
+				return err
+			}
+		} else if IsLeaf(pte) {
+			return fmt.Errorf("pt: va %#x already mapped by a superpage", va)
+		}
+		node = PPNOf(pte)
+	}
+	leafAddr := node<<mem.PageBits + VPN(va, 0)*EntrySize
+	return b.Mem.Store(leafAddr, 8, MakePTE(pa>>mem.PageBits, flags|V))
+}
+
+// Unmap removes the translation for va.
+func (b *Builder) Unmap(va uint64) error {
+	leafAddr, err := b.leafAddr(va)
+	if err != nil {
+		return err
+	}
+	return b.Mem.Store(leafAddr, 8, 0)
+}
+
+// Lookup returns the leaf PTE for va.
+func (b *Builder) Lookup(va uint64) (uint64, error) {
+	leafAddr, err := b.leafAddr(va)
+	if err != nil {
+		return 0, err
+	}
+	pte, err := b.Mem.Load(leafAddr, 8)
+	if err != nil {
+		return 0, err
+	}
+	if pte&V == 0 {
+		return 0, ErrNoMapping
+	}
+	return pte, nil
+}
+
+func (b *Builder) leafAddr(va uint64) (uint64, error) {
+	node := b.Root
+	for level := Levels - 1; level > 0; level-- {
+		pteAddr := node<<mem.PageBits + VPN(va, level)*EntrySize
+		pte, err := b.Mem.Load(pteAddr, 8)
+		if err != nil {
+			return 0, err
+		}
+		if pte&V == 0 {
+			return 0, ErrNoMapping
+		}
+		if IsLeaf(pte) {
+			return 0, fmt.Errorf("pt: va %#x mapped by superpage", va)
+		}
+		node = PPNOf(pte)
+	}
+	return node<<mem.PageBits + VPN(va, 0)*EntrySize, nil
+}

@@ -1,0 +1,246 @@
+package pt
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"sanctorum/internal/hw/mem"
+)
+
+// testEnv provides a physical memory and a bump allocator for tables.
+type testEnv struct {
+	m    *mem.Phys
+	next uint64
+}
+
+func newEnv(t *testing.T) *testEnv {
+	t.Helper()
+	return &testEnv{m: mem.New(1 << 24), next: 16} // tables from page 16 up
+}
+
+func (e *testEnv) alloc() (uint64, error) {
+	p := e.next
+	e.next++
+	if p >= e.m.Pages() {
+		return 0, errors.New("out of pages")
+	}
+	return p, nil
+}
+
+func (e *testEnv) reader() PhysReader {
+	return func(pa uint64) (uint64, bool) {
+		v, err := e.m.Load(pa, 8)
+		return v, err == nil
+	}
+}
+
+func mustBuilder(t *testing.T, e *testEnv) *Builder {
+	t.Helper()
+	b, err := NewBuilder(e.m, e.alloc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestMapWalkRoundTrip(t *testing.T) {
+	e := newEnv(t)
+	b := mustBuilder(t, e)
+	const va, pa = 0x40001000, 0x00345000
+	if err := b.Map(va, pa, R|W|U); err != nil {
+		t.Fatal(err)
+	}
+	res, fault := Walk(e.reader(), b.Root, va+0x123, Load, true)
+	if fault != nil {
+		t.Fatalf("walk faulted: %v", fault)
+	}
+	if res.PA != pa+0x123 {
+		t.Fatalf("pa = %#x, want %#x", res.PA, pa+0x123)
+	}
+	if res.Steps != Levels {
+		t.Fatalf("walk steps = %d, want %d", res.Steps, Levels)
+	}
+}
+
+func TestWalkUnmappedFaults(t *testing.T) {
+	e := newEnv(t)
+	b := mustBuilder(t, e)
+	_, fault := Walk(e.reader(), b.Root, 0xdead000, Load, true)
+	if fault == nil || fault.Kind != FaultPage {
+		t.Fatalf("fault = %v", fault)
+	}
+}
+
+func TestPermissionEnforcement(t *testing.T) {
+	e := newEnv(t)
+	b := mustBuilder(t, e)
+	cases := []struct {
+		name  string
+		flags uint64
+		acc   Access
+		user  bool
+		ok    bool
+	}{
+		{"read from r page", R | U, Load, true, true},
+		{"write to r page", R | U, Store, true, false},
+		{"write to rw page", R | W | U, Store, true, true},
+		{"fetch from rw page", R | W | U, Fetch, true, false},
+		{"fetch from x page", X | U, Fetch, true, true},
+		{"user access to supervisor page", R, Load, true, false},
+		{"supervisor access to user page", R | U, Load, false, false},
+		{"supervisor access to supervisor page", R, Load, false, true},
+	}
+	for i, c := range cases {
+		va := uint64(0x1000000 + i*0x1000)
+		pa := uint64(0x200000 + i*0x1000)
+		if err := b.Map(va, pa, c.flags); err != nil {
+			t.Fatal(err)
+		}
+		_, fault := Walk(e.reader(), b.Root, va, c.acc, c.user)
+		if (fault == nil) != c.ok {
+			t.Errorf("%s: fault = %v, want ok=%v", c.name, fault, c.ok)
+		}
+		if fault != nil && fault.Kind != FaultPage {
+			t.Errorf("%s: kind = %v, want page fault", c.name, fault.Kind)
+		}
+	}
+}
+
+func TestWalkPhysAccessFault(t *testing.T) {
+	e := newEnv(t)
+	b := mustBuilder(t, e)
+	if err := b.Map(0x5000, 0x9000, R|U); err != nil {
+		t.Fatal(err)
+	}
+	denyAll := func(pa uint64) (uint64, bool) { return 0, false }
+	_, fault := Walk(denyAll, b.Root, 0x5000, Load, true)
+	if fault == nil || fault.Kind != FaultPhysAccess {
+		t.Fatalf("fault = %v, want phys access fault", fault)
+	}
+}
+
+func TestUnmapAndLookup(t *testing.T) {
+	e := newEnv(t)
+	b := mustBuilder(t, e)
+	if err := b.Map(0x7000, 0x8000, R|U); err != nil {
+		t.Fatal(err)
+	}
+	pte, err := b.Lookup(0x7000)
+	if err != nil || PPNOf(pte) != 0x8 {
+		t.Fatalf("lookup: pte=%#x err=%v", pte, err)
+	}
+	if err := b.Unmap(0x7000); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Lookup(0x7000); !errors.Is(err, ErrNoMapping) {
+		t.Fatalf("lookup after unmap: %v", err)
+	}
+	if _, fault := Walk(e.reader(), b.Root, 0x7000, Load, true); fault == nil {
+		t.Fatal("walk succeeded after unmap")
+	}
+}
+
+func TestUnmapAbsentFails(t *testing.T) {
+	e := newEnv(t)
+	b := mustBuilder(t, e)
+	if err := b.Unmap(0xABC000); !errors.Is(err, ErrNoMapping) {
+		t.Fatalf("unmap absent: %v", err)
+	}
+}
+
+func TestMapRejectsUnaligned(t *testing.T) {
+	e := newEnv(t)
+	b := mustBuilder(t, e)
+	if err := b.Map(0x1001, 0x2000, R); err == nil {
+		t.Error("unaligned va accepted")
+	}
+	if err := b.Map(0x1000, 0x2001, R); err == nil {
+		t.Error("unaligned pa accepted")
+	}
+}
+
+func TestDistantVAsShareNoTables(t *testing.T) {
+	e := newEnv(t)
+	b := mustBuilder(t, e)
+	before := e.next
+	// Two VAs differing in the top-level VPN need separate subtrees.
+	if err := b.Map(0, 0x3000, R|U); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Map(1<<(VABits-1), 0x4000, R|U); err != nil {
+		t.Fatal(err)
+	}
+	allocated := e.next - before
+	if allocated != 4 { // two level-1 + two level-0 tables
+		t.Fatalf("allocated %d tables, want 4", allocated)
+	}
+	// Adjacent VA reuses the same subtree: no new allocations.
+	before = e.next
+	if err := b.Map(0x1000, 0x5000, R|U); err != nil {
+		t.Fatal(err)
+	}
+	if e.next != before {
+		t.Fatal("adjacent mapping allocated new tables")
+	}
+}
+
+func TestVPNExtraction(t *testing.T) {
+	va := uint64(0x1FF<<30 | 0x0AB<<21 | 0x0CD<<12 | 0x456)
+	if VPN(va, 2) != 0x1FF || VPN(va, 1) != 0x0AB || VPN(va, 0) != 0x0CD {
+		t.Fatalf("VPN split wrong: %#x %#x %#x", VPN(va, 2), VPN(va, 1), VPN(va, 0))
+	}
+}
+
+func TestWalkRejectsNonLeafAtLastLevel(t *testing.T) {
+	e := newEnv(t)
+	b := mustBuilder(t, e)
+	if err := b.Map(0x9000, 0xA000, R|U); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the leaf into a pointer PTE (valid, but no R/W/X).
+	leaf, _ := b.Lookup(0x9000)
+	addr, _ := b.leafAddr(0x9000)
+	e.m.Store(addr, 8, leaf&^uint64(R|W|X|U))
+	_, fault := Walk(e.reader(), b.Root, 0x9000, Load, true)
+	if fault == nil || fault.Kind != FaultPage {
+		t.Fatalf("non-leaf at level 0: fault=%v", fault)
+	}
+}
+
+func TestWalkRejectsMisplacedSuperpage(t *testing.T) {
+	e := newEnv(t)
+	b := mustBuilder(t, e)
+	// Hand-craft a leaf at level 2 (a 1 GiB superpage), which this
+	// machine does not support; the walker must page-fault, not map it.
+	rootAddr := b.Root<<mem.PageBits + VPN(0x40000000, 2)*EntrySize
+	e.m.Store(rootAddr, 8, MakePTE(0x100, V|R|U))
+	_, fault := Walk(e.reader(), b.Root, 0x40000000, Load, true)
+	if fault == nil || fault.Kind != FaultPage {
+		t.Fatalf("superpage leaf: fault=%v", fault)
+	}
+}
+
+// Property: mapping then walking any page-aligned (va, pa) pair in range
+// translates every offset within the page correctly.
+func TestMapWalkProperty(t *testing.T) {
+	e := newEnv(t)
+	b := mustBuilder(t, e)
+	used := map[uint64]bool{}
+	prop := func(vaSeed, paSeed uint32, off uint16) bool {
+		va := (uint64(vaSeed) << 12) & VAMask &^ uint64(mem.PageMask)
+		pa := (uint64(paSeed)%(1<<12) + 0x400) << 12 // stay in phys range, above tables
+		if used[va] {
+			return true
+		}
+		used[va] = true
+		if err := b.Map(va, pa, R|W|U); err != nil {
+			return false
+		}
+		res, fault := Walk(e.reader(), b.Root, va|uint64(off)&mem.PageMask, Load, true)
+		return fault == nil && res.PA == pa|uint64(off)&mem.PageMask
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

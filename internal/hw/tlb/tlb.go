@@ -1,0 +1,99 @@
+// Package tlb models a per-core translation lookaside buffer. Sanctum's
+// page-walk invariant guarantees TLB entries conform to the DRAM region
+// allocation, which requires a TLB shootdown whenever a region moves to
+// a different protection domain (paper §VII-A); FlushIf implements the
+// selective shootdown and Flush the full flush used on core cleaning.
+package tlb
+
+// Entry caches one translation.
+type Entry struct {
+	VPN   uint64 // virtual page number
+	PPN   uint64 // physical page number
+	Perms uint64 // leaf PTE flag bits
+	Valid bool
+}
+
+// TLB is a fully-associative TLB with FIFO replacement. Replacement
+// policy is not security-relevant here (the SM flushes on every domain
+// switch), so the simplest deterministic policy keeps tests exact.
+type TLB struct {
+	entries []Entry
+	next    int // FIFO insertion cursor
+
+	// Statistics.
+	Hits      uint64
+	Misses    uint64
+	Flushes   uint64
+	Shootdown uint64
+}
+
+// New returns a TLB with the given number of entries.
+func New(capacity int) *TLB {
+	if capacity <= 0 {
+		capacity = 1
+	}
+	return &TLB{entries: make([]Entry, capacity)}
+}
+
+// Capacity returns the number of entries.
+func (t *TLB) Capacity() int { return len(t.entries) }
+
+// Lookup returns the cached translation for vpn, if present.
+func (t *TLB) Lookup(vpn uint64) (Entry, bool) {
+	for _, e := range t.entries {
+		if e.Valid && e.VPN == vpn {
+			t.Hits++
+			return e, true
+		}
+	}
+	t.Misses++
+	return Entry{}, false
+}
+
+// Insert caches a translation, evicting in FIFO order. An existing entry
+// for the same VPN is replaced in place.
+func (t *TLB) Insert(e Entry) {
+	e.Valid = true
+	for i := range t.entries {
+		if t.entries[i].Valid && t.entries[i].VPN == e.VPN {
+			t.entries[i] = e
+			return
+		}
+	}
+	t.entries[t.next] = e
+	t.next = (t.next + 1) % len(t.entries)
+}
+
+// Flush invalidates every entry (full flush on core re-allocation).
+func (t *TLB) Flush() {
+	for i := range t.entries {
+		t.entries[i].Valid = false
+	}
+	t.Flushes++
+}
+
+// FlushIf invalidates entries matching pred (selective shootdown, e.g.
+// all translations into a DRAM region being re-allocated). It returns
+// the number of entries invalidated.
+func (t *TLB) FlushIf(pred func(Entry) bool) int {
+	n := 0
+	for i := range t.entries {
+		if t.entries[i].Valid && pred(t.entries[i]) {
+			t.entries[i].Valid = false
+			n++
+		}
+	}
+	t.Shootdown++
+	return n
+}
+
+// Live returns the number of valid entries.
+func (t *TLB) Live() int {
+	n := 0
+	for _, e := range t.entries {
+		if e.Valid {
+			n++
+		}
+	}
+	return n
+}

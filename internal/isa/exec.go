@@ -1,0 +1,280 @@
+package isa
+
+// Bus is the CPU's window onto the machine: every fetch, load and store
+// goes through it, which is where the machine applies translation,
+// isolation checks and cache timing. Cycles returned are added to the
+// core's cycle counter.
+type Bus interface {
+	// FetchInstr reads the 8-byte instruction word at va.
+	FetchInstr(va uint64) (word uint64, cycles uint64, fault *MemFault)
+	// Load reads width bytes at va.
+	Load(va uint64, width int) (val uint64, cycles uint64, fault *MemFault)
+	// Store writes width bytes at va.
+	Store(va uint64, width int, val uint64) (cycles uint64, fault *MemFault)
+}
+
+// CPU is the architectural state of one SRV64 hart.
+type CPU struct {
+	Regs   [NumRegs]uint64
+	PC     uint64
+	Mode   Priv
+	Cycles uint64
+	Halted bool
+}
+
+// Reg returns register r, with x0 hardwired to zero.
+func (c *CPU) Reg(r uint8) uint64 {
+	if r == RegZero {
+		return 0
+	}
+	return c.Regs[r%NumRegs]
+}
+
+// SetReg writes register r; writes to x0 are discarded.
+func (c *CPU) SetReg(r uint8, v uint64) {
+	if r != RegZero {
+		c.Regs[r%NumRegs] = v
+	}
+}
+
+// Per-instruction base cycle costs (memory latency is added by the Bus).
+const (
+	cycleALU    = 1
+	cycleMul    = 3
+	cycleDiv    = 12
+	cycleBranch = 1
+	cycleJump   = 1
+	cycleSystem = 1
+)
+
+func sext(imm int32) uint64 { return uint64(int64(imm)) }
+
+// Step executes one instruction. It returns nil if execution may
+// continue, or the Trap that stopped it. The PC is left at the trapping
+// instruction for traps (so the handler can resume or skip it) and at
+// the next instruction otherwise.
+func (c *CPU) Step(bus Bus) *Trap {
+	if c.Halted {
+		return &Trap{Cause: CauseHalt, PC: c.PC}
+	}
+	if c.PC%InstrSize != 0 {
+		return &Trap{Cause: CauseMisalignedFetch, PC: c.PC, Value: c.PC}
+	}
+	word, cyc, fault := bus.FetchInstr(c.PC)
+	c.Cycles += cyc
+	if fault != nil {
+		return &Trap{Cause: fault.trapCause(accFetch), PC: c.PC, Value: fault.Addr}
+	}
+	in := Decode(word)
+	nextPC := c.PC + InstrSize
+
+	switch in.Op {
+	case OpNOP:
+		c.Cycles += cycleALU
+
+	case OpHALT:
+		c.Halted = true
+		c.Cycles += cycleSystem
+		return &Trap{Cause: CauseHalt, PC: c.PC}
+
+	case OpADD:
+		c.SetReg(in.Rd, c.Reg(in.Rs1)+c.Reg(in.Rs2))
+		c.Cycles += cycleALU
+	case OpSUB:
+		c.SetReg(in.Rd, c.Reg(in.Rs1)-c.Reg(in.Rs2))
+		c.Cycles += cycleALU
+	case OpAND:
+		c.SetReg(in.Rd, c.Reg(in.Rs1)&c.Reg(in.Rs2))
+		c.Cycles += cycleALU
+	case OpOR:
+		c.SetReg(in.Rd, c.Reg(in.Rs1)|c.Reg(in.Rs2))
+		c.Cycles += cycleALU
+	case OpXOR:
+		c.SetReg(in.Rd, c.Reg(in.Rs1)^c.Reg(in.Rs2))
+		c.Cycles += cycleALU
+	case OpSLL:
+		c.SetReg(in.Rd, c.Reg(in.Rs1)<<(c.Reg(in.Rs2)&63))
+		c.Cycles += cycleALU
+	case OpSRL:
+		c.SetReg(in.Rd, c.Reg(in.Rs1)>>(c.Reg(in.Rs2)&63))
+		c.Cycles += cycleALU
+	case OpSRA:
+		c.SetReg(in.Rd, uint64(int64(c.Reg(in.Rs1))>>(c.Reg(in.Rs2)&63)))
+		c.Cycles += cycleALU
+	case OpSLT:
+		c.SetReg(in.Rd, b2u(int64(c.Reg(in.Rs1)) < int64(c.Reg(in.Rs2))))
+		c.Cycles += cycleALU
+	case OpSLTU:
+		c.SetReg(in.Rd, b2u(c.Reg(in.Rs1) < c.Reg(in.Rs2)))
+		c.Cycles += cycleALU
+	case OpMUL:
+		c.SetReg(in.Rd, c.Reg(in.Rs1)*c.Reg(in.Rs2))
+		c.Cycles += cycleMul
+	case OpDIVU:
+		d := c.Reg(in.Rs2)
+		if d == 0 {
+			c.SetReg(in.Rd, ^uint64(0)) // RISC-V semantics: no trap
+		} else {
+			c.SetReg(in.Rd, c.Reg(in.Rs1)/d)
+		}
+		c.Cycles += cycleDiv
+	case OpREMU:
+		d := c.Reg(in.Rs2)
+		if d == 0 {
+			c.SetReg(in.Rd, c.Reg(in.Rs1))
+		} else {
+			c.SetReg(in.Rd, c.Reg(in.Rs1)%d)
+		}
+		c.Cycles += cycleDiv
+
+	case OpADDI:
+		c.SetReg(in.Rd, c.Reg(in.Rs1)+sext(in.Imm))
+		c.Cycles += cycleALU
+	case OpANDI:
+		c.SetReg(in.Rd, c.Reg(in.Rs1)&sext(in.Imm))
+		c.Cycles += cycleALU
+	case OpORI:
+		c.SetReg(in.Rd, c.Reg(in.Rs1)|sext(in.Imm))
+		c.Cycles += cycleALU
+	case OpXORI:
+		c.SetReg(in.Rd, c.Reg(in.Rs1)^sext(in.Imm))
+		c.Cycles += cycleALU
+	case OpSLLI:
+		c.SetReg(in.Rd, c.Reg(in.Rs1)<<(uint32(in.Imm)&63))
+		c.Cycles += cycleALU
+	case OpSRLI:
+		c.SetReg(in.Rd, c.Reg(in.Rs1)>>(uint32(in.Imm)&63))
+		c.Cycles += cycleALU
+	case OpSRAI:
+		c.SetReg(in.Rd, uint64(int64(c.Reg(in.Rs1))>>(uint32(in.Imm)&63)))
+		c.Cycles += cycleALU
+	case OpSLTI:
+		c.SetReg(in.Rd, b2u(int64(c.Reg(in.Rs1)) < int64(sext(in.Imm))))
+		c.Cycles += cycleALU
+	case OpSLTIU:
+		c.SetReg(in.Rd, b2u(c.Reg(in.Rs1) < sext(in.Imm)))
+		c.Cycles += cycleALU
+	case OpLI:
+		c.SetReg(in.Rd, sext(in.Imm))
+		c.Cycles += cycleALU
+
+	case OpLB, OpLBU, OpLH, OpLHU, OpLW, OpLWU, OpLD:
+		width, signed := loadSpec(in.Op)
+		addr := c.Reg(in.Rs1) + sext(in.Imm)
+		val, cyc, fault := bus.Load(addr, width)
+		c.Cycles += cyc
+		if fault != nil {
+			return &Trap{Cause: fault.trapCause(accLoad), PC: c.PC, Value: fault.Addr}
+		}
+		if signed {
+			val = signExtend(val, width)
+		}
+		c.SetReg(in.Rd, val)
+
+	case OpSB, OpSH, OpSW, OpSD:
+		width := storeSpec(in.Op)
+		addr := c.Reg(in.Rs1) + sext(in.Imm)
+		cyc, fault := bus.Store(addr, width, c.Reg(in.Rs2))
+		c.Cycles += cyc
+		if fault != nil {
+			return &Trap{Cause: fault.trapCause(accStore), PC: c.PC, Value: fault.Addr}
+		}
+
+	case OpBEQ, OpBNE, OpBLT, OpBGE, OpBLTU, OpBGEU:
+		if branchTaken(in.Op, c.Reg(in.Rs1), c.Reg(in.Rs2)) {
+			nextPC = c.PC + sext(in.Imm)
+		}
+		c.Cycles += cycleBranch
+
+	case OpJAL:
+		c.SetReg(in.Rd, c.PC+InstrSize)
+		nextPC = c.PC + sext(in.Imm)
+		c.Cycles += cycleJump
+	case OpJALR:
+		target := c.Reg(in.Rs1) + sext(in.Imm)
+		c.SetReg(in.Rd, c.PC+InstrSize)
+		nextPC = target
+		c.Cycles += cycleJump
+
+	case OpECALL:
+		c.Cycles += cycleSystem
+		cause := CauseECallU
+		if c.Mode == PrivS {
+			cause = CauseECallS
+		}
+		return &Trap{Cause: cause, PC: c.PC, Value: c.Reg(RegA7)}
+	case OpEBREAK:
+		c.Cycles += cycleSystem
+		return &Trap{Cause: CauseBreakpoint, PC: c.PC}
+	case OpRDCYCLE:
+		c.SetReg(in.Rd, c.Cycles)
+		c.Cycles += cycleSystem
+
+	default:
+		return &Trap{Cause: CauseIllegal, PC: c.PC, Value: word}
+	}
+
+	c.PC = nextPC
+	return nil
+}
+
+func loadSpec(op Op) (width int, signed bool) {
+	switch op {
+	case OpLB:
+		return 1, true
+	case OpLBU:
+		return 1, false
+	case OpLH:
+		return 2, true
+	case OpLHU:
+		return 2, false
+	case OpLW:
+		return 4, true
+	case OpLWU:
+		return 4, false
+	default:
+		return 8, false
+	}
+}
+
+func storeSpec(op Op) int {
+	switch op {
+	case OpSB:
+		return 1
+	case OpSH:
+		return 2
+	case OpSW:
+		return 4
+	default:
+		return 8
+	}
+}
+
+func branchTaken(op Op, a, b uint64) bool {
+	switch op {
+	case OpBEQ:
+		return a == b
+	case OpBNE:
+		return a != b
+	case OpBLT:
+		return int64(a) < int64(b)
+	case OpBGE:
+		return int64(a) >= int64(b)
+	case OpBLTU:
+		return a < b
+	default:
+		return a >= b
+	}
+}
+
+func signExtend(v uint64, width int) uint64 {
+	shift := uint(64 - 8*width)
+	return uint64(int64(v<<shift) >> shift)
+}
+
+func b2u(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}

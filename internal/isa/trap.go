@@ -1,0 +1,167 @@
+package isa
+
+import "fmt"
+
+// Priv is a hardware privilege mode.
+type Priv uint8
+
+// Privilege modes, low to high. The security monitor occupies M; the
+// untrusted OS S; enclaves and ordinary processes U.
+const (
+	PrivU Priv = iota
+	PrivS
+	PrivM
+)
+
+func (p Priv) String() string {
+	switch p {
+	case PrivU:
+		return "U"
+	case PrivS:
+		return "S"
+	case PrivM:
+		return "M"
+	default:
+		return fmt.Sprintf("priv(%d)", uint8(p))
+	}
+}
+
+// Cause enumerates trap causes, numbered after the RISC-V privileged
+// specification where an equivalent exists.
+type Cause uint8
+
+// Trap causes.
+const (
+	CauseMisalignedFetch   Cause = 0
+	CauseFetchAccess       Cause = 1
+	CauseIllegal           Cause = 2
+	CauseBreakpoint        Cause = 3
+	CauseMisalignedLoad    Cause = 4
+	CauseLoadAccess        Cause = 5
+	CauseMisalignedStore   Cause = 6
+	CauseStoreAccess       Cause = 7
+	CauseECallU            Cause = 8
+	CauseECallS            Cause = 9
+	CauseFetchPageFault    Cause = 12
+	CauseLoadPageFault     Cause = 13
+	CauseStorePageFault    Cause = 15
+	CauseTimerInterrupt    Cause = 0x80 | 7
+	CauseExternalInterrupt Cause = 0x80 | 11
+	CauseHalt              Cause = 0xFF // core executed HALT
+)
+
+// IsInterrupt reports whether the cause is asynchronous.
+func (c Cause) IsInterrupt() bool { return c&0x80 != 0 && c != CauseHalt }
+
+// IsPageFault reports whether the cause is a paging fault, which the SM
+// may deliver to an enclave's fault handler (paper Fig 1).
+func (c Cause) IsPageFault() bool {
+	return c == CauseFetchPageFault || c == CauseLoadPageFault || c == CauseStorePageFault
+}
+
+func (c Cause) String() string {
+	switch c {
+	case CauseMisalignedFetch:
+		return "misaligned-fetch"
+	case CauseFetchAccess:
+		return "fetch-access-fault"
+	case CauseIllegal:
+		return "illegal-instruction"
+	case CauseBreakpoint:
+		return "breakpoint"
+	case CauseMisalignedLoad:
+		return "misaligned-load"
+	case CauseLoadAccess:
+		return "load-access-fault"
+	case CauseMisalignedStore:
+		return "misaligned-store"
+	case CauseStoreAccess:
+		return "store-access-fault"
+	case CauseECallU:
+		return "ecall-from-U"
+	case CauseECallS:
+		return "ecall-from-S"
+	case CauseFetchPageFault:
+		return "fetch-page-fault"
+	case CauseLoadPageFault:
+		return "load-page-fault"
+	case CauseStorePageFault:
+		return "store-page-fault"
+	case CauseTimerInterrupt:
+		return "timer-interrupt"
+	case CauseExternalInterrupt:
+		return "external-interrupt"
+	case CauseHalt:
+		return "halt"
+	default:
+		return fmt.Sprintf("cause(%d)", uint8(c))
+	}
+}
+
+// Trap reports why instruction execution stopped.
+type Trap struct {
+	Cause Cause
+	PC    uint64 // pc of the trapping instruction
+	Value uint64 // faulting address, or ecall number for ECALLs
+}
+
+func (t *Trap) Error() string {
+	return fmt.Sprintf("trap %s at pc %#x (tval %#x)", t.Cause, t.PC, t.Value)
+}
+
+// FaultKind classifies a memory fault reported by the Bus.
+type FaultKind uint8
+
+// Bus fault kinds.
+const (
+	FaultPage FaultKind = iota + 1
+	FaultAccess
+	FaultMisaligned
+)
+
+// MemFault is a memory access failure reported by the Bus; the CPU
+// converts it into the appropriate Trap for the access type.
+type MemFault struct {
+	Kind FaultKind
+	Addr uint64
+}
+
+func (f *MemFault) trapCause(acc accessClass) Cause {
+	switch f.Kind {
+	case FaultMisaligned:
+		switch acc {
+		case accFetch:
+			return CauseMisalignedFetch
+		case accLoad:
+			return CauseMisalignedLoad
+		default:
+			return CauseMisalignedStore
+		}
+	case FaultAccess:
+		switch acc {
+		case accFetch:
+			return CauseFetchAccess
+		case accLoad:
+			return CauseLoadAccess
+		default:
+			return CauseStoreAccess
+		}
+	default:
+		switch acc {
+		case accFetch:
+			return CauseFetchPageFault
+		case accLoad:
+			return CauseLoadPageFault
+		default:
+			return CauseStorePageFault
+		}
+	}
+}
+
+type accessClass uint8
+
+const (
+	accFetch accessClass = iota
+	accLoad
+	accStore
+)

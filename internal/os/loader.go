@@ -1,0 +1,188 @@
+package os
+
+import (
+	"fmt"
+	"sort"
+
+	"sanctorum/internal/hw/mem"
+	"sanctorum/internal/hw/pt"
+	"sanctorum/internal/sm"
+	"sanctorum/internal/sm/api"
+)
+
+// EnclavePage is one page of enclave initial state.
+type EnclavePage struct {
+	VA    uint64
+	Perms uint64 // pt.R/pt.W/pt.X
+	Data  []byte // at most a page; zero-padded
+}
+
+// ThreadSpec describes one enclave thread to load.
+type ThreadSpec struct {
+	EntryVA uint64
+	StackVA uint64 // initial stack pointer
+}
+
+// SharedMapping maps an OS physical page into the enclave's tables
+// outside evrange (Keystone-style untrusted buffer).
+type SharedMapping struct {
+	VA uint64
+	PA uint64
+}
+
+// EnclaveSpec is everything needed to build (and to predict the
+// measurement of) an enclave.
+type EnclaveSpec struct {
+	EvBase  uint64
+	EvMask  uint64
+	Regions []int // DRAM regions to grant before loading
+	Pages   []EnclavePage
+	Shared  []SharedMapping
+	Threads []ThreadSpec
+}
+
+// TableAlloc is one page-table allocation in canonical order.
+type TableAlloc struct {
+	VA    uint64
+	Level int
+}
+
+// TablePlan computes the canonical page-table allocation sequence for a
+// set of mapped VAs: the root first, then level-1 tables by ascending
+// normalized VA, then level-0 tables likewise. Builder and measurement
+// replayer share this order, so predicted and actual measurements agree.
+func TablePlan(vas []uint64) []TableAlloc {
+	plan := []TableAlloc{{VA: 0, Level: pt.Levels - 1}}
+	for level := pt.Levels - 2; level >= 0; level-- {
+		seen := map[uint64]bool{}
+		var prefixes []uint64
+		for _, va := range vas {
+			n := sm.NormalizeTableVA(va, level)
+			if !seen[n] {
+				seen[n] = true
+				prefixes = append(prefixes, n)
+			}
+		}
+		sort.Slice(prefixes, func(i, j int) bool { return prefixes[i] < prefixes[j] })
+		for _, p := range prefixes {
+			plan = append(plan, TableAlloc{VA: p, Level: level})
+		}
+	}
+	return plan
+}
+
+// BuiltEnclave is the result of BuildEnclave.
+type BuiltEnclave struct {
+	EID         uint64
+	TIDs        []uint64
+	Measurement [32]byte
+}
+
+// BuildEnclave drives the monitor's loading API (Fig 3) end to end:
+// create, grant, allocate tables, load pages, map shared windows, load
+// threads, init. The call sequence is canonical so that
+// ExpectedMeasurement predicts the result exactly.
+func (o *OS) BuildEnclave(spec *EnclaveSpec) (*BuiltEnclave, error) {
+	eid, err := o.AllocMetaPage()
+	if err != nil {
+		return nil, err
+	}
+	if st := o.Mon.CreateEnclave(eid, spec.EvBase, spec.EvMask); st != api.OK {
+		return nil, fmt.Errorf("os: create_enclave: %v", st)
+	}
+	for _, r := range spec.Regions {
+		if st := o.Mon.GrantRegion(r, eid); st != api.OK {
+			return nil, fmt.Errorf("os: grant region %d: %v", r, st)
+		}
+	}
+
+	var vas []uint64
+	for _, p := range spec.Pages {
+		vas = append(vas, p.VA)
+	}
+	for _, s := range spec.Shared {
+		vas = append(vas, s.VA)
+	}
+	for _, ta := range TablePlan(vas) {
+		if st := o.Mon.AllocatePageTable(eid, ta.VA, ta.Level); st != api.OK {
+			return nil, fmt.Errorf("os: allocate_page_table(va=%#x, level=%d): %v", ta.VA, ta.Level, st)
+		}
+	}
+
+	// Stage each page in kernel memory and load it.
+	stagePA, err := o.StagePage()
+	if err != nil {
+		return nil, err
+	}
+	for _, p := range spec.Pages {
+		if len(p.Data) > mem.PageSize {
+			return nil, fmt.Errorf("os: page at %#x larger than a page", p.VA)
+		}
+		var buf [mem.PageSize]byte
+		copy(buf[:], p.Data)
+		if err := o.WriteOwned(stagePA, buf[:]); err != nil {
+			return nil, err
+		}
+		if st := o.Mon.LoadPage(eid, p.VA, stagePA, p.Perms); st != api.OK {
+			return nil, fmt.Errorf("os: load_page(va=%#x): %v", p.VA, st)
+		}
+	}
+	for _, s := range spec.Shared {
+		if st := o.Mon.MapShared(eid, s.VA, s.PA); st != api.OK {
+			return nil, fmt.Errorf("os: map_shared(va=%#x): %v", s.VA, st)
+		}
+	}
+
+	built := &BuiltEnclave{EID: eid}
+	for _, t := range spec.Threads {
+		tid, err := o.AllocMetaPage()
+		if err != nil {
+			return nil, err
+		}
+		if st := o.Mon.LoadThread(eid, tid, t.EntryVA, t.StackVA); st != api.OK {
+			return nil, fmt.Errorf("os: load_thread(entry=%#x): %v", t.EntryVA, st)
+		}
+		built.TIDs = append(built.TIDs, tid)
+	}
+
+	if st := o.Mon.InitEnclave(eid); st != api.OK {
+		return nil, fmt.Errorf("os: init_enclave: %v", st)
+	}
+	_, meas, st := o.Mon.EnclaveInfo(eid)
+	if st != api.OK {
+		return nil, fmt.Errorf("os: enclave_info: %v", st)
+	}
+	built.Measurement = meas
+	return built, nil
+}
+
+// ExpectedMeasurement replays the measurement transcript for a spec
+// without touching a machine: the computation a remote verifier (or the
+// author of a signing-enclave policy) performs to learn what a
+// correctly-loaded enclave must measure as (§VI-A).
+func ExpectedMeasurement(spec *EnclaveSpec) [32]byte {
+	m := sm.NewMeasurement()
+	m.ExtendCreate(spec.EvBase, spec.EvMask)
+	var vas []uint64
+	for _, p := range spec.Pages {
+		vas = append(vas, p.VA)
+	}
+	for _, s := range spec.Shared {
+		vas = append(vas, s.VA)
+	}
+	for _, ta := range TablePlan(vas) {
+		m.ExtendPageTable(sm.NormalizeTableVA(ta.VA, ta.Level), ta.Level)
+	}
+	for _, p := range spec.Pages {
+		var buf [mem.PageSize]byte
+		copy(buf[:], p.Data)
+		m.ExtendPage(p.VA, p.Perms, buf[:])
+	}
+	for _, s := range spec.Shared {
+		m.ExtendShared(s.VA)
+	}
+	for _, t := range spec.Threads {
+		m.ExtendThread(t.EntryVA, t.StackVA)
+	}
+	return m.Finalize()
+}

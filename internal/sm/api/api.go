@@ -1,0 +1,152 @@
+// Package api defines the security monitor's call numbers, error codes
+// and ABI constants — the contract between the untrusted OS, enclaves,
+// and the monitor (paper §V-A). Enclaves invoke the monitor through the
+// ECALL instruction with the call number in a7 and arguments in a0..a5;
+// results return in a0 (status) and a1 (value). The untrusted OS, which
+// in this reproduction is Go code standing in for an S-mode kernel,
+// calls the same entry points through the Monitor's exported methods.
+package api
+
+import "fmt"
+
+// Error is the status returned by every monitor call, in a0.
+type Error uint64
+
+// Monitor call status codes.
+const (
+	OK Error = iota
+	// ErrInvalidValue: a parameter failed validation (bad alignment,
+	// out-of-range address, unknown ID).
+	ErrInvalidValue
+	// ErrInvalidState: the operation is illegal in the object's current
+	// lifecycle state (e.g. loading a page into an initialized enclave).
+	ErrInvalidState
+	// ErrConcurrentCall: another transaction holds the object's lock;
+	// the caller should retry (paper §V-A: the SM fails transactions in
+	// case of a concurrent operation).
+	ErrConcurrentCall
+	// ErrUnauthorized: the caller does not own the object or lacks the
+	// privilege for the call.
+	ErrUnauthorized
+	// ErrNoResources: allocation failed (metadata space, PMP entries,
+	// enclave physical pages, free mailboxes).
+	ErrNoResources
+	// ErrNotSupported: the call number is unknown or not available to
+	// this caller.
+	ErrNotSupported
+)
+
+func (e Error) String() string {
+	switch e {
+	case OK:
+		return "ok"
+	case ErrInvalidValue:
+		return "invalid-value"
+	case ErrInvalidState:
+		return "invalid-state"
+	case ErrConcurrentCall:
+		return "concurrent-call"
+	case ErrUnauthorized:
+		return "unauthorized"
+	case ErrNoResources:
+		return "no-resources"
+	case ErrNotSupported:
+		return "not-supported"
+	default:
+		return fmt.Sprintf("error(%d)", uint64(e))
+	}
+}
+
+// Call is a monitor call number (register a7).
+type Call uint64
+
+// Enclave-invocable call numbers. The OS-side API is exposed as Go
+// methods on the Monitor; these numbers exist for the trap path.
+const (
+	// CallExitEnclave ends the current thread's execution slice and
+	// returns the core to the OS. a0 carries an enclave-defined result.
+	CallExitEnclave Call = 0x01
+	// CallGetRandom returns entropy from the trusted source in a1.
+	CallGetRandom Call = 0x02
+	// CallAcceptMail(a0=mailbox index, a1=expected sender eid).
+	CallAcceptMail Call = 0x03
+	// CallSendMail(a0=recipient eid, a1=message VA).
+	CallSendMail Call = 0x04
+	// CallGetMail(a0=mailbox index, a1=output VA). The monitor writes
+	// the 32-byte sender measurement followed by the message bytes.
+	CallGetMail Call = 0x05
+	// CallAcceptThread(a0=tid).
+	CallAcceptThread Call = 0x06
+	// CallReleaseThread(a0=tid).
+	CallReleaseThread Call = 0x07
+	// CallAcceptRegion(a0=region index).
+	CallAcceptRegion Call = 0x08
+	// CallBlockRegion(a0=region index) blocks a region the enclave owns.
+	CallBlockRegion Call = 0x09
+	// CallGetField(a0=field id, a1=output VA, a2=max length).
+	CallGetField Call = 0x0A
+	// CallAttestSign(a0=input VA, a1=input length, a2=output VA) signs
+	// the input with the SM attestation key. Restricted to the signing
+	// enclave (see DESIGN.md: the signature is computed by the monitor
+	// on the signing enclave's behalf because the simulated ISA does not
+	// run Ed25519; the trust structure — only the hard-coded signing
+	// enclave measurement may use the key — is preserved).
+	CallAttestSign Call = 0x0B
+	// CallResumeAEX restores the register file saved by the last
+	// asynchronous enclave exit and continues from the interrupted PC.
+	CallResumeAEX Call = 0x0C
+	// CallSetFaultHandler(a0=handler PC, a1=handler SP) registers an
+	// enclave-virtual fault handler for this thread.
+	CallSetFaultHandler Call = 0x0D
+	// CallResumeFault returns from the enclave fault handler to the
+	// faulting context.
+	CallResumeFault Call = 0x0E
+	// CallMyEnclaveID returns the caller's eid in a1.
+	CallMyEnclaveID Call = 0x0F
+	// CallKADerive(a0=private scalar VA, a1=output VA) writes the
+	// X25519 public share for an enclave-held 32-byte private scalar.
+	// This and the two calls below are the monitor's crypto service:
+	// the simulated ISA cannot run curve arithmetic, so enclaves invoke
+	// the monitor for it, with all key material living in enclave
+	// memory (see DESIGN.md's substitution table).
+	CallKADerive Call = 0x10
+	// CallKACombine(a0=private scalar VA, a1=peer share VA, a2=output
+	// VA) writes the 32-byte session key.
+	CallKACombine Call = 0x11
+	// CallMAC(a0=key VA, a1=message VA, a2=message length, a3=output
+	// VA) writes a 32-byte authenticator.
+	CallMAC Call = 0x12
+)
+
+// Field identifies monitor metadata readable via get_field (§VI-C).
+type Field uint64
+
+// get_field selectors.
+const (
+	// FieldSMMeasurement is the 32-byte monitor measurement.
+	FieldSMMeasurement Field = 1
+	// FieldSMPublicKey is the monitor's attestation public key.
+	FieldSMPublicKey Field = 2
+	// FieldCertChain is the marshalled manufacturer→device→monitor
+	// certificate chain.
+	FieldCertChain Field = 3
+	// FieldEnclaveMeasurement is the calling enclave's own measurement
+	// (valid only for enclave callers).
+	FieldEnclaveMeasurement Field = 4
+)
+
+// Reserved protection-domain constants (paper §V-C: the SM and
+// untrusted software are identified via reserved constants; enclave IDs
+// are metadata physical addresses, which are page-aligned and therefore
+// never collide with these).
+const (
+	DomainOS uint64 = 0
+	DomainSM uint64 = 1
+)
+
+// MailboxSize is the fixed mailbox message size in bytes.
+const MailboxSize = 128
+
+// MailboxesPerEnclave is the number of mailboxes in each enclave's
+// metadata structure.
+const MailboxesPerEnclave = 4

@@ -1,0 +1,121 @@
+// Package boot implements the secure boot protocol the paper assumes
+// (§IV-A, reference [7]): at reset, the boot ROM measures the security
+// monitor image and derives the monitor's attestation key pair from the
+// device root secret and that measurement, so a modified monitor boots
+// with different, unlinkable keys. The manufacturer PKI then certifies
+// the device key, and the device key certifies the monitor key together
+// with the monitor measurement — the chain a remote verifier walks.
+package boot
+
+import (
+	"crypto/ed25519"
+	"fmt"
+
+	"sanctorum/internal/crypto/cert"
+	"sanctorum/internal/crypto/kdf"
+	"sanctorum/internal/crypto/sha3"
+)
+
+// Identity is the monitor's boot-derived cryptographic identity.
+type Identity struct {
+	// Measurement is the SHA3-256 of the monitor image.
+	Measurement [32]byte
+	// AttestPriv/AttestPub form the monitor's attestation key pair,
+	// derived deterministically from (device secret, measurement).
+	AttestPriv ed25519.PrivateKey
+	AttestPub  ed25519.PublicKey
+	// DevicePub identifies the device.
+	DevicePub ed25519.PublicKey
+	// Chain is monitor → device → manufacturer, leaf first.
+	Chain cert.Chain
+}
+
+// Manufacturer is the root of the PKI; in production it lives with the
+// hardware vendor, in this reproduction it is instantiated by tests and
+// examples.
+type Manufacturer struct {
+	Name string
+	priv ed25519.PrivateKey
+	pub  ed25519.PublicKey
+	root *cert.Certificate
+}
+
+// NewManufacturer creates a PKI root with a deterministic key derived
+// from seed (use a random seed outside tests).
+func NewManufacturer(name string, seed []byte) *Manufacturer {
+	key := ed25519.NewKeyFromSeed(kdf.Derive(seed, "manufacturer-root", []byte(name), ed25519.SeedSize))
+	m := &Manufacturer{
+		Name: name,
+		priv: key,
+		pub:  key.Public().(ed25519.PublicKey),
+	}
+	m.root = &cert.Certificate{
+		Role: cert.RoleManufacturer, Subject: name, SubjectKey: m.pub, Issuer: name,
+	}
+	m.root.Sign(m.priv)
+	return m
+}
+
+// RootKey returns the trusted root public key a verifier pins.
+func (m *Manufacturer) RootKey() ed25519.PublicKey { return m.pub }
+
+// Device models one manufactured unit: a unique root secret fused at
+// the factory, and a device key certified by the manufacturer.
+type Device struct {
+	Serial     string
+	rootSecret []byte
+	priv       ed25519.PrivateKey
+	pub        ed25519.PublicKey
+	devCert    *cert.Certificate
+	mfr        *Manufacturer
+}
+
+// Provision creates a device under the manufacturer with the given fused
+// root secret.
+func (m *Manufacturer) Provision(serial string, rootSecret []byte) *Device {
+	devKey := ed25519.NewKeyFromSeed(kdf.Derive(rootSecret, "device-key", []byte(serial), ed25519.SeedSize))
+	d := &Device{
+		Serial:     serial,
+		rootSecret: append([]byte(nil), rootSecret...),
+		priv:       devKey,
+		pub:        devKey.Public().(ed25519.PublicKey),
+		mfr:        m,
+	}
+	d.devCert = &cert.Certificate{
+		Role: cert.RoleDevice, Subject: serial, SubjectKey: d.pub, Issuer: m.Name,
+	}
+	d.devCert.Sign(m.priv)
+	return d
+}
+
+// Boot performs the measured boot of a monitor image: it measures the
+// image, derives the monitor attestation key pair bound to that
+// measurement, and issues the monitor certificate. Two different images
+// yield unrelated keys on the same device; the same image yields the
+// same keys across boots (the property remote attestation relies on).
+func (d *Device) Boot(monitorImage []byte) (*Identity, error) {
+	if len(monitorImage) == 0 {
+		return nil, fmt.Errorf("boot: empty monitor image")
+	}
+	meas := sha3.Sum256(monitorImage)
+	seed := kdf.Derive(d.rootSecret, "monitor-attestation-key", meas[:], ed25519.SeedSize)
+	priv := ed25519.NewKeyFromSeed(seed)
+	pub := priv.Public().(ed25519.PublicKey)
+
+	smCert := &cert.Certificate{
+		Role:        cert.RoleMonitor,
+		Subject:     "sanctorum@" + d.Serial,
+		SubjectKey:  pub,
+		Issuer:      d.Serial,
+		Measurement: meas[:],
+	}
+	smCert.Sign(d.priv)
+
+	return &Identity{
+		Measurement: meas,
+		AttestPriv:  priv,
+		AttestPub:   pub,
+		DevicePub:   d.pub,
+		Chain:       cert.Chain{smCert, d.devCert, d.mfr.root},
+	}, nil
+}

@@ -1,0 +1,90 @@
+package boot
+
+import (
+	"bytes"
+	"crypto/ed25519"
+	"testing"
+)
+
+func fixture(t *testing.T) (*Manufacturer, *Device) {
+	t.Helper()
+	m := NewManufacturer("acme", []byte("mfr-seed"))
+	d := m.Provision("dev-001", []byte("fused-secret-001"))
+	return m, d
+}
+
+func TestBootProducesVerifiableChain(t *testing.T) {
+	m, d := fixture(t)
+	id, err := d.Boot([]byte("monitor image v1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	leaf, err := id.Chain.Verify(m.RootKey())
+	if err != nil {
+		t.Fatalf("chain rejected: %v", err)
+	}
+	if !bytes.Equal(leaf.Measurement, id.Measurement[:]) {
+		t.Fatal("monitor cert does not carry the boot measurement")
+	}
+	if !leaf.SubjectKey.Equal(id.AttestPub) {
+		t.Fatal("monitor cert key mismatch")
+	}
+}
+
+func TestKeysBoundToMeasurement(t *testing.T) {
+	_, d := fixture(t)
+	a, _ := d.Boot([]byte("image A"))
+	b, _ := d.Boot([]byte("image B"))
+	if a.AttestPub.Equal(b.AttestPub) {
+		t.Fatal("different images produced the same attestation key")
+	}
+	a2, _ := d.Boot([]byte("image A"))
+	if !a.AttestPub.Equal(a2.AttestPub) {
+		t.Fatal("same image produced different keys across boots")
+	}
+}
+
+func TestKeysBoundToDevice(t *testing.T) {
+	m, _ := fixture(t)
+	d1 := m.Provision("dev-A", []byte("secret-A"))
+	d2 := m.Provision("dev-B", []byte("secret-B"))
+	img := []byte("same image")
+	idA, _ := d1.Boot(img)
+	idB, _ := d2.Boot(img)
+	if idA.AttestPub.Equal(idB.AttestPub) {
+		t.Fatal("two devices derived the same monitor key")
+	}
+	if idA.Measurement != idB.Measurement {
+		t.Fatal("same image measured differently on two devices")
+	}
+}
+
+func TestSignaturesVerifyUnderChainKey(t *testing.T) {
+	m, d := fixture(t)
+	id, _ := d.Boot([]byte("image"))
+	msg := []byte("attestation evidence")
+	sig := ed25519.Sign(id.AttestPriv, msg)
+	leaf, err := id.Chain.Verify(m.RootKey())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ed25519.Verify(leaf.SubjectKey, msg, sig) {
+		t.Fatal("signature does not verify under the certified key")
+	}
+}
+
+func TestForeignManufacturerRejected(t *testing.T) {
+	_, d := fixture(t)
+	other := NewManufacturer("evil", []byte("other-seed"))
+	id, _ := d.Boot([]byte("image"))
+	if _, err := id.Chain.Verify(other.RootKey()); err == nil {
+		t.Fatal("chain accepted under a foreign root")
+	}
+}
+
+func TestEmptyImageRejected(t *testing.T) {
+	_, d := fixture(t)
+	if _, err := d.Boot(nil); err == nil {
+		t.Fatal("empty monitor image accepted")
+	}
+}

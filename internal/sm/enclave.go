@@ -1,0 +1,450 @@
+package sm
+
+import (
+	"sort"
+	"sync"
+
+	"sanctorum/internal/hw/dram"
+	"sanctorum/internal/hw/mem"
+	"sanctorum/internal/hw/pt"
+	"sanctorum/internal/sm/api"
+)
+
+// EnclaveState is the lifecycle state of an enclave (paper Fig 3).
+type EnclaveState uint8
+
+// Enclave states.
+const (
+	// EnclaveLoading: created; the OS may grant resources and load
+	// contents, all of which the monitor measures.
+	EnclaveLoading EnclaveState = iota
+	// EnclaveInitialized: sealed; threads may be scheduled; contents
+	// can no longer be altered through the API.
+	EnclaveInitialized
+	// EnclaveDead: deleted; kept only transiently for error reporting.
+	EnclaveDead
+)
+
+func (s EnclaveState) String() string {
+	switch s {
+	case EnclaveLoading:
+		return "loading"
+	case EnclaveInitialized:
+		return "initialized"
+	case EnclaveDead:
+		return "dead"
+	default:
+		return "enclave-state-?"
+	}
+}
+
+// Enclave is the monitor's metadata for one enclave. The enclave ID is
+// the physical address of its metadata page inside an SM-owned metadata
+// region (§V-C), which guarantees IDs are unforgeable names for
+// SM-private state.
+type Enclave struct {
+	mu sync.Mutex
+
+	ID     uint64
+	State  EnclaveState
+	EvBase uint64
+	EvMask uint64
+
+	// Regions is the set of DRAM regions this enclave owns.
+	Regions dram.Bitmap
+
+	// RootPPN is the enclave's private page-table root, the first page
+	// of its physical address space (§VI-A).
+	RootPPN uint64
+
+	// Page allocation for loading: the enclave's physical pages sorted
+	// ascending; loadCursor is the next page to consume, which enforces
+	// the paper's monotonically-increasing physical load order.
+	pages       []uint64
+	loadCursor  int
+	pagesFrozen bool // set at first allocation; no further region grants
+	dataStarted bool // set at first data page; no further table pages
+
+	// ptPages maps (level, index-path prefix) to the PPN of an
+	// allocated page-table page, so the monitor can validate top-down
+	// construction without re-walking memory.
+	ptPages map[ptKey]uint64
+
+	// mapped tracks loaded VAs to enforce the injective, no-alias
+	// virtual→physical mapping the measurement relies on.
+	mapped map[uint64]bool
+
+	meas        *Measurement
+	Measurement [32]byte // valid once initialized
+
+	Threads   map[uint64]*Thread
+	running   int // threads currently on cores
+	Mailboxes [api.MailboxesPerEnclave]Mailbox
+}
+
+type ptKey struct {
+	level  int
+	prefix uint64 // va >> (PageBits + 9*(level+1))
+}
+
+// CreateEnclave starts the lifecycle (Fig 3: create_enclave by the OS).
+// eid must be a free page inside an SM metadata region; evBase/evMask
+// define the enclave virtual range.
+func (mon *Monitor) CreateEnclave(eid, evBase, evMask uint64) api.Error {
+	if !validEvrange(evBase, evMask) {
+		return api.ErrInvalidValue
+	}
+	mon.mu.Lock()
+	defer mon.mu.Unlock()
+	if _, exists := mon.enclaves[eid]; exists {
+		return api.ErrInvalidValue
+	}
+	if st := mon.allocMetaPage(eid); st != api.OK {
+		return st
+	}
+	e := &Enclave{
+		ID:      eid,
+		State:   EnclaveLoading,
+		EvBase:  evBase,
+		EvMask:  evMask,
+		ptPages: make(map[ptKey]uint64),
+		mapped:  make(map[uint64]bool),
+		meas:    NewMeasurement(),
+		Threads: make(map[uint64]*Thread),
+	}
+	e.meas.ExtendCreate(evBase, evMask)
+	mon.enclaves[eid] = e
+	// Mirror the lifecycle state into the metadata page so SM-owned
+	// memory actually holds it (and tests can assert the OS cannot
+	// read it).
+	mon.machine.Mem.Store(eid, 8, uint64(e.State))
+	return api.OK
+}
+
+// validEvrange requires a left-contiguous mask covering at least one
+// page and a base aligned to the mask.
+func validEvrange(base, mask uint64) bool {
+	if mask == 0 {
+		return false
+	}
+	low := ^mask
+	if low&(low+1) != 0 { // low bits must be 2^k - 1
+		return false
+	}
+	if low < mem.PageMask {
+		return false
+	}
+	return base&low == 0
+}
+
+// InEvrange reports whether va falls within the enclave virtual range.
+func (e *Enclave) InEvrange(va uint64) bool {
+	return va&e.EvMask == e.EvBase
+}
+
+// lookupEnclave fetches and transaction-locks an enclave.
+func (mon *Monitor) lookupEnclave(eid uint64) (*Enclave, api.Error) {
+	mon.mu.Lock()
+	e := mon.enclaves[eid]
+	mon.mu.Unlock()
+	if e == nil {
+		return nil, api.ErrInvalidValue
+	}
+	if !e.mu.TryLock() {
+		return nil, api.ErrConcurrentCall
+	}
+	return e, api.OK
+}
+
+// freezePagesLocked fixes the enclave's physical page list from its
+// owned regions. After this point region grants to the loading enclave
+// are refused, so the ascending-allocation invariant is meaningful.
+func (mon *Monitor) freezePagesLocked(e *Enclave) {
+	if e.pagesFrozen {
+		return
+	}
+	e.pagesFrozen = true
+	layout := mon.machine.DRAM
+	regions := e.Regions.Regions()
+	sort.Ints(regions)
+	for _, r := range regions {
+		base := layout.Base(r) >> mem.PageBits
+		for p := uint64(0); p < layout.PagesPerRegion(); p++ {
+			e.pages = append(e.pages, base+p)
+		}
+	}
+}
+
+// nextPageLocked consumes the next physical page in ascending order.
+func (e *Enclave) nextPageLocked() (uint64, bool) {
+	if e.loadCursor >= len(e.pages) {
+		return 0, false
+	}
+	p := e.pages[e.loadCursor]
+	e.loadCursor++
+	return p, true
+}
+
+// AllocatePageTable allocates the enclave page-table page that holds
+// the PTEs for va at the given level (2 = root, 0 = leaf table), in the
+// enclave's own memory (Fig 3: allocate_page_table by the OS). Tables
+// must be allocated top-down and before any data page, which places
+// them at the base of the enclave's physical space as §VI-A requires.
+func (mon *Monitor) AllocatePageTable(eid, va uint64, level int) api.Error {
+	e, st := mon.lookupEnclave(eid)
+	if st != api.OK {
+		return st
+	}
+	defer e.mu.Unlock()
+	if e.State != EnclaveLoading {
+		return api.ErrInvalidState
+	}
+	if e.dataStarted {
+		return api.ErrInvalidState
+	}
+	if level < 0 || level >= pt.Levels {
+		return api.ErrInvalidValue
+	}
+	// Tables may also serve VAs outside evrange: Keystone enclaves map
+	// an OS-provided shared window through their own tables (§VII-B).
+	mon.freezePagesLocked(e)
+
+	key := ptKey{level: level, prefix: vaPrefix(va, level)}
+	if _, dup := e.ptPages[key]; dup {
+		return api.ErrInvalidValue
+	}
+
+	// The parent table must already exist (top-down construction).
+	var parentPPN uint64
+	if level == pt.Levels-1 {
+		if e.RootPPN != 0 {
+			return api.ErrInvalidValue // root already allocated
+		}
+	} else {
+		parent, ok := e.ptPages[ptKey{level: level + 1, prefix: vaPrefix(va, level+1)}]
+		if !ok {
+			return api.ErrInvalidState
+		}
+		parentPPN = parent
+	}
+
+	ppn, ok := e.nextPageLocked()
+	if !ok {
+		return api.ErrNoResources
+	}
+	mon.machine.Mem.ZeroPage(ppn << mem.PageBits)
+	e.ptPages[key] = ppn
+	if level == pt.Levels-1 {
+		e.RootPPN = ppn
+	} else {
+		pteAddr := parentPPN<<mem.PageBits + pt.VPN(va, level+1)*pt.EntrySize
+		mon.machine.Mem.Store(pteAddr, 8, pt.MakePTE(ppn, pt.V))
+	}
+	// Measure the table's normalized VA prefix, not raw caller bits.
+	e.meas.ExtendPageTable(vaPrefix(va, level)<<(mem.PageBits+9*uint(level+1)), level)
+	return api.OK
+}
+
+func vaPrefix(va uint64, level int) uint64 {
+	return (va & pt.VAMask) >> (mem.PageBits + 9*uint(level+1))
+}
+
+// NormalizeTableVA returns the virtual-address prefix the monitor
+// measures for a page-table allocation at the given level. Verifiers
+// replaying a measurement transcript (internal/os, internal/attest)
+// must use the same normalization.
+func NormalizeTableVA(va uint64, level int) uint64 {
+	return vaPrefix(va, level) << (mem.PageBits + 9*uint(level+1))
+}
+
+// LoadPage copies one page of initial contents from untrusted OS memory
+// into the enclave's next physical page and maps it at va (Fig 3:
+// load_page by the OS). perms is a combination of pt.R/pt.W/pt.X.
+func (mon *Monitor) LoadPage(eid, va, srcPA, perms uint64) api.Error {
+	e, st := mon.lookupEnclave(eid)
+	if st != api.OK {
+		return st
+	}
+	defer e.mu.Unlock()
+	if e.State != EnclaveLoading {
+		return api.ErrInvalidState
+	}
+	if va&mem.PageMask != 0 || !e.InEvrange(va) {
+		return api.ErrInvalidValue
+	}
+	if perms&^uint64(pt.R|pt.W|pt.X) != 0 || perms == 0 {
+		return api.ErrInvalidValue
+	}
+	if e.mapped[va] {
+		return api.ErrInvalidValue // aliasing is forbidden (§VI-A)
+	}
+	// The source must be OS-owned untrusted memory.
+	if !mon.osOwnsRange(srcPA, mem.PageSize) {
+		return api.ErrInvalidValue
+	}
+	leaf, ok := e.ptPages[ptKey{level: 0, prefix: vaPrefix(va, 0)}]
+	if !ok {
+		return api.ErrInvalidState // leaf table missing
+	}
+	ppn, okPage := e.nextPageLocked()
+	if !okPage {
+		return api.ErrNoResources
+	}
+
+	var content [mem.PageSize]byte
+	if err := mon.machine.Mem.ReadBytes(srcPA, content[:]); err != nil {
+		return api.ErrInvalidValue
+	}
+	if err := mon.machine.Mem.WriteBytes(ppn<<mem.PageBits, content[:]); err != nil {
+		return api.ErrInvalidValue
+	}
+	pteAddr := leaf<<mem.PageBits + pt.VPN(va, 0)*pt.EntrySize
+	mon.machine.Mem.Store(pteAddr, 8, pt.MakePTE(ppn, perms|pt.V|pt.U))
+
+	e.mapped[va] = true
+	e.dataStarted = true
+	e.meas.ExtendPage(va, perms, content[:])
+	return api.OK
+}
+
+// MapShared maps an OS-owned physical page into the enclave's page
+// tables at a virtual address outside evrange: the Keystone-style
+// untrusted shared buffer (§VII-B). The mapping's address is measured
+// (it is configuration) but its contents are not (they are untrusted by
+// definition and the OS can change them at any time).
+func (mon *Monitor) MapShared(eid, va, pa uint64) api.Error {
+	e, st := mon.lookupEnclave(eid)
+	if st != api.OK {
+		return st
+	}
+	defer e.mu.Unlock()
+	if e.State != EnclaveLoading {
+		return api.ErrInvalidState
+	}
+	if va&mem.PageMask != 0 || pa&mem.PageMask != 0 {
+		return api.ErrInvalidValue
+	}
+	if e.InEvrange(va) {
+		return api.ErrInvalidValue // the private range must hold only private pages
+	}
+	if e.mapped[va] {
+		return api.ErrInvalidValue
+	}
+	if !mon.osOwnsRange(pa, mem.PageSize) {
+		return api.ErrInvalidValue
+	}
+	leaf, ok := e.ptPages[ptKey{level: 0, prefix: vaPrefix(va, 0)}]
+	if !ok {
+		return api.ErrInvalidState
+	}
+	pteAddr := leaf<<mem.PageBits + pt.VPN(va, 0)*pt.EntrySize
+	mon.machine.Mem.Store(pteAddr, 8, pt.MakePTE(pa>>mem.PageBits, pt.R|pt.W|pt.V|pt.U))
+	e.mapped[va] = true
+	e.meas.ExtendShared(va)
+	return api.OK
+}
+
+// osOwnsRange reports whether [pa, pa+n) lies wholly in OS-owned regions.
+func (mon *Monitor) osOwnsRange(pa, n uint64) bool {
+	mon.mu.Lock()
+	defer mon.mu.Unlock()
+	return mon.osRegionsLocked().ContainsRange(mon.machine.DRAM, pa, n)
+}
+
+// InitEnclave seals the enclave (Fig 3: init_enclave by the OS): the
+// measurement is finalized and threads become schedulable.
+func (mon *Monitor) InitEnclave(eid uint64) api.Error {
+	e, st := mon.lookupEnclave(eid)
+	if st != api.OK {
+		return st
+	}
+	defer e.mu.Unlock()
+	if e.State != EnclaveLoading {
+		return api.ErrInvalidState
+	}
+	if e.RootPPN == 0 {
+		return api.ErrInvalidState // an enclave without page tables cannot run
+	}
+	e.Measurement = e.meas.Finalize()
+	e.State = EnclaveInitialized
+	mon.machine.Mem.Store(e.ID, 8, uint64(e.State))
+	mon.machine.Mem.WriteBytes(e.ID+8, e.Measurement[:])
+	return api.OK
+}
+
+// DeleteEnclave tears an enclave down (Fig 3: delete_enclave by the
+// OS): refused while any thread is scheduled; all owned regions become
+// blocked and must be cleaned before re-allocation; threads revert to
+// the available pool.
+func (mon *Monitor) DeleteEnclave(eid uint64) api.Error {
+	e, st := mon.lookupEnclave(eid)
+	if st != api.OK {
+		return st
+	}
+	defer e.mu.Unlock()
+	if e.running > 0 {
+		return api.ErrInvalidState
+	}
+	// Acquire every thread lock up front (TryLock, so the transaction
+	// fails rather than blocks under contention, §V-A).
+	var locked []*Thread
+	unlockAll := func() {
+		for _, th := range locked {
+			th.mu.Unlock()
+		}
+	}
+	for _, th := range e.Threads {
+		if !th.mu.TryLock() {
+			unlockAll()
+			return api.ErrConcurrentCall
+		}
+		locked = append(locked, th)
+	}
+	// Block every owned region (they hold enclave secrets until cleaned).
+	for _, r := range e.Regions.Regions() {
+		rm := &mon.regions[r]
+		if !rm.mu.TryLock() {
+			unlockAll()
+			return api.ErrConcurrentCall
+		}
+		rm.state = RegionBlocked
+		rm.mu.Unlock()
+	}
+	// Revert pending grants.
+	for r := range mon.regions {
+		rm := &mon.regions[r]
+		rm.mu.Lock()
+		if rm.state == RegionPending && rm.owner == eid {
+			rm.state, rm.owner = RegionOwned, api.DomainOS
+		}
+		rm.mu.Unlock()
+	}
+
+	mon.mu.Lock()
+	for tid, th := range e.Threads {
+		th.State = ThreadAvailable
+		th.Owner = 0
+		th.clearContext()
+		delete(e.Threads, tid)
+	}
+	delete(mon.enclaves, eid)
+	mon.freeMetaPage(eid)
+	mon.refreshViewsLocked()
+	mon.mu.Unlock()
+	unlockAll()
+
+	e.State = EnclaveDead
+	return api.OK
+}
+
+// EnclaveInfo exposes measurement and state for tests and the OS (the
+// measurement of an initialized enclave is public — attestation, not
+// secrecy, protects it).
+func (mon *Monitor) EnclaveInfo(eid uint64) (EnclaveState, [32]byte, api.Error) {
+	e, st := mon.lookupEnclave(eid)
+	if st != api.OK {
+		return 0, [32]byte{}, st
+	}
+	defer e.mu.Unlock()
+	return e.State, e.Measurement, api.OK
+}

@@ -1,0 +1,91 @@
+package sm
+
+import (
+	"encoding/binary"
+	"hash"
+
+	"sanctorum/internal/crypto/sha3"
+)
+
+// Measurement is the running cryptographic measurement of an enclave's
+// initial state (paper §VI-A). Every monitor operation that affects the
+// initial state — creation, page-table allocation, page loads, thread
+// loads — extends the hash; init_enclave finalizes it. Physical
+// addresses are never absorbed, so two enclaves with identical virtual
+// layouts and contents measure identically regardless of placement.
+type Measurement struct {
+	h     hash.Hash
+	final [32]byte
+	done  bool
+}
+
+// Measurement transcript op codes.
+const (
+	measOpCreate    uint64 = 0x6350 // 'cP'
+	measOpPageTable uint64 = 0x7450 // 'tP'
+	measOpPage      uint64 = 0x6450 // 'dP'
+	measOpThread    uint64 = 0x6850 // 'hP'
+	measOpShared    uint64 = 0x7350 // 'sP'
+)
+
+// NewMeasurement starts a measurement transcript.
+func NewMeasurement() *Measurement {
+	return &Measurement{h: sha3.New256()}
+}
+
+func (m *Measurement) word(v uint64) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	m.h.Write(b[:])
+}
+
+// ExtendCreate absorbs enclave creation parameters: the virtual range
+// only — the eid is a physical address and is deliberately excluded.
+func (m *Measurement) ExtendCreate(evBase, evMask uint64) {
+	m.word(measOpCreate)
+	m.word(evBase)
+	m.word(evMask)
+}
+
+// ExtendPageTable absorbs a page-table allocation for (va, level).
+func (m *Measurement) ExtendPageTable(va uint64, level int) {
+	m.word(measOpPageTable)
+	m.word(va)
+	m.word(uint64(level))
+}
+
+// ExtendPage absorbs a loaded page: its virtual address, permissions and
+// full content.
+func (m *Measurement) ExtendPage(va uint64, perms uint64, content []byte) {
+	m.word(measOpPage)
+	m.word(va)
+	m.word(perms)
+	m.h.Write(content)
+}
+
+// ExtendThread absorbs a thread load: entry PC and entry SP.
+func (m *Measurement) ExtendThread(entryPC, entrySP uint64) {
+	m.word(measOpThread)
+	m.word(entryPC)
+	m.word(entrySP)
+}
+
+// ExtendShared absorbs a shared-window mapping: only its virtual
+// address — the backing physical page is untrusted OS memory whose
+// placement and contents are outside the enclave's initial state.
+func (m *Measurement) ExtendShared(va uint64) {
+	m.word(measOpShared)
+	m.word(va)
+}
+
+// Finalize computes the final measurement; further extends are invalid.
+func (m *Measurement) Finalize() [32]byte {
+	if !m.done {
+		copy(m.final[:], m.h.Sum(nil))
+		m.done = true
+	}
+	return m.final
+}
+
+// Value returns the finalized measurement.
+func (m *Measurement) Value() [32]byte { return m.final }

@@ -1,0 +1,208 @@
+// Package sm implements Sanctorum, the security monitor of the paper:
+// a small, trusted, machine-mode component that verifies the untrusted
+// OS's resource-management decisions against a security state machine
+// and performs the privileged state changes itself. The monitor is not
+// a kernel — it makes no allocation decisions — it only refuses unsafe
+// ones (paper §V).
+//
+// The monitor registers itself as the simulated machine's firmware, so
+// every trap and interrupt on any core reaches it before any untrusted
+// software, exactly as in the paper's Fig 1. The untrusted OS calls the
+// exported methods of Monitor (standing in for ECALLs from S-mode);
+// enclaves call the monitor through the ECALL instruction, dispatched
+// in trap.go.
+package sm
+
+import (
+	"fmt"
+	"sync"
+
+	"sanctorum/internal/hw/dram"
+	"sanctorum/internal/hw/machine"
+	"sanctorum/internal/hw/mem"
+	"sanctorum/internal/sm/api"
+	"sanctorum/internal/sm/boot"
+)
+
+// Platform abstracts the isolation backend (§VII): the monitor's logic
+// is identical for Sanctum and Keystone; only how a protection domain's
+// memory is made exclusive differs.
+type Platform interface {
+	// Kind identifies the backend.
+	Kind() machine.IsolationKind
+	// ApplyOSView programs a core for untrusted OS/process execution:
+	// no enclave state, OS-owned regions accessible.
+	ApplyOSView(c *machine.Core, osRegions dram.Bitmap) error
+	// ApplyEnclaveView programs a core to run an enclave thread.
+	ApplyEnclaveView(c *machine.Core, view EnclaveView) error
+	// RefreshOSRegions updates the OS-accessible region set on a core
+	// without otherwise disturbing it (used on region re-allocation).
+	RefreshOSRegions(c *machine.Core, osRegions dram.Bitmap) error
+	// CleanRegion scrubs a DRAM region: zeroes its memory and flushes
+	// its cache footprint everywhere.
+	CleanRegion(m *machine.Machine, r int) error
+	// ShootdownRegion invalidates all TLB translations into region r on
+	// every core (the paper's page-walk invariant maintenance).
+	ShootdownRegion(m *machine.Machine, r int)
+}
+
+// EnclaveView is the per-core state describing a running enclave.
+type EnclaveView struct {
+	RootPPN   uint64      // enclave private page-table root
+	EvBase    uint64      // enclave virtual range base
+	EvMask    uint64      // enclave virtual range mask
+	Regions   dram.Bitmap // enclave-owned DRAM regions
+	OSRegions dram.Bitmap // regions the OS currently owns (shared access)
+}
+
+// Config configures the monitor at boot.
+type Config struct {
+	Machine  *machine.Machine
+	Platform Platform
+	Identity *boot.Identity
+	// SMRegions are the DRAM regions holding the monitor image and its
+	// static state; they belong to the SM domain from boot onward.
+	SMRegions []int
+	// SigningEnclave is the expected measurement of the signing enclave
+	// (§VI-C), hard-coded into the monitor at build/boot time.
+	SigningEnclave [32]byte
+}
+
+// Monitor is the security monitor instance for one machine.
+type Monitor struct {
+	machine *machine.Machine
+	plat    Platform
+	id      *boot.Identity
+
+	signingMeasurement [32]byte
+
+	// mu guards the object maps, the core table, the metadata page set
+	// and region-set recomputation. Individual objects carry their own
+	// transaction locks (paper §V-A: fine-grained locks, transactions
+	// fail on contention).
+	mu        sync.Mutex
+	regions   []regionMeta
+	metaRgn   map[int]bool    // SM regions usable for metadata
+	metaPages map[uint64]bool // allocated metadata pages, by phys addr
+	enclaves  map[uint64]*Enclave
+	threads   map[uint64]*Thread
+	cores     []coreSlot
+}
+
+// coreSlot tracks which protection domain a core currently executes.
+type coreSlot struct {
+	owner uint64 // api.DomainOS or an eid
+	tid   uint64 // running thread when owner is an enclave
+}
+
+// New boots the monitor on a machine: claims the SM's own regions,
+// assigns every other region to the untrusted OS, installs the DMA
+// policy and the OS view on every core, and registers the monitor as
+// the machine's firmware.
+func New(cfg Config) (*Monitor, error) {
+	if cfg.Machine == nil || cfg.Platform == nil || cfg.Identity == nil {
+		return nil, fmt.Errorf("sm: incomplete configuration")
+	}
+	if cfg.Platform.Kind() != cfg.Machine.Kind {
+		return nil, fmt.Errorf("sm: platform kind %v does not match machine %v",
+			cfg.Platform.Kind(), cfg.Machine.Kind)
+	}
+	mon := &Monitor{
+		machine:            cfg.Machine,
+		plat:               cfg.Platform,
+		id:                 cfg.Identity,
+		signingMeasurement: cfg.SigningEnclave,
+		regions:            make([]regionMeta, cfg.Machine.DRAM.RegionCount),
+		metaRgn:            make(map[int]bool),
+		metaPages:          make(map[uint64]bool),
+		enclaves:           make(map[uint64]*Enclave),
+		threads:            make(map[uint64]*Thread),
+		cores:              make([]coreSlot, len(cfg.Machine.Cores)),
+	}
+	for i := range mon.regions {
+		mon.regions[i] = regionMeta{state: RegionOwned, owner: api.DomainOS}
+	}
+	for _, r := range cfg.SMRegions {
+		if r < 0 || r >= len(mon.regions) {
+			return nil, fmt.Errorf("sm: SM region %d out of range", r)
+		}
+		mon.regions[r] = regionMeta{state: RegionOwned, owner: api.DomainSM}
+	}
+	for i := range mon.cores {
+		mon.cores[i] = coreSlot{owner: api.DomainOS}
+	}
+	osBitmap := mon.osRegionsLocked()
+	for _, c := range cfg.Machine.Cores {
+		if err := cfg.Platform.ApplyOSView(c, osBitmap); err != nil {
+			return nil, fmt.Errorf("sm: programming core %d: %w", c.ID, err)
+		}
+	}
+	mon.installDMAPolicyLocked(osBitmap)
+	cfg.Machine.Firmware = mon
+	return mon, nil
+}
+
+// Identity returns the monitor's boot identity (public parts are also
+// available through GetField).
+func (mon *Monitor) Identity() *boot.Identity { return mon.id }
+
+// osRegionsLocked computes the bitmap of OS-owned regions. Callers hold
+// mon.mu or are in single-threaded setup.
+func (mon *Monitor) osRegionsLocked() dram.Bitmap {
+	var b dram.Bitmap
+	for r := range mon.regions {
+		if mon.regions[r].state == RegionOwned && mon.regions[r].owner == api.DomainOS {
+			b = b.Set(r)
+		}
+	}
+	return b
+}
+
+// installDMAPolicyLocked restricts DMA to OS-owned memory (§IV-B1).
+func (mon *Monitor) installDMAPolicyLocked(osBitmap dram.Bitmap) {
+	layout := mon.machine.DRAM
+	mon.machine.DMAAllowed = func(pa, n uint64) bool {
+		return osBitmap.ContainsRange(layout, pa, n)
+	}
+}
+
+// refreshViewsLocked pushes the current OS region set to every core and
+// reinstalls the DMA policy; called after any region transition.
+func (mon *Monitor) refreshViewsLocked() {
+	osBitmap := mon.osRegionsLocked()
+	for i, c := range mon.machine.Cores {
+		if mon.cores[i].owner == api.DomainOS {
+			mon.plat.RefreshOSRegions(c, osBitmap)
+		} else {
+			// Enclave cores keep their enclave view but see the updated
+			// OS set for shared accesses.
+			c.OSRegions = osBitmap
+		}
+	}
+	mon.installDMAPolicyLocked(osBitmap)
+}
+
+// metaPageRange returns whether [pa, pa+n) lies inside an SM metadata
+// region.
+func (mon *Monitor) inMetaRegion(pa uint64) bool {
+	r := mon.machine.DRAM.RegionOf(pa)
+	return r >= 0 && mon.metaRgn[r]
+}
+
+// allocMetaPage claims the metadata page at pa (page-aligned, inside a
+// metadata region, unused). Caller holds mon.mu.
+func (mon *Monitor) allocMetaPage(pa uint64) api.Error {
+	if pa&mem.PageMask != 0 || !mon.inMetaRegion(pa) {
+		return api.ErrInvalidValue
+	}
+	if mon.metaPages[pa] {
+		return api.ErrInvalidValue
+	}
+	mon.metaPages[pa] = true
+	return api.OK
+}
+
+func (mon *Monitor) freeMetaPage(pa uint64) {
+	delete(mon.metaPages, pa)
+	mon.machine.Mem.ZeroPage(pa)
+}

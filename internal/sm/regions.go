@@ -1,0 +1,214 @@
+package sm
+
+import (
+	"sync"
+
+	"sanctorum/internal/sm/api"
+)
+
+// RegionState is the lifecycle state of a DRAM region resource,
+// implementing the paper's Fig 2 state machine.
+type RegionState uint8
+
+// Region states.
+const (
+	// RegionOwned: exclusively held by a protection domain.
+	RegionOwned RegionState = iota
+	// RegionPending: granted by the OS to an initialized enclave but
+	// not yet accepted (accept_resource completes the transition).
+	RegionPending
+	// RegionBlocked: relinquished by its owner; unusable until cleaned.
+	RegionBlocked
+	// RegionAvailable: cleaned and ready for re-allocation.
+	RegionAvailable
+)
+
+func (s RegionState) String() string {
+	switch s {
+	case RegionOwned:
+		return "owned"
+	case RegionPending:
+		return "pending"
+	case RegionBlocked:
+		return "blocked"
+	case RegionAvailable:
+		return "available"
+	default:
+		return "region-state-?"
+	}
+}
+
+type regionMeta struct {
+	mu    sync.Mutex
+	state RegionState
+	owner uint64 // DomainOS, DomainSM, or eid
+}
+
+// RegionInfo reports a region's state and owner, for tests and tools.
+func (mon *Monitor) RegionInfo(r int) (RegionState, uint64, api.Error) {
+	if r < 0 || r >= len(mon.regions) {
+		return 0, 0, api.ErrInvalidValue
+	}
+	rm := &mon.regions[r]
+	if !rm.mu.TryLock() {
+		return 0, 0, api.ErrConcurrentCall
+	}
+	defer rm.mu.Unlock()
+	return rm.state, rm.owner, api.OK
+}
+
+// GrantRegion re-allocates an available region to a new owner, or — for
+// a loading enclave or the SM — transfers it directly. Called by the
+// untrusted OS (grant(resource, new_owner) in Fig 2). Granting to the
+// SM turns the region into a metadata region (§V-B: metadata must
+// wholly reside in SM-owned memory).
+func (mon *Monitor) GrantRegion(r int, newOwner uint64) api.Error {
+	if r < 0 || r >= len(mon.regions) {
+		return api.ErrInvalidValue
+	}
+	rm := &mon.regions[r]
+	if !rm.mu.TryLock() {
+		return api.ErrConcurrentCall
+	}
+	defer rm.mu.Unlock()
+
+	// The OS may give away a region it owns, or re-allocate a cleaned
+	// one; it may never touch regions in other states.
+	switch rm.state {
+	case RegionAvailable:
+	case RegionOwned:
+		if rm.owner != api.DomainOS {
+			return api.ErrUnauthorized
+		}
+	default:
+		return api.ErrInvalidState
+	}
+
+	switch newOwner {
+	case api.DomainOS:
+		rm.state, rm.owner = RegionOwned, api.DomainOS
+	case api.DomainSM:
+		rm.state, rm.owner = RegionOwned, api.DomainSM
+		mon.mu.Lock()
+		mon.metaRgn[r] = true
+		mon.mu.Unlock()
+	default:
+		mon.mu.Lock()
+		e := mon.enclaves[newOwner]
+		mon.mu.Unlock()
+		if e == nil {
+			return api.ErrInvalidValue
+		}
+		if !e.mu.TryLock() {
+			return api.ErrConcurrentCall
+		}
+		defer e.mu.Unlock()
+		switch e.State {
+		case EnclaveLoading:
+			// Grants during loading take effect immediately; they must
+			// precede any page loads so the ascending-page invariant
+			// can be established over the final region set.
+			if e.pagesFrozen {
+				return api.ErrInvalidState
+			}
+			rm.state, rm.owner = RegionOwned, newOwner
+			e.Regions = e.Regions.Set(r)
+		case EnclaveInitialized:
+			// Running enclaves must accept offered resources (Fig 2).
+			rm.state, rm.owner = RegionPending, newOwner
+		default:
+			return api.ErrInvalidState
+		}
+	}
+
+	mon.mu.Lock()
+	mon.refreshViewsLocked()
+	mon.mu.Unlock()
+	return api.OK
+}
+
+// BlockRegion relinquishes an OS-owned region (block(resource) by the
+// owner in Fig 2). Enclaves block their own regions via ECALL.
+func (mon *Monitor) BlockRegion(r int) api.Error {
+	return mon.blockRegionAs(api.DomainOS, r)
+}
+
+func (mon *Monitor) blockRegionAs(owner uint64, r int) api.Error {
+	if r < 0 || r >= len(mon.regions) {
+		return api.ErrInvalidValue
+	}
+	rm := &mon.regions[r]
+	if !rm.mu.TryLock() {
+		return api.ErrConcurrentCall
+	}
+	defer rm.mu.Unlock()
+	if rm.state != RegionOwned {
+		return api.ErrInvalidState
+	}
+	if rm.owner != owner {
+		return api.ErrUnauthorized
+	}
+	rm.state = RegionBlocked
+
+	mon.mu.Lock()
+	if e := mon.enclaves[owner]; e != nil {
+		if e.mu.TryLock() {
+			e.Regions = e.Regions.Clear(r)
+			e.mu.Unlock()
+		}
+	}
+	mon.refreshViewsLocked()
+	mon.mu.Unlock()
+	return api.OK
+}
+
+// CleanRegion scrubs a blocked region and makes it available
+// (clean(resource) by the OS in Fig 2). The monitor zeroes the region,
+// flushes its cache footprint, and shoots down TLB entries on every
+// core before the region can reach a new protection domain.
+func (mon *Monitor) CleanRegion(r int) api.Error {
+	if r < 0 || r >= len(mon.regions) {
+		return api.ErrInvalidValue
+	}
+	rm := &mon.regions[r]
+	if !rm.mu.TryLock() {
+		return api.ErrConcurrentCall
+	}
+	defer rm.mu.Unlock()
+	if rm.state != RegionBlocked {
+		return api.ErrInvalidState
+	}
+	if err := mon.plat.CleanRegion(mon.machine, r); err != nil {
+		return api.ErrInvalidValue
+	}
+	mon.plat.ShootdownRegion(mon.machine, r)
+	rm.state, rm.owner = RegionAvailable, api.DomainOS
+
+	mon.mu.Lock()
+	mon.refreshViewsLocked()
+	mon.mu.Unlock()
+	return api.OK
+}
+
+// acceptRegion completes a pending grant (accept_resource by the
+// enclave, Fig 2).
+func (mon *Monitor) acceptRegion(e *Enclave, r int) api.Error {
+	if r < 0 || r >= len(mon.regions) {
+		return api.ErrInvalidValue
+	}
+	rm := &mon.regions[r]
+	if !rm.mu.TryLock() {
+		return api.ErrConcurrentCall
+	}
+	defer rm.mu.Unlock()
+	if rm.state != RegionPending || rm.owner != e.ID {
+		return api.ErrInvalidState
+	}
+	rm.state = RegionOwned
+	e.Regions = e.Regions.Set(r)
+
+	mon.mu.Lock()
+	mon.refreshViewsLocked()
+	mon.mu.Unlock()
+	return api.OK
+}

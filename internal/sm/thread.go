@@ -1,0 +1,344 @@
+package sm
+
+import (
+	"sync"
+
+	"sanctorum/internal/isa"
+	"sanctorum/internal/sm/api"
+)
+
+// ThreadState is the lifecycle state of an enclave thread (paper Fig 4).
+type ThreadState uint8
+
+// Thread states.
+const (
+	// ThreadAvailable: exists, bound to no enclave.
+	ThreadAvailable ThreadState = iota
+	// ThreadOffered: assigned by the OS, awaiting accept_thread.
+	ThreadOffered
+	// ThreadAssigned: bound to an enclave, not on a core.
+	ThreadAssigned
+	// ThreadRunning: executing on a core.
+	ThreadRunning
+)
+
+func (s ThreadState) String() string {
+	switch s {
+	case ThreadAvailable:
+		return "available"
+	case ThreadOffered:
+		return "offered"
+	case ThreadAssigned:
+		return "assigned"
+	case ThreadRunning:
+		return "running"
+	default:
+		return "thread-state-?"
+	}
+}
+
+// Thread is the monitor's metadata for one enclave thread. Like
+// enclaves, the thread ID is the physical address of its metadata page
+// in SM-owned memory.
+type Thread struct {
+	mu sync.Mutex
+
+	ID    uint64
+	State ThreadState
+	Owner uint64 // owning eid when offered/assigned/running
+
+	EntryPC uint64
+	EntrySP uint64
+
+	CoreID int // core while running
+
+	// AEX context (paper §V-C): register file and PC saved on an
+	// asynchronous enclave exit, plus the flag the enclave can inspect.
+	AEXValid bool
+	aexRegs  [isa.NumRegs]uint64
+	aexPC    uint64
+
+	// Enclave-registered fault handler and the context saved when the
+	// monitor delegates a fault to it.
+	FaultPC   uint64
+	FaultSP   uint64
+	inFault   bool
+	faultRegs [isa.NumRegs]uint64
+	faultPC   uint64
+}
+
+func (t *Thread) clearContext() {
+	t.EntryPC, t.EntrySP = 0, 0
+	t.AEXValid, t.aexPC = false, 0
+	t.aexRegs = [isa.NumRegs]uint64{}
+	t.FaultPC, t.FaultSP = 0, 0
+	t.inFault, t.faultPC = false, 0
+	t.faultRegs = [isa.NumRegs]uint64{}
+}
+
+// lookupThread fetches and transaction-locks a thread.
+func (mon *Monitor) lookupThread(tid uint64) (*Thread, api.Error) {
+	mon.mu.Lock()
+	t := mon.threads[tid]
+	mon.mu.Unlock()
+	if t == nil {
+		return nil, api.ErrInvalidValue
+	}
+	if !t.mu.TryLock() {
+		return nil, api.ErrConcurrentCall
+	}
+	return t, api.OK
+}
+
+// LoadThread creates a thread during enclave loading (Fig 3/4:
+// load_thread by the OS). The thread is measured into the enclave and
+// is immediately in the assigned state.
+func (mon *Monitor) LoadThread(eid, tid, entryPC, entrySP uint64) api.Error {
+	e, st := mon.lookupEnclave(eid)
+	if st != api.OK {
+		return st
+	}
+	defer e.mu.Unlock()
+	if e.State != EnclaveLoading {
+		return api.ErrInvalidState
+	}
+	if !e.InEvrange(entryPC) {
+		return api.ErrInvalidValue
+	}
+	mon.mu.Lock()
+	defer mon.mu.Unlock()
+	if _, exists := mon.threads[tid]; exists {
+		return api.ErrInvalidValue
+	}
+	if st := mon.allocMetaPage(tid); st != api.OK {
+		return st
+	}
+	t := &Thread{ID: tid, State: ThreadAssigned, Owner: eid, EntryPC: entryPC, EntrySP: entrySP}
+	mon.threads[tid] = t
+	e.Threads[tid] = t
+	e.meas.ExtendThread(entryPC, entrySP)
+	return api.OK
+}
+
+// CreateThread creates an unbound thread after enclave initialization
+// (Fig 4: the available state). It is not measured; an enclave must
+// explicitly accept it.
+func (mon *Monitor) CreateThread(tid uint64) api.Error {
+	mon.mu.Lock()
+	defer mon.mu.Unlock()
+	if _, exists := mon.threads[tid]; exists {
+		return api.ErrInvalidValue
+	}
+	if st := mon.allocMetaPage(tid); st != api.OK {
+		return st
+	}
+	mon.threads[tid] = &Thread{ID: tid, State: ThreadAvailable}
+	return api.OK
+}
+
+// AssignThread offers an available thread to an initialized enclave
+// (Fig 4: assign_thread by the OS).
+func (mon *Monitor) AssignThread(eid, tid uint64) api.Error {
+	e, st := mon.lookupEnclave(eid)
+	if st != api.OK {
+		return st
+	}
+	defer e.mu.Unlock()
+	if e.State != EnclaveInitialized {
+		return api.ErrInvalidState
+	}
+	t, st := mon.lookupThread(tid)
+	if st != api.OK {
+		return st
+	}
+	defer t.mu.Unlock()
+	if t.State != ThreadAvailable {
+		return api.ErrInvalidState
+	}
+	t.State, t.Owner = ThreadOffered, eid
+	return api.OK
+}
+
+// UnassignThread takes a non-running thread away from an enclave
+// (Fig 4: unassign_thread by the OS). The thread context is scrubbed so
+// no enclave state leaks through the metadata.
+func (mon *Monitor) UnassignThread(tid uint64) api.Error {
+	t, st := mon.lookupThread(tid)
+	if st != api.OK {
+		return st
+	}
+	defer t.mu.Unlock()
+	switch t.State {
+	case ThreadOffered, ThreadAssigned:
+	default:
+		return api.ErrInvalidState
+	}
+	mon.mu.Lock()
+	if e := mon.enclaves[t.Owner]; e != nil {
+		delete(e.Threads, tid)
+	}
+	mon.mu.Unlock()
+	t.State, t.Owner = ThreadAvailable, 0
+	t.clearContext()
+	return api.OK
+}
+
+// acceptThread completes the OS's offer (Fig 4: accept_thread by the
+// enclave). The enclave provides the entry point for the new thread.
+func (mon *Monitor) acceptThread(e *Enclave, tid, entryPC, entrySP uint64) api.Error {
+	if !e.InEvrange(entryPC) {
+		return api.ErrInvalidValue
+	}
+	t, st := mon.lookupThread(tid)
+	if st != api.OK {
+		return st
+	}
+	defer t.mu.Unlock()
+	if t.State != ThreadOffered || t.Owner != e.ID {
+		return api.ErrInvalidState
+	}
+	t.State = ThreadAssigned
+	t.EntryPC, t.EntrySP = entryPC, entrySP
+	e.Threads[tid] = t
+	return api.OK
+}
+
+// releaseThread lets an enclave give a thread back (Fig 4:
+// release_thread by the enclave).
+func (mon *Monitor) releaseThread(e *Enclave, tid uint64) api.Error {
+	t, st := mon.lookupThread(tid)
+	if st != api.OK {
+		return st
+	}
+	defer t.mu.Unlock()
+	if t.State != ThreadAssigned || t.Owner != e.ID {
+		return api.ErrInvalidState
+	}
+	delete(e.Threads, tid)
+	t.State, t.Owner = ThreadAvailable, 0
+	t.clearContext()
+	return api.OK
+}
+
+// DeleteThread destroys an available thread (Fig 4: delete_thread by
+// the OS).
+func (mon *Monitor) DeleteThread(tid uint64) api.Error {
+	t, st := mon.lookupThread(tid)
+	if st != api.OK {
+		return st
+	}
+	defer t.mu.Unlock()
+	if t.State != ThreadAvailable {
+		return api.ErrInvalidState
+	}
+	mon.mu.Lock()
+	delete(mon.threads, tid)
+	mon.freeMetaPage(tid)
+	mon.mu.Unlock()
+	return api.OK
+}
+
+// EnterEnclave schedules an enclave thread onto a core (Fig 4:
+// enter_enclave by the OS). The monitor cleans the core, programs the
+// enclave view, and points execution at the thread's entry; the OS then
+// drives the core with machine.Run. On entry, register a0 tells the
+// enclave whether an AEX context is pending (it may CallResumeAEX).
+func (mon *Monitor) EnterEnclave(coreID int, eid, tid uint64) api.Error {
+	if coreID < 0 || coreID >= len(mon.machine.Cores) {
+		return api.ErrInvalidValue
+	}
+	e, st := mon.lookupEnclave(eid)
+	if st != api.OK {
+		return st
+	}
+	defer e.mu.Unlock()
+	if e.State != EnclaveInitialized {
+		return api.ErrInvalidState
+	}
+	t, st := mon.lookupThread(tid)
+	if st != api.OK {
+		return st
+	}
+	defer t.mu.Unlock()
+	if t.State != ThreadAssigned || t.Owner != eid {
+		return api.ErrInvalidState
+	}
+
+	mon.mu.Lock()
+	slot := &mon.cores[coreID]
+	if slot.owner != api.DomainOS {
+		mon.mu.Unlock()
+		return api.ErrInvalidState
+	}
+	slot.owner, slot.tid = eid, tid
+	osRegions := mon.osRegionsLocked()
+	mon.mu.Unlock()
+
+	core := mon.machine.Cores[coreID]
+	// Re-allocating the core resource to the enclave domain: clean it.
+	core.ClearMicroarch()
+	core.ClearArchState()
+	if err := mon.plat.ApplyEnclaveView(core, EnclaveView{
+		RootPPN:   e.RootPPN,
+		EvBase:    e.EvBase,
+		EvMask:    e.EvMask,
+		Regions:   e.Regions,
+		OSRegions: osRegions,
+	}); err != nil {
+		mon.mu.Lock()
+		mon.cores[coreID] = coreSlot{owner: api.DomainOS}
+		mon.mu.Unlock()
+		return api.ErrNoResources
+	}
+	core.CPU.Mode = isa.PrivU
+	core.CPU.PC = t.EntryPC
+	core.CPU.Halted = false
+	core.CPU.SetReg(isa.RegSP, t.EntrySP)
+	if t.AEXValid {
+		core.CPU.SetReg(isa.RegA0, 1)
+	}
+	t.State = ThreadRunning
+	t.CoreID = coreID
+	e.running++
+	return api.OK
+}
+
+// stopThread moves a running thread off its core: shared tail of
+// exit_enclave and AEX. Caller must hold no locks; the monitor is
+// inside the trap handler, serialized per core.
+func (mon *Monitor) stopThread(core, exitValue uint64, saveAEX bool) {
+	coreID := int(core)
+	mon.mu.Lock()
+	slot := &mon.cores[coreID]
+	eid, tid := slot.owner, slot.tid
+	e := mon.enclaves[eid]
+	t := mon.threads[tid]
+	slot.owner, slot.tid = api.DomainOS, 0
+	osRegions := mon.osRegionsLocked()
+	mon.mu.Unlock()
+
+	c := mon.machine.Cores[coreID]
+	if t != nil {
+		t.mu.Lock()
+		if saveAEX {
+			t.AEXValid = true
+			t.aexRegs = c.CPU.Regs
+			t.aexPC = c.CPU.PC
+		}
+		t.State = ThreadAssigned
+		t.CoreID = -1
+		t.mu.Unlock()
+	}
+	if e != nil {
+		e.mu.Lock()
+		e.running--
+		e.mu.Unlock()
+	}
+	// Clean the core before the OS domain gets it back.
+	c.ClearMicroarch()
+	c.ClearArchState()
+	mon.plat.ApplyOSView(c, osRegions)
+	c.CPU.Mode = isa.PrivU
+	// An explicit exit may pass one register of results to the OS.
+	c.CPU.SetReg(isa.RegA0, exitValue)
+}

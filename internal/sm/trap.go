@@ -1,0 +1,303 @@
+package sm
+
+import (
+	"sanctorum/internal/hw/machine"
+	"sanctorum/internal/hw/mem"
+	"sanctorum/internal/hw/pt"
+	"sanctorum/internal/isa"
+	"sanctorum/internal/sm/api"
+)
+
+// HandleTrap is the monitor's machine-mode event entry point (paper
+// Fig 1): every trap and interrupt on any core lands here. OS events
+// are delegated to the OS — after an AEX if an enclave was running;
+// enclave ECALLs are monitor API calls; faults may be delivered to an
+// enclave-registered handler.
+func (mon *Monitor) HandleTrap(c *machine.Core, tr *isa.Trap) machine.Disposition {
+	mon.mu.Lock()
+	slot := mon.cores[c.ID]
+	mon.mu.Unlock()
+	enclaveRunning := slot.owner != api.DomainOS
+
+	switch {
+	case tr.Cause == isa.CauseHalt:
+		// HALT is not a sanctioned enclave exit; treat it as a forced
+		// exit so the core never reaches the OS with enclave state.
+		if enclaveRunning {
+			mon.stopThread(uint64(c.ID), 0, false)
+		}
+		return machine.DispHalt
+
+	case tr.Cause.IsInterrupt():
+		// The OS is always able to de-schedule an enclave by
+		// interrupting it (§IV): perform an AEX, then delegate.
+		if enclaveRunning {
+			mon.stopThread(uint64(c.ID), 0, true)
+		}
+		return machine.DispReturnToOS
+
+	case tr.Cause == isa.CauseECallU:
+		if enclaveRunning {
+			return mon.enclaveCall(c, slot)
+		}
+		// An ordinary process syscall: the monitor only forwards it.
+		return machine.DispReturnToOS
+
+	case tr.Cause.IsPageFault():
+		if enclaveRunning {
+			return mon.enclaveFault(c, slot, tr)
+		}
+		return machine.DispReturnToOS
+
+	default:
+		// Access faults, illegal instructions, breakpoints, misaligned
+		// accesses: enclaves take an AEX; the OS gets the event.
+		if enclaveRunning {
+			mon.stopThread(uint64(c.ID), 0, true)
+		}
+		return machine.DispReturnToOS
+	}
+}
+
+// enclaveFault delivers a fault to the enclave's registered handler if
+// possible (enclaves can implement demand paging, §V-A), otherwise
+// performs an AEX and delegates to the OS.
+func (mon *Monitor) enclaveFault(c *machine.Core, slot coreSlot, tr *isa.Trap) machine.Disposition {
+	mon.mu.Lock()
+	t := mon.threads[slot.tid]
+	mon.mu.Unlock()
+	if t != nil {
+		t.mu.Lock()
+		if t.FaultPC != 0 && !t.inFault {
+			t.inFault = true
+			t.faultRegs = c.CPU.Regs
+			t.faultPC = c.CPU.PC
+			handlerPC, handlerSP := t.FaultPC, t.FaultSP
+			t.mu.Unlock()
+			c.CPU.PC = handlerPC
+			c.CPU.SetReg(isa.RegSP, handlerSP)
+			c.CPU.SetReg(isa.RegA0, uint64(tr.Cause))
+			c.CPU.SetReg(isa.RegA1, tr.Value)
+			return machine.DispResume
+		}
+		t.mu.Unlock()
+	}
+	mon.stopThread(uint64(c.ID), 0, true)
+	return machine.DispReturnToOS
+}
+
+// enclaveCall dispatches an ECALL from a running enclave (§V-A: the SM
+// API is implemented via machine events, much like a system call).
+func (mon *Monitor) enclaveCall(c *machine.Core, slot coreSlot) machine.Disposition {
+	mon.mu.Lock()
+	e := mon.enclaves[slot.owner]
+	t := mon.threads[slot.tid]
+	mon.mu.Unlock()
+	if e == nil || t == nil {
+		mon.stopThread(uint64(c.ID), 0, false)
+		return machine.DispReturnToOS
+	}
+
+	call := api.Call(c.CPU.Reg(isa.RegA7))
+	a0 := c.CPU.Reg(isa.RegA0)
+	a1 := c.CPU.Reg(isa.RegA1)
+	a2 := c.CPU.Reg(isa.RegA2)
+
+	var st api.Error
+	var ret uint64
+
+	switch call {
+	case api.CallExitEnclave:
+		mon.stopThread(uint64(c.ID), a0, false)
+		return machine.DispReturnToOS
+
+	case api.CallResumeAEX:
+		t.mu.Lock()
+		if !t.AEXValid {
+			t.mu.Unlock()
+			st = api.ErrInvalidState
+			break
+		}
+		c.CPU.Regs = t.aexRegs
+		c.CPU.PC = t.aexPC
+		t.AEXValid = false
+		t.mu.Unlock()
+		return machine.DispResume
+
+	case api.CallResumeFault:
+		t.mu.Lock()
+		if !t.inFault {
+			t.mu.Unlock()
+			st = api.ErrInvalidState
+			break
+		}
+		c.CPU.Regs = t.faultRegs
+		c.CPU.PC = t.faultPC
+		t.inFault = false
+		t.mu.Unlock()
+		return machine.DispResume
+
+	case api.CallSetFaultHandler:
+		if a0 != 0 && !e.InEvrange(a0) {
+			st = api.ErrInvalidValue
+			break
+		}
+		t.mu.Lock()
+		t.FaultPC, t.FaultSP = a0, a1
+		t.mu.Unlock()
+
+	case api.CallGetRandom:
+		var b [8]byte
+		mon.machine.Entropy.Read(b[:])
+		for i, v := range b {
+			ret |= uint64(v) << (8 * uint(i))
+		}
+
+	case api.CallMyEnclaveID:
+		ret = e.ID
+
+	case api.CallAcceptMail:
+		st = mon.acceptMail(e, int(a0), a1)
+
+	case api.CallSendMail:
+		msg, ok := mon.readEnclave(e, a1, api.MailboxSize)
+		if !ok {
+			st = api.ErrInvalidValue
+			break
+		}
+		st = mon.deliverMail(e.ID, e.Measurement, a0, msg)
+
+	case api.CallGetMail:
+		var msg []byte
+		var senderMeas [32]byte
+		msg, senderMeas, st = mon.getMail(e, int(a0))
+		if st == api.OK {
+			out := append(append([]byte(nil), senderMeas[:]...), msg...)
+			if !mon.writeEnclave(e, a1, out) {
+				st = api.ErrInvalidValue
+			}
+		}
+
+	case api.CallAcceptThread:
+		st = mon.acceptThread(e, a0, a1, a2)
+
+	case api.CallReleaseThread:
+		st = mon.releaseThread(e, a0)
+
+	case api.CallAcceptRegion:
+		st = mon.acceptRegion(e, int(a0))
+
+	case api.CallBlockRegion:
+		st = mon.blockRegionAs(e.ID, int(a0))
+
+	case api.CallGetField:
+		data, fst := mon.fieldBytes(api.Field(a0), e)
+		st = fst
+		if st == api.OK {
+			if uint64(len(data)) > a2 {
+				st = api.ErrInvalidValue
+				break
+			}
+			if !mon.writeEnclave(e, a1, data) {
+				st = api.ErrInvalidValue
+				break
+			}
+			ret = uint64(len(data))
+		}
+
+	case api.CallAttestSign:
+		sig, fst := mon.attestSign(e, a0, a1)
+		st = fst
+		if st == api.OK {
+			if !mon.writeEnclave(e, a2, sig) {
+				st = api.ErrInvalidValue
+			}
+		}
+
+	case api.CallKADerive:
+		st = mon.kaDerive(e, a0, a1)
+
+	case api.CallKACombine:
+		st = mon.kaCombine(e, a0, a1, a2)
+
+	case api.CallMAC:
+		a3 := c.CPU.Reg(isa.RegA3)
+		st = mon.macService(e, a0, a1, a2, a3)
+
+	default:
+		st = api.ErrNotSupported
+	}
+
+	c.CPU.SetReg(isa.RegA0, uint64(st))
+	c.CPU.SetReg(isa.RegA1, ret)
+	c.CPU.PC += isa.InstrSize
+	return machine.DispResume
+}
+
+// enclaveVAtoPA translates an enclave virtual address through the
+// enclave's private page tables with M-mode authority, confining every
+// step of the walk and the final target to the enclave's own regions.
+func (mon *Monitor) enclaveVAtoPA(e *Enclave, va uint64, acc pt.Access) (uint64, bool) {
+	if !e.InEvrange(va) {
+		return 0, false
+	}
+	layout := mon.machine.DRAM
+	read := func(pa uint64) (uint64, bool) {
+		if !e.Regions.ContainsRange(layout, pa, 8) {
+			return 0, false
+		}
+		v, err := mon.machine.Mem.Load(pa, 8)
+		return v, err == nil
+	}
+	res, fault := pt.Walk(read, e.RootPPN, va&pt.VAMask, acc, true)
+	if fault != nil {
+		return 0, false
+	}
+	if !e.Regions.ContainsRange(layout, res.PA, 1) {
+		return 0, false
+	}
+	return res.PA, true
+}
+
+// readEnclave copies n bytes out of enclave memory at va.
+func (mon *Monitor) readEnclave(e *Enclave, va uint64, n int) ([]byte, bool) {
+	out := make([]byte, 0, n)
+	for n > 0 {
+		pa, ok := mon.enclaveVAtoPA(e, va, pt.Load)
+		if !ok {
+			return nil, false
+		}
+		chunk := int(mem.PageSize - pa&mem.PageMask)
+		if chunk > n {
+			chunk = n
+		}
+		buf := make([]byte, chunk)
+		if err := mon.machine.Mem.ReadBytes(pa, buf); err != nil {
+			return nil, false
+		}
+		out = append(out, buf...)
+		va += uint64(chunk)
+		n -= chunk
+	}
+	return out, true
+}
+
+// writeEnclave copies data into enclave memory at va.
+func (mon *Monitor) writeEnclave(e *Enclave, va uint64, data []byte) bool {
+	for len(data) > 0 {
+		pa, ok := mon.enclaveVAtoPA(e, va, pt.Store)
+		if !ok {
+			return false
+		}
+		chunk := int(mem.PageSize - pa&mem.PageMask)
+		if chunk > len(data) {
+			chunk = len(data)
+		}
+		if err := mon.machine.Mem.WriteBytes(pa, data[:chunk]); err != nil {
+			return false
+		}
+		data = data[chunk:]
+		va += uint64(chunk)
+	}
+	return true
+}

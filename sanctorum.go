@@ -1,0 +1,212 @@
+// Package sanctorum is the public facade of the Sanctorum
+// reproduction: one call builds a simulated enclave-capable machine —
+// cores, caches, DRAM regions or PMP, secure-booted security monitor,
+// untrusted OS — on any of the three platform backends the paper
+// discusses (Sanctum, Keystone, and an insecure baseline).
+//
+//	sys, _ := sanctorum.NewSystem(sanctorum.Options{Kind: sanctorum.Sanctum})
+//	spec, _ := enclaves.Spec(layout, enclaves.Adder(layout), nil, regions, shared)
+//	built, _ := sys.BuildEnclave(spec)
+//	res, _ := sys.Enter(0, built.EID, built.TIDs[0], 1_000_000)
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// paper-artifact index.
+package sanctorum
+
+import (
+	"crypto/ed25519"
+	"fmt"
+
+	"sanctorum/internal/hw/dram"
+	"sanctorum/internal/hw/machine"
+	"sanctorum/internal/os"
+	"sanctorum/internal/platform/baseline"
+	"sanctorum/internal/platform/keystone"
+	"sanctorum/internal/platform/sanctum"
+	"sanctorum/internal/sm"
+	"sanctorum/internal/sm/boot"
+)
+
+// Kind selects the isolation backend.
+type Kind = machine.IsolationKind
+
+// Platform kinds.
+const (
+	// Baseline is the insecure control: no physical isolation.
+	Baseline = machine.IsolationNone
+	// Sanctum uses DRAM regions, a page-colored LLC and private page
+	// walks (paper §VII-A).
+	Sanctum = machine.IsolationSanctum
+	// Keystone uses RISC-V PMP with an unpartitioned LLC (§VII-B).
+	Keystone = machine.IsolationKeystone
+)
+
+// Options configures NewSystem. The zero value of every field has a
+// sensible default.
+type Options struct {
+	Kind         Kind
+	Cores        int    // default 2
+	RegionShift  uint   // log2 region size; default 16 (64 KiB)
+	RegionCount  int    // default 64 (Sanctum's region count)
+	MonitorImage []byte // measured by secure boot; default a fixed image
+	Seed         []byte // deterministic entropy seed; default fixed
+	// SigningMeasurement is the measurement of the signing enclave to
+	// hard-code into the monitor (§VI-C); zero disables attest-sign.
+	SigningMeasurement [32]byte
+}
+
+func (o *Options) fill() {
+	if o.Cores == 0 {
+		o.Cores = 2
+	}
+	if o.RegionShift == 0 {
+		o.RegionShift = 17 // 128 KiB regions: 32 pages each
+	}
+	if o.RegionCount == 0 {
+		o.RegionCount = 64
+	}
+	if o.MonitorImage == nil {
+		o.MonitorImage = []byte("sanctorum reproduction monitor v1")
+	}
+	if o.Seed == nil {
+		o.Seed = []byte("sanctorum-system")
+	}
+}
+
+// System is a booted machine: hardware, monitor, untrusted OS, and the
+// manufacturer PKI a remote verifier pins.
+type System struct {
+	Machine      *machine.Machine
+	Monitor      *sm.Monitor
+	OS           *os.OS
+	Manufacturer *boot.Manufacturer
+	Device       *boot.Device
+
+	// KernelRegion and MetaRegion record the layout choices NewSystem
+	// made: region 0 backs the OS kernel, RegionCount-2 the monitor's
+	// metadata, RegionCount-1 the monitor image.
+	KernelRegion int
+	MetaRegion   int
+	SMRegion     int
+}
+
+// NewSystem builds and boots a complete system.
+func NewSystem(opts Options) (*System, error) {
+	opts.fill()
+	layout := dram.Layout{RegionShift: opts.RegionShift, RegionCount: opts.RegionCount}
+	cfg := machine.DefaultConfig(opts.Kind)
+	cfg.Cores = opts.Cores
+	cfg.DRAM = layout
+	cfg.Seed = opts.Seed
+	m, err := machine.New(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("sanctorum: building machine: %w", err)
+	}
+
+	mfr := boot.NewManufacturer("sanctorum-works", append([]byte("mfr:"), opts.Seed...))
+	dev := mfr.Provision("sim-device-0", append([]byte("dev:"), opts.Seed...))
+	id, err := dev.Boot(opts.MonitorImage)
+	if err != nil {
+		return nil, fmt.Errorf("sanctorum: secure boot: %w", err)
+	}
+
+	smRegion := opts.RegionCount - 1
+	metaRegion := opts.RegionCount - 2
+	var plat sm.Platform
+	switch opts.Kind {
+	case Sanctum:
+		plat = sanctum.New()
+	case Keystone:
+		plat = keystone.New(layout, []int{smRegion})
+	default:
+		plat = baseline.New()
+	}
+	mon, err := sm.New(sm.Config{
+		Machine:        m,
+		Platform:       plat,
+		Identity:       id,
+		SMRegions:      []int{smRegion},
+		SigningEnclave: opts.SigningMeasurement,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("sanctorum: booting monitor: %w", err)
+	}
+	kernel, err := os.New(m, mon, 0, metaRegion)
+	if err != nil {
+		return nil, fmt.Errorf("sanctorum: starting OS: %w", err)
+	}
+	return &System{
+		Machine:      m,
+		Monitor:      mon,
+		OS:           kernel,
+		Manufacturer: mfr,
+		Device:       dev,
+		KernelRegion: 0,
+		MetaRegion:   metaRegion,
+		SMRegion:     smRegion,
+	}, nil
+}
+
+// TrustedRoot returns the manufacturer public key a remote verifier
+// pins.
+func (s *System) TrustedRoot() ed25519.PublicKey { return s.Manufacturer.RootKey() }
+
+// BuildEnclave loads and initializes an enclave through the monitor's
+// API (Fig 3), returning its eid, thread ids and measurement.
+func (s *System) BuildEnclave(spec *os.EnclaveSpec) (*os.BuiltEnclave, error) {
+	return s.OS.BuildEnclave(spec)
+}
+
+// Enter schedules an enclave thread on a core and runs it until the
+// monitor hands control back (exit, AEX, or fault delegation).
+func (s *System) Enter(coreID int, eid, tid uint64, maxSteps int) (machine.RunResult, error) {
+	if st := s.OS.EnterEnclave(coreID, eid, tid); st != 0 {
+		return machine.RunResult{}, fmt.Errorf("sanctorum: enter_enclave: %v", st)
+	}
+	return s.Machine.Run(coreID, maxSteps)
+}
+
+// Resume re-runs a core that returned to the OS without re-entering
+// through the monitor (e.g. to continue an OS user program).
+func (s *System) Resume(coreID int, maxSteps int) (machine.RunResult, error) {
+	return s.Machine.Run(coreID, maxSteps)
+}
+
+// SetupShared allocates an OS page, maps it at va in the OS page
+// tables, and returns its physical address. This is the untrusted
+// buffer enclaves and the OS exchange data through.
+func (s *System) SetupShared(va uint64) (uint64, error) {
+	return s.OS.MapUserPage(va)
+}
+
+// SharedRead reads from the shared buffer with OS rights.
+func (s *System) SharedRead(pa uint64, n int) ([]byte, error) {
+	return s.OS.ReadOwned(pa, n)
+}
+
+// SharedWrite writes to the shared buffer with OS rights.
+func (s *System) SharedWrite(pa uint64, data []byte) error {
+	return s.OS.WriteOwned(pa, data)
+}
+
+// SharedWriteWord stores one 64-bit word into the shared buffer.
+func (s *System) SharedWriteWord(pa uint64, off int, v uint64) error {
+	var b [8]byte
+	for i := range b {
+		b[i] = byte(v >> (8 * uint(i)))
+	}
+	return s.OS.WriteOwned(pa+uint64(off), b[:])
+}
+
+// SharedReadWord loads one 64-bit word from the shared buffer.
+func (s *System) SharedReadWord(pa uint64, off int) (uint64, error) {
+	b, err := s.OS.ReadOwned(pa+uint64(off), 8)
+	if err != nil {
+		return 0, err
+	}
+	var v uint64
+	for i, x := range b {
+		v |= uint64(x) << (8 * uint(i))
+	}
+	return v, nil
+}

@@ -1,0 +1,537 @@
+package sanctorum_test
+
+import (
+	"bytes"
+	"crypto/rand"
+	"testing"
+
+	"sanctorum"
+	"sanctorum/internal/attest"
+	"sanctorum/internal/enclaves"
+	"sanctorum/internal/isa"
+	"sanctorum/internal/os"
+	"sanctorum/internal/sm/api"
+)
+
+var allKinds = []struct {
+	name string
+	kind sanctorum.Kind
+}{
+	{"sanctum", sanctorum.Sanctum},
+	{"keystone", sanctorum.Keystone},
+	{"baseline", sanctorum.Baseline},
+}
+
+func TestQuickstartAdderAllPlatforms(t *testing.T) {
+	for _, pk := range allKinds {
+		t.Run(pk.name, func(t *testing.T) {
+			sys, err := sanctorum.NewSystem(sanctorum.Options{Kind: pk.kind})
+			if err != nil {
+				t.Fatal(err)
+			}
+			l := enclaves.DefaultLayout()
+			sharedPA, err := sys.SetupShared(l.SharedVA)
+			if err != nil {
+				t.Fatal(err)
+			}
+			regions := sys.OS.FreeRegions()
+			spec, err := enclaves.Spec(l, enclaves.Adder(l), nil, regions[:1],
+				[]os.SharedMapping{{VA: l.SharedVA, PA: sharedPA}})
+			if err != nil {
+				t.Fatal(err)
+			}
+			built, err := sys.BuildEnclave(spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := sys.SharedWriteWord(sharedPA, enclaves.ShInput, 10); err != nil {
+				t.Fatal(err)
+			}
+			res, err := sys.Enter(0, built.EID, built.TIDs[0], 1_000_000)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Reason.String() != "return-to-os" {
+				t.Fatalf("stop reason: %+v", res)
+			}
+			// The enclave's chosen exit status is delivered in a0.
+			if got := sys.Machine.Cores[0].CPU.Reg(isa.RegA0); got != 0x42 {
+				t.Fatalf("exit status = %#x", got)
+			}
+			sum, err := sys.SharedReadWord(sharedPA, enclaves.ShOutput)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if sum != 55 {
+				t.Fatalf("sum = %d, want 55", sum)
+			}
+			// The core is clean: no enclave mode, registers scrubbed
+			// except the sanctioned a0.
+			c := sys.Machine.Cores[0]
+			if c.EnclaveMode {
+				t.Fatal("core left in enclave mode")
+			}
+			for r := 1; r < isa.NumRegs; r++ {
+				if r != isa.RegA0 && c.CPU.Regs[r] != 0 {
+					t.Fatalf("register x%d leaked %#x to the OS", r, c.CPU.Regs[r])
+				}
+			}
+		})
+	}
+}
+
+func TestMeasurementMatchesVerifierReplay(t *testing.T) {
+	sys, err := sanctorum.NewSystem(sanctorum.Options{Kind: sanctorum.Sanctum})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := enclaves.DefaultLayout()
+	sharedPA, _ := sys.SetupShared(l.SharedVA)
+	regions := sys.OS.FreeRegions()
+	spec, err := enclaves.Spec(l, enclaves.Adder(l), []byte{1, 2, 3}, regions[:1],
+		[]os.SharedMapping{{VA: l.SharedVA, PA: sharedPA}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	built, err := sys.BuildEnclave(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if built.Measurement != os.ExpectedMeasurement(spec) {
+		t.Fatal("monitor measurement does not match the verifier's transcript replay")
+	}
+	// The replay is placement-independent: a second build of the same
+	// spec into different regions measures identically.
+	spec2 := *spec
+	spec2.Regions = regions[1:2]
+	built2, err := sys.BuildEnclave(&spec2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if built2.Measurement != built.Measurement {
+		t.Fatal("physical placement leaked into the measurement")
+	}
+}
+
+func TestAEXAndResume(t *testing.T) {
+	for _, pk := range allKinds[:2] { // sanctum + keystone
+		t.Run(pk.name, func(t *testing.T) {
+			sys, err := sanctorum.NewSystem(sanctorum.Options{Kind: pk.kind})
+			if err != nil {
+				t.Fatal(err)
+			}
+			l := enclaves.DefaultLayout()
+			sharedPA, _ := sys.SetupShared(l.SharedVA)
+			regions := sys.OS.FreeRegions()
+			spec, err := enclaves.Spec(l, enclaves.Counter(l), nil, regions[:1],
+				[]os.SharedMapping{{VA: l.SharedVA, PA: sharedPA}})
+			if err != nil {
+				t.Fatal(err)
+			}
+			built, err := sys.BuildEnclave(spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// First slice: de-schedule via the core timer.
+			if st := sys.OS.EnterEnclave(0, built.EID, built.TIDs[0]); st != api.OK {
+				t.Fatalf("enter: %v", st)
+			}
+			core := sys.Machine.Cores[0]
+			core.TimerCmp = core.CPU.Cycles + 3000
+			res, err := sys.Machine.Run(0, 1_000_000)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Trap == nil || !res.Trap.Cause.IsInterrupt() {
+				t.Fatalf("expected interrupt delegation, got %+v", res)
+			}
+			c1, _ := sys.SharedReadWord(sharedPA, enclaves.ShCounter)
+			if c1 == 0 {
+				t.Fatal("counter never ran")
+			}
+			// Registers must not leak enclave state to the OS on AEX.
+			for r := 1; r < isa.NumRegs; r++ {
+				if core.CPU.Regs[r] != 0 {
+					t.Fatalf("x%d leaked %#x across AEX", r, core.CPU.Regs[r])
+				}
+			}
+			// Second slice, short: a restarted counter could not reach
+			// c1 again, so progress proves the AEX context resumed.
+			if st := sys.OS.EnterEnclave(0, built.EID, built.TIDs[0]); st != api.OK {
+				t.Fatalf("re-enter: %v", st)
+			}
+			core.TimerCmp = core.CPU.Cycles + 1500
+			if _, err := sys.Machine.Run(0, int(c1)); err != nil {
+				t.Fatal(err)
+			}
+			c2, _ := sys.SharedReadWord(sharedPA, enclaves.ShCounter)
+			if c2 <= c1 {
+				t.Fatalf("counter did not resume: %d -> %d", c1, c2)
+			}
+		})
+	}
+}
+
+func TestOSCannotTouchEnclaveOrMonitorMemory(t *testing.T) {
+	for _, pk := range allKinds[:2] {
+		t.Run(pk.name, func(t *testing.T) {
+			sys, err := sanctorum.NewSystem(sanctorum.Options{Kind: pk.kind})
+			if err != nil {
+				t.Fatal(err)
+			}
+			l := enclaves.DefaultLayout()
+			sharedPA, _ := sys.SetupShared(l.SharedVA)
+			regions := sys.OS.FreeRegions()
+			encRegion := regions[0]
+			spec, _ := enclaves.Spec(l, enclaves.Adder(l), []byte("secret!"), regions[:1],
+				[]os.SharedMapping{{VA: l.SharedVA, PA: sharedPA}})
+			if _, err := sys.BuildEnclave(spec); err != nil {
+				t.Fatal(err)
+			}
+			core := sys.Machine.Cores[1]
+			encBase := sys.Machine.DRAM.Base(encRegion)
+			if _, err := core.LoadAs(isa.PrivS, encBase, 8); err == nil {
+				t.Fatal("OS read enclave memory")
+			}
+			if err := core.StoreAs(isa.PrivS, encBase, 8, 0xBAD); err == nil {
+				t.Fatal("OS wrote enclave memory")
+			}
+			metaBase := sys.Machine.DRAM.Base(sys.MetaRegion)
+			if _, err := core.LoadAs(isa.PrivS, metaBase, 8); err == nil {
+				t.Fatal("OS read monitor metadata")
+			}
+			smBase := sys.Machine.DRAM.Base(sys.SMRegion)
+			if _, err := core.LoadAs(isa.PrivS, smBase, 8); err == nil {
+				t.Fatal("OS read monitor memory")
+			}
+			// DMA is confined to OS memory in every mode.
+			if err := sys.Machine.DMATransfer(encBase, sharedPA, 64); err == nil {
+				t.Fatal("DMA read enclave memory")
+			}
+			if err := sys.Machine.DMATransfer(sharedPA, encBase, 64); err == nil {
+				t.Fatal("DMA wrote enclave memory")
+			}
+			if err := sys.Machine.DMATransfer(sharedPA, sharedPA+128, 64); err != nil {
+				t.Fatalf("benign DMA denied: %v", err)
+			}
+		})
+	}
+}
+
+func TestBaselinePlatformIsInsecure(t *testing.T) {
+	// The control experiment: with no isolation primitive, the same
+	// monitor logic cannot stop the OS — the paper's §IV-B requirements
+	// are load-bearing.
+	sys, err := sanctorum.NewSystem(sanctorum.Options{Kind: sanctorum.Baseline})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := enclaves.DefaultLayout()
+	sharedPA, _ := sys.SetupShared(l.SharedVA)
+	regions := sys.OS.FreeRegions()
+	spec, _ := enclaves.Spec(l, enclaves.Adder(l), []byte("secret!"), regions[:1],
+		[]os.SharedMapping{{VA: l.SharedVA, PA: sharedPA}})
+	if _, err := sys.BuildEnclave(spec); err != nil {
+		t.Fatal(err)
+	}
+	encBase := sys.Machine.DRAM.Base(regions[0])
+	if _, err := sys.Machine.Cores[1].LoadAs(isa.PrivS, encBase, 8); err != nil {
+		t.Fatalf("baseline unexpectedly blocked the OS: %v", err)
+	}
+}
+
+func TestLocalAttestation(t *testing.T) {
+	// Fig 6 end to end: E2 (receiver) attests E1 (sender) via the
+	// monitor's measurement-stamped mailboxes.
+	sys, err := sanctorum.NewSystem(sanctorum.Options{Kind: sanctorum.Sanctum})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lSend := enclaves.DefaultLayout()
+	lRecv := enclaves.DefaultLayout()
+	lRecv.SharedVA = 0x50002000
+	regions := sys.OS.FreeRegions()
+
+	sharedSendPA, _ := sys.SetupShared(lSend.SharedVA)
+	sharedRecvPA, _ := sys.SetupShared(lRecv.SharedVA)
+
+	msg := make([]byte, api.MailboxSize)
+	copy(msg, "greetings from E1")
+	sendSpec, err := enclaves.Spec(lSend, enclaves.MailSender(lSend),
+		enclaves.SenderDataInit(msg), regions[:1],
+		[]os.SharedMapping{{VA: lSend.SharedVA, PA: sharedSendPA}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	expectedSender := os.ExpectedMeasurement(sendSpec)
+
+	recvSpec, err := enclaves.Spec(lRecv, enclaves.MailReceiver(lRecv),
+		enclaves.ReceiverDataInit(expectedSender), regions[1:2],
+		[]os.SharedMapping{{VA: lRecv.SharedVA, PA: sharedRecvPA}})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sender, err := sys.BuildEnclave(sendSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	receiver, err := sys.BuildEnclave(recvSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sender.Measurement != expectedSender {
+		t.Fatal("sender measurement mismatch")
+	}
+
+	// Step 1: receiver arms its mailbox for the sender.
+	sys.SharedWriteWord(sharedRecvPA, enclaves.ShInput, 0)
+	sys.SharedWriteWord(sharedRecvPA, enclaves.ShPeerEID, sender.EID)
+	if _, err := sys.Enter(0, receiver.EID, receiver.TIDs[0], 100_000); err != nil {
+		t.Fatal(err)
+	}
+	if st := sys.Machine.Cores[0].CPU.Reg(isa.RegA0); st != 0 {
+		t.Fatalf("accept_mail failed: %v", api.Error(st))
+	}
+	// Step 2: sender mails its message.
+	sys.SharedWriteWord(sharedSendPA, enclaves.ShPeerEID, receiver.EID)
+	if _, err := sys.Enter(0, sender.EID, sender.TIDs[0], 100_000); err != nil {
+		t.Fatal(err)
+	}
+	if st := sys.Machine.Cores[0].CPU.Reg(isa.RegA0); st != 0 {
+		t.Fatalf("send_mail failed: %v", api.Error(st))
+	}
+	// Steps 3-4: receiver drains and validates the measurement.
+	sys.SharedWriteWord(sharedRecvPA, enclaves.ShInput, 1)
+	if _, err := sys.Enter(0, receiver.EID, receiver.TIDs[0], 100_000); err != nil {
+		t.Fatal(err)
+	}
+	verdict, _ := sys.SharedReadWord(sharedRecvPA, enclaves.ShOutput)
+	if verdict != 1 {
+		t.Fatalf("verdict = %d, want authentic (1)", verdict)
+	}
+}
+
+func TestLocalAttestationDetectsImpostor(t *testing.T) {
+	sys, err := sanctorum.NewSystem(sanctorum.Options{Kind: sanctorum.Sanctum})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lSend := enclaves.DefaultLayout()
+	lRecv := enclaves.DefaultLayout()
+	lRecv.SharedVA = 0x50002000
+	regions := sys.OS.FreeRegions()
+	sharedSendPA, _ := sys.SetupShared(lSend.SharedVA)
+	sharedRecvPA, _ := sys.SetupShared(lRecv.SharedVA)
+
+	genuineMsg := make([]byte, api.MailboxSize)
+	copy(genuineMsg, "genuine")
+	genuineSpec, _ := enclaves.Spec(lSend, enclaves.MailSender(lSend),
+		enclaves.SenderDataInit(genuineMsg), regions[:1],
+		[]os.SharedMapping{{VA: lSend.SharedVA, PA: sharedSendPA}})
+	expected := os.ExpectedMeasurement(genuineSpec)
+
+	// The impostor runs the same code but different (attacker-chosen)
+	// initial data: its measurement necessarily differs.
+	impostorMsg := make([]byte, api.MailboxSize)
+	copy(impostorMsg, "impostor")
+	impostorSpec, _ := enclaves.Spec(lSend, enclaves.MailSender(lSend),
+		enclaves.SenderDataInit(impostorMsg), regions[:1],
+		[]os.SharedMapping{{VA: lSend.SharedVA, PA: sharedSendPA}})
+
+	recvSpec, _ := enclaves.Spec(lRecv, enclaves.MailReceiver(lRecv),
+		enclaves.ReceiverDataInit(expected), regions[1:2],
+		[]os.SharedMapping{{VA: lRecv.SharedVA, PA: sharedRecvPA}})
+
+	impostor, err := sys.BuildEnclave(impostorSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	receiver, err := sys.BuildEnclave(recvSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sys.SharedWriteWord(sharedRecvPA, enclaves.ShInput, 0)
+	sys.SharedWriteWord(sharedRecvPA, enclaves.ShPeerEID, impostor.EID)
+	sys.Enter(0, receiver.EID, receiver.TIDs[0], 100_000)
+	sys.SharedWriteWord(sharedSendPA, enclaves.ShPeerEID, receiver.EID)
+	sys.Enter(0, impostor.EID, impostor.TIDs[0], 100_000)
+	sys.SharedWriteWord(sharedRecvPA, enclaves.ShInput, 1)
+	sys.Enter(0, receiver.EID, receiver.TIDs[0], 100_000)
+	verdict, _ := sys.SharedReadWord(sharedRecvPA, enclaves.ShOutput)
+	if verdict != 2 {
+		t.Fatalf("verdict = %d, want mismatch (2): the monitor stamped the impostor's true measurement", verdict)
+	}
+}
+
+func TestRemoteAttestation(t *testing.T) {
+	// Fig 7 end to end, with a real remote verifier.
+	lES := enclaves.DefaultLayout()
+	lE1 := enclaves.DefaultLayout()
+	lE1.SharedVA = 0x50002000
+
+	// The signing enclave's measurement is hard-coded into the monitor
+	// at boot; compute it from the spec template (placement-free).
+	esTemplate, err := enclaves.Spec(lES, enclaves.SigningEnclave(lES), nil, nil,
+		[]os.SharedMapping{{VA: lES.SharedVA}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	signingMeas := os.ExpectedMeasurement(esTemplate)
+
+	sys, err := sanctorum.NewSystem(sanctorum.Options{
+		Kind:               sanctorum.Sanctum,
+		SigningMeasurement: signingMeas,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	regions := sys.OS.FreeRegions()
+	sharedESPA, _ := sys.SetupShared(lES.SharedVA)
+	sharedE1PA, _ := sys.SetupShared(lE1.SharedVA)
+
+	esSpec, _ := enclaves.Spec(lES, enclaves.SigningEnclave(lES), nil, regions[:1],
+		[]os.SharedMapping{{VA: lES.SharedVA, PA: sharedESPA}})
+	e1Spec, _ := enclaves.Spec(lE1, enclaves.AttestedClient(lE1),
+		enclaves.ClientDataInit(), regions[1:2],
+		[]os.SharedMapping{{VA: lE1.SharedVA, PA: sharedE1PA}})
+	expectedE1 := os.ExpectedMeasurement(e1Spec)
+
+	es, err := sys.BuildEnclave(esSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if es.Measurement != signingMeas {
+		t.Fatal("signing enclave measurement drifted from the boot-time constant")
+	}
+	e1, err := sys.BuildEnclave(e1Spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Remote verifier state: key agreement + nonce (Fig 7 steps 1-2).
+	verifierKA, err := attest.NewKeyAgreement(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var nonce [attest.NonceSize]byte
+	rand.Read(nonce[:])
+
+	// OS transports public values and schedules everything.
+	sys.SharedWriteWord(sharedESPA, enclaves.ShInput, 0)
+	sys.SharedWriteWord(sharedESPA, enclaves.ShPeerEID, e1.EID)
+	if _, err := sys.Enter(0, es.EID, es.TIDs[0], 1_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if st := sys.Machine.Cores[0].CPU.Reg(isa.RegA0); st != 0 {
+		t.Fatalf("ES accept_mail: %v", api.Error(st))
+	}
+
+	sys.SharedWriteWord(sharedE1PA, enclaves.ShInput, 0)
+	sys.SharedWriteWord(sharedE1PA, enclaves.ShPeerEID, es.EID)
+	sys.SharedWrite(sharedE1PA+enclaves.ShNonce, nonce[:])
+	if _, err := sys.Enter(0, e1.EID, e1.TIDs[0], 1_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if st := sys.Machine.Cores[0].CPU.Reg(isa.RegA0); st != 0 {
+		t.Fatalf("E1 phase 0: %v", api.Error(st))
+	}
+
+	sys.SharedWriteWord(sharedESPA, enclaves.ShInput, 1)
+	if _, err := sys.Enter(0, es.EID, es.TIDs[0], 1_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if st := sys.Machine.Cores[0].CPU.Reg(isa.RegA0); st != 0 {
+		t.Fatalf("ES phase 1: %v", api.Error(st))
+	}
+
+	sys.SharedWriteWord(sharedE1PA, enclaves.ShInput, 1)
+	sys.SharedWrite(sharedE1PA+enclaves.ShPeerKA, verifierKA.Share())
+	if _, err := sys.Enter(0, e1.EID, e1.TIDs[0], 1_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if st := sys.Machine.Cores[0].CPU.Reg(isa.RegA0); st != 0 {
+		t.Fatalf("E1 phase 1: %v", api.Error(st))
+	}
+
+	// The verifier receives the evidence over the untrusted channel
+	// (Fig 7 step 8) and verifies it (step 9).
+	share, _ := sys.SharedRead(sharedE1PA+enclaves.ShShare, 32)
+	sig, _ := sys.SharedRead(sharedE1PA+enclaves.ShSig, 64)
+	chain, st := sys.Monitor.GetField(api.FieldCertChain)
+	if st != api.OK {
+		t.Fatalf("get_field: %v", st)
+	}
+	ev := &attest.Evidence{
+		EnclaveMeasurement: expectedE1,
+		Nonce:              nonce,
+		KAShare:            share,
+		Signature:          sig,
+		CertChain:          chain,
+	}
+	monitorMeas := sys.Monitor.Identity().Measurement
+	pol := attest.Policy{
+		TrustedRoot:     sys.TrustedRoot(),
+		ExpectedEnclave: expectedE1,
+		AcceptMonitor:   func(m []byte) bool { return bytes.Equal(m, monitorMeas[:]) },
+	}
+	if err := attest.Verify(ev, nonce, pol); err != nil {
+		t.Fatalf("remote attestation rejected: %v", err)
+	}
+
+	// Step 10: the session key authenticates subsequent traffic.
+	sessionKey, err := verifierKA.SessionKey(share)
+	if err != nil {
+		t.Fatal(err)
+	}
+	macBytes, _ := sys.SharedRead(sharedE1PA+enclaves.ShMACOut, 32)
+	var tag [32]byte
+	copy(tag[:], macBytes)
+	if !attest.Open(sessionKey, enclaves.SessionPlaintext, tag) {
+		t.Fatal("enclave did not derive the same session key as the verifier")
+	}
+
+	// Negative: a replayed nonce fails.
+	var otherNonce [attest.NonceSize]byte
+	rand.Read(otherNonce[:])
+	if err := attest.Verify(ev, otherNonce, pol); err == nil {
+		t.Fatal("stale evidence accepted under a fresh nonce")
+	}
+}
+
+func TestEnclavePageFaultDeliveredAndAEXFallback(t *testing.T) {
+	// An enclave touching an unmapped VA takes an AEX (no handler
+	// registered) and the OS sees the fault — without gaining access to
+	// enclave state.
+	sys, err := sanctorum.NewSystem(sanctorum.Options{Kind: sanctorum.Sanctum})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := enclaves.DefaultLayout()
+	sharedPA, _ := sys.SetupShared(l.SharedVA)
+	regions := sys.OS.FreeRegions()
+
+	// A program that dereferences an unmapped private address.
+	prog := enclaves.FaultingProgram(l)
+	spec, err := enclaves.Spec(l, prog, nil, regions[:1],
+		[]os.SharedMapping{{VA: l.SharedVA, PA: sharedPA}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	built, err := sys.BuildEnclave(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sys.Enter(0, built.EID, built.TIDs[0], 100_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Trap == nil || !res.Trap.Cause.IsPageFault() {
+		t.Fatalf("expected page fault delegation, got %+v", res)
+	}
+	core := sys.Machine.Cores[0]
+	if core.EnclaveMode {
+		t.Fatal("core left in enclave mode after fault AEX")
+	}
+}
