@@ -1,0 +1,120 @@
+// Execution-engine throughput benchmarks (EXPERIMENTS.md E12): retired
+// instructions per host-second on a tight ALU+memory loop, per platform
+// kind. These measure host speed of the interpreter fast path; the
+// modeled cycle counts are asserted identical to the reference path by
+// TestFastSlowEquivalence in internal/hw/machine.
+package sanctorum_test
+
+import (
+	"testing"
+
+	"sanctorum/internal/asm"
+	"sanctorum/internal/hw/machine"
+	"sanctorum/internal/hw/mem"
+	"sanctorum/internal/hw/pmp"
+	"sanctorum/internal/hw/pt"
+	"sanctorum/internal/isa"
+)
+
+// throughputMachine builds a one-purpose machine of the given isolation
+// kind running a paged S-mode ALU+memory loop, so the benchmark
+// exercises the full hot path: TLB, page walk, L1/L2 and physical
+// memory. reference selects the pre-optimization execution engine
+// (per-step Decode, scanning TLB probe, page-map access per load).
+func throughputMachine(b *testing.B, kind machine.IsolationKind, reference bool) *machine.Machine {
+	b.Helper()
+	cfg := machine.DefaultConfig(kind)
+	cfg.DisableFastPath = reference
+	m, err := machine.New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	// Physical pages from region 1 onward: page tables first, then code
+	// and data.
+	nextPPN := cfg.DRAM.Base(1) >> mem.PageBits
+	alloc := func() (uint64, error) {
+		p := nextPPN
+		nextPPN++
+		return p, nil
+	}
+	builder, err := pt.NewBuilder(m.Mem, alloc)
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	const codeVA, dataVA = uint64(0x10000), uint64(0x20000)
+	prog := asm.New().
+		Li64(isa.RegS0, dataVA).
+		Label("loop").
+		I(isa.OpLD, isa.RegT1, isa.RegS0, 0, 0).
+		I(isa.OpADD, isa.RegT2, isa.RegT2, isa.RegT1, 0).
+		I(isa.OpSD, 0, isa.RegS0, isa.RegT2, 8).
+		I(isa.OpADDI, isa.RegT0, isa.RegT0, 0, 1).
+		I(isa.OpXOR, isa.RegT2, isa.RegT2, isa.RegT0, 0).
+		J("loop")
+	bin, err := prog.Assemble(codeVA)
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	codePPN, _ := alloc()
+	dataPPN, _ := alloc()
+	if err := builder.Map(codeVA, codePPN<<mem.PageBits, pt.R|pt.X); err != nil {
+		b.Fatal(err)
+	}
+	if err := builder.Map(dataVA, dataPPN<<mem.PageBits, pt.R|pt.W); err != nil {
+		b.Fatal(err)
+	}
+	if err := m.Mem.WriteBytes(codePPN<<mem.PageBits, bin); err != nil {
+		b.Fatal(err)
+	}
+
+	c := m.Cores[0]
+	c.Satp = builder.Root
+	c.CPU.Mode = isa.PrivS
+	c.CPU.PC = codeVA
+	switch kind {
+	case machine.IsolationSanctum:
+		c.OSRegions = cfg.DRAM.Full()
+	case machine.IsolationKeystone:
+		if err := c.PMP.Configure(0, pmp.Entry{
+			Valid: true, Base: 0, Size: m.Mem.Size(), Perm: pmp.R | pmp.W | pmp.X,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return m
+}
+
+// BenchmarkThroughput reports sustained interpreter throughput
+// (instr/s) on the tight loop, for each platform kind, on the fast
+// engine and on the reference engine it must be cycle-identical to.
+// The fast/reference ratio is the PR's headline speedup; the
+// cycle-exactness of the pair is asserted by TestFastSlowEquivalence.
+func BenchmarkThroughput(b *testing.B) {
+	for _, engine := range []string{"fast", "reference"} {
+		for _, kind := range []machine.IsolationKind{
+			machine.IsolationNone, machine.IsolationSanctum, machine.IsolationKeystone,
+		} {
+			b.Run(engine+"/"+kind.String(), func(b *testing.B) {
+				m := throughputMachine(b, kind, engine == "reference")
+				const batch = 8192
+				retired := 0
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					res, err := m.Run(0, batch)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if res.Reason != machine.StopMaxSteps {
+						b.Fatalf("unexpected stop: %v (trap %v)", res.Reason, res.Trap)
+					}
+					retired += res.Steps
+				}
+				b.StopTimer()
+				b.ReportMetric(float64(retired)/b.Elapsed().Seconds(), "instr/s")
+			})
+		}
+	}
+}

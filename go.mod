@@ -1,0 +1,3 @@
+module sanctorum
+
+go 1.24

@@ -52,19 +52,79 @@ func (c Config) Validate() error {
 type line struct {
 	tag   uint64 // full line address (pa >> LineBits)
 	valid bool
+	epoch uint64 // flush epoch the line was filled in
 	lru   uint64 // last-access stamp
 }
 
+// live reports whether the line is resident in the current epoch.
+func (l *line) live(epoch uint64) bool { return l.valid && l.epoch == epoch }
+
 // Cache is a set-associative cache with LRU replacement.
 type Cache struct {
-	cfg   Config
-	sets  [][]line
-	stamp uint64
+	cfg      Config
+	sets     [][]line
+	stamp    uint64
+	lineBits uint
+	setMask  uint64 // Sets-1; Sets is validated to be a power of two
+
+	// fillGen advances whenever the set of resident lines changes (any
+	// fill, eviction or flush). A LineRef from an older generation is
+	// dead; one from the current generation still points at a valid
+	// resident line.
+	fillGen uint64
+
+	// epoch implements O(1) full flushes: lines filled in an older
+	// epoch are not resident, so FlushAll is one increment instead of
+	// a sweep over every way. Core cleaning runs on every protection-
+	// domain switch, which makes this the hot path of enclave
+	// enter/exit.
+	epoch uint64
 
 	// Statistics.
 	Hits      uint64
 	Misses    uint64
 	Evictions uint64
+}
+
+// LineRef is a consumer-held handle to the line of the last access, the
+// cache-model analogue of the machine's last-translation caches: while
+// the cache's resident-line set is unchanged, a repeat access to the
+// same line can skip the set scan. TouchFast performs bookkeeping
+// identical to a scanning hit (stamp, LRU, hit statistic), so the
+// observable cache state — contents, replacement order, statistics,
+// timing — is bit-identical to calling Access.
+type LineRef struct {
+	gen  uint64
+	line *line
+}
+
+// TouchFast re-performs a hit through the ref if it is still valid for
+// pa; the hit latency is the cache's Config().HitCycles, which hot
+// callers keep in a local. false means the caller must fall back to
+// Access/AccessRef.
+func (c *Cache) TouchFast(pa uint64, ref *LineRef) bool {
+	// A live gen implies ref was set by AccessRef (fillGen never
+	// returns to an old value), so line is non-nil and still resident,
+	// and its tag is authoritative for the line address.
+	if ref.gen != c.fillGen {
+		return false
+	}
+	l := ref.line
+	if l.tag != pa>>c.lineBits {
+		return false
+	}
+	c.stamp++
+	l.lru = c.stamp
+	c.Hits++
+	return true
+}
+
+// AccessRef is Access, additionally pointing ref at the touched line so
+// the next same-line access can go through TouchFast.
+func (c *Cache) AccessRef(pa uint64, ref *LineRef) (hit bool, cycles uint64) {
+	hit, cycles, l := c.access(pa)
+	*ref = LineRef{line: l, gen: c.fillGen}
+	return hit, cycles
 }
 
 // New builds a cache. It panics on invalid configuration, which is a
@@ -78,7 +138,9 @@ func New(cfg Config) *Cache {
 	for i := range sets {
 		sets[i], lines = lines[:cfg.Ways], lines[cfg.Ways:]
 	}
-	return &Cache{cfg: cfg, sets: sets}
+	// fillGen starts above the zero value so a zero LineRef never
+	// matches and TouchFast needs no nil check on its line pointer.
+	return &Cache{cfg: cfg, sets: sets, lineBits: cfg.LineBits, setMask: uint64(cfg.Sets - 1), fillGen: 1}
 }
 
 // Config returns the cache configuration.
@@ -87,9 +149,10 @@ func (c *Cache) Config() Config { return c.cfg }
 // setIndex computes the set for a physical address, honouring
 // partitioning.
 func (c *Cache) setIndex(pa uint64) int {
-	lineAddr := pa >> c.cfg.LineBits
+	lineAddr := pa >> c.lineBits
 	if c.cfg.PartitionOf == nil {
-		return int(lineAddr % uint64(c.cfg.Sets))
+		// Sets is a power of two, so the mask is the modulo.
+		return int(lineAddr & c.setMask)
 	}
 	per := c.cfg.Sets / c.cfg.Partitions
 	part := c.cfg.PartitionOf(pa) % c.cfg.Partitions
@@ -102,21 +165,29 @@ func (c *Cache) setIndex(pa uint64) int {
 // Access performs a cached access to pa, returning whether it hit and
 // the cycle cost. A miss fills the line, evicting LRU if needed.
 func (c *Cache) Access(pa uint64) (hit bool, cycles uint64) {
+	hit, cycles, _ = c.access(pa)
+	return hit, cycles
+}
+
+// access is the shared body of Access and AccessRef; it also returns
+// the line that was hit or filled.
+func (c *Cache) access(pa uint64) (hit bool, cycles uint64, l *line) {
 	c.stamp++
 	set := c.sets[c.setIndex(pa)]
-	tag := pa >> c.cfg.LineBits
+	tag := pa >> c.lineBits
 	for i := range set {
-		if set[i].valid && set[i].tag == tag {
+		if set[i].live(c.epoch) && set[i].tag == tag {
 			set[i].lru = c.stamp
 			c.Hits++
-			return true, c.cfg.HitCycles
+			return true, c.cfg.HitCycles, &set[i]
 		}
 	}
 	c.Misses++
-	// Fill: choose invalid way, else LRU.
+	c.fillGen++
+	// Fill: choose a non-resident way, else LRU.
 	victim := 0
 	for i := range set {
-		if !set[i].valid {
+		if !set[i].live(c.epoch) {
 			victim = i
 			goto fill
 		}
@@ -126,8 +197,8 @@ func (c *Cache) Access(pa uint64) (hit bool, cycles uint64) {
 	}
 	c.Evictions++
 fill:
-	set[victim] = line{tag: tag, valid: true, lru: c.stamp}
-	return false, c.cfg.MissCycles
+	set[victim] = line{tag: tag, valid: true, epoch: c.epoch, lru: c.stamp}
+	return false, c.cfg.MissCycles, &set[victim]
 }
 
 // Probe reports whether pa is cached without updating any state; the
@@ -136,20 +207,19 @@ func (c *Cache) Probe(pa uint64) bool {
 	set := c.sets[c.setIndex(pa)]
 	tag := pa >> c.cfg.LineBits
 	for i := range set {
-		if set[i].valid && set[i].tag == tag {
+		if set[i].live(c.epoch) && set[i].tag == tag {
 			return true
 		}
 	}
 	return false
 }
 
-// FlushAll invalidates the entire cache (core cleaning).
+// FlushAll invalidates the entire cache (core cleaning). Advancing the
+// flush epoch makes every resident line non-live in O(1); this runs on
+// every protection-domain switch, so it must not sweep the ways.
 func (c *Cache) FlushAll() {
-	for _, set := range c.sets {
-		for i := range set {
-			set[i].valid = false
-		}
-	}
+	c.epoch++
+	c.fillGen++
 }
 
 // FlushIf invalidates lines whose physical line address matches pred,
@@ -159,12 +229,13 @@ func (c *Cache) FlushIf(pred func(lineAddr uint64) bool) int {
 	n := 0
 	for _, set := range c.sets {
 		for i := range set {
-			if set[i].valid && pred(set[i].tag) {
+			if set[i].live(c.epoch) && pred(set[i].tag) {
 				set[i].valid = false
 				n++
 			}
 		}
 	}
+	c.fillGen++
 	return n
 }
 
@@ -173,7 +244,7 @@ func (c *Cache) Live() int {
 	n := 0
 	for _, set := range c.sets {
 		for i := range set {
-			if set[i].valid {
+			if set[i].live(c.epoch) {
 				n++
 			}
 		}

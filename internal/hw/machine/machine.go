@@ -82,6 +82,14 @@ type Config struct {
 	L1         cache.Config
 	L2         cache.Config
 	Seed       []byte // deterministic entropy seed; nil for host CSPRNG
+
+	// DisableFastPath makes every core use the reference execution
+	// path (per-step Decode, full TLB probe, page-map access on every
+	// byte). Modeled cycles and all microarchitectural observables are
+	// identical either way — equivalence tests run the same workload
+	// both ways and compare — so this exists only for those tests and
+	// for bisecting fast-path bugs.
+	DisableFastPath bool
 }
 
 // DefaultConfig returns a 2-core machine with the default DRAM layout
@@ -112,6 +120,21 @@ type Machine struct {
 	// DMAAllowed is the SM-installed DMA filter (§IV-B1: the SM must be
 	// able to restrict DMA). nil denies all DMA.
 	DMAAllowed func(pa, n uint64) bool
+}
+
+// flushDecodeCaches drops every core's decoded-instruction cache. It
+// is installed as the physical memory's code-write hook, so any write
+// into a page feeding a decode cache — guest stores (self-modifying
+// code), SM scrubs, DMA — lands here.
+func (m *Machine) flushDecodeCaches() {
+	for _, c := range m.Cores {
+		c.icGen++
+	}
+}
+
+// markCodePage records that a physical page feeds a decode cache.
+func (m *Machine) markCodePage(pa uint64) {
+	m.Mem.MarkCodePage(pa)
 }
 
 // New builds a machine from the configuration.
@@ -151,13 +174,24 @@ func New(cfg Config) (*Machine, error) {
 		Kind:    cfg.Kind,
 		Entropy: entropy,
 	}
+	m.Mem.SetCodeWriteHook(m.flushDecodeCaches)
 	for i := 0; i < cfg.Cores; i++ {
 		c := &Core{
-			ID:      i,
-			TLB:     tlb.New(cfg.TLBEntries),
-			L1:      cache.New(cfg.L1),
-			machine: m,
+			ID:       i,
+			TLB:      tlb.New(cfg.TLBEntries),
+			L1:       cache.New(cfg.L1),
+			machine:  m,
+			fastPath: !cfg.DisableFastPath,
+			sanctum:  cfg.Kind == IsolationSanctum,
+			l1Hit:    cfg.L1.HitCycles,
+			icGen:    1,
+			icache:   new([icEntries]icEntry),
 		}
+		c.fetchWin.Reset(m.Mem)
+		c.dataWin.Reset(m.Mem)
+		// Tearing down translations (core cleaning, shootdown on region
+		// re-allocation) also drops the decoded-instruction cache.
+		c.TLB.OnInvalidate = c.invalidateDecodeCache
 		if cfg.Kind == IsolationKeystone {
 			c.PMP = new(pmp.Unit)
 		}
@@ -200,7 +234,74 @@ type Core struct {
 	pendingIRQ bool // external interrupt latched by InterruptCore
 
 	machine *Machine
+
+	// Fast-path execution state. None of it is architectural and none
+	// of it affects modeled cycles or cache/TLB statistics; it only
+	// removes host-side work (map lookups, per-step Decode) from the
+	// hot loop. fastPath selects it; Config.DisableFastPath clears it.
+	fastPath bool
+	sanctum  bool                // machine.Kind == IsolationSanctum, dereference-free
+	l1Hit    uint64              // L1 hit latency, the cycle cost of every fast-path hit
+	icGen    uint64              // decode-cache generation; entries from older gens are dead
+	icache   *[icEntries]icEntry // direct-mapped decoded-instruction cache, keyed by VA
+	fetchTC  transCache
+	loadTC   transCache
+	storeTC  transCache
+	dataRef  cache.LineRef // L1 line of the last data access
+	fetchWin mem.Window    // last code page touched
+	dataWin  mem.Window    // last data page touched
+	irqTrap  isa.Trap      // reusable interrupt trap buffer
 }
+
+// icEntries is the per-core decoded-instruction cache size (slots of
+// one instruction word each, direct-mapped on the word's VA).
+const icEntries = 1024
+
+// icEntry caches everything about one instruction fetch: the decoded
+// word plus the validity conditions under which the whole reference
+// fetch pipeline — TLB probe, L1 access, page-map load, Decode — is
+// guaranteed to reproduce exactly this outcome. When every generation
+// matches, the fetch reduces to the same statistic updates the
+// reference path would make (TLB hit, L1 hit with LRU touch) at a few
+// nanoseconds; when any layer moved, the fetch re-runs that layer.
+// The entry is exactly one host cache line (64 bytes): the hit check
+// touches no second line. The TLB generation and the privilege mode
+// are packed into one word (tgMode) — the pack is injective, so one
+// equality compare validates both. The raw instruction word is not
+// stored: Decode is lossless, so Instr.Encode reconstructs it on the
+// cold illegal-instruction path.
+type icEntry struct {
+	va     uint64
+	gen    uint64 // core's icGen: killed by code writes, TLB teardown, domain switches
+	tgMode uint64 // TLB generation <<2 | privilege mode at validation
+	root   uint64 // page-table root the translation came from
+	pa     uint64
+	in     isa.Instr
+	lref   cache.LineRef // L1 line holding the instruction word
+}
+
+// tgMode packs a TLB generation and a privilege mode into one
+// comparable word. Priv fits in two bits; generations stay far below
+// 2^62 (one bump per TLB insert or flush).
+func tgMode(tlbGen uint64, mode isa.Priv) uint64 { return tlbGen<<2 | uint64(mode) }
+
+// transCache is a one-entry last-translation cache in front of the TLB
+// for one access class. It short-circuits only accesses the TLB itself
+// would serve: the entry is dead as soon as the TLB's generation moves
+// (any Insert, Flush or FlushIf), and it still charges the TLB hit
+// statistic, so Hits/Misses stay bit-identical to the reference path.
+type transCache struct {
+	gen    uint64 // TLB generation the entry was filled at; 0 = invalid
+	vpn    uint64
+	paPage uint64 // physical page base
+	root   uint64 // page-table root the translation came from
+	mode   isa.Priv
+}
+
+// invalidateDecodeCache drops the core's decoded-instruction cache; it
+// is wired to the TLB's OnInvalidate hook so translation teardown
+// (domain switches, shootdowns) also kills cached decodes.
+func (c *Core) invalidateDecodeCache() { c.icGen++ }
 
 // Machine returns the machine this core belongs to.
 func (c *Core) Machine() *Machine { return c.machine }
@@ -213,6 +314,9 @@ func (c *Core) InEvrange(va uint64) bool {
 
 // ClearMicroarch flushes the core's TLB and private L1 cache: the
 // "cleaning" of a core resource on protection-domain re-allocation.
+// The TLB flush also drops the decoded-instruction cache and the
+// last-translation caches, so no fast-path state crosses a domain
+// switch.
 func (c *Core) ClearMicroarch() {
 	c.TLB.Flush()
 	c.L1.FlushAll()

@@ -19,7 +19,9 @@ type recordingFirmware struct {
 }
 
 func (f *recordingFirmware) HandleTrap(c *Core, tr *isa.Trap) Disposition {
-	f.traps = append(f.traps, tr)
+	// Traps arrive in reusable per-core buffers; copy before retaining.
+	t := *tr
+	f.traps = append(f.traps, &t)
 	if f.handle != nil {
 		return f.handle(c, tr)
 	}

@@ -53,6 +53,12 @@ func (m *Machine) InterruptCore(id int) {
 // — synchronous faults, ECALLs, timer and external interrupts — are
 // routed to the machine's firmware, mirroring the paper's Fig 1 where
 // the security monitor receives every event first.
+//
+// The loop is structured for throughput: while neither the timer nor
+// an external interrupt is armed — the overwhelmingly common state —
+// the per-instruction interrupt poll reduces to one boolean load, and
+// the timer comparison is re-checked only after a trap (the only point
+// where firmware can arm it on this core).
 func (m *Machine) Run(coreID int, maxSteps int) (RunResult, error) {
 	c := m.Cores[coreID]
 	steps := 0
@@ -65,7 +71,45 @@ func (m *Machine) Run(coreID int, maxSteps int) (RunResult, error) {
 			}
 			continue
 		}
-		tr := c.CPU.Step(c)
+		if c.TimerCmp == 0 {
+			// Hot loop: no timer armed. pendingIRQ is still polled each
+			// step (InterruptCore may latch it at any time). The step
+			// sequence is spelled out here so the fetch — the
+			// interpreter's hottest call — goes to FetchDecoded
+			// directly instead of through an interface.
+			cpu := &c.CPU
+			for steps < maxSteps && !c.pendingIRQ {
+				var tr *isa.Trap
+				if !c.fastPath {
+					tr = cpu.Step(c)
+				} else if tr = cpu.PreStep(); tr == nil {
+					if e := c.fetchHit(cpu.PC); e != nil {
+						cpu.Cycles += c.l1Hit
+						tr = cpu.ExecDecoded(e.in, c)
+					} else {
+						in, cyc, fault := c.fetchSlow(cpu.PC)
+						cpu.Cycles += cyc
+						if fault != nil {
+							tr = cpu.FetchFault(fault)
+						} else {
+							tr = cpu.ExecDecoded(in, c)
+						}
+					}
+				}
+				steps++
+				if tr != nil {
+					res, done, err := m.dispatch(c, tr, steps)
+					if done {
+						return res, err
+					}
+					if c.TimerCmp != 0 {
+						break // firmware armed the timer; resume polling
+					}
+				}
+			}
+			continue
+		}
+		tr := c.step()
 		steps++
 		if tr == nil {
 			continue
@@ -78,19 +122,45 @@ func (m *Machine) Run(coreID int, maxSteps int) (RunResult, error) {
 	return RunResult{Reason: StopMaxSteps, Steps: steps}, nil
 }
 
-// takeInterrupt returns a pending asynchronous trap, or nil.
+// step retires one instruction: CPU.Step's sequence with the fetch
+// served by the decode cache. The hot loop in Run spells out the same
+// sequence inline (plus the fetchHit short-circuit); both copies must
+// stay in lockstep with CPU.Step.
+func (c *Core) step() *isa.Trap {
+	if !c.fastPath {
+		return c.CPU.Step(c)
+	}
+	cpu := &c.CPU
+	if tr := cpu.PreStep(); tr != nil {
+		return tr
+	}
+	in, cyc, fault := c.FetchDecoded(cpu.PC)
+	cpu.Cycles += cyc
+	if fault != nil {
+		return cpu.FetchFault(fault)
+	}
+	return cpu.ExecDecoded(in, c)
+}
+
+// takeInterrupt returns a pending asynchronous trap, or nil. The trap
+// is returned in a per-core buffer valid until the next interrupt.
 func (c *Core) takeInterrupt() *isa.Trap {
 	if c.pendingIRQ {
 		c.pendingIRQ = false
-		return &isa.Trap{Cause: isa.CauseExternalInterrupt, PC: c.CPU.PC}
+		c.irqTrap = isa.Trap{Cause: isa.CauseExternalInterrupt, PC: c.CPU.PC}
+		return &c.irqTrap
 	}
 	if c.TimerCmp != 0 && c.CPU.Cycles >= c.TimerCmp {
 		c.TimerCmp = 0 // one-shot
-		return &isa.Trap{Cause: isa.CauseTimerInterrupt, PC: c.CPU.PC}
+		c.irqTrap = isa.Trap{Cause: isa.CauseTimerInterrupt, PC: c.CPU.PC}
+		return &c.irqTrap
 	}
 	return nil
 }
 
+// dispatch routes a trap to the firmware. Traps arrive in reusable
+// per-core buffers, so any trap that escapes into a RunResult is copied
+// first.
 func (m *Machine) dispatch(c *Core, tr *isa.Trap, steps int) (RunResult, bool, error) {
 	if tr.Cause == isa.CauseHalt {
 		// The firmware is notified (it may need to scrub protection-
@@ -98,18 +168,22 @@ func (m *Machine) dispatch(c *Core, tr *isa.Trap, steps int) (RunResult, bool, e
 		if m.Firmware != nil {
 			m.Firmware.HandleTrap(c, tr)
 		}
-		return RunResult{Reason: StopHalt, Trap: tr, Steps: steps}, true, nil
+		t := *tr
+		return RunResult{Reason: StopHalt, Trap: &t, Steps: steps}, true, nil
 	}
 	if m.Firmware == nil {
-		return RunResult{Trap: tr, Steps: steps}, true, ErrNoFirmware
+		t := *tr
+		return RunResult{Trap: &t, Steps: steps}, true, ErrNoFirmware
 	}
 	switch m.Firmware.HandleTrap(c, tr) {
 	case DispResume:
 		return RunResult{}, false, nil
 	case DispHalt:
-		return RunResult{Reason: StopHalt, Trap: tr, Steps: steps}, true, nil
+		t := *tr
+		return RunResult{Reason: StopHalt, Trap: &t, Steps: steps}, true, nil
 	default:
-		return RunResult{Reason: StopReturnToOS, Trap: tr, Steps: steps}, true, nil
+		t := *tr
+		return RunResult{Reason: StopReturnToOS, Trap: &t, Steps: steps}, true, nil
 	}
 }
 

@@ -1,6 +1,7 @@
 package machine
 
 import (
+	"sanctorum/internal/hw/cache"
 	"sanctorum/internal/hw/dram"
 	"sanctorum/internal/hw/mem"
 	"sanctorum/internal/hw/pmp"
@@ -58,20 +59,23 @@ func (c *Core) physOK(pa uint64, n uint64, acc pt.Access, mode isa.Priv, regions
 // accesses inside evrange use the enclave's private tables and regions
 // (the private page walk of §VII-A); everything else uses the OS root.
 func (c *Core) walkRoot(va uint64) (root uint64, regions dram.Bitmap) {
-	if c.machine.Kind == IsolationSanctum && c.EnclaveMode && c.InEvrange(va) {
+	if c.sanctum && c.EnclaveMode && c.InEvrange(va) {
 		return c.ESatp, c.EncRegions
 	}
 	return c.Satp, c.OSRegions
 }
 
-// translate resolves va for the given access class and privilege mode,
-// returning the physical address and the cycle cost of any page walk.
-func (c *Core) translate(va uint64, acc pt.Access, mode isa.Priv) (pa uint64, cycles uint64, fault *isa.MemFault) {
+// translate resolves va for an access of width bytes of the given
+// access class and privilege mode, returning the physical address and
+// the cycle cost of any page walk. The width is what the isolation
+// primitive checks: a 1-byte load at the last byte of a permitted
+// region must pass, and an 8-byte load there must fault.
+func (c *Core) translate(va uint64, width uint64, acc pt.Access, mode isa.Priv) (pa uint64, cycles uint64, fault *isa.MemFault) {
 	root, regions := c.walkRoot(va)
 
 	// Bare translation: identity map, physical checks still apply.
 	if root == 0 {
-		if !c.physOK(va, 8, acc, mode, regions) {
+		if !c.physOK(va, width, acc, mode, regions) {
 			return 0, 0, &isa.MemFault{Kind: isa.FaultAccess, Addr: va}
 		}
 		return va, 0, nil
@@ -110,11 +114,45 @@ func (c *Core) translate(va uint64, acc pt.Access, mode isa.Priv) (pa uint64, cy
 		}
 		return 0, walkCycles, &isa.MemFault{Kind: kind, Addr: va}
 	}
-	if !c.physOK(res.PA, 8, acc, mode, regions) {
+	if !c.physOK(res.PA, width, acc, mode, regions) {
 		return 0, walkCycles, &isa.MemFault{Kind: isa.FaultAccess, Addr: va}
 	}
 	c.TLB.Insert(tlb.Entry{VPN: vpn, PPN: res.PA >> mem.PageBits, Perms: res.Perms})
 	return res.PA, walkCycles, nil
+}
+
+// translateFast is translate through a one-entry last-translation
+// cache. The short-circuit fires only for accesses the TLB itself
+// would serve with the same entry — same VPN, same mode, same walk
+// root, and no TLB mutation since the fill — and it charges the TLB
+// hit statistic, so the observable TLB state is identical to the
+// reference path. Everything else falls through to translate, which
+// refills the cache on success.
+func (c *Core) translateFast(tc *transCache, va uint64, width uint64, acc pt.Access) (uint64, uint64, *isa.MemFault) {
+	mode := c.CPU.Mode
+	root, _ := c.walkRoot(va)
+	if root != 0 {
+		vpn := (va & pt.VAMask) >> mem.PageBits
+		if tc.gen == c.TLB.Gen() && tc.vpn == vpn && tc.root == root && tc.mode == mode {
+			c.TLB.Hits++
+			return tc.paPage | va&mem.PageMask, 0, nil
+		}
+		pa, cycles, fault := c.translate(va, width, acc, mode)
+		if fault == nil {
+			// The TLB now holds this VPN with perms that pass for this
+			// access class and mode, so future same-page accesses are
+			// guaranteed TLB hits until the generation moves.
+			*tc = transCache{
+				gen:    c.TLB.Gen(),
+				vpn:    vpn,
+				paPage: pa &^ uint64(mem.PageMask),
+				root:   root,
+				mode:   mode,
+			}
+		}
+		return pa, cycles, fault
+	}
+	return c.translate(va, width, acc, mode)
 }
 
 func tlbPermOK(perms uint64, acc pt.Access, mode isa.Priv) bool {
@@ -137,6 +175,17 @@ func tlbPermOK(perms uint64, acc pt.Access, mode isa.Priv) bool {
 // cachedAccess charges the L1/L2 hierarchy for a data or fetch access.
 func (c *Core) cachedAccess(pa uint64) uint64 {
 	hit, cyc := c.L1.Access(pa)
+	if hit {
+		return cyc
+	}
+	_, l2cyc := c.machine.L2.Access(pa)
+	return cyc + l2cyc
+}
+
+// cachedAccessRef is cachedAccess through a LineRef, so the next
+// same-line access can skip the L1 set scan via TouchFast.
+func (c *Core) cachedAccessRef(pa uint64, ref *cache.LineRef) uint64 {
+	hit, cyc := c.L1.AccessRef(pa, ref)
 	if hit {
 		return cyc
 	}

@@ -6,6 +6,12 @@
 // All privileged software in the reproduction (the security monitor) and
 // all hardware-mediated paths (page-table walks, DMA, the interpreter's
 // loads and stores) ultimately read and write through this package.
+//
+// Two hooks support the machine's fast-path execution engine without
+// changing any architectural semantics: an inline code-write check on
+// every store (so decoded-instruction caches can be dropped when code
+// is overwritten), and Window, a last-page pointer cache that lets a
+// core skip the page-map lookup on same-page traffic.
 package mem
 
 import (
@@ -33,13 +39,29 @@ var (
 type Phys struct {
 	size  uint64
 	pages map[uint64]*[PageSize]byte
+
+	// codePages marks pages whose contents feed a consumer-side cache
+	// (the machine's decoded-instruction caches). Every write checks
+	// it inline — no indirect call on the store hot path — and a write
+	// landing in a marked page clears the set and fires onCodeWrite.
+	codePages   []uint64
+	onCodeWrite func()
+
+	// zeroGen invalidates Window pointer caches: it advances whenever
+	// ZeroRange may de-materialize pages, so a cached page pointer is
+	// never read after its page left the map.
+	zeroGen uint64
 }
 
 // New returns a physical memory covering addresses [0, size). Size is
 // rounded up to a whole number of pages.
 func New(size uint64) *Phys {
 	size = (size + PageMask) &^ uint64(PageMask)
-	return &Phys{size: size, pages: make(map[uint64]*[PageSize]byte)}
+	return &Phys{
+		size:      size,
+		pages:     make(map[uint64]*[PageSize]byte),
+		codePages: make([]uint64, (size>>PageBits+63)/64),
+	}
 }
 
 // Size returns the extent of physical memory in bytes.
@@ -47,6 +69,37 @@ func (m *Phys) Size() uint64 { return m.size }
 
 // Pages returns the number of 4 KiB pages in the address space.
 func (m *Phys) Pages() uint64 { return m.size >> PageBits }
+
+// SetCodeWriteHook installs fn to be called whenever a write — a guest
+// store, a Go-level WriteBytes (loaders, DMA), or a ZeroRange scrub —
+// lands in a page marked by MarkCodePage. The mark set is cleared
+// before fn runs; the consumer re-marks pages as it refills.
+func (m *Phys) SetCodeWriteHook(fn func()) { m.onCodeWrite = fn }
+
+// MarkCodePage records that the page containing addr feeds a
+// consumer-side cache that must be invalidated when the page is
+// written.
+func (m *Phys) MarkCodePage(addr uint64) {
+	p := addr >> PageBits
+	m.codePages[p>>6] |= 1 << (p & 63)
+}
+
+// noteWrite fires the code-write hook if [addr, addr+n) touches a
+// marked page. n > 0; the range is already validated.
+func (m *Phys) noteWrite(addr, n uint64) {
+	for p, last := addr>>PageBits, (addr+n-1)>>PageBits; ; p++ {
+		if m.codePages[p>>6]&(1<<(p&63)) != 0 {
+			clear(m.codePages)
+			if m.onCodeWrite != nil {
+				m.onCodeWrite()
+			}
+			return
+		}
+		if p >= last {
+			return
+		}
+	}
+}
 
 // page returns the backing page for ppn, materializing it if needed.
 func (m *Phys) page(ppn uint64) *[PageSize]byte {
@@ -62,8 +115,8 @@ func (m *Phys) page(ppn uint64) *[PageSize]byte {
 // asserting that the simulation stays sparse.
 func (m *Phys) TouchedPages() int { return len(m.pages) }
 
-func (m *Phys) checkRange(addr uint64, n int) error {
-	if n < 0 || addr >= m.size || uint64(n) > m.size-addr {
+func (m *Phys) checkRange(addr, n uint64) error {
+	if addr >= m.size || n > m.size-addr {
 		return fmt.Errorf("%w: %#x+%d (size %#x)", ErrOutOfRange, addr, n, m.size)
 	}
 	return nil
@@ -71,7 +124,7 @@ func (m *Phys) checkRange(addr uint64, n int) error {
 
 // ReadBytes copies len(dst) bytes starting at addr into dst.
 func (m *Phys) ReadBytes(addr uint64, dst []byte) error {
-	if err := m.checkRange(addr, len(dst)); err != nil {
+	if err := m.checkRange(addr, uint64(len(dst))); err != nil {
 		return err
 	}
 	for len(dst) > 0 {
@@ -85,8 +138,11 @@ func (m *Phys) ReadBytes(addr uint64, dst []byte) error {
 
 // WriteBytes copies src into memory starting at addr.
 func (m *Phys) WriteBytes(addr uint64, src []byte) error {
-	if err := m.checkRange(addr, len(src)); err != nil {
+	if err := m.checkRange(addr, uint64(len(src))); err != nil {
 		return err
+	}
+	if len(src) > 0 {
+		m.noteWrite(addr, uint64(len(src)))
 	}
 	for len(src) > 0 {
 		ppn, off := addr>>PageBits, addr&PageMask
@@ -97,37 +153,8 @@ func (m *Phys) WriteBytes(addr uint64, src []byte) error {
 	return nil
 }
 
-// Load reads a naturally-aligned little-endian value of width 1, 2, 4 or
-// 8 bytes.
-func (m *Phys) Load(addr uint64, width int) (uint64, error) {
-	switch width {
-	case 1, 2, 4, 8:
-	default:
-		return 0, fmt.Errorf("%w: %d", ErrBadWidth, width)
-	}
-	if addr&(uint64(width)-1) != 0 {
-		return 0, fmt.Errorf("%w: %#x width %d", ErrUnaligned, addr, width)
-	}
-	if err := m.checkRange(addr, width); err != nil {
-		return 0, err
-	}
-	p := m.page(addr >> PageBits)
-	off := addr & PageMask
-	switch width {
-	case 1:
-		return uint64(p[off]), nil
-	case 2:
-		return uint64(binary.LittleEndian.Uint16(p[off:])), nil
-	case 4:
-		return uint64(binary.LittleEndian.Uint32(p[off:])), nil
-	default:
-		return binary.LittleEndian.Uint64(p[off:]), nil
-	}
-}
-
-// Store writes a naturally-aligned little-endian value of width 1, 2, 4
-// or 8 bytes.
-func (m *Phys) Store(addr uint64, width int, val uint64) error {
+// checkAccess validates width, alignment and range for Load/Store.
+func (m *Phys) checkAccess(addr uint64, width int) error {
 	switch width {
 	case 1, 2, 4, 8:
 	default:
@@ -136,30 +163,74 @@ func (m *Phys) Store(addr uint64, width int, val uint64) error {
 	if addr&(uint64(width)-1) != 0 {
 		return fmt.Errorf("%w: %#x width %d", ErrUnaligned, addr, width)
 	}
-	if err := m.checkRange(addr, width); err != nil {
-		return err
+	return m.checkRange(addr, uint64(width))
+}
+
+// loadFrom reads a little-endian value from a page. The access is
+// naturally aligned, so it never crosses the page. The masks bound the
+// slice offsets so the compiler drops its bounds checks.
+func loadFrom(p *[PageSize]byte, off uint64, width int) uint64 {
+	off &= PageMask
+	switch width {
+	case 1:
+		return uint64(p[off])
+	case 2:
+		return uint64(binary.LittleEndian.Uint16(p[off&^uint64(1):]))
+	case 4:
+		return uint64(binary.LittleEndian.Uint32(p[off&^uint64(3):]))
+	default:
+		return binary.LittleEndian.Uint64(p[off&^uint64(7):])
 	}
-	p := m.page(addr >> PageBits)
-	off := addr & PageMask
+}
+
+// storeTo writes a little-endian value into a page.
+func storeTo(p *[PageSize]byte, off uint64, width int, val uint64) {
+	off &= PageMask
 	switch width {
 	case 1:
 		p[off] = byte(val)
 	case 2:
-		binary.LittleEndian.PutUint16(p[off:], uint16(val))
+		binary.LittleEndian.PutUint16(p[off&^uint64(1):], uint16(val))
 	case 4:
-		binary.LittleEndian.PutUint32(p[off:], uint32(val))
+		binary.LittleEndian.PutUint32(p[off&^uint64(3):], uint32(val))
 	default:
-		binary.LittleEndian.PutUint64(p[off:], val)
+		binary.LittleEndian.PutUint64(p[off&^uint64(7):], val)
 	}
+}
+
+// Load reads a naturally-aligned little-endian value of width 1, 2, 4 or
+// 8 bytes.
+func (m *Phys) Load(addr uint64, width int) (uint64, error) {
+	if err := m.checkAccess(addr, width); err != nil {
+		return 0, err
+	}
+	return loadFrom(m.page(addr>>PageBits), addr&PageMask, width), nil
+}
+
+// Store writes a naturally-aligned little-endian value of width 1, 2, 4
+// or 8 bytes.
+func (m *Phys) Store(addr uint64, width int, val uint64) error {
+	if err := m.checkAccess(addr, width); err != nil {
+		return err
+	}
+	m.noteWrite(addr, uint64(width))
+	storeTo(m.page(addr>>PageBits), addr&PageMask, width, val)
 	return nil
 }
 
 // ZeroRange clears [addr, addr+n). The security monitor uses this when
 // cleaning a memory resource before re-allocation (Fig 2 of the paper).
-func (m *Phys) ZeroRange(addr uint64, n uint64) error {
-	if err := m.checkRange(addr, int(n)); err != nil {
+// Whole pages are de-materialized, so cleaning a region also returns
+// its host allocation to the page map's sparse baseline.
+func (m *Phys) ZeroRange(addr, n uint64) error {
+	if err := m.checkRange(addr, n); err != nil {
 		return err
 	}
+	if n == 0 {
+		return nil
+	}
+	m.noteWrite(addr, n)
+	m.zeroGen++
 	end := addr + n
 	for addr < end {
 		ppn, off := addr>>PageBits, addr&PageMask
@@ -167,7 +238,11 @@ func (m *Phys) ZeroRange(addr uint64, n uint64) error {
 		if chunk > end-addr {
 			chunk = end - addr
 		}
-		if p, ok := m.pages[ppn]; ok {
+		if off == 0 && chunk == PageSize {
+			// A whole page reads as zero once out of the map; dropping it
+			// keeps host memory proportional to live pages.
+			delete(m.pages, ppn)
+		} else if p, ok := m.pages[ppn]; ok {
 			for i := off; i < off+chunk; i++ {
 				p[i] = 0
 			}
@@ -181,4 +256,71 @@ func (m *Phys) ZeroRange(addr uint64, n uint64) error {
 // ZeroPage clears the page containing addr.
 func (m *Phys) ZeroPage(addr uint64) error {
 	return m.ZeroRange(addr&^uint64(PageMask), PageSize)
+}
+
+// Window is a last-page pointer cache in front of a Phys. The common
+// same-page access skips the page-map lookup entirely; semantics
+// (alignment, width, range checks, error values) are identical to
+// Phys.Load/Store, which the machine's fast-vs-reference equivalence
+// tests rely on. A Window is single-consumer state (one per core per
+// traffic class) and is invalidated automatically when ZeroRange may
+// have de-materialized its page.
+type Window struct {
+	m    *Phys
+	ppn  uint64
+	page *[PageSize]byte
+	gen  uint64
+}
+
+// Reset points the window at a memory and drops any cached page.
+func (w *Window) Reset(m *Phys) {
+	w.m = m
+	w.page = nil
+}
+
+// lookup returns the backing page for addr, which the caller has
+// already range-checked.
+func (w *Window) lookup(addr uint64) *[PageSize]byte {
+	ppn := addr >> PageBits
+	if w.page != nil && w.ppn == ppn && w.gen == w.m.zeroGen {
+		return w.page
+	}
+	p := w.m.page(ppn)
+	w.ppn, w.page, w.gen = ppn, p, w.m.zeroGen
+	return p
+}
+
+// Load is Phys.Load through the window's page cache.
+func (w *Window) Load(addr uint64, width int) (uint64, error) {
+	if err := w.m.checkAccess(addr, width); err != nil {
+		return 0, err
+	}
+	return loadFrom(w.lookup(addr), addr&PageMask, width), nil
+}
+
+// LoadFast is Load without the width/alignment/range checks, for
+// callers that can prove them: the machine's translated fast path only
+// produces naturally-aligned accesses of ISA widths to physical
+// addresses its isolation check already bounded.
+func (w *Window) LoadFast(addr uint64, width int) uint64 {
+	return loadFrom(w.lookup(addr), addr&PageMask, width)
+}
+
+// StoreFast is Store without the width/alignment/range checks, under
+// LoadFast's caller contract. The code-write check still observes the
+// store.
+func (w *Window) StoreFast(addr uint64, width int, val uint64) {
+	w.m.noteWrite(addr, uint64(width))
+	storeTo(w.lookup(addr), addr&PageMask, width, val)
+}
+
+// Store is Phys.Store through the window's page cache. The code-write
+// check still observes the store.
+func (w *Window) Store(addr uint64, width int, val uint64) error {
+	if err := w.m.checkAccess(addr, width); err != nil {
+		return err
+	}
+	w.m.noteWrite(addr, uint64(width))
+	storeTo(w.lookup(addr), addr&PageMask, width, val)
+	return nil
 }

@@ -16,9 +16,26 @@ type Entry struct {
 // TLB is a fully-associative TLB with FIFO replacement. Replacement
 // policy is not security-relevant here (the SM flushes on every domain
 // switch), so the simplest deterministic policy keeps tests exact.
+//
+// Lookup is indexed by VPN instead of scanning the entry array, so a
+// probe costs O(1) regardless of capacity; the FIFO ring, replacement
+// order, and Hits/Misses/Flushes/Shootdown statistics are bit-identical
+// to the scanning implementation.
 type TLB struct {
 	entries []Entry
-	next    int // FIFO insertion cursor
+	index   map[uint64]int // VPN -> slot, valid entries only
+	next    int            // FIFO insertion cursor
+
+	// gen advances on every mutation of the translation set (Insert,
+	// Flush, FlushIf). The machine's per-core last-translation caches
+	// compare it to detect that a cached entry may have been replaced.
+	gen uint64
+
+	// OnInvalidate, when set, is called by Flush and FlushIf; the
+	// machine uses it to drop the core's decoded-instruction cache
+	// whenever translations are torn down (core cleaning, shootdowns on
+	// region re-allocation).
+	OnInvalidate func()
 
 	// Statistics.
 	Hits      uint64
@@ -32,19 +49,26 @@ func New(capacity int) *TLB {
 	if capacity <= 0 {
 		capacity = 1
 	}
-	return &TLB{entries: make([]Entry, capacity)}
+	return &TLB{
+		entries: make([]Entry, capacity),
+		index:   make(map[uint64]int, capacity),
+		gen:     1,
+	}
 }
 
 // Capacity returns the number of entries.
 func (t *TLB) Capacity() int { return len(t.entries) }
 
+// Gen returns the current translation-set generation. It changes
+// whenever an Insert, Flush or FlushIf may have altered the outcome of
+// a future Lookup.
+func (t *TLB) Gen() uint64 { return t.gen }
+
 // Lookup returns the cached translation for vpn, if present.
 func (t *TLB) Lookup(vpn uint64) (Entry, bool) {
-	for _, e := range t.entries {
-		if e.Valid && e.VPN == vpn {
-			t.Hits++
-			return e, true
-		}
+	if i, ok := t.index[vpn]; ok {
+		t.Hits++
+		return t.entries[i], true
 	}
 	t.Misses++
 	return Entry{}, false
@@ -54,13 +78,17 @@ func (t *TLB) Lookup(vpn uint64) (Entry, bool) {
 // for the same VPN is replaced in place.
 func (t *TLB) Insert(e Entry) {
 	e.Valid = true
-	for i := range t.entries {
-		if t.entries[i].Valid && t.entries[i].VPN == e.VPN {
-			t.entries[i] = e
-			return
-		}
+	t.gen++
+	if i, ok := t.index[e.VPN]; ok {
+		t.entries[i] = e
+		return
 	}
-	t.entries[t.next] = e
+	victim := t.next
+	if old := &t.entries[victim]; old.Valid {
+		delete(t.index, old.VPN)
+	}
+	t.entries[victim] = e
+	t.index[e.VPN] = victim
 	t.next = (t.next + 1) % len(t.entries)
 }
 
@@ -69,7 +97,12 @@ func (t *TLB) Flush() {
 	for i := range t.entries {
 		t.entries[i].Valid = false
 	}
+	clear(t.index)
+	t.gen++
 	t.Flushes++
+	if t.OnInvalidate != nil {
+		t.OnInvalidate()
+	}
 }
 
 // FlushIf invalidates entries matching pred (selective shootdown, e.g.
@@ -80,20 +113,17 @@ func (t *TLB) FlushIf(pred func(Entry) bool) int {
 	for i := range t.entries {
 		if t.entries[i].Valid && pred(t.entries[i]) {
 			t.entries[i].Valid = false
+			delete(t.index, t.entries[i].VPN)
 			n++
 		}
 	}
+	t.gen++
 	t.Shootdown++
+	if t.OnInvalidate != nil {
+		t.OnInvalidate()
+	}
 	return n
 }
 
 // Live returns the number of valid entries.
-func (t *TLB) Live() int {
-	n := 0
-	for _, e := range t.entries {
-		if e.Valid {
-			n++
-		}
-	}
-	return n
-}
+func (t *TLB) Live() int { return len(t.index) }

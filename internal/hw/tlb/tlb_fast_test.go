@@ -1,0 +1,95 @@
+package tlb
+
+import "testing"
+
+// The indexed lookup must be invisible next to the scanning
+// implementation: same FIFO order, same statistics, plus the
+// generation/invalidation hooks the machine's fast path depends on.
+
+func TestGenAdvancesOnMutation(t *testing.T) {
+	tl := New(4)
+	g0 := tl.Gen()
+	tl.Lookup(1) // a probe is not a mutation
+	if tl.Gen() != g0 {
+		t.Fatal("Lookup moved the generation")
+	}
+	tl.Insert(Entry{VPN: 1, PPN: 10})
+	g1 := tl.Gen()
+	if g1 == g0 {
+		t.Fatal("Insert did not move the generation")
+	}
+	tl.Flush()
+	g2 := tl.Gen()
+	if g2 == g1 {
+		t.Fatal("Flush did not move the generation")
+	}
+	tl.FlushIf(func(Entry) bool { return false })
+	if tl.Gen() == g2 {
+		t.Fatal("FlushIf did not move the generation")
+	}
+}
+
+func TestOnInvalidateFires(t *testing.T) {
+	tl := New(4)
+	fired := 0
+	tl.OnInvalidate = func() { fired++ }
+	tl.Insert(Entry{VPN: 1, PPN: 10})
+	if fired != 0 {
+		t.Fatal("Insert fired OnInvalidate")
+	}
+	tl.Flush()
+	if fired != 1 {
+		t.Fatalf("after Flush fired = %d", fired)
+	}
+	tl.FlushIf(func(Entry) bool { return true })
+	if fired != 2 {
+		t.Fatalf("after FlushIf fired = %d", fired)
+	}
+}
+
+func TestIndexTracksFIFOReplacement(t *testing.T) {
+	tl := New(2)
+	tl.Insert(Entry{VPN: 1, PPN: 10})
+	tl.Insert(Entry{VPN: 2, PPN: 20})
+	tl.Insert(Entry{VPN: 3, PPN: 30}) // evicts VPN 1 (FIFO)
+	if _, ok := tl.Lookup(1); ok {
+		t.Fatal("evicted VPN still indexed")
+	}
+	if e, ok := tl.Lookup(2); !ok || e.PPN != 20 {
+		t.Fatalf("VPN 2 lookup = %+v, %v", e, ok)
+	}
+	if e, ok := tl.Lookup(3); !ok || e.PPN != 30 {
+		t.Fatalf("VPN 3 lookup = %+v, %v", e, ok)
+	}
+	if tl.Live() != 2 {
+		t.Fatalf("live = %d", tl.Live())
+	}
+}
+
+// BenchmarkLookupHit measures the indexed probe on a full TLB — the
+// per-instruction cost the linear scan used to pay in O(capacity).
+func BenchmarkLookupHit(b *testing.B) {
+	tl := New(32)
+	for i := uint64(0); i < 32; i++ {
+		tl.Insert(Entry{VPN: i, PPN: i * 16})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := tl.Lookup(uint64(i) & 31); !ok {
+			b.Fatal("miss")
+		}
+	}
+}
+
+// BenchmarkLookupMiss measures a probe that misses a full TLB; the
+// scanning implementation walked every entry here.
+func BenchmarkLookupMiss(b *testing.B) {
+	tl := New(32)
+	for i := uint64(0); i < 32; i++ {
+		tl.Insert(Entry{VPN: i, PPN: i * 16})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tl.Lookup(1000)
+	}
+}

@@ -20,6 +20,12 @@ type CPU struct {
 	Mode   Priv
 	Cycles uint64
 	Halted bool
+
+	// trap is the reusable buffer Step returns traps in, so the hot
+	// trap-dispatch path performs no heap allocation. A returned *Trap
+	// is valid until the next Step on this CPU; holders that outlive
+	// that must copy it (Machine.Run does before returning a RunResult).
+	trap Trap
 }
 
 // Reg returns register r, with x0 hardwired to zero.
@@ -49,23 +55,56 @@ const (
 
 func sext(imm int32) uint64 { return uint64(int64(imm)) }
 
+// trapped fills the CPU's trap buffer and returns it.
+func (c *CPU) trapped(cause Cause, pc, value uint64) *Trap {
+	c.trap = Trap{Cause: cause, PC: pc, Value: value}
+	return &c.trap
+}
+
 // Step executes one instruction. It returns nil if execution may
 // continue, or the Trap that stopped it. The PC is left at the trapping
 // instruction for traps (so the handler can resume or skip it) and at
-// the next instruction otherwise.
+// the next instruction otherwise. The returned Trap points into a
+// per-CPU buffer valid until the next Step.
+//
+// Step is the reference fetch-decode-execute sequence. A caller with a
+// faster fetch (the machine's decoded-instruction cache) composes the
+// same sequence from the pieces — PreStep, its own fetch, FetchFault
+// on a fetch fault, ExecDecoded otherwise — as machine.Run does;
+// modeled cycles and trap behavior must be identical either way.
 func (c *CPU) Step(bus Bus) *Trap {
-	if c.Halted {
-		return &Trap{Cause: CauseHalt, PC: c.PC}
+	if tr := c.PreStep(); tr != nil {
+		return tr
 	}
-	if c.PC%InstrSize != 0 {
-		return &Trap{Cause: CauseMisalignedFetch, PC: c.PC, Value: c.PC}
-	}
-	word, cyc, fault := bus.FetchInstr(c.PC)
+	w, cyc, fault := bus.FetchInstr(c.PC)
 	c.Cycles += cyc
 	if fault != nil {
-		return &Trap{Cause: fault.trapCause(accFetch), PC: c.PC, Value: fault.Addr}
+		return c.FetchFault(fault)
 	}
-	in := Decode(word)
+	return c.ExecDecoded(Decode(w), bus)
+}
+
+// PreStep checks the pre-fetch conditions of a step (halt latch, PC
+// alignment), returning the trap that stops the step, or nil if the
+// caller should proceed to fetch at PC.
+func (c *CPU) PreStep() *Trap {
+	if c.Halted {
+		return c.trapped(CauseHalt, c.PC, 0)
+	}
+	if c.PC&(InstrSize-1) != 0 {
+		return c.trapped(CauseMisalignedFetch, c.PC, c.PC)
+	}
+	return nil
+}
+
+// FetchFault converts a fetch-time memory fault into its trap.
+func (c *CPU) FetchFault(f *MemFault) *Trap {
+	return c.trapped(f.trapCause(accFetch), c.PC, f.Addr)
+}
+
+// ExecDecoded executes one already-fetched instruction at PC. in is
+// one machine word, passed by value.
+func (c *CPU) ExecDecoded(in Instr, bus Bus) *Trap {
 	nextPC := c.PC + InstrSize
 
 	switch in.Op {
@@ -75,7 +114,7 @@ func (c *CPU) Step(bus Bus) *Trap {
 	case OpHALT:
 		c.Halted = true
 		c.Cycles += cycleSystem
-		return &Trap{Cause: CauseHalt, PC: c.PC}
+		return c.trapped(CauseHalt, c.PC, 0)
 
 	case OpADD:
 		c.SetReg(in.Rd, c.Reg(in.Rs1)+c.Reg(in.Rs2))
@@ -164,7 +203,7 @@ func (c *CPU) Step(bus Bus) *Trap {
 		val, cyc, fault := bus.Load(addr, width)
 		c.Cycles += cyc
 		if fault != nil {
-			return &Trap{Cause: fault.trapCause(accLoad), PC: c.PC, Value: fault.Addr}
+			return c.trapped(fault.trapCause(accLoad), c.PC, fault.Addr)
 		}
 		if signed {
 			val = signExtend(val, width)
@@ -177,7 +216,7 @@ func (c *CPU) Step(bus Bus) *Trap {
 		cyc, fault := bus.Store(addr, width, c.Reg(in.Rs2))
 		c.Cycles += cyc
 		if fault != nil {
-			return &Trap{Cause: fault.trapCause(accStore), PC: c.PC, Value: fault.Addr}
+			return c.trapped(fault.trapCause(accStore), c.PC, fault.Addr)
 		}
 
 	case OpBEQ, OpBNE, OpBLT, OpBGE, OpBLTU, OpBGEU:
@@ -202,16 +241,17 @@ func (c *CPU) Step(bus Bus) *Trap {
 		if c.Mode == PrivS {
 			cause = CauseECallS
 		}
-		return &Trap{Cause: cause, PC: c.PC, Value: c.Reg(RegA7)}
+		return c.trapped(cause, c.PC, c.Reg(RegA7))
 	case OpEBREAK:
 		c.Cycles += cycleSystem
-		return &Trap{Cause: CauseBreakpoint, PC: c.PC}
+		return c.trapped(CauseBreakpoint, c.PC, 0)
 	case OpRDCYCLE:
 		c.SetReg(in.Rd, c.Cycles)
 		c.Cycles += cycleSystem
 
 	default:
-		return &Trap{Cause: CauseIllegal, PC: c.PC, Value: word}
+		// Decode is lossless, so the original word is reconstructible.
+		return c.trapped(CauseIllegal, c.PC, in.Encode())
 	}
 
 	c.PC = nextPC
