@@ -489,3 +489,88 @@ func FaultHandlerProgram(l Layout) *asm.Program {
 	exitCall(p)
 	return p
 }
+
+// WorkerExitStatus is the exit_enclave status Worker reports on
+// completion.
+const WorkerExitStatus = 0x42
+
+// Worker is the scheduler load kernel: a preemption-tolerant compute
+// loop for the multi-hart timesharing harness. On a fresh entry it
+// reads an iteration count n from the shared buffer (ShInput), runs a
+// register-only accumulate/mix loop — so concurrent threads of one
+// enclave touch no common memory while computing — then publishes the
+// accumulator to a per-thread output slot and exits with
+// WorkerExitStatus. Re-entered after an AEX (a0 != 0) it resumes the
+// interrupted loop through the monitor, so any number of preemptions
+// leave the result unchanged.
+//
+// The output slot is derived from the thread's own stack page:
+// ShOutput + 8*(((SP-1) >> 12) & 7). With SpecN's stack placement the
+// slots of up to four threads are distinct, so no two harts ever store
+// to the same shared word (which also keeps the host race detector
+// quiet for what would otherwise be a benign guest-level race).
+func Worker(l Layout) *asm.Program {
+	p := asm.New()
+	p.Branch(isa.OpBEQ, isa.RegA0, isa.RegZero, "fresh")
+	ecall(p, api.CallResumeAEX) // does not return on success
+	p.Label("fresh")
+	p.Li64(rShared, l.SharedVA)
+	p.I(isa.OpLD, rTmp1, rShared, 0, ShInput) // n
+	p.Li(rAcc, 0)
+	p.Li(rIdx, 0)
+	p.Label("loop")
+	p.Branch(isa.OpBEQ, rIdx, rTmp1, "done")
+	p.I(isa.OpADD, rAcc, rAcc, rIdx, 0)
+	p.I(isa.OpXORI, rAcc, rAcc, 0, 0x55)
+	p.I(isa.OpADDI, rIdx, rIdx, 0, 1)
+	p.J("loop")
+	p.Label("done")
+	// slot address = shared + ShOutput + 8*(((SP-1)>>12) & 7)
+	p.I(isa.OpADDI, rTmp2, isa.RegSP, 0, -1)
+	p.I(isa.OpSRLI, rTmp2, rTmp2, 0, 12)
+	p.I(isa.OpANDI, rTmp2, rTmp2, 0, 7)
+	p.I(isa.OpSLLI, rTmp2, rTmp2, 0, 3)
+	p.I(isa.OpADD, rTmp2, rShared, rTmp2, 0)
+	p.I(isa.OpSD, 0, rTmp2, rAcc, ShOutput)
+	p.Li(isa.RegA0, WorkerExitStatus)
+	exitCall(p)
+	return p
+}
+
+// WorkerExpected computes the accumulator Worker publishes for n
+// iterations — the Go-side replay the harness checks results against.
+func WorkerExpected(n uint64) uint64 {
+	var acc uint64
+	for i := uint64(0); i < n; i++ {
+		acc = (acc + i) ^ 0x55
+	}
+	return acc
+}
+
+// WorkerSlot returns the ShOutput-relative output slot offset of the
+// thread whose initial stack pointer is sp.
+func WorkerSlot(sp uint64) int {
+	return int(((sp - 1) >> 12 & 7) * 8)
+}
+
+// SpecN is Spec for a program run by nThreads concurrent threads (at
+// most 4, so Worker output slots stay distinct). Thread 0 keeps the
+// layout's stack page; each further thread gets its own stack page two
+// pages above the previous (skipping the probe-array page).
+func SpecN(l Layout, prog *asm.Program, dataInit []byte, regions []int, shared []os.SharedMapping, nThreads int) (*os.EnclaveSpec, error) {
+	if nThreads < 1 || nThreads > 4 {
+		return nil, fmt.Errorf("enclaves: %d threads outside [1,4]", nThreads)
+	}
+	spec, err := Spec(l, prog, dataInit, regions, shared)
+	if err != nil {
+		return nil, err
+	}
+	for i := 1; i < nThreads; i++ {
+		stackVA := l.StackVA + uint64(2*i)*mem.PageSize
+		spec.Pages = append(spec.Pages, os.EnclavePage{VA: stackVA, Perms: pt.R | pt.W})
+		spec.Threads = append(spec.Threads, os.ThreadSpec{
+			EntryVA: l.CodeVA, StackVA: stackVA + mem.PageSize,
+		})
+	}
+	return spec, nil
+}

@@ -12,6 +12,7 @@ package cache
 import (
 	"fmt"
 	"math/bits"
+	"sync"
 )
 
 // Config describes a cache.
@@ -84,6 +85,34 @@ type Cache struct {
 	Hits      uint64
 	Misses    uint64
 	Evictions uint64
+
+	// shared serializes the multi-consumer entry points (Access, Probe,
+	// the flushes) when the cache is reachable from more than one hart
+	// at once — the machine's L2 in parallel-scheduler mode. Per-core
+	// caches and deterministic execution leave it off, so the
+	// single-threaded fast path pays only an untaken branch. TouchFast
+	// and AccessRef are exempt by contract (see SetShared): they stay
+	// small enough to inline into the per-instruction hot path.
+	shared bool
+	mu     sync.Mutex
+}
+
+// SetShared(true) latches locking of the multi-consumer entry points
+// on. The machine sets it on its shared L2 before spawning the first
+// concurrent hart, which is also the happens-before edge that makes
+// the plain flag publication safe; it is a one-way latch —
+// SetShared(false) is a no-op — because OS goroutines may keep
+// touching the cache after any particular parallel run ends.
+//
+// TouchFast and AccessRef remain lock-free: they are the per-core L1
+// fast path, single-consumer by construction (a LineRef belongs to one
+// core), and the machine never uses them on the shared L2. Keeping
+// them branch-only preserves their inlining into the interpreter's
+// per-instruction sequence.
+func (c *Cache) SetShared(on bool) {
+	if on && !c.shared {
+		c.shared = true
+	}
 }
 
 // LineRef is a consumer-held handle to the line of the last access, the
@@ -165,6 +194,12 @@ func (c *Cache) setIndex(pa uint64) int {
 // Access performs a cached access to pa, returning whether it hit and
 // the cycle cost. A miss fills the line, evicting LRU if needed.
 func (c *Cache) Access(pa uint64) (hit bool, cycles uint64) {
+	if c.shared {
+		c.mu.Lock()
+		hit, cycles, _ = c.access(pa)
+		c.mu.Unlock()
+		return hit, cycles
+	}
 	hit, cycles, _ = c.access(pa)
 	return hit, cycles
 }
@@ -204,6 +239,10 @@ fill:
 // Probe reports whether pa is cached without updating any state; the
 // white-box equivalent of a timing probe, used by tests.
 func (c *Cache) Probe(pa uint64) bool {
+	if c.shared {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+	}
 	set := c.sets[c.setIndex(pa)]
 	tag := pa >> c.cfg.LineBits
 	for i := range set {
@@ -218,6 +257,13 @@ func (c *Cache) Probe(pa uint64) bool {
 // flush epoch makes every resident line non-live in O(1); this runs on
 // every protection-domain switch, so it must not sweep the ways.
 func (c *Cache) FlushAll() {
+	if c.shared {
+		c.mu.Lock()
+		c.epoch++
+		c.fillGen++
+		c.mu.Unlock()
+		return
+	}
 	c.epoch++
 	c.fillGen++
 }
@@ -226,6 +272,10 @@ func (c *Cache) FlushAll() {
 // returning the count. The SM uses this to clean a DRAM region's cache
 // footprint on re-allocation when partitioning is not available.
 func (c *Cache) FlushIf(pred func(lineAddr uint64) bool) int {
+	if c.shared {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+	}
 	n := 0
 	for _, set := range c.sets {
 		for i := range set {
@@ -241,6 +291,10 @@ func (c *Cache) FlushIf(pred func(lineAddr uint64) bool) int {
 
 // Live returns the number of valid lines.
 func (c *Cache) Live() int {
+	if c.shared {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+	}
 	n := 0
 	for _, set := range c.sets {
 		for i := range set {

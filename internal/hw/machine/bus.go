@@ -39,7 +39,7 @@ func (c *Core) FetchInstr(va uint64) (uint64, uint64, *isa.MemFault) {
 // cycle cost is the core's l1Hit.
 func (c *Core) fetchHit(va uint64) *icEntry {
 	e := &c.icache[(va>>3)&(icEntries-1)]
-	if e.gen != c.icGen || e.va != va || e.tgMode != tgMode(c.TLB.Gen(), c.CPU.Mode) {
+	if e.gen != c.icGen.Load() || e.va != va || e.tgMode != tgMode(c.TLB.Gen(), c.CPU.Mode) {
 		return nil
 	}
 	if root, _ := c.walkRoot(va); root != e.root {
@@ -73,8 +73,9 @@ func (c *Core) FetchDecoded(va uint64) (isa.Instr, uint64, *isa.MemFault) {
 // of the decode-cache entry.
 func (c *Core) fetchSlow(va uint64) (isa.Instr, uint64, *isa.MemFault) {
 	root, _ := c.walkRoot(va)
+	icGen := c.icGen.Load()
 	e := &c.icache[(va>>3)&(icEntries-1)]
-	if e.gen == c.icGen && e.va == va &&
+	if e.gen == icGen && e.va == va &&
 		e.tgMode == tgMode(c.TLB.Gen(), c.CPU.Mode) && e.root == root {
 		// Translation and decode are valid; only the L1 resident set
 		// moved. Redo the cache access, keep everything else.
@@ -96,19 +97,24 @@ func (c *Core) fetchSlow(va uint64) (isa.Instr, uint64, *isa.MemFault) {
 	}
 	var lref cache.LineRef
 	cyc := walkCyc + c.cachedAccessRef(pa, &lref)
-	if e.gen == c.icGen && e.va == va && e.pa == pa {
+	if e.gen == icGen && e.va == va && e.pa == pa {
 		// The word is unchanged (any write to it would have bumped
 		// icGen); refresh the translation and L1 layers, keep the decode.
 		e.tgMode, e.root, e.lref = tg, root, lref
 		return e.in, cyc, nil
 	}
+	// Mark the page BEFORE reading the word: a store from another hart
+	// that lands after the mark bumps icGen via the code-write snoop,
+	// and this entry carries the pre-snapshot generation, so it dies
+	// immediately. Marking after the read would leave a window where a
+	// racing store goes unsnooped and a stale decode survives.
+	c.machine.markCodePage(pa)
 	word := c.fetchWin.LoadFast(pa, 8)
 	*e = icEntry{
-		va: va, pa: pa, gen: c.icGen,
+		va: va, pa: pa, gen: icGen,
 		tgMode: tg, root: root,
 		in: isa.Decode(word), lref: lref,
 	}
-	c.machine.markCodePage(pa)
 	return e.in, cyc, nil
 }
 

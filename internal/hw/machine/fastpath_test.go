@@ -401,7 +401,7 @@ func BenchmarkDecodeCacheMiss(b *testing.B) {
 	c.CPU.Mode = isa.PrivS
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		c.icGen++ // kill the entry, as a flush would
+		c.icGen.Add(1) // kill the entry, as a flush would
 		if _, _, fault := c.FetchDecoded(codeVA); fault != nil {
 			b.Fatal(fault)
 		}

@@ -13,6 +13,8 @@ package machine
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"sanctorum/internal/hw/cache"
 	"sanctorum/internal/hw/dram"
@@ -125,11 +127,24 @@ type Machine struct {
 // flushDecodeCaches drops every core's decoded-instruction cache. It
 // is installed as the physical memory's code-write hook, so any write
 // into a page feeding a decode cache — guest stores (self-modifying
-// code), SM scrubs, DMA — lands here.
+// code), SM scrubs, DMA — lands here. The generations are atomics, so
+// the hook is safe to fire from any hart.
 func (m *Machine) flushDecodeCaches() {
 	for _, c := range m.Cores {
-		c.icGen++
+		c.icGen.Add(1)
 	}
+}
+
+// SetConcurrent prepares the machine for genuinely parallel multi-hart
+// execution: the shared L2 starts serializing its accesses. Per-core
+// state needs no locks (each core is driven by one goroutine) and
+// physical memory is always hart-safe. It is a one-way latch — once a
+// machine has gone concurrent, OS goroutines may keep issuing monitor
+// calls that touch the L2 after any particular parallel run ends, so
+// the locking stays on. Deterministic single-goroutine machines never
+// latch it and the PR 1 fast path is untouched.
+func (m *Machine) SetConcurrent(on bool) {
+	m.L2.SetShared(on)
 }
 
 // markCodePage records that a physical page feeds a decode cache.
@@ -184,9 +199,9 @@ func New(cfg Config) (*Machine, error) {
 			fastPath: !cfg.DisableFastPath,
 			sanctum:  cfg.Kind == IsolationSanctum,
 			l1Hit:    cfg.L1.HitCycles,
-			icGen:    1,
 			icache:   new([icEntries]icEntry),
 		}
+		c.icGen.Store(1)
 		c.fetchWin.Reset(m.Mem)
 		c.dataWin.Reset(m.Mem)
 		// Tearing down translations (core cleaning, shootdown on region
@@ -229,9 +244,18 @@ type Core struct {
 
 	// TimerCmp fires a timer interrupt when CPU.Cycles passes it; zero
 	// disables the timer. The untrusted OS uses this to force an AEX.
+	// It is owned by whoever drives the core: written only while the
+	// core is outside Run (or by the firmware inside a trap).
 	TimerCmp uint64
 
-	pendingIRQ bool // external interrupt latched by InterruptCore
+	// pending is the core's asynchronous-event word, polled once per
+	// instruction: bit 0 latches an external interrupt (InterruptCore),
+	// bit 1 flags a non-architectural IPI mailbox delivery. One atomic
+	// load covers both, and on the host ISAs we target an atomic load
+	// is a plain load, so cross-core preemption costs the hot loop
+	// nothing. It sits among the hot fast-path fields; the cold IPI
+	// mailbox state lives at the end of the struct.
+	pending atomic.Uint32
 
 	machine *Machine
 
@@ -242,7 +266,7 @@ type Core struct {
 	fastPath bool
 	sanctum  bool                // machine.Kind == IsolationSanctum, dereference-free
 	l1Hit    uint64              // L1 hit latency, the cycle cost of every fast-path hit
-	icGen    uint64              // decode-cache generation; entries from older gens are dead
+	icGen    atomic.Uint64       // decode-cache generation; entries from older gens are dead
 	icache   *[icEntries]icEntry // direct-mapped decoded-instruction cache, keyed by VA
 	fetchTC  transCache
 	loadTC   transCache
@@ -251,6 +275,16 @@ type Core struct {
 	fetchWin mem.Window    // last code page touched
 	dataWin  mem.Window    // last data page touched
 	irqTrap  isa.Trap      // reusable interrupt trap buffer
+
+	// Cold cross-hart coordination state, kept at the end so it never
+	// shares a cache line with the per-instruction fields above. ipi is
+	// the core's inter-processor mailbox (shootdowns, view updates);
+	// see ipi.go. runMu is held for the whole of Run, so whoever
+	// acquires it owns the core's microarchitectural state — either the
+	// core's own driver, or an IPI poster executing a request on an
+	// idle core's behalf.
+	ipi   ipiMailbox
+	runMu sync.Mutex
 }
 
 // icEntries is the per-core decoded-instruction cache size (slots of
@@ -301,7 +335,7 @@ type transCache struct {
 // invalidateDecodeCache drops the core's decoded-instruction cache; it
 // is wired to the TLB's OnInvalidate hook so translation teardown
 // (domain switches, shootdowns) also kills cached decodes.
-func (c *Core) invalidateDecodeCache() { c.icGen++ }
+func (c *Core) invalidateDecodeCache() { c.icGen.Add(1) }
 
 // Machine returns the machine this core belongs to.
 func (c *Core) Machine() *Machine { return c.machine }

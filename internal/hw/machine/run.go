@@ -41,11 +41,19 @@ type RunResult struct {
 // installed; a machine without a security monitor cannot field events.
 var ErrNoFirmware = errors.New("machine: trap with no firmware installed")
 
+// Bits of Core.pending, the per-instruction asynchronous-event poll.
+const (
+	pendingIRQ uint32 = 1 << iota // external interrupt (InterruptCore)
+	pendingIPI                    // inter-processor mailbox delivery (ipi.go)
+)
+
 // InterruptCore latches an external interrupt on the core; it is
 // delivered at the next instruction boundary. The untrusted OS uses this
-// to de-schedule an enclave (forcing an AEX via the firmware).
+// to de-schedule an enclave (forcing an AEX via the firmware). The latch
+// is atomic, so any hart — or an OS goroutine racing a running core —
+// may post it.
 func (m *Machine) InterruptCore(id int) {
-	m.Cores[id].pendingIRQ = true
+	m.Cores[id].pending.Or(pendingIRQ)
 }
 
 // Run executes instructions on the core until the firmware hands
@@ -54,13 +62,20 @@ func (m *Machine) InterruptCore(id int) {
 // routed to the machine's firmware, mirroring the paper's Fig 1 where
 // the security monitor receives every event first.
 //
+// Run holds the core's runMu for its whole duration: one goroutine
+// drives one core, and IPI posters use the same mutex to execute
+// mailbox requests on behalf of cores that are not running (ipi.go).
+//
 // The loop is structured for throughput: while neither the timer nor
 // an external interrupt is armed — the overwhelmingly common state —
-// the per-instruction interrupt poll reduces to one boolean load, and
-// the timer comparison is re-checked only after a trap (the only point
-// where firmware can arm it on this core).
+// the per-instruction event poll reduces to one atomic (plain, on our
+// host ISAs) load of c.pending, and the timer comparison is re-checked
+// only after a trap (the only point where firmware can arm it on this
+// core).
 func (m *Machine) Run(coreID int, maxSteps int) (RunResult, error) {
 	c := m.Cores[coreID]
+	c.runMu.Lock()
+	defer c.runMu.Unlock()
 	steps := 0
 	for steps < maxSteps {
 		// Asynchronous events are checked at instruction boundaries.
@@ -72,13 +87,13 @@ func (m *Machine) Run(coreID int, maxSteps int) (RunResult, error) {
 			continue
 		}
 		if c.TimerCmp == 0 {
-			// Hot loop: no timer armed. pendingIRQ is still polled each
-			// step (InterruptCore may latch it at any time). The step
-			// sequence is spelled out here so the fetch — the
+			// Hot loop: no timer armed. pending is still polled each
+			// step (InterruptCore or an IPI may latch it at any time).
+			// The step sequence is spelled out here so the fetch — the
 			// interpreter's hottest call — goes to FetchDecoded
 			// directly instead of through an interface.
 			cpu := &c.CPU
-			for steps < maxSteps && !c.pendingIRQ {
+			for steps < maxSteps && c.pending.Load() == 0 {
 				var tr *isa.Trap
 				if !c.fastPath {
 					tr = cpu.Step(c)
@@ -142,13 +157,22 @@ func (c *Core) step() *isa.Trap {
 	return cpu.ExecDecoded(in, c)
 }
 
-// takeInterrupt returns a pending asynchronous trap, or nil. The trap
-// is returned in a per-core buffer valid until the next interrupt.
+// takeInterrupt returns a pending asynchronous trap, or nil. IPI
+// mailbox deliveries are acknowledged here — at an instruction boundary,
+// which is the architectural contract of an inter-processor interrupt —
+// without raising a trap (they carry monitor work, not events for the
+// firmware's state machine). The trap is returned in a per-core buffer
+// valid until the next interrupt.
 func (c *Core) takeInterrupt() *isa.Trap {
-	if c.pendingIRQ {
-		c.pendingIRQ = false
-		c.irqTrap = isa.Trap{Cause: isa.CauseExternalInterrupt, PC: c.CPU.PC}
-		return &c.irqTrap
+	if p := c.pending.Load(); p != 0 {
+		if p&pendingIPI != 0 {
+			c.drainIPIs()
+		}
+		if p&pendingIRQ != 0 {
+			c.pending.And(^pendingIRQ)
+			c.irqTrap = isa.Trap{Cause: isa.CauseExternalInterrupt, PC: c.CPU.PC}
+			return &c.irqTrap
+		}
 	}
 	if c.TimerCmp != 0 && c.CPU.Cycles >= c.TimerCmp {
 		c.TimerCmp = 0 // one-shot

@@ -12,12 +12,26 @@
 // every store (so decoded-instruction caches can be dropped when code
 // is overwritten), and Window, a last-page pointer cache that lets a
 // core skip the page-map lookup on same-page traffic.
+//
+// The page table itself is safe for concurrent cores: pages live in a
+// flat atomic pointer table (materialization is a compare-and-swap, so
+// two harts touching a fresh page agree on one backing array), and the
+// code-page mark set and the ZeroRange generation are atomics. This is
+// exactly the sharing model of the hardware being simulated — a memory
+// bus that many harts address concurrently — and it costs the
+// single-threaded fast path nothing: the atomic loads compile to plain
+// loads on the host ISAs we run on, and the pointer-table index replaces
+// what used to be a map lookup. Byte-level races between harts writing
+// the same location are the guest program's business, as on real
+// hardware; the security monitor's region isolation keeps protection
+// domains on disjoint pages.
 package mem
 
 import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"sync/atomic"
 )
 
 // Page geometry, shared by the whole simulator.
@@ -37,20 +51,21 @@ var (
 
 // Phys is a sparse physical memory of a fixed size.
 type Phys struct {
-	size  uint64
-	pages map[uint64]*[PageSize]byte
+	size    uint64
+	pages   []atomic.Pointer[[PageSize]byte]
+	touched atomic.Int64 // materialized pages, for TouchedPages
 
 	// codePages marks pages whose contents feed a consumer-side cache
 	// (the machine's decoded-instruction caches). Every write checks
 	// it inline — no indirect call on the store hot path — and a write
 	// landing in a marked page clears the set and fires onCodeWrite.
-	codePages   []uint64
+	codePages   []atomic.Uint64
 	onCodeWrite func()
 
 	// zeroGen invalidates Window pointer caches: it advances whenever
 	// ZeroRange may de-materialize pages, so a cached page pointer is
-	// never read after its page left the map.
-	zeroGen uint64
+	// never read after its page left the table.
+	zeroGen atomic.Uint64
 }
 
 // New returns a physical memory covering addresses [0, size). Size is
@@ -59,8 +74,8 @@ func New(size uint64) *Phys {
 	size = (size + PageMask) &^ uint64(PageMask)
 	return &Phys{
 		size:      size,
-		pages:     make(map[uint64]*[PageSize]byte),
-		codePages: make([]uint64, (size>>PageBits+63)/64),
+		pages:     make([]atomic.Pointer[[PageSize]byte], size>>PageBits),
+		codePages: make([]atomic.Uint64, (size>>PageBits+63)/64),
 	}
 }
 
@@ -73,7 +88,10 @@ func (m *Phys) Pages() uint64 { return m.size >> PageBits }
 // SetCodeWriteHook installs fn to be called whenever a write — a guest
 // store, a Go-level WriteBytes (loaders, DMA), or a ZeroRange scrub —
 // lands in a page marked by MarkCodePage. The mark set is cleared
-// before fn runs; the consumer re-marks pages as it refills.
+// before fn runs; the consumer re-marks pages as it refills. fn must be
+// safe to call from any hart (the machine's implementation only bumps
+// per-core atomic generations). Install once at machine construction,
+// before any concurrent execution.
 func (m *Phys) SetCodeWriteHook(fn func()) { m.onCodeWrite = fn }
 
 // MarkCodePage records that the page containing addr feeds a
@@ -81,15 +99,17 @@ func (m *Phys) SetCodeWriteHook(fn func()) { m.onCodeWrite = fn }
 // written.
 func (m *Phys) MarkCodePage(addr uint64) {
 	p := addr >> PageBits
-	m.codePages[p>>6] |= 1 << (p & 63)
+	m.codePages[p>>6].Or(1 << (p & 63))
 }
 
 // noteWrite fires the code-write hook if [addr, addr+n) touches a
 // marked page. n > 0; the range is already validated.
 func (m *Phys) noteWrite(addr, n uint64) {
 	for p, last := addr>>PageBits, (addr+n-1)>>PageBits; ; p++ {
-		if m.codePages[p>>6]&(1<<(p&63)) != 0 {
-			clear(m.codePages)
+		if m.codePages[p>>6].Load()&(1<<(p&63)) != 0 {
+			for i := range m.codePages {
+				m.codePages[i].Store(0)
+			}
 			if m.onCodeWrite != nil {
 				m.onCodeWrite()
 			}
@@ -102,18 +122,23 @@ func (m *Phys) noteWrite(addr, n uint64) {
 }
 
 // page returns the backing page for ppn, materializing it if needed.
+// Two harts materializing the same page race through a compare-and-swap
+// and agree on one winner.
 func (m *Phys) page(ppn uint64) *[PageSize]byte {
-	p, ok := m.pages[ppn]
-	if !ok {
-		p = new([PageSize]byte)
-		m.pages[ppn] = p
+	if p := m.pages[ppn].Load(); p != nil {
+		return p
 	}
-	return p
+	p := new([PageSize]byte)
+	if m.pages[ppn].CompareAndSwap(nil, p) {
+		m.touched.Add(1)
+		return p
+	}
+	return m.pages[ppn].Load()
 }
 
 // TouchedPages reports how many pages have been materialized; useful for
 // asserting that the simulation stays sparse.
-func (m *Phys) TouchedPages() int { return len(m.pages) }
+func (m *Phys) TouchedPages() int { return int(m.touched.Load()) }
 
 func (m *Phys) checkRange(addr, n uint64) error {
 	if addr >= m.size || n > m.size-addr {
@@ -221,7 +246,7 @@ func (m *Phys) Store(addr uint64, width int, val uint64) error {
 // ZeroRange clears [addr, addr+n). The security monitor uses this when
 // cleaning a memory resource before re-allocation (Fig 2 of the paper).
 // Whole pages are de-materialized, so cleaning a region also returns
-// its host allocation to the page map's sparse baseline.
+// its host allocation to the page table's sparse baseline.
 func (m *Phys) ZeroRange(addr, n uint64) error {
 	if err := m.checkRange(addr, n); err != nil {
 		return err
@@ -230,7 +255,7 @@ func (m *Phys) ZeroRange(addr, n uint64) error {
 		return nil
 	}
 	m.noteWrite(addr, n)
-	m.zeroGen++
+	m.zeroGen.Add(1)
 	end := addr + n
 	for addr < end {
 		ppn, off := addr>>PageBits, addr&PageMask
@@ -239,10 +264,12 @@ func (m *Phys) ZeroRange(addr, n uint64) error {
 			chunk = end - addr
 		}
 		if off == 0 && chunk == PageSize {
-			// A whole page reads as zero once out of the map; dropping it
-			// keeps host memory proportional to live pages.
-			delete(m.pages, ppn)
-		} else if p, ok := m.pages[ppn]; ok {
+			// A whole page reads as zero once out of the table; dropping
+			// it keeps host memory proportional to live pages.
+			if m.pages[ppn].Swap(nil) != nil {
+				m.touched.Add(-1)
+			}
+		} else if p := m.pages[ppn].Load(); p != nil {
 			for i := off; i < off+chunk; i++ {
 				p[i] = 0
 			}
@@ -259,7 +286,7 @@ func (m *Phys) ZeroPage(addr uint64) error {
 }
 
 // Window is a last-page pointer cache in front of a Phys. The common
-// same-page access skips the page-map lookup entirely; semantics
+// same-page access skips the page-table lookup entirely; semantics
 // (alignment, width, range checks, error values) are identical to
 // Phys.Load/Store, which the machine's fast-vs-reference equivalence
 // tests rely on. A Window is single-consumer state (one per core per
@@ -279,14 +306,23 @@ func (w *Window) Reset(m *Phys) {
 }
 
 // lookup returns the backing page for addr, which the caller has
-// already range-checked.
+// already range-checked. LoadFast/StoreFast repeat this hit check
+// inline (one call frame per access, as the interpreter's hot loop
+// requires); the zeroGen load is atomic, which is a plain load on the
+// host ISAs we target.
 func (w *Window) lookup(addr uint64) *[PageSize]byte {
 	ppn := addr >> PageBits
-	if w.page != nil && w.ppn == ppn && w.gen == w.m.zeroGen {
+	if w.page != nil && w.ppn == ppn && w.gen == w.m.zeroGen.Load() {
 		return w.page
 	}
+	return w.refill(ppn)
+}
+
+// refill re-validates the window after a miss or a ZeroRange.
+func (w *Window) refill(ppn uint64) *[PageSize]byte {
+	gen := w.m.zeroGen.Load()
 	p := w.m.page(ppn)
-	w.ppn, w.page, w.gen = ppn, p, w.m.zeroGen
+	w.ppn, w.page, w.gen = ppn, p, gen
 	return p
 }
 
@@ -301,9 +337,16 @@ func (w *Window) Load(addr uint64, width int) (uint64, error) {
 // LoadFast is Load without the width/alignment/range checks, for
 // callers that can prove them: the machine's translated fast path only
 // produces naturally-aligned accesses of ISA widths to physical
-// addresses its isolation check already bounded.
+// addresses its isolation check already bounded. The window hit check
+// is open-coded (not via lookup) so the whole access stays one call
+// frame deep.
 func (w *Window) LoadFast(addr uint64, width int) uint64 {
-	return loadFrom(w.lookup(addr), addr&PageMask, width)
+	ppn := addr >> PageBits
+	p := w.page
+	if p == nil || w.ppn != ppn || w.gen != w.m.zeroGen.Load() {
+		p = w.refill(ppn)
+	}
+	return loadFrom(p, addr&PageMask, width)
 }
 
 // StoreFast is Store without the width/alignment/range checks, under
@@ -311,7 +354,12 @@ func (w *Window) LoadFast(addr uint64, width int) uint64 {
 // store.
 func (w *Window) StoreFast(addr uint64, width int, val uint64) {
 	w.m.noteWrite(addr, uint64(width))
-	storeTo(w.lookup(addr), addr&PageMask, width, val)
+	ppn := addr >> PageBits
+	p := w.page
+	if p == nil || w.ppn != ppn || w.gen != w.m.zeroGen.Load() {
+		p = w.refill(ppn)
+	}
+	storeTo(p, addr&PageMask, width, val)
 }
 
 // Store is Phys.Store through the window's page cache. The code-write

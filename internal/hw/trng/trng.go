@@ -10,21 +10,28 @@ package trng
 import (
 	"crypto/rand"
 	"io"
+	"sync"
 
 	"sanctorum/internal/crypto/sha3"
 )
 
-// Source produces entropy. Read always fills the whole buffer.
+// Source produces entropy. Read always fills the whole buffer and is
+// safe to call from any hart: the security monitor serves get_random
+// from concurrent trap handlers.
 type Source interface {
 	io.Reader
 }
 
 type deterministic struct {
+	mu  sync.Mutex
 	xof sha3.XOF
 }
 
 // NewDeterministic returns a reproducible entropy stream seeded by seed.
-// Distinct seeds yield independent streams.
+// Distinct seeds yield independent streams. Reads are serialized, so
+// concurrent harts draw disjoint chunks of the one stream (which chunk
+// a hart gets is interleaving-dependent; single-goroutine use is
+// bit-reproducible as before).
 func NewDeterministic(seed []byte) Source {
 	x := sha3.NewShake256()
 	x.Write([]byte("sanctorum/trng"))
@@ -32,7 +39,11 @@ func NewDeterministic(seed []byte) Source {
 	return &deterministic{xof: x}
 }
 
-func (d *deterministic) Read(p []byte) (int, error) { return d.xof.Read(p) }
+func (d *deterministic) Read(p []byte) (int, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.xof.Read(p)
+}
 
 type system struct{}
 

@@ -9,6 +9,7 @@ package os
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 
 	"sanctorum/internal/hw/machine"
@@ -125,6 +126,19 @@ func (o *OS) StagePage() (uint64, error) {
 	return o.stagePA, nil
 }
 
+// regionInfo is Monitor.RegionInfo with the §V-A retry loop every
+// monitor caller owes: a contended region transaction fails with
+// ErrRetry and the untrusted OS simply tries again.
+func (o *OS) regionInfo(r int) (sm.RegionState, uint64, api.Error) {
+	for {
+		st, owner, errc := o.Mon.RegionInfo(r)
+		if errc != api.ErrRetry {
+			return st, owner, errc
+		}
+		runtime.Gosched()
+	}
+}
+
 // WriteOwned writes bytes into OS-owned physical memory after checking
 // ownership with the monitor — the simulation stand-in for an S-mode
 // kernel store into its own memory.
@@ -132,13 +146,19 @@ func (o *OS) WriteOwned(pa uint64, data []byte) error {
 	if len(data) == 0 {
 		return nil
 	}
+	// The end-of-range computation must not wrap: for pa near 2^64,
+	// pa+len-1 overflows to a small address whose region lookup could
+	// succeed and bypass the ownership walk below.
+	if pa > ^uint64(0)-(uint64(len(data))-1) {
+		return fmt.Errorf("os: write outside memory")
+	}
 	first := o.M.DRAM.RegionOf(pa)
 	last := o.M.DRAM.RegionOf(pa + uint64(len(data)) - 1)
 	if first < 0 || last < 0 {
 		return fmt.Errorf("os: write outside memory")
 	}
 	for r := first; r <= last; r++ {
-		st, owner, errc := o.Mon.RegionInfo(r)
+		st, owner, errc := o.regionInfo(r)
 		if errc != api.OK || st != sm.RegionOwned || owner != api.DomainOS {
 			return fmt.Errorf("os: region %d is not ours (state=%v owner=%#x)", r, st, owner)
 		}
@@ -148,8 +168,15 @@ func (o *OS) WriteOwned(pa uint64, data []byte) error {
 
 // ReadOwned is the read counterpart of WriteOwned.
 func (o *OS) ReadOwned(pa uint64, n int) ([]byte, error) {
-	if n == 0 {
+	if n <= 0 {
+		if n < 0 {
+			return nil, fmt.Errorf("os: negative read length")
+		}
 		return nil, nil
+	}
+	// Guard the same end-of-range wrap as WriteOwned.
+	if pa > ^uint64(0)-(uint64(n)-1) {
+		return nil, fmt.Errorf("os: read outside memory")
 	}
 	first := o.M.DRAM.RegionOf(pa)
 	last := o.M.DRAM.RegionOf(pa + uint64(n) - 1)
@@ -157,7 +184,7 @@ func (o *OS) ReadOwned(pa uint64, n int) ([]byte, error) {
 		return nil, fmt.Errorf("os: read outside memory")
 	}
 	for r := first; r <= last; r++ {
-		st, owner, errc := o.Mon.RegionInfo(r)
+		st, owner, errc := o.regionInfo(r)
 		if errc != api.OK || st != sm.RegionOwned || owner != api.DomainOS {
 			return nil, fmt.Errorf("os: region %d is not ours", r)
 		}
@@ -243,7 +270,7 @@ func (o *OS) FreeRegions() []int {
 		if r == o.kernelRegion {
 			continue
 		}
-		if st, owner, errc := o.Mon.RegionInfo(r); errc == api.OK && st == sm.RegionOwned && owner == api.DomainOS {
+		if st, owner, errc := o.regionInfo(r); errc == api.OK && st == sm.RegionOwned && owner == api.DomainOS {
 			out = append(out, r)
 		}
 	}

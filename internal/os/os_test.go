@@ -1,0 +1,176 @@
+package os
+
+import (
+	"bytes"
+	"testing"
+
+	"sanctorum/internal/hw/machine"
+	"sanctorum/internal/hw/mem"
+	"sanctorum/internal/hw/pt"
+	"sanctorum/internal/platform/baseline"
+	"sanctorum/internal/sm"
+	"sanctorum/internal/sm/api"
+	"sanctorum/internal/sm/boot"
+)
+
+// newSystem boots machine + monitor + OS with region 0 as the kernel
+// region and the top regions for SM image and metadata, mirroring the
+// facade's layout.
+func newSystem(t *testing.T) (*machine.Machine, *sm.Monitor, *OS) {
+	t.Helper()
+	cfg := machine.DefaultConfig(machine.IsolationNone)
+	m, err := machine.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mfr := boot.NewManufacturer("acme", []byte("seed"))
+	dev := mfr.Provision("dev", []byte("root-secret"))
+	id, err := dev.Boot([]byte("os test image"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	smRegion := cfg.DRAM.RegionCount - 1
+	metaRegion := cfg.DRAM.RegionCount - 2
+	mon, err := sm.New(sm.Config{
+		Machine:   m,
+		Platform:  baseline.New(),
+		Identity:  id,
+		SMRegions: []int{smRegion},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	o, err := New(m, mon, 0, metaRegion)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, mon, o
+}
+
+func TestOwnedAccessRejectsForeignRegions(t *testing.T) {
+	m, mon, o := newSystem(t)
+	_ = m
+
+	// The SM region is not ours.
+	smBase := o.M.DRAM.Base(o.M.DRAM.RegionCount - 1)
+	if err := o.WriteOwned(smBase, []byte{1}); err == nil {
+		t.Fatal("write into the SM region succeeded")
+	}
+	if _, err := o.ReadOwned(smBase, 8); err == nil {
+		t.Fatal("read from the SM region succeeded")
+	}
+	// A blocked region stops being ours mid-lifecycle.
+	r := 5
+	base := o.M.DRAM.Base(r)
+	if err := o.WriteOwned(base, []byte{1, 2, 3}); err != nil {
+		t.Fatalf("write to own region: %v", err)
+	}
+	if st := mon.BlockRegion(r); st != api.OK {
+		t.Fatalf("block: %v", st)
+	}
+	if err := o.WriteOwned(base, []byte{1}); err == nil {
+		t.Fatal("write into a blocked region succeeded")
+	}
+	if _, err := o.ReadOwned(base, 1); err == nil {
+		t.Fatal("read from a blocked region succeeded")
+	}
+}
+
+// TestOwnedAccessOverflow is the regression test for the unsigned
+// end-of-range wrap: pa near 2^64 must be rejected outright, not wrap
+// into a small (and OS-owned) address range.
+func TestOwnedAccessOverflow(t *testing.T) {
+	_, _, o := newSystem(t)
+	huge := ^uint64(0) - 3 // pa + len - 1 wraps for len ≥ 5
+	if err := o.WriteOwned(huge, make([]byte, 16)); err == nil {
+		t.Fatal("wrapping write passed the ownership check")
+	}
+	if _, err := o.ReadOwned(huge, 16); err == nil {
+		t.Fatal("wrapping read passed the ownership check")
+	}
+	if _, err := o.ReadOwned(0, -1); err == nil {
+		t.Fatal("negative-length read succeeded")
+	}
+}
+
+func TestMetaPageReuse(t *testing.T) {
+	_, mon, o := newSystem(t)
+	// Exhaust two pages, release one, and require the allocator to
+	// hand the released page back before advancing the bump pointer.
+	p1, err := o.AllocMetaPage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := o.AllocMetaPage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1 == p2 {
+		t.Fatalf("allocator returned %#x twice", p1)
+	}
+	// Round-trip through the monitor: create and delete an enclave at
+	// p1, then reuse the page.
+	if st := mon.CreateEnclave(p1, 0x4000000000, ^uint64(1<<21-1)); st != api.OK {
+		t.Fatalf("create: %v", st)
+	}
+	if st := mon.DeleteEnclave(p1); st != api.OK {
+		t.Fatalf("delete: %v", st)
+	}
+	o.ReleaseMetaPage(p1)
+	p3, err := o.AllocMetaPage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p3 != p1 {
+		t.Fatalf("allocator ignored the released page: got %#x want %#x", p3, p1)
+	}
+	if st := mon.CreateEnclave(p3, 0x4000000000, ^uint64(1<<21-1)); st != api.OK {
+		t.Fatalf("re-create on reused metadata page: %v", st)
+	}
+}
+
+// TestBuildEnclaveMeasurementMatchesReplay drives the whole loader and
+// checks the monitor's measurement against the Go-side replay — the
+// verifier computation of §VI-A.
+func TestBuildEnclaveMeasurementMatchesReplay(t *testing.T) {
+	_, _, o := newSystem(t)
+	evBase := uint64(0x4000000000)
+	evMask := ^uint64(1<<21 - 1)
+	code := bytes.Repeat([]byte{0x13, 0, 0, 0, 0, 0, 0, 0}, 16) // NOPs
+	spec := &EnclaveSpec{
+		EvBase:  evBase,
+		EvMask:  evMask,
+		Regions: []int{3},
+		Pages: []EnclavePage{
+			{VA: evBase, Perms: pt.R | pt.X, Data: code},
+			{VA: evBase + 0x1000, Perms: pt.R | pt.W, Data: []byte("data")},
+		},
+		Threads: []ThreadSpec{{EntryVA: evBase, StackVA: evBase + 0x2000}},
+	}
+	built, err := o.BuildEnclave(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if built.Measurement != ExpectedMeasurement(spec) {
+		t.Fatal("monitor measurement does not match the replayed transcript")
+	}
+	if len(built.TIDs) != 1 {
+		t.Fatalf("built %d threads", len(built.TIDs))
+	}
+}
+
+// TestLoaderRejectsOversizedPage covers the loader's own validation.
+func TestLoaderRejectsOversizedPage(t *testing.T) {
+	_, _, o := newSystem(t)
+	spec := &EnclaveSpec{
+		EvBase:  0x4000000000,
+		EvMask:  ^uint64(1<<21 - 1),
+		Regions: []int{3},
+		Pages: []EnclavePage{
+			{VA: 0x4000000000, Perms: pt.R | pt.X, Data: make([]byte, mem.PageSize+1)},
+		},
+	}
+	if _, err := o.BuildEnclave(spec); err == nil {
+		t.Fatal("oversized page accepted")
+	}
+}

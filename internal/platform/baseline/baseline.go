@@ -65,12 +65,15 @@ func (Platform) CleanRegion(m *machine.Machine, r int) error {
 	return nil
 }
 
-// ShootdownRegion invalidates TLB entries into the region.
+// ShootdownRegion invalidates TLB entries into the region, via each
+// core's IPI mailbox (acknowledged at instruction boundaries).
 func (Platform) ShootdownRegion(m *machine.Machine, r int) {
 	layout := m.DRAM
 	for _, c := range m.Cores {
-		c.TLB.FlushIf(func(e tlb.Entry) bool {
-			return layout.RegionOf(e.PPN<<mem.PageBits) == r
+		m.RunOn(c.ID, machine.NoHart, func(c *machine.Core) {
+			c.TLB.FlushIf(func(e tlb.Entry) bool {
+				return layout.RegionOf(e.PPN<<mem.PageBits) == r
+			})
 		})
 	}
 }

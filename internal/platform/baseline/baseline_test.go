@@ -1,0 +1,86 @@
+package baseline
+
+import (
+	"testing"
+
+	"sanctorum/internal/hw/machine"
+	"sanctorum/internal/hw/mem"
+	"sanctorum/internal/hw/tlb"
+	"sanctorum/internal/sm"
+)
+
+func newMachine(t *testing.T) *machine.Machine {
+	t.Helper()
+	m, err := machine.New(machine.DefaultConfig(machine.IsolationNone))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// TestViewsCarryNoProtection pins the baseline's defining property: the
+// monitor state machine runs, but the views install no isolation — the
+// control arm of the E10 comparison.
+func TestViewsCarryNoProtection(t *testing.T) {
+	m := newMachine(t)
+	p := New()
+	c := m.Cores[0]
+	if err := p.ApplyEnclaveView(c, sm.EnclaveView{RootPPN: 7, EvBase: 0x1000, EvMask: ^uint64(0xFFF)}); err != nil {
+		t.Fatal(err)
+	}
+	if c.Satp != 7 || !c.EnclaveMode {
+		t.Fatalf("enclave view not recorded: %+v", c)
+	}
+	if c.PMP != nil {
+		t.Fatal("baseline machine has a PMP unit")
+	}
+	if err := p.ApplyOSView(c, m.DRAM.Full()); err != nil {
+		t.Fatal(err)
+	}
+	if c.EnclaveMode || c.Satp != 0 {
+		t.Fatal("OS view left enclave state")
+	}
+}
+
+func TestCleanRegionStillScrubs(t *testing.T) {
+	m := newMachine(t)
+	p := New()
+	r := 2
+	base := m.DRAM.Base(r)
+	if err := m.Mem.WriteBytes(base, []byte{0xFF}); err != nil {
+		t.Fatal(err)
+	}
+	m.L2.Access(base)
+	if err := p.CleanRegion(m, r); err != nil {
+		t.Fatal(err)
+	}
+	b := make([]byte, 1)
+	if err := m.Mem.ReadBytes(base, b); err != nil {
+		t.Fatal(err)
+	}
+	if b[0] != 0 {
+		t.Fatal("contents survived cleaning")
+	}
+	if m.L2.Probe(base) {
+		t.Fatal("L2 footprint survived cleaning")
+	}
+}
+
+func TestShootdownRegionFlushesTLBs(t *testing.T) {
+	m := newMachine(t)
+	p := New()
+	r := 4
+	for _, c := range m.Cores {
+		c.TLB.Insert(tlb.Entry{VPN: 1, PPN: m.DRAM.Base(r) >> mem.PageBits})
+		c.TLB.Insert(tlb.Entry{VPN: 2, PPN: m.DRAM.Base(r+1) >> mem.PageBits})
+	}
+	p.ShootdownRegion(m, r)
+	for i, c := range m.Cores {
+		if _, hit := c.TLB.Lookup(1); hit {
+			t.Fatalf("core %d kept a shot-down translation", i)
+		}
+		if _, hit := c.TLB.Lookup(2); !hit {
+			t.Fatalf("core %d lost an unrelated translation", i)
+		}
+	}
+}

@@ -16,6 +16,7 @@ package keystone
 
 import (
 	"fmt"
+	"sync"
 
 	"sanctorum/internal/hw/dram"
 	"sanctorum/internal/hw/machine"
@@ -29,6 +30,11 @@ import (
 type Platform struct {
 	smRegions dram.Bitmap
 	layout    dram.Layout
+
+	// mu guards enclaveOwned: view switches on different harts update
+	// it concurrently. PMP programming itself is per-core state and is
+	// covered by the caller's core ownership.
+	mu sync.Mutex
 
 	// enclaveOwned tracks regions owned by any enclave so OS views can
 	// deny them. It is maintained from the views the monitor applies.
@@ -53,7 +59,11 @@ func (p *Platform) Kind() machine.IsolationKind { return machine.IsolationKeysto
 // NoteEnclaveRegions informs the adapter of the current set of
 // enclave-owned regions. The monitor's region bookkeeping drives this
 // through the view-refresh calls; it is exported for tests.
-func (p *Platform) NoteEnclaveRegions(b dram.Bitmap) { p.enclaveOwned = b }
+func (p *Platform) NoteEnclaveRegions(b dram.Bitmap) {
+	p.mu.Lock()
+	p.enclaveOwned = b
+	p.mu.Unlock()
+}
 
 // program writes the PMP entry set: deny entries for every region in
 // deny, then a catch-all allow.
@@ -102,9 +112,12 @@ func (p *Platform) ApplyOSView(c *machine.Core, osRegions dram.Bitmap) error {
 	c.EvBase, c.EvMask = 0, 0
 	c.EncRegions = 0
 	c.OSRegions = osRegions
+	p.mu.Lock()
+	deny := p.smRegions | p.enclaveOwned
+	p.mu.Unlock()
 	// Everything not owned by the OS (and not plain available) is
 	// denied: SM regions plus enclave-owned regions.
-	return p.program(c, p.smRegions|p.enclaveOwned)
+	return p.program(c, deny)
 }
 
 // ApplyEnclaveView opens the running enclave's own regions while still
@@ -115,8 +128,11 @@ func (p *Platform) ApplyEnclaveView(c *machine.Core, v sm.EnclaveView) error {
 	c.Satp = v.RootPPN // the enclave brings its own address space
 	c.EvBase, c.EvMask = v.EvBase, v.EvMask
 	c.OSRegions = v.OSRegions
+	p.mu.Lock()
 	p.enclaveOwned |= v.Regions
-	return p.program(c, (p.smRegions|p.enclaveOwned)&^v.Regions)
+	deny := (p.smRegions | p.enclaveOwned) &^ v.Regions
+	p.mu.Unlock()
+	return p.program(c, deny)
 }
 
 // RefreshOSRegions reprograms the deny set after region transitions.
@@ -125,13 +141,18 @@ func (p *Platform) RefreshOSRegions(c *machine.Core, osRegions dram.Bitmap) erro
 	// Regions owned by neither the OS nor the SM are enclave-owned or
 	// in transition; deny them all to S/U software on this core.
 	full := p.layout.Full()
+	p.mu.Lock()
 	p.enclaveOwned = full &^ osRegions &^ p.smRegions
-	return p.program(c, p.smRegions|p.enclaveOwned)
+	deny := p.smRegions | p.enclaveOwned
+	p.mu.Unlock()
+	return p.program(c, deny)
 }
 
 // CleanRegion zeroes the region and flushes its cache footprint. The
 // shared LLC is not partitioned under Keystone, but cleaning on
 // re-allocation is still required for confidentiality of the contents.
+// Per-core L1 flushes travel as IPI mailbox requests acknowledged at
+// instruction boundaries.
 func (p *Platform) CleanRegion(m *machine.Machine, r int) error {
 	base := m.DRAM.Base(r)
 	if err := m.Mem.ZeroRange(base, m.DRAM.RegionSize()); err != nil {
@@ -142,20 +163,26 @@ func (p *Platform) CleanRegion(m *machine.Machine, r int) error {
 		return m.DRAM.RegionOf(lineAddr<<l2Line) == r
 	})
 	for _, c := range m.Cores {
-		l1Line := c.L1.Config().LineBits
-		c.L1.FlushIf(func(lineAddr uint64) bool {
-			return m.DRAM.RegionOf(lineAddr<<l1Line) == r
+		m.RunOn(c.ID, machine.NoHart, func(c *machine.Core) {
+			l1Line := c.L1.Config().LineBits
+			c.L1.FlushIf(func(lineAddr uint64) bool {
+				return m.DRAM.RegionOf(lineAddr<<l1Line) == r
+			})
 		})
 	}
 	return nil
 }
 
-// ShootdownRegion invalidates TLB entries into the region on all cores.
+// ShootdownRegion invalidates TLB entries into the region on all cores,
+// as IPIs acknowledged at instruction boundaries; returns once every
+// core has acknowledged.
 func (p *Platform) ShootdownRegion(m *machine.Machine, r int) {
 	layout := m.DRAM
 	for _, c := range m.Cores {
-		c.TLB.FlushIf(func(e tlb.Entry) bool {
-			return layout.RegionOf(e.PPN<<mem.PageBits) == r
+		m.RunOn(c.ID, machine.NoHart, func(c *machine.Core) {
+			c.TLB.FlushIf(func(e tlb.Entry) bool {
+				return layout.RegionOf(e.PPN<<mem.PageBits) == r
+			})
 		})
 	}
 }

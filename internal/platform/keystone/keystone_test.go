@@ -1,0 +1,106 @@
+package keystone
+
+import (
+	"testing"
+
+	"sanctorum/internal/hw/dram"
+	"sanctorum/internal/hw/machine"
+	"sanctorum/internal/hw/pmp"
+	"sanctorum/internal/sm"
+)
+
+func newMachine(t *testing.T) (*machine.Machine, *Platform) {
+	t.Helper()
+	cfg := machine.DefaultConfig(machine.IsolationKeystone)
+	m, err := machine.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	smRegion := cfg.DRAM.RegionCount - 1
+	return m, New(cfg.DRAM, []int{smRegion})
+}
+
+func TestOSViewDeniesSMAndEnclaveRegions(t *testing.T) {
+	m, p := newMachine(t)
+	c := m.Cores[0]
+	smRegion := m.DRAM.RegionCount - 1
+	encRegion := 4
+
+	p.NoteEnclaveRegions(dram.Bitmap(0).Set(encRegion))
+	osSet := m.DRAM.Full().Clear(smRegion).Clear(encRegion)
+	if err := p.ApplyOSView(c, osSet); err != nil {
+		t.Fatal(err)
+	}
+	if c.PMP.Check(m.DRAM.Base(smRegion), 8, pmp.R, pmp.ModeS) {
+		t.Fatal("OS view grants access to the SM region")
+	}
+	if c.PMP.Check(m.DRAM.Base(encRegion), 8, pmp.R, pmp.ModeS) {
+		t.Fatal("OS view grants access to an enclave-owned region")
+	}
+	if !c.PMP.Check(m.DRAM.Base(1), 8, pmp.R|pmp.W, pmp.ModeS) {
+		t.Fatal("OS view denies an OS-owned region")
+	}
+}
+
+func TestEnclaveViewOpensOwnRegionsOnly(t *testing.T) {
+	m, p := newMachine(t)
+	c := m.Cores[0]
+	smRegion := m.DRAM.RegionCount - 1
+	own := dram.Bitmap(0).Set(6)
+	other := dram.Bitmap(0).Set(7)
+	p.NoteEnclaveRegions(own | other)
+
+	if err := p.ApplyEnclaveView(c, sm.EnclaveView{
+		RootPPN: 99,
+		Regions: own,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if c.Satp != 99 {
+		t.Fatalf("enclave satp %d", c.Satp)
+	}
+	if !c.PMP.Check(m.DRAM.Base(6), 8, pmp.R|pmp.W|pmp.X, pmp.ModeU) {
+		t.Fatal("enclave denied its own region")
+	}
+	if c.PMP.Check(m.DRAM.Base(7), 8, pmp.R, pmp.ModeU) {
+		t.Fatal("enclave granted another enclave's region")
+	}
+	if c.PMP.Check(m.DRAM.Base(smRegion), 8, pmp.R, pmp.ModeU) {
+		t.Fatal("enclave granted the SM region")
+	}
+}
+
+func TestRefreshOSRegionsRecomputesDenySet(t *testing.T) {
+	m, p := newMachine(t)
+	c := m.Cores[0]
+	smRegion := m.DRAM.RegionCount - 1
+	// Regions 2 and 3 leave the OS set (granted away): they must become
+	// inaccessible on refresh without a full ApplyOSView.
+	osSet := m.DRAM.Full().Clear(smRegion).Clear(2).Clear(3)
+	if err := p.RefreshOSRegions(c, osSet); err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range []int{2, 3, smRegion} {
+		if c.PMP.Check(m.DRAM.Base(r), 8, pmp.R, pmp.ModeS) {
+			t.Fatalf("refresh left region %d accessible", r)
+		}
+	}
+	if !c.PMP.Check(m.DRAM.Base(1), 8, pmp.R, pmp.ModeS) {
+		t.Fatal("refresh revoked an OS-owned region")
+	}
+}
+
+// TestPMPEntryExhaustion models the real Keystone limitation: more
+// protected regions than PMP entries cannot be expressed.
+func TestPMPEntryExhaustion(t *testing.T) {
+	m, p := newMachine(t)
+	c := m.Cores[0]
+	var deny dram.Bitmap
+	for r := 0; r < pmp.NumEntries; r++ { // denies + catch-all > NumEntries
+		deny = deny.Set(r)
+	}
+	p.NoteEnclaveRegions(deny)
+	if err := p.ApplyOSView(c, m.DRAM.Full()&^deny); err == nil {
+		t.Fatal("programming more deny entries than the PMP holds succeeded")
+	}
+}

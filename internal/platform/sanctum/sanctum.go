@@ -61,7 +61,10 @@ func (Platform) RefreshOSRegions(c *machine.Core, osRegions dram.Bitmap) error {
 // CleanRegion zeroes a region's memory and flushes its footprint from
 // the shared LLC and every private L1, so the next owner observes
 // neither data nor cache-tag state from the previous one (Fig 2:
-// clean(resource)).
+// clean(resource)). The per-core L1 flushes are delivered through each
+// core's IPI mailbox: a running hart performs its own flush at an
+// instruction boundary, an idle hart's flush executes synchronously on
+// this goroutine. The call returns only after every hart acknowledged.
 func (Platform) CleanRegion(m *machine.Machine, r int) error {
 	base := m.DRAM.Base(r)
 	size := m.DRAM.RegionSize()
@@ -73,9 +76,11 @@ func (Platform) CleanRegion(m *machine.Machine, r int) error {
 		return m.DRAM.RegionOf(lineAddr<<l2Line) == r
 	})
 	for _, c := range m.Cores {
-		l1Line := c.L1.Config().LineBits
-		c.L1.FlushIf(func(lineAddr uint64) bool {
-			return m.DRAM.RegionOf(lineAddr<<l1Line) == r
+		m.RunOn(c.ID, machine.NoHart, func(c *machine.Core) {
+			l1Line := c.L1.Config().LineBits
+			c.L1.FlushIf(func(lineAddr uint64) bool {
+				return m.DRAM.RegionOf(lineAddr<<l1Line) == r
+			})
 		})
 	}
 	return nil
@@ -83,12 +88,17 @@ func (Platform) CleanRegion(m *machine.Machine, r int) error {
 
 // ShootdownRegion removes all TLB translations targeting region r on
 // every core (the page-walk invariant of §VII-A requires this whenever
-// a region changes protection domain).
+// a region changes protection domain). Each core's flush travels as an
+// inter-processor interrupt acknowledged at an instruction boundary;
+// the call returns once all cores have acknowledged, which is when the
+// paper's invariant is re-established machine-wide.
 func (Platform) ShootdownRegion(m *machine.Machine, r int) {
 	layout := m.DRAM
 	for _, c := range m.Cores {
-		c.TLB.FlushIf(func(e tlb.Entry) bool {
-			return layout.RegionOf(e.PPN<<mem.PageBits) == r
+		m.RunOn(c.ID, machine.NoHart, func(c *machine.Core) {
+			c.TLB.FlushIf(func(e tlb.Entry) bool {
+				return layout.RegionOf(e.PPN<<mem.PageBits) == r
+			})
 		})
 	}
 }

@@ -1,0 +1,112 @@
+package sanctum
+
+import (
+	"testing"
+
+	"sanctorum/internal/hw/machine"
+	"sanctorum/internal/hw/mem"
+	"sanctorum/internal/hw/tlb"
+	"sanctorum/internal/sm"
+)
+
+func newMachine(t *testing.T) *machine.Machine {
+	t.Helper()
+	m, err := machine.New(machine.DefaultConfig(machine.IsolationSanctum))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestApplyViewsProgramCoreState(t *testing.T) {
+	m := newMachine(t)
+	p := New()
+	c := m.Cores[0]
+
+	osSet := m.DRAM.Full().Clear(7)
+	if err := p.ApplyOSView(c, osSet); err != nil {
+		t.Fatal(err)
+	}
+	if c.EnclaveMode || c.ESatp != 0 || c.EvMask != 0 || c.EncRegions != 0 {
+		t.Fatalf("OS view left enclave state: %+v", c)
+	}
+	if c.OSRegions != osSet {
+		t.Fatalf("OS regions %#x, want %#x", c.OSRegions, osSet)
+	}
+
+	view := sm.EnclaveView{
+		RootPPN:   42,
+		EvBase:    0x4000000000,
+		EvMask:    ^uint64(1<<21 - 1),
+		Regions:   m.DRAM.Full().Clear(0) & 0xF0,
+		OSRegions: osSet,
+	}
+	if err := p.ApplyEnclaveView(c, view); err != nil {
+		t.Fatal(err)
+	}
+	if !c.EnclaveMode || c.ESatp != 42 || c.EvBase != view.EvBase ||
+		c.EncRegions != view.Regions || c.OSRegions != osSet {
+		t.Fatalf("enclave view not programmed: %+v", c)
+	}
+
+	refreshed := osSet.Clear(3)
+	if err := p.RefreshOSRegions(c, refreshed); err != nil {
+		t.Fatal(err)
+	}
+	if c.OSRegions != refreshed || !c.EnclaveMode {
+		t.Fatal("refresh disturbed the enclave view")
+	}
+}
+
+func TestCleanRegionScrubsMemoryAndCaches(t *testing.T) {
+	m := newMachine(t)
+	p := New()
+	r := 3
+	base := m.DRAM.Base(r)
+	if err := m.Mem.WriteBytes(base+100, []byte{0xAA, 0xBB}); err != nil {
+		t.Fatal(err)
+	}
+	m.L2.Access(base + 100)
+	m.Cores[0].L1.Access(base + 100)
+	m.Cores[1].L1.Access(base + 100)
+
+	if err := p.CleanRegion(m, r); err != nil {
+		t.Fatal(err)
+	}
+	b := make([]byte, 2)
+	if err := m.Mem.ReadBytes(base+100, b); err != nil {
+		t.Fatal(err)
+	}
+	if b[0] != 0 || b[1] != 0 {
+		t.Fatalf("region contents survived cleaning: %x", b)
+	}
+	if m.L2.Probe(base + 100) {
+		t.Fatal("L2 line survived cleaning")
+	}
+	for i, c := range m.Cores {
+		if c.L1.Probe(base + 100) {
+			t.Fatalf("core %d L1 line survived cleaning", i)
+		}
+	}
+}
+
+func TestShootdownRegionFlushesAllTLBs(t *testing.T) {
+	m := newMachine(t)
+	p := New()
+	r := 5
+	inside := m.DRAM.Base(r) >> mem.PageBits
+	outside := m.DRAM.Base(r+1) >> mem.PageBits
+	for _, c := range m.Cores {
+		c.TLB.Insert(tlb.Entry{VPN: 0x100, PPN: inside})
+		c.TLB.Insert(tlb.Entry{VPN: 0x200, PPN: outside})
+	}
+	p.ShootdownRegion(m, r)
+	for i, c := range m.Cores {
+		if _, hit := c.TLB.Lookup(0x100); hit {
+			t.Fatalf("core %d kept a translation into the shot-down region", i)
+		}
+		if _, hit := c.TLB.Lookup(0x200); !hit {
+			t.Fatalf("core %d lost an unrelated translation", i)
+		}
+	}
+}

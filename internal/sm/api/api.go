@@ -21,9 +21,10 @@ const (
 	// ErrInvalidState: the operation is illegal in the object's current
 	// lifecycle state (e.g. loading a page into an initialized enclave).
 	ErrInvalidState
-	// ErrConcurrentCall: another transaction holds the object's lock;
-	// the caller should retry (paper §V-A: the SM fails transactions in
-	// case of a concurrent operation).
+	// ErrConcurrentCall: another transaction holds one of the object
+	// locks; the caller should retry (paper §V-A: the SM fails
+	// transactions in case of a concurrent operation). New code should
+	// use the ErrRetry name; this spelling is kept for ABI stability.
 	ErrConcurrentCall
 	// ErrUnauthorized: the caller does not own the object or lacks the
 	// privilege for the call.
@@ -35,6 +36,15 @@ const (
 	// this caller.
 	ErrNotSupported
 )
+
+// ErrRetry is the transaction-contention status of the paper's §V-A
+// locking discipline: monitor calls take fine-grained per-object locks
+// with try-lock semantics and fail — rather than block — when another
+// hart's transaction holds one of them. The caller (untrusted OS or
+// enclave) is expected to simply retry; no monitor state changed. It is
+// the same ABI value as the legacy ErrConcurrentCall name, so existing
+// guest binaries and callers are unaffected.
+const ErrRetry = ErrConcurrentCall
 
 func (e Error) String() string {
 	switch e {

@@ -94,8 +94,8 @@ func (mon *Monitor) CreateEnclave(eid, evBase, evMask uint64) api.Error {
 	if !validEvrange(evBase, evMask) {
 		return api.ErrInvalidValue
 	}
-	mon.mu.Lock()
-	defer mon.mu.Unlock()
+	mon.objMu.Lock()
+	defer mon.objMu.Unlock()
 	if _, exists := mon.enclaves[eid]; exists {
 		return api.ErrInvalidValue
 	}
@@ -142,16 +142,17 @@ func (e *Enclave) InEvrange(va uint64) bool {
 	return va&e.EvMask == e.EvBase
 }
 
-// lookupEnclave fetches and transaction-locks an enclave.
+// lookupEnclave fetches and transaction-locks an enclave; contention on
+// the enclave's lock fails the transaction with ErrRetry (§V-A).
 func (mon *Monitor) lookupEnclave(eid uint64) (*Enclave, api.Error) {
-	mon.mu.Lock()
+	mon.objMu.RLock()
 	e := mon.enclaves[eid]
-	mon.mu.Unlock()
+	mon.objMu.RUnlock()
 	if e == nil {
 		return nil, api.ErrInvalidValue
 	}
 	if !e.mu.TryLock() {
-		return nil, api.ErrConcurrentCall
+		return nil, api.ErrRetry
 	}
 	return e, api.OK
 }
@@ -344,11 +345,10 @@ func (mon *Monitor) MapShared(eid, va, pa uint64) api.Error {
 	return api.OK
 }
 
-// osOwnsRange reports whether [pa, pa+n) lies wholly in OS-owned regions.
+// osOwnsRange reports whether [pa, pa+n) lies wholly in OS-owned
+// regions, against the live atomic bitmap (no locks taken).
 func (mon *Monitor) osOwnsRange(pa, n uint64) bool {
-	mon.mu.Lock()
-	defer mon.mu.Unlock()
-	return mon.osRegionsLocked().ContainsRange(mon.machine.DRAM, pa, n)
+	return mon.osRegions().ContainsRange(mon.machine.DRAM, pa, n)
 }
 
 // InitEnclave seals the enclave (Fig 3: init_enclave by the OS): the
@@ -376,6 +376,11 @@ func (mon *Monitor) InitEnclave(eid uint64) api.Error {
 // OS): refused while any thread is scheduled; all owned regions become
 // blocked and must be cleaned before re-allocation; threads revert to
 // the available pool.
+//
+// The transaction acquires every lock it will need — the enclave, all
+// of its threads, and every region it owns or has pending — with
+// TryLock before mutating anything, so under contention it fails with
+// ErrRetry having changed no state (§V-A).
 func (mon *Monitor) DeleteEnclave(eid uint64) api.Error {
 	e, st := mon.lookupEnclave(eid)
 	if st != api.OK {
@@ -385,42 +390,54 @@ func (mon *Monitor) DeleteEnclave(eid uint64) api.Error {
 	if e.running > 0 {
 		return api.ErrInvalidState
 	}
-	// Acquire every thread lock up front (TryLock, so the transaction
-	// fails rather than blocks under contention, §V-A).
-	var locked []*Thread
+	var lockedThreads []*Thread
+	var lockedRegions []int
 	unlockAll := func() {
-		for _, th := range locked {
+		for _, th := range lockedThreads {
 			th.mu.Unlock()
+		}
+		for _, r := range lockedRegions {
+			mon.regions[r].mu.Unlock()
 		}
 	}
 	for _, th := range e.Threads {
 		if !th.mu.TryLock() {
 			unlockAll()
-			return api.ErrConcurrentCall
+			return api.ErrRetry
 		}
-		locked = append(locked, th)
+		lockedThreads = append(lockedThreads, th)
 	}
-	// Block every owned region (they hold enclave secrets until cleaned).
-	for _, r := range e.Regions.Regions() {
+	// Every region lock, owned or pending, before the first mutation. A
+	// contended region — even one that turns out not to involve this
+	// enclave — fails the delete; conservative, and the caller retries.
+	for r := range mon.regions {
 		rm := &mon.regions[r]
 		if !rm.mu.TryLock() {
 			unlockAll()
-			return api.ErrConcurrentCall
+			return api.ErrRetry
 		}
-		rm.state = RegionBlocked
-		rm.mu.Unlock()
+		if e.Regions.Has(r) || (rm.state == RegionPending && rm.owner == eid) {
+			lockedRegions = append(lockedRegions, r)
+		} else {
+			rm.mu.Unlock()
+		}
 	}
-	// Revert pending grants.
-	for r := range mon.regions {
+	// All locks held; mutate — only regions whose locks we kept (the
+	// others may be mid-transaction on another hart, and holding e.mu
+	// guarantees no new grant can attach this enclave to them). Owned
+	// regions hold enclave secrets until cleaned; pending grants revert
+	// to the OS.
+	for _, r := range lockedRegions {
 		rm := &mon.regions[r]
-		rm.mu.Lock()
-		if rm.state == RegionPending && rm.owner == eid {
+		if e.Regions.Has(r) {
+			rm.state = RegionBlocked
+		} else if rm.state == RegionPending && rm.owner == eid {
 			rm.state, rm.owner = RegionOwned, api.DomainOS
+			mon.setOSOwned(r, true)
 		}
-		rm.mu.Unlock()
 	}
 
-	mon.mu.Lock()
+	mon.objMu.Lock()
 	for tid, th := range e.Threads {
 		th.State = ThreadAvailable
 		th.Owner = 0
@@ -429,9 +446,9 @@ func (mon *Monitor) DeleteEnclave(eid uint64) api.Error {
 	}
 	delete(mon.enclaves, eid)
 	mon.freeMetaPage(eid)
-	mon.refreshViewsLocked()
-	mon.mu.Unlock()
+	mon.objMu.Unlock()
 	unlockAll()
+	mon.refreshViews()
 
 	e.State = EnclaveDead
 	return api.OK

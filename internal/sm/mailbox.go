@@ -47,7 +47,7 @@ func (mon *Monitor) acceptMail(e *Enclave, idx int, expectedSender uint64) api.E
 		return api.ErrInvalidValue
 	}
 	if !e.mu.TryLock() {
-		return api.ErrConcurrentCall
+		return api.ErrRetry
 	}
 	defer e.mu.Unlock()
 	mb := &e.Mailboxes[idx]
@@ -109,7 +109,7 @@ func (mon *Monitor) getMail(e *Enclave, idx int) ([]byte, [32]byte, api.Error) {
 		return nil, zero, api.ErrInvalidValue
 	}
 	if !e.mu.TryLock() {
-		return nil, zero, api.ErrConcurrentCall
+		return nil, zero, api.ErrRetry
 	}
 	defer e.mu.Unlock()
 	mb := &e.Mailboxes[idx]

@@ -11,11 +11,36 @@
 // exported methods of Monitor (standing in for ECALLs from S-mode);
 // enclaves call the monitor through the ECALL instruction, dispatched
 // in trap.go.
+//
+// # Concurrency model (paper §V-A)
+//
+// The monitor is built for many harts calling it at once. There is no
+// global monitor lock; instead:
+//
+//   - Every object — enclave, thread, DRAM region, core slot — carries
+//     its own transaction lock, acquired with TryLock. A call that
+//     cannot take a lock fails with api.ErrRetry ("the SM fails
+//     transactions in case of a concurrent operation") without having
+//     changed any state; callers retry.
+//   - The object maps and the metadata-page set sit behind objMu, a
+//     reader/writer lock held only for map operations, never while
+//     waiting for another hart.
+//   - The OS-owned region set is a single atomic bitmap (osBitmap),
+//     updated by whichever transaction moves a region and read without
+//     locks by the DMA policy and ownership checks.
+//   - Cross-core state (TLB shootdowns, per-core view refreshes) moves
+//     through the machine's inter-processor mailboxes: the monitor
+//     posts IPIs that target harts acknowledge at instruction
+//     boundaries; requests to idle harts execute synchronously on the
+//     poster. Blocking lock acquisitions (stopThread's AEX save) never
+//     nest and never wait on IPI acknowledgments, which keeps the
+//     monitor deadlock-free; see DESIGN.md §5 for the full discipline.
 package sm
 
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"sanctorum/internal/hw/dram"
 	"sanctorum/internal/hw/machine"
@@ -31,18 +56,24 @@ type Platform interface {
 	// Kind identifies the backend.
 	Kind() machine.IsolationKind
 	// ApplyOSView programs a core for untrusted OS/process execution:
-	// no enclave state, OS-owned regions accessible.
+	// no enclave state, OS-owned regions accessible. Called with the
+	// target core quiescent (boot, or the core's own trap context).
 	ApplyOSView(c *machine.Core, osRegions dram.Bitmap) error
-	// ApplyEnclaveView programs a core to run an enclave thread.
+	// ApplyEnclaveView programs a core to run an enclave thread. Called
+	// with the target core quiescent.
 	ApplyEnclaveView(c *machine.Core, view EnclaveView) error
 	// RefreshOSRegions updates the OS-accessible region set on a core
 	// without otherwise disturbing it (used on region re-allocation).
+	// The monitor delivers it via the core's IPI mailbox.
 	RefreshOSRegions(c *machine.Core, osRegions dram.Bitmap) error
 	// CleanRegion scrubs a DRAM region: zeroes its memory and flushes
-	// its cache footprint everywhere.
+	// its cache footprint everywhere. Per-core cache flushes are
+	// delivered as IPIs. Called from OS (no-hart) context only.
 	CleanRegion(m *machine.Machine, r int) error
 	// ShootdownRegion invalidates all TLB translations into region r on
-	// every core (the paper's page-walk invariant maintenance).
+	// every core (the paper's page-walk invariant maintenance), as IPIs
+	// the cores acknowledge at instruction boundaries. Called from OS
+	// (no-hart) context only; returns once every core has acknowledged.
 	ShootdownRegion(m *machine.Machine, r int)
 }
 
@@ -76,21 +107,32 @@ type Monitor struct {
 
 	signingMeasurement [32]byte
 
-	// mu guards the object maps, the core table, the metadata page set
-	// and region-set recomputation. Individual objects carry their own
-	// transaction locks (paper §V-A: fine-grained locks, transactions
-	// fail on contention).
-	mu        sync.Mutex
-	regions   []regionMeta
+	// objMu guards the object maps and the metadata bookkeeping; it is
+	// held only across map reads/writes. The objects themselves carry
+	// their own transaction locks (per-enclave, per-thread, per-region,
+	// per-core-slot), taken with TryLock so transactions fail with
+	// ErrRetry instead of blocking (§V-A).
+	objMu     sync.RWMutex
 	metaRgn   map[int]bool    // SM regions usable for metadata
 	metaPages map[uint64]bool // allocated metadata pages, by phys addr
 	enclaves  map[uint64]*Enclave
 	threads   map[uint64]*Thread
-	cores     []coreSlot
+
+	regions []regionMeta
+	cores   []coreSlot
+
+	// osBitmap is the live set of OS-owned regions (state==Owned &&
+	// owner==DomainOS), maintained atomically by region transactions so
+	// the DMA filter and ownership checks read it without locking.
+	osBitmap atomic.Uint64
 }
 
 // coreSlot tracks which protection domain a core currently executes.
+// Its lock is the per-core transaction lock of §V-A: enter/exit
+// transactions and trap dispatch take it briefly; it is never held
+// while waiting on another hart.
 type coreSlot struct {
+	mu    sync.Mutex
 	owner uint64 // api.DomainOS or an eid
 	tid   uint64 // running thread when owner is an enclave
 }
@@ -129,15 +171,27 @@ func New(cfg Config) (*Monitor, error) {
 		mon.regions[r] = regionMeta{state: RegionOwned, owner: api.DomainSM}
 	}
 	for i := range mon.cores {
-		mon.cores[i] = coreSlot{owner: api.DomainOS}
+		mon.cores[i].owner = api.DomainOS
 	}
-	osBitmap := mon.osRegionsLocked()
+	var osBitmap dram.Bitmap
+	for r := range mon.regions {
+		if mon.regions[r].owner == api.DomainOS {
+			osBitmap = osBitmap.Set(r)
+		}
+	}
+	mon.osBitmap.Store(uint64(osBitmap))
 	for _, c := range cfg.Machine.Cores {
 		if err := cfg.Platform.ApplyOSView(c, osBitmap); err != nil {
 			return nil, fmt.Errorf("sm: programming core %d: %w", c.ID, err)
 		}
 	}
-	mon.installDMAPolicyLocked(osBitmap)
+	// The DMA filter (§IV-B1) is installed exactly once and reads the
+	// live bitmap, so region transitions need not republish it and
+	// concurrent DMA checks are race-free.
+	layout := cfg.Machine.DRAM
+	cfg.Machine.DMAAllowed = func(pa, n uint64) bool {
+		return dram.Bitmap(mon.osBitmap.Load()).ContainsRange(layout, pa, n)
+	}
 	cfg.Machine.Firmware = mon
 	return mon, nil
 }
@@ -146,51 +200,63 @@ func New(cfg Config) (*Monitor, error) {
 // available through GetField).
 func (mon *Monitor) Identity() *boot.Identity { return mon.id }
 
-// osRegionsLocked computes the bitmap of OS-owned regions. Callers hold
-// mon.mu or are in single-threaded setup.
-func (mon *Monitor) osRegionsLocked() dram.Bitmap {
-	var b dram.Bitmap
-	for r := range mon.regions {
-		if mon.regions[r].state == RegionOwned && mon.regions[r].owner == api.DomainOS {
-			b = b.Set(r)
-		}
-	}
-	return b
+// osRegions returns the live bitmap of OS-owned regions.
+func (mon *Monitor) osRegions() dram.Bitmap {
+	return dram.Bitmap(mon.osBitmap.Load())
 }
 
-// installDMAPolicyLocked restricts DMA to OS-owned memory (§IV-B1).
-func (mon *Monitor) installDMAPolicyLocked(osBitmap dram.Bitmap) {
-	layout := mon.machine.DRAM
-	mon.machine.DMAAllowed = func(pa, n uint64) bool {
-		return osBitmap.ContainsRange(layout, pa, n)
+// setOSOwned adds or removes region r from the live OS-owned bitmap.
+// Called by region transactions while holding the region's lock.
+func (mon *Monitor) setOSOwned(r int, owned bool) {
+	if owned {
+		mon.osBitmap.Or(1 << uint(r))
+	} else {
+		mon.osBitmap.And(^uint64(1 << uint(r)))
 	}
 }
 
-// refreshViewsLocked pushes the current OS region set to every core and
-// reinstalls the DMA policy; called after any region transition.
-func (mon *Monitor) refreshViewsLocked() {
-	osBitmap := mon.osRegionsLocked()
-	for i, c := range mon.machine.Cores {
-		if mon.cores[i].owner == api.DomainOS {
-			mon.plat.RefreshOSRegions(c, osBitmap)
-		} else {
-			// Enclave cores keep their enclave view but see the updated
-			// OS set for shared accesses.
-			c.OSRegions = osBitmap
-		}
+// refreshViews pushes the current OS region set to every core through
+// its IPI mailbox: running harts pick the update up at their next
+// instruction boundary, idle harts are programmed synchronously on the
+// calling goroutine, and a hart refreshing itself from a trap handler
+// applies it at the boundary right after the trap returns. Called after
+// any region transition; the DMA policy needs no republish (it reads
+// the live bitmap).
+//
+// The bitmap is read inside the posted request — at apply time, on the
+// target hart — not snapshotted at post time: two region transactions
+// on different regions can post concurrently, and FIFO mailbox order
+// need not match their bitmap-update order, so a post-time snapshot
+// could finish with a stale view installed. Reading live means the
+// last applied request always reflects every update that preceded it.
+func (mon *Monitor) refreshViews() {
+	for id := range mon.machine.Cores {
+		slot := &mon.cores[id]
+		mon.machine.PostIPI(id, func(c *machine.Core) {
+			osBitmap := mon.osRegions()
+			slot.mu.Lock()
+			osOwned := slot.owner == api.DomainOS
+			slot.mu.Unlock()
+			if osOwned {
+				mon.plat.RefreshOSRegions(c, osBitmap)
+			} else {
+				// Enclave cores keep their enclave view but see the
+				// updated OS set for shared accesses.
+				c.OSRegions = osBitmap
+			}
+		})
 	}
-	mon.installDMAPolicyLocked(osBitmap)
 }
 
-// metaPageRange returns whether [pa, pa+n) lies inside an SM metadata
-// region.
+// inMetaRegion returns whether pa lies inside an SM metadata region.
+// Caller holds objMu.
 func (mon *Monitor) inMetaRegion(pa uint64) bool {
 	r := mon.machine.DRAM.RegionOf(pa)
 	return r >= 0 && mon.metaRgn[r]
 }
 
 // allocMetaPage claims the metadata page at pa (page-aligned, inside a
-// metadata region, unused). Caller holds mon.mu.
+// metadata region, unused). Caller holds objMu for writing.
 func (mon *Monitor) allocMetaPage(pa uint64) api.Error {
 	if pa&mem.PageMask != 0 || !mon.inMetaRegion(pa) {
 		return api.ErrInvalidValue

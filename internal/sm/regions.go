@@ -38,6 +38,12 @@ func (s RegionState) String() string {
 	}
 }
 
+// regionMeta is the monitor's metadata for one DRAM region. The mutex
+// is the region's §V-A transaction lock: every transition TryLocks it
+// and fails with ErrRetry under contention. Whichever transaction
+// changes ownership also maintains the monitor's live osBitmap before
+// releasing the lock, so the atomic bitmap is always consistent with
+// the locked states.
 type regionMeta struct {
 	mu    sync.Mutex
 	state RegionState
@@ -51,7 +57,7 @@ func (mon *Monitor) RegionInfo(r int) (RegionState, uint64, api.Error) {
 	}
 	rm := &mon.regions[r]
 	if !rm.mu.TryLock() {
-		return 0, 0, api.ErrConcurrentCall
+		return 0, 0, api.ErrRetry
 	}
 	defer rm.mu.Unlock()
 	return rm.state, rm.owner, api.OK
@@ -68,7 +74,7 @@ func (mon *Monitor) GrantRegion(r int, newOwner uint64) api.Error {
 	}
 	rm := &mon.regions[r]
 	if !rm.mu.TryLock() {
-		return api.ErrConcurrentCall
+		return api.ErrRetry
 	}
 	defer rm.mu.Unlock()
 
@@ -87,20 +93,22 @@ func (mon *Monitor) GrantRegion(r int, newOwner uint64) api.Error {
 	switch newOwner {
 	case api.DomainOS:
 		rm.state, rm.owner = RegionOwned, api.DomainOS
+		mon.setOSOwned(r, true)
 	case api.DomainSM:
 		rm.state, rm.owner = RegionOwned, api.DomainSM
-		mon.mu.Lock()
+		mon.setOSOwned(r, false)
+		mon.objMu.Lock()
 		mon.metaRgn[r] = true
-		mon.mu.Unlock()
+		mon.objMu.Unlock()
 	default:
-		mon.mu.Lock()
+		mon.objMu.RLock()
 		e := mon.enclaves[newOwner]
-		mon.mu.Unlock()
+		mon.objMu.RUnlock()
 		if e == nil {
 			return api.ErrInvalidValue
 		}
 		if !e.mu.TryLock() {
-			return api.ErrConcurrentCall
+			return api.ErrRetry
 		}
 		defer e.mu.Unlock()
 		switch e.State {
@@ -119,11 +127,10 @@ func (mon *Monitor) GrantRegion(r int, newOwner uint64) api.Error {
 		default:
 			return api.ErrInvalidState
 		}
+		mon.setOSOwned(r, false)
 	}
 
-	mon.mu.Lock()
-	mon.refreshViewsLocked()
-	mon.mu.Unlock()
+	mon.refreshViews()
 	return api.OK
 }
 
@@ -139,9 +146,23 @@ func (mon *Monitor) blockRegionAs(owner uint64, r int) api.Error {
 	}
 	rm := &mon.regions[r]
 	if !rm.mu.TryLock() {
-		return api.ErrConcurrentCall
+		return api.ErrRetry
 	}
 	defer rm.mu.Unlock()
+	// Take every lock the transaction needs before mutating anything,
+	// so a contention failure leaves no state half-changed.
+	var e *Enclave
+	if owner != api.DomainOS && owner != api.DomainSM {
+		mon.objMu.RLock()
+		e = mon.enclaves[owner]
+		mon.objMu.RUnlock()
+		if e != nil {
+			if !e.mu.TryLock() {
+				return api.ErrRetry
+			}
+			defer e.mu.Unlock()
+		}
+	}
 	if rm.state != RegionOwned {
 		return api.ErrInvalidState
 	}
@@ -149,30 +170,31 @@ func (mon *Monitor) blockRegionAs(owner uint64, r int) api.Error {
 		return api.ErrUnauthorized
 	}
 	rm.state = RegionBlocked
-
-	mon.mu.Lock()
-	if e := mon.enclaves[owner]; e != nil {
-		if e.mu.TryLock() {
-			e.Regions = e.Regions.Clear(r)
-			e.mu.Unlock()
-		}
+	if owner == api.DomainOS {
+		mon.setOSOwned(r, false)
 	}
-	mon.refreshViewsLocked()
-	mon.mu.Unlock()
+	if e != nil {
+		e.Regions = e.Regions.Clear(r)
+	}
+
+	mon.refreshViews()
 	return api.OK
 }
 
 // CleanRegion scrubs a blocked region and makes it available
 // (clean(resource) by the OS in Fig 2). The monitor zeroes the region,
 // flushes its cache footprint, and shoots down TLB entries on every
-// core before the region can reach a new protection domain.
+// core — the cross-core work travels as inter-processor mailbox
+// requests that running harts acknowledge at instruction boundaries —
+// before the region can reach a new protection domain. OS (no-hart)
+// context only.
 func (mon *Monitor) CleanRegion(r int) api.Error {
 	if r < 0 || r >= len(mon.regions) {
 		return api.ErrInvalidValue
 	}
 	rm := &mon.regions[r]
 	if !rm.mu.TryLock() {
-		return api.ErrConcurrentCall
+		return api.ErrRetry
 	}
 	defer rm.mu.Unlock()
 	if rm.state != RegionBlocked {
@@ -184,9 +206,7 @@ func (mon *Monitor) CleanRegion(r int) api.Error {
 	mon.plat.ShootdownRegion(mon.machine, r)
 	rm.state, rm.owner = RegionAvailable, api.DomainOS
 
-	mon.mu.Lock()
-	mon.refreshViewsLocked()
-	mon.mu.Unlock()
+	mon.refreshViews()
 	return api.OK
 }
 
@@ -198,17 +218,19 @@ func (mon *Monitor) acceptRegion(e *Enclave, r int) api.Error {
 	}
 	rm := &mon.regions[r]
 	if !rm.mu.TryLock() {
-		return api.ErrConcurrentCall
+		return api.ErrRetry
 	}
 	defer rm.mu.Unlock()
+	if !e.mu.TryLock() {
+		return api.ErrRetry
+	}
+	defer e.mu.Unlock()
 	if rm.state != RegionPending || rm.owner != e.ID {
 		return api.ErrInvalidState
 	}
 	rm.state = RegionOwned
 	e.Regions = e.Regions.Set(r)
 
-	mon.mu.Lock()
-	mon.refreshViewsLocked()
-	mon.mu.Unlock()
+	mon.refreshViews()
 	return api.OK
 }

@@ -76,16 +76,17 @@ func (t *Thread) clearContext() {
 	t.faultRegs = [isa.NumRegs]uint64{}
 }
 
-// lookupThread fetches and transaction-locks a thread.
+// lookupThread fetches and transaction-locks a thread; contention fails
+// the transaction with ErrRetry (§V-A).
 func (mon *Monitor) lookupThread(tid uint64) (*Thread, api.Error) {
-	mon.mu.Lock()
+	mon.objMu.RLock()
 	t := mon.threads[tid]
-	mon.mu.Unlock()
+	mon.objMu.RUnlock()
 	if t == nil {
 		return nil, api.ErrInvalidValue
 	}
 	if !t.mu.TryLock() {
-		return nil, api.ErrConcurrentCall
+		return nil, api.ErrRetry
 	}
 	return t, api.OK
 }
@@ -105,8 +106,8 @@ func (mon *Monitor) LoadThread(eid, tid, entryPC, entrySP uint64) api.Error {
 	if !e.InEvrange(entryPC) {
 		return api.ErrInvalidValue
 	}
-	mon.mu.Lock()
-	defer mon.mu.Unlock()
+	mon.objMu.Lock()
+	defer mon.objMu.Unlock()
 	if _, exists := mon.threads[tid]; exists {
 		return api.ErrInvalidValue
 	}
@@ -124,8 +125,8 @@ func (mon *Monitor) LoadThread(eid, tid, entryPC, entrySP uint64) api.Error {
 // (Fig 4: the available state). It is not measured; an enclave must
 // explicitly accept it.
 func (mon *Monitor) CreateThread(tid uint64) api.Error {
-	mon.mu.Lock()
-	defer mon.mu.Unlock()
+	mon.objMu.Lock()
+	defer mon.objMu.Unlock()
 	if _, exists := mon.threads[tid]; exists {
 		return api.ErrInvalidValue
 	}
@@ -173,11 +174,16 @@ func (mon *Monitor) UnassignThread(tid uint64) api.Error {
 	default:
 		return api.ErrInvalidState
 	}
-	mon.mu.Lock()
-	if e := mon.enclaves[t.Owner]; e != nil {
+	mon.objMu.RLock()
+	e := mon.enclaves[t.Owner]
+	mon.objMu.RUnlock()
+	if e != nil {
+		if !e.mu.TryLock() {
+			return api.ErrRetry
+		}
 		delete(e.Threads, tid)
+		e.mu.Unlock()
 	}
-	mon.mu.Unlock()
 	t.State, t.Owner = ThreadAvailable, 0
 	t.clearContext()
 	return api.OK
@@ -185,6 +191,9 @@ func (mon *Monitor) UnassignThread(tid uint64) api.Error {
 
 // acceptThread completes the OS's offer (Fig 4: accept_thread by the
 // enclave). The enclave provides the entry point for the new thread.
+// Called from the enclave's trap context with no locks held; the
+// enclave's own lock is taken because the thread table is enclave
+// state.
 func (mon *Monitor) acceptThread(e *Enclave, tid, entryPC, entrySP uint64) api.Error {
 	if !e.InEvrange(entryPC) {
 		return api.ErrInvalidValue
@@ -197,6 +206,10 @@ func (mon *Monitor) acceptThread(e *Enclave, tid, entryPC, entrySP uint64) api.E
 	if t.State != ThreadOffered || t.Owner != e.ID {
 		return api.ErrInvalidState
 	}
+	if !e.mu.TryLock() {
+		return api.ErrRetry
+	}
+	defer e.mu.Unlock()
 	t.State = ThreadAssigned
 	t.EntryPC, t.EntrySP = entryPC, entrySP
 	e.Threads[tid] = t
@@ -214,6 +227,10 @@ func (mon *Monitor) releaseThread(e *Enclave, tid uint64) api.Error {
 	if t.State != ThreadAssigned || t.Owner != e.ID {
 		return api.ErrInvalidState
 	}
+	if !e.mu.TryLock() {
+		return api.ErrRetry
+	}
+	defer e.mu.Unlock()
 	delete(e.Threads, tid)
 	t.State, t.Owner = ThreadAvailable, 0
 	t.clearContext()
@@ -231,10 +248,10 @@ func (mon *Monitor) DeleteThread(tid uint64) api.Error {
 	if t.State != ThreadAvailable {
 		return api.ErrInvalidState
 	}
-	mon.mu.Lock()
+	mon.objMu.Lock()
 	delete(mon.threads, tid)
 	mon.freeMetaPage(tid)
-	mon.mu.Unlock()
+	mon.objMu.Unlock()
 	return api.OK
 }
 
@@ -243,6 +260,12 @@ func (mon *Monitor) DeleteThread(tid uint64) api.Error {
 // enclave view, and points execution at the thread's entry; the OS then
 // drives the core with machine.Run. On entry, register a0 tells the
 // enclave whether an AEX context is pending (it may CallResumeAEX).
+//
+// The call must come from the core's driver while the core is idle (a
+// core already inside Run fails the core-slot transaction). Contention
+// on the enclave, the thread, the core slot, or the core's run mutex —
+// e.g. two harts racing to schedule threads of one enclave, or an IPI
+// poster briefly holding the idle core — fails with ErrRetry.
 func (mon *Monitor) EnterEnclave(coreID int, eid, tid uint64) api.Error {
 	if coreID < 0 || coreID >= len(mon.machine.Cores) {
 		return api.ErrInvalidValue
@@ -264,30 +287,42 @@ func (mon *Monitor) EnterEnclave(coreID int, eid, tid uint64) api.Error {
 		return api.ErrInvalidState
 	}
 
-	mon.mu.Lock()
 	slot := &mon.cores[coreID]
+	if !slot.mu.TryLock() {
+		return api.ErrRetry
+	}
 	if slot.owner != api.DomainOS {
-		mon.mu.Unlock()
+		slot.mu.Unlock()
 		return api.ErrInvalidState
 	}
-	slot.owner, slot.tid = eid, tid
-	osRegions := mon.osRegionsLocked()
-	mon.mu.Unlock()
-
 	core := mon.machine.Cores[coreID]
+	// Core microarchitectural state may only be touched while holding
+	// the core's run ownership; an idle core's runMu is free (or held
+	// momentarily by an IPI poster, in which case the transaction
+	// fails and the caller retries).
+	if !core.TryAcquire() {
+		slot.mu.Unlock()
+		return api.ErrRetry
+	}
+	slot.owner, slot.tid = eid, tid
+	slot.mu.Unlock()
+	osRegions := mon.osRegions()
+
 	// Re-allocating the core resource to the enclave domain: clean it.
 	core.ClearMicroarch()
 	core.ClearArchState()
-	if err := mon.plat.ApplyEnclaveView(core, EnclaveView{
+	err := mon.plat.ApplyEnclaveView(core, EnclaveView{
 		RootPPN:   e.RootPPN,
 		EvBase:    e.EvBase,
 		EvMask:    e.EvMask,
 		Regions:   e.Regions,
 		OSRegions: osRegions,
-	}); err != nil {
-		mon.mu.Lock()
-		mon.cores[coreID] = coreSlot{owner: api.DomainOS}
-		mon.mu.Unlock()
+	})
+	if err != nil {
+		core.Release()
+		slot.mu.Lock()
+		slot.owner, slot.tid = api.DomainOS, 0
+		slot.mu.Unlock()
 		return api.ErrNoResources
 	}
 	core.CPU.Mode = isa.PrivU
@@ -297,6 +332,7 @@ func (mon *Monitor) EnterEnclave(coreID int, eid, tid uint64) api.Error {
 	if t.AEXValid {
 		core.CPU.SetReg(isa.RegA0, 1)
 	}
+	core.Release()
 	t.State = ThreadRunning
 	t.CoreID = coreID
 	e.running++
@@ -304,18 +340,23 @@ func (mon *Monitor) EnterEnclave(coreID int, eid, tid uint64) api.Error {
 }
 
 // stopThread moves a running thread off its core: shared tail of
-// exit_enclave and AEX. Caller must hold no locks; the monitor is
-// inside the trap handler, serialized per core.
+// exit_enclave and AEX. It runs in the core's own trap context (the
+// hart holds its runMu), so touching the core is safe; the thread and
+// enclave locks are taken blocking — an AEX cannot fail — which is
+// safe because those locks are only ever held briefly and never while
+// waiting on another hart (DESIGN.md §5).
 func (mon *Monitor) stopThread(core, exitValue uint64, saveAEX bool) {
 	coreID := int(core)
-	mon.mu.Lock()
 	slot := &mon.cores[coreID]
+	slot.mu.Lock()
 	eid, tid := slot.owner, slot.tid
+	slot.owner, slot.tid = api.DomainOS, 0
+	slot.mu.Unlock()
+	mon.objMu.RLock()
 	e := mon.enclaves[eid]
 	t := mon.threads[tid]
-	slot.owner, slot.tid = api.DomainOS, 0
-	osRegions := mon.osRegionsLocked()
-	mon.mu.Unlock()
+	mon.objMu.RUnlock()
+	osRegions := mon.osRegions()
 
 	c := mon.machine.Cores[coreID]
 	if t != nil {

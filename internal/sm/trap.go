@@ -14,9 +14,7 @@ import (
 // enclave ECALLs are monitor API calls; faults may be delivered to an
 // enclave-registered handler.
 func (mon *Monitor) HandleTrap(c *machine.Core, tr *isa.Trap) machine.Disposition {
-	mon.mu.Lock()
-	slot := mon.cores[c.ID]
-	mon.mu.Unlock()
+	slot := mon.readSlot(c.ID)
 	enclaveRunning := slot.owner != api.DomainOS
 
 	switch {
@@ -59,13 +57,28 @@ func (mon *Monitor) HandleTrap(c *machine.Core, tr *isa.Trap) machine.Dispositio
 	}
 }
 
+// slotView is a consistent snapshot of one core slot.
+type slotView struct {
+	owner uint64
+	tid   uint64
+}
+
+// readSlot snapshots which domain core id currently executes.
+func (mon *Monitor) readSlot(id int) slotView {
+	s := &mon.cores[id]
+	s.mu.Lock()
+	v := slotView{owner: s.owner, tid: s.tid}
+	s.mu.Unlock()
+	return v
+}
+
 // enclaveFault delivers a fault to the enclave's registered handler if
 // possible (enclaves can implement demand paging, §V-A), otherwise
 // performs an AEX and delegates to the OS.
-func (mon *Monitor) enclaveFault(c *machine.Core, slot coreSlot, tr *isa.Trap) machine.Disposition {
-	mon.mu.Lock()
+func (mon *Monitor) enclaveFault(c *machine.Core, slot slotView, tr *isa.Trap) machine.Disposition {
+	mon.objMu.RLock()
 	t := mon.threads[slot.tid]
-	mon.mu.Unlock()
+	mon.objMu.RUnlock()
 	if t != nil {
 		t.mu.Lock()
 		if t.FaultPC != 0 && !t.inFault {
@@ -88,11 +101,11 @@ func (mon *Monitor) enclaveFault(c *machine.Core, slot coreSlot, tr *isa.Trap) m
 
 // enclaveCall dispatches an ECALL from a running enclave (§V-A: the SM
 // API is implemented via machine events, much like a system call).
-func (mon *Monitor) enclaveCall(c *machine.Core, slot coreSlot) machine.Disposition {
-	mon.mu.Lock()
+func (mon *Monitor) enclaveCall(c *machine.Core, slot slotView) machine.Disposition {
+	mon.objMu.RLock()
 	e := mon.enclaves[slot.owner]
 	t := mon.threads[slot.tid]
-	mon.mu.Unlock()
+	mon.objMu.RUnlock()
 	if e == nil || t == nil {
 		mon.stopThread(uint64(c.ID), 0, false)
 		return machine.DispReturnToOS

@@ -172,6 +172,49 @@ func (s *System) Resume(coreID int, maxSteps int) (machine.RunResult, error) {
 	return s.Machine.Run(coreID, maxSteps)
 }
 
+// Scheduling re-exports: the OS scheduler timeshares enclave threads
+// across cores (internal/os/sched.go) on top of the machine's
+// multi-hart scheduler.
+type (
+	// Task names one enclave thread to run.
+	Task = os.Task
+	// TaskResult reports one finished task.
+	TaskResult = os.TaskResult
+	// SchedConfig configures the scheduler (mode, preemption quantum).
+	SchedConfig = os.SchedConfig
+)
+
+// Scheduler execution modes.
+const (
+	// Deterministic interleaves cores round-robin on one goroutine;
+	// results and all modeled observables are bit-reproducible.
+	Deterministic = machine.SchedDeterministic
+	// Parallel runs one goroutine per core for genuine multi-hart
+	// concurrency; aggregate results are correct, interleaving is not
+	// reproducible.
+	Parallel = machine.SchedParallel
+)
+
+// NewScheduler returns an OS scheduler over this system's cores.
+func (s *System) NewScheduler(cfg SchedConfig) *os.Scheduler {
+	return s.OS.NewScheduler(cfg)
+}
+
+// RunAll timeshares the tasks — N enclave threads — across the
+// machine's cores until all have finished, with timer preemption per
+// cfg, and returns per-task results in submission order.
+func (s *System) RunAll(cfg SchedConfig, tasks []Task) []TaskResult {
+	return s.OS.NewScheduler(cfg).RunAll(tasks)
+}
+
+// Serve consumes tasks from a channel until it is closed and every
+// accepted task has finished: the system's long-running load-serving
+// mode. Results return ordered by admission (near-simultaneous
+// parallel-mode admissions may order arbitrarily between themselves).
+func (s *System) Serve(cfg SchedConfig, tasks <-chan Task) []TaskResult {
+	return s.OS.NewScheduler(cfg).Serve(tasks)
+}
+
 // SetupShared allocates an OS page, maps it at va in the OS page
 // tables, and returns its physical address. This is the untrusted
 // buffer enclaves and the OS exchange data through.
