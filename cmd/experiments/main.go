@@ -31,6 +31,10 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
+		// Probe the versioned call ABI before driving the monitor.
+		if v, err := sys.ABIVersion(); err != nil || v>>16 != api.VersionMajor {
+			fatal(fmt.Errorf("monitor ABI version %#x unusable: %v", v, err))
+		}
 		l := enclaves.DefaultLayout()
 		sharedPA, _ := sys.SetupShared(l.SharedVA)
 		regions := sys.OS.FreeRegions()

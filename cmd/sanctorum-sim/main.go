@@ -13,6 +13,7 @@ import (
 	"sanctorum"
 	"sanctorum/internal/enclaves"
 	ios "sanctorum/internal/os"
+	"sanctorum/internal/sm/api"
 )
 
 func main() {
@@ -36,6 +37,12 @@ func main() {
 	sys, err := sanctorum.NewSystem(sanctorum.Options{Kind: kind})
 	if err != nil {
 		log.Fatal(err)
+	}
+	// Probe the monitor call ABI before issuing any other call — the
+	// client contract for a versioned dispatch surface.
+	if v, err := sys.ABIVersion(); err != nil || v>>16 != api.VersionMajor {
+		log.Fatalf("monitor ABI version %#x unusable (want major %d): %v",
+			v, api.VersionMajor, err)
 	}
 	fmt.Printf("machine: %d cores, %d regions × %d KiB, %v isolation\n",
 		len(sys.Machine.Cores), sys.Machine.DRAM.RegionCount,

@@ -96,9 +96,9 @@ func main() {
 	// ⑧⑨ Verifier receives and verifies.
 	share, _ := sys.SharedRead(sharedE1PA+enclaves.ShShare, 32)
 	sig, _ := sys.SharedRead(sharedE1PA+enclaves.ShSig, 64)
-	chain, st := sys.Monitor.GetField(api.FieldCertChain)
-	if st != api.OK {
-		log.Fatalf("get_field: %v", st)
+	chain, err := sys.GetField(api.FieldCertChain)
+	if err != nil {
+		log.Fatalf("get_field: %v", err)
 	}
 	ev := &attest.Evidence{
 		EnclaveMeasurement: expectedE1,

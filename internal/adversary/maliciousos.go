@@ -16,10 +16,19 @@ import (
 // description of every attack that *succeeded*. An empty slice means
 // the monitor held the line. The battery builds one sacrificial enclave
 // and leaves the system usable.
+//
+// The adversary speaks the unified call ABI directly — raw api.Request
+// values into Monitor.Dispatch, skipping the well-behaved smcall client
+// — because a malicious kernel is exactly the caller that will not use
+// the polite wrappers. Every refusal therefore exercises the same
+// dispatch-table authorization the benign path relies on.
 func MaliciousOSBattery(sys *sanctorum.System) ([]string, error) {
 	var wins []string
 	note := func(format string, args ...any) {
 		wins = append(wins, fmt.Sprintf(format, args...))
+	}
+	call := func(c api.Call, args ...uint64) api.Error {
+		return sys.Monitor.Dispatch(api.OSRequest(c, args...)).Status
 	}
 
 	l := enclaves.DefaultLayout()
@@ -42,7 +51,6 @@ func MaliciousOSBattery(sys *sanctorum.System) ([]string, error) {
 		return nil, err
 	}
 	layout := sys.Machine.DRAM
-	mon := sys.Monitor
 
 	// 1. Read/write enclave memory from S-mode.
 	core := sys.Machine.Cores[1]
@@ -64,26 +72,26 @@ func MaliciousOSBattery(sys *sanctorum.System) ([]string, error) {
 		note("DMA corrupted enclave memory")
 	}
 	// 4. Steal the enclave's region.
-	if st := mon.GrantRegion(encRegion, api.DomainOS); st == api.OK {
+	if st := call(api.CallGrantRegion, uint64(encRegion), api.DomainOS); st == api.OK {
 		note("re-granted an enclave-owned region to the OS")
 	}
-	if st := mon.BlockRegion(encRegion); st == api.OK {
+	if st := call(api.CallBlockRegion, uint64(encRegion)); st == api.OK {
 		note("blocked an enclave-owned region as the OS")
 	}
 	// 5. Clean a region that was never blocked (would zero live data
 	// under the enclave).
-	if st := mon.CleanRegion(encRegion); st == api.OK {
+	if st := call(api.CallCleanRegion, uint64(encRegion)); st == api.OK {
 		note("cleaned an owned region in place")
 	}
 	// 6. Mutate a sealed enclave.
-	if st := mon.LoadPage(built.EID, l.DataVA+0x1000, sharedPA, pt.R); st == api.OK {
+	if st := call(api.CallLoadPage, built.EID, l.DataVA+0x1000, sharedPA, pt.R); st == api.OK {
 		note("loaded a page into a sealed enclave")
 	}
-	if st := mon.LoadThread(built.EID, built.EID+0x1000, l.CodeVA, 0); st == api.OK {
+	if st := call(api.CallLoadThread, built.EID, built.EID+0x1000, l.CodeVA, 0); st == api.OK {
 		note("loaded a thread into a sealed enclave")
 	}
 	// 7. Forge enclave metadata in OS memory.
-	if st := mon.CreateEnclave(sharedPA, l.EvBase, l.EvMask); st == api.OK {
+	if st := call(api.CallCreateEnclave, sharedPA, l.EvBase, l.EvMask); st == api.OK {
 		note("created enclave metadata in OS-owned memory")
 	}
 	// 8. Enter with a thread the enclave never accepted.
@@ -91,17 +99,17 @@ func MaliciousOSBattery(sys *sanctorum.System) ([]string, error) {
 	if err != nil {
 		return nil, err
 	}
-	if st := mon.CreateThread(rogueTID); st != api.OK {
+	if st := call(api.CallCreateThread, rogueTID); st != api.OK {
 		return nil, fmt.Errorf("adversary: creating rogue thread: %v", st)
 	}
-	if st := mon.EnterEnclave(0, built.EID, rogueTID); st == api.OK {
+	if st := call(api.CallEnterEnclave, 0, built.EID, rogueTID); st == api.OK {
 		note("entered enclave with an unassigned thread")
 	}
 	// 9. Delete the enclave while a thread runs.
 	if st := sys.OS.EnterEnclave(0, built.EID, built.TIDs[0]); st != api.OK {
 		return nil, fmt.Errorf("adversary: benign enter failed: %v", st)
 	}
-	if st := mon.DeleteEnclave(built.EID); st == api.OK {
+	if st := call(api.CallDeleteEnclave, built.EID); st == api.OK {
 		note("deleted an enclave with a scheduled thread")
 	}
 	// Let it finish cleanly.
@@ -115,28 +123,49 @@ func MaliciousOSBattery(sys *sanctorum.System) ([]string, error) {
 	if err != nil {
 		return nil, err
 	}
-	if st := mon.CreateEnclave(eid2, l.EvBase, l.EvMask); st != api.OK {
+	if st := call(api.CallCreateEnclave, eid2, l.EvBase, l.EvMask); st != api.OK {
 		return nil, fmt.Errorf("adversary: second create failed: %v", st)
 	}
-	if st := mon.GrantRegion(regions[1], eid2); st != api.OK {
+	if st := call(api.CallGrantRegion, uint64(regions[1]), eid2); st != api.OK {
 		return nil, fmt.Errorf("adversary: second grant failed: %v", st)
 	}
-	mon.AllocatePageTable(eid2, 0, 2)
-	mon.AllocatePageTable(eid2, l.EvBase, 1)
-	mon.AllocatePageTable(eid2, l.EvBase, 0)
-	if st := mon.LoadPage(eid2, l.CodeVA, layout.Base(encRegion), pt.R); st == api.OK {
+	call(api.CallAllocPageTable, eid2, 0, 2)
+	call(api.CallAllocPageTable, eid2, l.EvBase, 1)
+	call(api.CallAllocPageTable, eid2, l.EvBase, 0)
+	if st := call(api.CallLoadPage, eid2, l.CodeVA, layout.Base(encRegion), pt.R); st == api.OK {
 		note("loaded another enclave's memory as page contents")
 	}
 	// 11. Map another enclave's memory as a shared window.
-	if st := mon.MapShared(eid2, 0x51000000, layout.Base(encRegion)); st == api.OK {
+	if st := call(api.CallMapShared, eid2, 0x51000000, layout.Base(encRegion)); st == api.OK {
 		note("mapped another enclave's memory as a shared window")
 	}
-	// 12. Proper teardown still works (sanity that the battery did not
+	// 12. Speak for an enclave from the host: forge a Request whose
+	// Caller claims an enclave identity (enclave-domain and dual-domain
+	// calls alike). Only a core trapping out of that enclave may speak
+	// for it, so the dispatch layer must refuse before any handler
+	// runs.
+	for _, forged := range []api.Request{
+		{Caller: eid2, Call: api.CallMyEnclaveID},
+		{Caller: eid2, Call: api.CallGetRandom},
+		{Caller: eid2, Call: api.CallBlockRegion, Args: [6]uint64{uint64(regions[1])}},
+	} {
+		if resp := sys.Monitor.Dispatch(forged); resp.Status != api.ErrUnauthorized {
+			note("forged enclave-caller request %#x answered with %v", uint64(forged.Call), resp.Status)
+		}
+	}
+	// 13. Invoke enclave-only calls as the OS (wrong domain).
+	if st := call(api.CallExitEnclave, 0); st != api.ErrUnauthorized {
+		note("OS invoked exit_enclave: %v", st)
+	}
+	if st := call(api.CallAttestSign, 0, 32, 0); st != api.ErrUnauthorized {
+		note("OS invoked attest_sign: %v", st)
+	}
+	// 14. Proper teardown still works (sanity that the battery did not
 	// wedge the monitor).
-	if st := mon.DeleteEnclave(built.EID); st != api.OK {
+	if st := call(api.CallDeleteEnclave, built.EID); st != api.OK {
 		return nil, fmt.Errorf("adversary: benign delete failed: %v", st)
 	}
-	if st := mon.CleanRegion(encRegion); st != api.OK {
+	if st := call(api.CallCleanRegion, uint64(encRegion)); st != api.OK {
 		return nil, fmt.Errorf("adversary: benign clean failed: %v", st)
 	}
 	// A cleaned region is not OS-accessible until re-granted (Fig 2's
@@ -145,7 +174,7 @@ func MaliciousOSBattery(sys *sanctorum.System) ([]string, error) {
 		sys.Machine.Kind != 0 /* baseline cannot enforce this */ {
 		note("available region readable before re-grant")
 	}
-	if st := mon.GrantRegion(encRegion, api.DomainOS); st != api.OK {
+	if st := call(api.CallGrantRegion, uint64(encRegion), api.DomainOS); st != api.OK {
 		return nil, fmt.Errorf("adversary: re-grant failed: %v", st)
 	}
 	if v, err := core.LoadAs(isa.PrivS, layout.Base(encRegion), 8); err != nil {

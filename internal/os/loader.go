@@ -78,22 +78,49 @@ type BuiltEnclave struct {
 	Measurement [32]byte
 }
 
+// batch is a labelled ABI request sequence: the labels keep loader
+// errors as descriptive as the direct calls they replaced.
+type batch struct {
+	labels []string
+	reqs   []api.Request
+}
+
+func (b *batch) add(label string, req api.Request) {
+	b.labels = append(b.labels, label)
+	b.reqs = append(b.reqs, req)
+}
+
+// run submits the sequence through the client's batched path and
+// converts the first failed element into an error.
+func (b *batch) run(o *OS) error {
+	if len(b.reqs) == 0 {
+		return nil
+	}
+	resps, err := o.SM.Batch(b.reqs)
+	if err != nil {
+		return fmt.Errorf("os: batched monitor call: %w", err)
+	}
+	for i, resp := range resps {
+		if resp.Status != api.OK {
+			return fmt.Errorf("os: %s: %w", b.labels[i], resp.Status)
+		}
+	}
+	return nil
+}
+
 // BuildEnclave drives the monitor's loading API (Fig 3) end to end:
 // create, grant, allocate tables, load pages, map shared windows, load
 // threads, init. The call sequence is canonical so that
-// ExpectedMeasurement predicts the result exactly.
+// ExpectedMeasurement predicts the result exactly. Calls that need no
+// inter-call staging travel as batched submissions, which lets the
+// monitor hold the enclave's transaction lock across the sequence
+// instead of re-acquiring it per call; page loads are staged through
+// the kernel's staging page one at a time, exactly as an S-mode kernel
+// would reuse a bounce buffer.
 func (o *OS) BuildEnclave(spec *EnclaveSpec) (*BuiltEnclave, error) {
 	eid, err := o.AllocMetaPage()
 	if err != nil {
 		return nil, err
-	}
-	if st := o.Mon.CreateEnclave(eid, spec.EvBase, spec.EvMask); st != api.OK {
-		return nil, fmt.Errorf("os: create_enclave: %v", st)
-	}
-	for _, r := range spec.Regions {
-		if st := o.Mon.GrantRegion(r, eid); st != api.OK {
-			return nil, fmt.Errorf("os: grant region %d: %v", r, st)
-		}
 	}
 
 	var vas []uint64
@@ -103,13 +130,25 @@ func (o *OS) BuildEnclave(spec *EnclaveSpec) (*BuiltEnclave, error) {
 	for _, s := range spec.Shared {
 		vas = append(vas, s.VA)
 	}
+
+	// Phase 1 — create, grants, page tables: pure register calls, one
+	// batch.
+	setup := &batch{}
+	setup.add("create_enclave",
+		api.OSRequest(api.CallCreateEnclave, eid, spec.EvBase, spec.EvMask))
+	for _, r := range spec.Regions {
+		setup.add(fmt.Sprintf("grant region %d", r),
+			api.OSRequest(api.CallGrantRegion, uint64(r), eid))
+	}
 	for _, ta := range TablePlan(vas) {
-		if st := o.Mon.AllocatePageTable(eid, ta.VA, ta.Level); st != api.OK {
-			return nil, fmt.Errorf("os: allocate_page_table(va=%#x, level=%d): %v", ta.VA, ta.Level, st)
-		}
+		setup.add(fmt.Sprintf("allocate_page_table(va=%#x, level=%d)", ta.VA, ta.Level),
+			api.OSRequest(api.CallAllocPageTable, eid, ta.VA, uint64(ta.Level)))
+	}
+	if err := setup.run(o); err != nil {
+		return nil, err
 	}
 
-	// Stage each page in kernel memory and load it.
+	// Phase 2 — stage each page in kernel memory and load it.
 	stagePA, err := o.StagePage()
 	if err != nil {
 		return nil, err
@@ -123,36 +162,50 @@ func (o *OS) BuildEnclave(spec *EnclaveSpec) (*BuiltEnclave, error) {
 		if err := o.WriteOwned(stagePA, buf[:]); err != nil {
 			return nil, err
 		}
-		if st := o.Mon.LoadPage(eid, p.VA, stagePA, p.Perms); st != api.OK {
-			return nil, fmt.Errorf("os: load_page(va=%#x): %v", p.VA, st)
-		}
-	}
-	for _, s := range spec.Shared {
-		if st := o.Mon.MapShared(eid, s.VA, s.PA); st != api.OK {
-			return nil, fmt.Errorf("os: map_shared(va=%#x): %v", s.VA, st)
+		if err := o.SM.LoadPage(eid, p.VA, stagePA, p.Perms); err != nil {
+			return nil, fmt.Errorf("os: load_page(va=%#x): %w", p.VA, err)
 		}
 	}
 
+	// Phase 3 — shared windows and threads. Batched, but sealed
+	// separately: a batch reports the first failure only after running
+	// every element, and init_enclave must never execute past a failed
+	// load — sealing a partially built enclave would finalize a bogus
+	// measurement instead of leaving the enclave Loading (and
+	// deletable).
 	built := &BuiltEnclave{EID: eid}
+	contents := &batch{}
+	for _, s := range spec.Shared {
+		contents.add(fmt.Sprintf("map_shared(va=%#x)", s.VA),
+			api.OSRequest(api.CallMapShared, eid, s.VA, s.PA))
+	}
 	for _, t := range spec.Threads {
 		tid, err := o.AllocMetaPage()
 		if err != nil {
 			return nil, err
 		}
-		if st := o.Mon.LoadThread(eid, tid, t.EntryVA, t.StackVA); st != api.OK {
-			return nil, fmt.Errorf("os: load_thread(entry=%#x): %v", t.EntryVA, st)
-		}
+		contents.add(fmt.Sprintf("load_thread(entry=%#x)", t.EntryVA),
+			api.OSRequest(api.CallLoadThread, eid, tid, t.EntryVA, t.StackVA))
 		built.TIDs = append(built.TIDs, tid)
 	}
+	if err := contents.run(o); err != nil {
+		return nil, err
+	}
 
-	if st := o.Mon.InitEnclave(eid); st != api.OK {
-		return nil, fmt.Errorf("os: init_enclave: %v", st)
+	// Phase 4 — seal and read the measurement back through OS memory:
+	// the monitor writes it to the staging page in the same batch.
+	seal := &batch{}
+	seal.add("init_enclave", api.OSRequest(api.CallInitEnclave, eid))
+	seal.add("enclave_status", api.OSRequest(api.CallEnclaveStatus, eid, stagePA))
+	if err := seal.run(o); err != nil {
+		return nil, err
 	}
-	_, meas, st := o.Mon.EnclaveInfo(eid)
-	if st != api.OK {
-		return nil, fmt.Errorf("os: enclave_info: %v", st)
+
+	meas, err := o.ReadOwned(stagePA, len(built.Measurement))
+	if err != nil {
+		return nil, fmt.Errorf("os: reading measurement: %w", err)
 	}
-	built.Measurement = meas
+	copy(built.Measurement[:], meas)
 	return built, nil
 }
 

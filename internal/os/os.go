@@ -1,15 +1,16 @@
 // Package os models the untrusted operating system of the paper's
 // threat model: the resource manager that owns scheduling and
-// allocation decisions but is outside the TCB. It manipulates enclaves
-// exclusively through the security monitor's API and its own memory
-// through S-mode-checked accesses, so everything it does is subject to
-// the monitor's invariants — including when the adversarial tests make
-// it misbehave.
+// allocation decisions but is outside the TCB. Every monitor operation
+// it performs travels through the unified call ABI — api.Request values
+// submitted via the smcall client, which also centralizes the §V-A
+// retry discipline — and its own memory is reached through
+// S-mode-checked accesses, so everything it does is subject to the
+// monitor's invariants, including when the adversarial tests make it
+// misbehave.
 package os
 
 import (
 	"fmt"
-	"runtime"
 	"sort"
 
 	"sanctorum/internal/hw/machine"
@@ -18,12 +19,15 @@ import (
 	"sanctorum/internal/isa"
 	"sanctorum/internal/sm"
 	"sanctorum/internal/sm/api"
+	"sanctorum/internal/smcall"
 )
 
 // OS is a minimal untrusted kernel for the simulated machine.
 type OS struct {
-	M   *machine.Machine
-	Mon *sm.Monitor
+	M *machine.Machine
+	// SM is the monitor as the OS sees it: the typed client over the
+	// unified call ABI. All monitor calls go through it.
+	SM *smcall.Client
 
 	// kernelRegion is the OS region used for its own page tables,
 	// staging buffers and user program images.
@@ -37,7 +41,8 @@ type OS struct {
 	endMetaPage  uint64
 	metaFree     []uint64 // released metadata pages available for reuse
 
-	// stagePA is the kernel page reused for staging load_page sources.
+	// stagePA is the kernel page reused for staging load_page sources
+	// and ABI calls that return bytes through OS memory.
 	stagePA uint64
 
 	// Root of the OS page tables (maps user programs and shared pages).
@@ -47,12 +52,12 @@ type OS struct {
 // New sets up the OS: it claims kernelRegion for its own allocations
 // and grants metaRegion to the monitor for enclave/thread metadata.
 func New(m *machine.Machine, mon *sm.Monitor, kernelRegion, metaRegion int) (*OS, error) {
-	o := &OS{M: m, Mon: mon, kernelRegion: kernelRegion, metaRegion: metaRegion}
-	if st, owner, _ := mon.RegionInfo(kernelRegion); st != sm.RegionOwned || owner != api.DomainOS {
+	o := &OS{M: m, SM: smcall.New(mon), kernelRegion: kernelRegion, metaRegion: metaRegion}
+	if st, owner, err := o.SM.RegionInfo(kernelRegion); err != nil || st != api.RegionOwned || owner != api.DomainOS {
 		return nil, fmt.Errorf("os: kernel region %d not OS-owned", kernelRegion)
 	}
-	if st := mon.GrantRegion(metaRegion, api.DomainSM); st != api.OK {
-		return nil, fmt.Errorf("os: granting metadata region: %v", st)
+	if err := o.SM.GrantRegion(metaRegion, api.DomainSM); err != nil {
+		return nil, fmt.Errorf("os: granting metadata region: %w", err)
 	}
 	layout := m.DRAM
 	o.nextPage = layout.Base(kernelRegion) >> mem.PageBits
@@ -126,17 +131,12 @@ func (o *OS) StagePage() (uint64, error) {
 	return o.stagePA, nil
 }
 
-// regionInfo is Monitor.RegionInfo with the §V-A retry loop every
-// monitor caller owes: a contended region transaction fails with
-// ErrRetry and the untrusted OS simply tries again.
-func (o *OS) regionInfo(r int) (sm.RegionState, uint64, api.Error) {
-	for {
-		st, owner, errc := o.Mon.RegionInfo(r)
-		if errc != api.ErrRetry {
-			return st, owner, errc
-		}
-		runtime.Gosched()
-	}
+// ownsRegion checks one region is Owned by the OS, through the client
+// (which absorbs ErrRetry centrally — the hand-rolled per-caller loops
+// of the pre-ABI surface are gone).
+func (o *OS) ownsRegion(r int) bool {
+	st, owner, err := o.SM.RegionInfo(r)
+	return err == nil && st == api.RegionOwned && owner == api.DomainOS
 }
 
 // WriteOwned writes bytes into OS-owned physical memory after checking
@@ -158,9 +158,8 @@ func (o *OS) WriteOwned(pa uint64, data []byte) error {
 		return fmt.Errorf("os: write outside memory")
 	}
 	for r := first; r <= last; r++ {
-		st, owner, errc := o.regionInfo(r)
-		if errc != api.OK || st != sm.RegionOwned || owner != api.DomainOS {
-			return fmt.Errorf("os: region %d is not ours (state=%v owner=%#x)", r, st, owner)
+		if !o.ownsRegion(r) {
+			return fmt.Errorf("os: region %d is not ours", r)
 		}
 	}
 	return o.M.Mem.WriteBytes(pa, data)
@@ -184,8 +183,7 @@ func (o *OS) ReadOwned(pa uint64, n int) ([]byte, error) {
 		return nil, fmt.Errorf("os: read outside memory")
 	}
 	for r := first; r <= last; r++ {
-		st, owner, errc := o.regionInfo(r)
-		if errc != api.OK || st != sm.RegionOwned || owner != api.DomainOS {
+		if !o.ownsRegion(r) {
 			return nil, fmt.Errorf("os: region %d is not ours", r)
 		}
 	}
@@ -256,11 +254,52 @@ func (o *OS) RunUser(coreID int, pc, sp uint64, maxSteps int) (machine.RunResult
 // EnterEnclave schedules an enclave thread via the monitor with the
 // OS's address-space root live on the core — under Sanctum, enclave
 // accesses outside evrange translate through the OS page tables, which
-// on real hardware are simply whatever satp the OS had installed.
+// on real hardware are simply whatever satp the OS had installed. The
+// call is submitted exactly once: contention comes back as
+// api.ErrRetry, so the scheduler can requeue the task rather than spin
+// on the core slot.
 func (o *OS) EnterEnclave(coreID int, eid, tid uint64) api.Error {
 	o.M.Cores[coreID].Satp = o.Root()
-	return o.Mon.EnterEnclave(coreID, eid, tid)
+	return o.SM.TryEnterEnclave(coreID, eid, tid)
 }
+
+// SendMail stages a message in kernel memory and delivers it to the
+// recipient enclave's armed mailbox through the ABI, carrying the
+// reserved OS identity.
+func (o *OS) SendMail(recipientEID uint64, msg []byte) error {
+	if len(msg) > api.MailboxSize {
+		return fmt.Errorf("os: message larger than a mailbox: %w", api.ErrInvalidValue)
+	}
+	stagePA, err := o.StagePage()
+	if err != nil {
+		return err
+	}
+	if err := o.WriteOwned(stagePA, msg); err != nil {
+		return err
+	}
+	if err := o.SM.SendMail(recipientEID, stagePA, len(msg)); err != nil {
+		return fmt.Errorf("os: send_mail: %w", err)
+	}
+	return nil
+}
+
+// GetField reads a public monitor metadata field (§VI-C) through the
+// ABI: the monitor writes the bytes into the OS staging page and the
+// kernel copies them out.
+func (o *OS) GetField(f api.Field) ([]byte, error) {
+	stagePA, err := o.StagePage()
+	if err != nil {
+		return nil, err
+	}
+	n, err := o.SM.GetField(f, stagePA, mem.PageSize)
+	if err != nil {
+		return nil, fmt.Errorf("os: get_field(%d): %w", uint64(f), err)
+	}
+	return o.ReadOwned(stagePA, n)
+}
+
+// ABIVersion probes the monitor's call ABI version.
+func (o *OS) ABIVersion() (uint64, error) { return o.SM.ABIVersion() }
 
 // FreeRegions returns the OS-owned regions other than the kernel
 // region, sorted ascending — candidates for granting to enclaves.
@@ -270,7 +309,7 @@ func (o *OS) FreeRegions() []int {
 		if r == o.kernelRegion {
 			continue
 		}
-		if st, owner, errc := o.regionInfo(r); errc == api.OK && st == sm.RegionOwned && owner == api.DomainOS {
+		if o.ownsRegion(r) {
 			out = append(out, r)
 		}
 	}

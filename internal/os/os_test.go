@@ -2,6 +2,7 @@ package os
 
 import (
 	"bytes"
+	"errors"
 	"testing"
 
 	"sanctorum/internal/hw/machine"
@@ -15,7 +16,8 @@ import (
 
 // newSystem boots machine + monitor + OS with region 0 as the kernel
 // region and the top regions for SM image and metadata, mirroring the
-// facade's layout.
+// facade's layout. The OS talks to the monitor exclusively through its
+// smcall client (o.SM), so these tests exercise the unified ABI.
 func newSystem(t *testing.T) (*machine.Machine, *sm.Monitor, *OS) {
 	t.Helper()
 	cfg := machine.DefaultConfig(machine.IsolationNone)
@@ -48,7 +50,7 @@ func newSystem(t *testing.T) (*machine.Machine, *sm.Monitor, *OS) {
 }
 
 func TestOwnedAccessRejectsForeignRegions(t *testing.T) {
-	m, mon, o := newSystem(t)
+	m, _, o := newSystem(t)
 	_ = m
 
 	// The SM region is not ours.
@@ -65,8 +67,8 @@ func TestOwnedAccessRejectsForeignRegions(t *testing.T) {
 	if err := o.WriteOwned(base, []byte{1, 2, 3}); err != nil {
 		t.Fatalf("write to own region: %v", err)
 	}
-	if st := mon.BlockRegion(r); st != api.OK {
-		t.Fatalf("block: %v", st)
+	if err := o.SM.BlockRegion(r); err != nil {
+		t.Fatalf("block: %v", err)
 	}
 	if err := o.WriteOwned(base, []byte{1}); err == nil {
 		t.Fatal("write into a blocked region succeeded")
@@ -94,7 +96,7 @@ func TestOwnedAccessOverflow(t *testing.T) {
 }
 
 func TestMetaPageReuse(t *testing.T) {
-	_, mon, o := newSystem(t)
+	_, _, o := newSystem(t)
 	// Exhaust two pages, release one, and require the allocator to
 	// hand the released page back before advancing the bump pointer.
 	p1, err := o.AllocMetaPage()
@@ -110,11 +112,11 @@ func TestMetaPageReuse(t *testing.T) {
 	}
 	// Round-trip through the monitor: create and delete an enclave at
 	// p1, then reuse the page.
-	if st := mon.CreateEnclave(p1, 0x4000000000, ^uint64(1<<21-1)); st != api.OK {
-		t.Fatalf("create: %v", st)
+	if err := o.SM.CreateEnclave(p1, 0x4000000000, ^uint64(1<<21-1)); err != nil {
+		t.Fatalf("create: %v", err)
 	}
-	if st := mon.DeleteEnclave(p1); st != api.OK {
-		t.Fatalf("delete: %v", st)
+	if err := o.SM.DeleteEnclave(p1); err != nil {
+		t.Fatalf("delete: %v", err)
 	}
 	o.ReleaseMetaPage(p1)
 	p3, err := o.AllocMetaPage()
@@ -124,8 +126,41 @@ func TestMetaPageReuse(t *testing.T) {
 	if p3 != p1 {
 		t.Fatalf("allocator ignored the released page: got %#x want %#x", p3, p1)
 	}
-	if st := mon.CreateEnclave(p3, 0x4000000000, ^uint64(1<<21-1)); st != api.OK {
-		t.Fatalf("re-create on reused metadata page: %v", st)
+	if err := o.SM.CreateEnclave(p3, 0x4000000000, ^uint64(1<<21-1)); err != nil {
+		t.Fatalf("re-create on reused metadata page: %v", err)
+	}
+}
+
+// TestABIVersionAndFieldsThroughClient probes the version call and a
+// byte-returning field through the register-convention ABI (the bytes
+// travel via OS-owned staging memory).
+func TestABIVersionAndFieldsThroughClient(t *testing.T) {
+	_, mon, o := newSystem(t)
+	v, err := o.ABIVersion()
+	if err != nil {
+		t.Fatalf("abi version: %v", err)
+	}
+	if v != api.Version || v>>16 != api.VersionMajor {
+		t.Fatalf("version %#x, want %#x", v, uint64(api.Version))
+	}
+	meas, err := o.GetField(api.FieldSMMeasurement)
+	if err != nil {
+		t.Fatalf("get_field: %v", err)
+	}
+	if want := mon.Identity().Measurement; !bytes.Equal(meas, want[:]) {
+		t.Fatalf("measurement through ABI = %x, want %x", meas, want)
+	}
+	// A too-small output bound must be refused, not truncated.
+	stage, err := o.StagePage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := o.SM.GetField(api.FieldSMMeasurement, stage, 16); !errors.Is(err, api.ErrInvalidValue) {
+		t.Fatalf("short get_field bound: %v", err)
+	}
+	// Enclave-only fields stay refused for the OS domain.
+	if _, err := o.GetField(api.FieldEnclaveMeasurement); !errors.Is(err, api.ErrUnauthorized) {
+		t.Fatalf("enclave field for OS: %v", err)
 	}
 }
 

@@ -5,7 +5,6 @@ import (
 	"runtime"
 	"sort"
 	"sync"
-	"sync/atomic"
 
 	"sanctorum/internal/hw/machine"
 	"sanctorum/internal/isa"
@@ -71,10 +70,10 @@ type Scheduler struct {
 	queue     []*schedTask // runnable, not on any core
 	current   map[int]*schedTask
 	results   []TaskResult
-	remaining int            // submitted but unfinished tasks
-	feed      <-chan Task    // Serve's live submission channel
-	accepting bool           // feed may still yield tasks
-	nextIdx   int            // submission order, for stable results
+	remaining int         // submitted but unfinished tasks
+	feed      <-chan Task // Serve's live submission channel
+	accepting bool        // feed may still yield tasks
+	nextIdx   int         // submission order, for stable results
 
 	// wake parks idle parallel workers: one buffered token, sent by
 	// whatever makes work available (enqueue, requeue, finish) and by
@@ -82,8 +81,6 @@ type Scheduler struct {
 	// wakeups chain instead of being lost. Deterministic mode never
 	// parks (a single goroutine drives every core).
 	wake chan struct{}
-
-	retries atomic.Uint64 // monitor transactions failed with ErrRetry
 }
 
 type schedTask struct {
@@ -126,11 +123,13 @@ func (s *Scheduler) signal() {
 	}
 }
 
-// Retries reports how many monitor transactions the scheduler had to
-// repeat because they failed with api.ErrRetry — the §V-A contention
-// signal. Deterministic mode never contends; parallel mode counts real
-// cross-hart collisions.
-func (s *Scheduler) Retries() uint64 { return s.retries.Load() }
+// Retries reports how many monitor transactions through this OS's
+// smcall client failed with api.ErrRetry — the §V-A contention signal.
+// The counter lives in the client (the one place the retry discipline
+// is implemented), so it covers the scheduler's enter_enclave attempts
+// and every other contended call the OS issued. Deterministic mode
+// never contends; parallel mode counts real cross-hart collisions.
+func (s *Scheduler) Retries() uint64 { return s.o.SM.Retries() }
 
 // RunAll timeshares the given tasks across the configured cores until
 // every task has finished, and returns results in submission order.
@@ -271,8 +270,10 @@ func (s *Scheduler) takeFor(coreID int) *schedTask {
 	st := s.o.EnterEnclave(coreID, t.res.Task.EID, t.res.Task.TID)
 	if st == api.ErrRetry {
 		// Another hart's transaction holds the enclave, the thread or
-		// the core; put the task back and try again next slice (§V-A).
-		s.retries.Add(1)
+		// the core; the client counted the collision — put the task
+		// back and try again next slice (§V-A). Requeueing rather than
+		// spinning in the client keeps the core available for other
+		// runnable tasks.
 		s.requeue(t)
 		runtime.Gosched()
 		return nil

@@ -5,8 +5,12 @@ import (
 
 	"sanctorum/internal/hw/machine"
 	"sanctorum/internal/hw/mem"
+	"sanctorum/internal/hw/pt"
 	"sanctorum/internal/hw/tlb"
+	"sanctorum/internal/os"
 	"sanctorum/internal/sm"
+	"sanctorum/internal/sm/api"
+	"sanctorum/internal/sm/boot"
 )
 
 func newMachine(t *testing.T) *machine.Machine {
@@ -82,5 +86,63 @@ func TestShootdownRegionFlushesTLBs(t *testing.T) {
 		if _, hit := c.TLB.Lookup(2); !hit {
 			t.Fatalf("core %d lost an unrelated translation", i)
 		}
+	}
+}
+
+// TestUnifiedABIOnBaseline runs the same ABI-driven enclave build on
+// the insecure control backend: the dispatch surface (call table,
+// domain authorization, measurement discipline) must behave identically
+// even when the platform provides no physical isolation.
+func TestUnifiedABIOnBaseline(t *testing.T) {
+	m := newMachine(t)
+	mfr := boot.NewManufacturer("acme", []byte("seed"))
+	dev := mfr.Provision("dev", []byte("root-secret"))
+	id, err := dev.Boot([]byte("baseline abi test"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mon, err := sm.New(sm.Config{
+		Machine: m, Platform: New(), Identity: id,
+		SMRegions: []int{m.DRAM.RegionCount - 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	o, err := os.New(m, mon, 0, m.DRAM.RegionCount-2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, err := o.ABIVersion(); err != nil || v != api.Version {
+		t.Fatalf("abi version %#x (%v), want %#x", v, err, uint64(api.Version))
+	}
+
+	evBase, evMask := uint64(0x4000000000), ^uint64(1<<21-1)
+	spec := &os.EnclaveSpec{
+		EvBase: evBase, EvMask: evMask, Regions: []int{3},
+		Pages: []os.EnclavePage{
+			{VA: evBase, Perms: pt.R | pt.X, Data: []byte{0x13}},
+		},
+		Threads: []os.ThreadSpec{{EntryVA: evBase, StackVA: evBase + 0x2000}},
+	}
+	built, err := o.BuildEnclave(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if built.Measurement != os.ExpectedMeasurement(spec) {
+		t.Fatal("ABI-built measurement does not match the replayed transcript")
+	}
+	// Even without physical isolation the monitor's bookkeeping — the
+	// security state machine the ABI fronts — must refuse API-level
+	// theft: the region reads enclave-owned and cannot be re-granted.
+	st, owner, err := o.SM.RegionInfo(3)
+	if err != nil || st != api.RegionOwned || owner != built.EID {
+		t.Fatalf("region 3 after grant: state=%v owner=%#x err=%v", st, owner, err)
+	}
+	if err := o.SM.GrantRegion(3, api.DomainOS); err == nil {
+		t.Fatal("re-granted an enclave-owned region through the ABI")
+	}
+	resp := mon.Dispatch(api.Request{Caller: built.EID, Call: api.CallMyEnclaveID})
+	if resp.Status != api.ErrUnauthorized {
+		t.Fatalf("forged enclave caller: %v, want ErrUnauthorized", resp.Status)
 	}
 }

@@ -6,7 +6,11 @@ import (
 	"sanctorum/internal/hw/dram"
 	"sanctorum/internal/hw/machine"
 	"sanctorum/internal/hw/pmp"
+	"sanctorum/internal/hw/pt"
+	"sanctorum/internal/os"
 	"sanctorum/internal/sm"
+	"sanctorum/internal/sm/api"
+	"sanctorum/internal/sm/boot"
 )
 
 func newMachine(t *testing.T) (*machine.Machine, *Platform) {
@@ -102,5 +106,60 @@ func TestPMPEntryExhaustion(t *testing.T) {
 	p.NoteEnclaveRegions(deny)
 	if err := p.ApplyOSView(c, m.DRAM.Full()&^deny); err == nil {
 		t.Fatal("programming more deny entries than the PMP holds succeeded")
+	}
+}
+
+// TestUnifiedABIOnKeystone drives the enclave-build sequence over the
+// unified call ABI on the PMP backend: the batched client path must
+// produce the canonical measurement, and a granted region must vanish
+// from the OS's PMP-checked view.
+func TestUnifiedABIOnKeystone(t *testing.T) {
+	m, p := newMachine(t)
+	mfr := boot.NewManufacturer("acme", []byte("seed"))
+	dev := mfr.Provision("dev", []byte("root-secret"))
+	id, err := dev.Boot([]byte("keystone abi test"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mon, err := sm.New(sm.Config{
+		Machine: m, Platform: p, Identity: id,
+		SMRegions: []int{m.DRAM.RegionCount - 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	o, err := os.New(m, mon, 0, m.DRAM.RegionCount-2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, err := o.ABIVersion(); err != nil || v != api.Version {
+		t.Fatalf("abi version %#x (%v), want %#x", v, err, uint64(api.Version))
+	}
+
+	evBase, evMask := uint64(0x4000000000), ^uint64(1<<21-1)
+	spec := &os.EnclaveSpec{
+		EvBase: evBase, EvMask: evMask, Regions: []int{3},
+		Pages: []os.EnclavePage{
+			{VA: evBase, Perms: pt.R | pt.X, Data: []byte{0x13}},
+		},
+		Threads: []os.ThreadSpec{{EntryVA: evBase, StackVA: evBase + 0x2000}},
+	}
+	built, err := o.BuildEnclave(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if built.Measurement != os.ExpectedMeasurement(spec) {
+		t.Fatal("ABI-built measurement does not match the replayed transcript")
+	}
+	st, owner, err := o.SM.RegionInfo(3)
+	if err != nil || st != api.RegionOwned || owner != built.EID {
+		t.Fatalf("region 3 after grant: state=%v owner=%#x err=%v", st, owner, err)
+	}
+	if err := o.WriteOwned(m.DRAM.Base(3), []byte{1}); err == nil {
+		t.Fatal("OS wrote into the enclave-owned region despite PMP")
+	}
+	resp := mon.Dispatch(api.Request{Caller: built.EID, Call: api.CallMyEnclaveID})
+	if resp.Status != api.ErrUnauthorized {
+		t.Fatalf("forged enclave caller: %v, want ErrUnauthorized", resp.Status)
 	}
 }

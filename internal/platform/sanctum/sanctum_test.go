@@ -5,8 +5,12 @@ import (
 
 	"sanctorum/internal/hw/machine"
 	"sanctorum/internal/hw/mem"
+	"sanctorum/internal/hw/pt"
 	"sanctorum/internal/hw/tlb"
+	"sanctorum/internal/os"
 	"sanctorum/internal/sm"
+	"sanctorum/internal/sm/api"
+	"sanctorum/internal/sm/boot"
 )
 
 func newMachine(t *testing.T) *machine.Machine {
@@ -108,5 +112,68 @@ func TestShootdownRegionFlushesAllTLBs(t *testing.T) {
 		if _, hit := c.TLB.Lookup(0x200); !hit {
 			t.Fatalf("core %d lost an unrelated translation", i)
 		}
+	}
+}
+
+// TestUnifiedABIOnSanctum drives the full enclave-build sequence over
+// the monitor's unified call ABI — batched submissions through the
+// smcall client — on the Sanctum backend, and checks the dispatch
+// layer's per-domain authorization holds with region isolation active.
+func TestUnifiedABIOnSanctum(t *testing.T) {
+	m := newMachine(t)
+	mfr := boot.NewManufacturer("acme", []byte("seed"))
+	dev := mfr.Provision("dev", []byte("root-secret"))
+	id, err := dev.Boot([]byte("sanctum abi test"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	smRegion := m.DRAM.RegionCount - 1
+	mon, err := sm.New(sm.Config{
+		Machine: m, Platform: New(), Identity: id, SMRegions: []int{smRegion},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	o, err := os.New(m, mon, 0, m.DRAM.RegionCount-2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, err := o.ABIVersion(); err != nil || v != api.Version {
+		t.Fatalf("abi version %#x (%v), want %#x", v, err, uint64(api.Version))
+	}
+
+	evBase, evMask := uint64(0x4000000000), ^uint64(1<<21-1)
+	spec := &os.EnclaveSpec{
+		EvBase: evBase, EvMask: evMask, Regions: []int{3},
+		Pages: []os.EnclavePage{
+			{VA: evBase, Perms: pt.R | pt.X, Data: []byte{0x13}},
+			{VA: evBase + 0x1000, Perms: pt.R | pt.W, Data: []byte("data")},
+		},
+		Threads: []os.ThreadSpec{{EntryVA: evBase, StackVA: evBase + 0x2000}},
+	}
+	built, err := o.BuildEnclave(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if built.Measurement != os.ExpectedMeasurement(spec) {
+		t.Fatal("ABI-built measurement does not match the replayed transcript")
+	}
+	// The granted region left the OS domain on this backend: the
+	// monitor reports it enclave-owned and the per-core Sanctum view
+	// lost it.
+	st, owner, err := o.SM.RegionInfo(3)
+	if err != nil || st != api.RegionOwned || owner != built.EID {
+		t.Fatalf("region 3 after grant: state=%v owner=%#x err=%v", st, owner, err)
+	}
+	if m.Cores[0].OSRegions.Has(3) {
+		t.Fatal("core 0 OS view still contains the enclave's region")
+	}
+	if err := o.WriteOwned(m.DRAM.Base(3), []byte{1}); err == nil {
+		t.Fatal("OS wrote into the enclave-owned region")
+	}
+	// The host cannot speak for the enclave through the same surface.
+	resp := mon.Dispatch(api.Request{Caller: built.EID, Call: api.CallMyEnclaveID})
+	if resp.Status != api.ErrUnauthorized {
+		t.Fatalf("forged enclave caller: %v, want ErrUnauthorized", resp.Status)
 	}
 }

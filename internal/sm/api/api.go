@@ -1,15 +1,30 @@
-// Package api defines the security monitor's call numbers, error codes
-// and ABI constants — the contract between the untrusted OS, enclaves,
-// and the monitor (paper §V-A). Enclaves invoke the monitor through the
-// ECALL instruction with the call number in a7 and arguments in a0..a5;
-// results return in a0 (status) and a1 (value). The untrusted OS, which
-// in this reproduction is Go code standing in for an S-mode kernel,
-// calls the same entry points through the Monitor's exported methods.
+// Package api defines the security monitor's unified call ABI: the one
+// contract between all untrusted software — OS and enclaves alike — and
+// the monitor (paper §V-A, Fig 3). Every monitor operation is a call
+// number plus up to six register-sized arguments, submitted as a
+// Request and answered with a Response; the monitor routes by call
+// number and authorizes by caller domain in a single dispatch point
+// (sm.Monitor.Dispatch).
+//
+// Enclaves invoke the monitor through the ECALL instruction with the
+// call number in a7 and arguments in a0..a5; the status returns in a0
+// and the first result value in a1. The untrusted OS — host Go code
+// standing in for an S-mode kernel in this reproduction — submits the
+// same Requests through Monitor.Dispatch (or batched through
+// Monitor.DispatchBatch), normally via the typed smcall client, which
+// also centralizes the §V-A retry discipline for ErrRetry.
+//
+// The ABI is versioned: CallGetABIVersion reports Version, and callers
+// are expected to probe it before relying on calls newer than major 1.
 package api
 
 import "fmt"
 
-// Error is the status returned by every monitor call, in a0.
+// Error is the status returned by every monitor call, in a0. It
+// implements the Go error interface, so statuses flow through error
+// wrapping and errors.Is against the exported sentinel values; OK is
+// the zero Error and should be converted with Err rather than returned
+// as a non-nil error.
 type Error uint64
 
 // Monitor call status codes.
@@ -27,7 +42,8 @@ const (
 	// use the ErrRetry name; this spelling is kept for ABI stability.
 	ErrConcurrentCall
 	// ErrUnauthorized: the caller does not own the object or lacks the
-	// privilege for the call.
+	// privilege for the call (including calls outside the caller's
+	// domain: an enclave invoking an OS-only call or vice versa).
 	ErrUnauthorized
 	// ErrNoResources: allocation failed (metadata space, PMP entries,
 	// enclave physical pages, free mailboxes).
@@ -43,7 +59,8 @@ const (
 // hart's transaction holds one of them. The caller (untrusted OS or
 // enclave) is expected to simply retry; no monitor state changed. It is
 // the same ABI value as the legacy ErrConcurrentCall name, so existing
-// guest binaries and callers are unaffected.
+// guest binaries and callers are unaffected. The smcall client retries
+// it centrally with bounded backoff.
 const ErrRetry = ErrConcurrentCall
 
 func (e Error) String() string {
@@ -67,11 +84,65 @@ func (e Error) String() string {
 	}
 }
 
+// Error implements the error interface by delegating to String, so a
+// status wraps cleanly with %w and matches its sentinel under
+// errors.Is.
+func (e Error) Error() string { return e.String() }
+
+// Err converts a status into a Go error: nil for OK, the status value
+// itself otherwise.
+func (e Error) Err() error {
+	if e == OK {
+		return nil
+	}
+	return e
+}
+
+// ABI version, reported by CallGetABIVersion in Values[0]/a1. The major
+// half bumps on incompatible changes to existing calls; the minor half
+// bumps when calls are added.
+const (
+	VersionMajor = 1
+	VersionMinor = 0
+	// Version packs major and minor into the single register the probe
+	// returns.
+	Version = VersionMajor<<16 | VersionMinor
+)
+
 // Call is a monitor call number (register a7).
 type Call uint64
 
-// Enclave-invocable call numbers. The OS-side API is exposed as Go
-// methods on the Monitor; these numbers exist for the trap path.
+// Request is one monitor call as submitted to Monitor.Dispatch: the
+// caller's protection domain, the call number, and the a0..a5 argument
+// registers. Caller is DomainOS for the untrusted OS; enclave callers
+// never populate it themselves — the monitor derives the calling
+// enclave's identity from the trapping core, and host-side Requests
+// claiming an enclave caller are refused with ErrUnauthorized.
+type Request struct {
+	Caller uint64
+	Call   Call
+	Args   [6]uint64
+}
+
+// Response is the result of one monitor call: the a0 status and the
+// a1/a2 result registers. Enclave callers receive Values[0] in a1;
+// OS-side calls with two results (e.g. CallRegionInfo) use both.
+type Response struct {
+	Status Error
+	Values [2]uint64
+}
+
+// OSRequest builds a Request from the OS domain with up to six
+// arguments; extra arguments are a programming error and are dropped.
+func OSRequest(call Call, args ...uint64) Request {
+	r := Request{Caller: DomainOS, Call: call}
+	copy(r.Args[:], args)
+	return r
+}
+
+// Enclave-invocable call numbers (a7). These run in the trapping
+// enclave's domain; the OS cannot invoke them (except where a call is
+// explicitly dual-domain, noted per call).
 const (
 	// CallExitEnclave ends the current thread's execution slice and
 	// returns the core to the OS. a0 carries an enclave-defined result.
@@ -80,20 +151,30 @@ const (
 	CallGetRandom Call = 0x02
 	// CallAcceptMail(a0=mailbox index, a1=expected sender eid).
 	CallAcceptMail Call = 0x03
-	// CallSendMail(a0=recipient eid, a1=message VA).
+	// CallSendMail delivers a mailbox message. Dual-domain: an enclave
+	// passes (a0=recipient eid, a1=message VA) and the monitor reads
+	// MailboxSize bytes from enclave memory; the OS passes
+	// (a0=recipient eid, a1=source PA in OS-owned memory, a2=length ≤
+	// MailboxSize, zero-padded) and is stamped with the reserved OS
+	// identity and a zero measurement.
 	CallSendMail Call = 0x04
 	// CallGetMail(a0=mailbox index, a1=output VA). The monitor writes
 	// the 32-byte sender measurement followed by the message bytes.
 	CallGetMail Call = 0x05
-	// CallAcceptThread(a0=tid).
+	// CallAcceptThread(a0=tid, a1=entry PC, a2=entry SP).
 	CallAcceptThread Call = 0x06
 	// CallReleaseThread(a0=tid).
 	CallReleaseThread Call = 0x07
 	// CallAcceptRegion(a0=region index).
 	CallAcceptRegion Call = 0x08
-	// CallBlockRegion(a0=region index) blocks a region the enclave owns.
+	// CallBlockRegion(a0=region index) blocks a region the caller owns.
+	// Dual-domain: the owner is the calling enclave from a trap, the OS
+	// from a host-side Request (block(resource) in Fig 2).
 	CallBlockRegion Call = 0x09
-	// CallGetField(a0=field id, a1=output VA, a2=max length).
+	// CallGetField reads monitor metadata (§VI-C). Dual-domain: an
+	// enclave passes (a0=field id, a1=output VA, a2=max length); the OS
+	// passes (a0=field id, a1=output PA in OS-owned memory, a2=max
+	// length). Returns the byte count in a1/Values[0].
 	CallGetField Call = 0x0A
 	// CallAttestSign(a0=input VA, a1=input length, a2=output VA) signs
 	// the input with the SM attestation key. Restricted to the signing
@@ -127,6 +208,128 @@ const (
 	// VA) writes a 32-byte authenticator.
 	CallMAC Call = 0x12
 )
+
+// CallGetABIVersion reports the ABI version (Version) in a1/Values[0].
+// Any caller domain may probe it.
+const CallGetABIVersion Call = 0x1F
+
+// OS-invocable call numbers. These are the resource-management verbs of
+// Figs 2–4: the untrusted OS proposes, the monitor verifies. Enclaves
+// invoking them are refused with ErrUnauthorized.
+const (
+	// CallCreateEnclave(a0=eid, a1=evBase, a2=evMask) starts the
+	// enclave lifecycle (Fig 3). eid must be a free page inside an SM
+	// metadata region.
+	CallCreateEnclave Call = 0x20
+	// CallAllocPageTable(a0=eid, a1=va, a2=level) allocates the enclave
+	// page-table page covering va at the given level, top-down.
+	CallAllocPageTable Call = 0x21
+	// CallLoadPage(a0=eid, a1=va, a2=source PA in OS memory, a3=perms)
+	// copies one page of initial contents into the enclave and maps it.
+	CallLoadPage Call = 0x22
+	// CallMapShared(a0=eid, a1=va outside evrange, a2=OS-owned PA) maps
+	// an untrusted shared window through the enclave's tables (§VII-B).
+	CallMapShared Call = 0x23
+	// CallInitEnclave(a0=eid) seals the enclave and finalizes its
+	// measurement.
+	CallInitEnclave Call = 0x24
+	// CallDeleteEnclave(a0=eid) tears the enclave down; owned regions
+	// become blocked.
+	CallDeleteEnclave Call = 0x25
+	// CallEnclaveStatus(a0=eid, a1=measurement output PA or 0) reports
+	// the enclave lifecycle state in Values[0]; when a1 is non-zero the
+	// monitor writes the 32-byte measurement to that OS-owned address
+	// (the measurement of an initialized enclave is public —
+	// attestation, not secrecy, protects it).
+	CallEnclaveStatus Call = 0x26
+	// CallLoadThread(a0=eid, a1=tid, a2=entry PC, a3=entry SP) creates
+	// a measured thread during loading (Fig 4).
+	CallLoadThread Call = 0x27
+	// CallCreateThread(a0=tid) creates an unbound, unmeasured thread.
+	CallCreateThread Call = 0x28
+	// CallAssignThread(a0=eid, a1=tid) offers an available thread to an
+	// initialized enclave.
+	CallAssignThread Call = 0x29
+	// CallUnassignThread(a0=tid) takes a non-running thread away; its
+	// context is scrubbed.
+	CallUnassignThread Call = 0x2A
+	// CallDeleteThread(a0=tid) destroys an available thread.
+	CallDeleteThread Call = 0x2B
+	// CallEnterEnclave(a0=core id, a1=eid, a2=tid) schedules a thread
+	// onto an idle OS-owned core.
+	CallEnterEnclave Call = 0x2C
+	// CallRegionInfo(a0=region index) reports a region's lifecycle
+	// state in Values[0] and its owner in Values[1].
+	CallRegionInfo Call = 0x2D
+	// CallGrantRegion(a0=region index, a1=new owner) re-allocates an
+	// available or OS-owned region (grant(resource, new_owner), Fig 2).
+	CallGrantRegion Call = 0x2E
+	// CallCleanRegion(a0=region index) scrubs a blocked region and
+	// makes it available (clean(resource), Fig 2).
+	CallCleanRegion Call = 0x2F
+)
+
+// RegionState is the lifecycle state of a DRAM region resource as
+// reported by CallRegionInfo, implementing the paper's Fig 2 state
+// machine.
+type RegionState uint8
+
+// Region states.
+const (
+	// RegionOwned: exclusively held by a protection domain.
+	RegionOwned RegionState = iota
+	// RegionPending: granted by the OS to an initialized enclave but
+	// not yet accepted (accept_resource completes the transition).
+	RegionPending
+	// RegionBlocked: relinquished by its owner; unusable until cleaned.
+	RegionBlocked
+	// RegionAvailable: cleaned and ready for re-allocation.
+	RegionAvailable
+)
+
+func (s RegionState) String() string {
+	switch s {
+	case RegionOwned:
+		return "owned"
+	case RegionPending:
+		return "pending"
+	case RegionBlocked:
+		return "blocked"
+	case RegionAvailable:
+		return "available"
+	default:
+		return "region-state-?"
+	}
+}
+
+// EnclaveState is the lifecycle state of an enclave as reported by
+// CallEnclaveStatus (paper Fig 3).
+type EnclaveState uint8
+
+// Enclave states.
+const (
+	// EnclaveLoading: created; the OS may grant resources and load
+	// contents, all of which the monitor measures.
+	EnclaveLoading EnclaveState = iota
+	// EnclaveInitialized: sealed; threads may be scheduled; contents
+	// can no longer be altered through the API.
+	EnclaveInitialized
+	// EnclaveDead: deleted; kept only transiently for error reporting.
+	EnclaveDead
+)
+
+func (s EnclaveState) String() string {
+	switch s {
+	case EnclaveLoading:
+		return "loading"
+	case EnclaveInitialized:
+		return "initialized"
+	case EnclaveDead:
+		return "dead"
+	default:
+		return "enclave-state-?"
+	}
+}
 
 // Field identifies monitor metadata readable via get_field (§VI-C).
 type Field uint64

@@ -1,0 +1,152 @@
+package sm
+
+import "sanctorum/internal/sm/api"
+
+// This file is the staging shim for the pre-ABI method surface: each
+// method builds the equivalent api.Request and funnels it through
+// Monitor.Dispatch, so the call table and its per-domain authorization
+// remain the only privilege boundary. New code — internal/os in
+// particular — should use the smcall client (or Dispatch directly)
+// instead; these wrappers exist so white-box tests and older tools
+// migrate gradually and will be removed once nothing links them.
+
+// CreateEnclave starts the enclave lifecycle (Fig 3).
+//
+// Deprecated: use Dispatch with api.CallCreateEnclave or the smcall
+// client.
+func (mon *Monitor) CreateEnclave(eid, evBase, evMask uint64) api.Error {
+	return mon.Dispatch(api.OSRequest(api.CallCreateEnclave, eid, evBase, evMask)).Status
+}
+
+// AllocatePageTable allocates one enclave page-table page.
+//
+// Deprecated: use Dispatch with api.CallAllocPageTable or the smcall
+// client.
+func (mon *Monitor) AllocatePageTable(eid, va uint64, level int) api.Error {
+	return mon.Dispatch(api.OSRequest(api.CallAllocPageTable, eid, va, uint64(level))).Status
+}
+
+// LoadPage loads one measured page of enclave initial state.
+//
+// Deprecated: use Dispatch with api.CallLoadPage or the smcall client.
+func (mon *Monitor) LoadPage(eid, va, srcPA, perms uint64) api.Error {
+	return mon.Dispatch(api.OSRequest(api.CallLoadPage, eid, va, srcPA, perms)).Status
+}
+
+// MapShared maps an OS-owned page as an untrusted shared window.
+//
+// Deprecated: use Dispatch with api.CallMapShared or the smcall client.
+func (mon *Monitor) MapShared(eid, va, pa uint64) api.Error {
+	return mon.Dispatch(api.OSRequest(api.CallMapShared, eid, va, pa)).Status
+}
+
+// InitEnclave seals the enclave and finalizes its measurement.
+//
+// Deprecated: use Dispatch with api.CallInitEnclave or the smcall
+// client.
+func (mon *Monitor) InitEnclave(eid uint64) api.Error {
+	return mon.Dispatch(api.OSRequest(api.CallInitEnclave, eid)).Status
+}
+
+// DeleteEnclave tears an enclave down.
+//
+// Deprecated: use Dispatch with api.CallDeleteEnclave or the smcall
+// client.
+func (mon *Monitor) DeleteEnclave(eid uint64) api.Error {
+	return mon.Dispatch(api.OSRequest(api.CallDeleteEnclave, eid)).Status
+}
+
+// LoadThread creates a measured thread during enclave loading.
+//
+// Deprecated: use Dispatch with api.CallLoadThread or the smcall
+// client.
+func (mon *Monitor) LoadThread(eid, tid, entryPC, entrySP uint64) api.Error {
+	return mon.Dispatch(api.OSRequest(api.CallLoadThread, eid, tid, entryPC, entrySP)).Status
+}
+
+// CreateThread creates an unbound, unmeasured thread.
+//
+// Deprecated: use Dispatch with api.CallCreateThread or the smcall
+// client.
+func (mon *Monitor) CreateThread(tid uint64) api.Error {
+	return mon.Dispatch(api.OSRequest(api.CallCreateThread, tid)).Status
+}
+
+// AssignThread offers an available thread to an initialized enclave.
+//
+// Deprecated: use Dispatch with api.CallAssignThread or the smcall
+// client.
+func (mon *Monitor) AssignThread(eid, tid uint64) api.Error {
+	return mon.Dispatch(api.OSRequest(api.CallAssignThread, eid, tid)).Status
+}
+
+// UnassignThread takes a non-running thread away from its enclave.
+//
+// Deprecated: use Dispatch with api.CallUnassignThread or the smcall
+// client.
+func (mon *Monitor) UnassignThread(tid uint64) api.Error {
+	return mon.Dispatch(api.OSRequest(api.CallUnassignThread, tid)).Status
+}
+
+// DeleteThread destroys an available thread.
+//
+// Deprecated: use Dispatch with api.CallDeleteThread or the smcall
+// client.
+func (mon *Monitor) DeleteThread(tid uint64) api.Error {
+	return mon.Dispatch(api.OSRequest(api.CallDeleteThread, tid)).Status
+}
+
+// EnterEnclave schedules an enclave thread onto an idle core.
+//
+// Deprecated: use Dispatch with api.CallEnterEnclave or the smcall
+// client.
+func (mon *Monitor) EnterEnclave(coreID int, eid, tid uint64) api.Error {
+	return mon.Dispatch(api.OSRequest(api.CallEnterEnclave, uint64(coreID), eid, tid)).Status
+}
+
+// RegionInfo reports a region's lifecycle state and owner.
+//
+// Deprecated: use Dispatch with api.CallRegionInfo or the smcall
+// client.
+func (mon *Monitor) RegionInfo(r int) (RegionState, uint64, api.Error) {
+	resp := mon.Dispatch(api.OSRequest(api.CallRegionInfo, uint64(r)))
+	return RegionState(resp.Values[0]), resp.Values[1], resp.Status
+}
+
+// GrantRegion re-allocates an available or OS-owned region.
+//
+// Deprecated: use Dispatch with api.CallGrantRegion or the smcall
+// client.
+func (mon *Monitor) GrantRegion(r int, newOwner uint64) api.Error {
+	return mon.Dispatch(api.OSRequest(api.CallGrantRegion, uint64(r), newOwner)).Status
+}
+
+// BlockRegion relinquishes an OS-owned region.
+//
+// Deprecated: use Dispatch with api.CallBlockRegion or the smcall
+// client.
+func (mon *Monitor) BlockRegion(r int) api.Error {
+	return mon.Dispatch(api.OSRequest(api.CallBlockRegion, uint64(r))).Status
+}
+
+// CleanRegion scrubs a blocked region and makes it available.
+//
+// Deprecated: use Dispatch with api.CallCleanRegion or the smcall
+// client.
+func (mon *Monitor) CleanRegion(r int) api.Error {
+	return mon.Dispatch(api.OSRequest(api.CallCleanRegion, uint64(r))).Status
+}
+
+// EnclaveInfo exposes an enclave's state and measurement to host-side
+// tests and tools directly, without an OS-memory staging buffer. The
+// ABI path for the same information is api.CallEnclaveStatus, which
+// writes the measurement into OS-owned memory; keep this helper out of
+// OS-model code.
+func (mon *Monitor) EnclaveInfo(eid uint64) (EnclaveState, [32]byte, api.Error) {
+	e, st := mon.lookupEnclave(eid)
+	if st != api.OK {
+		return 0, [32]byte{}, st
+	}
+	defer e.mu.Unlock()
+	return e.State, e.Measurement, api.OK
+}

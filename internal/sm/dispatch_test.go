@@ -1,0 +1,305 @@
+package sm
+
+import (
+	"testing"
+
+	"sanctorum/internal/sm/api"
+)
+
+// monSnapshot captures everything a refused call must leave untouched:
+// object-map populations, metadata-page accounting, per-region states,
+// the live OS bitmap, and per-core slot ownership.
+type monSnapshot struct {
+	enclaves, threads, metaPages int
+	regions                      []struct {
+		state RegionState
+		owner uint64
+	}
+	osBitmap uint64
+	slots    []struct{ owner, tid uint64 }
+}
+
+func snapshot(mon *Monitor) monSnapshot {
+	mon.objMu.RLock()
+	s := monSnapshot{
+		enclaves:  len(mon.enclaves),
+		threads:   len(mon.threads),
+		metaPages: len(mon.metaPages),
+		osBitmap:  mon.osBitmap.Load(),
+	}
+	mon.objMu.RUnlock()
+	for r := range mon.regions {
+		rm := &mon.regions[r]
+		rm.mu.Lock()
+		s.regions = append(s.regions, struct {
+			state RegionState
+			owner uint64
+		}{rm.state, rm.owner})
+		rm.mu.Unlock()
+	}
+	for c := range mon.cores {
+		slot := &mon.cores[c]
+		slot.mu.Lock()
+		s.slots = append(s.slots, struct{ owner, tid uint64 }{slot.owner, slot.tid})
+		slot.mu.Unlock()
+	}
+	return s
+}
+
+func (s monSnapshot) equal(o monSnapshot) bool {
+	if s.enclaves != o.enclaves || s.threads != o.threads ||
+		s.metaPages != o.metaPages || s.osBitmap != o.osBitmap ||
+		len(s.regions) != len(o.regions) || len(s.slots) != len(o.slots) {
+		return false
+	}
+	for i := range s.regions {
+		if s.regions[i] != o.regions[i] {
+			return false
+		}
+	}
+	for i := range s.slots {
+		if s.slots[i] != o.slots[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// osOnlyCalls and enclaveOnlyCalls enumerate the single-domain halves
+// of the call table for the wrong-domain sweeps. Kept literal — not
+// derived from callTable — so a routing change that silently moved a
+// call across domains would fail the test rather than retune it.
+var osOnlyCalls = []api.Call{
+	api.CallCreateEnclave, api.CallAllocPageTable, api.CallLoadPage,
+	api.CallMapShared, api.CallInitEnclave, api.CallDeleteEnclave,
+	api.CallEnclaveStatus, api.CallLoadThread, api.CallCreateThread,
+	api.CallAssignThread, api.CallUnassignThread, api.CallDeleteThread,
+	api.CallEnterEnclave, api.CallRegionInfo, api.CallGrantRegion,
+	api.CallCleanRegion,
+}
+
+var enclaveOnlyCalls = []api.Call{
+	api.CallExitEnclave, api.CallGetRandom, api.CallAcceptMail,
+	api.CallGetMail, api.CallAcceptThread, api.CallReleaseThread,
+	api.CallAcceptRegion, api.CallAttestSign, api.CallResumeAEX,
+	api.CallSetFaultHandler, api.CallResumeFault, api.CallMyEnclaveID,
+	api.CallKADerive, api.CallKACombine, api.CallMAC,
+}
+
+func TestDispatchUnknownCallNumbers(t *testing.T) {
+	f := newFixture(t)
+	before := snapshot(f.mon)
+	for _, call := range []api.Call{0x00, 0x13, 0x1E, 0x30, 0x100, 0xFFFF, 1 << 40, ^api.Call(0)} {
+		resp := f.mon.Dispatch(api.OSRequest(call, 1, 2, 3, 4, 5, 6))
+		if resp.Status != api.ErrNotSupported {
+			t.Errorf("undefined call %#x: %v, want ErrNotSupported", uint64(call), resp.Status)
+		}
+		if resp.Values != ([2]uint64{}) {
+			t.Errorf("undefined call %#x leaked values %v", uint64(call), resp.Values)
+		}
+	}
+	if !snapshot(f.mon).equal(before) {
+		t.Fatal("an undefined call mutated monitor state")
+	}
+}
+
+func TestDispatchRefusesWrongDomain(t *testing.T) {
+	f := newFixture(t)
+	eid := f.createLoading(t, 0, 10)
+	f.loadMinimal(t, eid, 1)
+	f.mon.InitEnclave(eid)
+	before := snapshot(f.mon)
+
+	// Enclave-only calls from the OS domain.
+	for _, call := range enclaveOnlyCalls {
+		if resp := f.mon.Dispatch(api.OSRequest(call, 1, 2, 3)); resp.Status != api.ErrUnauthorized {
+			t.Errorf("OS invoked enclave call %#x: %v, want ErrUnauthorized", uint64(call), resp.Status)
+		}
+	}
+	// Host-side requests may not impersonate an enclave at all — for
+	// any call, including dual-domain and OS-only ones: the enclave
+	// identity is derived from a trapping core, never caller-supplied.
+	allCalls := append(append([]api.Call{}, osOnlyCalls...), enclaveOnlyCalls...)
+	allCalls = append(allCalls, api.CallSendMail, api.CallGetField,
+		api.CallBlockRegion, api.CallGetABIVersion)
+	for _, call := range allCalls {
+		req := api.Request{Caller: eid, Call: call, Args: [6]uint64{eid, 2, 3}}
+		if resp := f.mon.Dispatch(req); resp.Status != api.ErrUnauthorized {
+			t.Errorf("forged enclave caller for call %#x: %v, want ErrUnauthorized",
+				uint64(call), resp.Status)
+		}
+	}
+	// OS-only calls from a (simulated) enclave trap context: the same
+	// path trap.go drives, with a live enclave and thread.
+	f.mon.objMu.RLock()
+	e := f.mon.enclaves[eid]
+	f.mon.objMu.RUnlock()
+	ctx := &callContext{core: f.m.Cores[0], enclave: e, thread: &Thread{}}
+	for _, call := range osOnlyCalls {
+		req := &api.Request{Caller: eid, Call: call, Args: [6]uint64{eid, 2, 3}}
+		if resp := f.mon.dispatch(req, ctx); resp.Status != api.ErrUnauthorized {
+			t.Errorf("enclave invoked OS call %#x: %v, want ErrUnauthorized", uint64(call), resp.Status)
+		}
+		if ctx.transferred {
+			t.Fatalf("refused call %#x transferred control", uint64(call))
+		}
+	}
+	if !snapshot(f.mon).equal(before) {
+		t.Fatal("a wrong-domain call mutated monitor state")
+	}
+}
+
+func TestDispatchOutOfRangeArguments(t *testing.T) {
+	f := newFixture(t)
+	eid := f.createLoading(t, 0, 10)
+	before := snapshot(f.mon)
+	huge := ^uint64(0)
+	cases := []struct {
+		name string
+		req  api.Request
+		want api.Error
+	}{
+		{"region index past end", api.OSRequest(api.CallRegionInfo, 64), api.ErrInvalidValue},
+		{"region index 2^63", api.OSRequest(api.CallRegionInfo, 1<<63), api.ErrInvalidValue},
+		{"region index all-ones", api.OSRequest(api.CallRegionInfo, huge), api.ErrInvalidValue},
+		{"grant to unknown owner", api.OSRequest(api.CallGrantRegion, 3, 0xDEAD000), api.ErrInvalidValue},
+		{"grant out-of-range region", api.OSRequest(api.CallGrantRegion, huge, api.DomainOS), api.ErrInvalidValue},
+		{"block out-of-range region", api.OSRequest(api.CallBlockRegion, 1<<32), api.ErrInvalidValue},
+		{"clean out-of-range region", api.OSRequest(api.CallCleanRegion, huge), api.ErrInvalidValue},
+		{"create with bad evrange", api.OSRequest(api.CallCreateEnclave, f.metaPage(5), 0x1000, 0), api.ErrInvalidValue},
+		{"create outside metadata region", api.OSRequest(api.CallCreateEnclave, 0x1000, testEvBase, testEvMask), api.ErrInvalidValue},
+		{"table level past top", api.OSRequest(api.CallAllocPageTable, eid, 0, 99), api.ErrInvalidValue},
+		{"table level all-ones", api.OSRequest(api.CallAllocPageTable, eid, 0, huge), api.ErrInvalidValue},
+		{"load into unknown enclave", api.OSRequest(api.CallLoadPage, 0xBAD, testEvBase, 0x1000, 1), api.ErrInvalidValue},
+		{"status of unknown enclave", api.OSRequest(api.CallEnclaveStatus, 0xBAD, 0), api.ErrInvalidValue},
+		{"status into non-OS memory", api.OSRequest(api.CallEnclaveStatus, eid, f.meta), api.ErrInvalidValue},
+		{"delete unknown thread", api.OSRequest(api.CallDeleteThread, 0xBAD), api.ErrInvalidValue},
+		{"enter on core past end", api.OSRequest(api.CallEnterEnclave, 5, eid, 0), api.ErrInvalidValue},
+		{"enter on core all-ones", api.OSRequest(api.CallEnterEnclave, huge, eid, 0), api.ErrInvalidValue},
+		{"send to unknown recipient", api.OSRequest(api.CallSendMail, 0xBAD, 0x1000, api.MailboxSize), api.ErrInvalidValue},
+		{"send oversized message", api.OSRequest(api.CallSendMail, eid, 0x1000, api.MailboxSize+1), api.ErrInvalidValue},
+		{"get_field unknown selector", api.OSRequest(api.CallGetField, 99, 0x1000, 4096), api.ErrInvalidValue},
+		{"get_field into non-OS memory", api.OSRequest(api.CallGetField, uint64(api.FieldSMMeasurement), f.meta, 4096), api.ErrInvalidValue},
+	}
+	for _, c := range cases {
+		if resp := f.mon.Dispatch(c.req); resp.Status != c.want {
+			t.Errorf("%s: %v, want %v", c.name, resp.Status, c.want)
+		}
+	}
+	if !snapshot(f.mon).equal(before) {
+		t.Fatal("an out-of-range argument mutated monitor state")
+	}
+}
+
+// TestDispatchBatchSequentialEquivalence drives a full enclave build —
+// once as individual Dispatch calls, once as one batch — and requires
+// identical statuses and identical measurements, including across a
+// deliberately failing element (the batch must not stop at it).
+func TestDispatchBatchSequentialEquivalence(t *testing.T) {
+	f := newFixture(t)
+	build := func(slot int, region int, viaBatch bool) ([2]uint64, []api.Error) {
+		eid := f.metaPage(slot)
+		src := f.m.DRAM.Base(1) // OS-owned source page
+		reqs := []api.Request{
+			api.OSRequest(api.CallCreateEnclave, eid, testEvBase, testEvMask),
+			api.OSRequest(api.CallGrantRegion, uint64(region), eid),
+			api.OSRequest(api.CallAllocPageTable, eid, 0, 2),
+			api.OSRequest(api.CallAllocPageTable, eid, testEvBase, 1),
+			api.OSRequest(api.CallAllocPageTable, eid, testEvBase, 0),
+			api.OSRequest(api.CallLoadPage, eid, testEvBase, src, 1 /* pt.R */),
+			api.OSRequest(api.CallLoadPage, eid, testEvBase, src, 1), // duplicate VA: must fail
+			api.OSRequest(api.CallLoadThread, eid, f.metaPage(slot+1), testEvBase, testEvBase+0x800),
+			api.OSRequest(api.CallInitEnclave, eid),
+			api.OSRequest(api.CallEnclaveStatus, eid, 0),
+		}
+		var statuses []api.Error
+		var resps []api.Response
+		if viaBatch {
+			resps = f.mon.DispatchBatch(reqs)
+		} else {
+			for _, r := range reqs {
+				resps = append(resps, f.mon.Dispatch(r))
+			}
+		}
+		for _, r := range resps {
+			statuses = append(statuses, r.Status)
+		}
+		_, meas, st := f.mon.EnclaveInfo(eid)
+		if st != api.OK {
+			t.Fatalf("enclave info after build: %v", st)
+		}
+		var sig [2]uint64
+		for i := 0; i < 8; i++ {
+			sig[i/4] ^= uint64(meas[i]) << (8 * uint(i%4))
+		}
+		return sig, statuses
+	}
+	sigSeq, stSeq := build(0, 10, false)
+	sigBat, stBat := build(2, 11, true)
+	if len(stSeq) != len(stBat) {
+		t.Fatalf("status count %d vs %d", len(stSeq), len(stBat))
+	}
+	for i := range stSeq {
+		if stSeq[i] != stBat[i] {
+			t.Fatalf("element %d: sequential %v, batched %v", i, stSeq[i], stBat[i])
+		}
+	}
+	if stSeq[6] != api.ErrInvalidValue {
+		t.Fatalf("duplicate load should fail in both paths: %v", stSeq[6])
+	}
+	if sigSeq != sigBat {
+		t.Fatal("batched build measured differently from sequential build")
+	}
+}
+
+// TestDispatchBatchContentionCut locks an enclave from "another hart"
+// and requires the batch to stop at the first element targeting it,
+// reporting ErrRetry for the unexecuted tail without touching state.
+func TestDispatchBatchContentionCut(t *testing.T) {
+	f := newFixture(t)
+	eid := f.createLoading(t, 0, 10)
+	f.mon.objMu.RLock()
+	e := f.mon.enclaves[eid]
+	f.mon.objMu.RUnlock()
+	e.mu.Lock() // the contending transaction
+	defer e.mu.Unlock()
+
+	resps := f.mon.DispatchBatch([]api.Request{
+		api.OSRequest(api.CallRegionInfo, 10), // independent: must execute
+		api.OSRequest(api.CallAllocPageTable, eid, 0, 2),
+		api.OSRequest(api.CallInitEnclave, eid),
+	})
+	if resps[0].Status != api.OK {
+		t.Fatalf("independent prefix element: %v", resps[0].Status)
+	}
+	if resps[1].Status != api.ErrRetry || resps[2].Status != api.ErrRetry {
+		t.Fatalf("contended tail: %v, %v — want ErrRetry, ErrRetry",
+			resps[1].Status, resps[2].Status)
+	}
+}
+
+// FuzzDispatch throws arbitrary requests at the monitor: nothing may
+// panic, and any request claiming a non-OS caller must be refused
+// without reaching a handler.
+func FuzzDispatch(f *testing.F) {
+	fx := newFixture(f)
+	eid := fx.metaPage(0)
+	if st := fx.mon.CreateEnclave(eid, testEvBase, testEvMask); st != api.OK {
+		f.Fatalf("fixture enclave: %v", st)
+	}
+	f.Add(uint64(0), uint64(0x20), eid, testEvBase, testEvMask, uint64(0))
+	f.Add(eid, uint64(0x0F), uint64(0), uint64(0), uint64(0), uint64(0))
+	f.Add(uint64(0), uint64(0x2D), uint64(1)<<63, uint64(0), uint64(0), uint64(0))
+	f.Add(uint64(1), uint64(0x1F), uint64(0), uint64(0), uint64(0), uint64(0))
+	f.Fuzz(func(t *testing.T, caller, call, a0, a1, a2, a3 uint64) {
+		resp := fx.mon.Dispatch(api.Request{
+			Caller: caller,
+			Call:   api.Call(call),
+			Args:   [6]uint64{a0, a1, a2, a3},
+		})
+		if caller != api.DomainOS &&
+			resp.Status != api.ErrUnauthorized && resp.Status != api.ErrNotSupported {
+			t.Fatalf("non-OS caller %#x got %v for call %#x", caller, resp.Status, call)
+		}
+	})
+}

@@ -10,33 +10,16 @@ import (
 	"sanctorum/internal/sm/api"
 )
 
-// EnclaveState is the lifecycle state of an enclave (paper Fig 3).
-type EnclaveState uint8
+// EnclaveState is the ABI-level enclave lifecycle state (paper Fig 3),
+// aliased so monitor-internal code and callers share one definition.
+type EnclaveState = api.EnclaveState
 
-// Enclave states.
+// Enclave states, re-exported for monitor-side code and tests.
 const (
-	// EnclaveLoading: created; the OS may grant resources and load
-	// contents, all of which the monitor measures.
-	EnclaveLoading EnclaveState = iota
-	// EnclaveInitialized: sealed; threads may be scheduled; contents
-	// can no longer be altered through the API.
-	EnclaveInitialized
-	// EnclaveDead: deleted; kept only transiently for error reporting.
-	EnclaveDead
+	EnclaveLoading     = api.EnclaveLoading
+	EnclaveInitialized = api.EnclaveInitialized
+	EnclaveDead        = api.EnclaveDead
 )
-
-func (s EnclaveState) String() string {
-	switch s {
-	case EnclaveLoading:
-		return "loading"
-	case EnclaveInitialized:
-		return "initialized"
-	case EnclaveDead:
-		return "dead"
-	default:
-		return "enclave-state-?"
-	}
-}
 
 // Enclave is the monitor's metadata for one enclave. The enclave ID is
 // the physical address of its metadata page inside an SM-owned metadata
@@ -87,10 +70,10 @@ type ptKey struct {
 	prefix uint64 // va >> (PageBits + 9*(level+1))
 }
 
-// CreateEnclave starts the lifecycle (Fig 3: create_enclave by the OS).
-// eid must be a free page inside an SM metadata region; evBase/evMask
-// define the enclave virtual range.
-func (mon *Monitor) CreateEnclave(eid, evBase, evMask uint64) api.Error {
+// createEnclave starts the lifecycle (Fig 3: create_enclave by the OS,
+// CallCreateEnclave). eid must be a free page inside an SM metadata
+// region; evBase/evMask define the enclave virtual range.
+func (mon *Monitor) createEnclave(eid, evBase, evMask uint64) api.Error {
 	if !validEvrange(evBase, evMask) {
 		return api.ErrInvalidValue
 	}
@@ -186,17 +169,13 @@ func (e *Enclave) nextPageLocked() (uint64, bool) {
 	return p, true
 }
 
-// AllocatePageTable allocates the enclave page-table page that holds
-// the PTEs for va at the given level (2 = root, 0 = leaf table), in the
-// enclave's own memory (Fig 3: allocate_page_table by the OS). Tables
-// must be allocated top-down and before any data page, which places
-// them at the base of the enclave's physical space as §VI-A requires.
-func (mon *Monitor) AllocatePageTable(eid, va uint64, level int) api.Error {
-	e, st := mon.lookupEnclave(eid)
-	if st != api.OK {
-		return st
-	}
-	defer e.mu.Unlock()
+// allocatePageTableLocked allocates the enclave page-table page that
+// holds the PTEs for va at the given level (2 = root, 0 = leaf table),
+// in the enclave's own memory (Fig 3: allocate_page_table by the OS,
+// CallAllocPageTable). Tables must be allocated top-down and before any
+// data page, which places them at the base of the enclave's physical
+// space as §VI-A requires. The caller holds e's transaction lock.
+func (mon *Monitor) allocatePageTableLocked(e *Enclave, va uint64, level int) api.Error {
 	if e.State != EnclaveLoading {
 		return api.ErrInvalidState
 	}
@@ -258,15 +237,11 @@ func NormalizeTableVA(va uint64, level int) uint64 {
 	return vaPrefix(va, level) << (mem.PageBits + 9*uint(level+1))
 }
 
-// LoadPage copies one page of initial contents from untrusted OS memory
-// into the enclave's next physical page and maps it at va (Fig 3:
-// load_page by the OS). perms is a combination of pt.R/pt.W/pt.X.
-func (mon *Monitor) LoadPage(eid, va, srcPA, perms uint64) api.Error {
-	e, st := mon.lookupEnclave(eid)
-	if st != api.OK {
-		return st
-	}
-	defer e.mu.Unlock()
+// loadPageLocked copies one page of initial contents from untrusted OS
+// memory into the enclave's next physical page and maps it at va
+// (Fig 3: load_page by the OS, CallLoadPage). perms is a combination of
+// pt.R/pt.W/pt.X. The caller holds e's transaction lock.
+func (mon *Monitor) loadPageLocked(e *Enclave, va, srcPA, perms uint64) api.Error {
 	if e.State != EnclaveLoading {
 		return api.ErrInvalidState
 	}
@@ -308,17 +283,13 @@ func (mon *Monitor) LoadPage(eid, va, srcPA, perms uint64) api.Error {
 	return api.OK
 }
 
-// MapShared maps an OS-owned physical page into the enclave's page
-// tables at a virtual address outside evrange: the Keystone-style
-// untrusted shared buffer (§VII-B). The mapping's address is measured
-// (it is configuration) but its contents are not (they are untrusted by
-// definition and the OS can change them at any time).
-func (mon *Monitor) MapShared(eid, va, pa uint64) api.Error {
-	e, st := mon.lookupEnclave(eid)
-	if st != api.OK {
-		return st
-	}
-	defer e.mu.Unlock()
+// mapSharedLocked maps an OS-owned physical page into the enclave's
+// page tables at a virtual address outside evrange: the Keystone-style
+// untrusted shared buffer (§VII-B, CallMapShared). The mapping's
+// address is measured (it is configuration) but its contents are not
+// (they are untrusted by definition and the OS can change them at any
+// time). The caller holds e's transaction lock.
+func (mon *Monitor) mapSharedLocked(e *Enclave, va, pa uint64) api.Error {
 	if e.State != EnclaveLoading {
 		return api.ErrInvalidState
 	}
@@ -351,14 +322,10 @@ func (mon *Monitor) osOwnsRange(pa, n uint64) bool {
 	return mon.osRegions().ContainsRange(mon.machine.DRAM, pa, n)
 }
 
-// InitEnclave seals the enclave (Fig 3: init_enclave by the OS): the
-// measurement is finalized and threads become schedulable.
-func (mon *Monitor) InitEnclave(eid uint64) api.Error {
-	e, st := mon.lookupEnclave(eid)
-	if st != api.OK {
-		return st
-	}
-	defer e.mu.Unlock()
+// initEnclaveLocked seals the enclave (Fig 3: init_enclave by the OS,
+// CallInitEnclave): the measurement is finalized and threads become
+// schedulable. The caller holds e's transaction lock.
+func (mon *Monitor) initEnclaveLocked(e *Enclave) api.Error {
 	if e.State != EnclaveLoading {
 		return api.ErrInvalidState
 	}
@@ -372,16 +339,32 @@ func (mon *Monitor) InitEnclave(eid uint64) api.Error {
 	return api.OK
 }
 
-// DeleteEnclave tears an enclave down (Fig 3: delete_enclave by the
-// OS): refused while any thread is scheduled; all owned regions become
-// blocked and must be cleaned before re-allocation; threads revert to
-// the available pool.
+// enclaveStatusLocked reports the enclave lifecycle state and, when
+// measOutPA is non-zero, writes the 32-byte measurement to that
+// OS-owned physical address (CallEnclaveStatus). The caller holds e's
+// transaction lock.
+func (mon *Monitor) enclaveStatusLocked(e *Enclave, measOutPA uint64) (uint64, api.Error) {
+	if measOutPA != 0 {
+		if !mon.osOwnsRange(measOutPA, uint64(len(e.Measurement))) {
+			return 0, api.ErrInvalidValue
+		}
+		if err := mon.machine.Mem.WriteBytes(measOutPA, e.Measurement[:]); err != nil {
+			return 0, api.ErrInvalidValue
+		}
+	}
+	return uint64(e.State), api.OK
+}
+
+// deleteEnclave tears an enclave down (Fig 3: delete_enclave by the
+// OS, CallDeleteEnclave): refused while any thread is scheduled; all
+// owned regions become blocked and must be cleaned before
+// re-allocation; threads revert to the available pool.
 //
 // The transaction acquires every lock it will need — the enclave, all
 // of its threads, and every region it owns or has pending — with
 // TryLock before mutating anything, so under contention it fails with
 // ErrRetry having changed no state (§V-A).
-func (mon *Monitor) DeleteEnclave(eid uint64) api.Error {
+func (mon *Monitor) deleteEnclave(eid uint64) api.Error {
 	e, st := mon.lookupEnclave(eid)
 	if st != api.OK {
 		return st
@@ -452,16 +435,4 @@ func (mon *Monitor) DeleteEnclave(eid uint64) api.Error {
 
 	e.State = EnclaveDead
 	return api.OK
-}
-
-// EnclaveInfo exposes measurement and state for tests and the OS (the
-// measurement of an initialized enclave is public — attestation, not
-// secrecy, protects it).
-func (mon *Monitor) EnclaveInfo(eid uint64) (EnclaveState, [32]byte, api.Error) {
-	e, st := mon.lookupEnclave(eid)
-	if st != api.OK {
-		return 0, [32]byte{}, st
-	}
-	defer e.mu.Unlock()
-	return e.State, e.Measurement, api.OK
 }

@@ -7,10 +7,15 @@
 //
 // The monitor registers itself as the simulated machine's firmware, so
 // every trap and interrupt on any core reaches it before any untrusted
-// software, exactly as in the paper's Fig 1. The untrusted OS calls the
-// exported methods of Monitor (standing in for ECALLs from S-mode);
-// enclaves call the monitor through the ECALL instruction, dispatched
-// in trap.go.
+// software, exactly as in the paper's Fig 1. All untrusted software
+// speaks one call ABI (internal/sm/api): enclaves reach it through the
+// ECALL instruction and the trap path (trap.go); the untrusted OS —
+// host Go code standing in for S-mode — submits the same api.Request
+// values through Monitor.Dispatch or DispatchBatch, normally via the
+// smcall client. Both entries land in the single routing table in
+// dispatch.go, where the per-caller-domain authorization lives; the
+// legacy exported methods (compat.go) are thin deprecated shims over
+// Dispatch kept to stage the migration.
 //
 // # Concurrency model (paper §V-A)
 //

@@ -6,37 +6,17 @@ import (
 	"sanctorum/internal/sm/api"
 )
 
-// RegionState is the lifecycle state of a DRAM region resource,
-// implementing the paper's Fig 2 state machine.
-type RegionState uint8
+// RegionState is the ABI-level region lifecycle state (paper Fig 2),
+// aliased so monitor-internal code and callers share one definition.
+type RegionState = api.RegionState
 
-// Region states.
+// Region states, re-exported for monitor-side code and tests.
 const (
-	// RegionOwned: exclusively held by a protection domain.
-	RegionOwned RegionState = iota
-	// RegionPending: granted by the OS to an initialized enclave but
-	// not yet accepted (accept_resource completes the transition).
-	RegionPending
-	// RegionBlocked: relinquished by its owner; unusable until cleaned.
-	RegionBlocked
-	// RegionAvailable: cleaned and ready for re-allocation.
-	RegionAvailable
+	RegionOwned     = api.RegionOwned
+	RegionPending   = api.RegionPending
+	RegionBlocked   = api.RegionBlocked
+	RegionAvailable = api.RegionAvailable
 )
-
-func (s RegionState) String() string {
-	switch s {
-	case RegionOwned:
-		return "owned"
-	case RegionPending:
-		return "pending"
-	case RegionBlocked:
-		return "blocked"
-	case RegionAvailable:
-		return "available"
-	default:
-		return "region-state-?"
-	}
-}
 
 // regionMeta is the monitor's metadata for one DRAM region. The mutex
 // is the region's §V-A transaction lock: every transition TryLocks it
@@ -50,8 +30,8 @@ type regionMeta struct {
 	owner uint64 // DomainOS, DomainSM, or eid
 }
 
-// RegionInfo reports a region's state and owner, for tests and tools.
-func (mon *Monitor) RegionInfo(r int) (RegionState, uint64, api.Error) {
+// regionInfo reports a region's state and owner (CallRegionInfo).
+func (mon *Monitor) regionInfo(r int) (RegionState, uint64, api.Error) {
 	if r < 0 || r >= len(mon.regions) {
 		return 0, 0, api.ErrInvalidValue
 	}
@@ -63,12 +43,12 @@ func (mon *Monitor) RegionInfo(r int) (RegionState, uint64, api.Error) {
 	return rm.state, rm.owner, api.OK
 }
 
-// GrantRegion re-allocates an available region to a new owner, or — for
+// grantRegion re-allocates an available region to a new owner, or — for
 // a loading enclave or the SM — transfers it directly. Called by the
-// untrusted OS (grant(resource, new_owner) in Fig 2). Granting to the
-// SM turns the region into a metadata region (§V-B: metadata must
-// wholly reside in SM-owned memory).
-func (mon *Monitor) GrantRegion(r int, newOwner uint64) api.Error {
+// untrusted OS (grant(resource, new_owner) in Fig 2, CallGrantRegion).
+// Granting to the SM turns the region into a metadata region (§V-B:
+// metadata must wholly reside in SM-owned memory).
+func (mon *Monitor) grantRegion(r int, newOwner uint64) api.Error {
 	if r < 0 || r >= len(mon.regions) {
 		return api.ErrInvalidValue
 	}
@@ -134,12 +114,9 @@ func (mon *Monitor) GrantRegion(r int, newOwner uint64) api.Error {
 	return api.OK
 }
 
-// BlockRegion relinquishes an OS-owned region (block(resource) by the
-// owner in Fig 2). Enclaves block their own regions via ECALL.
-func (mon *Monitor) BlockRegion(r int) api.Error {
-	return mon.blockRegionAs(api.DomainOS, r)
-}
-
+// blockRegionAs relinquishes a region on behalf of its owner
+// (block(resource) in Fig 2, CallBlockRegion): the OS from a host-side
+// Request, an enclave from its trap context.
 func (mon *Monitor) blockRegionAs(owner uint64, r int) api.Error {
 	if r < 0 || r >= len(mon.regions) {
 		return api.ErrInvalidValue
@@ -181,14 +158,14 @@ func (mon *Monitor) blockRegionAs(owner uint64, r int) api.Error {
 	return api.OK
 }
 
-// CleanRegion scrubs a blocked region and makes it available
-// (clean(resource) by the OS in Fig 2). The monitor zeroes the region,
-// flushes its cache footprint, and shoots down TLB entries on every
-// core — the cross-core work travels as inter-processor mailbox
-// requests that running harts acknowledge at instruction boundaries —
-// before the region can reach a new protection domain. OS (no-hart)
-// context only.
-func (mon *Monitor) CleanRegion(r int) api.Error {
+// cleanRegion scrubs a blocked region and makes it available
+// (clean(resource) by the OS in Fig 2, CallCleanRegion). The monitor
+// zeroes the region, flushes its cache footprint, and shoots down TLB
+// entries on every core — the cross-core work travels as
+// inter-processor mailbox requests that running harts acknowledge at
+// instruction boundaries — before the region can reach a new protection
+// domain. OS (no-hart) context only.
+func (mon *Monitor) cleanRegion(r int) api.Error {
 	if r < 0 || r >= len(mon.regions) {
 		return api.ErrInvalidValue
 	}

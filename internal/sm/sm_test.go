@@ -59,7 +59,7 @@ const (
 	testEvMask = ^uint64(1<<30 - 1)
 )
 
-func newFixture(t *testing.T) *fixture {
+func newFixture(t testing.TB) *fixture {
 	t.Helper()
 	cfg := machine.DefaultConfig(machine.IsolationNone)
 	cfg.DRAM = dram.Layout{RegionShift: 16, RegionCount: 64}
@@ -93,7 +93,7 @@ func newFixture(t *testing.T) *fixture {
 func (f *fixture) metaPage(i int) uint64 { return f.meta + uint64(i)*mem.PageSize }
 
 // createLoading creates a loading enclave with one granted region.
-func (f *fixture) createLoading(t *testing.T, slot int, region int) uint64 {
+func (f *fixture) createLoading(t testing.TB, slot int, region int) uint64 {
 	t.Helper()
 	eid := f.metaPage(slot)
 	if st := f.mon.CreateEnclave(eid, testEvBase, testEvMask); st != api.OK {
@@ -106,7 +106,7 @@ func (f *fixture) createLoading(t *testing.T, slot int, region int) uint64 {
 }
 
 // loadMinimal gives the enclave page tables, one code page, one thread.
-func (f *fixture) loadMinimal(t *testing.T, eid uint64, slot int) uint64 {
+func (f *fixture) loadMinimal(t testing.TB, eid uint64, slot int) uint64 {
 	t.Helper()
 	for _, alloc := range [][2]uint64{{0, 2}, {testEvBase, 1}, {testEvBase, 0}} {
 		if st := f.mon.AllocatePageTable(eid, alloc[0], int(alloc[1])); st != api.OK {

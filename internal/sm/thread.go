@@ -91,15 +91,11 @@ func (mon *Monitor) lookupThread(tid uint64) (*Thread, api.Error) {
 	return t, api.OK
 }
 
-// LoadThread creates a thread during enclave loading (Fig 3/4:
-// load_thread by the OS). The thread is measured into the enclave and
-// is immediately in the assigned state.
-func (mon *Monitor) LoadThread(eid, tid, entryPC, entrySP uint64) api.Error {
-	e, st := mon.lookupEnclave(eid)
-	if st != api.OK {
-		return st
-	}
-	defer e.mu.Unlock()
+// loadThreadLocked creates a thread during enclave loading (Fig 3/4:
+// load_thread by the OS, CallLoadThread). The thread is measured into
+// the enclave and is immediately in the assigned state. The caller
+// holds e's transaction lock.
+func (mon *Monitor) loadThreadLocked(e *Enclave, tid, entryPC, entrySP uint64) api.Error {
 	if e.State != EnclaveLoading {
 		return api.ErrInvalidState
 	}
@@ -114,17 +110,17 @@ func (mon *Monitor) LoadThread(eid, tid, entryPC, entrySP uint64) api.Error {
 	if st := mon.allocMetaPage(tid); st != api.OK {
 		return st
 	}
-	t := &Thread{ID: tid, State: ThreadAssigned, Owner: eid, EntryPC: entryPC, EntrySP: entrySP}
+	t := &Thread{ID: tid, State: ThreadAssigned, Owner: e.ID, EntryPC: entryPC, EntrySP: entrySP}
 	mon.threads[tid] = t
 	e.Threads[tid] = t
 	e.meas.ExtendThread(entryPC, entrySP)
 	return api.OK
 }
 
-// CreateThread creates an unbound thread after enclave initialization
-// (Fig 4: the available state). It is not measured; an enclave must
-// explicitly accept it.
-func (mon *Monitor) CreateThread(tid uint64) api.Error {
+// createThread creates an unbound thread after enclave initialization
+// (Fig 4: the available state, CallCreateThread). It is not measured;
+// an enclave must explicitly accept it.
+func (mon *Monitor) createThread(tid uint64) api.Error {
 	mon.objMu.Lock()
 	defer mon.objMu.Unlock()
 	if _, exists := mon.threads[tid]; exists {
@@ -137,9 +133,9 @@ func (mon *Monitor) CreateThread(tid uint64) api.Error {
 	return api.OK
 }
 
-// AssignThread offers an available thread to an initialized enclave
-// (Fig 4: assign_thread by the OS).
-func (mon *Monitor) AssignThread(eid, tid uint64) api.Error {
+// assignThread offers an available thread to an initialized enclave
+// (Fig 4: assign_thread by the OS, CallAssignThread).
+func (mon *Monitor) assignThread(eid, tid uint64) api.Error {
 	e, st := mon.lookupEnclave(eid)
 	if st != api.OK {
 		return st
@@ -160,10 +156,10 @@ func (mon *Monitor) AssignThread(eid, tid uint64) api.Error {
 	return api.OK
 }
 
-// UnassignThread takes a non-running thread away from an enclave
-// (Fig 4: unassign_thread by the OS). The thread context is scrubbed so
-// no enclave state leaks through the metadata.
-func (mon *Monitor) UnassignThread(tid uint64) api.Error {
+// unassignThread takes a non-running thread away from an enclave
+// (Fig 4: unassign_thread by the OS, CallUnassignThread). The thread
+// context is scrubbed so no enclave state leaks through the metadata.
+func (mon *Monitor) unassignThread(tid uint64) api.Error {
 	t, st := mon.lookupThread(tid)
 	if st != api.OK {
 		return st
@@ -237,9 +233,9 @@ func (mon *Monitor) releaseThread(e *Enclave, tid uint64) api.Error {
 	return api.OK
 }
 
-// DeleteThread destroys an available thread (Fig 4: delete_thread by
-// the OS).
-func (mon *Monitor) DeleteThread(tid uint64) api.Error {
+// deleteThread destroys an available thread (Fig 4: delete_thread by
+// the OS, CallDeleteThread).
+func (mon *Monitor) deleteThread(tid uint64) api.Error {
 	t, st := mon.lookupThread(tid)
 	if st != api.OK {
 		return st
@@ -255,18 +251,19 @@ func (mon *Monitor) DeleteThread(tid uint64) api.Error {
 	return api.OK
 }
 
-// EnterEnclave schedules an enclave thread onto a core (Fig 4:
-// enter_enclave by the OS). The monitor cleans the core, programs the
-// enclave view, and points execution at the thread's entry; the OS then
-// drives the core with machine.Run. On entry, register a0 tells the
-// enclave whether an AEX context is pending (it may CallResumeAEX).
+// enterEnclave schedules an enclave thread onto a core (Fig 4:
+// enter_enclave by the OS, CallEnterEnclave). The monitor cleans the
+// core, programs the enclave view, and points execution at the thread's
+// entry; the OS then drives the core with machine.Run. On entry,
+// register a0 tells the enclave whether an AEX context is pending (it
+// may CallResumeAEX).
 //
 // The call must come from the core's driver while the core is idle (a
 // core already inside Run fails the core-slot transaction). Contention
 // on the enclave, the thread, the core slot, or the core's run mutex —
 // e.g. two harts racing to schedule threads of one enclave, or an IPI
 // poster briefly holding the idle core — fails with ErrRetry.
-func (mon *Monitor) EnterEnclave(coreID int, eid, tid uint64) api.Error {
+func (mon *Monitor) enterEnclave(coreID int, eid, tid uint64) api.Error {
 	if coreID < 0 || coreID >= len(mon.machine.Cores) {
 		return api.ErrInvalidValue
 	}

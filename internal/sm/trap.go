@@ -99,8 +99,12 @@ func (mon *Monitor) enclaveFault(c *machine.Core, slot slotView, tr *isa.Trap) m
 	return machine.DispReturnToOS
 }
 
-// enclaveCall dispatches an ECALL from a running enclave (§V-A: the SM
-// API is implemented via machine events, much like a system call).
+// enclaveCall funnels an ECALL from a running enclave into the unified
+// dispatch table (§V-A: the SM API is implemented via machine events,
+// much like a system call). The enclave's identity is derived from the
+// trapping core's slot — never from anything the guest supplies — which
+// is what makes Caller trustworthy for the per-domain authorization in
+// dispatch.
 func (mon *Monitor) enclaveCall(c *machine.Core, slot slotView) machine.Disposition {
 	mon.objMu.RLock()
 	e := mon.enclaves[slot.owner]
@@ -111,138 +115,22 @@ func (mon *Monitor) enclaveCall(c *machine.Core, slot slotView) machine.Disposit
 		return machine.DispReturnToOS
 	}
 
-	call := api.Call(c.CPU.Reg(isa.RegA7))
-	a0 := c.CPU.Reg(isa.RegA0)
-	a1 := c.CPU.Reg(isa.RegA1)
-	a2 := c.CPU.Reg(isa.RegA2)
-
-	var st api.Error
-	var ret uint64
-
-	switch call {
-	case api.CallExitEnclave:
-		mon.stopThread(uint64(c.ID), a0, false)
-		return machine.DispReturnToOS
-
-	case api.CallResumeAEX:
-		t.mu.Lock()
-		if !t.AEXValid {
-			t.mu.Unlock()
-			st = api.ErrInvalidState
-			break
-		}
-		c.CPU.Regs = t.aexRegs
-		c.CPU.PC = t.aexPC
-		t.AEXValid = false
-		t.mu.Unlock()
-		return machine.DispResume
-
-	case api.CallResumeFault:
-		t.mu.Lock()
-		if !t.inFault {
-			t.mu.Unlock()
-			st = api.ErrInvalidState
-			break
-		}
-		c.CPU.Regs = t.faultRegs
-		c.CPU.PC = t.faultPC
-		t.inFault = false
-		t.mu.Unlock()
-		return machine.DispResume
-
-	case api.CallSetFaultHandler:
-		if a0 != 0 && !e.InEvrange(a0) {
-			st = api.ErrInvalidValue
-			break
-		}
-		t.mu.Lock()
-		t.FaultPC, t.FaultSP = a0, a1
-		t.mu.Unlock()
-
-	case api.CallGetRandom:
-		var b [8]byte
-		mon.machine.Entropy.Read(b[:])
-		for i, v := range b {
-			ret |= uint64(v) << (8 * uint(i))
-		}
-
-	case api.CallMyEnclaveID:
-		ret = e.ID
-
-	case api.CallAcceptMail:
-		st = mon.acceptMail(e, int(a0), a1)
-
-	case api.CallSendMail:
-		msg, ok := mon.readEnclave(e, a1, api.MailboxSize)
-		if !ok {
-			st = api.ErrInvalidValue
-			break
-		}
-		st = mon.deliverMail(e.ID, e.Measurement, a0, msg)
-
-	case api.CallGetMail:
-		var msg []byte
-		var senderMeas [32]byte
-		msg, senderMeas, st = mon.getMail(e, int(a0))
-		if st == api.OK {
-			out := append(append([]byte(nil), senderMeas[:]...), msg...)
-			if !mon.writeEnclave(e, a1, out) {
-				st = api.ErrInvalidValue
-			}
-		}
-
-	case api.CallAcceptThread:
-		st = mon.acceptThread(e, a0, a1, a2)
-
-	case api.CallReleaseThread:
-		st = mon.releaseThread(e, a0)
-
-	case api.CallAcceptRegion:
-		st = mon.acceptRegion(e, int(a0))
-
-	case api.CallBlockRegion:
-		st = mon.blockRegionAs(e.ID, int(a0))
-
-	case api.CallGetField:
-		data, fst := mon.fieldBytes(api.Field(a0), e)
-		st = fst
-		if st == api.OK {
-			if uint64(len(data)) > a2 {
-				st = api.ErrInvalidValue
-				break
-			}
-			if !mon.writeEnclave(e, a1, data) {
-				st = api.ErrInvalidValue
-				break
-			}
-			ret = uint64(len(data))
-		}
-
-	case api.CallAttestSign:
-		sig, fst := mon.attestSign(e, a0, a1)
-		st = fst
-		if st == api.OK {
-			if !mon.writeEnclave(e, a2, sig) {
-				st = api.ErrInvalidValue
-			}
-		}
-
-	case api.CallKADerive:
-		st = mon.kaDerive(e, a0, a1)
-
-	case api.CallKACombine:
-		st = mon.kaCombine(e, a0, a1, a2)
-
-	case api.CallMAC:
-		a3 := c.CPU.Reg(isa.RegA3)
-		st = mon.macService(e, a0, a1, a2, a3)
-
-	default:
-		st = api.ErrNotSupported
+	req := api.Request{
+		Caller: e.ID,
+		Call:   api.Call(c.CPU.Reg(isa.RegA7)),
+		Args: [6]uint64{
+			c.CPU.Reg(isa.RegA0), c.CPU.Reg(isa.RegA1), c.CPU.Reg(isa.RegA2),
+			c.CPU.Reg(isa.RegA3), c.CPU.Reg(isa.RegA4), c.CPU.Reg(isa.RegA5),
+		},
 	}
-
-	c.CPU.SetReg(isa.RegA0, uint64(st))
-	c.CPU.SetReg(isa.RegA1, ret)
+	ctx := callContext{core: c, enclave: e, thread: t}
+	resp := mon.dispatch(&req, &ctx)
+	if ctx.transferred {
+		// Exit or resume: the handler already programmed the core.
+		return ctx.disp
+	}
+	c.CPU.SetReg(isa.RegA0, uint64(resp.Status))
+	c.CPU.SetReg(isa.RegA1, resp.Values[0])
 	c.CPU.PC += isa.InstrSize
 	return machine.DispResume
 }

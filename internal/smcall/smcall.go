@@ -1,0 +1,277 @@
+// Package smcall is the untrusted software's client for the security
+// monitor's unified call ABI (internal/sm/api): typed wrappers over
+// Monitor.Dispatch plus the one place the §V-A retry discipline lives.
+// Monitor transactions fail with api.ErrRetry instead of blocking when
+// another hart's transaction holds an object lock; every caller used to
+// hand-roll its own retry loop, and this client centralizes them with
+// bounded backoff and a shared retry counter (the scheduler's `retries`
+// metric reads it).
+//
+// The client also owns batched submission: Batch forwards a request
+// sequence to Monitor.DispatchBatch — which amortizes per-call enclave
+// locking across consecutive same-enclave calls — and resubmits the
+// unexecuted tail whenever the monitor cuts the batch at a contended
+// element.
+package smcall
+
+import (
+	"runtime"
+	"sync/atomic"
+
+	"sanctorum/internal/sm/api"
+)
+
+// Dispatcher is the monitor surface the client drives; *sm.Monitor
+// implements it. Tests substitute fakes.
+type Dispatcher interface {
+	Dispatch(api.Request) api.Response
+	DispatchBatch([]api.Request) []api.Response
+}
+
+// DefaultMaxAttempts bounds the retry loop: a transaction that stays
+// contended this many times is reported to the caller as api.ErrRetry
+// rather than spun on forever. The limit is deliberately generous —
+// contention windows in the monitor are a few instructions long, and
+// genuine livelock is a bug worth surfacing, not masking.
+const DefaultMaxAttempts = 1 << 20
+
+// Client issues monitor calls for one untrusted caller (the OS model).
+// The zero value is not usable; construct with New.
+type Client struct {
+	d Dispatcher
+
+	// MaxAttempts overrides DefaultMaxAttempts when positive.
+	MaxAttempts int
+
+	retries atomic.Uint64
+}
+
+// New returns a client over the given dispatch surface.
+func New(d Dispatcher) *Client { return &Client{d: d} }
+
+// Retries reports how many times any call through this client observed
+// api.ErrRetry — the §V-A contention signal — whether the client
+// retried it or handed it back (Try variants). Deterministic-mode runs
+// never contend; parallel runs count real cross-hart collisions.
+func (c *Client) Retries() uint64 { return c.retries.Load() }
+
+func (c *Client) maxAttempts() int {
+	if c.MaxAttempts > 0 {
+		return c.MaxAttempts
+	}
+	return DefaultMaxAttempts
+}
+
+// backoff yields the host thread progressively longer as a transaction
+// stays contended: first a single reschedule, then doubling bursts
+// capped well below a host timeslice. The monitor's critical sections
+// are a few loads and stores long, so yielding — not sleeping — is the
+// right grain; sleeping would also perturb the deterministic mode's
+// host-time-free contract.
+func backoff(attempt int) {
+	spins := 1
+	if attempt > 0 {
+		shift := attempt
+		if shift > 6 {
+			shift = 6
+		}
+		spins = 1 << uint(shift)
+	}
+	for i := 0; i < spins; i++ {
+		runtime.Gosched()
+	}
+}
+
+// Do dispatches one request, retrying api.ErrRetry with bounded
+// backoff. The returned error is the final non-retry status's Err (nil
+// for OK), or api.ErrRetry if the attempt bound was exhausted.
+func (c *Client) Do(req api.Request) (api.Response, error) {
+	for attempt := 0; ; attempt++ {
+		resp := c.d.Dispatch(req)
+		if resp.Status != api.ErrRetry {
+			return resp, resp.Status.Err()
+		}
+		c.retries.Add(1)
+		if attempt+1 >= c.maxAttempts() {
+			return resp, api.ErrRetry
+		}
+		backoff(attempt)
+	}
+}
+
+// Try dispatches one request exactly once, handing api.ErrRetry back to
+// the caller (still counted). Schedulers that would rather run other
+// work than spin on a contended object use this.
+func (c *Client) Try(req api.Request) api.Response {
+	resp := c.d.Dispatch(req)
+	if resp.Status == api.ErrRetry {
+		c.retries.Add(1)
+	}
+	return resp
+}
+
+// Batch submits the requests in order through the monitor's batched
+// path and returns one Response per Request. When the monitor cuts the
+// batch at a contended element (see Monitor.DispatchBatch), the client
+// backs off and resubmits the unexecuted tail, so the caller sees
+// sequential semantics: every element was executed exactly once, in
+// order. Non-retry element failures do not stop the batch — callers
+// inspect the statuses. The error is non-nil only if the attempt bound
+// was exhausted, in which case the unexecuted tail reports ErrRetry.
+func (c *Client) Batch(reqs []api.Request) ([]api.Response, error) {
+	out := make([]api.Response, 0, len(reqs))
+	pending := reqs
+	for attempt := 0; len(pending) > 0; attempt++ {
+		resps := c.d.DispatchBatch(pending)
+		cut := -1
+		for i := range resps {
+			if resps[i].Status == api.ErrRetry {
+				cut = i
+				break
+			}
+		}
+		if cut < 0 {
+			return append(out, resps...), nil
+		}
+		c.retries.Add(1)
+		out = append(out, resps[:cut]...)
+		pending = pending[cut:]
+		if attempt+1 >= c.maxAttempts() {
+			return append(out, resps[cut:]...), api.ErrRetry
+		}
+		backoff(attempt)
+	}
+	return out, nil
+}
+
+// call is the shared typed-wrapper body.
+func (c *Client) call(call api.Call, args ...uint64) (api.Response, error) {
+	return c.Do(api.OSRequest(call, args...))
+}
+
+// ABIVersion probes the monitor's ABI version (api.Version layout).
+func (c *Client) ABIVersion() (uint64, error) {
+	resp, err := c.call(api.CallGetABIVersion)
+	return resp.Values[0], err
+}
+
+// CreateEnclave starts the enclave lifecycle (Fig 3).
+func (c *Client) CreateEnclave(eid, evBase, evMask uint64) error {
+	_, err := c.call(api.CallCreateEnclave, eid, evBase, evMask)
+	return err
+}
+
+// AllocatePageTable allocates the enclave page-table page covering va
+// at the given level, top-down.
+func (c *Client) AllocatePageTable(eid, va uint64, level int) error {
+	_, err := c.call(api.CallAllocPageTable, eid, va, uint64(level))
+	return err
+}
+
+// LoadPage loads one measured page from OS memory into the enclave.
+func (c *Client) LoadPage(eid, va, srcPA, perms uint64) error {
+	_, err := c.call(api.CallLoadPage, eid, va, srcPA, perms)
+	return err
+}
+
+// MapShared maps an OS-owned page as the enclave's untrusted window.
+func (c *Client) MapShared(eid, va, pa uint64) error {
+	_, err := c.call(api.CallMapShared, eid, va, pa)
+	return err
+}
+
+// InitEnclave seals the enclave and finalizes its measurement.
+func (c *Client) InitEnclave(eid uint64) error {
+	_, err := c.call(api.CallInitEnclave, eid)
+	return err
+}
+
+// DeleteEnclave tears an enclave down.
+func (c *Client) DeleteEnclave(eid uint64) error {
+	_, err := c.call(api.CallDeleteEnclave, eid)
+	return err
+}
+
+// EnclaveStatus reports the enclave's lifecycle state; when measOutPA
+// is non-zero the monitor writes the 32-byte measurement there (the
+// address must be OS-owned).
+func (c *Client) EnclaveStatus(eid, measOutPA uint64) (api.EnclaveState, error) {
+	resp, err := c.call(api.CallEnclaveStatus, eid, measOutPA)
+	return api.EnclaveState(resp.Values[0]), err
+}
+
+// LoadThread creates a measured thread during enclave loading.
+func (c *Client) LoadThread(eid, tid, entryPC, entrySP uint64) error {
+	_, err := c.call(api.CallLoadThread, eid, tid, entryPC, entrySP)
+	return err
+}
+
+// CreateThread creates an unbound, unmeasured thread.
+func (c *Client) CreateThread(tid uint64) error {
+	_, err := c.call(api.CallCreateThread, tid)
+	return err
+}
+
+// AssignThread offers an available thread to an initialized enclave.
+func (c *Client) AssignThread(eid, tid uint64) error {
+	_, err := c.call(api.CallAssignThread, eid, tid)
+	return err
+}
+
+// UnassignThread takes a non-running thread away from its enclave.
+func (c *Client) UnassignThread(tid uint64) error {
+	_, err := c.call(api.CallUnassignThread, tid)
+	return err
+}
+
+// DeleteThread destroys an available thread.
+func (c *Client) DeleteThread(tid uint64) error {
+	_, err := c.call(api.CallDeleteThread, tid)
+	return err
+}
+
+// TryEnterEnclave schedules a thread onto an idle core, exactly once:
+// contention comes back as api.ErrRetry so a scheduler can requeue the
+// task instead of spinning on the core slot.
+func (c *Client) TryEnterEnclave(coreID int, eid, tid uint64) api.Error {
+	return c.Try(api.OSRequest(api.CallEnterEnclave, uint64(coreID), eid, tid)).Status
+}
+
+// RegionInfo reports a region's lifecycle state and owner.
+func (c *Client) RegionInfo(r int) (api.RegionState, uint64, error) {
+	resp, err := c.call(api.CallRegionInfo, uint64(r))
+	return api.RegionState(resp.Values[0]), resp.Values[1], err
+}
+
+// GrantRegion re-allocates an available or OS-owned region to newOwner.
+func (c *Client) GrantRegion(r int, newOwner uint64) error {
+	_, err := c.call(api.CallGrantRegion, uint64(r), newOwner)
+	return err
+}
+
+// BlockRegion relinquishes an OS-owned region.
+func (c *Client) BlockRegion(r int) error {
+	_, err := c.call(api.CallBlockRegion, uint64(r))
+	return err
+}
+
+// CleanRegion scrubs a blocked region and makes it available.
+func (c *Client) CleanRegion(r int) error {
+	_, err := c.call(api.CallCleanRegion, uint64(r))
+	return err
+}
+
+// SendMail delivers n bytes staged at an OS-owned physical address to
+// the recipient enclave's armed mailbox, stamped with the reserved OS
+// identity.
+func (c *Client) SendMail(recipientEID, srcPA uint64, n int) error {
+	_, err := c.call(api.CallSendMail, recipientEID, srcPA, uint64(n))
+	return err
+}
+
+// GetField copies a public monitor metadata field (§VI-C) into OS-owned
+// memory at outPA (at most max bytes) and returns the byte count.
+func (c *Client) GetField(f api.Field, outPA, max uint64) (int, error) {
+	resp, err := c.call(api.CallGetField, uint64(f), outPA, max)
+	return int(resp.Values[0]), err
+}

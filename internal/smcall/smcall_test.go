@@ -1,0 +1,187 @@
+package smcall
+
+import (
+	"errors"
+	"testing"
+
+	"sanctorum/internal/sm/api"
+)
+
+// fakeMonitor scripts Dispatch results and mimics the monitor's
+// batch contract (stop at the first ErrRetry, fill the tail).
+type fakeMonitor struct {
+	// retriesBeforeOK makes each distinct request key fail with
+	// ErrRetry this many times before succeeding.
+	retriesBeforeOK map[api.Call]int
+	status          map[api.Call]api.Error // terminal status (default OK)
+	calls           []api.Call             // executed (non-cut) calls, in order
+}
+
+func newFake() *fakeMonitor {
+	return &fakeMonitor{
+		retriesBeforeOK: map[api.Call]int{},
+		status:          map[api.Call]api.Error{},
+	}
+}
+
+func (f *fakeMonitor) Dispatch(req api.Request) api.Response {
+	if n := f.retriesBeforeOK[req.Call]; n > 0 {
+		f.retriesBeforeOK[req.Call] = n - 1
+		return api.Response{Status: api.ErrRetry}
+	}
+	f.calls = append(f.calls, req.Call)
+	st := f.status[req.Call]
+	return api.Response{Status: st, Values: [2]uint64{req.Args[0] + 1}}
+}
+
+func (f *fakeMonitor) DispatchBatch(reqs []api.Request) []api.Response {
+	out := make([]api.Response, len(reqs))
+	for i := range reqs {
+		out[i] = f.Dispatch(reqs[i])
+		if out[i].Status == api.ErrRetry {
+			for j := i + 1; j < len(reqs); j++ {
+				out[j] = api.Response{Status: api.ErrRetry}
+			}
+			break
+		}
+	}
+	return out
+}
+
+func TestDoRetriesUntilSuccess(t *testing.T) {
+	f := newFake()
+	f.retriesBeforeOK[api.CallCreateThread] = 3
+	c := New(f)
+	resp, err := c.Do(api.OSRequest(api.CallCreateThread, 41))
+	if err != nil {
+		t.Fatalf("Do: %v", err)
+	}
+	if resp.Values[0] != 42 {
+		t.Fatalf("response not threaded through: %+v", resp)
+	}
+	if got := c.Retries(); got != 3 {
+		t.Fatalf("retry counter = %d, want 3", got)
+	}
+}
+
+func TestDoStopsAtAttemptBound(t *testing.T) {
+	f := newFake()
+	f.retriesBeforeOK[api.CallCreateThread] = 1 << 30 // effectively forever
+	c := New(f)
+	c.MaxAttempts = 5
+	_, err := c.Do(api.OSRequest(api.CallCreateThread))
+	if !errors.Is(err, api.ErrRetry) {
+		t.Fatalf("bounded retry returned %v, want ErrRetry", err)
+	}
+	if got := c.Retries(); got != 5 {
+		t.Fatalf("retry counter = %d, want 5", got)
+	}
+}
+
+func TestDoReturnsTerminalStatusAsError(t *testing.T) {
+	f := newFake()
+	f.status[api.CallInitEnclave] = api.ErrInvalidState
+	c := New(f)
+	_, err := c.Do(api.OSRequest(api.CallInitEnclave, 7))
+	if !errors.Is(err, api.ErrInvalidState) {
+		t.Fatalf("terminal error lost: %v", err)
+	}
+	if errors.Is(err, api.ErrRetry) {
+		t.Fatal("error matches the wrong sentinel")
+	}
+}
+
+func TestTryHandsBackRetryButCountsIt(t *testing.T) {
+	f := newFake()
+	f.retriesBeforeOK[api.CallEnterEnclave] = 1
+	c := New(f)
+	if st := c.TryEnterEnclave(0, 1, 2); st != api.ErrRetry {
+		t.Fatalf("first try = %v, want ErrRetry", st)
+	}
+	if st := c.TryEnterEnclave(0, 1, 2); st != api.OK {
+		t.Fatalf("second try = %v, want OK", st)
+	}
+	if got := c.Retries(); got != 1 {
+		t.Fatalf("retry counter = %d, want 1", got)
+	}
+}
+
+func TestBatchResumesAfterContentionCut(t *testing.T) {
+	f := newFake()
+	// The third element contends twice; the batch must cut there and
+	// resume without re-running the first two.
+	f.retriesBeforeOK[api.CallInitEnclave] = 2
+	c := New(f)
+	reqs := []api.Request{
+		api.OSRequest(api.CallCreateEnclave, 1),
+		api.OSRequest(api.CallLoadPage, 2),
+		api.OSRequest(api.CallInitEnclave, 3),
+		api.OSRequest(api.CallEnclaveStatus, 4),
+	}
+	resps, err := c.Batch(reqs)
+	if err != nil {
+		t.Fatalf("Batch: %v", err)
+	}
+	if len(resps) != len(reqs) {
+		t.Fatalf("%d responses for %d requests", len(resps), len(reqs))
+	}
+	for i, r := range resps {
+		if r.Status != api.OK {
+			t.Fatalf("element %d: %v", i, r.Status)
+		}
+		if r.Values[0] != reqs[i].Args[0]+1 {
+			t.Fatalf("element %d executed out of order: %+v", i, r)
+		}
+	}
+	want := []api.Call{api.CallCreateEnclave, api.CallLoadPage,
+		api.CallInitEnclave, api.CallEnclaveStatus}
+	if len(f.calls) != len(want) {
+		t.Fatalf("monitor executed %v, want each element exactly once (%v)", f.calls, want)
+	}
+	for i := range want {
+		if f.calls[i] != want[i] {
+			t.Fatalf("execution order %v, want %v", f.calls, want)
+		}
+	}
+	if got := c.Retries(); got != 2 {
+		t.Fatalf("retry counter = %d, want 2", got)
+	}
+}
+
+func TestBatchKeepsNonRetryFailuresInPlace(t *testing.T) {
+	f := newFake()
+	f.status[api.CallLoadPage] = api.ErrInvalidValue
+	c := New(f)
+	resps, err := c.Batch([]api.Request{
+		api.OSRequest(api.CallCreateEnclave, 1),
+		api.OSRequest(api.CallLoadPage, 2),
+		api.OSRequest(api.CallInitEnclave, 3),
+	})
+	if err != nil {
+		t.Fatalf("Batch: %v", err)
+	}
+	if resps[0].Status != api.OK || resps[1].Status != api.ErrInvalidValue || resps[2].Status != api.OK {
+		t.Fatalf("statuses %v %v %v", resps[0].Status, resps[1].Status, resps[2].Status)
+	}
+}
+
+func TestBatchAttemptBound(t *testing.T) {
+	f := newFake()
+	f.retriesBeforeOK[api.CallInitEnclave] = 1 << 30
+	c := New(f)
+	c.MaxAttempts = 3
+	resps, err := c.Batch([]api.Request{
+		api.OSRequest(api.CallCreateEnclave, 1),
+		api.OSRequest(api.CallInitEnclave, 2),
+		api.OSRequest(api.CallEnclaveStatus, 3),
+	})
+	if !errors.Is(err, api.ErrRetry) {
+		t.Fatalf("exhausted batch returned %v, want ErrRetry", err)
+	}
+	if resps[0].Status != api.OK {
+		t.Fatalf("completed prefix lost: %v", resps[0].Status)
+	}
+	if resps[1].Status != api.ErrRetry || resps[2].Status != api.ErrRetry {
+		t.Fatalf("unexecuted tail should report ErrRetry: %v %v", resps[1].Status, resps[2].Status)
+	}
+}

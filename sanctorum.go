@@ -24,6 +24,7 @@ import (
 	"sanctorum/internal/platform/keystone"
 	"sanctorum/internal/platform/sanctum"
 	"sanctorum/internal/sm"
+	"sanctorum/internal/sm/api"
 	"sanctorum/internal/sm/boot"
 )
 
@@ -158,12 +159,29 @@ func (s *System) BuildEnclave(spec *os.EnclaveSpec) (*os.BuiltEnclave, error) {
 }
 
 // Enter schedules an enclave thread on a core and runs it until the
-// monitor hands control back (exit, AEX, or fault delegation).
+// monitor hands control back (exit, AEX, or fault delegation). The
+// returned error wraps the api.Error status, so callers can test it
+// with errors.Is (e.g. errors.Is(err, api.ErrRetry)).
 func (s *System) Enter(coreID int, eid, tid uint64, maxSteps int) (machine.RunResult, error) {
 	if st := s.OS.EnterEnclave(coreID, eid, tid); st != 0 {
-		return machine.RunResult{}, fmt.Errorf("sanctorum: enter_enclave: %v", st)
+		return machine.RunResult{}, fmt.Errorf("sanctorum: enter_enclave: %w", st)
 	}
 	return s.Machine.Run(coreID, maxSteps)
+}
+
+// ABIVersion probes the monitor's unified call ABI version
+// (api.Version layout: major<<16 | minor).
+func (s *System) ABIVersion() (uint64, error) { return s.OS.ABIVersion() }
+
+// GetField reads a public monitor metadata field (§VI-C) through the
+// call ABI: the monitor writes the bytes into OS-owned memory and the
+// OS model copies them out.
+func (s *System) GetField(f api.Field) ([]byte, error) { return s.OS.GetField(f) }
+
+// SendMail delivers an OS message to an enclave's armed mailbox through
+// the call ABI, stamped with the reserved OS identity.
+func (s *System) SendMail(recipientEID uint64, msg []byte) error {
+	return s.OS.SendMail(recipientEID, msg)
 }
 
 // Resume re-runs a core that returned to the OS without re-entering
