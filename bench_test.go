@@ -47,6 +47,14 @@ func mustBuild(b *testing.B, sys *sanctorum.System, l enclaves.Layout, prog *asm
 	return built
 }
 
+// tryCall issues one monitor call through the unified-ABI client
+// without the client's retry loop — the single-shot §V-A transaction
+// the old direct-method surface exposed (its compat shims are no
+// longer linked outside their own tests).
+func tryCall(sys *sanctorum.System, c api.Call, args ...uint64) api.Error {
+	return sys.OS.SM.Try(api.OSRequest(c, args...)).Status
+}
+
 // --- E1 (Fig 1): SM event routing cost ---
 
 // BenchmarkE1TrapRoundTrip measures one enclave ECALL handled entirely
@@ -84,16 +92,15 @@ func BenchmarkE2RegionLifecycle(b *testing.B) {
 		b.Run(kind.String(), func(b *testing.B) {
 			sys := mustSystem(b, kind, [32]byte{})
 			r := sys.OS.FreeRegions()[0]
-			mon := sys.Monitor
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if st := mon.BlockRegion(r); st != api.OK {
+				if st := tryCall(sys, api.CallBlockRegion, uint64(r)); st != api.OK {
 					b.Fatalf("block: %v", st)
 				}
-				if st := mon.CleanRegion(r); st != api.OK {
+				if st := tryCall(sys, api.CallCleanRegion, uint64(r)); st != api.OK {
 					b.Fatalf("clean: %v", st)
 				}
-				if st := mon.GrantRegion(r, api.DomainOS); st != api.OK {
+				if st := tryCall(sys, api.CallGrantRegion, uint64(r), api.DomainOS); st != api.OK {
 					b.Fatalf("grant: %v", st)
 				}
 			}
@@ -142,22 +149,21 @@ func BenchmarkE3EnclaveLifecycle(b *testing.B) {
 // benchmark iteration.
 func teardown(b *testing.B, sys *sanctorum.System, built *os.BuiltEnclave, regions []int) {
 	b.Helper()
-	mon := sys.Monitor
-	if st := mon.DeleteEnclave(built.EID); st != api.OK {
+	if st := tryCall(sys, api.CallDeleteEnclave, built.EID); st != api.OK {
 		b.Fatalf("delete: %v", st)
 	}
 	for _, tid := range built.TIDs {
-		if st := mon.DeleteThread(tid); st != api.OK {
+		if st := tryCall(sys, api.CallDeleteThread, tid); st != api.OK {
 			b.Fatalf("delete thread: %v", st)
 		}
 		sys.OS.ReleaseMetaPage(tid)
 	}
 	sys.OS.ReleaseMetaPage(built.EID)
 	for _, region := range regions {
-		if st := mon.CleanRegion(region); st != api.OK {
+		if st := tryCall(sys, api.CallCleanRegion, uint64(region)); st != api.OK {
 			b.Fatalf("clean region %d: %v", region, st)
 		}
-		if st := mon.GrantRegion(region, api.DomainOS); st != api.OK {
+		if st := tryCall(sys, api.CallGrantRegion, uint64(region), api.DomainOS); st != api.OK {
 			b.Fatalf("grant region %d: %v", region, st)
 		}
 	}
@@ -373,17 +379,16 @@ func BenchmarkE9PrimeProbe(b *testing.B) {
 
 func BenchmarkE11ConcurrentRegionOps(b *testing.B) {
 	sys := mustSystem(b, sanctorum.Sanctum, [32]byte{})
-	mon := sys.Monitor
 	regions := sys.OS.FreeRegions()
 	b.RunParallel(func(pb *testing.PB) {
 		i := 0
 		for pb.Next() {
-			r := regions[i%len(regions)]
+			r := uint64(regions[i%len(regions)])
 			i++
-			if mon.BlockRegion(r) == api.OK {
-				for mon.CleanRegion(r) != api.OK {
+			if tryCall(sys, api.CallBlockRegion, r) == api.OK {
+				for tryCall(sys, api.CallCleanRegion, r) != api.OK {
 				}
-				for mon.GrantRegion(r, api.DomainOS) != api.OK {
+				for tryCall(sys, api.CallGrantRegion, r, api.DomainOS) != api.OK {
 				}
 			}
 		}
@@ -447,15 +452,74 @@ func BenchmarkAblationTLBInvalidate(b *testing.B) {
 // cost, measured as useful operations completed under contention.
 func BenchmarkAblationLockContention(b *testing.B) {
 	sys := mustSystem(b, sanctorum.Sanctum, [32]byte{})
-	mon := sys.Monitor
-	r := sys.OS.FreeRegions()[0]
+	r := uint64(sys.OS.FreeRegions()[0])
 	b.Run("try-lock-api", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			// The monitor's calls never block; a failed transaction
 			// returns immediately.
-			mon.BlockRegion(r)
-			mon.CleanRegion(r)
-			mon.GrantRegion(r, api.DomainOS)
+			tryCall(sys, api.CallBlockRegion, r)
+			tryCall(sys, api.CallCleanRegion, r)
+			tryCall(sys, api.CallGrantRegion, r, api.DomainOS)
+		}
+	})
+}
+
+// --- E15: snapshot/clone cold start (DESIGN.md §8) ---
+
+// BenchmarkCloneColdStart compares bringing up a request-serving
+// worker the two ways: a full measured build (create → grant → tables
+// → load + hash every page → init) versus a copy-on-write clone of a
+// warmed snapshot template (tables replayed, data pages aliased,
+// identity inherited — nothing copied, nothing hashed). Both sides pay
+// the same teardown (delete, scrub, re-grant), so the ratio understates
+// the fork advantage.
+func BenchmarkCloneColdStart(b *testing.B) {
+	const pages = 24
+	makeSpec := func(l enclaves.Layout, regions []int) *os.EnclaveSpec {
+		spec := &os.EnclaveSpec{EvBase: l.EvBase, EvMask: l.EvMask, Regions: regions}
+		content := make([]byte, mem.PageSize)
+		for p := 0; p < pages; p++ {
+			content[0] = byte(p + 1)
+			spec.Pages = append(spec.Pages, os.EnclavePage{
+				VA: l.EvBase + uint64(p)*mem.PageSize, Perms: pt.R | pt.W,
+				Data: append([]byte(nil), content...),
+			})
+		}
+		spec.Threads = []os.ThreadSpec{{EntryVA: l.EvBase, StackVA: l.EvBase + pages*mem.PageSize}}
+		return spec
+	}
+	b.Run("full-build", func(b *testing.B) {
+		sys := mustSystem(b, sanctorum.Sanctum, [32]byte{})
+		l := enclaves.DefaultLayout()
+		regions := sys.OS.FreeRegions()
+		spec := makeSpec(l, regions[:1])
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			built, err := sys.BuildEnclave(spec)
+			if err != nil {
+				b.Fatal(err)
+			}
+			teardown(b, sys, built, spec.Regions)
+		}
+	})
+	b.Run("clone", func(b *testing.B) {
+		sys := mustSystem(b, sanctorum.Sanctum, [32]byte{})
+		l := enclaves.DefaultLayout()
+		regions := sys.OS.FreeRegions()
+		spec := makeSpec(l, regions[:1])
+		pool, err := os.NewPool(sys.OS, spec, regions[1:2], 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			w, err := pool.Acquire(0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := pool.Release(w); err != nil {
+				b.Fatal(err)
+			}
 		}
 	})
 }

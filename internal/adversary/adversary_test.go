@@ -87,6 +87,25 @@ func TestMaliciousOSBattery(t *testing.T) {
 	}
 }
 
+func TestSnapshotBattery(t *testing.T) {
+	// The snapshot/COW attacks are monitor-state-machine attacks plus
+	// the physical COW backstop, so every platform — including the
+	// baseline — must refuse all of them.
+	for _, kind := range []sanctorum.Kind{sanctorum.Sanctum, sanctorum.Keystone, sanctorum.Baseline} {
+		sys, err := sanctorum.NewSystem(sanctorum.Options{Kind: kind})
+		if err != nil {
+			t.Fatal(err)
+		}
+		wins, err := SnapshotBattery(sys)
+		if err != nil {
+			t.Fatalf("%v: battery failed to run: %v", kind, err)
+		}
+		for _, w := range wins {
+			t.Errorf("%v: adversary win: %s", kind, w)
+		}
+	}
+}
+
 func TestMaliciousOSBatteryOnBaseline(t *testing.T) {
 	// The control: without an isolation primitive the adversary wins
 	// the memory attacks (and only those — the monitor's state machine

@@ -1,10 +1,12 @@
 package adversary
 
 import (
+	"errors"
 	"fmt"
 
 	"sanctorum"
 	"sanctorum/internal/enclaves"
+	"sanctorum/internal/hw/mem"
 	"sanctorum/internal/hw/pt"
 	"sanctorum/internal/isa"
 	"sanctorum/internal/os"
@@ -181,6 +183,195 @@ func MaliciousOSBattery(sys *sanctorum.System) ([]string, error) {
 		return nil, fmt.Errorf("adversary: cleaned region unreadable: %v", err)
 	} else if v != 0 {
 		note("cleaned region still held enclave data")
+	}
+	return wins, nil
+}
+
+// SnapshotBattery attacks the snapshot/clone subsystem (monitor calls
+// 0x30–0x32): forged snapshot names, snapshots of enclaves in the
+// wrong lifecycle state, clones into tampered shells, releases and
+// deletions that would orphan aliased pages, and write-throughs of
+// copy-on-write aliases from the host side. Every attack must be
+// refused with the exact api.Error sentinel the ABI documents; a
+// non-empty return lists the attacks that succeeded. The battery
+// builds its own template and cleans up after itself, leaving page
+// refcounts at zero.
+func SnapshotBattery(sys *sanctorum.System) ([]string, error) {
+	var wins []string
+	note := func(format string, args ...any) {
+		wins = append(wins, fmt.Sprintf(format, args...))
+	}
+	call := func(c api.Call, args ...uint64) api.Error {
+		return sys.Monitor.Dispatch(api.OSRequest(c, args...)).Status
+	}
+	expect := func(name string, want api.Error, c api.Call, args ...uint64) {
+		if st := call(c, args...); st != want {
+			note("%s: %v, want %v", name, st, want)
+		}
+	}
+
+	l := enclaves.DefaultLayout()
+	sharedPA, err := sys.SetupShared(l.SharedVA)
+	if err != nil {
+		return nil, err
+	}
+	regions := sys.OS.FreeRegions()
+	if len(regions) < 3 {
+		return nil, fmt.Errorf("adversary: need three free regions")
+	}
+	tmplRegion, cloneRegion := regions[0], regions[1]
+	spec, err := enclaves.Spec(l, enclaves.StatefulAdder(l), []byte{100},
+		[]int{tmplRegion}, []os.SharedMapping{{VA: l.SharedVA, PA: sharedPA}})
+	if err != nil {
+		return nil, err
+	}
+	built, err := sys.BuildEnclave(spec)
+	if err != nil {
+		return nil, err
+	}
+	snapID, err := sys.OS.AllocMetaPage()
+	if err != nil {
+		return nil, err
+	}
+	layout := sys.Machine.DRAM
+
+	// 1. Snapshot names must be SM metadata pages: OS memory and junk
+	// addresses are refused before any state changes.
+	expect("snapshot into OS-owned id", api.ErrInvalidValue,
+		api.CallSnapshotEnclave, built.EID, sharedPA)
+	expect("snapshot of unknown enclave", api.ErrInvalidValue,
+		api.CallSnapshotEnclave, 0xBAD000, snapID)
+	// 2. Snapshot of a Loading enclave is refused (its measurement is
+	// not final — cloning it would mint unmeasured identities).
+	loading, err := sys.OS.AllocMetaPage()
+	if err != nil {
+		return nil, err
+	}
+	if st := call(api.CallCreateEnclave, loading, l.EvBase, l.EvMask); st != api.OK {
+		return nil, fmt.Errorf("adversary: creating loading enclave: %v", st)
+	}
+	expect("snapshot of a loading enclave", api.ErrInvalidState,
+		api.CallSnapshotEnclave, loading, snapID)
+	// 3. Snapshot of a dead enclave is refused (deleted ids vanish).
+	if st := call(api.CallDeleteEnclave, loading); st != api.OK {
+		return nil, fmt.Errorf("adversary: deleting loading enclave: %v", st)
+	}
+	expect("snapshot of a dead enclave", api.ErrInvalidValue,
+		api.CallSnapshotEnclave, loading, snapID)
+	sys.OS.ReleaseMetaPage(loading)
+
+	// The legitimate snapshot the remaining attacks target.
+	if st := call(api.CallSnapshotEnclave, built.EID, snapID); st != api.OK {
+		return nil, fmt.Errorf("adversary: benign snapshot failed: %v", st)
+	}
+
+	// 4. Clone from a forged snapshot id — a metadata page that names
+	// an enclave, not a snapshot.
+	shell, err := sys.OS.AllocMetaPage()
+	if err != nil {
+		return nil, err
+	}
+	if st := call(api.CallCreateEnclave, shell, l.EvBase, l.EvMask); st != api.OK {
+		return nil, fmt.Errorf("adversary: creating clone shell: %v", st)
+	}
+	if st := call(api.CallGrantRegion, uint64(cloneRegion), shell); st != api.OK {
+		return nil, fmt.Errorf("adversary: granting clone region: %v", st)
+	}
+	tidBase, err := sys.OS.AllocMetaPage()
+	if err != nil {
+		return nil, err
+	}
+	expect("clone from forged snapshot id (enclave id)", api.ErrInvalidValue,
+		api.CallCloneEnclave, shell, built.EID, tidBase, 0)
+	expect("clone from forged snapshot id (OS memory)", api.ErrInvalidValue,
+		api.CallCloneEnclave, shell, sharedPA, tidBase, 0)
+	// 5. Clone into a sealed enclave must fail.
+	expect("clone into a sealed enclave", api.ErrInvalidState,
+		api.CallCloneEnclave, built.EID, snapID, tidBase, 0)
+	// 6. Clone with a shared-window override inside enclave memory
+	// would alias enclave pages into the untrusted buffer.
+	expect("clone shared-override into enclave memory", api.ErrInvalidValue,
+		api.CallCloneEnclave, shell, snapID, tidBase, layout.Base(tmplRegion))
+	// 7. Clone with a tid colliding with live metadata.
+	expect("clone with colliding tid", api.ErrInvalidValue,
+		api.CallCloneEnclave, shell, snapID, built.EID, 0)
+
+	// A benign clone, to hold the snapshot's pages live.
+	if st := call(api.CallCloneEnclave, shell, snapID, tidBase, 0); st != api.OK {
+		return nil, fmt.Errorf("adversary: benign clone failed: %v", st)
+	}
+
+	// 8. Releasing the snapshot with a live clone would orphan the
+	// clone's aliased pages.
+	expect("release snapshot with live clones", api.ErrInvalidState,
+		api.CallReleaseSnapshot, snapID)
+	// 9. Deleting the frozen template would block (then clean) regions
+	// whose pages back live aliases.
+	expect("delete template with live snapshot", api.ErrInvalidState,
+		api.CallDeleteEnclave, built.EID)
+	// 10. The template's region cannot leave it while frozen.
+	expect("block frozen template region", api.ErrUnauthorized,
+		api.CallBlockRegion, uint64(tmplRegion))
+	expect("grant frozen template region", api.ErrUnauthorized,
+		api.CallGrantRegion, uint64(tmplRegion), api.DomainOS)
+	// 11. Mutating the sealed clone through the loading API.
+	expect("load_page into a clone", api.ErrInvalidState,
+		api.CallLoadPage, shell, l.DataVA+0x1000, sharedPA, pt.R)
+
+	// 12. Write through a COW alias from the host: S-mode stores, DMA,
+	// and raw physical writes must all be refused. Find a frozen page.
+	var frozenPA uint64
+	base, size := layout.Base(tmplRegion), layout.RegionSize()
+	for pa := base; pa < base+size; pa += mem.PageSize {
+		if sys.Machine.Mem.IsCOW(pa) {
+			frozenPA = pa
+			break
+		}
+	}
+	if frozenPA == 0 {
+		note("snapshot left no page frozen copy-on-write")
+	} else {
+		core := sys.Machine.Cores[1]
+		if err := core.StoreAs(isa.PrivS, frozenPA, 8, 0xBAD); err == nil {
+			note("S-mode wrote through a COW alias")
+		}
+		if err := sys.Machine.DMATransfer(frozenPA, sharedPA, 64); err == nil {
+			note("DMA read a frozen snapshot page")
+		}
+		if err := sys.Machine.DMATransfer(sharedPA, frozenPA, 64); err == nil {
+			note("DMA wrote through a COW alias")
+		}
+		if err := sys.Machine.Mem.WriteBytes(frozenPA, []byte{0xBA, 0xD0}); !errors.Is(err, mem.ErrCOWProtected) {
+			note("physical write to a frozen page: %v, want ErrCOWProtected", err)
+		}
+		if err := sys.Machine.Mem.Store(frozenPA, 8, 0xBAD); !errors.Is(err, mem.ErrCOWProtected) {
+			note("physical store to a frozen page: %v, want ErrCOWProtected", err)
+		}
+	}
+
+	// 13. Proper teardown still works and returns every page refcount
+	// to baseline (the battery must not leak references).
+	if st := call(api.CallDeleteEnclave, shell); st != api.OK {
+		return nil, fmt.Errorf("adversary: deleting clone: %v", st)
+	}
+	if st := call(api.CallDeleteThread, tidBase); st != api.OK {
+		return nil, fmt.Errorf("adversary: deleting clone thread: %v", st)
+	}
+	if st := call(api.CallCleanRegion, uint64(cloneRegion)); st != api.OK {
+		return nil, fmt.Errorf("adversary: cleaning clone region: %v", st)
+	}
+	if st := call(api.CallReleaseSnapshot, snapID); st != api.OK {
+		return nil, fmt.Errorf("adversary: releasing snapshot: %v", st)
+	}
+	expect("double release", api.ErrInvalidValue, api.CallReleaseSnapshot, snapID)
+	if st := call(api.CallDeleteEnclave, built.EID); st != api.OK {
+		return nil, fmt.Errorf("adversary: deleting thawed template: %v", st)
+	}
+	if st := call(api.CallCleanRegion, uint64(tmplRegion)); st != api.OK {
+		return nil, fmt.Errorf("adversary: cleaning template region: %v", st)
+	}
+	if refs := sys.Machine.Mem.TotalRefs(); refs != 0 {
+		note("page refcounts leaked after teardown: %d", refs)
 	}
 	return wins, nil
 }

@@ -178,6 +178,27 @@ func Adder(l Layout) *asm.Program {
 	return p
 }
 
+// StatefulAdder is the snapshot/clone workload: it keeps a running
+// total in its private data page (offset 0), adds the shared-buffer
+// input to it, persists the new total back to the data page — the
+// write that triggers a copy-on-write fault when this enclave is a
+// clone aliasing a frozen template page — and publishes the total to
+// the shared output. Two clones of one template therefore start from
+// the same measured initial total and diverge privately.
+func StatefulAdder(l Layout) *asm.Program {
+	p := asm.New()
+	p.Li64(rShared, l.SharedVA)
+	p.Li64(rData, l.DataVA)
+	p.I(isa.OpLD, rTmp1, rShared, 0, ShInput) // n
+	p.I(isa.OpLD, rAcc, rData, 0, 0)          // running total
+	p.I(isa.OpADD, rAcc, rAcc, rTmp1, 0)
+	p.I(isa.OpSD, 0, rData, rAcc, 0) // private write: COW copies on a clone
+	p.I(isa.OpSD, 0, rShared, rAcc, ShOutput)
+	p.Li(isa.RegA0, 0x42)
+	exitCall(p)
+	return p
+}
+
 // Counter is the AEX demo: on a fresh entry it counts upward forever,
 // publishing the count to the shared buffer; when re-entered after an
 // asynchronous exit (a0 != 0 at entry) it resumes the interrupted loop

@@ -148,7 +148,12 @@ func (c *Core) Load(va uint64, width int) (uint64, uint64, *isa.MemFault) {
 	return val, walkCyc + cyc, nil
 }
 
-// Store implements isa.Bus.
+// Store implements isa.Bus. A store reaching a copy-on-write frozen
+// page (an enclave-snapshot alias whose PTE write-clear a stale TLB
+// entry bypassed) faults as an access fault in both engines — the
+// physical-memory backstop of the monitor's snapshot subsystem. The
+// COW check runs after the cache access, so modeled cycles and cache
+// state stay identical between the fast and reference paths.
 func (c *Core) Store(va uint64, width int, val uint64) (uint64, *isa.MemFault) {
 	if va&(uint64(width)-1) != 0 {
 		return 0, &isa.MemFault{Kind: isa.FaultMisaligned, Addr: va}
@@ -161,6 +166,9 @@ func (c *Core) Store(va uint64, width int, val uint64) (uint64, *isa.MemFault) {
 		cyc := c.l1Hit
 		if !c.L1.TouchFast(pa, &c.dataRef) {
 			cyc = c.cachedAccessRef(pa, &c.dataRef)
+		}
+		if c.machine.Mem.IsCOW(pa) {
+			return walkCyc + cyc, &isa.MemFault{Kind: isa.FaultAccess, Addr: va}
 		}
 		c.dataWin.StoreFast(pa, width, val)
 		return walkCyc + cyc, nil

@@ -47,6 +47,14 @@ var (
 	ErrOutOfRange = errors.New("mem: physical address out of range")
 	ErrUnaligned  = errors.New("mem: unaligned access")
 	ErrBadWidth   = errors.New("mem: unsupported access width")
+	// ErrCOWProtected is returned for any write landing in a page the
+	// security monitor has frozen copy-on-write (enclave snapshots): the
+	// page's contents back one or more aliased mappings and may only
+	// change through the monitor's copy-then-retry fault protocol, never
+	// in place. This is the physical-memory backstop — page-table
+	// permissions already deny guest stores; this catches host-level
+	// writes (S-mode kernel stores, DMA) that bypass a page walk.
+	ErrCOWProtected = errors.New("mem: write to a copy-on-write frozen page")
 )
 
 // Phys is a sparse physical memory of a fixed size.
@@ -66,6 +74,21 @@ type Phys struct {
 	// ZeroRange may de-materialize pages, so a cached page pointer is
 	// never read after its page left the table.
 	zeroGen atomic.Uint64
+
+	// refs counts, per page, how many snapshot/alias holders reference
+	// the page's contents (the monitor's enclave-snapshot subsystem:
+	// one reference for the snapshot itself plus one per clone still
+	// aliasing the page). A page with a nonzero count must not be
+	// scrubbed or re-allocated; tests use TotalRefs to prove teardown
+	// returns every count to zero.
+	refs []atomic.Uint32
+
+	// cowPages marks pages frozen copy-on-write: every write path of
+	// this package (Store, WriteBytes — the paths S-mode software and
+	// DMA reach) refuses writes into a marked page with
+	// ErrCOWProtected. The monitor's own page copies target unmarked
+	// destination pages, so the mark never blocks the fault protocol.
+	cowPages []atomic.Uint64
 }
 
 // New returns a physical memory covering addresses [0, size). Size is
@@ -76,6 +99,8 @@ func New(size uint64) *Phys {
 		size:      size,
 		pages:     make([]atomic.Pointer[[PageSize]byte], size>>PageBits),
 		codePages: make([]atomic.Uint64, (size>>PageBits+63)/64),
+		refs:      make([]atomic.Uint32, size>>PageBits),
+		cowPages:  make([]atomic.Uint64, (size>>PageBits+63)/64),
 	}
 }
 
@@ -121,6 +146,82 @@ func (m *Phys) noteWrite(addr, n uint64) {
 	}
 }
 
+// Retain adds one alias reference to the page containing addr. The
+// security monitor takes a reference for a snapshot freezing the page
+// and one per clone aliasing it.
+func (m *Phys) Retain(addr uint64) { m.refs[addr>>PageBits].Add(1) }
+
+// ReleaseRef drops one alias reference from the page containing addr,
+// returning the remaining count. Releasing below zero is a monitor
+// bug and panics rather than silently corrupting the accounting.
+func (m *Phys) ReleaseRef(addr uint64) uint32 {
+	n := m.refs[addr>>PageBits].Add(^uint32(0))
+	if n == ^uint32(0) {
+		panic("mem: page reference released below zero")
+	}
+	return n
+}
+
+// PageRefs reports the alias reference count of the page containing
+// addr.
+func (m *Phys) PageRefs(addr uint64) uint32 { return m.refs[addr>>PageBits].Load() }
+
+// TotalRefs sums every page's alias reference count — the leak check
+// tests run after snapshot/clone teardown, expecting zero.
+func (m *Phys) TotalRefs() uint64 {
+	var total uint64
+	for i := range m.refs {
+		total += uint64(m.refs[i].Load())
+	}
+	return total
+}
+
+// RangeHasRefs reports whether any page of [addr, addr+n) holds alias
+// references; the monitor refuses to scrub such a range.
+func (m *Phys) RangeHasRefs(addr, n uint64) bool {
+	if n == 0 {
+		return false
+	}
+	for p, last := addr>>PageBits, (addr+n-1)>>PageBits; p <= last && p < uint64(len(m.refs)); p++ {
+		if m.refs[p].Load() != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// MarkCOW freezes the page containing addr copy-on-write: subsequent
+// Store/WriteBytes into it fail with ErrCOWProtected until ClearCOW.
+func (m *Phys) MarkCOW(addr uint64) {
+	p := addr >> PageBits
+	m.cowPages[p>>6].Or(1 << (p & 63))
+}
+
+// ClearCOW unfreezes the page containing addr.
+func (m *Phys) ClearCOW(addr uint64) {
+	p := addr >> PageBits
+	m.cowPages[p>>6].And(^uint64(1 << (p & 63)))
+}
+
+// IsCOW reports whether the page containing addr is frozen
+// copy-on-write. The machine's store path uses it to fault guest
+// stores that reach a frozen page through a stale translation.
+func (m *Phys) IsCOW(addr uint64) bool {
+	p := addr >> PageBits
+	return m.cowPages[p>>6].Load()&(1<<(p&63)) != 0
+}
+
+// cowDenies reports whether a write of n bytes at addr touches any
+// frozen page. The range is already validated and n > 0.
+func (m *Phys) cowDenies(addr, n uint64) bool {
+	for p, last := addr>>PageBits, (addr+n-1)>>PageBits; p <= last; p++ {
+		if m.cowPages[p>>6].Load()&(1<<(p&63)) != 0 {
+			return true
+		}
+	}
+	return false
+}
+
 // page returns the backing page for ppn, materializing it if needed.
 // Two harts materializing the same page race through a compare-and-swap
 // and agree on one winner.
@@ -161,12 +262,17 @@ func (m *Phys) ReadBytes(addr uint64, dst []byte) error {
 	return nil
 }
 
-// WriteBytes copies src into memory starting at addr.
+// WriteBytes copies src into memory starting at addr. Writes touching
+// a copy-on-write frozen page are refused whole with ErrCOWProtected
+// before any byte lands.
 func (m *Phys) WriteBytes(addr uint64, src []byte) error {
 	if err := m.checkRange(addr, uint64(len(src))); err != nil {
 		return err
 	}
 	if len(src) > 0 {
+		if m.cowDenies(addr, uint64(len(src))) {
+			return fmt.Errorf("%w: %#x+%d", ErrCOWProtected, addr, len(src))
+		}
 		m.noteWrite(addr, uint64(len(src)))
 	}
 	for len(src) > 0 {
@@ -233,10 +339,14 @@ func (m *Phys) Load(addr uint64, width int) (uint64, error) {
 }
 
 // Store writes a naturally-aligned little-endian value of width 1, 2, 4
-// or 8 bytes.
+// or 8 bytes. Stores into a copy-on-write frozen page are refused with
+// ErrCOWProtected.
 func (m *Phys) Store(addr uint64, width int, val uint64) error {
 	if err := m.checkAccess(addr, width); err != nil {
 		return err
+	}
+	if m.IsCOW(addr) {
+		return fmt.Errorf("%w: %#x", ErrCOWProtected, addr)
 	}
 	m.noteWrite(addr, uint64(width))
 	storeTo(m.page(addr>>PageBits), addr&PageMask, width, val)
@@ -350,8 +460,10 @@ func (w *Window) LoadFast(addr uint64, width int) uint64 {
 }
 
 // StoreFast is Store without the width/alignment/range checks, under
-// LoadFast's caller contract. The code-write check still observes the
-// store.
+// LoadFast's caller contract — which now also includes the COW check:
+// the caller must have established the page is not frozen (IsCOW), as
+// the machine's fast store path does after translation. The code-write
+// check still observes the store.
 func (w *Window) StoreFast(addr uint64, width int, val uint64) {
 	w.m.noteWrite(addr, uint64(width))
 	ppn := addr >> PageBits
@@ -363,10 +475,13 @@ func (w *Window) StoreFast(addr uint64, width int, val uint64) {
 }
 
 // Store is Phys.Store through the window's page cache. The code-write
-// check still observes the store.
+// and COW checks still observe the store.
 func (w *Window) Store(addr uint64, width int, val uint64) error {
 	if err := w.m.checkAccess(addr, width); err != nil {
 		return err
+	}
+	if w.m.IsCOW(addr) {
+		return fmt.Errorf("%w: %#x", ErrCOWProtected, addr)
 	}
 	w.m.noteWrite(addr, uint64(width))
 	storeTo(w.lookup(addr), addr&PageMask, width, val)

@@ -173,3 +173,63 @@ func TestReadWriteBytesProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestCOWMarkBlocksWrites(t *testing.T) {
+	m := New(1 << 20)
+	pa := uint64(0x3000)
+	m.Store(pa, 8, 0x1234)
+	m.MarkCOW(pa)
+	if !m.IsCOW(pa) || m.IsCOW(pa+PageSize) {
+		t.Fatal("COW mark set wrong")
+	}
+	if err := m.Store(pa+16, 8, 1); !errors.Is(err, ErrCOWProtected) {
+		t.Fatalf("store into frozen page: %v", err)
+	}
+	if err := m.WriteBytes(pa+PageSize-4, make([]byte, 8)); !errors.Is(err, ErrCOWProtected) {
+		t.Fatalf("straddling write into frozen page: %v", err)
+	}
+	var w Window
+	w.Reset(m)
+	if err := w.Store(pa, 8, 1); !errors.Is(err, ErrCOWProtected) {
+		t.Fatalf("window store into frozen page: %v", err)
+	}
+	// Reads still work, and the frozen contents are intact.
+	if v, err := m.Load(pa, 8); err != nil || v != 0x1234 {
+		t.Fatalf("load from frozen page: %v %#x", err, v)
+	}
+	m.ClearCOW(pa)
+	if err := m.Store(pa+16, 8, 1); err != nil {
+		t.Fatalf("store after thaw: %v", err)
+	}
+}
+
+func TestPageRefAccounting(t *testing.T) {
+	m := New(1 << 20)
+	a, b := uint64(0x1000), uint64(0x5000)
+	if m.TotalRefs() != 0 || m.RangeHasRefs(0, 1<<20) {
+		t.Fatal("fresh memory holds references")
+	}
+	m.Retain(a)
+	m.Retain(a)
+	m.Retain(b)
+	if m.PageRefs(a) != 2 || m.PageRefs(b) != 1 || m.TotalRefs() != 3 {
+		t.Fatalf("refs %d/%d total %d", m.PageRefs(a), m.PageRefs(b), m.TotalRefs())
+	}
+	if !m.RangeHasRefs(a, PageSize) || m.RangeHasRefs(0x2000, PageSize) {
+		t.Fatal("RangeHasRefs wrong")
+	}
+	if n := m.ReleaseRef(a); n != 1 {
+		t.Fatalf("release returned %d", n)
+	}
+	m.ReleaseRef(a)
+	m.ReleaseRef(b)
+	if m.TotalRefs() != 0 {
+		t.Fatalf("refs leaked: %d", m.TotalRefs())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("releasing below zero did not panic")
+		}
+	}()
+	m.ReleaseRef(a)
+}

@@ -105,6 +105,28 @@ func (t *TLB) Flush() {
 	}
 }
 
+// FlushPage invalidates the translation for a single virtual page —
+// the targeted shootdown of the monitor's copy-on-write fault protocol
+// (a clone's leaf PTE just moved to a private copy, so exactly one VPN
+// is stale). The generation advances and OnInvalidate fires even when
+// the VPN is absent, so the core's last-translation caches and decode
+// cache can never outlive the PTE change that motivated the flush. It
+// returns whether an entry was actually dropped.
+func (t *TLB) FlushPage(vpn uint64) bool {
+	invalidated := false
+	if i, ok := t.index[vpn]; ok {
+		t.entries[i].Valid = false
+		delete(t.index, vpn)
+		invalidated = true
+	}
+	t.gen++
+	t.Shootdown++
+	if t.OnInvalidate != nil {
+		t.OnInvalidate()
+	}
+	return invalidated
+}
+
 // FlushIf invalidates entries matching pred (selective shootdown, e.g.
 // all translations into a DRAM region being re-allocated). It returns
 // the number of entries invalidated.

@@ -93,3 +93,39 @@ func TestZeroCapacityClamped(t *testing.T) {
 		t.Fatal("single-entry TLB does not hold an entry")
 	}
 }
+
+func TestFlushPageTargetedShootdown(t *testing.T) {
+	tl := New(4)
+	invalidations := 0
+	tl.OnInvalidate = func() { invalidations++ }
+	tl.Insert(Entry{VPN: 1, PPN: 10, Perms: 0xF})
+	tl.Insert(Entry{VPN: 2, PPN: 20, Perms: 0xF})
+	gen := tl.Gen()
+	if !tl.FlushPage(1) {
+		t.Fatal("present VPN not invalidated")
+	}
+	if _, ok := tl.Lookup(1); ok {
+		t.Fatal("flushed VPN still resolves")
+	}
+	if e, ok := tl.Lookup(2); !ok || e.PPN != 20 {
+		t.Fatal("unrelated VPN lost")
+	}
+	if tl.Gen() == gen {
+		t.Fatal("generation did not advance")
+	}
+	if invalidations != 1 {
+		t.Fatalf("OnInvalidate fired %d times", invalidations)
+	}
+	// Absent VPN: no entry dropped, but the generation still advances
+	// (last-translation caches must die with the PTE change).
+	gen = tl.Gen()
+	if tl.FlushPage(7) {
+		t.Fatal("absent VPN reported invalidated")
+	}
+	if tl.Gen() == gen {
+		t.Fatal("generation did not advance for absent VPN")
+	}
+	if tl.Shootdown != 2 {
+		t.Fatalf("shootdown stat %d, want 2", tl.Shootdown)
+	}
+}

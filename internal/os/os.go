@@ -118,6 +118,26 @@ func (o *OS) AllocMetaPage() (uint64, error) {
 // delete_thread).
 func (o *OS) ReleaseMetaPage(pa uint64) { o.metaFree = append(o.metaFree, pa) }
 
+// AllocMetaPages hands out n contiguous unused metadata pages and
+// returns the first one's address — the tid base a clone_enclave call
+// needs, one page per template thread. Contiguity requires the bump
+// region; freed single pages are not coalesced.
+func (o *OS) AllocMetaPages(n int) (uint64, error) {
+	if n <= 0 {
+		return 0, fmt.Errorf("os: AllocMetaPages(%d)", n)
+	}
+	if n == 1 {
+		return o.AllocMetaPage()
+	}
+	need := uint64(n) * mem.PageSize
+	if o.nextMetaPage+need > o.endMetaPage {
+		return 0, fmt.Errorf("os: metadata region exhausted")
+	}
+	p := o.nextMetaPage
+	o.nextMetaPage += need
+	return p, nil
+}
+
 // StagePage returns the kernel page used for staging enclave page
 // contents, allocating it on first use.
 func (o *OS) StagePage() (uint64, error) {

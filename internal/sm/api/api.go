@@ -103,7 +103,9 @@ func (e Error) Err() error {
 // bumps when calls are added.
 const (
 	VersionMajor = 1
-	VersionMinor = 0
+	// Minor 1 added the snapshot/clone calls (0x30–0x32) and the
+	// FieldEnclaveIdentity selector.
+	VersionMinor = 1
 	// Version packs major and minor into the single register the probe
 	// returns.
 	Version = VersionMajor<<16 | VersionMinor
@@ -269,6 +271,35 @@ const (
 	CallCleanRegion Call = 0x2F
 )
 
+// Snapshot/clone call numbers (ABI minor 1). A snapshot freezes an
+// initialized enclave — the template — read-only and records its
+// measured layout; clones are fresh enclaves whose data pages alias
+// the snapshot's pages copy-on-write and whose measurement identity is
+// inherited from the template, which turns the O(all pages + hashing)
+// measured build into an O(page-table pages) fork (DESIGN.md §8).
+const (
+	// CallSnapshotEnclave(a0=eid, a1=snapshot id) freezes an
+	// initialized, non-running enclave's pages read-only and registers
+	// the snapshot under the given id — a free page inside an SM
+	// metadata region, exactly like enclave and thread ids.
+	CallSnapshotEnclave Call = 0x30
+	// CallCloneEnclave(a0=eid, a1=snapshot id, a2=tid base, a3=shared
+	// PA override or 0) builds a fresh enclave from a snapshot: eid
+	// names a Loading enclave with granted regions, a matching evrange
+	// and nothing loaded; the monitor allocates its page tables in its
+	// own memory, aliases the snapshot's data pages copy-on-write, and
+	// seals it with the template measurement. Template thread i is
+	// recreated under tid = tidBase + i*4096 (free metadata pages). A
+	// non-zero a3 rebases the template's single shared window onto
+	// that OS-owned page, giving each clone a private untrusted buffer.
+	CallCloneEnclave Call = 0x31
+	// CallReleaseSnapshot(a0=snapshot id) dissolves a snapshot with no
+	// outstanding clones: the template's pages thaw (write permissions
+	// restored) and the id is freed. Refused with ErrInvalidState while
+	// any clone still aliases the snapshot's pages.
+	CallReleaseSnapshot Call = 0x32
+)
+
 // RegionState is the lifecycle state of a DRAM region resource as
 // reported by CallRegionInfo, implementing the paper's Fig 2 state
 // machine.
@@ -346,6 +377,14 @@ const (
 	// FieldEnclaveMeasurement is the calling enclave's own measurement
 	// (valid only for enclave callers).
 	FieldEnclaveMeasurement Field = 4
+	// FieldEnclaveIdentity is the calling enclave's full attestation
+	// identity (valid only for enclave callers): 48 bytes laid out as
+	// measurement[32] ‖ eid[8] ‖ origin[8], where origin is 0 for an
+	// enclave built and measured directly and 1 for a clone inheriting
+	// a snapshot template's measurement. Evidence built over this field
+	// distinguishes the (shared) template measurement from the
+	// (per-clone) enclave identity.
+	FieldEnclaveIdentity Field = 5
 )
 
 // Reserved protection-domain constants (paper §V-C: the SM and

@@ -3,6 +3,7 @@ package sm
 import (
 	"crypto/ecdh"
 	"crypto/ed25519"
+	"encoding/binary"
 
 	"sanctorum/internal/crypto/kdf"
 	"sanctorum/internal/sm/api"
@@ -31,6 +32,22 @@ func (mon *Monitor) fieldBytes(f api.Field, caller *Enclave) ([]byte, api.Error)
 			return nil, api.ErrUnauthorized
 		}
 		return append([]byte(nil), caller.Measurement[:]...), api.OK
+	case api.FieldEnclaveIdentity:
+		// measurement[32] ‖ eid[8] ‖ origin[8]: the full attestation
+		// identity. A clone shares its template's measurement but keeps
+		// a per-clone enclave ID, and origin=1 marks the measurement as
+		// inherited through a snapshot fork rather than measured over
+		// this enclave's own load sequence (DESIGN.md §8).
+		if caller == nil {
+			return nil, api.ErrUnauthorized
+		}
+		out := make([]byte, 48)
+		copy(out, caller.Measurement[:])
+		binary.LittleEndian.PutUint64(out[32:], caller.ID)
+		if caller.CloneOf != 0 {
+			binary.LittleEndian.PutUint64(out[40:], 1)
+		}
+		return out, api.OK
 	default:
 		return nil, api.ErrInvalidValue
 	}

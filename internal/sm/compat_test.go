@@ -1,0 +1,84 @@
+package sm
+
+// The deprecated compat shims (compat.go) are exercised here and only
+// here: every other test and tool speaks the unified ABI (Dispatch,
+// the smcall client, or the fixture's ABI-path helpers). This test
+// drives one full enclave lifecycle through the shims and checks each
+// is still a faithful one-call wrapper over the dispatch surface, so
+// the shims can be deleted the moment external users are gone without
+// silently having rotted first.
+
+import (
+	"testing"
+
+	"sanctorum/internal/hw/pt"
+	"sanctorum/internal/sm/api"
+)
+
+func TestCompatShimsStillFaithful(t *testing.T) {
+	f := newFixture(t)
+
+	if st, owner, errc := f.mon.RegionInfo(0); errc != api.OK || st != RegionOwned || owner != api.DomainOS {
+		t.Fatalf("RegionInfo shim: %v/%v/%#x", errc, st, owner)
+	}
+	if st := f.mon.BlockRegion(20); st != api.OK {
+		t.Fatalf("BlockRegion shim: %v", st)
+	}
+	if st := f.mon.CleanRegion(20); st != api.OK {
+		t.Fatalf("CleanRegion shim: %v", st)
+	}
+	if st := f.mon.GrantRegion(20, api.DomainOS); st != api.OK {
+		t.Fatalf("GrantRegion shim: %v", st)
+	}
+
+	eid := f.metaPage(0)
+	if st := f.mon.CreateEnclave(eid, testEvBase, testEvMask); st != api.OK {
+		t.Fatalf("CreateEnclave shim: %v", st)
+	}
+	if st := f.mon.GrantRegion(10, eid); st != api.OK {
+		t.Fatalf("GrantRegion shim (to enclave): %v", st)
+	}
+	for _, alloc := range [][2]uint64{{0, 2}, {testEvBase, 1}, {testEvBase, 0}, {0x50000000, 1}, {0x50000000, 0}} {
+		if st := f.mon.AllocatePageTable(eid, alloc[0], int(alloc[1])); st != api.OK {
+			t.Fatalf("AllocatePageTable shim: %v", st)
+		}
+	}
+	if st := f.mon.LoadPage(eid, testEvBase, 0x1000, pt.R|pt.X); st != api.OK {
+		t.Fatalf("LoadPage shim: %v", st)
+	}
+	if st := f.mon.MapShared(eid, 0x50000000, 0x2000); st != api.OK {
+		t.Fatalf("MapShared shim: %v", st)
+	}
+	tid := f.metaPage(1)
+	if st := f.mon.LoadThread(eid, tid, testEvBase, testEvBase+0x800); st != api.OK {
+		t.Fatalf("LoadThread shim: %v", st)
+	}
+	if st := f.mon.InitEnclave(eid); st != api.OK {
+		t.Fatalf("InitEnclave shim: %v", st)
+	}
+
+	tid2 := f.metaPage(2)
+	if st := f.mon.CreateThread(tid2); st != api.OK {
+		t.Fatalf("CreateThread shim: %v", st)
+	}
+	if st := f.mon.AssignThread(eid, tid2); st != api.OK {
+		t.Fatalf("AssignThread shim: %v", st)
+	}
+	if st := f.mon.UnassignThread(tid2); st != api.OK {
+		t.Fatalf("UnassignThread shim: %v", st)
+	}
+	if st := f.mon.DeleteThread(tid2); st != api.OK {
+		t.Fatalf("DeleteThread shim: %v", st)
+	}
+
+	if st := f.mon.EnterEnclave(0, eid, tid); st != api.OK {
+		t.Fatalf("EnterEnclave shim: %v", st)
+	}
+	f.mon.stopThread(0, 0, false)
+	if st := f.mon.DeleteEnclave(eid); st != api.OK {
+		t.Fatalf("DeleteEnclave shim: %v", st)
+	}
+	if st := f.mon.DeleteThread(tid); st != api.OK {
+		t.Fatalf("DeleteThread shim (measured thread): %v", st)
+	}
+}

@@ -173,6 +173,21 @@ var callTable = map[api.Call]callDef{
 		handler: func(mon *Monitor, req *api.Request, ctx *callContext) api.Response {
 			return fail(mon.cleanRegion(indexArg(req.Args[0])))
 		}},
+
+	// Snapshot/clone calls (0x30–0x32, ABI minor 1): fork-from-measured-
+	// template lifecycle (DESIGN.md §8).
+	api.CallSnapshotEnclave: {name: "snapshot_enclave", domains: domainOS,
+		handler: func(mon *Monitor, req *api.Request, ctx *callContext) api.Response {
+			return fail(mon.snapshotEnclave(req.Args[0], req.Args[1]))
+		}},
+	api.CallCloneEnclave: {name: "clone_enclave", domains: domainOS,
+		handler: func(mon *Monitor, req *api.Request, ctx *callContext) api.Response {
+			return fail(mon.cloneEnclave(req.Args[0], req.Args[1], req.Args[2], req.Args[3]))
+		}},
+	api.CallReleaseSnapshot: {name: "release_snapshot", domains: domainOS,
+		handler: func(mon *Monitor, req *api.Request, ctx *callContext) api.Response {
+			return fail(mon.releaseSnapshot(req.Args[0]))
+		}},
 }
 
 // indexArg narrows a register argument to a small index (region or

@@ -11,6 +11,8 @@ import (
 // the live OS bitmap, and per-core slot ownership.
 type monSnapshot struct {
 	enclaves, threads, metaPages int
+	snapshots                    int
+	pageRefs                     uint64
 	regions                      []struct {
 		state RegionState
 		owner uint64
@@ -25,6 +27,8 @@ func snapshot(mon *Monitor) monSnapshot {
 		enclaves:  len(mon.enclaves),
 		threads:   len(mon.threads),
 		metaPages: len(mon.metaPages),
+		snapshots: len(mon.snapshots),
+		pageRefs:  mon.machine.Mem.TotalRefs(),
 		osBitmap:  mon.osBitmap.Load(),
 	}
 	mon.objMu.RUnlock()
@@ -49,6 +53,7 @@ func snapshot(mon *Monitor) monSnapshot {
 func (s monSnapshot) equal(o monSnapshot) bool {
 	if s.enclaves != o.enclaves || s.threads != o.threads ||
 		s.metaPages != o.metaPages || s.osBitmap != o.osBitmap ||
+		s.snapshots != o.snapshots || s.pageRefs != o.pageRefs ||
 		len(s.regions) != len(o.regions) || len(s.slots) != len(o.slots) {
 		return false
 	}
@@ -76,6 +81,7 @@ var osOnlyCalls = []api.Call{
 	api.CallAssignThread, api.CallUnassignThread, api.CallDeleteThread,
 	api.CallEnterEnclave, api.CallRegionInfo, api.CallGrantRegion,
 	api.CallCleanRegion,
+	api.CallSnapshotEnclave, api.CallCloneEnclave, api.CallReleaseSnapshot,
 }
 
 var enclaveOnlyCalls = []api.Call{
@@ -89,7 +95,7 @@ var enclaveOnlyCalls = []api.Call{
 func TestDispatchUnknownCallNumbers(t *testing.T) {
 	f := newFixture(t)
 	before := snapshot(f.mon)
-	for _, call := range []api.Call{0x00, 0x13, 0x1E, 0x30, 0x100, 0xFFFF, 1 << 40, ^api.Call(0)} {
+	for _, call := range []api.Call{0x00, 0x13, 0x1E, 0x33, 0x100, 0xFFFF, 1 << 40, ^api.Call(0)} {
 		resp := f.mon.Dispatch(api.OSRequest(call, 1, 2, 3, 4, 5, 6))
 		if resp.Status != api.ErrNotSupported {
 			t.Errorf("undefined call %#x: %v, want ErrNotSupported", uint64(call), resp.Status)
@@ -107,7 +113,7 @@ func TestDispatchRefusesWrongDomain(t *testing.T) {
 	f := newFixture(t)
 	eid := f.createLoading(t, 0, 10)
 	f.loadMinimal(t, eid, 1)
-	f.mon.InitEnclave(eid)
+	f.InitEnclave(eid)
 	before := snapshot(f.mon)
 
 	// Enclave-only calls from the OS domain.
@@ -152,6 +158,13 @@ func TestDispatchRefusesWrongDomain(t *testing.T) {
 func TestDispatchOutOfRangeArguments(t *testing.T) {
 	f := newFixture(t)
 	eid := f.createLoading(t, 0, 10)
+	// A sealed second enclave, so the snapshot-call sweeps exercise the
+	// argument checks past the lifecycle check.
+	sealed := f.createLoading(t, 4, 11)
+	f.loadMinimal(t, sealed, 5)
+	if st := f.InitEnclave(sealed); st != api.OK {
+		t.Fatalf("init sealed: %v", st)
+	}
 	before := snapshot(f.mon)
 	huge := ^uint64(0)
 	cases := []struct {
@@ -180,6 +193,17 @@ func TestDispatchOutOfRangeArguments(t *testing.T) {
 		{"send oversized message", api.OSRequest(api.CallSendMail, eid, 0x1000, api.MailboxSize+1), api.ErrInvalidValue},
 		{"get_field unknown selector", api.OSRequest(api.CallGetField, 99, 0x1000, 4096), api.ErrInvalidValue},
 		{"get_field into non-OS memory", api.OSRequest(api.CallGetField, uint64(api.FieldSMMeasurement), f.meta, 4096), api.ErrInvalidValue},
+		{"snapshot unknown enclave", api.OSRequest(api.CallSnapshotEnclave, 0xBAD, f.metaPage(8)), api.ErrInvalidValue},
+		{"snapshot a loading enclave", api.OSRequest(api.CallSnapshotEnclave, eid, f.metaPage(8)), api.ErrInvalidState},
+		{"snapshot id outside metadata region", api.OSRequest(api.CallSnapshotEnclave, sealed, 0x1000), api.ErrInvalidValue},
+		{"snapshot id unaligned", api.OSRequest(api.CallSnapshotEnclave, sealed, f.metaPage(8)+4), api.ErrInvalidValue},
+		{"snapshot id all-ones", api.OSRequest(api.CallSnapshotEnclave, sealed, huge), api.ErrInvalidValue},
+		{"clone from unknown snapshot", api.OSRequest(api.CallCloneEnclave, eid, 0xBAD, f.metaPage(8), 0), api.ErrInvalidValue},
+		{"clone from all-ones snapshot", api.OSRequest(api.CallCloneEnclave, eid, huge, f.metaPage(8), 0), api.ErrInvalidValue},
+		{"clone into unknown enclave", api.OSRequest(api.CallCloneEnclave, 0xBAD, f.metaPage(8), f.metaPage(9), 0), api.ErrInvalidValue},
+		{"clone into a sealed enclave", api.OSRequest(api.CallCloneEnclave, sealed, f.metaPage(8), f.metaPage(9), 0), api.ErrInvalidState},
+		{"release unknown snapshot", api.OSRequest(api.CallReleaseSnapshot, 0xBAD), api.ErrInvalidValue},
+		{"release snapshot id all-ones", api.OSRequest(api.CallReleaseSnapshot, huge), api.ErrInvalidValue},
 	}
 	for _, c := range cases {
 		if resp := f.mon.Dispatch(c.req); resp.Status != c.want {
@@ -284,13 +308,16 @@ func TestDispatchBatchContentionCut(t *testing.T) {
 func FuzzDispatch(f *testing.F) {
 	fx := newFixture(f)
 	eid := fx.metaPage(0)
-	if st := fx.mon.CreateEnclave(eid, testEvBase, testEvMask); st != api.OK {
+	if st := fx.CreateEnclave(eid, testEvBase, testEvMask); st != api.OK {
 		f.Fatalf("fixture enclave: %v", st)
 	}
 	f.Add(uint64(0), uint64(0x20), eid, testEvBase, testEvMask, uint64(0))
 	f.Add(eid, uint64(0x0F), uint64(0), uint64(0), uint64(0), uint64(0))
 	f.Add(uint64(0), uint64(0x2D), uint64(1)<<63, uint64(0), uint64(0), uint64(0))
 	f.Add(uint64(1), uint64(0x1F), uint64(0), uint64(0), uint64(0), uint64(0))
+	f.Add(uint64(0), uint64(0x30), eid, eid+0x1000, uint64(0), uint64(0))
+	f.Add(uint64(0), uint64(0x31), eid, eid+0x1000, eid+0x2000, uint64(0))
+	f.Add(uint64(0), uint64(0x32), eid+0x1000, uint64(0), uint64(0), uint64(0))
 	f.Fuzz(func(t *testing.T, caller, call, a0, a1, a2, a3 uint64) {
 		resp := fx.mon.Dispatch(api.Request{
 			Caller: caller,

@@ -63,6 +63,27 @@ type Enclave struct {
 	Threads   map[uint64]*Thread
 	running   int // threads currently on cores
 	Mailboxes [api.MailboxesPerEnclave]Mailbox
+
+	// Snapshot/clone state (DESIGN.md §8). snap is non-nil while a live
+	// snapshot freezes this enclave's pages (the template side);
+	// CloneOf names the snapshot this enclave was forked from (the
+	// clone side, 0 for a directly built enclave). Borrowed is the set
+	// of template regions a clone's aliased pages live in: part of the
+	// enclave's access view but never of its owned-region accounting —
+	// deleting the clone must not block the template's regions.
+	snap     *Snapshot
+	CloneOf  uint64
+	Borrowed dram.Bitmap
+
+	// cow maps each virtual page still aliasing a frozen snapshot page
+	// copy-on-write (the PTE's W bit is cleared) to that frozen page; a
+	// store fault on one of these is resolved by the monitor's
+	// copy-then-retry protocol. Populated on the template when the
+	// snapshot freezes its writable pages, and on every clone. roAliases
+	// lists the frozen pages a clone aliases read-only (never copied,
+	// released at clone deletion).
+	cow       map[uint64]snapPage
+	roAliases []uint64
 }
 
 type ptKey struct {
@@ -124,6 +145,12 @@ func validEvrange(base, mask uint64) bool {
 func (e *Enclave) InEvrange(va uint64) bool {
 	return va&e.EvMask == e.EvBase
 }
+
+// accessRegions returns the DRAM regions this enclave's accesses may
+// reach: the regions it owns plus any borrowed from a snapshot
+// template (a clone reads its aliased pages there). Ownership
+// accounting — deletion, blocking — uses Regions alone.
+func (e *Enclave) accessRegions() dram.Bitmap { return e.Regions | e.Borrowed }
 
 // lookupEnclave fetches and transaction-locks an enclave; contention on
 // the enclave's lock fails the transaction with ErrRetry (§V-A).
@@ -360,10 +387,19 @@ func (mon *Monitor) enclaveStatusLocked(e *Enclave, measOutPA uint64) (uint64, a
 // owned regions become blocked and must be cleaned before
 // re-allocation; threads revert to the available pool.
 //
-// The transaction acquires every lock it will need — the enclave, all
-// of its threads, and every region it owns or has pending — with
-// TryLock before mutating anything, so under contention it fails with
-// ErrRetry having changed no state (§V-A).
+// Snapshot interactions: a template with a live snapshot cannot be
+// deleted (its frozen pages back outstanding clones — the snapshot
+// must be released first, which in turn requires zero clones), so page
+// reclamation is deferred behind the refcounted alias graph rather
+// than risked. Deleting a clone releases its alias references and
+// decrements the snapshot's clone count; the clone's own regions (page
+// tables, COW copies) block and clean normally.
+//
+// The transaction acquires every lock it will need — the enclave, the
+// snapshot it clones (if any), all of its threads, and every region it
+// owns or has pending — with TryLock before mutating anything, so
+// under contention it fails with ErrRetry having changed no state
+// (§V-A).
 func (mon *Monitor) deleteEnclave(eid uint64) api.Error {
 	e, st := mon.lookupEnclave(eid)
 	if st != api.OK {
@@ -372,6 +408,21 @@ func (mon *Monitor) deleteEnclave(eid uint64) api.Error {
 	defer e.mu.Unlock()
 	if e.running > 0 {
 		return api.ErrInvalidState
+	}
+	if e.snap != nil {
+		return api.ErrInvalidState // live snapshot: release it first
+	}
+	var snap *Snapshot
+	if e.CloneOf != 0 {
+		mon.objMu.RLock()
+		snap = mon.snapshots[e.CloneOf]
+		mon.objMu.RUnlock()
+		if snap != nil {
+			if !snap.mu.TryLock() {
+				return api.ErrRetry
+			}
+			defer snap.mu.Unlock()
+		}
 	}
 	var lockedThreads []*Thread
 	var lockedRegions []int
@@ -418,6 +469,21 @@ func (mon *Monitor) deleteEnclave(eid uint64) api.Error {
 			rm.state, rm.owner = RegionOwned, api.DomainOS
 			mon.setOSOwned(r, true)
 		}
+	}
+
+	// A clone's alias references die with it: one per page still
+	// aliased copy-on-write, one per read-only alias, and the
+	// snapshot's clone count. The frozen pages themselves live in the
+	// template's regions and are untouched.
+	if snap != nil {
+		for _, pg := range e.cow {
+			mon.machine.Mem.ReleaseRef(pg.ppn << mem.PageBits)
+		}
+		for _, ppn := range e.roAliases {
+			mon.machine.Mem.ReleaseRef(ppn << mem.PageBits)
+		}
+		e.cow, e.roAliases = nil, nil
+		snap.clones--
 	}
 
 	mon.objMu.Lock()

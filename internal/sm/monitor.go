@@ -122,6 +122,7 @@ type Monitor struct {
 	metaPages map[uint64]bool // allocated metadata pages, by phys addr
 	enclaves  map[uint64]*Enclave
 	threads   map[uint64]*Thread
+	snapshots map[uint64]*Snapshot
 
 	regions []regionMeta
 	cores   []coreSlot
@@ -164,6 +165,7 @@ func New(cfg Config) (*Monitor, error) {
 		metaPages:          make(map[uint64]bool),
 		enclaves:           make(map[uint64]*Enclave),
 		threads:            make(map[uint64]*Thread),
+		snapshots:          make(map[uint64]*Snapshot),
 		cores:              make([]coreSlot, len(cfg.Machine.Cores)),
 	}
 	for i := range mon.regions {

@@ -146,6 +146,11 @@ func (mon *Monitor) blockRegionAs(owner uint64, r int) api.Error {
 	if rm.owner != owner {
 		return api.ErrUnauthorized
 	}
+	if e != nil && e.snap != nil {
+		// A frozen template's regions hold pages clones alias; they
+		// cannot leave the template until the snapshot is released.
+		return api.ErrInvalidState
+	}
 	rm.state = RegionBlocked
 	if owner == api.DomainOS {
 		mon.setOSOwned(r, false)
@@ -175,6 +180,14 @@ func (mon *Monitor) cleanRegion(r int) api.Error {
 	}
 	defer rm.mu.Unlock()
 	if rm.state != RegionBlocked {
+		return api.ErrInvalidState
+	}
+	// Defense in depth for the snapshot subsystem: a region whose pages
+	// still carry alias references (frozen snapshot pages with live
+	// clones) must never be scrubbed — the block/delete guards already
+	// prevent reaching here, but the refcount is the ground truth.
+	layout := mon.machine.DRAM
+	if mon.machine.Mem.RangeHasRefs(layout.Base(r), layout.RegionSize()) {
 		return api.ErrInvalidState
 	}
 	if err := mon.plat.CleanRegion(mon.machine, r); err != nil {

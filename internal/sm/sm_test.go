@@ -84,7 +84,7 @@ func newFixture(t testing.TB) *fixture {
 		t.Fatal(err)
 	}
 	// Region 62 becomes the metadata region.
-	if st := mon.GrantRegion(62, api.DomainSM); st != api.OK {
+	if st := mon.Dispatch(api.OSRequest(api.CallGrantRegion, 62, api.DomainSM)).Status; st != api.OK {
 		t.Fatalf("grant metadata region: %v", st)
 	}
 	return &fixture{m: m, mon: mon, plat: plat, meta: m.DRAM.Base(62)}
@@ -92,14 +92,82 @@ func newFixture(t testing.TB) *fixture {
 
 func (f *fixture) metaPage(i int) uint64 { return f.meta + uint64(i)*mem.PageSize }
 
+// ABI-path call helpers: the white-box tests drive the same Dispatch
+// surface the OS and the adversary battery use, so the deprecated
+// compat shims are exercised nowhere outside compat_test.go. The
+// signatures mirror the old method surface to keep the tests readable.
+func (f *fixture) call(c api.Call, args ...uint64) api.Error {
+	return f.mon.Dispatch(api.OSRequest(c, args...)).Status
+}
+
+func (f *fixture) CreateEnclave(eid, evBase, evMask uint64) api.Error {
+	return f.call(api.CallCreateEnclave, eid, evBase, evMask)
+}
+
+func (f *fixture) AllocatePageTable(eid, va uint64, level int) api.Error {
+	return f.call(api.CallAllocPageTable, eid, va, uint64(level))
+}
+
+func (f *fixture) LoadPage(eid, va, srcPA, perms uint64) api.Error {
+	return f.call(api.CallLoadPage, eid, va, srcPA, perms)
+}
+
+func (f *fixture) MapShared(eid, va, pa uint64) api.Error {
+	return f.call(api.CallMapShared, eid, va, pa)
+}
+
+func (f *fixture) InitEnclave(eid uint64) api.Error   { return f.call(api.CallInitEnclave, eid) }
+func (f *fixture) DeleteEnclave(eid uint64) api.Error { return f.call(api.CallDeleteEnclave, eid) }
+
+func (f *fixture) LoadThread(eid, tid, entryPC, entrySP uint64) api.Error {
+	return f.call(api.CallLoadThread, eid, tid, entryPC, entrySP)
+}
+
+func (f *fixture) CreateThread(tid uint64) api.Error { return f.call(api.CallCreateThread, tid) }
+
+func (f *fixture) AssignThread(eid, tid uint64) api.Error {
+	return f.call(api.CallAssignThread, eid, tid)
+}
+
+func (f *fixture) UnassignThread(tid uint64) api.Error { return f.call(api.CallUnassignThread, tid) }
+func (f *fixture) DeleteThread(tid uint64) api.Error   { return f.call(api.CallDeleteThread, tid) }
+
+func (f *fixture) EnterEnclave(coreID int, eid, tid uint64) api.Error {
+	return f.call(api.CallEnterEnclave, uint64(coreID), eid, tid)
+}
+
+func (f *fixture) RegionInfo(r int) (RegionState, uint64, api.Error) {
+	resp := f.mon.Dispatch(api.OSRequest(api.CallRegionInfo, uint64(r)))
+	return RegionState(resp.Values[0]), resp.Values[1], resp.Status
+}
+
+func (f *fixture) GrantRegion(r int, newOwner uint64) api.Error {
+	return f.call(api.CallGrantRegion, uint64(r), newOwner)
+}
+
+func (f *fixture) BlockRegion(r int) api.Error { return f.call(api.CallBlockRegion, uint64(r)) }
+func (f *fixture) CleanRegion(r int) api.Error { return f.call(api.CallCleanRegion, uint64(r)) }
+
+func (f *fixture) SnapshotEnclave(eid, snapID uint64) api.Error {
+	return f.call(api.CallSnapshotEnclave, eid, snapID)
+}
+
+func (f *fixture) CloneEnclave(eid, snapID, tidBase, sharedPA uint64) api.Error {
+	return f.call(api.CallCloneEnclave, eid, snapID, tidBase, sharedPA)
+}
+
+func (f *fixture) ReleaseSnapshot(snapID uint64) api.Error {
+	return f.call(api.CallReleaseSnapshot, snapID)
+}
+
 // createLoading creates a loading enclave with one granted region.
 func (f *fixture) createLoading(t testing.TB, slot int, region int) uint64 {
 	t.Helper()
 	eid := f.metaPage(slot)
-	if st := f.mon.CreateEnclave(eid, testEvBase, testEvMask); st != api.OK {
+	if st := f.CreateEnclave(eid, testEvBase, testEvMask); st != api.OK {
 		t.Fatalf("create: %v", st)
 	}
-	if st := f.mon.GrantRegion(region, eid); st != api.OK {
+	if st := f.GrantRegion(region, eid); st != api.OK {
 		t.Fatalf("grant: %v", st)
 	}
 	return eid
@@ -109,16 +177,16 @@ func (f *fixture) createLoading(t testing.TB, slot int, region int) uint64 {
 func (f *fixture) loadMinimal(t testing.TB, eid uint64, slot int) uint64 {
 	t.Helper()
 	for _, alloc := range [][2]uint64{{0, 2}, {testEvBase, 1}, {testEvBase, 0}} {
-		if st := f.mon.AllocatePageTable(eid, alloc[0], int(alloc[1])); st != api.OK {
+		if st := f.AllocatePageTable(eid, alloc[0], int(alloc[1])); st != api.OK {
 			t.Fatalf("alloc table level %d: %v", alloc[1], st)
 		}
 	}
 	src := uint64(0x1000) // region 0 belongs to the OS
-	if st := f.mon.LoadPage(eid, testEvBase, src, pt.R|pt.X); st != api.OK {
+	if st := f.LoadPage(eid, testEvBase, src, pt.R|pt.X); st != api.OK {
 		t.Fatalf("load page: %v", st)
 	}
 	tid := f.metaPage(slot)
-	if st := f.mon.LoadThread(eid, tid, testEvBase, testEvBase+0x800); st != api.OK {
+	if st := f.LoadThread(eid, tid, testEvBase, testEvBase+0x800); st != api.OK {
 		t.Fatalf("load thread: %v", st)
 	}
 	return tid
@@ -128,11 +196,11 @@ func (f *fixture) loadMinimal(t testing.TB, eid uint64, slot int) uint64 {
 
 func TestRegionInitialOwnership(t *testing.T) {
 	f := newFixture(t)
-	st, owner, _ := f.mon.RegionInfo(0)
+	st, owner, _ := f.RegionInfo(0)
 	if st != RegionOwned || owner != api.DomainOS {
 		t.Fatalf("region 0: %v/%#x", st, owner)
 	}
-	st, owner, _ = f.mon.RegionInfo(63)
+	st, owner, _ = f.RegionInfo(63)
 	if st != RegionOwned || owner != api.DomainSM {
 		t.Fatalf("SM region: %v/%#x", st, owner)
 	}
@@ -141,52 +209,52 @@ func TestRegionInitialOwnership(t *testing.T) {
 func TestRegionBlockCleanCycle(t *testing.T) {
 	f := newFixture(t)
 	f.m.Mem.Store(f.m.DRAM.Base(5)+64, 8, 0x5EC12E7)
-	if st := f.mon.BlockRegion(5); st != api.OK {
+	if st := f.BlockRegion(5); st != api.OK {
 		t.Fatalf("block: %v", st)
 	}
-	if st, _, _ := f.mon.RegionInfo(5); st != RegionBlocked {
+	if st, _, _ := f.RegionInfo(5); st != RegionBlocked {
 		t.Fatalf("state after block: %v", st)
 	}
 	// Blocked regions cannot be granted or re-blocked.
-	if st := f.mon.GrantRegion(5, api.DomainSM); st != api.ErrInvalidState {
+	if st := f.GrantRegion(5, api.DomainSM); st != api.ErrInvalidState {
 		t.Fatalf("grant blocked: %v", st)
 	}
-	if st := f.mon.BlockRegion(5); st != api.ErrInvalidState {
+	if st := f.BlockRegion(5); st != api.ErrInvalidState {
 		t.Fatalf("double block: %v", st)
 	}
-	if st := f.mon.CleanRegion(5); st != api.OK {
+	if st := f.CleanRegion(5); st != api.OK {
 		t.Fatalf("clean: %v", st)
 	}
-	if st, _, _ := f.mon.RegionInfo(5); st != RegionAvailable {
+	if st, _, _ := f.RegionInfo(5); st != RegionAvailable {
 		t.Fatalf("state after clean: %v", st)
 	}
 	if v, _ := f.m.Mem.Load(f.m.DRAM.Base(5)+64, 8); v != 0 {
 		t.Fatal("clean did not scrub memory")
 	}
 	// Available → grant back to OS.
-	if st := f.mon.GrantRegion(5, api.DomainOS); st != api.OK {
+	if st := f.GrantRegion(5, api.DomainOS); st != api.OK {
 		t.Fatalf("re-grant: %v", st)
 	}
 }
 
 func TestRegionIllegalTransitions(t *testing.T) {
 	f := newFixture(t)
-	if st := f.mon.CleanRegion(7); st != api.ErrInvalidState {
+	if st := f.CleanRegion(7); st != api.ErrInvalidState {
 		t.Errorf("clean owned region: %v", st)
 	}
-	if st := f.mon.BlockRegion(63); st != api.ErrUnauthorized {
+	if st := f.BlockRegion(63); st != api.ErrUnauthorized {
 		t.Errorf("OS blocking SM region: %v", st)
 	}
-	if st := f.mon.GrantRegion(63, api.DomainOS); st != api.ErrUnauthorized {
+	if st := f.GrantRegion(63, api.DomainOS); st != api.ErrUnauthorized {
 		t.Errorf("OS stealing SM region: %v", st)
 	}
-	if st := f.mon.GrantRegion(-1, api.DomainOS); st != api.ErrInvalidValue {
+	if st := f.GrantRegion(-1, api.DomainOS); st != api.ErrInvalidValue {
 		t.Errorf("negative region: %v", st)
 	}
-	if st := f.mon.GrantRegion(64, api.DomainOS); st != api.ErrInvalidValue {
+	if st := f.GrantRegion(64, api.DomainOS); st != api.ErrInvalidValue {
 		t.Errorf("out-of-range region: %v", st)
 	}
-	if st := f.mon.GrantRegion(3, 0xDEAD000); st != api.ErrInvalidValue {
+	if st := f.GrantRegion(3, 0xDEAD000); st != api.ErrInvalidValue {
 		t.Errorf("grant to nonexistent enclave: %v", st)
 	}
 }
@@ -194,11 +262,11 @@ func TestRegionIllegalTransitions(t *testing.T) {
 func TestGrantToLoadingEnclaveFrozenAfterAllocation(t *testing.T) {
 	f := newFixture(t)
 	eid := f.createLoading(t, 0, 10)
-	if st := f.mon.AllocatePageTable(eid, 0, 2); st != api.OK {
+	if st := f.AllocatePageTable(eid, 0, 2); st != api.OK {
 		t.Fatalf("root alloc: %v", st)
 	}
 	// After the first allocation the page list is frozen.
-	if st := f.mon.GrantRegion(11, eid); st != api.ErrInvalidState {
+	if st := f.GrantRegion(11, eid); st != api.ErrInvalidState {
 		t.Fatalf("late grant: %v", st)
 	}
 }
@@ -209,7 +277,7 @@ func TestEnclaveLifecycleHappyPath(t *testing.T) {
 	f := newFixture(t)
 	eid := f.createLoading(t, 0, 10)
 	tid := f.loadMinimal(t, eid, 1)
-	if st := f.mon.InitEnclave(eid); st != api.OK {
+	if st := f.InitEnclave(eid); st != api.OK {
 		t.Fatalf("init: %v", st)
 	}
 	state, meas, _ := f.mon.EnclaveInfo(eid)
@@ -219,15 +287,15 @@ func TestEnclaveLifecycleHappyPath(t *testing.T) {
 	if meas == ([32]byte{}) {
 		t.Fatal("empty measurement")
 	}
-	if st := f.mon.DeleteEnclave(eid); st != api.OK {
+	if st := f.DeleteEnclave(eid); st != api.OK {
 		t.Fatalf("delete: %v", st)
 	}
 	// Its region is blocked now.
-	if st, _, _ := f.mon.RegionInfo(10); st != RegionBlocked {
+	if st, _, _ := f.RegionInfo(10); st != RegionBlocked {
 		t.Fatalf("region after delete: %v", st)
 	}
 	// The thread reverted to available and can be deleted.
-	if st := f.mon.DeleteThread(tid); st != api.OK {
+	if st := f.DeleteThread(tid); st != api.OK {
 		t.Fatalf("delete thread: %v", st)
 	}
 }
@@ -236,24 +304,24 @@ func TestEnclaveLifecycleIllegalEdges(t *testing.T) {
 	f := newFixture(t)
 	eid := f.createLoading(t, 0, 10)
 	// Init without page tables.
-	if st := f.mon.InitEnclave(eid); st != api.ErrInvalidState {
+	if st := f.InitEnclave(eid); st != api.ErrInvalidState {
 		t.Fatalf("init without root: %v", st)
 	}
 	f.loadMinimal(t, eid, 1)
-	if st := f.mon.InitEnclave(eid); st != api.OK {
+	if st := f.InitEnclave(eid); st != api.OK {
 		t.Fatal("init failed")
 	}
 	// No loading ops after init.
-	if st := f.mon.LoadPage(eid, testEvBase+0x1000, 0x1000, pt.R); st != api.ErrInvalidState {
+	if st := f.LoadPage(eid, testEvBase+0x1000, 0x1000, pt.R); st != api.ErrInvalidState {
 		t.Fatalf("load after init: %v", st)
 	}
-	if st := f.mon.AllocatePageTable(eid, testEvBase, 0); st != api.ErrInvalidState {
+	if st := f.AllocatePageTable(eid, testEvBase, 0); st != api.ErrInvalidState {
 		t.Fatalf("table after init: %v", st)
 	}
-	if st := f.mon.InitEnclave(eid); st != api.ErrInvalidState {
+	if st := f.InitEnclave(eid); st != api.ErrInvalidState {
 		t.Fatalf("double init: %v", st)
 	}
-	if st := f.mon.LoadThread(eid, f.metaPage(2), testEvBase, 0); st != api.ErrInvalidState {
+	if st := f.LoadThread(eid, f.metaPage(2), testEvBase, 0); st != api.ErrInvalidState {
 		t.Fatalf("load thread after init: %v", st)
 	}
 }
@@ -273,15 +341,15 @@ func TestCreateEnclaveValidation(t *testing.T) {
 		{"unaligned base", f.metaPage(0), testEvBase | 0x1000, testEvMask},
 	}
 	for _, c := range cases {
-		if st := f.mon.CreateEnclave(c.eid, c.evBase, c.evMask); st != api.ErrInvalidValue {
+		if st := f.CreateEnclave(c.eid, c.evBase, c.evMask); st != api.ErrInvalidValue {
 			t.Errorf("%s: %v", c.name, st)
 		}
 	}
 	// Duplicate eid.
-	if st := f.mon.CreateEnclave(f.metaPage(0), testEvBase, testEvMask); st != api.OK {
+	if st := f.CreateEnclave(f.metaPage(0), testEvBase, testEvMask); st != api.OK {
 		t.Fatal("valid create failed")
 	}
-	if st := f.mon.CreateEnclave(f.metaPage(0), testEvBase, testEvMask); st != api.ErrInvalidValue {
+	if st := f.CreateEnclave(f.metaPage(0), testEvBase, testEvMask); st != api.ErrInvalidValue {
 		t.Errorf("duplicate eid: %v", st)
 	}
 }
@@ -290,37 +358,37 @@ func TestLoadPageValidation(t *testing.T) {
 	f := newFixture(t)
 	eid := f.createLoading(t, 0, 10)
 	for _, alloc := range [][2]uint64{{0, 2}, {testEvBase, 1}, {testEvBase, 0}} {
-		f.mon.AllocatePageTable(eid, alloc[0], int(alloc[1]))
+		f.AllocatePageTable(eid, alloc[0], int(alloc[1]))
 	}
-	if st := f.mon.LoadPage(eid, testEvBase|4, 0x1000, pt.R); st != api.ErrInvalidValue {
+	if st := f.LoadPage(eid, testEvBase|4, 0x1000, pt.R); st != api.ErrInvalidValue {
 		t.Errorf("unaligned va: %v", st)
 	}
-	if st := f.mon.LoadPage(eid, 0x123000, 0x1000, pt.R); st != api.ErrInvalidValue {
+	if st := f.LoadPage(eid, 0x123000, 0x1000, pt.R); st != api.ErrInvalidValue {
 		t.Errorf("va outside evrange: %v", st)
 	}
-	if st := f.mon.LoadPage(eid, testEvBase, 0x1000, 0); st != api.ErrInvalidValue {
+	if st := f.LoadPage(eid, testEvBase, 0x1000, 0); st != api.ErrInvalidValue {
 		t.Errorf("empty perms: %v", st)
 	}
-	if st := f.mon.LoadPage(eid, testEvBase, 0x1000, pt.U); st != api.ErrInvalidValue {
+	if st := f.LoadPage(eid, testEvBase, 0x1000, pt.U); st != api.ErrInvalidValue {
 		t.Errorf("non-rwx perms bits: %v", st)
 	}
 	// Source in SM memory must be rejected.
-	if st := f.mon.LoadPage(eid, testEvBase, f.meta, pt.R); st != api.ErrInvalidValue {
+	if st := f.LoadPage(eid, testEvBase, f.meta, pt.R); st != api.ErrInvalidValue {
 		t.Errorf("source in SM metadata region: %v", st)
 	}
 	// Source in the enclave's own (granted) region is no longer OS memory.
-	if st := f.mon.LoadPage(eid, testEvBase, f.m.DRAM.Base(10), pt.R); st != api.ErrInvalidValue {
+	if st := f.LoadPage(eid, testEvBase, f.m.DRAM.Base(10), pt.R); st != api.ErrInvalidValue {
 		t.Errorf("source in enclave region: %v", st)
 	}
-	if st := f.mon.LoadPage(eid, testEvBase, 0x1000, pt.R); st != api.OK {
+	if st := f.LoadPage(eid, testEvBase, 0x1000, pt.R); st != api.OK {
 		t.Fatalf("valid load failed: %v", st)
 	}
 	// Aliasing the same VA is forbidden.
-	if st := f.mon.LoadPage(eid, testEvBase, 0x1000, pt.R); st != api.ErrInvalidValue {
+	if st := f.LoadPage(eid, testEvBase, 0x1000, pt.R); st != api.ErrInvalidValue {
 		t.Errorf("alias load: %v", st)
 	}
 	// Page tables after data are forbidden (§VI-A).
-	if st := f.mon.AllocatePageTable(eid, testEvBase+(1<<21), 0); st != api.ErrInvalidState {
+	if st := f.AllocatePageTable(eid, testEvBase+(1<<21), 0); st != api.ErrInvalidState {
 		t.Errorf("table after data: %v", st)
 	}
 }
@@ -329,25 +397,25 @@ func TestPageTableTopDownOrder(t *testing.T) {
 	f := newFixture(t)
 	eid := f.createLoading(t, 0, 10)
 	// Level 0 before its parents must fail.
-	if st := f.mon.AllocatePageTable(eid, testEvBase, 0); st != api.ErrInvalidState {
+	if st := f.AllocatePageTable(eid, testEvBase, 0); st != api.ErrInvalidState {
 		t.Fatalf("orphan leaf table: %v", st)
 	}
-	if st := f.mon.AllocatePageTable(eid, 0, 2); st != api.OK {
+	if st := f.AllocatePageTable(eid, 0, 2); st != api.OK {
 		t.Fatal("root")
 	}
-	if st := f.mon.AllocatePageTable(eid, 0, 2); st != api.ErrInvalidValue {
+	if st := f.AllocatePageTable(eid, 0, 2); st != api.ErrInvalidValue {
 		t.Fatalf("double root: %v", st)
 	}
-	if st := f.mon.AllocatePageTable(eid, testEvBase, 0); st != api.ErrInvalidState {
+	if st := f.AllocatePageTable(eid, testEvBase, 0); st != api.ErrInvalidState {
 		t.Fatalf("leaf before mid: %v", st)
 	}
-	if st := f.mon.AllocatePageTable(eid, testEvBase, 1); st != api.OK {
+	if st := f.AllocatePageTable(eid, testEvBase, 1); st != api.OK {
 		t.Fatal("mid")
 	}
-	if st := f.mon.AllocatePageTable(eid, testEvBase, 1); st != api.ErrInvalidValue {
+	if st := f.AllocatePageTable(eid, testEvBase, 1); st != api.ErrInvalidValue {
 		t.Fatalf("duplicate mid: %v", st)
 	}
-	if st := f.mon.AllocatePageTable(eid, testEvBase, 0); st != api.OK {
+	if st := f.AllocatePageTable(eid, testEvBase, 0); st != api.OK {
 		t.Fatal("leaf")
 	}
 }
@@ -360,15 +428,15 @@ func TestMeasurementIndependentOfPlacement(t *testing.T) {
 	build := func(slot, region int) [32]byte {
 		eid := f.createLoading(t, slot, region)
 		for _, alloc := range [][2]uint64{{0, 2}, {testEvBase, 1}, {testEvBase, 0}} {
-			f.mon.AllocatePageTable(eid, alloc[0], int(alloc[1]))
+			f.AllocatePageTable(eid, alloc[0], int(alloc[1]))
 		}
 		src := uint64(0x2000)
 		f.m.Mem.WriteBytes(src, content)
-		if st := f.mon.LoadPage(eid, testEvBase, src, pt.R|pt.X); st != api.OK {
+		if st := f.LoadPage(eid, testEvBase, src, pt.R|pt.X); st != api.OK {
 			t.Fatalf("load: %v", st)
 		}
-		f.mon.LoadThread(eid, f.metaPage(slot+1), testEvBase, testEvBase+0x800)
-		if st := f.mon.InitEnclave(eid); st != api.OK {
+		f.LoadThread(eid, f.metaPage(slot+1), testEvBase, testEvBase+0x800)
+		if st := f.InitEnclave(eid); st != api.OK {
 			t.Fatalf("init: %v", st)
 		}
 		_, meas, _ := f.mon.EnclaveInfo(eid)
@@ -386,13 +454,13 @@ func TestMeasurementSensitiveToContentAndLayout(t *testing.T) {
 	build := func(slot, region int, content byte, perms uint64, entry uint64) [32]byte {
 		eid := f.createLoading(t, slot, region)
 		for _, alloc := range [][2]uint64{{0, 2}, {testEvBase, 1}, {testEvBase, 0}} {
-			f.mon.AllocatePageTable(eid, alloc[0], int(alloc[1]))
+			f.AllocatePageTable(eid, alloc[0], int(alloc[1]))
 		}
 		src := uint64(0x2000 + uint64(slot)*0x1000)
 		f.m.Mem.WriteBytes(src, bytes.Repeat([]byte{content}, 32))
-		f.mon.LoadPage(eid, testEvBase, src, perms)
-		f.mon.LoadThread(eid, f.metaPage(slot+1), entry, 0)
-		f.mon.InitEnclave(eid)
+		f.LoadPage(eid, testEvBase, src, perms)
+		f.LoadThread(eid, f.metaPage(slot+1), entry, 0)
+		f.InitEnclave(eid)
 		_, meas, _ := f.mon.EnclaveInfo(eid)
 		return meas
 	}
@@ -432,22 +500,22 @@ func TestThreadStateMachine(t *testing.T) {
 	f := newFixture(t)
 	eid := f.createLoading(t, 0, 10)
 	f.loadMinimal(t, eid, 1)
-	f.mon.InitEnclave(eid)
+	f.InitEnclave(eid)
 	e := f.mon.enclaves[eid]
 
 	tid := f.metaPage(3)
-	if st := f.mon.CreateThread(tid); st != api.OK {
+	if st := f.CreateThread(tid); st != api.OK {
 		t.Fatalf("create thread: %v", st)
 	}
 	// Accept before assign must fail.
 	if st := f.mon.acceptThread(e, tid, testEvBase, 0); st != api.ErrInvalidState {
 		t.Fatalf("accept unoffered: %v", st)
 	}
-	if st := f.mon.AssignThread(eid, tid); st != api.OK {
+	if st := f.AssignThread(eid, tid); st != api.OK {
 		t.Fatalf("assign: %v", st)
 	}
 	// Assigning again must fail (offered, not available).
-	if st := f.mon.AssignThread(eid, tid); st != api.ErrInvalidState {
+	if st := f.AssignThread(eid, tid); st != api.ErrInvalidState {
 		t.Fatalf("double assign: %v", st)
 	}
 	// Enclave accepts with an entry point inside evrange.
@@ -456,8 +524,8 @@ func TestThreadStateMachine(t *testing.T) {
 	}
 	// Accepting an entry outside evrange must fail for a fresh offer.
 	tid2 := f.metaPage(4)
-	f.mon.CreateThread(tid2)
-	f.mon.AssignThread(eid, tid2)
+	f.CreateThread(tid2)
+	f.AssignThread(eid, tid2)
 	if st := f.mon.acceptThread(e, tid2, 0x1234000, 0); st != api.ErrInvalidValue {
 		t.Fatalf("accept with foreign entry: %v", st)
 	}
@@ -465,7 +533,7 @@ func TestThreadStateMachine(t *testing.T) {
 	if st := f.mon.releaseThread(e, tid); st != api.OK {
 		t.Fatalf("release: %v", st)
 	}
-	if st := f.mon.DeleteThread(tid); st != api.OK {
+	if st := f.DeleteThread(tid); st != api.OK {
 		t.Fatalf("delete: %v", st)
 	}
 	// Deleting an assigned (measured) thread must fail.
@@ -473,14 +541,14 @@ func TestThreadStateMachine(t *testing.T) {
 	for id := range e.Threads {
 		measuredTID = id
 	}
-	if st := f.mon.DeleteThread(measuredTID); st != api.ErrInvalidState {
+	if st := f.DeleteThread(measuredTID); st != api.ErrInvalidState {
 		t.Fatalf("delete assigned thread: %v", st)
 	}
 	// Unassign scrubs and frees it.
-	if st := f.mon.UnassignThread(measuredTID); st != api.OK {
+	if st := f.UnassignThread(measuredTID); st != api.OK {
 		t.Fatalf("unassign: %v", st)
 	}
-	if st := f.mon.DeleteThread(measuredTID); st != api.OK {
+	if st := f.DeleteThread(measuredTID); st != api.OK {
 		t.Fatalf("delete after unassign: %v", st)
 	}
 }
@@ -490,25 +558,25 @@ func TestEnterEnclaveValidation(t *testing.T) {
 	eid := f.createLoading(t, 0, 10)
 	tid := f.loadMinimal(t, eid, 1)
 	// Not initialized yet.
-	if st := f.mon.EnterEnclave(0, eid, tid); st != api.ErrInvalidState {
+	if st := f.EnterEnclave(0, eid, tid); st != api.ErrInvalidState {
 		t.Fatalf("enter loading enclave: %v", st)
 	}
-	f.mon.InitEnclave(eid)
-	if st := f.mon.EnterEnclave(5, eid, tid); st != api.ErrInvalidValue {
+	f.InitEnclave(eid)
+	if st := f.EnterEnclave(5, eid, tid); st != api.ErrInvalidValue {
 		t.Fatalf("bad core: %v", st)
 	}
-	if st := f.mon.EnterEnclave(0, eid, 0xBAD); st != api.ErrInvalidValue {
+	if st := f.EnterEnclave(0, eid, 0xBAD); st != api.ErrInvalidValue {
 		t.Fatalf("bad tid: %v", st)
 	}
-	if st := f.mon.EnterEnclave(0, eid, tid); st != api.OK {
+	if st := f.EnterEnclave(0, eid, tid); st != api.OK {
 		t.Fatalf("enter: %v", st)
 	}
 	// Same thread cannot be entered twice.
-	if st := f.mon.EnterEnclave(1, eid, tid); st != api.ErrInvalidState {
+	if st := f.EnterEnclave(1, eid, tid); st != api.ErrInvalidState {
 		t.Fatalf("double enter: %v", st)
 	}
 	// Core is busy.
-	if st := f.mon.DeleteEnclave(eid); st != api.ErrInvalidState {
+	if st := f.DeleteEnclave(eid); st != api.ErrInvalidState {
 		t.Fatalf("delete with running thread: %v", st)
 	}
 	// The core state now belongs to the enclave domain.
@@ -523,7 +591,7 @@ func TestEnterEnclaveValidation(t *testing.T) {
 	if f.m.Cores[0].CPU.Reg(10) != 7 {
 		t.Fatal("exit value not delivered")
 	}
-	if st := f.mon.DeleteEnclave(eid); st != api.OK {
+	if st := f.DeleteEnclave(eid); st != api.OK {
 		t.Fatalf("delete after stop: %v", st)
 	}
 }
@@ -534,12 +602,12 @@ func TestMailboxStateMachine(t *testing.T) {
 	f := newFixture(t)
 	eidA := f.createLoading(t, 0, 10)
 	f.loadMinimal(t, eidA, 1)
-	f.mon.InitEnclave(eidA)
+	f.InitEnclave(eidA)
 	a := f.mon.enclaves[eidA]
 
 	eidB := f.createLoading(t, 2, 11)
 	f.loadMinimal(t, eidB, 3)
-	f.mon.InitEnclave(eidB)
+	f.InitEnclave(eidB)
 	b := f.mon.enclaves[eidB]
 
 	msg := make([]byte, api.MailboxSize)
@@ -592,7 +660,7 @@ func TestMailboxBounds(t *testing.T) {
 	f := newFixture(t)
 	eid := f.createLoading(t, 0, 10)
 	f.loadMinimal(t, eid, 1)
-	f.mon.InitEnclave(eid)
+	f.InitEnclave(eid)
 	e := f.mon.enclaves[eid]
 	if st := f.mon.acceptMail(e, -1, 0); st != api.ErrInvalidValue {
 		t.Errorf("negative index: %v", st)
@@ -639,7 +707,7 @@ func TestAttestSignRestrictedToSigningEnclave(t *testing.T) {
 	f := newFixture(t)
 	eid := f.createLoading(t, 0, 10)
 	f.loadMinimal(t, eid, 1)
-	f.mon.InitEnclave(eid)
+	f.InitEnclave(eid)
 	e := f.mon.enclaves[eid]
 	// No signing enclave configured in this fixture.
 	if _, st := f.mon.attestSign(e, testEvBase, 32); st != api.ErrNotSupported {
@@ -670,7 +738,7 @@ func TestConcurrentAPITransactions(t *testing.T) {
 	f := newFixture(t)
 	eid := f.createLoading(t, 0, 10)
 	f.loadMinimal(t, eid, 1)
-	f.mon.InitEnclave(eid)
+	f.InitEnclave(eid)
 
 	const workers = 8
 	var wg sync.WaitGroup
@@ -681,11 +749,11 @@ func TestConcurrentAPITransactions(t *testing.T) {
 		go func(w int) {
 			defer wg.Done()
 			for i := 0; i < 200; i++ {
-				st := f.mon.BlockRegion(30)
+				st := f.BlockRegion(30)
 				if st == api.OK {
-					for f.mon.CleanRegion(30) != api.OK {
+					for f.CleanRegion(30) != api.OK {
 					}
-					for f.mon.GrantRegion(30, api.DomainOS) != api.OK {
+					for f.GrantRegion(30, api.DomainOS) != api.OK {
 					}
 				}
 				mu.Lock()
@@ -706,7 +774,7 @@ func TestConcurrentAPITransactions(t *testing.T) {
 		t.Fatal("no transaction ever succeeded")
 	}
 	// The region must end in a sane state.
-	st, owner, errc := f.mon.RegionInfo(30)
+	st, owner, errc := f.RegionInfo(30)
 	if errc != api.OK || st != RegionOwned || owner != api.DomainOS {
 		t.Fatalf("final region state: %v/%v/%#x", errc, st, owner)
 	}
@@ -721,13 +789,13 @@ func TestRegionStateMachineProperty(t *testing.T) {
 		r := int(region) % 8 // stay in OS-owned low regions
 		switch action % 3 {
 		case 0:
-			f.mon.BlockRegion(r)
+			f.BlockRegion(r)
 		case 1:
-			f.mon.CleanRegion(r)
+			f.CleanRegion(r)
 		case 2:
-			f.mon.GrantRegion(r, api.DomainOS)
+			f.GrantRegion(r, api.DomainOS)
 		}
-		st, owner, errc := f.mon.RegionInfo(r)
+		st, owner, errc := f.RegionInfo(r)
 		if errc != api.OK {
 			return false
 		}

@@ -309,10 +309,12 @@ func (mon *Monitor) enterEnclave(coreID int, eid, tid uint64) api.Error {
 	core.ClearMicroarch()
 	core.ClearArchState()
 	err := mon.plat.ApplyEnclaveView(core, EnclaveView{
-		RootPPN:   e.RootPPN,
-		EvBase:    e.EvBase,
-		EvMask:    e.EvMask,
-		Regions:   e.Regions,
+		RootPPN: e.RootPPN,
+		EvBase:  e.EvBase,
+		EvMask:  e.EvMask,
+		// The access view includes regions borrowed from a snapshot
+		// template, so a clone can read its aliased pages.
+		Regions:   e.accessRegions(),
 		OSRegions: osRegions,
 	})
 	if err != nil {

@@ -43,6 +43,15 @@ func (mon *Monitor) HandleTrap(c *machine.Core, tr *isa.Trap) machine.Dispositio
 
 	case tr.Cause.IsPageFault():
 		if enclaveRunning {
+			// A store fault may be a copy-on-write alias (snapshot
+			// clones, frozen templates): the monitor copies the page
+			// into the enclave's own memory and retries the store
+			// before any fault is delivered anywhere.
+			if tr.Cause == isa.CauseStorePageFault {
+				if disp, handled := mon.cowFault(c, slot, tr); handled {
+					return disp
+				}
+			}
 			return mon.enclaveFault(c, slot, tr)
 		}
 		return machine.DispReturnToOS
@@ -137,7 +146,10 @@ func (mon *Monitor) enclaveCall(c *machine.Core, slot slotView) machine.Disposit
 
 // enclaveVAtoPA translates an enclave virtual address through the
 // enclave's private page tables with M-mode authority, confining every
-// step of the walk and the final target to the enclave's own regions.
+// step of the walk to the enclave's own regions and the final target
+// to its access view (own regions plus any borrowed from a snapshot
+// template — a clone's table pages are always its own, but its aliased
+// data pages live in the template's regions).
 func (mon *Monitor) enclaveVAtoPA(e *Enclave, va uint64, acc pt.Access) (uint64, bool) {
 	if !e.InEvrange(va) {
 		return 0, false
@@ -154,7 +166,7 @@ func (mon *Monitor) enclaveVAtoPA(e *Enclave, va uint64, acc pt.Access) (uint64,
 	if fault != nil {
 		return 0, false
 	}
-	if !e.Regions.ContainsRange(layout, res.PA, 1) {
+	if !e.accessRegions().ContainsRange(layout, res.PA, 1) {
 		return 0, false
 	}
 	return res.PA, true
@@ -183,12 +195,22 @@ func (mon *Monitor) readEnclave(e *Enclave, va uint64, n int) ([]byte, bool) {
 	return out, true
 }
 
-// writeEnclave copies data into enclave memory at va.
+// writeEnclave copies data into enclave memory at va. A destination
+// page the enclave still aliases copy-on-write is resolved through the
+// same copy protocol a guest store would trigger, so monitor services
+// writing into a clone (get_mail, get_field, attestation and
+// key-agreement outputs) behave exactly as they do on the directly
+// built template.
 func (mon *Monitor) writeEnclave(e *Enclave, va uint64, data []byte) bool {
 	for len(data) > 0 {
 		pa, ok := mon.enclaveVAtoPA(e, va, pt.Store)
 		if !ok {
-			return false
+			if !mon.resolveCOWForWrite(e, va) {
+				return false
+			}
+			if pa, ok = mon.enclaveVAtoPA(e, va, pt.Store); !ok {
+				return false
+			}
 		}
 		chunk := int(mem.PageSize - pa&mem.PageMask)
 		if chunk > len(data) {

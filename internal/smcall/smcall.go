@@ -237,6 +237,30 @@ func (c *Client) TryEnterEnclave(coreID int, eid, tid uint64) api.Error {
 	return c.Try(api.OSRequest(api.CallEnterEnclave, uint64(coreID), eid, tid)).Status
 }
 
+// SnapshotEnclave freezes an initialized, parked enclave read-only and
+// registers the snapshot under snapID (a free SM metadata page).
+func (c *Client) SnapshotEnclave(eid, snapID uint64) error {
+	_, err := c.call(api.CallSnapshotEnclave, eid, snapID)
+	return err
+}
+
+// CloneEnclave forks a sealed worker from a snapshot into the Loading
+// enclave eid (matching evrange, granted regions, nothing loaded).
+// Template thread i is recreated under tidBase + i*4096; a non-zero
+// sharedPA rebases the template's single shared window onto that
+// OS-owned page.
+func (c *Client) CloneEnclave(eid, snapID, tidBase, sharedPA uint64) error {
+	_, err := c.call(api.CallCloneEnclave, eid, snapID, tidBase, sharedPA)
+	return err
+}
+
+// ReleaseSnapshot dissolves a snapshot with no outstanding clones,
+// thawing the template.
+func (c *Client) ReleaseSnapshot(snapID uint64) error {
+	_, err := c.call(api.CallReleaseSnapshot, snapID)
+	return err
+}
+
 // RegionInfo reports a region's lifecycle state and owner.
 func (c *Client) RegionInfo(r int) (api.RegionState, uint64, error) {
 	resp, err := c.call(api.CallRegionInfo, uint64(r))

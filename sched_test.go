@@ -180,19 +180,23 @@ func TestRunAllParallelStress(t *testing.T) {
 		}
 	}
 	wg.Add(2)
+	// The hammers speak the unified ABI single-shot (client Try, no
+	// retry absorption) so every ErrRetry is observed here.
+	try := func(c api.Call, args ...uint64) api.Error {
+		return sys.OS.SM.Try(api.OSRequest(c, args...)).Status
+	}
 	go hammer(func() api.Error {
-		if st := sys.Monitor.BlockRegion(spareRegion); st != api.OK {
+		if st := try(api.CallBlockRegion, uint64(spareRegion)); st != api.OK {
 			return st
 		}
-		for sys.Monitor.CleanRegion(spareRegion) != api.OK {
+		for try(api.CallCleanRegion, uint64(spareRegion)) != api.OK {
 		}
-		for sys.Monitor.GrantRegion(spareRegion, api.DomainOS) != api.OK {
+		for try(api.CallGrantRegion, uint64(spareRegion), api.DomainOS) != api.OK {
 		}
 		return api.OK
 	})
 	go hammer(func() api.Error {
-		_, _, st := sys.Monitor.RegionInfo(spareRegion)
-		return st
+		return try(api.CallRegionInfo, uint64(spareRegion))
 	})
 
 	results := sched.RunAll(tasks)
@@ -213,20 +217,14 @@ func TestRunAllParallelStress(t *testing.T) {
 
 	// The spare region must have come out of the storm in a legal
 	// final state.
-	for {
-		st, owner, errc := sys.Monitor.RegionInfo(spareRegion)
-		if errc == api.ErrRetry {
-			continue
-		}
-		if errc != api.OK {
-			t.Fatalf("final region info: %v", errc)
-		}
-		if owner != api.DomainOS {
-			t.Fatalf("spare region ended owned by %#x", owner)
-		}
-		_ = st
-		break
+	stRegion, owner, err := sys.OS.SM.RegionInfo(spareRegion)
+	if err != nil {
+		t.Fatalf("final region info: %v", err)
 	}
+	if owner != api.DomainOS {
+		t.Fatalf("spare region ended owned by %#x", owner)
+	}
+	_ = stRegion
 }
 
 // TestServeStreamsTasks feeds tasks through the Serve channel in

@@ -8,6 +8,7 @@ import (
 	"sanctorum"
 	"sanctorum/internal/attest"
 	"sanctorum/internal/enclaves"
+	"sanctorum/internal/hw/pt"
 	"sanctorum/internal/isa"
 	"sanctorum/internal/os"
 	"sanctorum/internal/sm/api"
@@ -533,5 +534,304 @@ func TestEnclavePageFaultDeliveredAndAEXFallback(t *testing.T) {
 	core := sys.Machine.Cores[0]
 	if core.EnclaveMode {
 		t.Fatal("core left in enclave mode after fault AEX")
+	}
+}
+
+// --- Snapshot & copy-on-write clone (E15, DESIGN.md §8) ---
+
+// TestSnapshotClonePool forks request-serving workers from one
+// measured template through the OS pool manager, on every platform:
+// each clone starts from the template's measured initial state (a
+// running total of 100 in its private data page), diverges privately
+// through copy-on-write, and recycles cleanly — page refcounts return
+// to zero after teardown.
+func TestSnapshotClonePool(t *testing.T) {
+	for _, pk := range allKinds {
+		t.Run(pk.name, func(t *testing.T) {
+			sys, err := sanctorum.NewSystem(sanctorum.Options{Kind: pk.kind})
+			if err != nil {
+				t.Fatal(err)
+			}
+			l := enclaves.DefaultLayout()
+			tmplShared, err := sys.SetupShared(l.SharedVA)
+			if err != nil {
+				t.Fatal(err)
+			}
+			regions := sys.OS.FreeRegions()
+			dataInit := make([]byte, 8)
+			dataInit[0] = 100 // initial running total
+			spec, err := enclaves.Spec(l, enclaves.StatefulAdder(l), dataInit,
+				regions[:1], []os.SharedMapping{{VA: l.SharedVA, PA: tmplShared}})
+			if err != nil {
+				t.Fatal(err)
+			}
+			pool, err := os.NewPool(sys.OS, spec, regions[1:3], 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// The snapshot froze pages and holds references.
+			if refs := sys.Machine.Mem.TotalRefs(); refs == 0 {
+				t.Fatal("snapshot holds no page references")
+			}
+
+			run := func(w *os.Worker, input uint64) uint64 {
+				t.Helper()
+				if err := sys.SharedWriteWord(w.SharedPA, enclaves.ShInput, input); err != nil {
+					t.Fatal(err)
+				}
+				// Point the shared window at this worker's buffer. Under
+				// Sanctum, outside-evrange VAs translate through the OS
+				// page tables, so the OS remaps SharedVA per worker;
+				// under Keystone/baseline the clone's own tables carry
+				// the per-clone override from Acquire. Both paths end at
+				// w.SharedPA.
+				if err := sys.OS.MapUser(l.SharedVA, w.SharedPA, pt.R|pt.W|pt.U); err != nil {
+					t.Fatal(err)
+				}
+				if _, err := sys.Enter(0, w.EID, w.TIDs[0], 1_000_000); err != nil {
+					t.Fatal(err)
+				}
+				out, err := sys.SharedReadWord(w.SharedPA, enclaves.ShOutput)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return out
+			}
+
+			// Two workers with private untrusted buffers.
+			buf1, err := sys.OS.AllocPagePA()
+			if err != nil {
+				t.Fatal(err)
+			}
+			buf2, err := sys.OS.AllocPagePA()
+			if err != nil {
+				t.Fatal(err)
+			}
+			w1, err := pool.Acquire(buf1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			w2, err := pool.Acquire(buf2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Both inherit the template's measurement identity…
+			var meas [32]byte
+			stagePA, _ := sys.OS.StagePage()
+			if _, err := sys.OS.SM.EnclaveStatus(w1.EID, stagePA); err != nil {
+				t.Fatal(err)
+			}
+			m, _ := sys.OS.ReadOwned(stagePA, 32)
+			copy(meas[:], m)
+			if meas != pool.Template.Measurement {
+				t.Fatal("clone measurement differs from template")
+			}
+			// …and the measurement still matches the verifier replay of
+			// the template's spec: fork does not change identity.
+			if pool.Template.Measurement != os.ExpectedMeasurement(spec) {
+				t.Fatal("template measurement does not match transcript replay")
+			}
+
+			// First write hits the COW fault path; state then diverges
+			// per clone and persists across entries.
+			if got := run(w1, 5); got != 105 {
+				t.Fatalf("w1 first run: %d, want 105", got)
+			}
+			if got := run(w1, 5); got != 110 {
+				t.Fatalf("w1 second run: %d, want 110", got)
+			}
+			if got := run(w2, 7); got != 107 {
+				t.Fatalf("w2 run: %d, want 107 (diverged from w1)", got)
+			}
+
+			// Recycle both workers, re-acquire: the fresh worker starts
+			// from the measured initial state again.
+			if err := pool.Release(w1); err != nil {
+				t.Fatal(err)
+			}
+			if err := pool.Release(w2); err != nil {
+				t.Fatal(err)
+			}
+			w3, err := pool.Acquire(buf1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := run(w3, 1); got != 101 {
+				t.Fatalf("recycled worker run: %d, want 101", got)
+			}
+			if err := pool.Release(w3); err != nil {
+				t.Fatal(err)
+			}
+
+			// Teardown: snapshot released, template deleted, and every
+			// page refcount back to baseline.
+			if err := pool.Close(); err != nil {
+				t.Fatal(err)
+			}
+			if refs := sys.Machine.Mem.TotalRefs(); refs != 0 {
+				t.Fatalf("page refcounts leaked after pool teardown: %d", refs)
+			}
+		})
+	}
+}
+
+// TestDeterministicReplay runs the same snapshot/clone scenario on two
+// fresh systems and requires bit-identical observables — cycles,
+// steps, measurements, outputs. CI runs every TestDeterministic* twice
+// (-count=2) to catch within-process nondeterminism too.
+func TestDeterministicReplay(t *testing.T) {
+	type observables struct {
+		meas       [32]byte
+		out1, out2 uint64
+		steps      int
+		cycles     uint64
+		tlbHits    uint64
+	}
+	scenario := func() observables {
+		t.Helper()
+		sys, err := sanctorum.NewSystem(sanctorum.Options{Kind: sanctorum.Sanctum})
+		if err != nil {
+			t.Fatal(err)
+		}
+		l := enclaves.DefaultLayout()
+		sharedPA, _ := sys.SetupShared(l.SharedVA)
+		regions := sys.OS.FreeRegions()
+		dataInit := make([]byte, 8)
+		dataInit[0] = 9
+		spec, err := enclaves.Spec(l, enclaves.StatefulAdder(l), dataInit,
+			regions[:1], []os.SharedMapping{{VA: l.SharedVA, PA: sharedPA}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		pool, err := os.NewPool(sys.OS, spec, regions[1:2], 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf, err := sys.OS.AllocPagePA()
+		if err != nil {
+			t.Fatal(err)
+		}
+		w, err := pool.Acquire(buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var o observables
+		o.meas = pool.Template.Measurement
+		if err := sys.OS.MapUser(l.SharedVA, buf, pt.R|pt.W|pt.U); err != nil {
+			t.Fatal(err)
+		}
+		sys.SharedWriteWord(buf, enclaves.ShInput, 4)
+		res, err := sys.Enter(0, w.EID, w.TIDs[0], 1_000_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		o.steps = res.Steps
+		o.out1, _ = sys.SharedReadWord(buf, enclaves.ShOutput)
+		sys.SharedWriteWord(buf, enclaves.ShInput, 6)
+		if _, err := sys.Enter(0, w.EID, w.TIDs[0], 1_000_000); err != nil {
+			t.Fatal(err)
+		}
+		o.out2, _ = sys.SharedReadWord(buf, enclaves.ShOutput)
+		o.cycles = sys.Machine.Cores[0].CPU.Cycles
+		o.tlbHits = sys.Machine.Cores[0].TLB.Hits
+		if err := pool.Release(w); err != nil {
+			t.Fatal(err)
+		}
+		if err := pool.Close(); err != nil {
+			t.Fatal(err)
+		}
+		return o
+	}
+	a, b := scenario(), scenario()
+	if a != b {
+		t.Fatalf("replay diverged:\n  run1 %+v\n  run2 %+v", a, b)
+	}
+	if a.out1 != 13 || a.out2 != 19 {
+		t.Fatalf("outputs %d/%d, want 13/19", a.out1, a.out2)
+	}
+}
+
+// TestPoolRecyclesAndRecovers covers the pool's resource hygiene: a
+// two-thread template recycled many times must not consume fresh
+// metadata pages per cycle (tid bases are reused), and a failed
+// Acquire — a clone region snatched by another owner mid-flight —
+// must unwind cleanly and leave the pool usable once the region
+// returns.
+func TestPoolRecyclesAndRecovers(t *testing.T) {
+	sys, err := sanctorum.NewSystem(sanctorum.Options{Kind: sanctorum.Sanctum})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := enclaves.DefaultLayout()
+	sharedPA, _ := sys.SetupShared(l.SharedVA)
+	regions := sys.OS.FreeRegions()
+	spec, err := enclaves.Spec(l, enclaves.StatefulAdder(l), nil,
+		regions[:1], []os.SharedMapping{{VA: l.SharedVA, PA: sharedPA}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A second (never-run) thread, so each worker needs two contiguous
+	// tid pages — the case where leaking would exhaust metadata.
+	spec.Threads = append(spec.Threads, os.ThreadSpec{EntryVA: l.CodeVA, StackVA: l.SP()})
+	pool, err := os.NewPool(sys.OS, spec, regions[1:2], 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Many acquire/release cycles: with tid-base reuse this allocates
+	// the two tid pages once; without it the metadata region (128 KiB /
+	// 4 KiB = 32 pages here) would exhaust well before 40 cycles.
+	for i := 0; i < 40; i++ {
+		w, err := pool.Acquire(0)
+		if err != nil {
+			t.Fatalf("cycle %d: acquire: %v", i, err)
+		}
+		if len(w.TIDs) != 2 {
+			t.Fatalf("cycle %d: worker has %d tids", i, len(w.TIDs))
+		}
+		if err := pool.Release(w); err != nil {
+			t.Fatalf("cycle %d: release: %v", i, err)
+		}
+	}
+
+	// Snatch the pool's clone region: the next Acquire must fail and
+	// unwind (shell deleted, region recoverable, no metadata leak).
+	thief, err := sys.OS.AllocMetaPage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cloneRegion := regions[1]
+	if err := sys.OS.SM.CreateEnclave(thief, l.EvBase, l.EvMask); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.OS.SM.GrantRegion(cloneRegion, thief); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pool.Acquire(0); err == nil {
+		t.Fatal("acquire succeeded without its clone region")
+	}
+	// Return the region and the pool recovers.
+	if err := sys.OS.SM.DeleteEnclave(thief); err != nil {
+		t.Fatal(err)
+	}
+	sys.OS.ReleaseMetaPage(thief)
+	if err := sys.OS.SM.CleanRegion(cloneRegion); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.OS.SM.GrantRegion(cloneRegion, api.DomainOS); err != nil {
+		t.Fatal(err)
+	}
+	w, err := pool.Acquire(0)
+	if err != nil {
+		t.Fatalf("acquire after recovery: %v", err)
+	}
+	if err := pool.Release(w); err != nil {
+		t.Fatal(err)
+	}
+	if err := pool.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if refs := sys.Machine.Mem.TotalRefs(); refs != 0 {
+		t.Fatalf("refs after teardown: %d", refs)
 	}
 }
