@@ -464,6 +464,128 @@ func BenchmarkAblationLockContention(b *testing.B) {
 	})
 }
 
+// --- E16: ring serving throughput (DESIGN.md §9) ---
+
+// BenchmarkServeThroughput measures the per-message monitor overhead
+// of ring IPC and how batching amortizes it: an OS→OS loopback ring
+// carries b.N messages, moved either one per Dispatch pair (send 1,
+// recv 1 — the per-message cost every request would pay without
+// batching) or api.RingMaxBatch per call. ns/op is ns per message in
+// both cases, so the sub-benchmark ratio is the amortization factor
+// the CI gate enforces (≥5×).
+func BenchmarkServeThroughput(b *testing.B) {
+	setup := func(b *testing.B) (*sanctorum.System, uint64, uint64, uint64) {
+		sys := mustSystem(b, sanctorum.Sanctum, [32]byte{})
+		ringID, err := sys.OS.AllocMetaPage()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := sys.OS.SM.RingCreate(ringID, api.DomainOS, api.DomainOS, api.RingMaxBatch); err != nil {
+			b.Fatal(err)
+		}
+		sendPA, err := sys.OS.AllocPagePA()
+		if err != nil {
+			b.Fatal(err)
+		}
+		recvPA, err := sys.OS.AllocPagePA()
+		if err != nil {
+			b.Fatal(err)
+		}
+		payload := make([]byte, api.RingMaxBatch*api.RingMsgSize)
+		for i := range payload {
+			payload[i] = byte(i)
+		}
+		if err := sys.OS.WriteOwned(sendPA, payload); err != nil {
+			b.Fatal(err)
+		}
+		return sys, ringID, sendPA, recvPA
+	}
+	b.Run("per-message", func(b *testing.B) {
+		sys, ringID, sendPA, recvPA := setup(b)
+		send := api.OSRequest(api.CallRingSend, ringID, sendPA, 1)
+		recv := api.OSRequest(api.CallRingRecv, ringID, recvPA, 1)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if resp := sys.Monitor.Dispatch(send); resp.Status != api.OK {
+				b.Fatal(resp.Status)
+			}
+			if resp := sys.Monitor.Dispatch(recv); resp.Status != api.OK {
+				b.Fatal(resp.Status)
+			}
+		}
+		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "msg/s")
+	})
+	b.Run("batched", func(b *testing.B) {
+		sys, ringID, sendPA, recvPA := setup(b)
+		b.ResetTimer()
+		for i := 0; i < b.N; i += api.RingMaxBatch {
+			n := api.RingMaxBatch
+			if rem := b.N - i; n > rem {
+				n = rem
+			}
+			send := api.OSRequest(api.CallRingSend, ringID, sendPA, uint64(n))
+			recv := api.OSRequest(api.CallRingRecv, ringID, recvPA, uint64(n))
+			if resp := sys.Monitor.Dispatch(send); resp.Status != api.OK || resp.Values[0] != uint64(n) {
+				b.Fatalf("send: %v n=%d", resp.Status, resp.Values[0])
+			}
+			if resp := sys.Monitor.Dispatch(recv); resp.Status != api.OK || resp.Values[0] != uint64(n) {
+				b.Fatalf("recv: %v n=%d", resp.Status, resp.Values[0])
+			}
+		}
+		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "msg/s")
+	})
+}
+
+// BenchmarkGatewayServe is the end-to-end serving number for E16: echo
+// requests through the full stack — gateway batching, ring sends,
+// park/wake, pool-cloned enclave workers under the OS scheduler,
+// stamped responses. ns/op is per request; req/s is the headline.
+func BenchmarkGatewayServe(b *testing.B) {
+	sys := mustSystem(b, sanctorum.Sanctum, [32]byte{})
+	l := enclaves.DefaultLayout()
+	regions := sys.OS.FreeRegions()
+	spec, err := enclaves.Spec(l, enclaves.RingEchoServer(l), nil, regions[:1], nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pool, err := sys.NewPool(spec, regions[1:3], 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	gw, err := sys.NewGateway(pool, sanctorum.GatewayConfig{
+		Workers: 2,
+		Sched:   sanctorum.SchedConfig{Mode: sanctorum.Deterministic},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	const wave = 32
+	reqs := make([][]byte, wave)
+	for i := range reqs {
+		msg := make([]byte, api.RingMsgSize)
+		msg[0] = byte(i)
+		reqs[i] = msg
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i += wave {
+		n := wave
+		if rem := b.N - i; n > rem {
+			n = rem
+		}
+		if _, err := gw.Process(reqs[:n]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "req/s")
+	if err := gw.Close(); err != nil {
+		b.Fatal(err)
+	}
+	if err := pool.Close(); err != nil {
+		b.Fatal(err)
+	}
+}
+
 // --- E15: snapshot/clone cold start (DESIGN.md §8) ---
 
 // BenchmarkCloneColdStart compares bringing up a request-serving

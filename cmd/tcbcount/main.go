@@ -10,6 +10,7 @@ package main
 
 import (
 	"bufio"
+	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -79,9 +80,12 @@ func countLines(path string) (code int, err error) {
 }
 
 func main() {
+	maxCore := flag.Int("max-core", 0,
+		"fail (exit 1) if the trusted monitor core exceeds this many non-test LOC; 0 disables")
+	flag.Parse()
 	root := "."
-	if len(os.Args) > 1 {
-		root = os.Args[1]
+	if flag.NArg() > 0 {
+		root = flag.Arg(0)
 	}
 	totals := map[string]int{}
 	testTotals := map[string]int{}
@@ -144,4 +148,13 @@ func main() {
 	fmt.Printf("  total (non-test):  %6d   tests: %d\n", total, testTotal)
 	fmt.Printf("  core/trusted ratio: %.0f%%  (paper: %.0f%%)\n",
 		100*float64(smCore)/float64(trusted), 100*1011.0/5785.0)
+	if *maxCore > 0 {
+		if smCore > *maxCore {
+			fmt.Fprintf(os.Stderr,
+				"tcbcount: trusted monitor core is %d LOC, over the declared %d LOC budget\n",
+				smCore, *maxCore)
+			os.Exit(1)
+		}
+		fmt.Printf("  core budget:       %6d  (%d LOC headroom)\n", *maxCore, *maxCore-smCore)
+	}
 }

@@ -106,6 +106,25 @@ func TestSnapshotBattery(t *testing.T) {
 	}
 }
 
+func TestRingBattery(t *testing.T) {
+	// The ring attacks are monitor-state-machine attacks (identity,
+	// capacity, batch bounds, stamp forgery), so every platform —
+	// including the baseline — must refuse all of them.
+	for _, kind := range []sanctorum.Kind{sanctorum.Sanctum, sanctorum.Keystone, sanctorum.Baseline} {
+		sys, err := sanctorum.NewSystem(sanctorum.Options{Kind: kind})
+		if err != nil {
+			t.Fatal(err)
+		}
+		wins, err := RingBattery(sys)
+		if err != nil {
+			t.Fatalf("%v: battery failed to run: %v", kind, err)
+		}
+		for _, w := range wins {
+			t.Errorf("%v: adversary win: %s", kind, w)
+		}
+	}
+}
+
 func TestMaliciousOSBatteryOnBaseline(t *testing.T) {
 	// The control: without an isolation primitive the adversary wins
 	// the memory attacks (and only those — the monitor's state machine

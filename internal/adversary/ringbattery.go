@@ -1,0 +1,191 @@
+package adversary
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"sanctorum"
+	"sanctorum/internal/enclaves"
+	"sanctorum/internal/sm/api"
+)
+
+// RingBattery attacks the mailbox-ring subsystem (monitor calls
+// 0x40–0x45, DESIGN.md §9): forged and cross-domain ring names,
+// sends and receives from the wrong protection domain, wake spoofing,
+// overflow, and host-side attempts to forge the sender stamp. Every
+// attack must be refused with the documented api.Error sentinel; a
+// non-empty return lists the attacks that succeeded. Like the other
+// batteries, the adversary speaks raw api.Request values into
+// Monitor.Dispatch — a malicious kernel does not use the polite
+// client.
+func RingBattery(sys *sanctorum.System) ([]string, error) {
+	var wins []string
+	note := func(format string, args ...any) {
+		wins = append(wins, fmt.Sprintf(format, args...))
+	}
+	call := func(c api.Call, args ...uint64) api.Error {
+		return sys.Monitor.Dispatch(api.OSRequest(c, args...)).Status
+	}
+	expect := func(name string, want api.Error, c api.Call, args ...uint64) {
+		if st := call(c, args...); st != want {
+			note("%s: %v, want %v", name, st, want)
+		}
+	}
+
+	l := enclaves.DefaultLayout()
+	regions := sys.OS.FreeRegions()
+	if len(regions) < 1 {
+		return nil, fmt.Errorf("adversary: need a free region")
+	}
+	spec, err := enclaves.Spec(l, enclaves.RingEchoServer(l), nil, regions[:1], nil)
+	if err != nil {
+		return nil, err
+	}
+	worker, err := sys.BuildEnclave(spec)
+	if err != nil {
+		return nil, err
+	}
+	stagePA, err := sys.OS.AllocPagePA()
+	if err != nil {
+		return nil, err
+	}
+
+	// 1. Ring names must be free SM metadata pages.
+	expect("ring in OS-owned memory", api.ErrInvalidValue,
+		api.CallRingCreate, stagePA, api.DomainOS, worker.EID, 8)
+	expect("ring over an enclave id", api.ErrInvalidValue,
+		api.CallRingCreate, worker.EID, api.DomainOS, worker.EID, 8)
+	expect("ring over a thread id", api.ErrInvalidValue,
+		api.CallRingCreate, worker.TIDs[0], api.DomainOS, worker.EID, 8)
+	// 2. Endpoints must be live domains; the reserved SM identity and
+	// junk eids are refused.
+	ringID, err := sys.OS.AllocMetaPage()
+	if err != nil {
+		return nil, err
+	}
+	expect("ring produced by the SM identity", api.ErrInvalidValue,
+		api.CallRingCreate, ringID, api.DomainSM, worker.EID, 8)
+	expect("ring consumed by a junk eid", api.ErrInvalidValue,
+		api.CallRingCreate, ringID, api.DomainOS, 0xDEAD000, 8)
+	// 3. Capacity bounds.
+	expect("zero-capacity ring", api.ErrInvalidValue,
+		api.CallRingCreate, ringID, api.DomainOS, worker.EID, 0)
+	expect("oversized ring", api.ErrInvalidValue,
+		api.CallRingCreate, ringID, api.DomainOS, worker.EID, api.RingMaxCapacity+1)
+
+	// The legitimate ring pair the remaining attacks target.
+	if st := call(api.CallRingCreate, ringID, api.DomainOS, worker.EID, 4); st != api.OK {
+		return nil, fmt.Errorf("adversary: benign ring_create: %v", st)
+	}
+	respRing, err := sys.OS.AllocMetaPage()
+	if err != nil {
+		return nil, err
+	}
+	if st := call(api.CallRingCreate, respRing, worker.EID, api.DomainOS, 4); st != api.OK {
+		return nil, fmt.Errorf("adversary: benign response ring: %v", st)
+	}
+
+	// 4. Cross-domain traffic: the OS is neither the consumer of the
+	// request ring nor the producer of the response ring.
+	expect("cross-domain recv (OS drains the enclave's ring)", api.ErrUnauthorized,
+		api.CallRingRecv, ringID, stagePA, 1)
+	expect("cross-domain send (OS forges an enclave response)", api.ErrUnauthorized,
+		api.CallRingSend, respRing, stagePA, 1)
+	// 5. Wake spoofing: only the producer may wake the consumer.
+	expect("wake-spoofing the request ring's consumer", api.ErrUnauthorized,
+		api.CallRingWake, respRing)
+	// 6. Forged enclave callers are refused at the dispatch layer for
+	// ring calls exactly as for every other call.
+	for _, c := range []api.Call{api.CallRingSend, api.CallRingRecv,
+		api.CallRingPark, api.CallRingWake, api.CallRingCreate, api.CallRingDestroy} {
+		req := api.Request{Caller: worker.EID, Call: c, Args: [6]uint64{ringID, stagePA, 1}}
+		if resp := sys.Monitor.Dispatch(req); resp.Status != api.ErrUnauthorized {
+			note("forged enclave caller for ring call %#x answered %v", uint64(c), resp.Status)
+		}
+	}
+	// 7. Overflow: fill to capacity, then the next send must refuse —
+	// and leave the queued contents untouched.
+	msg := make([]byte, api.RingMsgSize)
+	for i := 0; i < 4; i++ {
+		msg[0] = byte(0x10 + i)
+		if err := sys.OS.WriteOwned(stagePA, msg); err != nil {
+			return nil, err
+		}
+		if st := call(api.CallRingSend, ringID, stagePA, 1); st != api.OK {
+			return nil, fmt.Errorf("adversary: fill send %d: %v", i, st)
+		}
+	}
+	expect("send past ring capacity", api.ErrInvalidState,
+		api.CallRingSend, ringID, stagePA, 1)
+	// 8. Batch bounds are argument validation, not capacity.
+	expect("send past the batch bound", api.ErrInvalidValue,
+		api.CallRingSend, ringID, stagePA, api.RingMaxBatch+1)
+	// 9. Send payloads must come from OS-owned memory — enclave and SM
+	// memory are not readable through the OS convention.
+	expect("send sourcing enclave memory", api.ErrInvalidValue,
+		api.CallRingSend, respRing, sys.Machine.DRAM.Base(regions[0]), 1)
+
+	// 10. The sender stamp is monitor-made: run the worker against the
+	// full ring and verify every response record carries the worker's
+	// measurement and eid, not anything the OS staged.
+	results := sys.RunAll(sanctorum.SchedConfig{Mode: sanctorum.Deterministic},
+		[]sanctorum.Task{{EID: worker.EID, TID: worker.TIDs[0], MaxSteps: 2_000_000}})
+	if results[0].Err != nil || results[0].ExitValue != api.ParkedExitValue {
+		return nil, fmt.Errorf("adversary: worker wave: err=%v a0=%#x",
+			results[0].Err, results[0].ExitValue)
+	}
+	n, err := sys.OS.SM.RingRecv(respRing, stagePA, 4)
+	if err != nil || n != 4 {
+		return nil, fmt.Errorf("adversary: draining responses: n=%d err=%v", n, err)
+	}
+	records, err := sys.OS.ReadOwned(stagePA, n*api.RingRecordSize)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < n; i++ {
+		rec := records[i*api.RingRecordSize : (i+1)*api.RingRecordSize]
+		var meas [32]byte
+		copy(meas[:], rec)
+		if meas != worker.Measurement {
+			note("response %d stamped with a measurement the worker does not have", i)
+		}
+		if sender := binary.LittleEndian.Uint64(rec[32:40]); sender != worker.EID {
+			note("response %d stamped with sender %#x, want the worker", i, sender)
+		}
+	}
+
+	// 11. Deleting an enclave that is still a ring endpoint is refused
+	// — a freed eid could otherwise be recreated into the rings (and
+	// the queued messages) of the previous tenant.
+	expect("delete worker with live rings", api.ErrInvalidState,
+		api.CallDeleteEnclave, worker.EID)
+
+	// 12. Teardown: destroy wakes the parked worker into a failing park
+	// (shutdown); proper deletion still works and the freed ids are
+	// reusable.
+	if st := call(api.CallRingDestroy, ringID); st != api.OK {
+		return nil, fmt.Errorf("adversary: destroy request ring: %v", st)
+	}
+	if st := call(api.CallRingDestroy, respRing); st != api.OK {
+		return nil, fmt.Errorf("adversary: destroy response ring: %v", st)
+	}
+	expect("double destroy", api.ErrInvalidValue, api.CallRingDestroy, ringID)
+	results = sys.RunAll(sanctorum.SchedConfig{Mode: sanctorum.Deterministic},
+		[]sanctorum.Task{{EID: worker.EID, TID: worker.TIDs[0], MaxSteps: 2_000_000}})
+	if results[0].Err != nil || results[0].ExitValue != enclaves.WorkerExitStatus {
+		note("worker did not exit cleanly after ring destruction: err=%v a0=%#x",
+			results[0].Err, results[0].ExitValue)
+	}
+	if st := call(api.CallDeleteEnclave, worker.EID); st != api.OK {
+		return nil, fmt.Errorf("adversary: deleting worker: %v", st)
+	}
+	for _, tid := range worker.TIDs {
+		if st := call(api.CallDeleteThread, tid); st != api.OK {
+			return nil, fmt.Errorf("adversary: deleting worker thread: %v", st)
+		}
+	}
+	if st := call(api.CallCleanRegion, uint64(regions[0])); st != api.OK {
+		return nil, fmt.Errorf("adversary: cleaning worker region: %v", st)
+	}
+	return wins, nil
+}

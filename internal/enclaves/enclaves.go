@@ -558,6 +558,196 @@ func Worker(l Layout) *asm.Program {
 	return p
 }
 
+// --- Ring-serving workers (monitor calls 0x40–0x45, DESIGN.md §9) ---
+//
+// A ring server is a resumable request loop over the monitor's mailbox
+// rings: park on the request ring until messages arrive, recv a batch,
+// transform each payload into a response slot, send the batch to the
+// response ring, park again. The programs communicate exclusively
+// through rings — no shared window — so one measured template serves
+// every clone: each worker discovers its own (per-clone) ring ids
+// through get_field(FieldEnclaveRings), since ring ids are SM metadata
+// pages a measured image cannot embed.
+
+// RingServeBatch is the most messages a ring server drains per recv.
+const RingServeBatch = 8
+
+// Ring-server private data-page offsets.
+const (
+	dRingDir  = 0    // 32 bytes: FieldEnclaveRings directory (2 entries)
+	dRingRecv = 64   // RingServeBatch × api.RingRecordSize recv buffer
+	dRingSend = 1024 // RingServeBatch × api.RingMsgSize send buffer
+	dRingKV   = 2048 // 128 × 8-byte value slots (KV server state)
+)
+
+// ringServer emits the shared serve loop. transform emits the
+// per-record body with rTmp2 holding rData+104·idx (payload at
+// [rTmp2 + dRingRecv + api.RingStampSize]) and rTmp3 holding
+// rData+64·idx (response at [rTmp3 + dRingSend]); it may clobber
+// rTmp4 and a3..a6.
+func ringServer(l Layout, transform func(p *asm.Program)) *asm.Program {
+	p := asm.New()
+	p.Branch(isa.OpBEQ, isa.RegA0, isa.RegZero, "fresh")
+	ecall(p, api.CallResumeAEX) // does not return on success
+	p.Label("fresh")
+	p.Li64(rData, l.DataVA)
+	// Discover this worker's rings: get_field(enclave_rings) writes the
+	// id ‖ role directory; the consumer entry is the request ring, the
+	// producer entry the response ring.
+	p.Li(isa.RegA0, int32(api.FieldEnclaveRings))
+	p.I(isa.OpADDI, isa.RegA1, rData, 0, dRingDir)
+	p.Li(isa.RegA2, 32)
+	ecall(p, api.CallGetField)
+	p.Branch(isa.OpBNE, isa.RegA0, isa.RegZero, "die")
+	p.I(isa.OpLD, rAcc, rData, 0, dRingDir)          // entry 0 id
+	p.I(isa.OpLD, rShared, rData, 0, dRingDir+16)    // entry 1 id
+	p.I(isa.OpLD, rTmp4, rData, 0, dRingDir+8)       // entry 0 role
+	p.Branch(isa.OpBEQ, rTmp4, isa.RegZero, "serve") // 0 = consumer: req first
+	p.I(isa.OpADD, rTmp4, rAcc, isa.RegZero, 0)      // swap: rAcc=req, rShared=resp
+	p.I(isa.OpADD, rAcc, rShared, isa.RegZero, 0)
+	p.I(isa.OpADD, rShared, rTmp4, isa.RegZero, 0)
+
+	p.Label("serve")
+	// thread_park(req ring): blocks until messages arrive; a destroyed
+	// ring fails the park — the shutdown signal.
+	p.I(isa.OpADD, isa.RegA0, rAcc, isa.RegZero, 0)
+	ecall(p, api.CallRingPark)
+	p.Branch(isa.OpBNE, isa.RegA0, isa.RegZero, "die")
+	p.I(isa.OpADD, isa.RegA0, rAcc, isa.RegZero, 0)
+	p.I(isa.OpADDI, isa.RegA1, rData, 0, dRingRecv)
+	p.Li(isa.RegA2, RingServeBatch)
+	ecall(p, api.CallRingRecv)
+	p.Branch(isa.OpBNE, isa.RegA0, isa.RegZero, "serve") // drained by a sibling: park again
+	p.I(isa.OpADD, rTmp1, isa.RegA1, isa.RegZero, 0)     // n records
+
+	p.Li(rIdx, 0)
+	p.Label("xform")
+	p.Branch(isa.OpBEQ, rIdx, rTmp1, "reply")
+	// rTmp2 = rData + 104·idx (record base), rTmp3 = rData + 64·idx.
+	p.I(isa.OpSLLI, rTmp2, rIdx, 0, 3)
+	p.I(isa.OpSLLI, rTmp3, rIdx, 0, 5)
+	p.I(isa.OpADD, rTmp2, rTmp2, rTmp3, 0)
+	p.I(isa.OpSLLI, rTmp3, rIdx, 0, 6)
+	p.I(isa.OpADD, rTmp2, rTmp2, rTmp3, 0)
+	p.I(isa.OpADD, rTmp2, rTmp2, rData, 0)
+	p.I(isa.OpSLLI, rTmp3, rIdx, 0, 6)
+	p.I(isa.OpADD, rTmp3, rTmp3, rData, 0)
+	transform(p)
+	p.I(isa.OpADDI, rIdx, rIdx, 0, 1)
+	p.J("xform")
+
+	p.Label("reply")
+	// Send with the full ring-caller discipline: retry ErrRetry
+	// (transient contention) and ErrInvalidState (response ring full —
+	// backpressure; spinning is preemptible, the consumer will drain),
+	// advance past partial transfers, and die on anything else (a
+	// destroyed ring). rTmp2 = send cursor, rTmp3 = messages left.
+	p.I(isa.OpADDI, rTmp2, rData, 0, dRingSend)
+	p.I(isa.OpADD, rTmp3, rTmp1, isa.RegZero, 0)
+	p.Label("send")
+	p.Branch(isa.OpBEQ, rTmp3, isa.RegZero, "serve")
+	p.I(isa.OpADD, isa.RegA0, rShared, isa.RegZero, 0)
+	p.I(isa.OpADD, isa.RegA1, rTmp2, isa.RegZero, 0)
+	p.I(isa.OpADD, isa.RegA2, rTmp3, isa.RegZero, 0)
+	ecall(p, api.CallRingSend)
+	p.Branch(isa.OpBEQ, isa.RegA0, isa.RegZero, "sent")
+	p.Li(rTmp4, int32(api.ErrRetry))
+	p.Branch(isa.OpBEQ, isa.RegA0, rTmp4, "send")
+	p.Li(rTmp4, int32(api.ErrInvalidState))
+	p.Branch(isa.OpBEQ, isa.RegA0, rTmp4, "send")
+	p.J("die")
+	p.Label("sent")
+	p.I(isa.OpSLLI, rTmp4, isa.RegA1, 0, 6) // sent × RingMsgSize
+	p.I(isa.OpADD, rTmp2, rTmp2, rTmp4, 0)
+	p.I(isa.OpSUB, rTmp3, rTmp3, isa.RegA1, 0)
+	p.J("send")
+
+	p.Label("die")
+	p.Li(isa.RegA0, WorkerExitStatus)
+	exitCall(p)
+	return p
+}
+
+// RingEchoServer answers each request with its payload echoed and the
+// first word incremented — the minimal proof the message traversed the
+// enclave rather than a host shortcut.
+func RingEchoServer(l Layout) *asm.Program {
+	const payload = dRingRecv + api.RingStampSize
+	return ringServer(l, func(p *asm.Program) {
+		p.I(isa.OpLD, rTmp4, rTmp2, 0, payload)
+		p.I(isa.OpADDI, rTmp4, rTmp4, 0, 1)
+		p.I(isa.OpSD, 0, rTmp3, rTmp4, dRingSend)
+		for w := 1; w < 8; w++ {
+			p.I(isa.OpLD, rTmp4, rTmp2, 0, int32(payload+8*w))
+			p.I(isa.OpSD, 0, rTmp3, rTmp4, int32(dRingSend+8*w))
+		}
+	})
+}
+
+// RingEchoExpected computes the echo server's response for a request
+// payload (zero-padded to api.RingMsgSize).
+func RingEchoExpected(payload []byte) []byte {
+	out := make([]byte, api.RingMsgSize)
+	copy(out, payload)
+	var w0 uint64
+	for i := 0; i < 8; i++ {
+		w0 |= uint64(out[i]) << (8 * uint(i))
+	}
+	w0++
+	for i := 0; i < 8; i++ {
+		out[i] = byte(w0 >> (8 * uint(i)))
+	}
+	return out
+}
+
+// Ring KV operation codes (request payload word 0).
+const (
+	RingOpPut = 1
+	RingOpGet = 2
+)
+
+// RingKVRequest builds a KV request payload: op ‖ key ‖ value.
+func RingKVRequest(op, key, value uint64) []byte {
+	out := make([]byte, api.RingMsgSize)
+	for i := 0; i < 8; i++ {
+		out[i] = byte(op >> (8 * uint(i)))
+		out[8+i] = byte(key >> (8 * uint(i)))
+		out[16+i] = byte(value >> (8 * uint(i)))
+	}
+	return out
+}
+
+// RingKVServer is a stateful serving worker: requests are (op, key,
+// value) triples; put stores value under key (128 slots, key mod 128)
+// in the worker's private data page, get loads it. The response is
+// value ‖ key ‖ zeros — for a put, the stored value; for a get, the
+// current one (0 if never written). Worker state lives in private
+// enclave memory: two clones of one template diverge through COW, each
+// holding its own store.
+func RingKVServer(l Layout) *asm.Program {
+	const payload = dRingRecv + api.RingStampSize
+	return ringServer(l, func(p *asm.Program) {
+		p.I(isa.OpLD, isa.RegA3, rTmp2, 0, payload)   // op
+		p.I(isa.OpLD, isa.RegA4, rTmp2, 0, payload+8) // key
+		p.I(isa.OpANDI, isa.RegA5, isa.RegA4, 0, 127) // slot
+		p.I(isa.OpSLLI, isa.RegA5, isa.RegA5, 0, 3)
+		p.I(isa.OpADD, isa.RegA5, isa.RegA5, rData, 0)
+		p.Li(isa.RegA6, RingOpPut)
+		p.Branch(isa.OpBNE, isa.RegA3, isa.RegA6, "kvget")
+		p.I(isa.OpLD, rTmp4, rTmp2, 0, payload+16) // value
+		p.I(isa.OpSD, 0, isa.RegA5, rTmp4, dRingKV)
+		p.J("kvout")
+		p.Label("kvget")
+		p.I(isa.OpLD, rTmp4, isa.RegA5, 0, dRingKV)
+		p.Label("kvout")
+		p.I(isa.OpSD, 0, rTmp3, rTmp4, dRingSend)       // value
+		p.I(isa.OpSD, 0, rTmp3, isa.RegA4, dRingSend+8) // key
+		for w := 2; w < 8; w++ {
+			p.I(isa.OpSD, 0, rTmp3, isa.RegZero, int32(dRingSend+8*w))
+		}
+	})
+}
+
 // WorkerExpected computes the accumulator Worker publishes for n
 // iterations — the Go-side replay the harness checks results against.
 func WorkerExpected(n uint64) uint64 {

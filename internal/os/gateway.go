@@ -1,0 +1,404 @@
+package os
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"sanctorum/internal/hw/machine"
+	"sanctorum/internal/sm/api"
+)
+
+// Gateway is the untrusted OS's request-serving front end over the
+// monitor's mailbox rings (DESIGN.md §9): host requests go in, enclave
+// responses come out, and everything in between is verified IPC.
+//
+// Each pool worker gets a request ring (producer: OS, consumer:
+// worker) and a response ring (producer: worker, consumer: OS). The
+// worker — a ring server from internal/enclaves — parks on its request
+// ring; the gateway batches requests into ring sends, and the
+// monitor's park/wake protocol tells the gateway which workers became
+// runnable (the wake sink, fed through the IPI mailboxes — no OS
+// polling of idle workers). Woken workers are then timeshared over the
+// machine's cores by the existing OS scheduler for one wave; each
+// drains its ring, serves every request, streams the responses into
+// its response ring, and parks again. The gateway drains the response
+// rings, verifies the monitor's sender stamp on every record (worker
+// eid and template measurement — attestation-grade provenance), and
+// matches responses to requests FIFO per worker.
+//
+// Like the pool and the loader, the gateway is resource management
+// outside the TCB: every step travels through the call ABI, and
+// nothing it does can weaken the monitor's guarantees.
+type Gateway struct {
+	o     *OS
+	pool  *Pool
+	wakes WakeSource
+	cfg   GatewayConfig
+
+	workers []*gwWorker
+	byEID   map[uint64]int
+
+	sendPA uint64 // staging page for outbound payload batches
+	recvPA uint64 // staging page for inbound record batches
+
+	// woken collects wake notifications (worker indexes). The sink runs
+	// on whatever goroutine drains the posted IPI — during gateway
+	// sends the cores are idle, so in practice the gateway's own — but
+	// it is locked for the parallel-scheduler case regardless.
+	wokenMu sync.Mutex
+	woken   map[int]bool
+
+	// Served and Waves count gateway activity for reporting.
+	Served int
+	Waves  int
+}
+
+// gwWorker is one pool worker wired to its ring pair.
+type gwWorker struct {
+	w        *Worker
+	reqRing  uint64
+	respRing uint64
+	inflight int   // requests sent, responses not yet drained
+	pending  []int // request indexes awaiting responses, FIFO
+}
+
+// GatewayConfig configures NewGateway. Zero fields take defaults.
+type GatewayConfig struct {
+	// Workers is the number of pool workers to acquire (default 2).
+	Workers int
+	// RingCapacity is each ring's capacity in messages (default 64).
+	RingCapacity int
+	// Batch bounds the messages per ring send/recv the gateway issues
+	// (default 8, capped at api.RingMaxBatch).
+	Batch int
+	// Sched configures the per-wave OS scheduler (mode, quantum).
+	Sched SchedConfig
+	// MaxStepsPerWake bounds a worker's instructions per wave; a worker
+	// still running past it is forced off and reported as an error
+	// (default 5,000,000).
+	MaxStepsPerWake int
+}
+
+// WakeSource is the monitor surface the gateway registers its
+// park/wake sink with; *sm.Monitor implements it.
+type WakeSource interface {
+	SetWakeSink(func(ringID, eid, tid uint64))
+}
+
+func (cfg *GatewayConfig) fill() {
+	if cfg.Workers <= 0 {
+		cfg.Workers = 2
+	}
+	if cfg.RingCapacity <= 0 {
+		cfg.RingCapacity = 64
+	}
+	if cfg.RingCapacity > api.RingMaxCapacity {
+		cfg.RingCapacity = api.RingMaxCapacity
+	}
+	if cfg.Batch <= 0 {
+		cfg.Batch = 8
+	}
+	if cfg.Batch > api.RingMaxBatch {
+		cfg.Batch = api.RingMaxBatch
+	}
+	if cfg.MaxStepsPerWake <= 0 {
+		cfg.MaxStepsPerWake = 5_000_000
+	}
+}
+
+// NewGateway forks cfg.Workers ring-serving workers from the pool's
+// template, wires each to a request/response ring pair, registers the
+// park/wake sink, and runs one startup wave so every worker discovers
+// its rings and parks. The pool's template must be a single-thread
+// ring server (internal/enclaves.RingEchoServer / RingKVServer).
+func NewGateway(o *OS, wakes WakeSource, pool *Pool, cfg GatewayConfig) (*Gateway, error) {
+	cfg.fill()
+	g := &Gateway{
+		o:     o,
+		pool:  pool,
+		wakes: wakes,
+		cfg:   cfg,
+		byEID: make(map[uint64]int),
+		woken: make(map[int]bool),
+	}
+	// A failed constructor unwinds what it built — rings destroyed,
+	// workers released to the pool — so retrying gateway construction
+	// leaks neither pool capacity nor SM metadata pages. Best-effort:
+	// the original error is the one reported.
+	fail := func(err error) (*Gateway, error) {
+		for _, gw := range g.workers {
+			if gw.reqRing != 0 && o.SM.RingDestroy(gw.reqRing) == nil {
+				o.ReleaseMetaPage(gw.reqRing)
+			}
+			if gw.respRing != 0 && o.SM.RingDestroy(gw.respRing) == nil {
+				o.ReleaseMetaPage(gw.respRing)
+			}
+			pool.Release(gw.w)
+		}
+		return nil, err
+	}
+	var err error
+	if g.sendPA, err = o.AllocPagePA(); err != nil {
+		return nil, err
+	}
+	if g.recvPA, err = o.AllocPagePA(); err != nil {
+		return nil, err
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		w, err := pool.Acquire(0)
+		if err != nil {
+			return fail(fmt.Errorf("os: gateway worker %d: %w", i, err))
+		}
+		gw := &gwWorker{w: w}
+		g.byEID[w.EID] = i
+		g.workers = append(g.workers, gw)
+		if len(w.TIDs) != 1 {
+			return fail(fmt.Errorf("os: gateway template has %d threads, want 1", len(w.TIDs)))
+		}
+		if gw.reqRing, err = o.AllocMetaPage(); err != nil {
+			return fail(err)
+		}
+		if err := o.SM.RingCreate(gw.reqRing, api.DomainOS, w.EID, cfg.RingCapacity); err != nil {
+			gw.reqRing = 0
+			return fail(fmt.Errorf("os: gateway request ring: %w", err))
+		}
+		if gw.respRing, err = o.AllocMetaPage(); err != nil {
+			return fail(err)
+		}
+		if err := o.SM.RingCreate(gw.respRing, w.EID, api.DomainOS, cfg.RingCapacity); err != nil {
+			gw.respRing = 0
+			return fail(fmt.Errorf("os: gateway response ring: %w", err))
+		}
+	}
+	wakes.SetWakeSink(func(ringID, eid, tid uint64) {
+		g.wokenMu.Lock()
+		if i, known := g.byEID[eid]; known {
+			g.woken[i] = true
+		}
+		g.wokenMu.Unlock()
+	})
+	// Startup wave: every worker runs from its entry, reads its ring
+	// directory, finds the request ring empty, and parks.
+	var all []int
+	for i := range g.workers {
+		all = append(all, i)
+	}
+	if err := g.wave(all, api.ParkedExitValue); err != nil {
+		wakes.SetWakeSink(func(ringID, eid, tid uint64) {})
+		return fail(fmt.Errorf("os: gateway startup: %w", err))
+	}
+	return g, nil
+}
+
+// takeWoken drains the wake set in worker order (deterministic under
+// the deterministic scheduler, where sinks fire synchronously on the
+// sending goroutine).
+func (g *Gateway) takeWoken() []int {
+	g.wokenMu.Lock()
+	idxs := make([]int, 0, len(g.woken))
+	for i := range g.woken {
+		idxs = append(idxs, i)
+	}
+	g.woken = make(map[int]bool)
+	g.wokenMu.Unlock()
+	sort.Ints(idxs)
+	return idxs
+}
+
+// wave timeshares the given workers over the cores through the OS
+// scheduler until each returns to the OS, requiring exit value want
+// from every one (ParkedExitValue in steady state, WorkerExitStatus
+// for the shutdown wave).
+func (g *Gateway) wave(idxs []int, want uint64) error {
+	if len(idxs) == 0 {
+		return nil
+	}
+	tasks := make([]Task, 0, len(idxs))
+	for _, i := range idxs {
+		gw := g.workers[i]
+		tasks = append(tasks, Task{EID: gw.w.EID, TID: gw.w.TIDs[0], MaxSteps: g.cfg.MaxStepsPerWake})
+	}
+	g.Waves++
+	results := g.o.NewScheduler(g.cfg.Sched).RunAll(tasks)
+	for i, res := range results {
+		if res.Err != nil {
+			return fmt.Errorf("os: gateway worker %d: %w", idxs[i], res.Err)
+		}
+		if res.Reason != machine.StopReturnToOS || res.ExitValue != want {
+			return fmt.Errorf("os: gateway worker %d stopped %v with a0=%#x, want a0=%#x",
+				idxs[i], res.Reason, res.ExitValue, want)
+		}
+	}
+	return nil
+}
+
+// sendChunk stages payloads[from:from+n] in the staging page and
+// enqueues them on gw's request ring as one batched send.
+func (g *Gateway) sendChunk(gw *gwWorker, payloads [][]byte, from, n int) error {
+	buf := make([]byte, n*api.RingMsgSize)
+	for i := 0; i < n; i++ {
+		p := payloads[from+i]
+		if len(p) > api.RingMsgSize {
+			return fmt.Errorf("os: gateway request %d larger than a ring message", from+i)
+		}
+		copy(buf[i*api.RingMsgSize:], p)
+	}
+	if err := g.o.WriteOwned(g.sendPA, buf); err != nil {
+		return err
+	}
+	sent, err := g.o.SM.RingSend(gw.reqRing, g.sendPA, n)
+	if err != nil {
+		return fmt.Errorf("os: gateway send: %w", err)
+	}
+	if sent != n {
+		// Unreachable: inflight accounting keeps n within free slots.
+		return fmt.Errorf("os: gateway send transferred %d of %d", sent, n)
+	}
+	for i := 0; i < n; i++ {
+		gw.pending = append(gw.pending, from+i)
+	}
+	gw.inflight += n
+	return nil
+}
+
+// drain empties gw's response ring into out, verifying the monitor's
+// sender stamp on every record, and returns how many responses landed.
+func (g *Gateway) drain(gw *gwWorker, out [][]byte) (int, error) {
+	total := 0
+	for gw.inflight > 0 {
+		n, err := g.o.SM.RingRecv(gw.respRing, g.recvPA, g.cfg.Batch)
+		if errors.Is(err, api.ErrInvalidState) {
+			break // empty
+		}
+		if err != nil {
+			return total, fmt.Errorf("os: gateway recv: %w", err)
+		}
+		records, err := g.o.ReadOwned(g.recvPA, n*api.RingRecordSize)
+		if err != nil {
+			return total, err
+		}
+		for i := 0; i < n; i++ {
+			rec := records[i*api.RingRecordSize : (i+1)*api.RingRecordSize]
+			var meas [32]byte
+			copy(meas[:], rec)
+			sender := binary.LittleEndian.Uint64(rec[32:40])
+			if sender != gw.w.EID || meas != g.pool.Template.Measurement {
+				return total, fmt.Errorf("os: gateway response stamp mismatch: sender %#x meas %x",
+					sender, meas[:4])
+			}
+			if len(gw.pending) == 0 {
+				return total, fmt.Errorf("os: gateway response with no pending request")
+			}
+			idx := gw.pending[0]
+			gw.pending = gw.pending[1:]
+			gw.inflight--
+			payload := make([]byte, api.RingMsgSize)
+			copy(payload, rec[api.RingStampSize:])
+			out[idx] = payload
+			total++
+		}
+	}
+	return total, nil
+}
+
+// Process serves a batch of host requests end to end and returns one
+// api.RingMsgSize response per request, in request order. Requests are
+// distributed round-robin across the workers in chunks of up to Batch
+// messages per ring send; each iteration sends what fits, runs one
+// scheduler wave over the workers the monitor woke, and drains their
+// response rings. Under the deterministic scheduler the whole run —
+// scheduling, preemptions, ring traffic — is bit-reproducible.
+func (g *Gateway) Process(payloads [][]byte) ([][]byte, error) {
+	out := make([][]byte, len(payloads))
+	cursor, done := 0, 0
+	rr := 0
+	for done < len(payloads) {
+		// Assign as many requests as ring capacity allows.
+		for cursor < len(payloads) {
+			var gw *gwWorker
+			for range g.workers {
+				cand := g.workers[rr%len(g.workers)]
+				rr++
+				if cand.inflight < g.cfg.RingCapacity {
+					gw = cand
+					break
+				}
+			}
+			if gw == nil {
+				break // every ring full: serve a wave first
+			}
+			n := g.cfg.Batch
+			if space := g.cfg.RingCapacity - gw.inflight; n > space {
+				n = space
+			}
+			if rem := len(payloads) - cursor; n > rem {
+				n = rem
+			}
+			if err := g.sendChunk(gw, payloads, cursor, n); err != nil {
+				return nil, err
+			}
+			cursor += n
+		}
+		// The sends woke every parked worker that got traffic; run them.
+		woken := g.takeWoken()
+		if len(woken) == 0 {
+			return nil, fmt.Errorf("os: gateway stalled: %d responses outstanding, no worker woken",
+				len(payloads)-done)
+		}
+		if err := g.wave(woken, api.ParkedExitValue); err != nil {
+			return nil, err
+		}
+		for _, i := range woken {
+			n, err := g.drain(g.workers[i], out)
+			if err != nil {
+				return nil, err
+			}
+			done += n
+		}
+	}
+	g.Served += len(payloads)
+	return out, nil
+}
+
+// Close shuts the service down: destroy every ring (waking the parked
+// workers into failing parks — their shutdown signal), run the final
+// wave in which each worker exits cleanly, and release the workers
+// back to the pool. Teardown is best-effort — every step runs and the
+// first error is the one reported — so a failed wave still unhooks
+// the wake sink and returns what it can to the pool. The gateway is
+// unusable afterwards; the pool remains open for the caller to Close.
+func (g *Gateway) Close() error {
+	var firstErr error
+	keep := func(err error) {
+		if firstErr == nil && err != nil {
+			firstErr = err
+		}
+	}
+	for _, gw := range g.workers {
+		if err := g.o.SM.RingDestroy(gw.reqRing); err == nil {
+			g.o.ReleaseMetaPage(gw.reqRing)
+		} else {
+			keep(fmt.Errorf("os: gateway destroy request ring: %w", err))
+		}
+		if err := g.o.SM.RingDestroy(gw.respRing); err == nil {
+			g.o.ReleaseMetaPage(gw.respRing)
+		} else {
+			keep(fmt.Errorf("os: gateway destroy response ring: %w", err))
+		}
+	}
+	keep(g.wave(g.takeWoken(), enclaveExitStatus))
+	g.wakes.SetWakeSink(func(ringID, eid, tid uint64) {})
+	for i, gw := range g.workers {
+		if err := g.pool.Release(gw.w); err != nil {
+			keep(fmt.Errorf("os: gateway release worker %d: %w", i, err))
+		}
+	}
+	return firstErr
+}
+
+// enclaveExitStatus mirrors internal/enclaves.WorkerExitStatus without
+// importing the enclave programs into the OS model.
+const enclaveExitStatus = 0x42

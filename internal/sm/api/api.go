@@ -104,8 +104,9 @@ func (e Error) Err() error {
 const (
 	VersionMajor = 1
 	// Minor 1 added the snapshot/clone calls (0x30–0x32) and the
-	// FieldEnclaveIdentity selector.
-	VersionMinor = 1
+	// FieldEnclaveIdentity selector. Minor 2 added the mailbox-ring
+	// calls (0x40–0x45) and the FieldEnclaveRings selector.
+	VersionMinor = 2
 	// Version packs major and minor into the single register the probe
 	// returns.
 	Version = VersionMajor<<16 | VersionMinor
@@ -300,6 +301,83 @@ const (
 	CallReleaseSnapshot Call = 0x32
 )
 
+// Mailbox-ring call numbers (ABI minor 2). Rings are the streaming
+// counterpart of the single-slot mailboxes (§VI-B): a fixed-capacity
+// FIFO of fixed-size messages in monitor-tracked memory, named — like
+// enclaves, threads and snapshots — by a free SM metadata page, so ring
+// ids are unforgeable. Each ring has one producer and one consumer
+// protection domain fixed at creation (DomainOS or an eid); send is
+// authorized against the producer, recv against the consumer, and the
+// monitor stamps every message with the sender's identity and
+// measurement, so provenance is attestation-grade exactly as for
+// mailboxes. Send and recv move up to RingMaxBatch messages per call,
+// which amortizes the per-call monitor overhead; thread_park lets an
+// enclave consumer block on an empty ring, and a send to a parked ring
+// wakes it through the inter-processor mailboxes instead of OS polling.
+const (
+	// CallRingCreate(a0=ring id, a1=producer, a2=consumer, a3=capacity)
+	// registers a ring. ring id must be a free page inside an SM
+	// metadata region; producer/consumer are DomainOS or existing eids;
+	// capacity is in messages, 1..RingMaxCapacity.
+	CallRingCreate Call = 0x40
+	// CallRingSend delivers up to a2 messages (1..RingMaxBatch) of
+	// RingMsgSize bytes each, contiguous at the source address.
+	// Dual-domain: an enclave producer passes (a0=ring id, a1=source
+	// VA, a2=count); the OS passes (a0=ring id, a1=source PA in
+	// OS-owned memory, a2=count). Transfers min(count, free slots)
+	// messages and returns the count in a1/Values[0]; a full ring
+	// refuses with ErrInvalidState having transferred nothing. A send
+	// that finds the consumer parked wakes it.
+	CallRingSend Call = 0x41
+	// CallRingRecv drains up to a2 messages (1..RingMaxBatch) into the
+	// destination, each written as a RingRecordSize record:
+	// sender measurement[32] ‖ sender id[8] ‖ payload[RingMsgSize].
+	// Dual-domain like send, authorized against the consumer. Returns
+	// the record count in a1/Values[0]; an empty ring refuses with
+	// ErrInvalidState.
+	CallRingRecv Call = 0x42
+	// CallRingPark(a0=ring id) blocks the calling enclave thread on an
+	// empty ring (thread_park). A non-empty ring returns immediately
+	// with the message count in a1. Otherwise the monitor registers the
+	// thread as the ring's waiter and performs an AEX-style exit with
+	// ParkedExitValue in the OS's a0; the saved context re-executes
+	// this ECALL on resume, so a woken thread simply re-checks the
+	// ring. One waiter per ring; a second thread parking is refused
+	// with ErrInvalidState.
+	CallRingPark Call = 0x43
+	// CallRingWake(a0=ring id) explicitly wakes the ring's parked
+	// waiter, if any (send wakes implicitly). Producer-only; returns 1
+	// in a1 if a waiter was woken, 0 otherwise.
+	CallRingWake Call = 0x44
+	// CallRingDestroy(a0=ring id) unregisters a ring and frees its id.
+	// Undelivered messages are dropped; a parked waiter is woken, and
+	// its re-executed park fails with ErrInvalidValue — the consumer's
+	// shutdown signal.
+	CallRingDestroy Call = 0x45
+)
+
+// Ring geometry. Messages are fixed-size; recv prepends the
+// monitor-attested sender stamp to each.
+const (
+	// RingMsgSize is the fixed ring message payload size in bytes.
+	RingMsgSize = 64
+	// RingStampSize is the per-message sender stamp a recv writes:
+	// measurement[32] ‖ sender id[8].
+	RingStampSize = 40
+	// RingRecordSize is one recv output record: stamp ‖ payload.
+	RingRecordSize = RingStampSize + RingMsgSize
+	// RingMaxCapacity bounds a ring's capacity in messages.
+	RingMaxCapacity = 1024
+	// RingMaxBatch bounds the messages one send/recv call may move.
+	RingMaxBatch = 32
+)
+
+// ParkedExitValue is the a0 value the OS observes when an enclave
+// thread parks on an empty ring (CallRingPark): the monitor performs an
+// AEX-style exit with this marker so schedulers can tell "parked, wake
+// pending" from an ordinary exit_enclave. ("park" in ASCII.)
+const ParkedExitValue uint64 = 0x6B726170
+
 // RegionState is the lifecycle state of a DRAM region resource as
 // reported by CallRegionInfo, implementing the paper's Fig 2 state
 // machine.
@@ -385,6 +463,14 @@ const (
 	// distinguishes the (shared) template measurement from the
 	// (per-clone) enclave identity.
 	FieldEnclaveIdentity Field = 5
+	// FieldEnclaveRings lists the mailbox rings the calling enclave is
+	// an endpoint of (valid only for enclave callers), in ring-creation
+	// order: one 16-byte entry per ring, laid out as ring id[8] ‖
+	// role[8] with role 0 for consumer and 1 for producer. Ring ids are
+	// SM metadata pages a guest cannot guess, so this is how a cloned
+	// worker — whose measured image cannot embed per-clone names —
+	// discovers its own request/response rings.
+	FieldEnclaveRings Field = 6
 )
 
 // Reserved protection-domain constants (paper §V-C: the SM and

@@ -48,6 +48,14 @@ func (mon *Monitor) fieldBytes(f api.Field, caller *Enclave) ([]byte, api.Error)
 			binary.LittleEndian.PutUint64(out[40:], 1)
 		}
 		return out, api.OK
+	case api.FieldEnclaveRings:
+		// Ring id[8] ‖ role[8] per ring the caller is an endpoint of,
+		// in creation order — how a cloned worker, whose measured image
+		// cannot embed per-clone names, discovers its own rings.
+		if caller == nil {
+			return nil, api.ErrUnauthorized
+		}
+		return mon.ringBytesForEnclave(caller.ID), api.OK
 	default:
 		return nil, api.ErrInvalidValue
 	}

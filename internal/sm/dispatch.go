@@ -174,6 +174,21 @@ var callTable = map[api.Call]callDef{
 			return fail(mon.cleanRegion(indexArg(req.Args[0])))
 		}},
 
+	// Mailbox-ring calls (0x40–0x45, ABI minor 2): streaming IPC with
+	// batched send/recv and park/wake scheduling (DESIGN.md §9).
+	api.CallRingCreate: {name: "mailbox_ring_create", domains: domainOS,
+		handler: func(mon *Monitor, req *api.Request, ctx *callContext) api.Response {
+			return fail(mon.ringCreate(req.Args[0], req.Args[1], req.Args[2], req.Args[3]))
+		}},
+	api.CallRingSend: {name: "mailbox_ring_send", domains: domainOS | domainEnclave, handler: hRingSend},
+	api.CallRingRecv: {name: "mailbox_ring_recv", domains: domainOS | domainEnclave, handler: hRingRecv},
+	api.CallRingPark: {name: "thread_park", domains: domainEnclave, handler: hRingPark},
+	api.CallRingWake: {name: "mailbox_ring_wake", domains: domainOS | domainEnclave, handler: hRingWake},
+	api.CallRingDestroy: {name: "mailbox_ring_destroy", domains: domainOS,
+		handler: func(mon *Monitor, req *api.Request, ctx *callContext) api.Response {
+			return fail(mon.ringDestroy(req.Args[0]))
+		}},
+
 	// Snapshot/clone calls (0x30–0x32, ABI minor 1): fork-from-measured-
 	// template lifecycle (DESIGN.md §8).
 	api.CallSnapshotEnclave: {name: "snapshot_enclave", domains: domainOS,

@@ -82,6 +82,7 @@ var osOnlyCalls = []api.Call{
 	api.CallEnterEnclave, api.CallRegionInfo, api.CallGrantRegion,
 	api.CallCleanRegion,
 	api.CallSnapshotEnclave, api.CallCloneEnclave, api.CallReleaseSnapshot,
+	api.CallRingCreate, api.CallRingDestroy,
 }
 
 var enclaveOnlyCalls = []api.Call{
@@ -90,12 +91,13 @@ var enclaveOnlyCalls = []api.Call{
 	api.CallAcceptRegion, api.CallAttestSign, api.CallResumeAEX,
 	api.CallSetFaultHandler, api.CallResumeFault, api.CallMyEnclaveID,
 	api.CallKADerive, api.CallKACombine, api.CallMAC,
+	api.CallRingPark,
 }
 
 func TestDispatchUnknownCallNumbers(t *testing.T) {
 	f := newFixture(t)
 	before := snapshot(f.mon)
-	for _, call := range []api.Call{0x00, 0x13, 0x1E, 0x33, 0x100, 0xFFFF, 1 << 40, ^api.Call(0)} {
+	for _, call := range []api.Call{0x00, 0x13, 0x1E, 0x33, 0x3F, 0x46, 0x100, 0xFFFF, 1 << 40, ^api.Call(0)} {
 		resp := f.mon.Dispatch(api.OSRequest(call, 1, 2, 3, 4, 5, 6))
 		if resp.Status != api.ErrNotSupported {
 			t.Errorf("undefined call %#x: %v, want ErrNotSupported", uint64(call), resp.Status)
@@ -127,7 +129,8 @@ func TestDispatchRefusesWrongDomain(t *testing.T) {
 	// identity is derived from a trapping core, never caller-supplied.
 	allCalls := append(append([]api.Call{}, osOnlyCalls...), enclaveOnlyCalls...)
 	allCalls = append(allCalls, api.CallSendMail, api.CallGetField,
-		api.CallBlockRegion, api.CallGetABIVersion)
+		api.CallBlockRegion, api.CallGetABIVersion,
+		api.CallRingSend, api.CallRingRecv, api.CallRingWake)
 	for _, call := range allCalls {
 		req := api.Request{Caller: eid, Call: call, Args: [6]uint64{eid, 2, 3}}
 		if resp := f.mon.Dispatch(req); resp.Status != api.ErrUnauthorized {
@@ -204,6 +207,15 @@ func TestDispatchOutOfRangeArguments(t *testing.T) {
 		{"clone into a sealed enclave", api.OSRequest(api.CallCloneEnclave, sealed, f.metaPage(8), f.metaPage(9), 0), api.ErrInvalidState},
 		{"release unknown snapshot", api.OSRequest(api.CallReleaseSnapshot, 0xBAD), api.ErrInvalidValue},
 		{"release snapshot id all-ones", api.OSRequest(api.CallReleaseSnapshot, huge), api.ErrInvalidValue},
+		{"ring id outside metadata region", api.OSRequest(api.CallRingCreate, 0x1000, 0, 0, 4), api.ErrInvalidValue},
+		{"ring id all-ones", api.OSRequest(api.CallRingCreate, huge, 0, 0, 4), api.ErrInvalidValue},
+		{"ring capacity all-ones", api.OSRequest(api.CallRingCreate, f.metaPage(8), 0, 0, huge), api.ErrInvalidValue},
+		{"ring producer junk eid", api.OSRequest(api.CallRingCreate, f.metaPage(8), 0xBAD, 0, 4), api.ErrInvalidValue},
+		{"send to unknown ring", api.OSRequest(api.CallRingSend, 0xBAD, 0x1000, 1), api.ErrInvalidValue},
+		{"send count all-ones", api.OSRequest(api.CallRingSend, f.metaPage(8), 0x1000, huge), api.ErrInvalidValue},
+		{"recv from unknown ring", api.OSRequest(api.CallRingRecv, 0xBAD, 0x1000, 1), api.ErrInvalidValue},
+		{"wake unknown ring", api.OSRequest(api.CallRingWake, 0xBAD), api.ErrInvalidValue},
+		{"destroy unknown ring", api.OSRequest(api.CallRingDestroy, huge), api.ErrInvalidValue},
 	}
 	for _, c := range cases {
 		if resp := f.mon.Dispatch(c.req); resp.Status != c.want {
@@ -318,6 +330,11 @@ func FuzzDispatch(f *testing.F) {
 	f.Add(uint64(0), uint64(0x30), eid, eid+0x1000, uint64(0), uint64(0))
 	f.Add(uint64(0), uint64(0x31), eid, eid+0x1000, eid+0x2000, uint64(0))
 	f.Add(uint64(0), uint64(0x32), eid+0x1000, uint64(0), uint64(0), uint64(0))
+	f.Add(uint64(0), uint64(0x40), eid+0x1000, uint64(0), uint64(0), uint64(8))
+	f.Add(uint64(0), uint64(0x41), eid+0x1000, uint64(0x1000), uint64(2), uint64(0))
+	f.Add(uint64(0), uint64(0x42), eid+0x1000, uint64(0x1000), uint64(2), uint64(0))
+	f.Add(uint64(0), uint64(0x44), eid+0x1000, uint64(0), uint64(0), uint64(0))
+	f.Add(uint64(0), uint64(0x45), eid+0x1000, uint64(0), uint64(0), uint64(0))
 	f.Fuzz(func(t *testing.T, caller, call, a0, a1, a2, a3 uint64) {
 		resp := fx.mon.Dispatch(api.Request{
 			Caller: caller,

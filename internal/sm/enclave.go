@@ -412,6 +412,22 @@ func (mon *Monitor) deleteEnclave(eid uint64) api.Error {
 	if e.snap != nil {
 		return api.ErrInvalidState // live snapshot: release it first
 	}
+	// A live mailbox-ring endpoint blocks deletion, like a live
+	// snapshot: a freed eid could otherwise be recreated and inherit
+	// the dead enclave's rings — including undelivered messages meant
+	// for the previous tenant. The OS destroys the rings first.
+	// Endpoint identities are immutable after ring creation, and
+	// ringCreate registers only while holding the endpoint enclave's
+	// lock (held here for the whole transaction), so the scan cannot
+	// race a new attachment.
+	mon.objMu.RLock()
+	for _, r := range mon.rings {
+		if r.Producer == eid || r.Consumer == eid {
+			mon.objMu.RUnlock()
+			return api.ErrInvalidState
+		}
+	}
+	mon.objMu.RUnlock()
 	var snap *Snapshot
 	if e.CloneOf != 0 {
 		mon.objMu.RLock()

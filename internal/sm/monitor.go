@@ -123,9 +123,15 @@ type Monitor struct {
 	enclaves  map[uint64]*Enclave
 	threads   map[uint64]*Thread
 	snapshots map[uint64]*Snapshot
+	rings     map[uint64]*Ring
+	ringSeq   uint64 // ring creation order (under objMu)
 
 	regions []regionMeta
 	cores   []coreSlot
+
+	// wakeSink is the OS's park/wake notification handler (SetWakeSink);
+	// wakes travel to it through the IPI mailboxes (ring.go).
+	wakeSink atomic.Value
 
 	// osBitmap is the live set of OS-owned regions (state==Owned &&
 	// owner==DomainOS), maintained atomically by region transactions so
@@ -166,6 +172,7 @@ func New(cfg Config) (*Monitor, error) {
 		enclaves:           make(map[uint64]*Enclave),
 		threads:            make(map[uint64]*Thread),
 		snapshots:          make(map[uint64]*Snapshot),
+		rings:              make(map[uint64]*Ring),
 		cores:              make([]coreSlot, len(cfg.Machine.Cores)),
 	}
 	for i := range mon.regions {

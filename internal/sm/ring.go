@@ -1,0 +1,463 @@
+package sm
+
+// Mailbox rings (DESIGN.md §9): the streaming counterpart of the
+// single-slot mailboxes of §VI-B. A ring is a fixed-capacity FIFO of
+// fixed-size messages living in monitor-tracked memory, named by an SM
+// metadata page (unforgeable, like every other monitor object), with
+// one producer and one consumer protection domain fixed at creation.
+// Send and recv move up to api.RingMaxBatch messages per monitor call,
+// so the per-call overhead (trap or Dispatch, authorization, ring
+// transaction) amortizes across a batch; every message is stamped with
+// the monitor-attested sender identity and measurement, preserving the
+// mailbox system's attestation-grade provenance at streaming rates.
+//
+// The park/wake protocol is what removes OS polling from the serving
+// path: an enclave consumer that finds its ring empty parks
+// (CallRingPark) — the monitor registers it as the ring's waiter and
+// performs an AEX-style exit with api.ParkedExitValue, saving a
+// context whose resume re-executes the park ECALL — and the next send
+// wakes it by posting a request through the PR 2 inter-processor
+// mailboxes to the OS's registered wake sink. The sink is the
+// simulation's analogue of the inter-processor interrupt a hardware
+// monitor would raise at the kernel: a notification only, carrying no
+// authority (the OS still schedules through enter_enclave, and the
+// monitor still verifies).
+
+import (
+	"encoding/binary"
+	"sync"
+
+	"sanctorum/internal/hw/machine"
+	"sanctorum/internal/sm/api"
+)
+
+// Ring is the monitor's metadata for one mailbox ring. The mutex is
+// the ring's §V-A transaction lock, taken with TryLock; contended
+// calls fail with ErrRetry having changed nothing.
+type Ring struct {
+	mu sync.Mutex
+
+	ID       uint64
+	Producer uint64 // api.DomainOS or an eid
+	Consumer uint64
+	seq      uint64 // creation order, for FieldEnclaveRings
+	dead     bool   // set by destroy under mu; a racing lookup re-checks
+
+	slots []ringMsg
+	head  int // oldest undelivered message
+	count int
+
+	// Parked consumer thread (0 = none). Registered by ring_park on an
+	// empty ring, popped by the next send, an explicit wake, or
+	// destroy.
+	waiterEID uint64
+	waiterTID uint64
+
+	// scratch is the ring's recv staging buffer, reused across calls
+	// (guarded by mu like the slots) so batched recv allocates nothing
+	// per message.
+	scratch []byte
+}
+
+// ringMsg is one queued message with its monitor-attested stamp.
+type ringMsg struct {
+	sender  uint64
+	meas    [32]byte
+	payload [api.RingMsgSize]byte
+}
+
+// takeWaiterLocked pops the parked waiter, if any. Caller holds r.mu.
+func (r *Ring) takeWaiterLocked() (eid, tid uint64) {
+	eid, tid = r.waiterEID, r.waiterTID
+	r.waiterEID, r.waiterTID = 0, 0
+	return eid, tid
+}
+
+// lookupRing fetches and transaction-locks a ring; contention fails
+// the transaction with ErrRetry (§V-A). The dead re-check closes the
+// lookup/destroy race: a hart that fetched the pointer before a
+// concurrent destroy removed it must not operate on the orphaned
+// object (messages would vanish, and a recreated ring under the same
+// id would split into two objects).
+func (mon *Monitor) lookupRing(id uint64) (*Ring, api.Error) {
+	mon.objMu.RLock()
+	r := mon.rings[id]
+	mon.objMu.RUnlock()
+	if r == nil {
+		return nil, api.ErrInvalidValue
+	}
+	if !r.mu.TryLock() {
+		return nil, api.ErrRetry
+	}
+	if r.dead {
+		r.mu.Unlock()
+		return nil, api.ErrInvalidValue
+	}
+	return r, api.OK
+}
+
+// SetWakeSink registers the untrusted OS's wake notification handler.
+// When a send (or explicit wake, or destroy) finds a parked consumer,
+// the monitor posts a request through a core's IPI mailbox whose body
+// invokes fn(ringID, eid, tid) — the simulation analogue of the
+// inter-processor interrupt a hardware monitor raises to tell the
+// kernel a thread became runnable. fn runs on whatever goroutine
+// drains the mailbox (the posting one if the core is idle, the core's
+// own at its next instruction boundary if it is running), so it must
+// be quick and goroutine-safe, and must not call back into the
+// monitor.
+func (mon *Monitor) SetWakeSink(fn func(ringID, eid, tid uint64)) {
+	mon.wakeSink.Store(fn)
+}
+
+// postWake routes one wake to the OS sink through core 0's IPI
+// mailbox, waiting for the acknowledgment (RunOn) so a wake is never
+// stranded in the mailbox of a core that just went idle — the wake is
+// the only signal the OS has that a parked thread became runnable.
+// from is the posting hart (machine.NoHart for host-side calls): a
+// sender trapping on core 0 itself delivers inline, which is exactly
+// its own instruction boundary. The wake stays advisory: a stale one
+// costs the OS a failed enter_enclave, never monitor state.
+func (mon *Monitor) postWake(from int, ringID, eid, tid uint64) {
+	v := mon.wakeSink.Load()
+	if v == nil {
+		return
+	}
+	sink := v.(func(uint64, uint64, uint64))
+	mon.machine.RunOn(0, from, func(*machine.Core) { sink(ringID, eid, tid) })
+}
+
+// ringCreate implements CallRingCreate (OS-domain): register a ring
+// between a fixed producer and consumer. Endpoints are DomainOS or
+// existing enclaves; the reserved SM identity is refused. The ring id
+// is claimed exactly like enclave, thread and snapshot ids — a free
+// page inside an SM metadata region. Each enclave endpoint is held
+// under its transaction lock while the ring registers, which — paired
+// with deleteEnclave's endpoint guard — excludes the race where a
+// ring attaches to an enclave mid-deletion and survives it: either
+// the create sees the enclave and the delete then refuses, or the
+// delete wins and the create fails (retry or unknown id).
+func (mon *Monitor) ringCreate(ringID, producer, consumer, capacity uint64) api.Error {
+	if capacity == 0 || capacity > api.RingMaxCapacity {
+		return api.ErrInvalidValue
+	}
+	endpoints := []uint64{producer}
+	if consumer != producer {
+		endpoints = append(endpoints, consumer)
+	}
+	for _, who := range endpoints {
+		if who == api.DomainOS {
+			continue
+		}
+		e, st := mon.lookupEnclave(who)
+		if st != api.OK {
+			return st
+		}
+		defer e.mu.Unlock()
+	}
+	mon.objMu.Lock()
+	defer mon.objMu.Unlock()
+	if st := mon.allocMetaPage(ringID); st != api.OK {
+		return st
+	}
+	mon.ringSeq++
+	mon.rings[ringID] = &Ring{
+		ID:       ringID,
+		Producer: producer,
+		Consumer: consumer,
+		seq:      mon.ringSeq,
+		slots:    make([]ringMsg, capacity),
+	}
+	return api.OK
+}
+
+// ringDestroy implements CallRingDestroy (OS-domain): unregister the
+// ring, free its id, and wake any parked consumer — whose re-executed
+// park then fails with ErrInvalidValue, the consumer's shutdown
+// signal. Undelivered messages are dropped (the ring is monitor
+// memory; nothing leaks to any untrusted domain).
+func (mon *Monitor) ringDestroy(ringID uint64) api.Error {
+	r, st := mon.lookupRing(ringID)
+	if st != api.OK {
+		return st
+	}
+	weid, wtid := r.takeWaiterLocked()
+	r.dead = true
+	mon.objMu.Lock()
+	delete(mon.rings, ringID)
+	mon.freeMetaPage(ringID)
+	mon.objMu.Unlock()
+	r.mu.Unlock()
+	if wtid != 0 {
+		mon.postWake(machine.NoHart, ringID, weid, wtid)
+	}
+	return api.OK
+}
+
+// ringEnqueue appends up to count messages to the ring under its
+// transaction lock, waking a parked consumer. fill(i, dst) copies
+// message i's payload into a free slot — straight from the staged
+// source, so batched sends allocate nothing per message; it runs with
+// the lock held but only touches slots not yet published (a failure
+// aborts before the count advances). sender and meas are the
+// monitor-attested stamp. Returns the count actually enqueued.
+func (mon *Monitor) ringEnqueue(from int, ringID, sender uint64, meas [32]byte, count int,
+	fill func(i int, dst []byte) api.Error) (uint64, api.Error) {
+	r, st := mon.lookupRing(ringID)
+	if st != api.OK {
+		return 0, st
+	}
+	if r.Producer != sender {
+		r.mu.Unlock()
+		return 0, api.ErrUnauthorized
+	}
+	space := len(r.slots) - r.count
+	if space == 0 {
+		r.mu.Unlock()
+		return 0, api.ErrInvalidState
+	}
+	n := count
+	if n > space {
+		n = space
+	}
+	for i := 0; i < n; i++ {
+		slot := &r.slots[(r.head+r.count+i)%len(r.slots)]
+		if st := fill(i, slot.payload[:]); st != api.OK {
+			r.mu.Unlock()
+			return 0, st
+		}
+		slot.sender = sender
+		slot.meas = meas
+	}
+	r.count += n
+	weid, wtid := r.takeWaiterLocked()
+	r.mu.Unlock()
+	if wtid != 0 {
+		mon.postWake(from, ringID, weid, wtid)
+	}
+	return uint64(n), api.OK
+}
+
+// ringRecords serializes the ring's oldest n messages as recv records
+// (measurement ‖ sender id ‖ payload) into the ring's scratch buffer,
+// valid until the lock is released. Caller holds r.mu.
+func (r *Ring) ringRecords(n int) []byte {
+	if cap(r.scratch) < api.RingMaxBatch*api.RingRecordSize {
+		r.scratch = make([]byte, api.RingMaxBatch*api.RingRecordSize)
+	}
+	out := r.scratch[:n*api.RingRecordSize]
+	for i := 0; i < n; i++ {
+		slot := &r.slots[(r.head+i)%len(r.slots)]
+		rec := out[i*api.RingRecordSize:]
+		copy(rec, slot.meas[:])
+		binary.LittleEndian.PutUint64(rec[32:], slot.sender)
+		copy(rec[api.RingStampSize:api.RingRecordSize], slot.payload[:])
+	}
+	return out
+}
+
+// popLocked drops the oldest n messages. Caller holds r.mu.
+func (r *Ring) popLocked(n int) {
+	r.head = (r.head + n) % len(r.slots)
+	r.count -= n
+}
+
+// ringBytesForEnclave serves FieldEnclaveRings: the rings the caller
+// is an endpoint of, in creation order, as ring id[8] ‖ role[8]
+// entries (role 0 = consumer, 1 = producer).
+func (mon *Monitor) ringBytesForEnclave(eid uint64) []byte {
+	type entry struct {
+		seq  uint64
+		id   uint64
+		role uint64
+	}
+	var entries []entry
+	mon.objMu.RLock()
+	for _, r := range mon.rings {
+		if r.Consumer == eid {
+			entries = append(entries, entry{seq: r.seq, id: r.ID, role: 0})
+		}
+		if r.Producer == eid {
+			entries = append(entries, entry{seq: r.seq, id: r.ID, role: 1})
+		}
+	}
+	mon.objMu.RUnlock()
+	for i := 1; i < len(entries); i++ {
+		for j := i; j > 0 && entries[j-1].seq > entries[j].seq; j-- {
+			entries[j-1], entries[j] = entries[j], entries[j-1]
+		}
+	}
+	out := make([]byte, 0, len(entries)*16)
+	var word [8]byte
+	for _, en := range entries {
+		binary.LittleEndian.PutUint64(word[:], en.id)
+		out = append(out, word[:]...)
+		binary.LittleEndian.PutUint64(word[:], en.role)
+		out = append(out, word[:]...)
+	}
+	return out
+}
+
+// --- dispatch handlers ---
+
+// batchLen validates a send/recv count argument and returns it.
+func batchLen(count uint64) (int, bool) {
+	if count == 0 || count > api.RingMaxBatch {
+		return 0, false
+	}
+	return int(count), true
+}
+
+// hRingSend is the dual-domain send handler. Enclave payloads are
+// read through the enclave's tables before the ring transaction (the
+// read has no side effects, so a contended ring still means no state
+// changed); OS payloads are range-checked up front and then copied
+// from physical memory straight into the slots — no intermediate
+// buffer on the hot batched path.
+func hRingSend(mon *Monitor, req *api.Request, ctx *callContext) api.Response {
+	n, okCount := batchLen(req.Args[2])
+	if !okCount {
+		return fail(api.ErrInvalidValue)
+	}
+	var sender uint64
+	var meas [32]byte
+	var fill func(i int, dst []byte) api.Error
+	from := machine.NoHart
+	if ctx != nil {
+		from = ctx.core.ID
+		sender, meas = ctx.enclave.ID, ctx.enclave.Measurement
+		msgs, okRead := mon.readEnclave(ctx.enclave, req.Args[1], n*api.RingMsgSize)
+		if !okRead {
+			return fail(api.ErrInvalidValue)
+		}
+		fill = func(i int, dst []byte) api.Error {
+			copy(dst, msgs[i*api.RingMsgSize:])
+			return api.OK
+		}
+	} else {
+		sender = api.DomainOS
+		srcPA := req.Args[1]
+		if !mon.osOwnsRange(srcPA, uint64(n)*api.RingMsgSize) {
+			return fail(api.ErrInvalidValue)
+		}
+		fill = func(i int, dst []byte) api.Error {
+			if err := mon.machine.Mem.ReadBytes(srcPA+uint64(i)*api.RingMsgSize, dst); err != nil {
+				return api.ErrInvalidValue
+			}
+			return api.OK
+		}
+	}
+	sent, st := mon.ringEnqueue(from, req.Args[0], sender, meas, n, fill)
+	if st != api.OK {
+		return fail(st)
+	}
+	return ok(sent)
+}
+
+// hRingRecv is the dual-domain recv handler. The records are written
+// while the ring transaction holds the lock and popped only after the
+// copy-out succeeded, so a recv into an invalid buffer consumes
+// nothing.
+func hRingRecv(mon *Monitor, req *api.Request, ctx *callContext) api.Response {
+	max, okCount := batchLen(req.Args[2])
+	if !okCount {
+		return fail(api.ErrInvalidValue)
+	}
+	var caller uint64 = api.DomainOS
+	if ctx != nil {
+		caller = ctx.enclave.ID
+	}
+	r, st := mon.lookupRing(req.Args[0])
+	if st != api.OK {
+		return fail(st)
+	}
+	defer r.mu.Unlock()
+	if r.Consumer != caller {
+		return fail(api.ErrUnauthorized)
+	}
+	if r.count == 0 {
+		return fail(api.ErrInvalidState)
+	}
+	n := max
+	if n > r.count {
+		n = r.count
+	}
+	out := r.ringRecords(n)
+	if ctx != nil {
+		// Writing into a clone may resolve a COW alias; the enclave
+		// transaction lock it takes is never held while anyone waits on
+		// a ring lock, so the order ring → enclave cannot deadlock.
+		if !mon.writeEnclave(ctx.enclave, req.Args[1], out) {
+			return fail(api.ErrInvalidValue)
+		}
+	} else {
+		if !mon.osOwnsRange(req.Args[1], uint64(len(out))) {
+			return fail(api.ErrInvalidValue)
+		}
+		if err := mon.machine.Mem.WriteBytes(req.Args[1], out); err != nil {
+			return fail(api.ErrInvalidValue)
+		}
+	}
+	r.popLocked(n)
+	return ok(uint64(n))
+}
+
+// hRingPark implements thread_park (enclave trap context only). A
+// non-empty ring returns immediately; an empty one registers the
+// thread as the ring's waiter and performs an AEX-style exit whose
+// saved context re-executes this ECALL on resume — so a woken thread
+// transparently re-checks the ring, and a spurious wake simply parks
+// again. The ring lock is released before stopThread's blocking
+// thread/enclave acquisitions, keeping ring locks leaves of the lock
+// order.
+func hRingPark(mon *Monitor, req *api.Request, ctx *callContext) api.Response {
+	r, st := mon.lookupRing(req.Args[0])
+	if st != api.OK {
+		return fail(st)
+	}
+	if r.Consumer != ctx.enclave.ID {
+		r.mu.Unlock()
+		return fail(api.ErrUnauthorized)
+	}
+	if r.count > 0 {
+		n := uint64(r.count)
+		r.mu.Unlock()
+		return ok(n)
+	}
+	if r.waiterTID != 0 && r.waiterTID != ctx.thread.ID {
+		r.mu.Unlock()
+		return fail(api.ErrInvalidState)
+	}
+	r.waiterEID, r.waiterTID = ctx.enclave.ID, ctx.thread.ID
+	r.mu.Unlock()
+	// AEX-save with the park marker: the PC is not advanced (the trap
+	// path advances it only for non-transfer calls), so resume_aex
+	// re-executes the park.
+	mon.stopThread(uint64(ctx.core.ID), api.ParkedExitValue, true)
+	ctx.transfer(machine.DispReturnToOS)
+	return ok()
+}
+
+// hRingWake is the dual-domain explicit wake, authorized against the
+// producer (wake-spoofing by any other domain is refused).
+func hRingWake(mon *Monitor, req *api.Request, ctx *callContext) api.Response {
+	caller, from := api.DomainOS, machine.NoHart
+	if ctx != nil {
+		caller, from = ctx.enclave.ID, ctx.core.ID
+	}
+	r, st := mon.lookupRing(req.Args[0])
+	if st != api.OK {
+		return fail(st)
+	}
+	if r.Producer != caller {
+		r.mu.Unlock()
+		return fail(api.ErrUnauthorized)
+	}
+	weid, wtid := r.takeWaiterLocked()
+	r.mu.Unlock()
+	if wtid == 0 {
+		return ok(0)
+	}
+	mon.postWake(from, req.Args[0], weid, wtid)
+	return ok(1)
+}

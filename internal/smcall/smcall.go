@@ -261,6 +261,48 @@ func (c *Client) ReleaseSnapshot(snapID uint64) error {
 	return err
 }
 
+// RingCreate registers a mailbox ring (ABI minor 2) between a fixed
+// producer and consumer (api.DomainOS or eids) with the given capacity
+// in messages. ringID must be a free SM metadata page.
+func (c *Client) RingCreate(ringID, producer, consumer uint64, capacity int) error {
+	_, err := c.call(api.CallRingCreate, ringID, producer, consumer, uint64(capacity))
+	return err
+}
+
+// RingSend delivers count messages of api.RingMsgSize bytes each,
+// staged contiguously at an OS-owned physical address, and returns how
+// many were actually enqueued (a full ring refuses with
+// api.ErrInvalidState having sent nothing; a nearly full one sends
+// what fits).
+func (c *Client) RingSend(ringID, srcPA uint64, count int) (int, error) {
+	resp, err := c.call(api.CallRingSend, ringID, srcPA, uint64(count))
+	return int(resp.Values[0]), err
+}
+
+// RingRecv drains up to max messages into OS-owned memory at outPA —
+// one api.RingRecordSize record per message (sender measurement ‖
+// sender id ‖ payload) — and returns the record count. An empty ring
+// refuses with api.ErrInvalidState.
+func (c *Client) RingRecv(ringID, outPA uint64, max int) (int, error) {
+	resp, err := c.call(api.CallRingRecv, ringID, outPA, uint64(max))
+	return int(resp.Values[0]), err
+}
+
+// RingWake explicitly wakes the ring's parked consumer, if any,
+// reporting whether one was woken. Producer-only.
+func (c *Client) RingWake(ringID uint64) (bool, error) {
+	resp, err := c.call(api.CallRingWake, ringID)
+	return resp.Values[0] != 0, err
+}
+
+// RingDestroy unregisters a ring, dropping undelivered messages and
+// waking any parked consumer (whose re-executed park then fails — the
+// shutdown signal).
+func (c *Client) RingDestroy(ringID uint64) error {
+	_, err := c.call(api.CallRingDestroy, ringID)
+	return err
+}
+
 // RegionInfo reports a region's lifecycle state and owner.
 func (c *Client) RegionInfo(r int) (api.RegionState, uint64, error) {
 	resp, err := c.call(api.CallRegionInfo, uint64(r))

@@ -233,6 +233,23 @@ func (s *System) Serve(cfg SchedConfig, tasks <-chan Task) []TaskResult {
 	return s.OS.NewScheduler(cfg).Serve(tasks)
 }
 
+// GatewayConfig configures a request-serving gateway (internal/os).
+type GatewayConfig = os.GatewayConfig
+
+// NewPool builds a snapshot/clone worker pool over this system's OS
+// (see internal/os.NewPool).
+func (s *System) NewPool(spec *os.EnclaveSpec, cloneRegions []int, perClone int) (*os.Pool, error) {
+	return os.NewPool(s.OS, spec, cloneRegions, perClone)
+}
+
+// NewGateway builds a ring-IPC request-serving gateway over pool
+// workers (DESIGN.md §9): host requests are batched into mailbox-ring
+// sends, parked workers wake through the monitor's IPI-routed wake
+// sink, run under the OS scheduler, and stream stamped responses back.
+func (s *System) NewGateway(pool *os.Pool, cfg GatewayConfig) (*os.Gateway, error) {
+	return os.NewGateway(s.OS, s.Monitor, pool, cfg)
+}
+
 // SetupShared allocates an OS page, maps it at va in the OS page
 // tables, and returns its physical address. This is the untrusted
 // buffer enclaves and the OS exchange data through.
