@@ -72,7 +72,11 @@ var suites = []struct {
 }
 
 // ratioChecks are machine-independent targets enforced on the new run:
-// numerator / denominator must be at least min.
+// numerator / denominator must be at least min. A check whose
+// benchmarks are both absent is skipped — stress soak files (E17)
+// carry only the StressGateway rows — but exactly one half missing is
+// still a failure (a renamed or dropped benchmark, not a different
+// file kind).
 var ratioChecks = []struct {
 	name, num, den string
 	min            float64
@@ -81,6 +85,20 @@ var ratioChecks = []struct {
 		"BenchmarkServeThroughput/per-message", "BenchmarkServeThroughput/batched", 5},
 	{"snapshot clone vs full build (E15)",
 		"BenchmarkCloneColdStart/full-build", "BenchmarkCloneColdStart/clone", 5},
+}
+
+// maxRatioChecks are ceilings: numerator / denominator must stay at
+// most max. The endurance soak's tail-latency targets (E17) live here;
+// the same both-absent-skip rule applies, so ordinary benchmark files
+// without StressGateway rows are unaffected.
+var maxRatioChecks = []struct {
+	name, num, den string
+	max            float64
+}{
+	{"endurance p99 tail (E17)",
+		"StressGateway/p99", "StressGateway/p50", 8},
+	{"endurance p999 tail (E17)",
+		"StressGateway/p999", "StressGateway/p50", 40},
 }
 
 func main() {
@@ -291,6 +309,9 @@ func evaluate(base, cur File, threshold float64) (failures, suspects []string) {
 	for _, rc := range ratioChecks {
 		num, okN := cur.Benchmarks[rc.num]
 		den, okD := cur.Benchmarks[rc.den]
+		if !okN && !okD {
+			continue // different file kind (e.g. a stress soak)
+		}
 		if !okN || !okD || den.NsPerOp <= 0 {
 			failures = append(failures, fmt.Sprintf("%s: benchmarks missing", rc.name))
 			continue
@@ -304,6 +325,26 @@ func evaluate(base, cur File, threshold float64) (failures, suspects []string) {
 				rc.name, ratio, rc.min))
 		}
 		fmt.Printf("  %-48s %38.2f×  (target ≥%.0f×)  %s\n", rc.name, ratio, rc.min, verdict)
+	}
+	for _, rc := range maxRatioChecks {
+		num, okN := cur.Benchmarks[rc.num]
+		den, okD := cur.Benchmarks[rc.den]
+		if !okN && !okD {
+			continue // ordinary benchmark file, no stress rows
+		}
+		if !okN || !okD || den.NsPerOp <= 0 {
+			failures = append(failures, fmt.Sprintf("%s: benchmarks missing", rc.name))
+			continue
+		}
+		ratio := num.NsPerOp / den.NsPerOp
+		verdict := "ok"
+		if ratio > rc.max {
+			verdict = "ABOVE CEILING"
+			suspects = append(suspects, rc.num, rc.den)
+			failures = append(failures, fmt.Sprintf("%s: ratio %.2f× above the %.0f× ceiling",
+				rc.name, ratio, rc.max))
+		}
+		fmt.Printf("  %-48s %38.2f×  (ceiling ≤%.0f×)  %s\n", rc.name, ratio, rc.max, verdict)
 	}
 	return failures, suspects
 }

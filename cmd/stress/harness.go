@@ -1,0 +1,301 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"sort"
+	"time"
+
+	"sanctorum"
+	"sanctorum/internal/enclaves"
+	"sanctorum/internal/sm/api"
+)
+
+// Config parameterizes one soak.
+type Config struct {
+	Duration   time.Duration
+	Workers    int
+	Wave       int    // requests per gateway wave
+	ChurnEvery int    // churn period in waves; 0 disables churn
+	Quantum    uint64 // scheduler quantum cycles
+}
+
+// Results is one soak's outcome: the latency distribution (per-request
+// nanoseconds) plus the work and churn counters.
+type Results struct {
+	Served      int
+	Waves       int
+	PoolChurn   int // worker fork+recycle cycles completed
+	SnapChurn   int // snapshot take+release cycles completed
+	Elapsed     time.Duration
+	P50         float64 // per-request ns at each percentile
+	P99         float64
+	P999        float64
+	Mean        float64
+	ReqPerSec   float64
+	Calibration float64
+}
+
+// Run executes the soak: an echo-serving gateway over a pool of cloned
+// workers under the parallel scheduler with a storm-grade quantum,
+// with pool and snapshot churn interleaved between waves.
+func Run(cfg Config) (*Results, error) {
+	if cfg.Workers < 1 {
+		cfg.Workers = 1
+	}
+	if cfg.Wave < 1 {
+		cfg.Wave = 8
+	}
+	sys, err := sanctorum.NewSystem(sanctorum.Options{Kind: sanctorum.Baseline, Cores: 4})
+	if err != nil {
+		return nil, err
+	}
+	l := enclaves.DefaultLayout()
+	regions := sys.OS.FreeRegions()
+	// Template + one region per worker + one spare for the churned
+	// worker + one for the snapshot-churn enclave.
+	need := 1 + cfg.Workers + 2
+	if len(regions) < need {
+		return nil, fmt.Errorf("stress: need %d free regions, have %d", need, len(regions))
+	}
+	spec, err := enclaves.Spec(l, enclaves.RingEchoServer(l), nil, regions[:1], nil)
+	if err != nil {
+		return nil, err
+	}
+	pool, err := sys.NewPool(spec, regions[1:1+cfg.Workers+1], 1)
+	if err != nil {
+		return nil, err
+	}
+	gw, err := sys.NewGateway(pool, sanctorum.GatewayConfig{
+		Workers: cfg.Workers,
+		Batch:   4,
+		Sched: sanctorum.SchedConfig{
+			Mode:          sanctorum.Parallel,
+			QuantumCycles: cfg.Quantum,
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Side enclave for snapshot/release cycling: built and sealed the
+	// slow way, never entered, so it is always snapshottable.
+	churnSpec, err := enclaves.Spec(l, enclaves.RingEchoServer(l), nil,
+		regions[1+cfg.Workers+1:need], nil)
+	if err != nil {
+		return nil, err
+	}
+	churnEnc, err := sys.BuildEnclave(churnSpec)
+	if err != nil {
+		return nil, err
+	}
+
+	reqs := make([][]byte, cfg.Wave)
+	for i := range reqs {
+		msg := make([]byte, api.RingMsgSize)
+		msg[0], msg[8], msg[63] = byte(i), byte(i>>1), byte(i)
+		reqs[i] = msg
+	}
+	want := make([][]byte, cfg.Wave)
+	for i := range reqs {
+		want[i] = enclaves.RingEchoExpected(reqs[i])
+	}
+
+	res := &Results{Calibration: calibrate()}
+	samples := make([]float64, 0, 1<<18)
+	deadline := time.Now().Add(cfg.Duration)
+	start := time.Now()
+	for time.Now().Before(deadline) {
+		t0 := time.Now()
+		resps, err := gw.Process(reqs)
+		dt := time.Since(t0)
+		if err != nil {
+			return nil, fmt.Errorf("stress: wave %d: %w", res.Waves, err)
+		}
+		for i := range resps {
+			if string(resps[i]) != string(want[i]) {
+				return nil, fmt.Errorf("stress: wave %d response %d corrupted", res.Waves, i)
+			}
+		}
+		samples = append(samples, float64(dt.Nanoseconds())/float64(cfg.Wave))
+		res.Waves++
+		res.Served += cfg.Wave
+
+		if cfg.ChurnEvery > 0 && res.Waves%cfg.ChurnEvery == 0 {
+			// Pool churn: fork one extra worker from the snapshot and
+			// recycle it — create, grants, clone, delete, region clean.
+			w, err := pool.Acquire(0)
+			if err != nil {
+				return nil, fmt.Errorf("stress: pool churn acquire: %w", err)
+			}
+			if err := pool.Release(w); err != nil {
+				return nil, fmt.Errorf("stress: pool churn release: %w", err)
+			}
+			res.PoolChurn++
+			// Snapshot churn: freeze and thaw the side enclave.
+			snapID, err := sys.OS.AllocMetaPage()
+			if err != nil {
+				return nil, fmt.Errorf("stress: snapshot churn: %w", err)
+			}
+			if err := sys.OS.SM.SnapshotEnclave(churnEnc.EID, snapID); err != nil {
+				return nil, fmt.Errorf("stress: snapshot churn take: %w", err)
+			}
+			if err := sys.OS.SM.ReleaseSnapshot(snapID); err != nil {
+				return nil, fmt.Errorf("stress: snapshot churn release: %w", err)
+			}
+			sys.OS.ReleaseMetaPage(snapID)
+			res.SnapChurn++
+		}
+	}
+	res.Elapsed = time.Since(start)
+
+	if err := gw.Close(); err != nil {
+		return nil, fmt.Errorf("stress: gateway close: %w", err)
+	}
+	if err := pool.Close(); err != nil {
+		return nil, fmt.Errorf("stress: pool close: %w", err)
+	}
+	if err := sys.OS.SM.DeleteEnclave(churnEnc.EID); err != nil {
+		return nil, fmt.Errorf("stress: churn enclave teardown: %w", err)
+	}
+	if err := sys.Monitor.CheckInvariants(); err != nil {
+		return nil, fmt.Errorf("stress: post-soak invariants: %w", err)
+	}
+
+	sort.Float64s(samples)
+	res.P50 = percentile(samples, 0.50)
+	res.P99 = percentile(samples, 0.99)
+	res.P999 = percentile(samples, 0.999)
+	sum := 0.0
+	for _, s := range samples {
+		sum += s
+	}
+	if len(samples) > 0 {
+		res.Mean = sum / float64(len(samples))
+	}
+	if res.Elapsed > 0 {
+		res.ReqPerSec = float64(res.Served) / res.Elapsed.Seconds()
+	}
+	return res, nil
+}
+
+func percentile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)))
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}
+
+// calibrate mirrors cmd/benchjson's host-speed probe (the same fixed
+// xorshift workload), so stress JSONs compare across hosts with the
+// same normalization.
+func calibrate() float64 {
+	best := 0.0
+	for i := 0; i < 5; i++ {
+		start := time.Now()
+		x := uint64(0x9E3779B97F4A7C15)
+		for j := 0; j < 1<<26; j++ {
+			x ^= x << 13
+			x ^= x >> 7
+			x ^= x << 17
+		}
+		ns := float64(time.Since(start).Nanoseconds())
+		if x == 0 { // never: defeat dead-code elimination
+			fmt.Println()
+		}
+		if best == 0 || ns < best {
+			best = ns
+		}
+	}
+	return best
+}
+
+// Gate applies the machine-independent tail targets, returning one
+// message per violation.
+func (r *Results) Gate(maxP99, maxP999 float64) []string {
+	var msgs []string
+	if r.P50 <= 0 {
+		return []string{"no latency samples collected"}
+	}
+	if ratio := r.P99 / r.P50; ratio > maxP99 {
+		msgs = append(msgs, fmt.Sprintf("p99/p50 = %.2f× exceeds the %.0f× ceiling", ratio, maxP99))
+	}
+	if ratio := r.P999 / r.P50; ratio > maxP999 {
+		msgs = append(msgs, fmt.Sprintf("p999/p50 = %.2f× exceeds the %.0f× ceiling", ratio, maxP999))
+	}
+	return msgs
+}
+
+// Print writes the human-readable soak report.
+func (r *Results) Print(w io.Writer) {
+	fmt.Fprintf(w, "stress: %d requests in %v (%.0f req/s), %d waves\n",
+		r.Served, r.Elapsed.Round(time.Millisecond), r.ReqPerSec, r.Waves)
+	fmt.Fprintf(w, "  latency/request: p50 %.0f ns  p99 %.0f ns  p999 %.0f ns  mean %.0f ns\n",
+		r.P50, r.P99, r.P999, r.Mean)
+	fmt.Fprintf(w, "  tails: p99/p50 %.2f×  p999/p50 %.2f×\n", r.P99/r.P50, r.P999/r.P50)
+	fmt.Fprintf(w, "  churn: %d pool fork+recycle, %d snapshot take+release\n",
+		r.PoolChurn, r.SnapChurn)
+}
+
+// benchFile mirrors cmd/benchjson's JSON schema so stress runs flow
+// through the same compare gate.
+type benchFile struct {
+	Schema        int                    `json:"schema"`
+	GoVersion     string                 `json:"go"`
+	CalibrationNs float64                `json:"calibration_ns"`
+	Benchmarks    map[string]benchResult `json:"benchmarks"`
+}
+
+type benchResult struct {
+	NsPerOp     float64            `json:"ns_per_op"`
+	OpsPerSec   float64            `json:"ops_per_sec"`
+	BytesPerOp  float64            `json:"bytes_per_op"`
+	AllocsPerOp float64            `json:"allocs_per_op"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+// WriteJSON emits the percentiles as benchjson pseudo-benchmarks
+// (StressGateway/p50 …) plus the throughput row carrying the churn
+// counters, in cmd/benchjson's File schema.
+func (r *Results) WriteJSON(path string) error {
+	row := func(ns float64) benchResult {
+		br := benchResult{NsPerOp: ns}
+		if ns > 0 {
+			br.OpsPerSec = 1e9 / ns
+		}
+		return br
+	}
+	tput := row(r.Mean)
+	tput.Metrics = map[string]float64{
+		"req/s":      r.ReqPerSec,
+		"pool-churn": float64(r.PoolChurn),
+		"snap-churn": float64(r.SnapChurn),
+	}
+	doc := benchFile{
+		Schema:        1,
+		GoVersion:     runtime.Version(),
+		CalibrationNs: r.Calibration,
+		Benchmarks: map[string]benchResult{
+			"StressGateway/p50":  row(r.P50),
+			"StressGateway/p99":  row(r.P99),
+			"StressGateway/p999": row(r.P999),
+			"StressGateway/mean": tput,
+		},
+	}
+	blob, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return writeFile(path, append(blob, '\n'))
+}
+
+func writeFile(path string, blob []byte) error {
+	return os.WriteFile(path, blob, 0o644)
+}

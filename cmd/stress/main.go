@@ -1,0 +1,63 @@
+// Command stress is the endurance battery (EXPERIMENTS.md E17): a
+// Stress-SGX-style soak that serves sustained gateway load over the
+// snapshot/clone pool and mailbox-ring stack while adversarial churn
+// runs alongside — pool workers forked and recycled, snapshots taken
+// and released, and a deliberately low scheduler quantum driving
+// preemption storms through the park/wake path. It records every
+// request's latency and emits p50/p99/p999 histograms as benchjson
+// pseudo-benchmarks, so the tail-latency ratio targets join the CI
+// benchmark gate (cmd/benchjson compare enforces them whenever the
+// stress benchmarks are present).
+//
+//	stress -duration 5s -workers 2 -out STRESS.json [-gate]
+//
+// -gate additionally enforces the machine-independent tail targets
+// in-process (p99/p50 and p999/p50 ceilings) and exits non-zero on a
+// violation, so a soak doubles as a pass/fail check without a
+// baseline file.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+)
+
+func main() {
+	cfg := Config{}
+	flag.DurationVar(&cfg.Duration, "duration", 5*time.Second, "soak length")
+	flag.IntVar(&cfg.Workers, "workers", 2, "gateway pool workers")
+	flag.IntVar(&cfg.Wave, "wave", 8, "requests per gateway wave (one latency sample each)")
+	flag.IntVar(&cfg.ChurnEvery, "churn-every", 16, "pool-churn and snapshot-churn period, in waves (0 disables)")
+	flag.Uint64Var(&cfg.Quantum, "quantum", 2_000, "scheduler quantum in cycles (low = preemption storms)")
+	out := flag.String("out", "", "write benchjson-schema JSON here")
+	gate := flag.Bool("gate", false, "enforce tail-ratio targets and exit non-zero on violation")
+	maxP99 := flag.Float64("max-p99-ratio", 8, "gate: p99 may exceed p50 by at most this factor")
+	maxP999 := flag.Float64("max-p999-ratio", 40, "gate: p999 may exceed p50 by at most this factor")
+	flag.Parse()
+
+	res, err := Run(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "stress:", err)
+		os.Exit(1)
+	}
+	res.Print(os.Stdout)
+	if *out != "" {
+		if err := res.WriteJSON(*out); err != nil {
+			fmt.Fprintln(os.Stderr, "stress:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("stress: wrote %s\n", *out)
+	}
+	if *gate {
+		if msgs := res.Gate(*maxP99, *maxP999); len(msgs) > 0 {
+			fmt.Fprintln(os.Stderr, "\nstress: FAIL")
+			for _, m := range msgs {
+				fmt.Fprintln(os.Stderr, "  -", m)
+			}
+			os.Exit(1)
+		}
+		fmt.Println("stress: PASS")
+	}
+}

@@ -1,0 +1,37 @@
+package main
+
+import (
+	"testing"
+	"time"
+)
+
+// TestSoakSmoke runs a short soak end-to-end — gateway waves, pool and
+// snapshot churn, teardown, post-soak invariants — and sanity-checks
+// the distribution. The full-length battery is cmd/stress itself
+// (EXPERIMENTS.md E17); this keeps the harness compiling and honest
+// under go test and -race.
+func TestSoakSmoke(t *testing.T) {
+	res, err := Run(Config{
+		Duration:   500 * time.Millisecond,
+		Workers:    2,
+		Wave:       8,
+		ChurnEvery: 8,
+		Quantum:    2_000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Served == 0 || res.Waves == 0 {
+		t.Fatalf("soak served nothing: %+v", res)
+	}
+	if res.PoolChurn == 0 || res.SnapChurn == 0 {
+		t.Fatalf("churn never ran: pool %d, snap %d", res.PoolChurn, res.SnapChurn)
+	}
+	if res.P50 <= 0 || res.P99 < res.P50 || res.P999 < res.P99 {
+		t.Fatalf("percentiles out of order: p50 %.0f p99 %.0f p999 %.0f",
+			res.P50, res.P99, res.P999)
+	}
+	if msgs := res.Gate(1e9, 1e9); len(msgs) != 0 {
+		t.Fatalf("gate with absurd ceilings still failed: %v", msgs)
+	}
+}

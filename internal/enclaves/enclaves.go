@@ -608,11 +608,17 @@ func ringServer(l Layout, transform func(p *asm.Program)) *asm.Program {
 	p.I(isa.OpADD, rShared, rTmp4, isa.RegZero, 0)
 
 	p.Label("serve")
-	// thread_park(req ring): blocks until messages arrive; a destroyed
-	// ring fails the park — the shutdown signal.
+	// thread_park(req ring): blocks until messages arrive. ErrRetry is
+	// transient lock contention — the §V-A discipline says re-issue the
+	// park; any other failure (a destroyed ring, a sibling already
+	// parked) is the shutdown signal.
 	p.I(isa.OpADD, isa.RegA0, rAcc, isa.RegZero, 0)
 	ecall(p, api.CallRingPark)
-	p.Branch(isa.OpBNE, isa.RegA0, isa.RegZero, "die")
+	p.Branch(isa.OpBEQ, isa.RegA0, isa.RegZero, "drain")
+	p.Li(rTmp4, int32(api.ErrRetry))
+	p.Branch(isa.OpBEQ, isa.RegA0, rTmp4, "serve")
+	p.J("die")
+	p.Label("drain")
 	p.I(isa.OpADD, isa.RegA0, rAcc, isa.RegZero, 0)
 	p.I(isa.OpADDI, isa.RegA1, rData, 0, dRingRecv)
 	p.Li(isa.RegA2, RingServeBatch)

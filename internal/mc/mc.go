@@ -1,0 +1,169 @@
+package mc
+
+import (
+	"fmt"
+
+	"sanctorum/internal/sm"
+	"sanctorum/internal/sm/api"
+)
+
+// Step is one scripted action an actor performs against the monitor.
+// The zero Multi value declares the step a single monitor transaction:
+// any non-OK return must leave the captured state bit-identical (the
+// ABI's error-leaves-state-untouched promise), which the runner checks
+// with a before/after capture. Steps that perform several transactions
+// or run enclave code on a core set Multi and forgo that check (each
+// inner transaction is still covered by the post-step invariant pass).
+type Step struct {
+	Name  string
+	Multi bool
+	Run   func(w *World) api.Error
+}
+
+// Actor is one caller domain's ordered step list. Steps execute in
+// order; the schedule decides how actors interleave.
+type Actor struct {
+	Name  string
+	Steps []Step
+}
+
+// Script is a set of actors built against one world. Build functions
+// perform their setup directly on the world before returning the
+// script.
+type Script struct {
+	Name   string
+	Actors []Actor
+}
+
+// Builder constructs a script against a fresh world, performing any
+// setup (enclave builds, ring creation, id allocation) on the way.
+type Builder func(w *World) (*Script, error)
+
+// Counts returns the per-actor step multiplicities, the input to the
+// schedule enumerators.
+func (s *Script) Counts() []int {
+	counts := make([]int, len(s.Actors))
+	for i, a := range s.Actors {
+		counts[i] = len(a.Steps)
+	}
+	return counts
+}
+
+// Stats summarizes one schedule run.
+type Stats struct {
+	Steps   int // step executions, including retried ones
+	Retries int // executions that returned ErrRetry (cursor held)
+	Faults  int // executions with a forced lock fault injected
+	Errors  int // executions refused with a non-retry error
+}
+
+func (st *Stats) add(o Stats) {
+	st.Steps += o.Steps
+	st.Retries += o.Retries
+	st.Faults += o.Faults
+	st.Errors += o.Errors
+}
+
+// Run executes the script's steps in the order the schedule dictates:
+// each entry names an actor, which runs its next step. A step
+// returning ErrRetry is re-injected — the cursor does not advance, so
+// the same actor retries the same step at its next turn, exactly the
+// §V-A caller discipline. After the schedule is consumed, remaining
+// steps (left behind by retries) drain round-robin under a livelock
+// bound: a retry storm that fails to converge within 64 attempts per
+// step fails the run.
+//
+// inject, when non-nil, is consulted before each execution; true arms
+// the monitor's fault hook to spuriously fail the step's first
+// transaction-lock acquisition. Run owns the hook for the duration —
+// callers must not install their own concurrently.
+//
+// After every execution the runner checks the full invariant suite,
+// and for non-Multi steps that returned an error, that the monitor
+// state is bit-identical to the pre-step capture.
+func Run(w *World, script *Script, schedule []int, inject func(step int) bool) (*Stats, error) {
+	mon := w.Sys.Monitor
+	cursors := make([]int, len(script.Actors))
+	stats := &Stats{}
+	defer mon.SetLockFaultHook(nil)
+
+	execute := func(ai int) error {
+		a := &script.Actors[ai]
+		if cursors[ai] >= len(a.Steps) {
+			return nil
+		}
+		step := a.Steps[cursors[ai]]
+		var before *sm.StateSnapshot
+		if !step.Multi {
+			before = mon.CaptureState()
+		}
+		injected := inject != nil && inject(stats.Steps)
+		if injected {
+			stats.Faults++
+			fired := false
+			mon.SetLockFaultHook(func(sm.LockPoint) bool {
+				if fired {
+					return false
+				}
+				fired = true
+				return true
+			})
+		}
+		status := step.Run(w)
+		if injected {
+			mon.SetLockFaultHook(nil)
+		}
+		stats.Steps++
+		if status == api.ErrRetry {
+			stats.Retries++
+		} else {
+			if status != api.OK {
+				stats.Errors++
+			}
+			cursors[ai]++
+		}
+		if status != api.OK && !step.Multi {
+			if after := mon.CaptureState(); !before.Equal(after) {
+				return fmt.Errorf("mc: %s/%s refused with %v but mutated state: %s",
+					a.Name, step.Name, status, before.Diff(after))
+			}
+		}
+		if err := mon.CheckInvariants(); err != nil {
+			return fmt.Errorf("mc: after %s/%s (%v): %w", a.Name, step.Name, status, err)
+		}
+		return nil
+	}
+
+	total := 0
+	for _, a := range script.Actors {
+		total += len(a.Steps)
+	}
+	for _, ai := range schedule {
+		if ai < 0 || ai >= len(script.Actors) {
+			return stats, fmt.Errorf("mc: schedule names actor %d of %d", ai, len(script.Actors))
+		}
+		if err := execute(ai); err != nil {
+			return stats, err
+		}
+	}
+	budget := 64*total + 256
+	for {
+		remaining := false
+		for ai := range script.Actors {
+			if cursors[ai] < len(script.Actors[ai].Steps) {
+				remaining = true
+				if budget--; budget < 0 {
+					return stats, fmt.Errorf(
+						"mc: livelock: %d steps (%d retries) without draining the script",
+						stats.Steps, stats.Retries)
+				}
+				if err := execute(ai); err != nil {
+					return stats, err
+				}
+			}
+		}
+		if !remaining {
+			return stats, nil
+		}
+	}
+}

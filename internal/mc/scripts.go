@@ -1,0 +1,254 @@
+package mc
+
+import (
+	"fmt"
+
+	"sanctorum/internal/enclaves"
+	"sanctorum/internal/sm/api"
+)
+
+// Region plan shared by the canonical scripts (kernel is region 0, the
+// monitor holds the top two of the world's 24).
+const (
+	rgnTemplate = 1 // exhaustive template / service worker (with rgnWorker2)
+	rgnWorker2  = 2
+	rgnTenant   = 3
+	rgnClone    = 4
+	rgnChurn    = 5 // block/clean churn target
+)
+
+// Lifecycle returns the exhaustive-mode builder: three caller domains
+// with stepsPerActor steps each over one shared template enclave —
+// tenant lifecycle, snapshot/clone forking, and ring messaging. With 2
+// steps per actor the 6-step schedule space has 90 interleavings; with
+// 3, the 9-step space has 1680 (the nightly depth).
+func Lifecycle(stepsPerActor int) Builder {
+	return func(w *World) (*Script, error) {
+		if st := w.BuildMinimal("template", rgnTemplate); st != api.OK {
+			return nil, fmt.Errorf("mc: building template: %v", st)
+		}
+		tmpl := w.IDs["template"]
+		snapID, err := w.MetaPage("snap")
+		if err != nil {
+			return nil, err
+		}
+		cloneEID, err := w.MetaPage("clone")
+		if err != nil {
+			return nil, err
+		}
+		cloneTid, err := w.MetaPage("clone-tid")
+		if err != nil {
+			return nil, err
+		}
+		ringID, err := w.MetaPage("ring")
+		if err != nil {
+			return nil, err
+		}
+		stage, err := w.Sys.OS.StagePage()
+		if err != nil {
+			return nil, err
+		}
+		if err := w.Sys.OS.WriteOwned(stage, []byte("mc lifecycle ping")); err != nil {
+			return nil, err
+		}
+
+		tenant := Actor{Name: "tenant", Steps: []Step{
+			{Name: "create", Multi: true, Run: func(w *World) api.Error {
+				return w.BuildMinimal("tenant", rgnTenant)
+			}},
+			{Name: "delete", Run: func(w *World) api.Error {
+				return w.Call(api.CallDeleteEnclave, w.IDs["tenant"])
+			}},
+			{Name: "grant-pending", Run: func(w *World) api.Error {
+				return w.Call(api.CallGrantRegion, rgnChurn, tmpl)
+			}},
+		}}
+		forker := Actor{Name: "forker", Steps: []Step{
+			{Name: "snapshot", Run: func(w *World) api.Error {
+				return w.Call(api.CallSnapshotEnclave, tmpl, snapID)
+			}},
+			{Name: "clone", Multi: true, Run: func(w *World) api.Error {
+				if st := w.Retry(api.CallCreateEnclave, cloneEID, evBase, evMask); st != api.OK {
+					return st
+				}
+				if st := w.Retry(api.CallGrantRegion, rgnClone, cloneEID); st != api.OK {
+					return st
+				}
+				return w.Retry(api.CallCloneEnclave, cloneEID, snapID, cloneTid, 0)
+			}},
+			{Name: "release-snapshot", Run: func(w *World) api.Error {
+				return w.Call(api.CallReleaseSnapshot, snapID)
+			}},
+		}}
+		messenger := Actor{Name: "messenger", Steps: []Step{
+			{Name: "ring-create", Run: func(w *World) api.Error {
+				return w.Call(api.CallRingCreate, ringID, api.DomainOS, tmpl, 8)
+			}},
+			{Name: "ring-send", Run: func(w *World) api.Error {
+				return w.Call(api.CallRingSend, ringID, stage, 1)
+			}},
+			{Name: "ring-destroy", Run: func(w *World) api.Error {
+				return w.Call(api.CallRingDestroy, ringID)
+			}},
+		}}
+
+		s := &Script{Name: "lifecycle", Actors: []Actor{tenant, forker, messenger}}
+		for i := range s.Actors {
+			if stepsPerActor < 1 || stepsPerActor > len(s.Actors[i].Steps) {
+				return nil, fmt.Errorf("mc: lifecycle depth %d outside 1..%d",
+					stepsPerActor, len(s.Actors[i].Steps))
+			}
+			s.Actors[i].Steps = s.Actors[i].Steps[:stepsPerActor]
+		}
+		return s, nil
+	}
+}
+
+// Service is the random-mode builder: a full create / snapshot / clone
+// / ring / park / delete script. A real ring-echo worker enclave runs
+// on core 0 and parks on its request ring; the service actor sends,
+// resumes, receives, and finally destroys the rings out from under the
+// parked worker, while a tenant actor runs a snapshot/clone lifecycle
+// and a plumber actor churns regions and thread offers against the
+// worker. Every interleaving of the three domains must keep the
+// invariant suite green and tear down to zero.
+func Service(w *World) (*Script, error) {
+	l := enclaves.DefaultLayout()
+	spec, err := enclaves.Spec(l, enclaves.RingEchoServer(l), nil,
+		[]int{rgnTemplate, rgnWorker2}, nil)
+	if err != nil {
+		return nil, err
+	}
+	built, err := w.Sys.BuildEnclave(spec)
+	if err != nil {
+		return nil, err
+	}
+	worker, wtid := built.EID, built.TIDs[0]
+	w.IDs["worker"], w.IDs["worker-tid"] = worker, wtid
+	reqRing, err := w.MetaPage("req-ring")
+	if err != nil {
+		return nil, err
+	}
+	respRing, err := w.MetaPage("resp-ring")
+	if err != nil {
+		return nil, err
+	}
+	if st := w.Call(api.CallRingCreate, reqRing, api.DomainOS, worker, 8); st != api.OK {
+		return nil, fmt.Errorf("mc: creating request ring: %v", st)
+	}
+	if st := w.Call(api.CallRingCreate, respRing, worker, api.DomainOS, 8); st != api.OK {
+		return nil, fmt.Errorf("mc: creating response ring: %v", st)
+	}
+	snapID, err := w.MetaPage("snap")
+	if err != nil {
+		return nil, err
+	}
+	cloneEID, err := w.MetaPage("clone")
+	if err != nil {
+		return nil, err
+	}
+	cloneTid, err := w.MetaPage("clone-tid")
+	if err != nil {
+		return nil, err
+	}
+	xtid, err := w.MetaPage("spare-thread")
+	if err != nil {
+		return nil, err
+	}
+	stage, err := w.Sys.OS.StagePage()
+	if err != nil {
+		return nil, err
+	}
+	if err := w.Sys.OS.WriteOwned(stage, []byte("mc service request")); err != nil {
+		return nil, err
+	}
+	out, err := w.Sys.OS.AllocPagePA()
+	if err != nil {
+		return nil, err
+	}
+
+	// runWorker enters the worker on core 0 and runs until the monitor
+	// hands the core back (park, exit, or preemption), absorbing
+	// bounded enter-contention like any OS scheduler would.
+	runWorker := func(w *World) api.Error {
+		st := api.ErrRetry
+		for attempt := 0; attempt < 128 && st == api.ErrRetry; attempt++ {
+			st = w.Sys.OS.EnterEnclave(0, worker, wtid)
+		}
+		if st != api.OK {
+			return st
+		}
+		w.Sys.Machine.Run(0, 2_000_000)
+		return api.OK
+	}
+
+	service := Actor{Name: "service", Steps: []Step{
+		{Name: "park", Multi: true, Run: runWorker},
+		{Name: "send", Run: func(w *World) api.Error {
+			return w.Call(api.CallRingSend, reqRing, stage, 1)
+		}},
+		{Name: "resume", Multi: true, Run: runWorker},
+		{Name: "recv", Run: func(w *World) api.Error {
+			return w.Call(api.CallRingRecv, respRing, out, 8)
+		}},
+		{Name: "destroy-req", Run: func(w *World) api.Error {
+			return w.Call(api.CallRingDestroy, reqRing)
+		}},
+		{Name: "shutdown", Multi: true, Run: runWorker},
+		{Name: "destroy-resp", Run: func(w *World) api.Error {
+			return w.Call(api.CallRingDestroy, respRing)
+		}},
+	}}
+	tenant := Actor{Name: "tenant", Steps: []Step{
+		{Name: "build", Multi: true, Run: func(w *World) api.Error {
+			return w.BuildMinimal("t2", rgnTenant)
+		}},
+		{Name: "snapshot", Run: func(w *World) api.Error {
+			return w.Call(api.CallSnapshotEnclave, w.IDs["t2"], snapID)
+		}},
+		{Name: "clone", Multi: true, Run: func(w *World) api.Error {
+			if st := w.Retry(api.CallCreateEnclave, cloneEID, evBase, evMask); st != api.OK {
+				return st
+			}
+			if st := w.Retry(api.CallGrantRegion, rgnClone, cloneEID); st != api.OK {
+				return st
+			}
+			return w.Retry(api.CallCloneEnclave, cloneEID, snapID, cloneTid, 0)
+		}},
+		{Name: "delete-clone", Run: func(w *World) api.Error {
+			return w.Call(api.CallDeleteEnclave, cloneEID)
+		}},
+		{Name: "release-snapshot", Run: func(w *World) api.Error {
+			return w.Call(api.CallReleaseSnapshot, snapID)
+		}},
+		{Name: "delete-template", Run: func(w *World) api.Error {
+			return w.Call(api.CallDeleteEnclave, w.IDs["t2"])
+		}},
+	}}
+	plumber := Actor{Name: "plumber", Steps: []Step{
+		{Name: "block", Run: func(w *World) api.Error {
+			return w.Call(api.CallBlockRegion, rgnChurn)
+		}},
+		{Name: "clean", Run: func(w *World) api.Error {
+			return w.Call(api.CallCleanRegion, rgnChurn)
+		}},
+		{Name: "regrant", Run: func(w *World) api.Error {
+			// Lands while t2 is loading (direct), initialized
+			// (pending), or deleted (refused) — schedule-dependent.
+			return w.Call(api.CallGrantRegion, rgnChurn, w.IDs["t2"])
+		}},
+		{Name: "create-thread", Run: func(w *World) api.Error {
+			return w.Call(api.CallCreateThread, xtid)
+		}},
+		{Name: "offer-thread", Run: func(w *World) api.Error {
+			return w.Call(api.CallAssignThread, worker, xtid)
+		}},
+		{Name: "retract-thread", Run: func(w *World) api.Error {
+			return w.Call(api.CallUnassignThread, xtid)
+		}},
+		{Name: "delete-thread", Run: func(w *World) api.Error {
+			return w.Call(api.CallDeleteThread, xtid)
+		}},
+	}}
+	return &Script{Name: "service", Actors: []Actor{service, tenant, plumber}}, nil
+}

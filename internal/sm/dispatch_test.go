@@ -6,68 +6,18 @@ import (
 	"sanctorum/internal/sm/api"
 )
 
-// monSnapshot captures everything a refused call must leave untouched:
-// object-map populations, metadata-page accounting, per-region states,
-// the live OS bitmap, and per-core slot ownership.
-type monSnapshot struct {
-	enclaves, threads, metaPages int
-	snapshots                    int
-	pageRefs                     uint64
-	regions                      []struct {
-		state RegionState
-		owner uint64
-	}
-	osBitmap uint64
-	slots    []struct{ owner, tid uint64 }
-}
+// monSnapshot wraps the shared invariant suite (invariant.go): one
+// CaptureState/Equal implementation serves these sweeps, the
+// internal/mc interleaving explorer, and the adversary battery. The
+// full-fidelity capture strictly subsumes the old ad-hoc counts, so a
+// refused call that mutated any object field — not just map sizes —
+// now fails the error-leaves-state-untouched tests.
+type monSnapshot struct{ *StateSnapshot }
 
-func snapshot(mon *Monitor) monSnapshot {
-	mon.objMu.RLock()
-	s := monSnapshot{
-		enclaves:  len(mon.enclaves),
-		threads:   len(mon.threads),
-		metaPages: len(mon.metaPages),
-		snapshots: len(mon.snapshots),
-		pageRefs:  mon.machine.Mem.TotalRefs(),
-		osBitmap:  mon.osBitmap.Load(),
-	}
-	mon.objMu.RUnlock()
-	for r := range mon.regions {
-		rm := &mon.regions[r]
-		rm.mu.Lock()
-		s.regions = append(s.regions, struct {
-			state RegionState
-			owner uint64
-		}{rm.state, rm.owner})
-		rm.mu.Unlock()
-	}
-	for c := range mon.cores {
-		slot := &mon.cores[c]
-		slot.mu.Lock()
-		s.slots = append(s.slots, struct{ owner, tid uint64 }{slot.owner, slot.tid})
-		slot.mu.Unlock()
-	}
-	return s
-}
+func snapshot(mon *Monitor) monSnapshot { return monSnapshot{mon.CaptureState()} }
 
 func (s monSnapshot) equal(o monSnapshot) bool {
-	if s.enclaves != o.enclaves || s.threads != o.threads ||
-		s.metaPages != o.metaPages || s.osBitmap != o.osBitmap ||
-		s.snapshots != o.snapshots || s.pageRefs != o.pageRefs ||
-		len(s.regions) != len(o.regions) || len(s.slots) != len(o.slots) {
-		return false
-	}
-	for i := range s.regions {
-		if s.regions[i] != o.regions[i] {
-			return false
-		}
-	}
-	for i := range s.slots {
-		if s.slots[i] != o.slots[i] {
-			return false
-		}
-	}
-	return true
+	return s.StateSnapshot.Equal(o.StateSnapshot)
 }
 
 // osOnlyCalls and enclaveOnlyCalls enumerate the single-domain halves

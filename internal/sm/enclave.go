@@ -153,7 +153,11 @@ func (e *Enclave) InEvrange(va uint64) bool {
 func (e *Enclave) accessRegions() dram.Bitmap { return e.Regions | e.Borrowed }
 
 // lookupEnclave fetches and transaction-locks an enclave; contention on
-// the enclave's lock fails the transaction with ErrRetry (§V-A).
+// the enclave's lock fails the transaction with ErrRetry (§V-A). The
+// dead re-check closes the lookup/free race: a hart that fetched the
+// pointer before a concurrent delete removed it must not operate on
+// the orphaned object — a ring could attach to a deleted enclave and
+// survive into a recreated one under the same eid.
 func (mon *Monitor) lookupEnclave(eid uint64) (*Enclave, api.Error) {
 	mon.objMu.RLock()
 	e := mon.enclaves[eid]
@@ -161,8 +165,12 @@ func (mon *Monitor) lookupEnclave(eid uint64) (*Enclave, api.Error) {
 	if e == nil {
 		return nil, api.ErrInvalidValue
 	}
-	if !e.mu.TryLock() {
+	if !mon.tryLock(&e.mu, LockEnclave, eid) {
 		return nil, api.ErrRetry
+	}
+	if e.State == EnclaveDead {
+		e.mu.Unlock()
+		return nil, api.ErrInvalidValue
 	}
 	return e, api.OK
 }
@@ -434,7 +442,7 @@ func (mon *Monitor) deleteEnclave(eid uint64) api.Error {
 		snap = mon.snapshots[e.CloneOf]
 		mon.objMu.RUnlock()
 		if snap != nil {
-			if !snap.mu.TryLock() {
+			if !mon.tryLock(&snap.mu, LockSnapshot, e.CloneOf) {
 				return api.ErrRetry
 			}
 			defer snap.mu.Unlock()
@@ -451,18 +459,45 @@ func (mon *Monitor) deleteEnclave(eid uint64) api.Error {
 		}
 	}
 	for _, th := range e.Threads {
-		if !th.mu.TryLock() {
+		if !mon.tryLock(&th.mu, LockThread, th.ID) {
 			unlockAll()
 			return api.ErrRetry
 		}
 		lockedThreads = append(lockedThreads, th)
+	}
+	// Threads offered to this enclave are not yet in e.Threads, but
+	// their Owner field names it; leaving that dangling would let a new
+	// enclave recreated under the freed eid accept_thread a thread the
+	// dead tenant was offered. Scan the global table — membership is
+	// checked under each thread's own lock (Owner is thread state), and
+	// holding e.mu excludes new offers racing the scan.
+	mon.objMu.RLock()
+	others := make([]*Thread, 0, len(mon.threads))
+	for tid, th := range mon.threads {
+		if _, mine := e.Threads[tid]; !mine {
+			others = append(others, th)
+		}
+	}
+	mon.objMu.RUnlock()
+	var offered []*Thread
+	for _, th := range others {
+		if !mon.tryLock(&th.mu, LockThread, th.ID) {
+			unlockAll()
+			return api.ErrRetry
+		}
+		if th.State == ThreadOffered && th.Owner == eid {
+			offered = append(offered, th)
+			lockedThreads = append(lockedThreads, th)
+		} else {
+			th.mu.Unlock()
+		}
 	}
 	// Every region lock, owned or pending, before the first mutation. A
 	// contended region — even one that turns out not to involve this
 	// enclave — fails the delete; conservative, and the caller retries.
 	for r := range mon.regions {
 		rm := &mon.regions[r]
-		if !rm.mu.TryLock() {
+		if !mon.tryLock(&rm.mu, LockRegion, uint64(r)) {
 			unlockAll()
 			return api.ErrRetry
 		}
@@ -480,7 +515,11 @@ func (mon *Monitor) deleteEnclave(eid uint64) api.Error {
 	for _, r := range lockedRegions {
 		rm := &mon.regions[r]
 		if e.Regions.Has(r) {
-			rm.state = RegionBlocked
+			// Ownership reverts to the OS pool at block time (the owner
+			// field has no meaning once the bitmap link is severed, and a
+			// blocked region must never name a dead enclave); the secrets
+			// stay sealed until clean_region scrubs the region.
+			rm.state, rm.owner = RegionBlocked, api.DomainOS
 		} else if rm.state == RegionPending && rm.owner == eid {
 			rm.state, rm.owner = RegionOwned, api.DomainOS
 			mon.setOSOwned(r, true)
@@ -508,6 +547,11 @@ func (mon *Monitor) deleteEnclave(eid uint64) api.Error {
 		th.Owner = 0
 		th.clearContext()
 		delete(e.Threads, tid)
+	}
+	for _, th := range offered {
+		th.State = ThreadAvailable
+		th.Owner = 0
+		th.clearContext()
 	}
 	delete(mon.enclaves, eid)
 	mon.freeMetaPage(eid)

@@ -1,0 +1,530 @@
+package sm
+
+// Shared invariant suite (DESIGN.md §10). CaptureState copies every
+// piece of monitor state a refused call must leave untouched into a
+// plain-data StateSnapshot, and Monitor.CheckInvariants validates the
+// global consistency conditions the lifecycle state machine promises:
+// metadata-page accounting, region-ownership partition, refcount sums,
+// the no-writable-while-COW rule, ring waiter liveness, and the
+// thread/enclave/core cross-references. One suite serves three
+// consumers — dispatch_test's error-leaves-state-untouched sweeps, the
+// internal/mc interleaving explorer, and the adversary battery —
+// replacing the ad-hoc per-test copies the PR 3 fuzz harness grew.
+//
+// Both entry points require a quiescent monitor: no hart is mutating
+// monitor state and no core is mid-run. Each object's lock is taken
+// opportunistically while copying; a lock a contention test holds (to
+// simulate "another hart" pinning a transaction) is skipped and the
+// object read directly — the holder is, by the quiescence contract,
+// not writing.
+
+import (
+	"fmt"
+	"reflect"
+	"sort"
+	"sync"
+
+	"sanctorum/internal/hw/dram"
+	"sanctorum/internal/hw/mem"
+	"sanctorum/internal/hw/pt"
+	"sanctorum/internal/sm/api"
+)
+
+// EnclaveShot is one enclave's invariant-relevant state.
+type EnclaveShot struct {
+	State       EnclaveState
+	Regions     dram.Bitmap
+	Borrowed    dram.Bitmap
+	RootPPN     uint64
+	Measurement [32]byte
+	Running     int
+	CloneOf     uint64
+	SnapID      uint64 // live snapshot frozen over this template (0 = none)
+	LoadCursor  int
+	Threads     []uint64
+	Mapped      []uint64
+	COW         map[uint64]uint64 // va -> frozen ppn still aliased
+	ROAliases   []uint64
+	Mailboxes   [api.MailboxesPerEnclave]Mailbox
+}
+
+// ThreadShot is one thread's invariant-relevant state.
+type ThreadShot struct {
+	State    ThreadState
+	Owner    uint64
+	EntryPC  uint64
+	EntrySP  uint64
+	CoreID   int
+	AEXValid bool
+}
+
+// SnapshotShot is one snapshot's invariant-relevant state.
+type SnapshotShot struct {
+	TemplateID uint64
+	Meas       [32]byte
+	Regions    dram.Bitmap
+	Pages      int
+	Clones     int
+}
+
+// RingShot is one ring's invariant-relevant state.
+type RingShot struct {
+	Producer  uint64
+	Consumer  uint64
+	Capacity  int
+	Count     int
+	WaiterEID uint64
+	WaiterTID uint64
+}
+
+// RegionShot is one DRAM region's state and owner.
+type RegionShot struct {
+	State RegionState
+	Owner uint64
+}
+
+// CoreShot is one core slot's scheduled domain.
+type CoreShot struct {
+	Owner uint64
+	TID   uint64
+}
+
+// StateSnapshot is a moment-in-time copy of the monitor's entire
+// security state machine, in plain comparable data.
+type StateSnapshot struct {
+	Enclaves  map[uint64]EnclaveShot
+	Threads   map[uint64]ThreadShot
+	Snapshots map[uint64]SnapshotShot
+	Rings     map[uint64]RingShot
+	MetaPages []uint64
+	Regions   []RegionShot
+	Cores     []CoreShot
+	OSBitmap  uint64
+	PageRefs  uint64
+}
+
+func sortedU64(m map[uint64]bool) []uint64 {
+	out := make([]uint64, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// snapLock acquires mu if it is free and returns the matching release;
+// a held lock (a pinned contention-test transaction) is left alone and
+// the caller reads the quiescent object directly.
+func snapLock(mu *sync.Mutex) func() {
+	if mu.TryLock() {
+		return mu.Unlock
+	}
+	return func() {}
+}
+
+// CaptureState snapshots the monitor's full state (see the package
+// comment above for the quiescence contract).
+func (mon *Monitor) CaptureState() *StateSnapshot {
+	s := &StateSnapshot{
+		Enclaves:  make(map[uint64]EnclaveShot),
+		Threads:   make(map[uint64]ThreadShot),
+		Snapshots: make(map[uint64]SnapshotShot),
+		Rings:     make(map[uint64]RingShot),
+	}
+	// Collect object pointers under objMu, then copy each under its own
+	// lock — never both at once (deleteEnclave holds object locks while
+	// taking objMu, so nesting the other way could deadlock).
+	mon.objMu.RLock()
+	s.MetaPages = sortedU64(mon.metaPages)
+	enclaves := make(map[uint64]*Enclave, len(mon.enclaves))
+	for id, e := range mon.enclaves {
+		enclaves[id] = e
+	}
+	threads := make(map[uint64]*Thread, len(mon.threads))
+	for id, t := range mon.threads {
+		threads[id] = t
+	}
+	snapshots := make(map[uint64]*Snapshot, len(mon.snapshots))
+	for id, sn := range mon.snapshots {
+		snapshots[id] = sn
+	}
+	rings := make(map[uint64]*Ring, len(mon.rings))
+	for id, r := range mon.rings {
+		rings[id] = r
+	}
+	mon.objMu.RUnlock()
+
+	for id, e := range enclaves {
+		unlock := snapLock(&e.mu)
+		shot := EnclaveShot{
+			State: e.State, Regions: e.Regions, Borrowed: e.Borrowed,
+			RootPPN: e.RootPPN, Measurement: e.Measurement,
+			Running: e.running, CloneOf: e.CloneOf,
+			LoadCursor: e.loadCursor, Mailboxes: e.Mailboxes,
+			Mapped: sortedU64(e.mapped),
+		}
+		if e.snap != nil {
+			shot.SnapID = e.snap.ID
+		}
+		for tid := range e.Threads {
+			shot.Threads = append(shot.Threads, tid)
+		}
+		sort.Slice(shot.Threads, func(i, j int) bool { return shot.Threads[i] < shot.Threads[j] })
+		if len(e.cow) > 0 {
+			shot.COW = make(map[uint64]uint64, len(e.cow))
+			for va, pg := range e.cow {
+				shot.COW[va] = pg.ppn
+			}
+		}
+		shot.ROAliases = append([]uint64(nil), e.roAliases...)
+		sort.Slice(shot.ROAliases, func(i, j int) bool { return shot.ROAliases[i] < shot.ROAliases[j] })
+		unlock()
+		s.Enclaves[id] = shot
+	}
+	for id, t := range threads {
+		unlock := snapLock(&t.mu)
+		s.Threads[id] = ThreadShot{State: t.State, Owner: t.Owner,
+			EntryPC: t.EntryPC, EntrySP: t.EntrySP, CoreID: t.CoreID, AEXValid: t.AEXValid}
+		unlock()
+	}
+	for id, sn := range snapshots {
+		unlock := snapLock(&sn.mu)
+		s.Snapshots[id] = SnapshotShot{TemplateID: sn.TemplateID, Meas: sn.Meas,
+			Regions: sn.Regions, Pages: len(sn.pages), Clones: sn.clones}
+		unlock()
+	}
+	for id, r := range rings {
+		unlock := snapLock(&r.mu)
+		s.Rings[id] = RingShot{Producer: r.Producer, Consumer: r.Consumer,
+			Capacity: len(r.slots), Count: r.count,
+			WaiterEID: r.waiterEID, WaiterTID: r.waiterTID}
+		unlock()
+	}
+	for i := range mon.regions {
+		rm := &mon.regions[i]
+		unlock := snapLock(&rm.mu)
+		s.Regions = append(s.Regions, RegionShot{State: rm.state, Owner: rm.owner})
+		unlock()
+	}
+	for i := range mon.cores {
+		slot := &mon.cores[i]
+		unlock := snapLock(&slot.mu)
+		s.Cores = append(s.Cores, CoreShot{Owner: slot.owner, TID: slot.tid})
+		unlock()
+	}
+	s.OSBitmap = mon.osBitmap.Load()
+	s.PageRefs = mon.machine.Mem.TotalRefs()
+	return s
+}
+
+// Equal reports whether two snapshots are bit-identical.
+func (s *StateSnapshot) Equal(o *StateSnapshot) bool { return reflect.DeepEqual(s, o) }
+
+// Diff names the first top-level sections where two snapshots differ,
+// for failure messages.
+func (s *StateSnapshot) Diff(o *StateSnapshot) string {
+	av, bv := reflect.ValueOf(*s), reflect.ValueOf(*o)
+	t := av.Type()
+	var out []string
+	for i := 0; i < t.NumField(); i++ {
+		if !reflect.DeepEqual(av.Field(i).Interface(), bv.Field(i).Interface()) {
+			out = append(out, fmt.Sprintf("%s: %+v != %+v",
+				t.Field(i).Name, av.Field(i).Interface(), bv.Field(i).Interface()))
+		}
+	}
+	if len(out) == 0 {
+		return "no difference"
+	}
+	return fmt.Sprintf("%d field(s) differ: %v", len(out), out)
+}
+
+// CheckInvariants validates the monitor's global consistency
+// conditions against a fresh capture, returning the first violation
+// found (nil when all hold). Same quiescence contract as CaptureState.
+func (mon *Monitor) CheckInvariants() error {
+	s := mon.CaptureState()
+
+	// Metadata accounting: the allocated page set is exactly the union
+	// of the four object-id spaces, each page SM-owned.
+	ids := make(map[uint64]string)
+	claim := func(id uint64, kind string) error {
+		if prev, dup := ids[id]; dup {
+			return fmt.Errorf("metadata page %#x claimed by both %s and %s", id, prev, kind)
+		}
+		ids[id] = kind
+		return nil
+	}
+	for id := range s.Enclaves {
+		if err := claim(id, "enclave"); err != nil {
+			return err
+		}
+	}
+	for id := range s.Threads {
+		if err := claim(id, "thread"); err != nil {
+			return err
+		}
+	}
+	for id := range s.Snapshots {
+		if err := claim(id, "snapshot"); err != nil {
+			return err
+		}
+	}
+	for id := range s.Rings {
+		if err := claim(id, "ring"); err != nil {
+			return err
+		}
+	}
+	if len(ids) != len(s.MetaPages) {
+		return fmt.Errorf("metadata pages %d != live objects %d (leak or orphan)",
+			len(s.MetaPages), len(ids))
+	}
+	layout := mon.machine.DRAM
+	for _, pa := range s.MetaPages {
+		kind, ok := ids[pa]
+		if !ok {
+			return fmt.Errorf("metadata page %#x has no owning object", pa)
+		}
+		r := layout.RegionOf(pa)
+		if pa&mem.PageMask != 0 || r < 0 || s.Regions[r].Owner != api.DomainSM {
+			return fmt.Errorf("%s metadata page %#x not in SM-owned memory", kind, pa)
+		}
+	}
+
+	// Region partition: the live OS bitmap matches the locked states,
+	// owned-by-enclave regions and enclave bitmaps cross-reference
+	// exactly, and pending grants name live enclaves.
+	for r, rm := range s.Regions {
+		osOwned := rm.State == RegionOwned && rm.Owner == api.DomainOS
+		if osOwned != (s.OSBitmap&(1<<uint(r)) != 0) {
+			return fmt.Errorf("region %d: osBitmap bit %v but state %v/%#x",
+				r, !osOwned, rm.State, rm.Owner)
+		}
+		if rm.State == RegionBlocked && rm.Owner != api.DomainOS {
+			return fmt.Errorf("region %d blocked but owner %#x (must revert to OS)", r, rm.Owner)
+		}
+		if rm.Owner != api.DomainOS && rm.Owner != api.DomainSM {
+			e, live := s.Enclaves[rm.Owner]
+			if !live {
+				return fmt.Errorf("region %d %v by dead enclave %#x", r, rm.State, rm.Owner)
+			}
+			if rm.State == RegionOwned && !e.Regions.Has(r) {
+				return fmt.Errorf("region %d owned by %#x but not in its bitmap", r, rm.Owner)
+			}
+		}
+	}
+	for eid, e := range s.Enclaves {
+		for _, r := range e.Regions.Regions() {
+			if s.Regions[r].State != RegionOwned || s.Regions[r].Owner != eid {
+				return fmt.Errorf("enclave %#x claims region %d held as %v/%#x",
+					eid, r, s.Regions[r].State, s.Regions[r].Owner)
+			}
+		}
+	}
+
+	// Refcount sum: every physical reference is either a snapshot's
+	// frozen-page hold or a clone's live alias (COW or read-only).
+	var want uint64
+	for _, sn := range s.Snapshots {
+		want += uint64(sn.Pages)
+	}
+	for _, e := range s.Enclaves {
+		if e.CloneOf != 0 {
+			want += uint64(len(e.COW) + len(e.ROAliases))
+		}
+	}
+	if s.PageRefs != want {
+		return fmt.Errorf("page refcounts %d, want %d (snapshots + clone aliases)",
+			s.PageRefs, want)
+	}
+
+	// Enclave lifecycle, thread cross-references, snapshot linkage.
+	for eid, e := range s.Enclaves {
+		if e.State != EnclaveLoading && e.State != EnclaveInitialized {
+			return fmt.Errorf("enclave %#x in map with state %v", eid, e.State)
+		}
+		running := 0
+		for _, tid := range e.Threads {
+			t, live := s.Threads[tid]
+			if !live {
+				return fmt.Errorf("enclave %#x lists dead thread %#x", eid, tid)
+			}
+			if t.Owner != eid || (t.State != ThreadAssigned && t.State != ThreadRunning) {
+				return fmt.Errorf("enclave %#x lists thread %#x in state %v owner %#x",
+					eid, tid, t.State, t.Owner)
+			}
+			if t.State == ThreadRunning {
+				running++
+			}
+		}
+		if running != e.Running {
+			return fmt.Errorf("enclave %#x running=%d but %d threads on cores", eid, e.Running, running)
+		}
+		if e.CloneOf != 0 {
+			sn, live := s.Snapshots[e.CloneOf]
+			if !live {
+				return fmt.Errorf("clone %#x of dead snapshot %#x", eid, e.CloneOf)
+			}
+			if e.Borrowed != sn.Regions {
+				return fmt.Errorf("clone %#x borrows %v, snapshot covers %v", eid, e.Borrowed, sn.Regions)
+			}
+		}
+		if e.SnapID != 0 {
+			if sn, live := s.Snapshots[e.SnapID]; !live || sn.TemplateID != eid {
+				return fmt.Errorf("template %#x names snapshot %#x which does not point back", eid, e.SnapID)
+			}
+		}
+	}
+	for tid, t := range s.Threads {
+		if (t.State == ThreadAvailable) != (t.Owner == 0) {
+			return fmt.Errorf("thread %#x state %v with owner %#x", tid, t.State, t.Owner)
+		}
+		if t.Owner != 0 {
+			e, live := s.Enclaves[t.Owner]
+			if !live {
+				return fmt.Errorf("thread %#x owned by dead enclave %#x", tid, t.Owner)
+			}
+			member := false
+			for _, m := range e.Threads {
+				member = member || m == tid
+			}
+			if member == (t.State == ThreadOffered) {
+				return fmt.Errorf("thread %#x state %v, enclave membership %v", tid, t.State, member)
+			}
+		}
+		if t.State == ThreadRunning {
+			if t.CoreID < 0 || t.CoreID >= len(s.Cores) ||
+				s.Cores[t.CoreID].Owner != t.Owner || s.Cores[t.CoreID].TID != tid {
+				return fmt.Errorf("running thread %#x not scheduled on its core %d", tid, t.CoreID)
+			}
+		}
+	}
+	for snapID, sn := range s.Snapshots {
+		tpl, live := s.Enclaves[sn.TemplateID]
+		if !live || tpl.SnapID != snapID || tpl.CloneOf != 0 {
+			return fmt.Errorf("snapshot %#x template %#x broken linkage", snapID, sn.TemplateID)
+		}
+		if sn.Regions&^tpl.Regions != 0 {
+			return fmt.Errorf("snapshot %#x covers regions %v outside template's %v",
+				snapID, sn.Regions, tpl.Regions)
+		}
+		clones := 0
+		for _, e := range s.Enclaves {
+			if e.CloneOf == snapID {
+				clones++
+			}
+		}
+		if clones != sn.Clones {
+			return fmt.Errorf("snapshot %#x records %d clones, found %d", snapID, sn.Clones, clones)
+		}
+	}
+
+	// Rings: endpoints and parked waiters must name live objects, and a
+	// registered waiter implies the ring was empty when it parked (every
+	// enqueue and wake pops the waiter) — a non-empty ring holding one
+	// is a lost wake.
+	for id, r := range s.Rings {
+		for _, who := range []uint64{r.Producer, r.Consumer} {
+			if who != api.DomainOS {
+				if _, live := s.Enclaves[who]; !live {
+					return fmt.Errorf("ring %#x endpoint %#x is dead", id, who)
+				}
+			}
+		}
+		if r.WaiterTID != 0 {
+			t, live := s.Threads[r.WaiterTID]
+			if !live || t.Owner != r.WaiterEID || r.WaiterEID != r.Consumer {
+				return fmt.Errorf("ring %#x waiter %#x/%#x is orphaned", id, r.WaiterEID, r.WaiterTID)
+			}
+			if r.Count > 0 {
+				return fmt.Errorf("ring %#x holds %d messages with a registered waiter (lost wake)",
+					id, r.Count)
+			}
+		}
+	}
+	for c, slot := range s.Cores {
+		if slot.Owner == api.DomainOS {
+			if slot.TID != 0 {
+				return fmt.Errorf("core %d OS-owned with tid %#x", c, slot.TID)
+			}
+			continue
+		}
+		t, live := s.Threads[slot.TID]
+		if _, elive := s.Enclaves[slot.Owner]; !elive || !live ||
+			t.State != ThreadRunning || t.Owner != slot.Owner || t.CoreID != c {
+			return fmt.Errorf("core %d scheduled for %#x/%#x inconsistently", c, slot.Owner, slot.TID)
+		}
+	}
+
+	return mon.checkPageTables()
+}
+
+// checkPageTables walks every enclave's live leaf PTEs to enforce the
+// copy-on-write rule: no page is simultaneously writable-by-PTE and
+// COW-marked, every recorded COW alias has its W bit cleared and its
+// frozen page marked, and snapshot frozen pages are marked while the
+// snapshot lives.
+func (mon *Monitor) checkPageTables() error {
+	mon.objMu.RLock()
+	enclaves := make([]*Enclave, 0, len(mon.enclaves))
+	for _, e := range mon.enclaves {
+		enclaves = append(enclaves, e)
+	}
+	snapshots := make([]*Snapshot, 0, len(mon.snapshots))
+	for _, sn := range mon.snapshots {
+		snapshots = append(snapshots, sn)
+	}
+	mon.objMu.RUnlock()
+	for _, e := range enclaves {
+		unlock := snapLock(&e.mu)
+		err := func() error {
+			for va := range e.mapped {
+				if !e.InEvrange(va) {
+					continue // shared windows map OS pages, never COW
+				}
+				pteAddr, ok := mon.leafPTEAddr(e, va)
+				if !ok {
+					continue
+				}
+				pte, lerr := mon.machine.Mem.Load(pteAddr, 8)
+				if lerr != nil || pte&pt.V == 0 {
+					continue
+				}
+				pa := pt.PPNOf(pte) << mem.PageBits
+				if pte&pt.W != 0 && mon.machine.Mem.IsCOW(pa) {
+					return fmt.Errorf("enclave %#x va %#x: PTE writable on COW-marked page %#x",
+						e.ID, va, pa)
+				}
+				if pg, frozen := e.cow[va]; frozen {
+					if pte&pt.W != 0 {
+						return fmt.Errorf("enclave %#x va %#x: COW alias with W set", e.ID, va)
+					}
+					if !mon.machine.Mem.IsCOW(pg.ppn << mem.PageBits) {
+						return fmt.Errorf("enclave %#x va %#x: frozen page %#x not COW-marked",
+							e.ID, va, pg.ppn)
+					}
+				}
+			}
+			return nil
+		}()
+		unlock()
+		if err != nil {
+			return err
+		}
+	}
+	for _, sn := range snapshots {
+		unlock := snapLock(&sn.mu)
+		pages := append([]snapPage(nil), sn.pages...)
+		id := sn.ID
+		unlock()
+		for _, pg := range pages {
+			pa := pg.ppn << mem.PageBits
+			if !mon.machine.Mem.IsCOW(pa) {
+				return fmt.Errorf("snapshot %#x frozen page %#x lost its COW mark", id, pa)
+			}
+			if mon.machine.Mem.PageRefs(pa) == 0 {
+				return fmt.Errorf("snapshot %#x frozen page %#x has zero refs", id, pa)
+			}
+		}
+	}
+	return nil
+}

@@ -46,7 +46,7 @@ func (mon *Monitor) acceptMail(e *Enclave, idx int, expectedSender uint64) api.E
 	if idx < 0 || idx >= len(e.Mailboxes) {
 		return api.ErrInvalidValue
 	}
-	if !e.mu.TryLock() {
+	if !mon.tryLock(&e.mu, LockEnclave, e.ID) {
 		return api.ErrRetry
 	}
 	defer e.mu.Unlock()
@@ -108,7 +108,7 @@ func (mon *Monitor) getMail(e *Enclave, idx int) ([]byte, [32]byte, api.Error) {
 	if idx < 0 || idx >= len(e.Mailboxes) {
 		return nil, zero, api.ErrInvalidValue
 	}
-	if !e.mu.TryLock() {
+	if !mon.tryLock(&e.mu, LockEnclave, e.ID) {
 		return nil, zero, api.ErrRetry
 	}
 	defer e.mu.Unlock()

@@ -137,6 +137,28 @@ type Monitor struct {
 	// owner==DomainOS), maintained atomically by region transactions so
 	// the DMA filter and ownership checks read it without locking.
 	osBitmap atomic.Uint64
+
+	// lockHook is the optional transaction-lock fault hook (fault.go),
+	// consulted by tryLock before every TryLock acquisition.
+	lockHook lockHookPtr
+}
+
+// lockFault consults the fault hook (fault.go) for one acquisition;
+// true means the acquisition must fail spuriously.
+func (mon *Monitor) lockFault(kind LockKind, id uint64) bool {
+	h := mon.lockHook.Load()
+	return h != nil && (*h)(LockPoint{Kind: kind, ID: id})
+}
+
+// tryLock is the transaction layer's single TryLock choke point: every
+// §V-A transaction-lock acquisition routes through it so the fault
+// hook can observe or refuse any acquisition. The fast path with no
+// hook installed is one atomic nil check.
+func (mon *Monitor) tryLock(mu *sync.Mutex, kind LockKind, id uint64) bool {
+	if mon.lockFault(kind, id) {
+		return false
+	}
+	return mu.TryLock()
 }
 
 // coreSlot tracks which protection domain a core currently executes.

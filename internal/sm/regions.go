@@ -36,7 +36,7 @@ func (mon *Monitor) regionInfo(r int) (RegionState, uint64, api.Error) {
 		return 0, 0, api.ErrInvalidValue
 	}
 	rm := &mon.regions[r]
-	if !rm.mu.TryLock() {
+	if !mon.tryLock(&rm.mu, LockRegion, uint64(r)) {
 		return 0, 0, api.ErrRetry
 	}
 	defer rm.mu.Unlock()
@@ -53,7 +53,7 @@ func (mon *Monitor) grantRegion(r int, newOwner uint64) api.Error {
 		return api.ErrInvalidValue
 	}
 	rm := &mon.regions[r]
-	if !rm.mu.TryLock() {
+	if !mon.tryLock(&rm.mu, LockRegion, uint64(r)) {
 		return api.ErrRetry
 	}
 	defer rm.mu.Unlock()
@@ -87,7 +87,7 @@ func (mon *Monitor) grantRegion(r int, newOwner uint64) api.Error {
 		if e == nil {
 			return api.ErrInvalidValue
 		}
-		if !e.mu.TryLock() {
+		if !mon.tryLock(&e.mu, LockEnclave, newOwner) {
 			return api.ErrRetry
 		}
 		defer e.mu.Unlock()
@@ -122,7 +122,7 @@ func (mon *Monitor) blockRegionAs(owner uint64, r int) api.Error {
 		return api.ErrInvalidValue
 	}
 	rm := &mon.regions[r]
-	if !rm.mu.TryLock() {
+	if !mon.tryLock(&rm.mu, LockRegion, uint64(r)) {
 		return api.ErrRetry
 	}
 	defer rm.mu.Unlock()
@@ -134,7 +134,7 @@ func (mon *Monitor) blockRegionAs(owner uint64, r int) api.Error {
 		e = mon.enclaves[owner]
 		mon.objMu.RUnlock()
 		if e != nil {
-			if !e.mu.TryLock() {
+			if !mon.tryLock(&e.mu, LockEnclave, owner) {
 				return api.ErrRetry
 			}
 			defer e.mu.Unlock()
@@ -151,7 +151,11 @@ func (mon *Monitor) blockRegionAs(owner uint64, r int) api.Error {
 		// cannot leave the template until the snapshot is released.
 		return api.ErrInvalidState
 	}
-	rm.state = RegionBlocked
+	// Ownership reverts to the OS pool immediately: nothing reads the
+	// old owner once the state is Blocked (clean_region resets it
+	// anyway), and leaving it would let a region name an enclave that
+	// has since been deleted.
+	rm.state, rm.owner = RegionBlocked, api.DomainOS
 	if owner == api.DomainOS {
 		mon.setOSOwned(r, false)
 	}
@@ -175,7 +179,7 @@ func (mon *Monitor) cleanRegion(r int) api.Error {
 		return api.ErrInvalidValue
 	}
 	rm := &mon.regions[r]
-	if !rm.mu.TryLock() {
+	if !mon.tryLock(&rm.mu, LockRegion, uint64(r)) {
 		return api.ErrRetry
 	}
 	defer rm.mu.Unlock()
@@ -207,11 +211,11 @@ func (mon *Monitor) acceptRegion(e *Enclave, r int) api.Error {
 		return api.ErrInvalidValue
 	}
 	rm := &mon.regions[r]
-	if !rm.mu.TryLock() {
+	if !mon.tryLock(&rm.mu, LockRegion, uint64(r)) {
 		return api.ErrRetry
 	}
 	defer rm.mu.Unlock()
-	if !e.mu.TryLock() {
+	if !mon.tryLock(&e.mu, LockEnclave, e.ID) {
 		return api.ErrRetry
 	}
 	defer e.mu.Unlock()

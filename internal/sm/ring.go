@@ -86,7 +86,7 @@ func (mon *Monitor) lookupRing(id uint64) (*Ring, api.Error) {
 	if r == nil {
 		return nil, api.ErrInvalidValue
 	}
-	if !r.mu.TryLock() {
+	if !mon.tryLock(&r.mu, LockRing, id) {
 		return nil, api.ErrRetry
 	}
 	if r.dead {

@@ -55,6 +55,30 @@ type Snapshot struct {
 	threads []threadTemplate
 
 	clones int
+	dead   bool // set by release under mu; a racing lookup re-checks
+}
+
+// lookupSnapshot fetches and transaction-locks a snapshot; contention
+// fails with ErrRetry (§V-A). The dead re-check closes the lookup/free
+// race: a clone_enclave that fetched the pointer before a concurrent
+// release removed it must not fork from the dissolved snapshot — the
+// template has already thawed, so the "frozen" pages it would alias
+// are writable again, which breaks clone isolation.
+func (mon *Monitor) lookupSnapshot(snapID uint64) (*Snapshot, api.Error) {
+	mon.objMu.RLock()
+	snap := mon.snapshots[snapID]
+	mon.objMu.RUnlock()
+	if snap == nil {
+		return nil, api.ErrInvalidValue
+	}
+	if !mon.tryLock(&snap.mu, LockSnapshot, snapID) {
+		return nil, api.ErrRetry
+	}
+	if snap.dead {
+		snap.mu.Unlock()
+		return nil, api.ErrInvalidValue
+	}
+	return snap, api.OK
 }
 
 // tableSlot records one page-table page of the template in canonical
@@ -113,7 +137,7 @@ func (mon *Monitor) snapshotEnclave(eid, snapID uint64) api.Error {
 	var threads []threadTemplate
 	for _, tid := range tids {
 		t := e.Threads[tid]
-		if !t.mu.TryLock() {
+		if !mon.tryLock(&t.mu, LockThread, tid) {
 			return api.ErrRetry
 		}
 		if t.State == ThreadAssigned {
@@ -249,14 +273,9 @@ func (mon *Monitor) cloneEnclave(eid, snapID, tidBase, sharedPA uint64) api.Erro
 		return api.ErrInvalidState // clone only into an untouched enclave
 	}
 
-	mon.objMu.RLock()
-	snap := mon.snapshots[snapID]
-	mon.objMu.RUnlock()
-	if snap == nil {
-		return api.ErrInvalidValue
-	}
-	if !snap.mu.TryLock() {
-		return api.ErrRetry
+	snap, st := mon.lookupSnapshot(snapID)
+	if st != api.OK {
+		return st
 	}
 	defer snap.mu.Unlock()
 
@@ -379,14 +398,9 @@ func parentPTEChild(ppn uint64) uint64 { return ppn }
 // aliased copy-on-write gets its W bit back — and the snapshot's page
 // references drop, returning the refcounts to baseline.
 func (mon *Monitor) releaseSnapshot(snapID uint64) api.Error {
-	mon.objMu.RLock()
-	snap := mon.snapshots[snapID]
-	mon.objMu.RUnlock()
-	if snap == nil {
-		return api.ErrInvalidValue
-	}
-	if !snap.mu.TryLock() {
-		return api.ErrRetry
+	snap, st := mon.lookupSnapshot(snapID)
+	if st != api.OK {
+		return st
 	}
 	defer snap.mu.Unlock()
 	if snap.clones > 0 {
@@ -417,6 +431,7 @@ func (mon *Monitor) releaseSnapshot(snapID uint64) api.Error {
 		mon.machine.Mem.ReleaseRef(pa)
 	}
 	e.snap = nil
+	snap.dead = true
 
 	mon.objMu.Lock()
 	delete(mon.snapshots, snapID)
@@ -477,7 +492,7 @@ func (mon *Monitor) resolveCOWLocked(e *Enclave, vaPage uint64) bool {
 // memory and never consult a TLB.
 func (mon *Monitor) resolveCOWForWrite(e *Enclave, va uint64) bool {
 	vaPage := va &^ uint64(mem.PageMask)
-	if !e.mu.TryLock() {
+	if !mon.tryLock(&e.mu, LockEnclave, e.ID) {
 		return false
 	}
 	resolved := mon.resolveCOWLocked(e, vaPage)
@@ -509,7 +524,7 @@ func (mon *Monitor) cowFault(c *machine.Core, slot slotView, tr *isa.Trap) (mach
 		return 0, false
 	}
 	vaPage := tr.Value &^ uint64(mem.PageMask)
-	if !e.mu.TryLock() {
+	if !mon.tryLock(&e.mu, LockEnclave, slot.owner) {
 		return 0, false // contended: AEX; the OS re-enters and the store retries
 	}
 	defer e.mu.Unlock()

@@ -46,6 +46,7 @@ type Thread struct {
 	ID    uint64
 	State ThreadState
 	Owner uint64 // owning eid when offered/assigned/running
+	dead  bool   // set by delete_thread under mu; a racing lookup re-checks
 
 	EntryPC uint64
 	EntrySP uint64
@@ -77,7 +78,10 @@ func (t *Thread) clearContext() {
 }
 
 // lookupThread fetches and transaction-locks a thread; contention fails
-// the transaction with ErrRetry (§V-A).
+// the transaction with ErrRetry (§V-A). The dead re-check closes the
+// lookup/free race: without it, an assign_thread racing delete_thread
+// could mutate the orphaned object and report success for a thread
+// that no longer exists.
 func (mon *Monitor) lookupThread(tid uint64) (*Thread, api.Error) {
 	mon.objMu.RLock()
 	t := mon.threads[tid]
@@ -85,8 +89,12 @@ func (mon *Monitor) lookupThread(tid uint64) (*Thread, api.Error) {
 	if t == nil {
 		return nil, api.ErrInvalidValue
 	}
-	if !t.mu.TryLock() {
+	if !mon.tryLock(&t.mu, LockThread, tid) {
 		return nil, api.ErrRetry
+	}
+	if t.dead {
+		t.mu.Unlock()
+		return nil, api.ErrInvalidValue
 	}
 	return t, api.OK
 }
@@ -174,7 +182,7 @@ func (mon *Monitor) unassignThread(tid uint64) api.Error {
 	e := mon.enclaves[t.Owner]
 	mon.objMu.RUnlock()
 	if e != nil {
-		if !e.mu.TryLock() {
+		if !mon.tryLock(&e.mu, LockEnclave, t.Owner) {
 			return api.ErrRetry
 		}
 		delete(e.Threads, tid)
@@ -202,7 +210,7 @@ func (mon *Monitor) acceptThread(e *Enclave, tid, entryPC, entrySP uint64) api.E
 	if t.State != ThreadOffered || t.Owner != e.ID {
 		return api.ErrInvalidState
 	}
-	if !e.mu.TryLock() {
+	if !mon.tryLock(&e.mu, LockEnclave, e.ID) {
 		return api.ErrRetry
 	}
 	defer e.mu.Unlock()
@@ -223,7 +231,7 @@ func (mon *Monitor) releaseThread(e *Enclave, tid uint64) api.Error {
 	if t.State != ThreadAssigned || t.Owner != e.ID {
 		return api.ErrInvalidState
 	}
-	if !e.mu.TryLock() {
+	if !mon.tryLock(&e.mu, LockEnclave, e.ID) {
 		return api.ErrRetry
 	}
 	defer e.mu.Unlock()
@@ -244,6 +252,7 @@ func (mon *Monitor) deleteThread(tid uint64) api.Error {
 	if t.State != ThreadAvailable {
 		return api.ErrInvalidState
 	}
+	t.dead = true
 	mon.objMu.Lock()
 	delete(mon.threads, tid)
 	mon.freeMetaPage(tid)
@@ -285,7 +294,7 @@ func (mon *Monitor) enterEnclave(coreID int, eid, tid uint64) api.Error {
 	}
 
 	slot := &mon.cores[coreID]
-	if !slot.mu.TryLock() {
+	if !mon.tryLock(&slot.mu, LockCoreSlot, uint64(coreID)) {
 		return api.ErrRetry
 	}
 	if slot.owner != api.DomainOS {
@@ -296,8 +305,9 @@ func (mon *Monitor) enterEnclave(coreID int, eid, tid uint64) api.Error {
 	// Core microarchitectural state may only be touched while holding
 	// the core's run ownership; an idle core's runMu is free (or held
 	// momentarily by an IPI poster, in which case the transaction
-	// fails and the caller retries).
-	if !core.TryAcquire() {
+	// fails and the caller retries). The fault hook covers this
+	// acquisition too — it is a §V-A transaction step like any mutex.
+	if mon.lockFault(LockCore, uint64(coreID)) || !core.TryAcquire() {
 		slot.mu.Unlock()
 		return api.ErrRetry
 	}

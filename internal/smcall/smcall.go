@@ -15,6 +15,7 @@
 package smcall
 
 import (
+	"fmt"
 	"runtime"
 	"sync/atomic"
 
@@ -29,11 +30,31 @@ type Dispatcher interface {
 }
 
 // DefaultMaxAttempts bounds the retry loop: a transaction that stays
-// contended this many times is reported to the caller as api.ErrRetry
-// rather than spun on forever. The limit is deliberately generous —
-// contention windows in the monitor are a few instructions long, and
-// genuine livelock is a bug worth surfacing, not masking.
+// contended this many times is reported to the caller as a
+// StarvationError rather than spun on forever. The limit is
+// deliberately generous — contention windows in the monitor are a few
+// instructions long, and genuine livelock is a bug worth surfacing,
+// not masking.
 const DefaultMaxAttempts = 1 << 20
+
+// StarvationError is the bounded-livelock guard's verdict: a call
+// observed api.ErrRetry on every one of its attempts, through the full
+// yield-escalation ladder, and the client refused to spin further. It
+// matches api.ErrRetry under errors.Is — starvation is still the §V-A
+// contention signal, just one the caller must now handle structurally
+// (requeue, shed load, alert) instead of by retrying inline.
+type StarvationError struct {
+	Call     api.Call
+	Attempts int
+}
+
+func (e *StarvationError) Error() string {
+	return fmt.Sprintf("smcall: %v starved after %d contended attempts", e.Call, e.Attempts)
+}
+
+// Is reports api.ErrRetry as a match so errors.Is-based callers keep
+// treating starvation as retryable contention.
+func (e *StarvationError) Is(target error) bool { return target == api.ErrRetry }
 
 // Client issues monitor calls for one untrusted caller (the OS model).
 // The zero value is not usable; construct with New.
@@ -62,18 +83,31 @@ func (c *Client) maxAttempts() int {
 	return DefaultMaxAttempts
 }
 
+// Yield-escalation ladder: bursts double up to 2^maxBackoffShift
+// yields per retry; a transaction still contended after escalateAfter
+// attempts is being actively starved, and from there every retry
+// donates a starvedBurst-sized scheduling burst so whichever
+// transaction keeps winning the object can drain completely.
+const (
+	maxBackoffShift = 6
+	escalateAfter   = 1 << 12
+	starvedBurst    = 1 << 10
+)
+
 // backoff yields the host thread progressively longer as a transaction
 // stays contended: first a single reschedule, then doubling bursts
-// capped well below a host timeslice. The monitor's critical sections
-// are a few loads and stores long, so yielding — not sleeping — is the
-// right grain; sleeping would also perturb the deterministic mode's
-// host-time-free contract.
+// capped well below a host timeslice, then the starvation-escalation
+// burst. The monitor's critical sections are a few loads and stores
+// long, so yielding — not sleeping — is the right grain; sleeping
+// would also perturb the deterministic mode's host-time-free contract.
 func backoff(attempt int) {
 	spins := 1
-	if attempt > 0 {
+	if attempt >= escalateAfter {
+		spins = starvedBurst
+	} else if attempt > 0 {
 		shift := attempt
-		if shift > 6 {
-			shift = 6
+		if shift > maxBackoffShift {
+			shift = maxBackoffShift
 		}
 		spins = 1 << uint(shift)
 	}
@@ -84,7 +118,7 @@ func backoff(attempt int) {
 
 // Do dispatches one request, retrying api.ErrRetry with bounded
 // backoff. The returned error is the final non-retry status's Err (nil
-// for OK), or api.ErrRetry if the attempt bound was exhausted.
+// for OK), or a *StarvationError if the attempt bound was exhausted.
 func (c *Client) Do(req api.Request) (api.Response, error) {
 	for attempt := 0; ; attempt++ {
 		resp := c.d.Dispatch(req)
@@ -93,7 +127,7 @@ func (c *Client) Do(req api.Request) (api.Response, error) {
 		}
 		c.retries.Add(1)
 		if attempt+1 >= c.maxAttempts() {
-			return resp, api.ErrRetry
+			return resp, &StarvationError{Call: req.Call, Attempts: attempt + 1}
 		}
 		backoff(attempt)
 	}
@@ -116,8 +150,9 @@ func (c *Client) Try(req api.Request) api.Response {
 // backs off and resubmits the unexecuted tail, so the caller sees
 // sequential semantics: every element was executed exactly once, in
 // order. Non-retry element failures do not stop the batch — callers
-// inspect the statuses. The error is non-nil only if the attempt bound
-// was exhausted, in which case the unexecuted tail reports ErrRetry.
+// inspect the statuses. The error is non-nil (a *StarvationError) only
+// if the attempt bound was exhausted, in which case the unexecuted
+// tail reports ErrRetry.
 func (c *Client) Batch(reqs []api.Request) ([]api.Response, error) {
 	out := make([]api.Response, 0, len(reqs))
 	pending := reqs
@@ -137,7 +172,8 @@ func (c *Client) Batch(reqs []api.Request) ([]api.Response, error) {
 		out = append(out, resps[:cut]...)
 		pending = pending[cut:]
 		if attempt+1 >= c.maxAttempts() {
-			return append(out, resps[cut:]...), api.ErrRetry
+			return append(out, resps[cut:]...),
+				&StarvationError{Call: pending[0].Call, Attempts: attempt + 1}
 		}
 		backoff(attempt)
 	}

@@ -185,3 +185,74 @@ func TestBatchAttemptBound(t *testing.T) {
 		t.Fatalf("unexecuted tail should report ErrRetry: %v %v", resps[1].Status, resps[2].Status)
 	}
 }
+
+// TestStarvationErrorTyped pins the bounded-livelock guard's contract:
+// an exhausted attempt budget surfaces as a *StarvationError carrying
+// the call and attempt count, which still matches api.ErrRetry under
+// errors.Is so requeue-style callers are unaffected.
+func TestStarvationErrorTyped(t *testing.T) {
+	f := newFake()
+	f.retriesBeforeOK[api.CallCreateThread] = 1 << 30 // effectively forever
+	c := New(f)
+	c.MaxAttempts = 7
+	_, err := c.Do(api.OSRequest(api.CallCreateThread))
+	var se *StarvationError
+	if !errors.As(err, &se) {
+		t.Fatalf("exhausted Do returned %T (%v), want *StarvationError", err, err)
+	}
+	if se.Call != api.CallCreateThread || se.Attempts != 7 {
+		t.Fatalf("starvation verdict %+v, want call %v after 7 attempts", se, api.CallCreateThread)
+	}
+	if !errors.Is(err, api.ErrRetry) {
+		t.Fatal("starvation must still match api.ErrRetry under errors.Is")
+	}
+	if errors.Is(err, api.ErrInvalidState) {
+		t.Fatal("starvation matches an unrelated sentinel")
+	}
+}
+
+// TestBatchStarvationTyped is the batched-path variant: the error
+// names the element the monitor kept cutting at.
+func TestBatchStarvationTyped(t *testing.T) {
+	f := newFake()
+	f.retriesBeforeOK[api.CallAssignThread] = 1 << 30
+	c := New(f)
+	c.MaxAttempts = 4
+	reqs := []api.Request{
+		api.OSRequest(api.CallCreateThread, 1),
+		api.OSRequest(api.CallAssignThread, 2, 1),
+		api.OSRequest(api.CallCreateThread, 3),
+	}
+	resps, err := c.Batch(reqs)
+	var se *StarvationError
+	if !errors.As(err, &se) {
+		t.Fatalf("exhausted Batch returned %T (%v), want *StarvationError", err, err)
+	}
+	if se.Call != api.CallAssignThread || se.Attempts != 4 {
+		t.Fatalf("starvation verdict %+v, want call %v after 4 attempts", se, api.CallAssignThread)
+	}
+	if resps[0].Status != api.OK {
+		t.Fatalf("executed head lost: %v", resps[0].Status)
+	}
+	if resps[1].Status != api.ErrRetry || resps[2].Status != api.ErrRetry {
+		t.Fatalf("unexecuted tail should report ErrRetry: %v %v", resps[1].Status, resps[2].Status)
+	}
+}
+
+// TestBackoffEscalationTerminates walks the full yield-escalation
+// ladder — past escalateAfter, where every retry donates a starvation
+// burst — and requires the loop to still terminate promptly.
+func TestBackoffEscalationTerminates(t *testing.T) {
+	f := newFake()
+	f.retriesBeforeOK[api.CallCreateThread] = 1 << 30
+	c := New(f)
+	c.MaxAttempts = escalateAfter + 8
+	_, err := c.Do(api.OSRequest(api.CallCreateThread))
+	var se *StarvationError
+	if !errors.As(err, &se) {
+		t.Fatalf("escalated Do returned %v, want *StarvationError", err)
+	}
+	if se.Attempts != escalateAfter+8 {
+		t.Fatalf("attempts = %d, want %d", se.Attempts, escalateAfter+8)
+	}
+}
