@@ -64,7 +64,7 @@ var suites = []struct {
 	pkg     string
 	pattern string
 }{
-	{".", "^BenchmarkThroughput$/^fast$"},
+	{".", "^BenchmarkThroughput$"},
 	{".", "^BenchmarkCloneColdStart$"},
 	{".", "^BenchmarkServeThroughput$"},
 	{".", "^BenchmarkGatewayServe$"},
@@ -85,6 +85,31 @@ var ratioChecks = []struct {
 		"BenchmarkServeThroughput/per-message", "BenchmarkServeThroughput/batched", 5},
 	{"snapshot clone vs full build (E15)",
 		"BenchmarkCloneColdStart/full-build", "BenchmarkCloneColdStart/clone", 5},
+	// The block-compilation tier (E18). Two families of floors, both
+	// within-run ratios (one process, so host-speed drift cancels to
+	// first order — but the rows still run ~tens of seconds apart, so
+	// the shared-host window drift of up to ±30% does NOT cancel; the
+	// floors below are the measured steady ratios with that margin
+	// taken off, i.e. regression tripwires, not targets):
+	//
+	//   fast-noblock/fast — the block tier's own contribution on top of
+	//   the per-instruction fast path. Interleaved A/B measurement puts
+	//   the true ratio at ~2.0x per kind; floor 1.4.
+	//
+	//   reference/fast — the whole fast-path stack. Measured 4-6x
+	//   across windows; floor 3.
+	{"block tier over per-instruction fast path, none (E18)",
+		"BenchmarkThroughput/fast-noblock/none", "BenchmarkThroughput/fast/none", 1.4},
+	{"block tier over per-instruction fast path, sanctum (E18)",
+		"BenchmarkThroughput/fast-noblock/sanctum", "BenchmarkThroughput/fast/sanctum", 1.4},
+	{"block tier over per-instruction fast path, keystone (E18)",
+		"BenchmarkThroughput/fast-noblock/keystone", "BenchmarkThroughput/fast/keystone", 1.4},
+	{"full fast path vs reference, none (E18)",
+		"BenchmarkThroughput/reference/none", "BenchmarkThroughput/fast/none", 3},
+	{"full fast path vs reference, sanctum (E18)",
+		"BenchmarkThroughput/reference/sanctum", "BenchmarkThroughput/fast/sanctum", 3},
+	{"full fast path vs reference, keystone (E18)",
+		"BenchmarkThroughput/reference/keystone", "BenchmarkThroughput/fast/keystone", 3},
 }
 
 // maxRatioChecks are ceilings: numerator / denominator must stay at
@@ -324,7 +349,7 @@ func evaluate(base, cur File, threshold float64) (failures, suspects []string) {
 			failures = append(failures, fmt.Sprintf("%s: ratio %.2f× below the %.0f× target",
 				rc.name, ratio, rc.min))
 		}
-		fmt.Printf("  %-48s %38.2f×  (target ≥%.0f×)  %s\n", rc.name, ratio, rc.min, verdict)
+		fmt.Printf("  %-48s %38.2f×  (target ≥%g×)  %s\n", rc.name, ratio, rc.min, verdict)
 	}
 	for _, rc := range maxRatioChecks {
 		num, okN := cur.Benchmarks[rc.num]

@@ -174,6 +174,51 @@ func main() {
 			fmt.Sprintf("%d adversary wins", len(wins)), len(wins) > 0)
 	}
 
+	// E18 — block-compilation tier: a hot enclave loop is promoted into
+	// fused superinstruction blocks, and the per-core counters account
+	// for where instructions retired. The counter enclave spins a tight
+	// loop until the timer fires, the steady-state shape the tier exists
+	// for; across a de-schedule + re-enter the blocks must survive the
+	// domain switch via revalidation rather than recompiling.
+	for _, kind := range []sanctorum.Kind{sanctorum.Sanctum, sanctorum.Keystone} {
+		sys, _ := sanctorum.NewSystem(sanctorum.Options{Kind: kind})
+		l := enclaves.DefaultLayout()
+		sharedPA, _ := sys.SetupShared(l.SharedVA)
+		regions := sys.OS.FreeRegions()
+		spec, _ := enclaves.Spec(l, enclaves.Counter(l), nil, regions[:1],
+			[]ios.SharedMapping{{VA: l.SharedVA, PA: sharedPA}})
+		built, _ := sys.BuildEnclave(spec)
+		core := sys.Machine.Cores[0]
+		steps := 0
+		for round := 0; round < 2; round++ {
+			sys.OS.EnterEnclave(0, built.EID, built.TIDs[0])
+			// No timer armed: the run stays in the timer-idle hot loop
+			// where the block tier engages, until the step budget stops
+			// it mid-loop.
+			res, err := sys.Machine.Run(0, 150_000)
+			if err != nil {
+				fatal(err)
+			}
+			steps += res.Steps
+			// De-schedule with an external interrupt (AEX back to the
+			// OS), forcing a domain switch before the next round.
+			sys.Machine.InterruptCore(0)
+			res, err = sys.Machine.Run(0, 50_000)
+			if err != nil {
+				fatal(err)
+			}
+			steps += res.Steps
+		}
+		bs := core.BlockStats()
+		frac := 100 * float64(bs.Instrs) / float64(steps)
+		add("E18", fmt.Sprintf("block compilation of hot enclave loop (%v)", kind),
+			"hot loop promoted; most instructions retire in blocks; blocks survive re-entry",
+			fmt.Sprintf("compiled=%d exec=%d instrs=%d/%d (%.0f%%) bails=%d reval=%d inval=%d",
+				bs.Compiled, bs.Executions, bs.Instrs, steps, frac,
+				bs.GuardBails, bs.Revalidations, bs.Invalidations),
+			bs.Compiled >= 1 && frac > 50)
+	}
+
 	fmt.Println("Sanctorum reproduction — experiment summary (see EXPERIMENTS.md)")
 	fmt.Println()
 	allPass := true

@@ -148,6 +148,27 @@ func (c *Cache) TouchFast(pa uint64, ref *LineRef) bool {
 	return true
 }
 
+// TouchFastN is n consecutive TouchFast hits on the same line in one
+// call, for callers that batch a run of same-line accesses with nothing
+// else touching the cache in between (the block engine's per-segment
+// instruction fetches). It is bit-exact to calling TouchFast n times:
+// the stamp advances by n, the line's LRU lands on the last of those
+// stamps, and n hits are recorded. false means the caller must fall
+// back to per-access TouchFast/AccessRef, which re-establishes the ref.
+func (c *Cache) TouchFastN(pa uint64, ref *LineRef, n uint64) bool {
+	if ref.gen != c.fillGen {
+		return false
+	}
+	l := ref.line
+	if l.tag != pa>>c.lineBits {
+		return false
+	}
+	c.stamp += n
+	l.lru = c.stamp
+	c.Hits += n
+	return true
+}
+
 // AccessRef is Access, additionally pointing ref at the touched line so
 // the next same-line access can go through TouchFast.
 func (c *Cache) AccessRef(pa uint64, ref *LineRef) (hit bool, cycles uint64) {

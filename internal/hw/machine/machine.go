@@ -92,6 +92,17 @@ type Config struct {
 	// both ways and compare — so this exists only for those tests and
 	// for bisecting fast-path bugs.
 	DisableFastPath bool
+
+	// DisableBlockEngine keeps the fast path per-instruction, without
+	// the trace-compiled block tier (block.go). Like DisableFastPath it
+	// changes no modeled observable; it exists for equivalence testing
+	// and for bisecting block-engine bugs.
+	DisableBlockEngine bool
+
+	// BlockThreshold overrides the execution count at which a hot
+	// control-transfer target is block-compiled; 0 selects the default.
+	// Tests use low values to force promotion on short workloads.
+	BlockThreshold int
 }
 
 // DefaultConfig returns a 2-core machine with the default DRAM layout
@@ -204,6 +215,15 @@ func New(cfg Config) (*Machine, error) {
 		c.icGen.Store(1)
 		c.fetchWin.Reset(m.Mem)
 		c.dataWin.Reset(m.Mem)
+		if c.fastPath && !cfg.DisableBlockEngine {
+			c.blockHot = defaultBlockHot
+			if cfg.BlockThreshold > 0 {
+				c.blockHot = uint16(cfg.BlockThreshold)
+			}
+			c.blocks = new([bcEntries]*block)
+			c.icHot = new([icEntries]uint16)
+			c.seqPC = ^uint64(0)
+		}
 		// Tearing down translations (core cleaning, shootdown on region
 		// re-allocation) also drops the decoded-instruction cache.
 		c.TLB.OnInvalidate = c.invalidateDecodeCache
@@ -275,6 +295,17 @@ type Core struct {
 	fetchWin mem.Window    // last code page touched
 	dataWin  mem.Window    // last data page touched
 	irqTrap  isa.Trap      // reusable interrupt trap buffer
+
+	// Block-engine state (block.go). seqPC tracks fetch sequentiality
+	// so block lookup and heat counting run only at control-transfer
+	// targets; blockHot is the promotion threshold (0 = engine off);
+	// icHot are the heat counters, indexed like the decode cache.
+	seqPC    uint64
+	blockHot uint16
+	blocks   *[bcEntries]*block
+	icHot    *[icEntries]uint16
+	brun     blockRun
+	bstats   BlockStats
 
 	// Cold cross-hart coordination state, kept at the end so it never
 	// shares a cache line with the per-instruction fields above. ipi is

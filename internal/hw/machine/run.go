@@ -92,31 +92,61 @@ func (m *Machine) Run(coreID int, maxSteps int) (RunResult, error) {
 			// The step sequence is spelled out here so the fetch — the
 			// interpreter's hottest call — goes to FetchDecoded
 			// directly instead of through an interface.
+			//
+			// The block engine hooks in at control-transfer targets:
+			// seqPC tracks where a purely sequential fetch would land,
+			// so the block lookup (and, on misses, the heat counting
+			// that drives compilation) runs only when the PC arrived
+			// via a branch, jump, trap return or run entry — the only
+			// PCs that can head a block. Block execution polls pending
+			// at block boundaries, which are instruction boundaries;
+			// a trap from inside a block arrives here exactly like a
+			// per-instruction trap, with steps already advanced.
 			cpu := &c.CPU
+			c.seqPC = ^uint64(0)
 			for steps < maxSteps && c.pending.Load() == 0 {
 				var tr *isa.Trap
 				if !c.fastPath {
 					tr = cpu.Step(c)
-				} else if tr = cpu.PreStep(); tr == nil {
-					if e := c.fetchHit(cpu.PC); e != nil {
-						cpu.Cycles += c.l1Hit
-						tr = cpu.ExecDecoded(e.in, c)
-					} else {
-						in, cyc, fault := c.fetchSlow(cpu.PC)
-						cpu.Cycles += cyc
-						if fault != nil {
-							tr = cpu.FetchFault(fault)
-						} else {
-							tr = cpu.ExecDecoded(in, c)
+					steps++
+				} else {
+					if pc := cpu.PC; pc != c.seqPC {
+						if b := c.blockFor(pc); b != nil && b.n <= maxSteps-steps {
+							n, btr := c.execBlock(b, maxSteps-steps)
+							if n > 0 || btr != nil {
+								steps += n
+								tr = btr
+								c.seqPC = ^uint64(0)
+								goto delivered
+							}
 						}
 					}
+					c.seqPC = cpu.PC + isa.InstrSize
+					if tr = cpu.PreStep(); tr == nil {
+						if e := c.fetchHit(cpu.PC); e != nil {
+							cpu.Cycles += c.l1Hit
+							tr = cpu.ExecDecoded(e.in, c)
+						} else {
+							in, cyc, fault := c.fetchSlow(cpu.PC)
+							cpu.Cycles += cyc
+							if fault != nil {
+								tr = cpu.FetchFault(fault)
+							} else {
+								tr = cpu.ExecDecoded(in, c)
+							}
+						}
+					}
+					steps++
 				}
-				steps++
+			delivered:
 				if tr != nil {
 					res, done, err := m.dispatch(c, tr, steps)
 					if done {
 						return res, err
 					}
+					// The firmware may have redirected the PC; the next
+					// instruction is a transfer target again.
+					c.seqPC = ^uint64(0)
 					if c.TimerCmp != 0 {
 						break // firmware armed the timer; resume polling
 					}

@@ -128,22 +128,30 @@ func (m *Phys) MarkCodePage(addr uint64) {
 }
 
 // noteWrite fires the code-write hook if [addr, addr+n) touches a
-// marked page. n > 0; the range is already validated.
-func (m *Phys) noteWrite(addr, n uint64) {
+// marked page, reporting whether it did. n > 0; the range is already
+// validated.
+func (m *Phys) noteWrite(addr, n uint64) bool {
 	for p, last := addr>>PageBits, (addr+n-1)>>PageBits; ; p++ {
 		if m.codePages[p>>6].Load()&(1<<(p&63)) != 0 {
-			for i := range m.codePages {
-				m.codePages[i].Store(0)
-			}
-			if m.onCodeWrite != nil {
-				m.onCodeWrite()
-			}
-			return
+			return m.codeWriteHit()
 		}
 		if p >= last {
-			return
+			return false
 		}
 	}
+}
+
+// codeWriteHit is the marked-code-page write slow path: the snoop set
+// resets (every marked page re-registers on its next fetch) and the
+// code-write hook fires.
+func (m *Phys) codeWriteHit() bool {
+	for i := range m.codePages {
+		m.codePages[i].Store(0)
+	}
+	if m.onCodeWrite != nil {
+		m.onCodeWrite()
+	}
+	return true
 }
 
 // Retain adds one alias reference to the page containing addr. The
@@ -459,19 +467,96 @@ func (w *Window) LoadFast(addr uint64, width int) uint64 {
 	return loadFrom(p, addr&PageMask, width)
 }
 
+// Load64 is LoadFast specialized to the 8-byte width — the dominant
+// access on the block engine's hot path — shaped to inline at the call
+// site: the open-coded window hit check and one fixed-width load, with
+// the refill outlined.
+func (w *Window) Load64(addr uint64) uint64 {
+	p := w.page
+	if p == nil || w.ppn != addr>>PageBits || w.gen != w.m.zeroGen.Load() {
+		p = w.refill(addr >> PageBits)
+	}
+	return binary.LittleEndian.Uint64(p[addr&PageMask&^uint64(7):])
+}
+
 // StoreFast is Store without the width/alignment/range checks, under
 // LoadFast's caller contract — which now also includes the COW check:
 // the caller must have established the page is not frozen (IsCOW), as
 // the machine's fast store path does after translation. The code-write
 // check still observes the store.
 func (w *Window) StoreFast(addr uint64, width int, val uint64) {
-	w.m.noteWrite(addr, uint64(width))
+	w.StoreFastNoted(addr, width, val)
+}
+
+// StoreFastNoted is StoreFast, additionally reporting whether the
+// write landed in a marked code page (and therefore fired the
+// code-write hook). The block engine uses the verdict to decide
+// whether the store could have moved its guard word.
+func (w *Window) StoreFastNoted(addr uint64, width int, val uint64) bool {
+	hitCode := w.m.noteWrite(addr, uint64(width))
 	ppn := addr >> PageBits
 	p := w.page
 	if p == nil || w.ppn != ppn || w.gen != w.m.zeroGen.Load() {
 		p = w.refill(ppn)
 	}
 	storeTo(p, addr&PageMask, width, val)
+	return hitCode
+}
+
+// StoreFastBlock is the block engine's fused store: the COW backstop,
+// the code-write check and the window write in one call frame, sharing
+// one page-number computation. cow reports the store was refused (a
+// frozen page — the caller raises the store-access trap, nothing was
+// written); hitCode reports the write landed in a marked code page and
+// fired the code-write hook. The caller contract is StoreFast's plus
+// natural alignment, so the access never crosses a page and one page's
+// bits decide both checks.
+func (w *Window) StoreFastBlock(addr uint64, width int, val uint64) (cow, hitCode bool) {
+	pg := addr >> PageBits
+	bit := uint64(1) << (pg & 63)
+	if w.m.cowPages[pg>>6].Load()&bit != 0 {
+		return true, false
+	}
+	if w.m.codePages[pg>>6].Load()&bit != 0 {
+		hitCode = w.m.codeWriteHit()
+	}
+	p := w.page
+	if p == nil || w.ppn != pg || w.gen != w.m.zeroGen.Load() {
+		p = w.refill(pg)
+	}
+	storeTo(p, addr&PageMask, width, val)
+	return false, hitCode
+}
+
+// Store64Block is StoreFastBlock specialized to the 8-byte width,
+// shaped to inline: the two page-bit checks fold into one OR-ed branch
+// and the write is fixed-width, with the refused/marked-page cases
+// outlined. Both bitmaps are still read directly — the OR is a pure
+// fast-path fold, not a derived union.
+func (w *Window) Store64Block(addr, val uint64) (cow, hitCode bool) {
+	pg := addr >> PageBits
+	if (w.m.cowPages[pg>>6].Load()|w.m.codePages[pg>>6].Load())&(1<<(pg&63)) != 0 {
+		return w.store64BlockSlow(addr, pg, val)
+	}
+	p := w.page
+	if p == nil || w.ppn != pg || w.gen != w.m.zeroGen.Load() {
+		p = w.refill(pg)
+	}
+	binary.LittleEndian.PutUint64(p[addr&PageMask&^uint64(7):], val)
+	return false, false
+}
+
+// store64BlockSlow disambiguates Store64Block's marked-page branch: a
+// frozen page refuses the store, a marked code page takes the
+// code-write hit and then writes.
+func (w *Window) store64BlockSlow(addr, pg, val uint64) (cow, hitCode bool) {
+	if w.m.cowPages[pg>>6].Load()&(1<<(pg&63)) != 0 {
+		return true, false
+	}
+	hitCode = w.m.codeWriteHit()
+	p := w.lookup(addr)
+	binary.LittleEndian.PutUint64(p[addr&PageMask&^uint64(7):], val)
+	return false, hitCode
 }
 
 // Store is Phys.Store through the window's page cache. The code-write

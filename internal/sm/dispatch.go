@@ -50,10 +50,10 @@ func (ctx *callContext) transfer(d machine.Disposition) {
 type callDef struct {
 	name    string
 	domains uint8
-	handler func(mon *Monitor, req *api.Request, ctx *callContext) api.Response
+	handler func(mon *Monitor, req api.Request, ctx *callContext) api.Response
 	// encHandler runs with the enclave named by Args[0] looked up and
 	// transaction-locked.
-	encHandler func(mon *Monitor, e *Enclave, req *api.Request) api.Response
+	encHandler func(mon *Monitor, e *Enclave, req api.Request) api.Response
 }
 
 func ok(values ...uint64) api.Response {
@@ -72,7 +72,7 @@ func fail(st api.Error) api.Response { return api.Response{Status: st} }
 var callTable = map[api.Call]callDef{
 	// Probe — any domain.
 	api.CallGetABIVersion: {name: "get_abi_version", domains: domainOS | domainEnclave,
-		handler: func(mon *Monitor, req *api.Request, ctx *callContext) api.Response {
+		handler: func(mon *Monitor, req api.Request, ctx *callContext) api.Response {
 			return ok(api.Version)
 		}},
 
@@ -100,31 +100,31 @@ var callTable = map[api.Call]callDef{
 
 	// OS-domain calls (Figs 2–4 resource management).
 	api.CallCreateEnclave: {name: "create_enclave", domains: domainOS,
-		handler: func(mon *Monitor, req *api.Request, ctx *callContext) api.Response {
+		handler: func(mon *Monitor, req api.Request, ctx *callContext) api.Response {
 			return fail(mon.createEnclave(req.Args[0], req.Args[1], req.Args[2]))
 		}},
 	api.CallAllocPageTable: {name: "allocate_page_table", domains: domainOS,
-		encHandler: func(mon *Monitor, e *Enclave, req *api.Request) api.Response {
+		encHandler: func(mon *Monitor, e *Enclave, req api.Request) api.Response {
 			return fail(mon.allocatePageTableLocked(e, req.Args[1], int(req.Args[2])))
 		}},
 	api.CallLoadPage: {name: "load_page", domains: domainOS,
-		encHandler: func(mon *Monitor, e *Enclave, req *api.Request) api.Response {
+		encHandler: func(mon *Monitor, e *Enclave, req api.Request) api.Response {
 			return fail(mon.loadPageLocked(e, req.Args[1], req.Args[2], req.Args[3]))
 		}},
 	api.CallMapShared: {name: "map_shared", domains: domainOS,
-		encHandler: func(mon *Monitor, e *Enclave, req *api.Request) api.Response {
+		encHandler: func(mon *Monitor, e *Enclave, req api.Request) api.Response {
 			return fail(mon.mapSharedLocked(e, req.Args[1], req.Args[2]))
 		}},
 	api.CallInitEnclave: {name: "init_enclave", domains: domainOS,
-		encHandler: func(mon *Monitor, e *Enclave, req *api.Request) api.Response {
+		encHandler: func(mon *Monitor, e *Enclave, req api.Request) api.Response {
 			return fail(mon.initEnclaveLocked(e))
 		}},
 	api.CallDeleteEnclave: {name: "delete_enclave", domains: domainOS,
-		handler: func(mon *Monitor, req *api.Request, ctx *callContext) api.Response {
+		handler: func(mon *Monitor, req api.Request, ctx *callContext) api.Response {
 			return fail(mon.deleteEnclave(req.Args[0]))
 		}},
 	api.CallEnclaveStatus: {name: "enclave_status", domains: domainOS,
-		encHandler: func(mon *Monitor, e *Enclave, req *api.Request) api.Response {
+		encHandler: func(mon *Monitor, e *Enclave, req api.Request) api.Response {
 			state, st := mon.enclaveStatusLocked(e, req.Args[1])
 			if st != api.OK {
 				return fail(st)
@@ -132,33 +132,33 @@ var callTable = map[api.Call]callDef{
 			return ok(state)
 		}},
 	api.CallLoadThread: {name: "load_thread", domains: domainOS,
-		encHandler: func(mon *Monitor, e *Enclave, req *api.Request) api.Response {
+		encHandler: func(mon *Monitor, e *Enclave, req api.Request) api.Response {
 			return fail(mon.loadThreadLocked(e, req.Args[1], req.Args[2], req.Args[3]))
 		}},
 	api.CallCreateThread: {name: "create_thread", domains: domainOS,
-		handler: func(mon *Monitor, req *api.Request, ctx *callContext) api.Response {
+		handler: func(mon *Monitor, req api.Request, ctx *callContext) api.Response {
 			return fail(mon.createThread(req.Args[0]))
 		}},
 	api.CallAssignThread: {name: "assign_thread", domains: domainOS,
-		handler: func(mon *Monitor, req *api.Request, ctx *callContext) api.Response {
+		handler: func(mon *Monitor, req api.Request, ctx *callContext) api.Response {
 			return fail(mon.assignThread(req.Args[0], req.Args[1]))
 		}},
 	api.CallUnassignThread: {name: "unassign_thread", domains: domainOS,
-		handler: func(mon *Monitor, req *api.Request, ctx *callContext) api.Response {
+		handler: func(mon *Monitor, req api.Request, ctx *callContext) api.Response {
 			return fail(mon.unassignThread(req.Args[0]))
 		}},
 	api.CallDeleteThread: {name: "delete_thread", domains: domainOS,
-		handler: func(mon *Monitor, req *api.Request, ctx *callContext) api.Response {
+		handler: func(mon *Monitor, req api.Request, ctx *callContext) api.Response {
 			return fail(mon.deleteThread(req.Args[0]))
 		}},
 	api.CallEnterEnclave: {name: "enter_enclave", domains: domainOS,
-		handler: func(mon *Monitor, req *api.Request, ctx *callContext) api.Response {
+		handler: func(mon *Monitor, req api.Request, ctx *callContext) api.Response {
 			// int() maps any register value ≥ 2^63 to a negative number,
 			// which the core-range check refuses.
 			return fail(mon.enterEnclave(int(req.Args[0]), req.Args[1], req.Args[2]))
 		}},
 	api.CallRegionInfo: {name: "region_info", domains: domainOS,
-		handler: func(mon *Monitor, req *api.Request, ctx *callContext) api.Response {
+		handler: func(mon *Monitor, req api.Request, ctx *callContext) api.Response {
 			state, owner, st := mon.regionInfo(indexArg(req.Args[0]))
 			if st != api.OK {
 				return fail(st)
@@ -166,18 +166,18 @@ var callTable = map[api.Call]callDef{
 			return ok(uint64(state), owner)
 		}},
 	api.CallGrantRegion: {name: "grant_region", domains: domainOS,
-		handler: func(mon *Monitor, req *api.Request, ctx *callContext) api.Response {
+		handler: func(mon *Monitor, req api.Request, ctx *callContext) api.Response {
 			return fail(mon.grantRegion(indexArg(req.Args[0]), req.Args[1]))
 		}},
 	api.CallCleanRegion: {name: "clean_region", domains: domainOS,
-		handler: func(mon *Monitor, req *api.Request, ctx *callContext) api.Response {
+		handler: func(mon *Monitor, req api.Request, ctx *callContext) api.Response {
 			return fail(mon.cleanRegion(indexArg(req.Args[0])))
 		}},
 
 	// Mailbox-ring calls (0x40–0x45, ABI minor 2): streaming IPC with
 	// batched send/recv and park/wake scheduling (DESIGN.md §9).
 	api.CallRingCreate: {name: "mailbox_ring_create", domains: domainOS,
-		handler: func(mon *Monitor, req *api.Request, ctx *callContext) api.Response {
+		handler: func(mon *Monitor, req api.Request, ctx *callContext) api.Response {
 			return fail(mon.ringCreate(req.Args[0], req.Args[1], req.Args[2], req.Args[3]))
 		}},
 	api.CallRingSend: {name: "mailbox_ring_send", domains: domainOS | domainEnclave, handler: hRingSend},
@@ -185,22 +185,22 @@ var callTable = map[api.Call]callDef{
 	api.CallRingPark: {name: "thread_park", domains: domainEnclave, handler: hRingPark},
 	api.CallRingWake: {name: "mailbox_ring_wake", domains: domainOS | domainEnclave, handler: hRingWake},
 	api.CallRingDestroy: {name: "mailbox_ring_destroy", domains: domainOS,
-		handler: func(mon *Monitor, req *api.Request, ctx *callContext) api.Response {
+		handler: func(mon *Monitor, req api.Request, ctx *callContext) api.Response {
 			return fail(mon.ringDestroy(req.Args[0]))
 		}},
 
 	// Snapshot/clone calls (0x30–0x32, ABI minor 1): fork-from-measured-
 	// template lifecycle (DESIGN.md §8).
 	api.CallSnapshotEnclave: {name: "snapshot_enclave", domains: domainOS,
-		handler: func(mon *Monitor, req *api.Request, ctx *callContext) api.Response {
+		handler: func(mon *Monitor, req api.Request, ctx *callContext) api.Response {
 			return fail(mon.snapshotEnclave(req.Args[0], req.Args[1]))
 		}},
 	api.CallCloneEnclave: {name: "clone_enclave", domains: domainOS,
-		handler: func(mon *Monitor, req *api.Request, ctx *callContext) api.Response {
+		handler: func(mon *Monitor, req api.Request, ctx *callContext) api.Response {
 			return fail(mon.cloneEnclave(req.Args[0], req.Args[1], req.Args[2], req.Args[3]))
 		}},
 	api.CallReleaseSnapshot: {name: "release_snapshot", domains: domainOS,
-		handler: func(mon *Monitor, req *api.Request, ctx *callContext) api.Response {
+		handler: func(mon *Monitor, req api.Request, ctx *callContext) api.Response {
 			return fail(mon.releaseSnapshot(req.Args[0]))
 		}},
 }
@@ -228,12 +228,12 @@ func indexArg(v uint64) int {
 // Contended calls fail with api.ErrRetry having changed no state; the
 // smcall client centralizes the retry discipline.
 func (mon *Monitor) Dispatch(req api.Request) api.Response {
-	return mon.dispatch(&req, nil)
+	return mon.dispatch(req, nil)
 }
 
 // dispatch is the single routing point for both entries. ctx is nil for
 // host-side (OS) calls and carries the trapping core for enclave calls.
-func (mon *Monitor) dispatch(req *api.Request, ctx *callContext) api.Response {
+func (mon *Monitor) dispatch(req api.Request, ctx *callContext) api.Response {
 	def, known := callTable[req.Call]
 	if !known {
 		return fail(api.ErrNotSupported)
@@ -282,7 +282,7 @@ func (mon *Monitor) DispatchBatch(reqs []api.Request) []api.Response {
 	}
 	defer release()
 	for i := range reqs {
-		req := &reqs[i]
+		req := reqs[i]
 		def, known := callTable[req.Call]
 		if known && def.encHandler != nil &&
 			req.Caller == api.DomainOS && def.domains&domainOS != 0 {
@@ -324,13 +324,13 @@ func (mon *Monitor) DispatchBatch(reqs []api.Request) []api.Response {
 // --- Enclave-domain handlers (ctx is always non-nil: the table only
 // routes these from a trap context) ---
 
-func hExitEnclave(mon *Monitor, req *api.Request, ctx *callContext) api.Response {
+func hExitEnclave(mon *Monitor, req api.Request, ctx *callContext) api.Response {
 	mon.stopThread(uint64(ctx.core.ID), req.Args[0], false)
 	ctx.transfer(machine.DispReturnToOS)
 	return ok()
 }
 
-func hResumeAEX(mon *Monitor, req *api.Request, ctx *callContext) api.Response {
+func hResumeAEX(mon *Monitor, req api.Request, ctx *callContext) api.Response {
 	t := ctx.thread
 	t.mu.Lock()
 	if !t.AEXValid {
@@ -345,7 +345,7 @@ func hResumeAEX(mon *Monitor, req *api.Request, ctx *callContext) api.Response {
 	return ok()
 }
 
-func hResumeFault(mon *Monitor, req *api.Request, ctx *callContext) api.Response {
+func hResumeFault(mon *Monitor, req api.Request, ctx *callContext) api.Response {
 	t := ctx.thread
 	t.mu.Lock()
 	if !t.inFault {
@@ -360,7 +360,7 @@ func hResumeFault(mon *Monitor, req *api.Request, ctx *callContext) api.Response
 	return ok()
 }
 
-func hSetFaultHandler(mon *Monitor, req *api.Request, ctx *callContext) api.Response {
+func hSetFaultHandler(mon *Monitor, req api.Request, ctx *callContext) api.Response {
 	pc, sp := req.Args[0], req.Args[1]
 	if pc != 0 && !ctx.enclave.InEvrange(pc) {
 		return fail(api.ErrInvalidValue)
@@ -372,7 +372,7 @@ func hSetFaultHandler(mon *Monitor, req *api.Request, ctx *callContext) api.Resp
 	return ok()
 }
 
-func hGetRandom(mon *Monitor, req *api.Request, ctx *callContext) api.Response {
+func hGetRandom(mon *Monitor, req api.Request, ctx *callContext) api.Response {
 	var b [8]byte
 	mon.machine.Entropy.Read(b[:])
 	var v uint64
@@ -382,15 +382,15 @@ func hGetRandom(mon *Monitor, req *api.Request, ctx *callContext) api.Response {
 	return ok(v)
 }
 
-func hMyEnclaveID(mon *Monitor, req *api.Request, ctx *callContext) api.Response {
+func hMyEnclaveID(mon *Monitor, req api.Request, ctx *callContext) api.Response {
 	return ok(ctx.enclave.ID)
 }
 
-func hAcceptMail(mon *Monitor, req *api.Request, ctx *callContext) api.Response {
+func hAcceptMail(mon *Monitor, req api.Request, ctx *callContext) api.Response {
 	return fail(mon.acceptMail(ctx.enclave, indexArg(req.Args[0]), req.Args[1]))
 }
 
-func hGetMail(mon *Monitor, req *api.Request, ctx *callContext) api.Response {
+func hGetMail(mon *Monitor, req api.Request, ctx *callContext) api.Response {
 	e := ctx.enclave
 	msg, senderMeas, st := mon.getMail(e, indexArg(req.Args[0]))
 	if st != api.OK {
@@ -403,19 +403,19 @@ func hGetMail(mon *Monitor, req *api.Request, ctx *callContext) api.Response {
 	return ok()
 }
 
-func hAcceptThread(mon *Monitor, req *api.Request, ctx *callContext) api.Response {
+func hAcceptThread(mon *Monitor, req api.Request, ctx *callContext) api.Response {
 	return fail(mon.acceptThread(ctx.enclave, req.Args[0], req.Args[1], req.Args[2]))
 }
 
-func hReleaseThread(mon *Monitor, req *api.Request, ctx *callContext) api.Response {
+func hReleaseThread(mon *Monitor, req api.Request, ctx *callContext) api.Response {
 	return fail(mon.releaseThread(ctx.enclave, req.Args[0]))
 }
 
-func hAcceptRegion(mon *Monitor, req *api.Request, ctx *callContext) api.Response {
+func hAcceptRegion(mon *Monitor, req api.Request, ctx *callContext) api.Response {
 	return fail(mon.acceptRegion(ctx.enclave, indexArg(req.Args[0])))
 }
 
-func hAttestSign(mon *Monitor, req *api.Request, ctx *callContext) api.Response {
+func hAttestSign(mon *Monitor, req api.Request, ctx *callContext) api.Response {
 	sig, st := mon.attestSign(ctx.enclave, req.Args[0], req.Args[1])
 	if st != api.OK {
 		return fail(st)
@@ -426,22 +426,22 @@ func hAttestSign(mon *Monitor, req *api.Request, ctx *callContext) api.Response 
 	return ok()
 }
 
-func hKADerive(mon *Monitor, req *api.Request, ctx *callContext) api.Response {
+func hKADerive(mon *Monitor, req api.Request, ctx *callContext) api.Response {
 	return fail(mon.kaDerive(ctx.enclave, req.Args[0], req.Args[1]))
 }
 
-func hKACombine(mon *Monitor, req *api.Request, ctx *callContext) api.Response {
+func hKACombine(mon *Monitor, req api.Request, ctx *callContext) api.Response {
 	return fail(mon.kaCombine(ctx.enclave, req.Args[0], req.Args[1], req.Args[2]))
 }
 
-func hMAC(mon *Monitor, req *api.Request, ctx *callContext) api.Response {
+func hMAC(mon *Monitor, req api.Request, ctx *callContext) api.Response {
 	return fail(mon.macService(ctx.enclave, req.Args[0], req.Args[1], req.Args[2], req.Args[3]))
 }
 
 // --- Dual-domain handlers: ctx non-nil means the enclave convention,
 // nil the OS convention ---
 
-func hSendMail(mon *Monitor, req *api.Request, ctx *callContext) api.Response {
+func hSendMail(mon *Monitor, req api.Request, ctx *callContext) api.Response {
 	if ctx != nil {
 		e := ctx.enclave
 		msg, okRead := mon.readEnclave(e, req.Args[1], api.MailboxSize)
@@ -469,7 +469,7 @@ func hSendMail(mon *Monitor, req *api.Request, ctx *callContext) api.Response {
 	return fail(mon.deliverMail(api.DomainOS, [32]byte{}, req.Args[0], padded))
 }
 
-func hGetField(mon *Monitor, req *api.Request, ctx *callContext) api.Response {
+func hGetField(mon *Monitor, req api.Request, ctx *callContext) api.Response {
 	var caller *Enclave
 	if ctx != nil {
 		caller = ctx.enclave
@@ -496,7 +496,7 @@ func hGetField(mon *Monitor, req *api.Request, ctx *callContext) api.Response {
 	return ok(uint64(len(data)))
 }
 
-func hBlockRegion(mon *Monitor, req *api.Request, ctx *callContext) api.Response {
+func hBlockRegion(mon *Monitor, req api.Request, ctx *callContext) api.Response {
 	owner := api.DomainOS
 	if ctx != nil {
 		owner = ctx.enclave.ID

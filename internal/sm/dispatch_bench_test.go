@@ -25,12 +25,30 @@ func BenchmarkDispatch(b *testing.B) {
 	})
 	b.Run("dispatch", func(b *testing.B) {
 		req := api.OSRequest(api.CallRegionInfo, 3)
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if resp := f.mon.Dispatch(req); resp.Status != api.OK {
 				b.Fatal(resp.Status)
 			}
 		}
 	})
+}
+
+// TestDispatchZeroAlloc pins the dispatch path's allocation behaviour:
+// a steady-state monitor call must not allocate. The Request travels by
+// value through the handler table precisely so it cannot escape; a
+// regression here puts a GC allocation on every ABI call.
+func TestDispatchZeroAlloc(t *testing.T) {
+	f := newFixture(t)
+	req := api.OSRequest(api.CallRegionInfo, 3)
+	avg := testing.AllocsPerRun(1000, func() {
+		if resp := f.mon.Dispatch(req); resp.Status != api.OK {
+			t.Fatal(resp.Status)
+		}
+	})
+	if avg != 0 {
+		t.Fatalf("Dispatch allocates %.2f objects per call, want 0", avg)
+	}
 }
 
 // buildReqs is the canonical enclave-build call sequence (create, one

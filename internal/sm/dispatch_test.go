@@ -95,7 +95,7 @@ func TestDispatchRefusesWrongDomain(t *testing.T) {
 	f.mon.objMu.RUnlock()
 	ctx := &callContext{core: f.m.Cores[0], enclave: e, thread: &Thread{}}
 	for _, call := range osOnlyCalls {
-		req := &api.Request{Caller: eid, Call: call, Args: [6]uint64{eid, 2, 3}}
+		req := api.Request{Caller: eid, Call: call, Args: [6]uint64{eid, 2, 3}}
 		if resp := f.mon.dispatch(req, ctx); resp.Status != api.ErrUnauthorized {
 			t.Errorf("enclave invoked OS call %#x: %v, want ErrUnauthorized", uint64(call), resp.Status)
 		}

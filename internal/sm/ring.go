@@ -314,7 +314,7 @@ func batchLen(count uint64) (int, bool) {
 // changed); OS payloads are range-checked up front and then copied
 // from physical memory straight into the slots — no intermediate
 // buffer on the hot batched path.
-func hRingSend(mon *Monitor, req *api.Request, ctx *callContext) api.Response {
+func hRingSend(mon *Monitor, req api.Request, ctx *callContext) api.Response {
 	n, okCount := batchLen(req.Args[2])
 	if !okCount {
 		return fail(api.ErrInvalidValue)
@@ -358,7 +358,7 @@ func hRingSend(mon *Monitor, req *api.Request, ctx *callContext) api.Response {
 // while the ring transaction holds the lock and popped only after the
 // copy-out succeeded, so a recv into an invalid buffer consumes
 // nothing.
-func hRingRecv(mon *Monitor, req *api.Request, ctx *callContext) api.Response {
+func hRingRecv(mon *Monitor, req api.Request, ctx *callContext) api.Response {
 	max, okCount := batchLen(req.Args[2])
 	if !okCount {
 		return fail(api.ErrInvalidValue)
@@ -410,7 +410,7 @@ func hRingRecv(mon *Monitor, req *api.Request, ctx *callContext) api.Response {
 // again. The ring lock is released before stopThread's blocking
 // thread/enclave acquisitions, keeping ring locks leaves of the lock
 // order.
-func hRingPark(mon *Monitor, req *api.Request, ctx *callContext) api.Response {
+func hRingPark(mon *Monitor, req api.Request, ctx *callContext) api.Response {
 	r, st := mon.lookupRing(req.Args[0])
 	if st != api.OK {
 		return fail(st)
@@ -440,7 +440,7 @@ func hRingPark(mon *Monitor, req *api.Request, ctx *callContext) api.Response {
 
 // hRingWake is the dual-domain explicit wake, authorized against the
 // producer (wake-spoofing by any other domain is refused).
-func hRingWake(mon *Monitor, req *api.Request, ctx *callContext) api.Response {
+func hRingWake(mon *Monitor, req api.Request, ctx *callContext) api.Response {
 	caller, from := api.DomainOS, machine.NoHart
 	if ctx != nil {
 		caller, from = ctx.enclave.ID, ctx.core.ID

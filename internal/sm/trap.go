@@ -133,7 +133,7 @@ func (mon *Monitor) enclaveCall(c *machine.Core, slot slotView) machine.Disposit
 		},
 	}
 	ctx := callContext{core: c, enclave: e, thread: t}
-	resp := mon.dispatch(&req, &ctx)
+	resp := mon.dispatch(req, &ctx)
 	if ctx.transferred {
 		// Exit or resume: the handler already programmed the core.
 		return ctx.disp
