@@ -9,6 +9,7 @@ package sanctorum_test
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
 
 	"sanctorum"
@@ -583,6 +584,59 @@ func BenchmarkGatewayServe(b *testing.B) {
 	}
 	if err := pool.Close(); err != nil {
 		b.Fatal(err)
+	}
+}
+
+// --- E19: fleet aggregate serving throughput (DESIGN.md §12) ---
+
+// BenchmarkFleetServe is E19's headline: the same echo workload served
+// by a 1-shard and a 4-shard fleet, shards running concurrently (one
+// goroutine per machine). ns/op is per request, so the shards=1 /
+// shards=4 ns ratio is the aggregate scaling factor the CI gate
+// checks. Each sub-benchmark also reports the harness's GOMAXPROCS as
+// "cpus": shard concurrency is real OS-thread parallelism, so the
+// achievable ratio depends on the host's cores and the gate keys its
+// floor on this metric.
+func BenchmarkFleetServe(b *testing.B) {
+	for _, shards := range []int{1, 4} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			f, err := sanctorum.NewFleet(sanctorum.FleetOptions{
+				Kind:   sanctorum.Sanctum,
+				Shards: shards,
+				Config: sanctorum.FleetConfig{
+					Parallel: true,
+					Sched:    sanctorum.SchedConfig{Mode: sanctorum.Deterministic},
+				},
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer f.Close()
+			wave := 32 * shards
+			sessions := 8 * shards
+			reqs := make([]sanctorum.FleetRequest, wave)
+			for i := range reqs {
+				msg := make([]byte, api.RingMsgSize)
+				msg[0] = byte(i)
+				reqs[i] = sanctorum.FleetRequest{
+					Session: uint64(i%sessions) * 0x9E3779B97F4A7C15,
+					Payload: msg,
+				}
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i += wave {
+				n := wave
+				if rem := b.N - i; n > rem {
+					n = rem
+				}
+				if _, err := f.Process(reqs[:n]); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "req/s")
+			b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "cpus")
+		})
 	}
 }
 

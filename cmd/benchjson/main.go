@@ -6,8 +6,8 @@
 //	benchjson gate -baseline BASELINE.json -out BENCH_PR5.json [-retries 2]
 //
 // `run` executes the repository's tracked benchmarks (Throughput,
-// Dispatch, CloneColdStart, ServeThroughput, GatewayServe) via `go
-// test -bench` — keeping the fastest of -count repetitions per
+// Dispatch, CloneColdStart, ServeThroughput, GatewayServe, FleetServe)
+// via `go test -bench` — keeping the fastest of -count repetitions per
 // benchmark — and writes one JSON document with ns/op, ops/sec,
 // allocs/op and every custom metric, plus a host-speed calibration (a
 // fixed pure-Go workload timed at run time).
@@ -18,8 +18,11 @@
 // not mistaken for a slower monitor. It also enforces the absolute
 // ratio targets that are machine-independent by construction: batched
 // ring send/recv must amortize the per-message monitor overhead ≥5×
-// (EXPERIMENTS.md E16), and a snapshot clone must stay ≥5× cheaper
-// than a full measured build (E15).
+// (EXPERIMENTS.md E16), a snapshot clone must stay ≥5× cheaper than a
+// full measured build (E15), and a 4-shard fleet must beat a 1-shard
+// fleet's aggregate throughput by a floor keyed on the runner's cores
+// (E19 — shard concurrency is real OS-thread parallelism, so the
+// floor is read off the benchmark's own "cpus" metric).
 //
 // `gate` is what CI runs: a `run` followed by the `compare` checks,
 // re-measuring only the suites that look regressed (merging by
@@ -68,6 +71,7 @@ var suites = []struct {
 	{".", "^BenchmarkCloneColdStart$"},
 	{".", "^BenchmarkServeThroughput$"},
 	{".", "^BenchmarkGatewayServe$"},
+	{".", "^BenchmarkFleetServe$"},
 	{"./internal/sm", "^BenchmarkDispatch$"},
 }
 
@@ -110,6 +114,28 @@ var ratioChecks = []struct {
 		"BenchmarkThroughput/reference/sanctum", "BenchmarkThroughput/fast/sanctum", 3},
 	{"full fast path vs reference, keystone (E18)",
 		"BenchmarkThroughput/reference/keystone", "BenchmarkThroughput/fast/keystone", 3},
+}
+
+// fleetScalingFloor is the minimum shards=1 / shards=4 ns ratio for
+// BenchmarkFleetServe (EXPERIMENTS.md E19), keyed on the harness's
+// GOMAXPROCS as reported by the benchmark's "cpus" metric. Fleet
+// shards run on real OS threads, so the achievable aggregate scaling
+// is bounded by the host's cores: a 4-core runner must show near-
+// linear gains, a 1-core runner can at best break even and only has
+// to stay within routing-overhead distance of the single shard.
+// Floors sit well under the measured steady ratios — they are
+// regression tripwires, not targets.
+func fleetScalingFloor(cpus float64) float64 {
+	switch {
+	case cpus >= 4:
+		return 1.8
+	case cpus >= 3:
+		return 1.5
+	case cpus >= 2:
+		return 1.2
+	default:
+		return 0.7
+	}
 }
 
 // maxRatioChecks are ceilings: numerator / denominator must stay at
@@ -350,6 +376,32 @@ func evaluate(base, cur File, threshold float64) (failures, suspects []string) {
 				rc.name, ratio, rc.min))
 		}
 		fmt.Printf("  %-48s %38.2f×  (target ≥%g×)  %s\n", rc.name, ratio, rc.min, verdict)
+	}
+	// The fleet-scaling check (E19) is a ratio floor whose target
+	// depends on the runner's parallelism, so it cannot live in the
+	// static ratioChecks table: the floor is picked per run from the
+	// benchmark's own "cpus" metric. Both-absent skip as usual.
+	{
+		num, okN := cur.Benchmarks["BenchmarkFleetServe/shards=1"]
+		den, okD := cur.Benchmarks["BenchmarkFleetServe/shards=4"]
+		switch {
+		case !okN && !okD:
+			// different file kind
+		case !okN || !okD || den.NsPerOp <= 0:
+			failures = append(failures, "fleet aggregate scaling (E19): benchmarks missing")
+		default:
+			min := fleetScalingFloor(den.Metrics["cpus"])
+			ratio := num.NsPerOp / den.NsPerOp
+			name := fmt.Sprintf("fleet aggregate scaling (E19, %g cpus)", den.Metrics["cpus"])
+			verdict := "ok"
+			if ratio < min {
+				verdict = "BELOW TARGET"
+				suspects = append(suspects, "BenchmarkFleetServe/shards=1", "BenchmarkFleetServe/shards=4")
+				failures = append(failures, fmt.Sprintf("%s: ratio %.2f× below the %g× floor",
+					name, ratio, min))
+			}
+			fmt.Printf("  %-48s %38.2f×  (target ≥%g×)  %s\n", name, ratio, min, verdict)
+		}
 	}
 	for _, rc := range maxRatioChecks {
 		num, okN := cur.Benchmarks[rc.num]

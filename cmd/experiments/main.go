@@ -219,6 +219,69 @@ func main() {
 			bs.Compiled >= 1 && frac > 50)
 	}
 
+	// E19 — fleet layer: sessions route onto independent machines, a
+	// drained shard's sessions re-home after clone warm-up, and two
+	// machines' enclaves get a channel only through mutual remote
+	// attestation, every message bound to the transcripts.
+	{
+		f, err := sanctorum.NewFleet(sanctorum.FleetOptions{Kind: sanctorum.Sanctum, Shards: 2})
+		if err != nil {
+			fatal(err)
+		}
+		reqs := make([]sanctorum.FleetRequest, 24)
+		for i := range reqs {
+			payload := make([]byte, api.RingMsgSize)
+			payload[0] = byte(i)
+			reqs[i] = sanctorum.FleetRequest{
+				Session: uint64(i%8) * 0x9E3779B97F4A7C15, Payload: payload,
+			}
+		}
+		resps, err := f.Process(reqs)
+		if err != nil {
+			fatal(err)
+		}
+		echoOK := true
+		for i := range reqs {
+			if string(resps[i]) != string(enclaves.RingEchoExpected(reqs[i].Payload)) {
+				echoOK = false
+			}
+		}
+		victim := 0
+		if f.Stats()[1].Sessions > f.Stats()[0].Sessions {
+			victim = 1
+		}
+		moved, err := f.Drain(victim)
+		if err != nil {
+			fatal(err)
+		}
+		resps, err = f.Process(reqs)
+		if err != nil {
+			fatal(err)
+		}
+		for i := range reqs {
+			if string(resps[i]) != string(enclaves.RingEchoExpected(reqs[i].Payload)) {
+				echoOK = false
+			}
+		}
+		ch, err := f.Connect(0, 1)
+		if err != nil {
+			fatal(err)
+		}
+		got, err := ch.Transfer(victim, []byte("cross-machine"))
+		xferOK := err == nil && string(got) == "cross-machine"
+		wire, _ := ch.Seal(0, []byte("tamper"))
+		wire[4] ^= 1
+		_, tampErr := ch.Deliver(1, wire)
+		add("E19", "fleet sharding + cross-machine attested channel",
+			"sessions survive a shard drain; channel only via mutual attestation; tampering refused",
+			fmt.Sprintf("echo:%v drained=%d moved=%d transfer:%v tamper-refused:%v",
+				echoOK, victim, moved, xferOK, tampErr != nil),
+			echoOK && moved > 0 && xferOK && tampErr != nil)
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+	}
+
 	fmt.Println("Sanctorum reproduction — experiment summary (see EXPERIMENTS.md)")
 	fmt.Println()
 	allPass := true

@@ -49,6 +49,7 @@ var categories = []category{
 	{"verifier (remote party)", false, "attestation verification, key agreement", prefix("internal/attest/")},
 	{"enclave programs", false, "SRV64 workloads", prefix("internal/enclaves/")},
 	{"adversaries", false, "prime+probe attacker, malicious-OS battery", prefix("internal/adversary/")},
+	{"fleet infrastructure", false, "multi-machine sharding, session routing, attested channels", prefix("internal/fleet/")},
 	{"facade/examples/tools", false, "public API, examples, commands", func(p string) bool {
 		return strings.HasPrefix(p, "examples/") || strings.HasPrefix(p, "cmd/") || !strings.Contains(p, "/")
 	}},

@@ -1,0 +1,270 @@
+// End-to-end tests for the fleet layer (DESIGN.md §12): multi-machine
+// sharding behind the distributed gateway, session rebalancing, and
+// cross-machine attested channels.
+package sanctorum_test
+
+import (
+	"fmt"
+	"testing"
+
+	"sanctorum"
+	"sanctorum/internal/enclaves"
+)
+
+func fleetRequests(n, sessions int) []sanctorum.FleetRequest {
+	reqs := make([]sanctorum.FleetRequest, n)
+	for i := range reqs {
+		// Spread keys: a multiplicative hash so consecutive sessions
+		// land on unrelated ring arcs.
+		key := uint64(i%sessions) * 0x9E3779B97F4A7C15
+		reqs[i] = sanctorum.FleetRequest{Session: key, Payload: echoPayload(i)}
+	}
+	return reqs
+}
+
+func checkEcho(t *testing.T, reqs []sanctorum.FleetRequest, resps [][]byte) {
+	t.Helper()
+	for i := range reqs {
+		want := enclaves.RingEchoExpected(reqs[i].Payload)
+		if string(resps[i]) != string(want) {
+			t.Fatalf("response %d = %x, want %x", i, resps[i][:16], want[:16])
+		}
+	}
+}
+
+// TestFleetServe serves an echo workload through a two-shard fleet on
+// every platform backend: requests consistent-hash to shards by
+// session, each shard's key-affinity gateway serves its batch, and
+// responses come back in request order.
+func TestFleetServe(t *testing.T) {
+	for _, kind := range []sanctorum.Kind{sanctorum.Sanctum, sanctorum.Keystone, sanctorum.Baseline} {
+		t.Run(kind.String(), func(t *testing.T) {
+			f, err := sanctorum.NewFleet(sanctorum.FleetOptions{Kind: kind, Shards: 2})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer f.Close()
+			reqs := fleetRequests(41, 12) // odd on purpose: partial chunks
+			resps, err := f.Process(reqs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			checkEcho(t, reqs, resps)
+			if f.Served != 41 {
+				t.Fatalf("fleet served %d, want 41", f.Served)
+			}
+			// Both shards should hold sessions: 12 well-spread keys on a
+			// 2-shard ring do not all land on one arc.
+			used := 0
+			for _, st := range f.Stats() {
+				if st.Sessions > 0 {
+					used++
+				}
+			}
+			if used != 2 {
+				t.Fatalf("sessions concentrated on %d of 2 shards", used)
+			}
+		})
+	}
+}
+
+// TestFleetSessionRebalance drains a shard and requires the rebalance
+// contract: every one of its sessions re-homes onto a live shard, each
+// inheriting shard warmed one extra snapshot-clone worker before the
+// cutover, and the same sessions keep being served correctly after.
+func TestFleetSessionRebalance(t *testing.T) {
+	f, err := sanctorum.NewFleet(sanctorum.FleetOptions{
+		Kind:   sanctorum.Sanctum,
+		Shards: 3,
+		// Two spare clone regions per shard: this test drains twice, and
+		// a shard may inherit (and so warm a worker) both times.
+		Config: sanctorum.FleetConfig{SpareWorkers: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	reqs := fleetRequests(48, 16)
+	if _, err := f.Process(reqs); err != nil {
+		t.Fatal(err)
+	}
+
+	// Drain the most-loaded shard, so the move set is non-trivial.
+	victim, most := 0, -1
+	for i, st := range f.Stats() {
+		if st.Sessions > most {
+			victim, most = i, st.Sessions
+		}
+	}
+	before := f.Stats()
+	moved, err := f.Drain(victim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if moved != most {
+		t.Fatalf("drain moved %d sessions, victim held %d", moved, most)
+	}
+	after := f.Stats()
+	if !after[victim].Draining || after[victim].Sessions != 0 {
+		t.Fatalf("victim after drain: %+v", after[victim])
+	}
+	inherited := 0
+	for i := range after {
+		if i == victim {
+			continue
+		}
+		gained := after[i].Sessions - before[i].Sessions
+		if gained > 0 {
+			inherited += gained
+			// Warm-before-cutover: an inheriting shard has one more
+			// worker than it started with.
+			if after[i].Workers != before[i].Workers+1 {
+				t.Fatalf("shard %d inherited %d sessions but has %d workers (was %d)",
+					i, gained, after[i].Workers, before[i].Workers)
+			}
+		}
+	}
+	if inherited != moved {
+		t.Fatalf("live shards gained %d sessions, drain moved %d", inherited, moved)
+	}
+	// Every session must be assigned off the victim now.
+	for i := range reqs {
+		if s, ok := f.Where(reqs[i].Session); !ok || s == victim {
+			t.Fatalf("session %#x on shard %d after drain of %d", reqs[i].Session, s, victim)
+		}
+	}
+
+	// The same sessions keep serving correctly on their new homes.
+	resps, err := f.Process(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkEcho(t, reqs, resps)
+
+	// A second drain of the same shard, and draining the rest down to
+	// one live shard, are refused.
+	if _, err := f.Drain(victim); err == nil {
+		t.Fatal("double drain succeeded")
+	}
+	others := []int{}
+	for i := 0; i < 3; i++ {
+		if i != victim {
+			others = append(others, i)
+		}
+	}
+	if _, err := f.Drain(others[0]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Drain(others[1]); err == nil {
+		t.Fatal("drained the last live shard")
+	}
+}
+
+// TestDeterministicFleetReplay runs an identical fleet lifecycle —
+// serve, drain, serve again, establish a cross-machine attested
+// channel, transfer both ways — on two independently built fleets and
+// requires bit-identical observables: responses, session placement,
+// channel binding, transferred bytes, and every machine's modeled
+// per-core cycle counters.
+func TestDeterministicFleetReplay(t *testing.T) {
+	type observables struct {
+		resps1, resps2 [][]byte
+		placement      []string
+		binding        [32]byte
+		msgs           [][]byte
+		cycles         []uint64
+	}
+	run := func() observables {
+		f, err := sanctorum.NewFleet(sanctorum.FleetOptions{Kind: sanctorum.Sanctum, Shards: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer f.Close()
+		var o observables
+		reqs := fleetRequests(36, 12)
+		if o.resps1, err = f.Process(reqs); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := f.Drain(1); err != nil {
+			t.Fatal(err)
+		}
+		if o.resps2, err = f.Process(reqs); err != nil {
+			t.Fatal(err)
+		}
+		for i := range reqs {
+			s, _ := f.Where(reqs[i].Session)
+			o.placement = append(o.placement, fmt.Sprintf("%x:%d", reqs[i].Session, s))
+		}
+		ch, err := f.Connect(0, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		o.binding = ch.Binding
+		for _, dir := range []struct {
+			from int
+			msg  string
+		}{{0, "fleet ping"}, {2, "fleet pong"}} {
+			got, err := ch.Transfer(dir.from, []byte(dir.msg))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if string(got) != dir.msg {
+				t.Fatalf("transfer from %d delivered %q", dir.from, got)
+			}
+			o.msgs = append(o.msgs, got)
+		}
+		for s := 0; s < f.NumShards(); s++ {
+			for _, c := range f.Host(s).Machine.Cores {
+				o.cycles = append(o.cycles, c.CPU.Cycles)
+			}
+		}
+		return o
+	}
+	a, b := run(), run()
+	if fmt.Sprint(a.resps1) != fmt.Sprint(b.resps1) || fmt.Sprint(a.resps2) != fmt.Sprint(b.resps2) {
+		t.Fatal("responses diverged between replays")
+	}
+	if fmt.Sprint(a.placement) != fmt.Sprint(b.placement) {
+		t.Fatalf("session placement diverged:\n%v\n%v", a.placement, b.placement)
+	}
+	if a.binding != b.binding {
+		t.Fatalf("channel binding diverged: %x vs %x", a.binding, b.binding)
+	}
+	if fmt.Sprint(a.msgs) != fmt.Sprint(b.msgs) {
+		t.Fatal("transferred messages diverged")
+	}
+	if fmt.Sprint(a.cycles) != fmt.Sprint(b.cycles) {
+		t.Fatalf("modeled cycles diverged:\n%v\n%v", a.cycles, b.cycles)
+	}
+}
+
+// TestFleetParallelServing serves through four shards concurrently —
+// one goroutine per shard, each shard's scheduler itself parallel —
+// which puts the routing tier's counters and the per-shard gateways
+// under -race in CI.
+func TestFleetParallelServing(t *testing.T) {
+	f, err := sanctorum.NewFleet(sanctorum.FleetOptions{
+		Kind:   sanctorum.Sanctum,
+		Shards: 4,
+		Config: sanctorum.FleetConfig{
+			Parallel: true,
+			Sched: sanctorum.SchedConfig{
+				Mode:          sanctorum.Parallel,
+				QuantumCycles: 10_000,
+			},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	reqs := fleetRequests(128, 32)
+	resps, err := f.Process(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkEcho(t, reqs, resps)
+	if f.Served != 128 {
+		t.Fatalf("fleet served %d, want 128", f.Served)
+	}
+}

@@ -125,6 +125,22 @@ func TestRingBattery(t *testing.T) {
 	}
 }
 
+func TestFleetBattery(t *testing.T) {
+	// The fleet channel attacks are protocol attacks — replay, identity
+	// substitution, evidence forgery, binding splices — refused by
+	// verification, not by memory isolation, so every platform
+	// including the baseline must refuse all of them.
+	for _, kind := range []sanctorum.Kind{sanctorum.Sanctum, sanctorum.Keystone, sanctorum.Baseline} {
+		wins, err := FleetBattery(kind)
+		if err != nil {
+			t.Fatalf("%v: battery failed to run: %v", kind, err)
+		}
+		for _, w := range wins {
+			t.Errorf("%v: adversary win: %s", kind, w)
+		}
+	}
+}
+
 func TestMaliciousOSBatteryOnBaseline(t *testing.T) {
 	// The control: without an isolation primitive the adversary wins
 	// the memory attacks (and only those — the monitor's state machine

@@ -1,0 +1,133 @@
+package adversary
+
+import (
+	"errors"
+	"fmt"
+
+	"sanctorum"
+	"sanctorum/internal/attest"
+)
+
+// FleetBattery attacks the fleet layer's cross-machine attested
+// channels (DESIGN.md §12): replayed attestation transcripts, a shard
+// proving under another shard's claimed identity, forged evidence
+// fields, and channel-binding splices — wire sealed for one attested
+// pipe delivered on another. Every attack must be refused, and the
+// evidence-level ones with the documented attest sentinel; a non-empty
+// return lists the attacks that succeeded. The adversary here is the
+// network plus a colluding machine operator: everything between the
+// two monitors is its to replay, redirect or rewrite.
+func FleetBattery(kind sanctorum.Kind) ([]string, error) {
+	var wins []string
+	note := func(format string, args ...any) {
+		wins = append(wins, fmt.Sprintf(format, args...))
+	}
+	refuse := func(name string, sentinel error, err error) {
+		if err == nil {
+			note("%s: accepted", name)
+		} else if sentinel != nil && !errors.Is(err, sentinel) {
+			note("%s: refused with %v, want %v", name, err, sentinel)
+		}
+	}
+
+	f, err := sanctorum.NewFleet(sanctorum.FleetOptions{Kind: kind, Shards: 3})
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+
+	// Baseline: the benign handshake must work, or every refusal below
+	// is vacuous.
+	ch01, err := f.Connect(0, 1)
+	if err != nil {
+		return nil, fmt.Errorf("adversary: benign fleet channel: %w", err)
+	}
+
+	// 1. Transcript replay: a recorded offer answers a *fresh* hello.
+	// The verifier's nonce is new, the evidence's is stale.
+	h1, err := f.NewHello(1, 0)
+	if err != nil {
+		return nil, err
+	}
+	stale, err := f.Prove(h1)
+	if err != nil {
+		return nil, err
+	}
+	h2, err := f.NewHello(1, 0)
+	if err != nil {
+		return nil, err
+	}
+	_, err = f.VerifyOffer(h2, stale)
+	refuse("replayed attestation transcript", attest.ErrWrongNonce, err)
+
+	// 2. Cross-shard impersonation: shard 2 runs the handshake honestly
+	// on its own machine but claims to be shard 0. Its chain roots in
+	// machine 2's manufacturer PKI; the verifier pins shard 0's.
+	himp := &sanctorum.FleetHello{Verifier: h2.Verifier, Prover: 2, Nonce: h2.Nonce, Share: h2.Share}
+	imp, err := f.Prove(himp)
+	if err != nil {
+		return nil, err
+	}
+	imp.Prover = 0
+	_, err = f.VerifyOffer(h2, imp)
+	refuse("shard impersonating another's identity", attest.ErrUntrustedChain, err)
+
+	// 3. Forged measurement: the offer claims a different enclave was
+	// measured. Refused before the signature is even consulted.
+	good, err := f.Prove(h2)
+	if err != nil {
+		return nil, err
+	}
+	forged := *good.Evidence
+	forged.EnclaveMeasurement[7] ^= 0x40
+	_, err = f.VerifyOffer(h2, &sanctorum.FleetOffer{Prover: good.Prover, Evidence: &forged, MAC: good.MAC})
+	refuse("forged enclave measurement", attest.ErrWrongEnclave, err)
+
+	// 4. Substituted key share: the signature covers (measurement ‖
+	// nonce ‖ share), so a man-in-the-middle share fails it.
+	swapped := *good.Evidence
+	swapped.KAShare = append([]byte(nil), good.Evidence.KAShare...)
+	swapped.KAShare[0] ^= 0x01
+	_, err = f.VerifyOffer(h2, &sanctorum.FleetOffer{Prover: good.Prover, Evidence: &swapped, MAC: good.MAC})
+	refuse("substituted key-agreement share", attest.ErrBadSignature, err)
+
+	// 5. Key-confirmation forgery: valid evidence, wrong MAC — an
+	// enclave that never derived the session key.
+	badMAC := good.MAC
+	badMAC[0] ^= 0x80
+	_, err = f.VerifyOffer(h2, &sanctorum.FleetOffer{Prover: good.Prover, Evidence: good.Evidence, MAC: badMAC})
+	refuse("forged key-confirmation MAC", nil, err)
+
+	// 6. Channel-binding splice: wire sealed for channel 0↔1 delivered
+	// on channel 0↔2. Both channels share endpoint 0 and the same
+	// enclave program; only the binding (and keys) differ.
+	ch02, err := f.Connect(0, 2)
+	if err != nil {
+		return nil, fmt.Errorf("adversary: second fleet channel: %w", err)
+	}
+	wire, err := ch01.Seal(0, []byte("spliced across channels"))
+	if err != nil {
+		return nil, err
+	}
+	if _, err := ch02.Deliver(2, wire); err == nil {
+		note("cross-channel splice: delivered")
+	}
+	// ... and reflected back onto its own channel's reverse direction.
+	if _, err := ch01.Deliver(0, wire); err == nil {
+		note("direction-reflected wire: delivered")
+	}
+
+	// 7. In-flight corruption: a single flipped payload bit fails the
+	// authenticator.
+	flipped := append([]byte(nil), wire...)
+	flipped[5] ^= 0x04
+	if _, err := ch01.Deliver(1, flipped); err == nil {
+		note("corrupted wire: delivered")
+	}
+
+	// The benign channel still works after all of it.
+	if got, err := ch01.Transfer(1, []byte("still intact")); err != nil || string(got) != "still intact" {
+		return nil, fmt.Errorf("adversary: benign channel broken after battery: %v", err)
+	}
+	return wins, nil
+}

@@ -106,9 +106,18 @@ type KeyAgreement struct {
 	priv *ecdh.PrivateKey
 }
 
-// NewKeyAgreement draws an ephemeral key pair from rng.
+// NewKeyAgreement draws an ephemeral key pair from rng. It reads
+// exactly 32 bytes (unlike crypto/ecdh's GenerateKey, which consumes a
+// nondeterministic extra byte from the stream), so a seeded rng
+// replays bit-identically — the property deterministic fleet
+// handshakes rely on. X25519 clamps the scalar, so any 32 bytes form a
+// valid key.
 func NewKeyAgreement(rng io.Reader) (*KeyAgreement, error) {
-	priv, err := ecdh.X25519().GenerateKey(rng)
+	var seed [32]byte
+	if _, err := io.ReadFull(rng, seed[:]); err != nil {
+		return nil, err
+	}
+	priv, err := ecdh.X25519().NewPrivateKey(seed[:])
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,299 @@
+// Package fleet is the multi-machine tier above Sanctorum's
+// deliberately per-machine monitor (DESIGN.md §12): N independent
+// machine × monitor × pool × gateway shards behind a routing tier.
+// Nothing here is trusted — the fleet is datacenter infrastructure in
+// the same sense the OS model is: sessions are consistent-hashed onto
+// shards (spilling to the least-loaded shard under skew, rebalancing
+// by warming a snapshot-clone worker on the target before traffic
+// cuts over), and enclaves on different machines get channels only by
+// running the paper's Fig 7 mutual remote-attestation handshake over
+// ring IPC, yielding a measurement-bound pipe whose every message is
+// authenticated together with the channel binding.
+//
+// The package operates on pre-booted hosts so the facade can assemble
+// them (sanctorum.NewFleet); it never imports the facade itself.
+package fleet
+
+import (
+	"crypto/ed25519"
+	"fmt"
+	"sync"
+
+	"sanctorum/internal/crypto/kdf"
+	"sanctorum/internal/enclaves"
+	"sanctorum/internal/hw/machine"
+	ios "sanctorum/internal/os"
+	"sanctorum/internal/sm"
+)
+
+// Host is one booted machine handed to the fleet: hardware, monitor,
+// untrusted OS, and the manufacturer root key the operator pins for
+// this machine's PKI. Hosts must have been booted with the signing-
+// enclave measurement from SigningMeasurement(), or attestation will
+// refuse to sign.
+type Host struct {
+	Machine     *machine.Machine
+	Monitor     *sm.Monitor
+	OS          *ios.OS
+	TrustedRoot ed25519.PublicKey
+}
+
+// Config configures New. Zero fields take defaults.
+type Config struct {
+	// WorkersPerShard is each shard's initial gateway size (default 2).
+	WorkersPerShard int
+	// SpareWorkers reserves clone regions per shard for rebalance
+	// warm-ups (default 1).
+	SpareWorkers int
+	// RingCapacity and Batch pass through to each shard's gateway.
+	RingCapacity int
+	Batch        int
+	// Sched configures each shard's per-wave OS scheduler. The default
+	// (deterministic mode) makes the whole fleet bit-reproducible.
+	Sched ios.SchedConfig
+	// Parallel serves shards on one goroutine each — genuine
+	// multi-machine concurrency (each shard is its own Machine), at
+	// the cost of reproducible interleaving.
+	Parallel bool
+	// Replicas is the number of virtual nodes per shard on the
+	// consistent-hash ring (default 16).
+	Replicas int
+	// SpillFactor: a new session spills off its consistent-hash home
+	// when the home holds more than SpillFactor times the least-loaded
+	// shard's sessions (default 2; a small absolute slack keeps tiny
+	// fleets from spilling immediately).
+	SpillFactor float64
+	// Workload selects the shard worker program: "echo" (default) or
+	// "kv".
+	Workload string
+	// Seed feeds the fleet-side verifier entropy (nonces, key
+	// agreement). Fixed by default, so deterministic-mode handshakes
+	// replay bit-identically.
+	Seed []byte
+}
+
+func (cfg *Config) fill() {
+	if cfg.WorkersPerShard <= 0 {
+		cfg.WorkersPerShard = 2
+	}
+	if cfg.SpareWorkers < 0 {
+		cfg.SpareWorkers = 0
+	} else if cfg.SpareWorkers == 0 {
+		cfg.SpareWorkers = 1
+	}
+	if cfg.Replicas <= 0 {
+		cfg.Replicas = 16
+	}
+	if cfg.SpillFactor <= 0 {
+		cfg.SpillFactor = 2
+	}
+	if cfg.Workload == "" {
+		cfg.Workload = "echo"
+	}
+	if cfg.Seed == nil {
+		cfg.Seed = []byte("sanctorum-fleet")
+	}
+}
+
+// Request is one fleet request: a session key (routed consistently to
+// a shard, then to a worker within it) and a payload of at most one
+// ring message.
+type Request struct {
+	Session uint64
+	Payload []byte
+}
+
+// Fleet is the assembled routing tier.
+type Fleet struct {
+	cfg    Config
+	shards []*shard
+
+	points   []hashPoint    // consistent-hash ring, sorted
+	sessions map[uint64]int // session key → shard
+	load     []int          // live sessions per shard
+	draining []bool
+
+	rng *drbg
+
+	mu sync.Mutex // guards the counters below in parallel mode
+
+	// Served counts requests completed; Spills counts sessions placed
+	// off their consistent-hash home; Rebalanced counts sessions moved
+	// by Drain.
+	Served     int
+	Spills     int
+	Rebalanced int
+}
+
+// SigningMeasurement computes the signing-enclave measurement every
+// fleet host must be booted with (the monitor hard-codes it at boot,
+// §VI-C). It is placement-free: the same for every machine.
+func SigningMeasurement() ([32]byte, error) {
+	l := enclaves.DefaultLayout()
+	spec, err := enclaves.Spec(l, enclaves.SigningEnclave(l), nil, nil,
+		[]ios.SharedMapping{{VA: l.SharedVA}})
+	if err != nil {
+		return [32]byte{}, err
+	}
+	return ios.ExpectedMeasurement(spec), nil
+}
+
+// New assembles a fleet over the given hosts: per host, an attestation
+// enclave pair (signing enclave + attested client), a snapshot/clone
+// worker pool, a key-affinity gateway, and a NIC ring pair for
+// cross-machine byte transport.
+func New(hosts []Host, cfg Config) (*Fleet, error) {
+	if len(hosts) == 0 {
+		return nil, fmt.Errorf("fleet: no hosts")
+	}
+	cfg.fill()
+	f := &Fleet{
+		cfg:      cfg,
+		sessions: make(map[uint64]int),
+		load:     make([]int, len(hosts)),
+		draining: make([]bool, len(hosts)),
+		rng:      newDRBG(cfg.Seed),
+	}
+	for i, h := range hosts {
+		s, err := buildShard(i, h, &cfg)
+		if err != nil {
+			f.Close()
+			return nil, fmt.Errorf("fleet: shard %d: %w", i, err)
+		}
+		f.shards = append(f.shards, s)
+		f.addPoints(i)
+	}
+	return f, nil
+}
+
+// NumShards reports the shard count (including draining shards).
+func (f *Fleet) NumShards() int { return len(f.shards) }
+
+// Host returns shard i's booted machine stack, for observers (cycle
+// counters, monitors) — not for mutating fleet-owned state.
+func (f *Fleet) Host(i int) Host { return f.shards[i].host }
+
+// Process serves a request batch end to end: each request routes to
+// its session's shard, shard batches serve through the per-shard
+// gateways (sequentially in shard order when deterministic, one
+// goroutine per shard in parallel mode), and responses return in
+// request order.
+func (f *Fleet) Process(reqs []Request) ([][]byte, error) {
+	type shardBatch struct {
+		keys     []uint64
+		payloads [][]byte
+		idx      []int
+	}
+	batches := make([]shardBatch, len(f.shards))
+	// Routing mutates the session table; it runs up front on the
+	// caller's goroutine, in request order, deterministically.
+	for i, r := range reqs {
+		s, err := f.route(r.Session)
+		if err != nil {
+			return nil, err
+		}
+		b := &batches[s]
+		b.keys = append(b.keys, r.Session)
+		b.payloads = append(b.payloads, r.Payload)
+		b.idx = append(b.idx, i)
+	}
+	out := make([][]byte, len(reqs))
+	serve := func(s int) error {
+		b := &batches[s]
+		if len(b.idx) == 0 {
+			return nil
+		}
+		resps, err := f.shards[s].gw.ProcessKeyed(b.keys, b.payloads)
+		if err != nil {
+			return fmt.Errorf("fleet: shard %d: %w", s, err)
+		}
+		for j, r := range resps {
+			out[b.idx[j]] = r
+		}
+		return nil
+	}
+	if f.cfg.Parallel {
+		errs := make([]error, len(f.shards))
+		var wg sync.WaitGroup
+		for s := range f.shards {
+			wg.Add(1)
+			go func(s int) {
+				defer wg.Done()
+				errs[s] = serve(s)
+			}(s)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return nil, err
+			}
+		}
+	} else {
+		for s := range f.shards {
+			if err := serve(s); err != nil {
+				return nil, err
+			}
+		}
+	}
+	f.mu.Lock()
+	f.Served += len(reqs)
+	f.mu.Unlock()
+	return out, nil
+}
+
+// ShardStats is one shard's view in Stats.
+type ShardStats struct {
+	Sessions int
+	Workers  int
+	Served   int
+	Draining bool
+}
+
+// Stats snapshots the routing tier.
+func (f *Fleet) Stats() []ShardStats {
+	out := make([]ShardStats, len(f.shards))
+	for i, s := range f.shards {
+		out[i] = ShardStats{
+			Sessions: f.load[i],
+			Workers:  s.gw.NumWorkers(),
+			Served:   s.gw.Served,
+			Draining: f.draining[i],
+		}
+	}
+	return out
+}
+
+// Close tears every shard down (gateway, pool, NIC rings),
+// best-effort; the first error is the one reported.
+func (f *Fleet) Close() error {
+	var firstErr error
+	for _, s := range f.shards {
+		if err := s.close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// drbg is a deterministic byte stream over the KDF — the fleet-side
+// verifier's entropy source. Determinism here is what lets an entire
+// fleet run, handshakes included, replay bit-identically; a production
+// deployment would substitute the platform RNG.
+type drbg struct {
+	state []byte
+	buf   []byte
+}
+
+func newDRBG(seed []byte) *drbg {
+	return &drbg{state: kdf.Derive(seed, "fleet-drbg-init", nil, 32)}
+}
+
+func (d *drbg) Read(p []byte) (int, error) {
+	for len(d.buf) < len(p) {
+		d.state = kdf.Derive(d.state, "fleet-drbg-next", nil, 32)
+		d.buf = append(d.buf, kdf.Derive(d.state, "fleet-drbg-out", nil, 32)...)
+	}
+	copy(p, d.buf)
+	d.buf = d.buf[len(p):]
+	return len(p), nil
+}

@@ -1,0 +1,175 @@
+package fleet
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Session routing (DESIGN.md §12): a session key consistent-hashes
+// onto the shard ring (Replicas virtual nodes per shard, so a shard's
+// departure only re-homes its own arc). New sessions land on their
+// hash home unless the home is overloaded relative to the least-loaded
+// shard, in which case they spill there; established sessions stay put
+// until a drain re-homes them.
+
+type hashPoint struct {
+	hash  uint64
+	shard int
+}
+
+// mix is splitmix64's finalizer: a fixed, deterministic 64-bit mixer —
+// routing must not depend on Go's randomized map iteration or hash
+// seeds anywhere.
+func mix(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// addPoints inserts shard s's virtual nodes into the ring.
+func (f *Fleet) addPoints(s int) {
+	for r := 0; r < f.cfg.Replicas; r++ {
+		f.points = append(f.points, hashPoint{mix(uint64(s)<<32 | uint64(r)), s})
+	}
+	sort.Slice(f.points, func(i, j int) bool { return f.points[i].hash < f.points[j].hash })
+}
+
+// removePoints deletes shard s's virtual nodes (order is preserved).
+func (f *Fleet) removePoints(s int) {
+	kept := f.points[:0]
+	for _, p := range f.points {
+		if p.shard != s {
+			kept = append(kept, p)
+		}
+	}
+	f.points = kept
+}
+
+// Home reports where a fresh session with this key would consistent-
+// hash to, without assigning anything. Errors only when every shard is
+// draining.
+func (f *Fleet) Home(key uint64) (int, error) {
+	if len(f.points) == 0 {
+		return 0, fmt.Errorf("fleet: no live shards")
+	}
+	h := mix(key)
+	i := sort.Search(len(f.points), func(i int) bool { return f.points[i].hash >= h })
+	if i == len(f.points) {
+		i = 0 // wrap: the ring is circular
+	}
+	return f.points[i].shard, nil
+}
+
+// Where reports the shard currently serving a session, if assigned.
+func (f *Fleet) Where(session uint64) (int, bool) {
+	s, ok := f.sessions[session]
+	return s, ok
+}
+
+// spillSlack is the absolute session count below which a home shard is
+// never considered overloaded — tiny fleets shouldn't spill on the
+// first handful of sessions.
+const spillSlack = 8
+
+// route returns the shard serving this session, assigning new sessions
+// to their consistent-hash home or — when the home is overloaded —
+// spilling them to the least-loaded live shard.
+func (f *Fleet) route(session uint64) (int, error) {
+	if s, ok := f.sessions[session]; ok {
+		return s, nil
+	}
+	home, err := f.Home(session)
+	if err != nil {
+		return 0, err
+	}
+	least := -1
+	for s := range f.shards {
+		if f.draining[s] {
+			continue
+		}
+		if least < 0 || f.load[s] < f.load[least] {
+			least = s
+		}
+	}
+	target := home
+	if f.load[home] >= spillSlack && float64(f.load[home]) > f.cfg.SpillFactor*float64(f.load[least]) {
+		target = least
+		f.Spills++
+	}
+	f.sessions[session] = target
+	f.load[target]++
+	return target, nil
+}
+
+// Drain rebalances shard away: its virtual nodes leave the ring, every
+// target shard that will inherit sessions warms one extra snapshot-
+// clone worker (capacity lands before traffic does), and only then do
+// the drained shard's sessions cut over to their new consistent-hash
+// homes. The drained shard serves nothing afterwards but stays up —
+// its machine, monitor and attestation enclaves remain for channels.
+// Returns the number of sessions moved.
+func (f *Fleet) Drain(shard int) (int, error) {
+	if shard < 0 || shard >= len(f.shards) {
+		return 0, fmt.Errorf("fleet: no shard %d", shard)
+	}
+	if f.draining[shard] {
+		return 0, fmt.Errorf("fleet: shard %d is already draining", shard)
+	}
+	live := 0
+	for s := range f.shards {
+		if !f.draining[s] {
+			live++
+		}
+	}
+	if live <= 1 {
+		return 0, fmt.Errorf("fleet: cannot drain the last live shard")
+	}
+	f.removePoints(shard)
+
+	// Sessions re-home deterministically: sorted key order, ring
+	// lookup against the remaining shards.
+	var keys []uint64
+	for k, s := range f.sessions {
+		if s == shard {
+			keys = append(keys, k)
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	targets := map[int]bool{}
+	moves := make([]int, len(keys))
+	for i, k := range keys {
+		t, err := f.Home(k)
+		if err != nil {
+			f.addPoints(shard)
+			return 0, err
+		}
+		moves[i] = t
+		targets[t] = true
+	}
+
+	// Warm-up before cutover: each inheriting shard forks one more
+	// worker from its snapshot. A failed warm-up aborts the drain with
+	// the ring restored — no session moved.
+	var targetList []int
+	for t := range targets {
+		targetList = append(targetList, t)
+	}
+	sort.Ints(targetList)
+	for _, t := range targetList {
+		if err := f.shards[t].gw.AddWorker(); err != nil {
+			f.addPoints(shard)
+			return 0, fmt.Errorf("fleet: warming shard %d: %w", t, err)
+		}
+	}
+
+	// Cutover.
+	f.draining[shard] = true
+	for i, k := range keys {
+		f.sessions[k] = moves[i]
+		f.load[moves[i]]++
+	}
+	f.load[shard] = 0
+	f.Rebalanced += len(keys)
+	return len(keys), nil
+}

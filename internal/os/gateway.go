@@ -80,6 +80,9 @@ type GatewayConfig struct {
 	// still running past it is forced off and reported as an error
 	// (default 5,000,000).
 	MaxStepsPerWake int
+	// Router selects the worker for each request chunk (default a
+	// RoundRobin; fleet shards install KeyAffinity).
+	Router Router
 }
 
 // WakeSource is the monitor surface the gateway registers its
@@ -107,6 +110,9 @@ func (cfg *GatewayConfig) fill() {
 	if cfg.MaxStepsPerWake <= 0 {
 		cfg.MaxStepsPerWake = 5_000_000
 	}
+	if cfg.Router == nil {
+		cfg.Router = &RoundRobin{}
+	}
 }
 
 // NewGateway forks cfg.Workers ring-serving workers from the pool's
@@ -130,10 +136,10 @@ func NewGateway(o *OS, wakes WakeSource, pool *Pool, cfg GatewayConfig) (*Gatewa
 	// the original error is the one reported.
 	fail := func(err error) (*Gateway, error) {
 		for _, gw := range g.workers {
-			if gw.reqRing != 0 && o.SM.RingDestroy(gw.reqRing) == nil {
+			if o.SM.RingDestroy(gw.reqRing) == nil {
 				o.ReleaseMetaPage(gw.reqRing)
 			}
-			if gw.respRing != 0 && o.SM.RingDestroy(gw.respRing) == nil {
+			if o.SM.RingDestroy(gw.respRing) == nil {
 				o.ReleaseMetaPage(gw.respRing)
 			}
 			pool.Release(gw.w)
@@ -148,30 +154,12 @@ func NewGateway(o *OS, wakes WakeSource, pool *Pool, cfg GatewayConfig) (*Gatewa
 		return nil, err
 	}
 	for i := 0; i < cfg.Workers; i++ {
-		w, err := pool.Acquire(0)
+		gw, err := g.newWorker()
 		if err != nil {
 			return fail(fmt.Errorf("os: gateway worker %d: %w", i, err))
 		}
-		gw := &gwWorker{w: w}
-		g.byEID[w.EID] = i
+		g.byEID[gw.w.EID] = i
 		g.workers = append(g.workers, gw)
-		if len(w.TIDs) != 1 {
-			return fail(fmt.Errorf("os: gateway template has %d threads, want 1", len(w.TIDs)))
-		}
-		if gw.reqRing, err = o.AllocMetaPage(); err != nil {
-			return fail(err)
-		}
-		if err := o.SM.RingCreate(gw.reqRing, api.DomainOS, w.EID, cfg.RingCapacity); err != nil {
-			gw.reqRing = 0
-			return fail(fmt.Errorf("os: gateway request ring: %w", err))
-		}
-		if gw.respRing, err = o.AllocMetaPage(); err != nil {
-			return fail(err)
-		}
-		if err := o.SM.RingCreate(gw.respRing, w.EID, api.DomainOS, cfg.RingCapacity); err != nil {
-			gw.respRing = 0
-			return fail(fmt.Errorf("os: gateway response ring: %w", err))
-		}
 	}
 	wakes.SetWakeSink(func(ringID, eid, tid uint64) {
 		g.wokenMu.Lock()
@@ -192,6 +180,71 @@ func NewGateway(o *OS, wakes WakeSource, pool *Pool, cfg GatewayConfig) (*Gatewa
 	}
 	return g, nil
 }
+
+// newWorker forks one pool worker and wires its ring pair, unwinding
+// its own partial state on failure so the caller sees either a fully
+// wired worker or nothing.
+func (g *Gateway) newWorker() (*gwWorker, error) {
+	w, err := g.pool.Acquire(0)
+	if err != nil {
+		return nil, err
+	}
+	gw := &gwWorker{w: w}
+	fail := func(err error) (*gwWorker, error) {
+		if gw.reqRing != 0 && g.o.SM.RingDestroy(gw.reqRing) == nil {
+			g.o.ReleaseMetaPage(gw.reqRing)
+		}
+		if gw.respRing != 0 && g.o.SM.RingDestroy(gw.respRing) == nil {
+			g.o.ReleaseMetaPage(gw.respRing)
+		}
+		g.pool.Release(w)
+		return nil, err
+	}
+	if len(w.TIDs) != 1 {
+		return fail(fmt.Errorf("os: gateway template has %d threads, want 1", len(w.TIDs)))
+	}
+	if gw.reqRing, err = g.o.AllocMetaPage(); err != nil {
+		return fail(err)
+	}
+	if err := g.o.SM.RingCreate(gw.reqRing, api.DomainOS, w.EID, g.cfg.RingCapacity); err != nil {
+		gw.reqRing = 0
+		return fail(fmt.Errorf("os: gateway request ring: %w", err))
+	}
+	if gw.respRing, err = g.o.AllocMetaPage(); err != nil {
+		return fail(err)
+	}
+	if err := g.o.SM.RingCreate(gw.respRing, w.EID, api.DomainOS, g.cfg.RingCapacity); err != nil {
+		gw.respRing = 0
+		return fail(fmt.Errorf("os: gateway response ring: %w", err))
+	}
+	return gw, nil
+}
+
+// AddWorker forks one more worker from the pool and wires it into the
+// serving set, running its startup wave (the worker discovers its
+// rings and parks) before returning. This is the fleet rebalancer's
+// warm-up hook: a drain target gains serving capacity before any
+// traffic cuts over to it. The pool must still have clone regions.
+func (g *Gateway) AddWorker() error {
+	gw, err := g.newWorker()
+	if err != nil {
+		return fmt.Errorf("os: gateway add worker: %w", err)
+	}
+	// byEID is read by the wake sink under wokenMu; publish the new
+	// worker under the same lock.
+	g.wokenMu.Lock()
+	g.byEID[gw.w.EID] = len(g.workers)
+	g.workers = append(g.workers, gw)
+	idx := len(g.workers) - 1
+	g.wokenMu.Unlock()
+	if err := g.wave([]int{idx}, api.ParkedExitValue); err != nil {
+		return fmt.Errorf("os: gateway add worker startup: %w", err)
+	}
+	return nil
+}
+
+// NumWorkers reports the current serving-set size.
+func (g *Gateway) NumWorkers() int { return len(g.workers) }
 
 // takeWoken drains the wake set in worker order (deterministic under
 // the deterministic scheduler, where sinks fire synchronously on the
@@ -306,36 +359,58 @@ func (g *Gateway) drain(gw *gwWorker, out [][]byte) (int, error) {
 
 // Process serves a batch of host requests end to end and returns one
 // api.RingMsgSize response per request, in request order. Requests are
-// distributed round-robin across the workers in chunks of up to Batch
-// messages per ring send; each iteration sends what fits, runs one
-// scheduler wave over the workers the monitor woke, and drains their
-// response rings. Under the deterministic scheduler the whole run —
-// scheduling, preemptions, ring traffic — is bit-reproducible.
+// distributed across the workers by the configured Router (default
+// round-robin) in chunks of up to Batch messages per ring send; each
+// iteration sends what fits, runs one scheduler wave over the workers
+// the monitor woke, and drains their response rings. Under the
+// deterministic scheduler the whole run — scheduling, preemptions,
+// ring traffic — is bit-reproducible.
 func (g *Gateway) Process(payloads [][]byte) ([][]byte, error) {
+	return g.ProcessKeyed(nil, payloads)
+}
+
+// ProcessKeyed is Process with an explicit routing key per request —
+// the fleet's per-shard serving entry point, where keys are session
+// ids and the KeyAffinity router keeps a session on one worker. A nil
+// keys slice routes every request with key 0 (round-robin ignores the
+// key entirely). Response matching is unchanged: FIFO per worker,
+// every record's monitor stamp verified against the worker identity
+// and the pool template measurement.
+func (g *Gateway) ProcessKeyed(keys []uint64, payloads [][]byte) ([][]byte, error) {
+	if keys != nil && len(keys) != len(payloads) {
+		return nil, fmt.Errorf("os: gateway: %d keys for %d payloads", len(keys), len(payloads))
+	}
 	out := make([][]byte, len(payloads))
 	cursor, done := 0, 0
-	rr := 0
+	space := func(i int) int { return g.cfg.RingCapacity - g.workers[i].inflight }
 	for done < len(payloads) {
 		// Assign as many requests as ring capacity allows.
 		for cursor < len(payloads) {
-			var gw *gwWorker
-			for range g.workers {
-				cand := g.workers[rr%len(g.workers)]
-				rr++
-				if cand.inflight < g.cfg.RingCapacity {
-					gw = cand
-					break
-				}
+			var key uint64
+			if keys != nil {
+				key = keys[cursor]
 			}
-			if gw == nil {
+			i := g.cfg.Router.Pick(key, len(g.workers), space)
+			if i < 0 {
 				break // every ring full: serve a wave first
 			}
+			gw := g.workers[i]
 			n := g.cfg.Batch
-			if space := g.cfg.RingCapacity - gw.inflight; n > space {
-				n = space
+			if s := space(i); n > s {
+				n = s
 			}
 			if rem := len(payloads) - cursor; n > rem {
 				n = rem
+			}
+			if keys != nil {
+				// A chunk stays within one routing key: the same key
+				// always routes the same way, so a contiguous same-key
+				// run is the unit that can share one batched send.
+				run := 1
+				for run < n && keys[cursor+run] == key {
+					run++
+				}
+				n = run
 			}
 			if err := g.sendChunk(gw, payloads, cursor, n); err != nil {
 				return nil, err

@@ -1,0 +1,92 @@
+package smcall
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"sanctorum/internal/sm/api"
+)
+
+// Byte-blob transport over mailbox rings: the fleet layer's NIC model
+// (DESIGN.md §12). Attestation handshake messages are far larger than
+// one api.RingMsgSize message, so they travel as a length-prefixed
+// fragment stream — first fragment carries a little-endian u64 total
+// length in its leading 8 bytes — through the same monitor-mediated
+// ring IPC every other message uses. The client stays memory-agnostic:
+// callers pass their owned staging page plus read/write accessors
+// (the OS model's ReadOwned/WriteOwned).
+
+// maxBlob bounds a reassembled blob so a corrupted or hostile length
+// prefix cannot drive unbounded allocation.
+const maxBlob = 1 << 20
+
+// SendBytes streams blob into the ring as length-prefixed fragments,
+// staging up to api.RingMaxBatch fragments per batched ring send at
+// stagePA (one owned page — a page holds more than a max batch). The
+// whole framed blob must fit in the ring's free capacity; a full ring
+// is an error, not a block, matching the monitor's try-lock ABI.
+func (c *Client) SendBytes(ringID, stagePA uint64, write func(pa uint64, data []byte) error, blob []byte) error {
+	if len(blob) > maxBlob {
+		return fmt.Errorf("smcall: blob of %d bytes exceeds the %d transport bound", len(blob), maxBlob)
+	}
+	framed := make([]byte, 8+len(blob))
+	binary.LittleEndian.PutUint64(framed, uint64(len(blob)))
+	copy(framed[8:], blob)
+	// Pad to a whole number of fragments.
+	if rem := len(framed) % api.RingMsgSize; rem != 0 {
+		framed = append(framed, make([]byte, api.RingMsgSize-rem)...)
+	}
+	for off := 0; off < len(framed); {
+		n := (len(framed) - off) / api.RingMsgSize
+		if n > api.RingMaxBatch {
+			n = api.RingMaxBatch
+		}
+		if err := write(stagePA, framed[off:off+n*api.RingMsgSize]); err != nil {
+			return err
+		}
+		sent, err := c.RingSend(ringID, stagePA, n)
+		if err != nil {
+			return fmt.Errorf("smcall: byte-transport send: %w", err)
+		}
+		off += sent * api.RingMsgSize
+	}
+	return nil
+}
+
+// RecvBytes reassembles one length-prefixed blob from the ring,
+// draining records into stagePA and stripping the monitor's sender
+// stamps. The sender's identity deliberately does not gate delivery
+// here: the transport is the untrusted network, and trust decisions
+// belong to the attestation layer on top. An empty ring before the
+// blob completes is a truncation error.
+func (c *Client) RecvBytes(ringID, stagePA uint64, read func(pa uint64, n int) ([]byte, error)) ([]byte, error) {
+	var data []byte
+	total := -1
+	for total < 0 || len(data) < total {
+		n, err := c.RingRecv(ringID, stagePA, api.RingMaxBatch)
+		if errors.Is(err, api.ErrInvalidState) {
+			return nil, fmt.Errorf("smcall: byte-transport blob truncated (%d of %d bytes)", len(data), total)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("smcall: byte-transport recv: %w", err)
+		}
+		records, err := read(stagePA, n*api.RingRecordSize)
+		if err != nil {
+			return nil, err
+		}
+		for i := 0; i < n; i++ {
+			payload := records[i*api.RingRecordSize+api.RingStampSize : (i+1)*api.RingRecordSize]
+			if total < 0 {
+				length := binary.LittleEndian.Uint64(payload)
+				if length > maxBlob {
+					return nil, fmt.Errorf("smcall: byte-transport length %d exceeds the %d bound", length, maxBlob)
+				}
+				total = int(length)
+				payload = payload[8:]
+			}
+			data = append(data, payload...)
+		}
+	}
+	return data[:total], nil
+}

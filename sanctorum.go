@@ -17,6 +17,7 @@ import (
 	"crypto/ed25519"
 	"fmt"
 
+	"sanctorum/internal/fleet"
 	"sanctorum/internal/hw/dram"
 	"sanctorum/internal/hw/machine"
 	"sanctorum/internal/os"
@@ -274,6 +275,72 @@ func (s *System) SharedWriteWord(pa uint64, off int, v uint64) error {
 		b[i] = byte(v >> (8 * uint(i)))
 	}
 	return s.OS.WriteOwned(pa+uint64(off), b[:])
+}
+
+// Fleet re-exports: the multi-machine sharding tier (internal/fleet,
+// DESIGN.md §12).
+type (
+	// Fleet is a routing tier over N machine×monitor×pool×gateway
+	// shards with cross-machine attested channels.
+	Fleet = fleet.Fleet
+	// FleetConfig configures the routing tier.
+	FleetConfig = fleet.Config
+	// FleetRequest is one session-keyed request.
+	FleetRequest = fleet.Request
+	// FleetHost is one booted machine handed to the fleet.
+	FleetHost = fleet.Host
+	// FleetChannel is an established cross-machine attested channel.
+	FleetChannel = fleet.Channel
+	// FleetHello and FleetOffer are the handshake halves — exported so
+	// the adversary battery can replay and tamper with them.
+	FleetHello = fleet.Hello
+	FleetOffer = fleet.Offer
+)
+
+// FleetOptions configures NewFleet. Zero fields take defaults.
+type FleetOptions struct {
+	Kind   Kind
+	Shards int // machines in the fleet; default 2
+	Cores  int // cores per machine; default NewSystem's default
+	Config FleetConfig
+}
+
+// NewFleet boots Shards independent machines — each with its own
+// secure-booted monitor and manufacturer PKI, seeded distinctly so no
+// two machines share device keys — and assembles the routing tier over
+// them. Every machine is booted with the fleet's signing-enclave
+// measurement hard-coded, so cross-machine channels can attest.
+func NewFleet(opts FleetOptions) (*Fleet, error) {
+	if opts.Shards <= 0 {
+		opts.Shards = 2
+	}
+	meas, err := fleet.SigningMeasurement()
+	if err != nil {
+		return nil, fmt.Errorf("sanctorum: fleet signing measurement: %w", err)
+	}
+	seed := opts.Config.Seed
+	if seed == nil {
+		seed = []byte("sanctorum-fleet")
+	}
+	hosts := make([]FleetHost, opts.Shards)
+	for i := range hosts {
+		sys, err := NewSystem(Options{
+			Kind:               opts.Kind,
+			Cores:              opts.Cores,
+			Seed:               append(append([]byte(nil), seed...), byte(i)),
+			SigningMeasurement: meas,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("sanctorum: fleet machine %d: %w", i, err)
+		}
+		hosts[i] = FleetHost{
+			Machine:     sys.Machine,
+			Monitor:     sys.Monitor,
+			OS:          sys.OS,
+			TrustedRoot: sys.TrustedRoot(),
+		}
+	}
+	return fleet.New(hosts, opts.Config)
 }
 
 // SharedReadWord loads one 64-bit word from the shared buffer.
