@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"runtime"
 	"testing"
+	"time"
 
 	"sanctorum"
 	"sanctorum/internal/adversary"
@@ -541,49 +542,68 @@ func BenchmarkServeThroughput(b *testing.B) {
 // requests through the full stack — gateway batching, ring sends,
 // park/wake, pool-cloned enclave workers under the OS scheduler,
 // stamped responses. ns/op is per request; req/s is the headline.
+// BenchmarkGatewayServe runs the gateway echo workload twice — with
+// the telemetry plane wired (the default) and with it compiled out
+// (DisableTelemetry) — as tracked absolute baselines for both modes.
+// The ≤5% overhead gate is NOT the ratio of these two rows (separate
+// rows drift apart on a shared host); it reads the interleaved
+// BenchmarkTelemetryOverhead row below.
 func BenchmarkGatewayServe(b *testing.B) {
-	sys := mustSystem(b, sanctorum.Sanctum, [32]byte{})
-	l := enclaves.DefaultLayout()
-	regions := sys.OS.FreeRegions()
-	spec, err := enclaves.Spec(l, enclaves.RingEchoServer(l), nil, regions[:1], nil)
-	if err != nil {
-		b.Fatal(err)
-	}
-	pool, err := sys.NewPool(spec, regions[1:3], 1)
-	if err != nil {
-		b.Fatal(err)
-	}
-	gw, err := sys.NewGateway(pool, sanctorum.GatewayConfig{
-		Workers: 2,
-		Sched:   sanctorum.SchedConfig{Mode: sanctorum.Deterministic},
-	})
-	if err != nil {
-		b.Fatal(err)
-	}
-	const wave = 32
-	reqs := make([][]byte, wave)
-	for i := range reqs {
-		msg := make([]byte, api.RingMsgSize)
-		msg[0] = byte(i)
-		reqs[i] = msg
-	}
-	b.ResetTimer()
-	for i := 0; i < b.N; i += wave {
-		n := wave
-		if rem := b.N - i; n > rem {
-			n = rem
-		}
-		if _, err := gw.Process(reqs[:n]); err != nil {
-			b.Fatal(err)
-		}
-	}
-	b.StopTimer()
-	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "req/s")
-	if err := gw.Close(); err != nil {
-		b.Fatal(err)
-	}
-	if err := pool.Close(); err != nil {
-		b.Fatal(err)
+	for _, tc := range []struct {
+		name    string
+		disable bool
+	}{{"telemetry", false}, {"notelemetry", true}} {
+		b.Run(tc.name, func(b *testing.B) {
+			sys, err := sanctorum.NewSystem(sanctorum.Options{
+				Kind:             sanctorum.Sanctum,
+				DisableTelemetry: tc.disable,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			l := enclaves.DefaultLayout()
+			regions := sys.OS.FreeRegions()
+			spec, err := enclaves.Spec(l, enclaves.RingEchoServer(l), nil, regions[:1], nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			pool, err := sys.NewPool(spec, regions[1:3], 1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			gw, err := sys.NewGateway(pool, sanctorum.GatewayConfig{
+				Workers: 2,
+				Sched:   sanctorum.SchedConfig{Mode: sanctorum.Deterministic},
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			const wave = 32
+			reqs := make([][]byte, wave)
+			for i := range reqs {
+				msg := make([]byte, api.RingMsgSize)
+				msg[0] = byte(i)
+				reqs[i] = msg
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i += wave {
+				n := wave
+				if rem := b.N - i; n > rem {
+					n = rem
+				}
+				if _, err := gw.Process(reqs[:n]); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "req/s")
+			if err := gw.Close(); err != nil {
+				b.Fatal(err)
+			}
+			if err := pool.Close(); err != nil {
+				b.Fatal(err)
+			}
+		})
 	}
 }
 
@@ -597,9 +617,22 @@ func BenchmarkGatewayServe(b *testing.B) {
 // "cpus": shard concurrency is real OS-thread parallelism, so the
 // achievable ratio depends on the host's cores and the gate keys its
 // floor on this metric.
+// The notelemetry sub-benchmark mirrors shards=1 with the telemetry
+// plane compiled out, as a tracked absolute baseline; the ≤5%
+// overhead enforcement reads the interleaved
+// BenchmarkTelemetryOverhead row instead (see its comment).
 func BenchmarkFleetServe(b *testing.B) {
-	for _, shards := range []int{1, 4} {
-		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+	for _, tc := range []struct {
+		name    string
+		shards  int
+		disable bool
+	}{
+		{"shards=1", 1, false},
+		{"shards=4", 4, false},
+		{"notelemetry", 1, true},
+	} {
+		shards := tc.shards
+		b.Run(tc.name, func(b *testing.B) {
 			f, err := sanctorum.NewFleet(sanctorum.FleetOptions{
 				Kind:   sanctorum.Sanctum,
 				Shards: shards,
@@ -607,6 +640,7 @@ func BenchmarkFleetServe(b *testing.B) {
 					Parallel: true,
 					Sched:    sanctorum.SchedConfig{Mode: sanctorum.Deterministic},
 				},
+				DisableTelemetry: tc.disable,
 			})
 			if err != nil {
 				b.Fatal(err)
@@ -638,6 +672,156 @@ func BenchmarkFleetServe(b *testing.B) {
 			b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "cpus")
 		})
 	}
+}
+
+// --- E20: telemetry instrumentation overhead (DESIGN.md §13) ---
+
+// BenchmarkTelemetryOverhead resolves the telemetry plane's cost the
+// only way a ≤5% effect survives a shared host: both sides inside ONE
+// benchmark. Separate rows run in separate time windows, and
+// host-speed drift between windows reaches ±15% — three times the
+// effect under test (the same reason E18's block-tier ratio check is
+// interleaved). Each iteration serves one wave through a telemetry-on
+// stack and the same wave through an identical DisableTelemetry
+// stack, alternating, so drift hits both halves equally and cancels
+// from the ratio. The halves are reported as "on-ns/req" and
+// "off-ns/req" on the single row; the benchjson gate holds
+// off/on ≥ 0.95 (instrumentation within 5%). The notelemetry
+// sub-benchmarks of BenchmarkGatewayServe / BenchmarkFleetServe stay
+// as tracked absolute baselines; enforcement lives here.
+func BenchmarkTelemetryOverhead(b *testing.B) {
+	b.Run("gateway", func(b *testing.B) {
+		const wave = 32
+		type half struct {
+			gw   *os.Gateway
+			pool *os.Pool
+			reqs [][]byte
+		}
+		mk := func(disable bool) half {
+			sys, err := sanctorum.NewSystem(sanctorum.Options{
+				Kind:             sanctorum.Sanctum,
+				DisableTelemetry: disable,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			l := enclaves.DefaultLayout()
+			regions := sys.OS.FreeRegions()
+			spec, err := enclaves.Spec(l, enclaves.RingEchoServer(l), nil, regions[:1], nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			pool, err := sys.NewPool(spec, regions[1:3], 1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			gw, err := sys.NewGateway(pool, sanctorum.GatewayConfig{
+				Workers: 2,
+				Sched:   sanctorum.SchedConfig{Mode: sanctorum.Deterministic},
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			reqs := make([][]byte, wave)
+			for i := range reqs {
+				msg := make([]byte, api.RingMsgSize)
+				msg[0] = byte(i)
+				reqs[i] = msg
+			}
+			return half{gw: gw, pool: pool, reqs: reqs}
+		}
+		on, off := mk(false), mk(true)
+		serve := func(h half, n int) time.Duration {
+			start := time.Now()
+			if _, err := h.gw.Process(h.reqs[:n]); err != nil {
+				b.Fatal(err)
+			}
+			return time.Since(start)
+		}
+		for i := 0; i < 4; i++ { // warm both stacks identically
+			serve(on, wave)
+			serve(off, wave)
+		}
+		var tOn, tOff time.Duration
+		b.ResetTimer()
+		for i := 0; i < b.N; i += wave {
+			n := wave
+			if rem := b.N - i; n > rem {
+				n = rem
+			}
+			tOn += serve(on, n)
+			tOff += serve(off, n)
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(tOn.Nanoseconds())/float64(b.N), "on-ns/req")
+		b.ReportMetric(float64(tOff.Nanoseconds())/float64(b.N), "off-ns/req")
+		for _, h := range []half{on, off} {
+			if err := h.gw.Close(); err != nil {
+				b.Fatal(err)
+			}
+			if err := h.pool.Close(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("fleet", func(b *testing.B) {
+		const wave, sessions = 32, 8
+		type half struct {
+			f    *sanctorum.Fleet
+			reqs []sanctorum.FleetRequest
+		}
+		mk := func(disable bool) half {
+			f, err := sanctorum.NewFleet(sanctorum.FleetOptions{
+				Kind:   sanctorum.Sanctum,
+				Shards: 1,
+				Config: sanctorum.FleetConfig{
+					Parallel: true,
+					Sched:    sanctorum.SchedConfig{Mode: sanctorum.Deterministic},
+				},
+				DisableTelemetry: disable,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			reqs := make([]sanctorum.FleetRequest, wave)
+			for i := range reqs {
+				msg := make([]byte, api.RingMsgSize)
+				msg[0] = byte(i)
+				reqs[i] = sanctorum.FleetRequest{
+					Session: uint64(i%sessions) * 0x9E3779B97F4A7C15,
+					Payload: msg,
+				}
+			}
+			return half{f: f, reqs: reqs}
+		}
+		on, off := mk(false), mk(true)
+		defer on.f.Close()
+		defer off.f.Close()
+		serve := func(h half, n int) time.Duration {
+			start := time.Now()
+			if _, err := h.f.Process(h.reqs[:n]); err != nil {
+				b.Fatal(err)
+			}
+			return time.Since(start)
+		}
+		for i := 0; i < 4; i++ { // warm both fleets identically
+			serve(on, wave)
+			serve(off, wave)
+		}
+		var tOn, tOff time.Duration
+		b.ResetTimer()
+		for i := 0; i < b.N; i += wave {
+			n := wave
+			if rem := b.N - i; n > rem {
+				n = rem
+			}
+			tOn += serve(on, n)
+			tOff += serve(off, n)
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(tOn.Nanoseconds())/float64(b.N), "on-ns/req")
+		b.ReportMetric(float64(tOff.Nanoseconds())/float64(b.N), "off-ns/req")
+	})
 }
 
 // --- E15: snapshot/clone cold start (DESIGN.md §8) ---

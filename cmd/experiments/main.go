@@ -282,6 +282,66 @@ func main() {
 		}
 	}
 
+	// E20 — cycle-clocked telemetry plane: one traced request crosses
+	// every layer boundary (router → shard → gateway → ring → worker →
+	// ring → gateway) with monotone simulated-cycle stamps, and the
+	// unified registry snapshot covers all five layers' namespaces
+	// without the instrumented run losing determinism (the replay tests
+	// enforce bit-identity; here we check coverage and span shape).
+	{
+		f, err := sanctorum.NewFleet(sanctorum.FleetOptions{Kind: sanctorum.Sanctum, Shards: 2})
+		if err != nil {
+			fatal(err)
+		}
+		reqs := make([]sanctorum.FleetRequest, 24)
+		for i := range reqs {
+			payload := make([]byte, api.RingMsgSize)
+			payload[0] = byte(i)
+			reqs[i] = sanctorum.FleetRequest{
+				Session: uint64(i%8) * 0x9E3779B97F4A7C15, Payload: payload,
+			}
+		}
+		tr := f.TraceNextRequest()
+		if _, err := f.Process(reqs); err != nil {
+			fatal(err)
+		}
+		spans := tr.Spans()
+		wantLayers := []string{"router", "router", "shard", "gateway", "ring", "worker", "ring", "gateway"}
+		chainOK := len(spans) == len(wantLayers)
+		if chainOK {
+			for i, s := range spans {
+				if s.Layer != wantLayers[i] {
+					chainOK = false
+				}
+			}
+		}
+		monotone, closed := true, true
+		var prevBegin uint64
+		for i, s := range spans {
+			if i > 0 && s.Begin < prevBegin {
+				monotone = false
+			}
+			prevBegin = s.Begin
+			if s.End < s.Begin {
+				closed = false
+			}
+		}
+		snap := f.Telemetry().Snapshot()
+		covered := snap.Counters["fleet.served"] == uint64(len(reqs)) &&
+			snap.Counters["os.gateway.served"] == uint64(len(reqs)) &&
+			snap.Counters["sm.call.mailbox_ring_send.count"] > 0 &&
+			snap.Histograms["os.gateway.request.cycles"].Count == uint64(len(reqs)) &&
+			snap.Histograms["sm.ring.recv.batch"].Count > 0
+		add("E20", "cycle-clocked telemetry plane (fleet→enclave trace + unified registry)",
+			"complete span chain with monotone cycle stamps; every layer visible in one snapshot",
+			fmt.Sprintf("spans=%d chain:%v monotone:%v closed:%v layers-covered:%v",
+				len(spans), chainOK, monotone, closed, covered),
+			chainOK && monotone && closed && covered)
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+	}
+
 	fmt.Println("Sanctorum reproduction — experiment summary (see EXPERIMENTS.md)")
 	fmt.Println()
 	allPass := true

@@ -6,12 +6,12 @@ import (
 	"io"
 	"os"
 	"runtime"
-	"sort"
 	"time"
 
 	"sanctorum"
 	"sanctorum/internal/enclaves"
 	"sanctorum/internal/sm/api"
+	"sanctorum/internal/telemetry"
 )
 
 // Config parameterizes one soak.
@@ -105,7 +105,12 @@ func Run(cfg Config) (*Results, error) {
 	}
 
 	res := &Results{Calibration: calibrate()}
-	samples := make([]float64, 0, 1<<18)
+	// Per-request wall latency goes into a telemetry histogram (the
+	// same log-bucketed math the cycle-clocked registry uses); the
+	// percentiles below read off it instead of a sorted sample slice.
+	// Wall time is fine here — the soak measures the host, not the
+	// simulation, and nothing in it needs replay determinism.
+	lat := telemetry.NewHistogram()
 	deadline := time.Now().Add(cfg.Duration)
 	start := time.Now()
 	for time.Now().Before(deadline) {
@@ -120,7 +125,7 @@ func Run(cfg Config) (*Results, error) {
 				return nil, fmt.Errorf("stress: wave %d response %d corrupted", res.Waves, i)
 			}
 		}
-		samples = append(samples, float64(dt.Nanoseconds())/float64(cfg.Wave))
+		lat.Observe(uint64(dt.Nanoseconds()) / uint64(cfg.Wave))
 		res.Waves++
 		res.Served += cfg.Wave
 
@@ -165,32 +170,14 @@ func Run(cfg Config) (*Results, error) {
 		return nil, fmt.Errorf("stress: post-soak invariants: %w", err)
 	}
 
-	sort.Float64s(samples)
-	res.P50 = percentile(samples, 0.50)
-	res.P99 = percentile(samples, 0.99)
-	res.P999 = percentile(samples, 0.999)
-	sum := 0.0
-	for _, s := range samples {
-		sum += s
-	}
-	if len(samples) > 0 {
-		res.Mean = sum / float64(len(samples))
-	}
+	res.P50 = lat.Quantile(0.50)
+	res.P99 = lat.Quantile(0.99)
+	res.P999 = lat.Quantile(0.999)
+	res.Mean = lat.Mean()
 	if res.Elapsed > 0 {
 		res.ReqPerSec = float64(res.Served) / res.Elapsed.Seconds()
 	}
 	return res, nil
-}
-
-func percentile(sorted []float64, q float64) float64 {
-	if len(sorted) == 0 {
-		return 0
-	}
-	i := int(q * float64(len(sorted)))
-	if i >= len(sorted) {
-		i = len(sorted) - 1
-	}
-	return sorted[i]
 }
 
 // calibrate mirrors cmd/benchjson's host-speed probe (the same fixed

@@ -1,8 +1,14 @@
 package main
 
 import (
+	"encoding/json"
+	"math/rand"
+	"os"
+	"sort"
 	"testing"
 	"time"
+
+	"sanctorum/internal/telemetry"
 )
 
 // TestSoakSmoke runs a short soak end-to-end — gateway waves, pool and
@@ -33,5 +39,79 @@ func TestSoakSmoke(t *testing.T) {
 	}
 	if msgs := res.Gate(1e9, 1e9); len(msgs) != 0 {
 		t.Fatalf("gate with absurd ceilings still failed: %v", msgs)
+	}
+}
+
+// TestHistogramMatchesBespokePercentiles replays the exact computation
+// the harness used to hand-roll — sorted-slice index percentiles —
+// against the telemetry histogram that replaced it, on a latency-shaped
+// sample set. The histogram's log-bucketed values must stay within one
+// bucket width (1/16 relative) of the bespoke answers, which keeps the
+// Gate tail ratios (p99/p50, p999/p50) giving identical verdicts.
+func TestHistogramMatchesBespokePercentiles(t *testing.T) {
+	bespoke := func(sorted []float64, q float64) float64 {
+		i := int(q * float64(len(sorted)))
+		if i >= len(sorted) {
+			i = len(sorted) - 1
+		}
+		return sorted[i]
+	}
+	rng := rand.New(rand.NewSource(17))
+	h := telemetry.NewHistogram()
+	var samples []float64
+	for i := 0; i < 50000; i++ {
+		// Log-normal-ish tail like a real soak: a tight body with rare
+		// large excursions.
+		v := 3000 + rng.Intn(2000)
+		if rng.Intn(100) == 0 {
+			v += rng.Intn(60000)
+		}
+		h.Observe(uint64(v))
+		samples = append(samples, float64(v))
+	}
+	sort.Float64s(samples)
+	for _, q := range []float64{0.50, 0.99, 0.999} {
+		exact, got := bespoke(samples, q), h.Quantile(q)
+		if rel := (got - exact) / exact; rel > 1.0/16 || rel < -1.0/16 {
+			t.Fatalf("q=%.3f: histogram %.1f vs bespoke %.1f (rel %.4f)", q, got, exact, rel)
+		}
+	}
+}
+
+// TestGateVerdictOnBaseline loads STRESS_BASELINE.json and checks the
+// CI gate gives the same verdict on its recorded percentiles as it
+// always has: the baseline passes its own ceilings (p99/p50 ≤ 8,
+// p999/p50 ≤ 40) with margin far wider than the histogram's ≤6%
+// bucket error, so switching the percentile math cannot flip the gate.
+func TestGateVerdictOnBaseline(t *testing.T) {
+	raw, err := os.ReadFile("../../STRESS_BASELINE.json")
+	if err != nil {
+		t.Skipf("no baseline: %v", err)
+	}
+	var doc struct {
+		Benchmarks map[string]struct {
+			NsPerOp float64 `json:"ns_per_op"`
+		} `json:"benchmarks"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatal(err)
+	}
+	res := &Results{
+		P50:  doc.Benchmarks["StressGateway/p50"].NsPerOp,
+		P99:  doc.Benchmarks["StressGateway/p99"].NsPerOp,
+		P999: doc.Benchmarks["StressGateway/p999"].NsPerOp,
+	}
+	if res.P50 == 0 {
+		t.Fatal("baseline missing StressGateway/p50")
+	}
+	if msgs := res.Gate(8, 40); len(msgs) != 0 {
+		t.Fatalf("baseline fails its own gate: %v", msgs)
+	}
+	// The worst the histogram can do is inflate a tail by one bucket
+	// (+1/16) while deflating p50 by one bucket (-1/16); even then the
+	// verdict must hold.
+	skewed := &Results{P50: res.P50 * (1 - 1.0/16), P99: res.P99 * (1 + 1.0/16), P999: res.P999 * (1 + 1.0/16)}
+	if msgs := skewed.Gate(8, 40); len(msgs) != 0 {
+		t.Fatalf("gate verdict not robust to bucket error: %v", msgs)
 	}
 }

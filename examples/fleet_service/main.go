@@ -42,6 +42,11 @@ func main() {
 		return reqs
 	}
 	reqs := mkReqs(36)
+	// Trace the first request of the wave: the context is allocated at
+	// the router and rides through shard selection, gateway dispatch,
+	// the enclave ring and back, every span stamped in simulated cycles
+	// (DESIGN.md §13) — so this trace replays bit-identically.
+	tr := f.TraceNextRequest()
 	resps, err := f.Process(reqs)
 	if err != nil {
 		log.Fatal(err)
@@ -63,6 +68,9 @@ func main() {
 		}
 	}
 	fmt.Printf("served %d requests across %d shards\n", f.Served, f.NumShards())
+	fmt.Printf("\ntrace of request 0 (cycle-stamped spans, router → enclave → response):\n")
+	fmt.Print(tr.Render())
+	fmt.Println()
 	show("after first wave")
 
 	// Drain shard 1: its sessions re-home onto the remaining shards'
@@ -118,4 +126,25 @@ func main() {
 	}
 	fmt.Printf("\nfleet totals: served=%d spills=%d rebalanced=%d\n",
 		f.Served, f.Spills, f.Rebalanced)
+
+	// End-of-run observability: one unified snapshot covers every layer
+	// — routing decisions, gateway latency, ring traffic, monitor calls
+	// — in a single namespace, all clocked in simulated cycles.
+	snap := f.Telemetry().Snapshot()
+	fmt.Println("\nend-of-run metrics (selected from the unified registry):")
+	for _, name := range []string{
+		"fleet.served", "fleet.route.home", "fleet.route.spill",
+		"fleet.drains", "fleet.rebalanced", "os.gateway.served",
+		"os.gateway.waves", "sm.call.mailbox_ring_send.count",
+		"sm.call.mailbox_ring_recv.count", "sm.call.enter_enclave.count",
+	} {
+		fmt.Printf("  counter   %-34s %d\n", name, snap.Counters[name])
+	}
+	for _, name := range []string{
+		"os.gateway.request.cycles", "fleet.handshake.cycles",
+	} {
+		h := snap.Histograms[name]
+		fmt.Printf("  histogram %-34s count=%d p50=%.0f p99=%.0f (cycles)\n",
+			name, h.Count, h.P50, h.P99)
+	}
 }

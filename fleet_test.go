@@ -68,6 +68,78 @@ func TestFleetServe(t *testing.T) {
 	}
 }
 
+// TestFleetRequestTraceChain arms the tracer for one request of a
+// TestFleetServe-style workload and requires the complete span chain —
+// router → shard → gateway → ring → worker → ring → gateway — with
+// every child nested inside its parent's cycle window, begin stamps
+// monotone in span order, and a byte-stable rendering. The stamps are
+// simulated cycles, so this chain is as reproducible as the workload.
+func TestFleetRequestTraceChain(t *testing.T) {
+	f, err := sanctorum.NewFleet(sanctorum.FleetOptions{Kind: sanctorum.Sanctum, Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	reqs := fleetRequests(41, 12)
+	tr := f.TraceNextRequest()
+	resps, err := f.Process(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkEcho(t, reqs, resps)
+
+	spans := tr.Spans()
+	wantLayers := []string{"router", "router", "shard", "gateway", "ring", "worker", "ring", "gateway"}
+	if len(spans) != len(wantLayers) {
+		t.Fatalf("trace has %d spans, want %d:\n%s", len(spans), len(wantLayers), tr.Render())
+	}
+	byID := map[int]int{}
+	for i, s := range spans {
+		byID[s.ID] = i
+	}
+	var prevBegin uint64
+	for i, s := range spans {
+		if s.Layer != wantLayers[i] {
+			t.Fatalf("span %d layer %q, want %q:\n%s", i, s.Layer, wantLayers[i], tr.Render())
+		}
+		if s.End < s.Begin {
+			t.Fatalf("span %d (%s/%s) never closed: [%d, %d]", i, s.Layer, s.Name, s.Begin, s.End)
+		}
+		if i > 0 && s.Begin < prevBegin {
+			t.Fatalf("span %d begins at %d, before predecessor's %d", i, s.Begin, prevBegin)
+		}
+		prevBegin = s.Begin
+		if i == 0 {
+			if s.Parent != -1 {
+				t.Fatalf("root span has parent %d", s.Parent)
+			}
+			continue
+		}
+		pi, ok := byID[s.Parent]
+		if !ok {
+			t.Fatalf("span %d (%s/%s) has unknown parent %d", i, s.Layer, s.Name, s.Parent)
+		}
+		p := spans[pi]
+		if s.Begin < p.Begin || s.End > p.End {
+			t.Fatalf("span %d (%s/%s) [%d, %d] escapes parent %s/%s [%d, %d]",
+				i, s.Layer, s.Name, s.Begin, s.End, p.Layer, p.Name, p.Begin, p.End)
+		}
+	}
+	// The root must span real simulated work, and the worker span must
+	// sit strictly inside it — an enclave executes between dispatch and
+	// response, and that execution retires cycles.
+	root, worker := spans[0], spans[5]
+	if root.End <= root.Begin {
+		t.Fatalf("root span is empty: [%d, %d]", root.Begin, root.End)
+	}
+	if worker.End <= worker.Begin {
+		t.Fatalf("worker execute span retired no cycles: [%d, %d]", worker.Begin, worker.End)
+	}
+	if a, b := tr.Render(), tr.Render(); a != b {
+		t.Fatal("trace rendering is not stable")
+	}
+}
+
 // TestFleetSessionRebalance drains a shard and requires the rebalance
 // contract: every one of its sessions re-homes onto a live shard, each
 // inheriting shard warmed one extra snapshot-clone worker before the
@@ -173,6 +245,8 @@ func TestDeterministicFleetReplay(t *testing.T) {
 		binding        [32]byte
 		msgs           [][]byte
 		cycles         []uint64
+		trace          string
+		metrics        string
 	}
 	run := func() observables {
 		f, err := sanctorum.NewFleet(sanctorum.FleetOptions{Kind: sanctorum.Sanctum, Shards: 3})
@@ -182,9 +256,15 @@ func TestDeterministicFleetReplay(t *testing.T) {
 		defer f.Close()
 		var o observables
 		reqs := fleetRequests(36, 12)
+		// Tracing rides along: the first request of the first wave
+		// carries a trace context through every layer, and because span
+		// stamps are simulated cycles the rendered trace — like every
+		// number in the metrics snapshot — must replay bit-identically.
+		tr := f.TraceNextRequest()
 		if o.resps1, err = f.Process(reqs); err != nil {
 			t.Fatal(err)
 		}
+		o.trace = tr.Render()
 		if _, err := f.Drain(1); err != nil {
 			t.Fatal(err)
 		}
@@ -218,6 +298,7 @@ func TestDeterministicFleetReplay(t *testing.T) {
 				o.cycles = append(o.cycles, c.CPU.Cycles)
 			}
 		}
+		o.metrics = f.Telemetry().Snapshot().Text()
 		return o
 	}
 	a, b := run(), run()
@@ -235,6 +316,12 @@ func TestDeterministicFleetReplay(t *testing.T) {
 	}
 	if fmt.Sprint(a.cycles) != fmt.Sprint(b.cycles) {
 		t.Fatalf("modeled cycles diverged:\n%v\n%v", a.cycles, b.cycles)
+	}
+	if a.trace != b.trace {
+		t.Fatalf("traced-request spans diverged between replays:\n%s\nvs\n%s", a.trace, b.trace)
+	}
+	if a.metrics != b.metrics {
+		t.Fatalf("metrics snapshots diverged between replays:\n%s\nvs\n%s", a.metrics, b.metrics)
 	}
 }
 

@@ -167,6 +167,12 @@ func (f *Fleet) Connect(a, b int) (*Channel, error) {
 	if a == b {
 		return nil, fmt.Errorf("fleet: channel endpoints must differ")
 	}
+	if t := f.tel; t != nil {
+		// The handshake actually runs both machines' enclaves, so its
+		// latency in modeled cycles is a real cross-machine figure.
+		begin := f.Clock()
+		defer func() { t.handshake.Observe(f.Clock() - begin) }()
+	}
 	dir := func(verifier, prover int) ([]byte, *attest.Evidence, error) {
 		h, err := f.NewHello(verifier, prover)
 		if err != nil {

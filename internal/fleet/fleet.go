@@ -24,6 +24,7 @@ import (
 	"sanctorum/internal/hw/machine"
 	ios "sanctorum/internal/os"
 	"sanctorum/internal/sm"
+	"sanctorum/internal/telemetry"
 )
 
 // Host is one booted machine handed to the fleet: hardware, monitor,
@@ -70,6 +71,11 @@ type Config struct {
 	// agreement). Fixed by default, so deterministic-mode handshakes
 	// replay bit-identically.
 	Seed []byte
+	// Telemetry is the registry the routing tier instruments against —
+	// normally the same registry every shard's monitor and gateway
+	// share, so per-call and per-ring instruments aggregate fleet-wide.
+	// nil disables fleet-level telemetry.
+	Telemetry *telemetry.Registry
 }
 
 func (cfg *Config) fill() {
@@ -123,6 +129,21 @@ type Fleet struct {
 	Served     int
 	Spills     int
 	Rebalanced int
+
+	// tel caches the routing tier's instrument handles (nil without a
+	// registry); traceNext is a trace armed by TraceNextRequest and
+	// consumed by the next Process call.
+	tel       *fleetTelemetry
+	traceNext *telemetry.Trace
+}
+
+// fleetTelemetry is the routing tier's cached instrument set.
+type fleetTelemetry struct {
+	home      *telemetry.Counter   // sessions placed on their hash home
+	spills    *telemetry.Counter   // sessions spilled off an overloaded home
+	drains    *telemetry.Counter   // Drain operations completed
+	handshake *telemetry.Histogram // Connect handshake latency, cycles
+	batch     *telemetry.Histogram // requests per Process call
 }
 
 // SigningMeasurement computes the signing-enclave measurement every
@@ -163,11 +184,68 @@ func New(hosts []Host, cfg Config) (*Fleet, error) {
 		f.shards = append(f.shards, s)
 		f.addPoints(i)
 	}
+	if reg := cfg.Telemetry; reg != nil {
+		f.tel = &fleetTelemetry{
+			home:      reg.Counter("fleet.route.home"),
+			spills:    reg.Counter("fleet.route.spill"),
+			drains:    reg.Counter("fleet.drains"),
+			handshake: reg.Histogram("fleet.handshake.cycles"),
+			batch:     reg.Histogram("fleet.process.batch"),
+		}
+		// Converge the existing counter surfaces onto the registry as
+		// lazy reads — the fields stay the source of truth (and the
+		// public accessors keep their exact semantics); Snapshot simply
+		// reads them. Snapshots are taken while the fleet is quiesced.
+		reg.RegisterFunc("fleet.served", func() uint64 {
+			f.mu.Lock()
+			defer f.mu.Unlock()
+			return uint64(f.Served)
+		})
+		reg.RegisterFunc("fleet.spills", func() uint64 { return uint64(f.Spills) })
+		reg.RegisterFunc("fleet.rebalanced", func() uint64 { return uint64(f.Rebalanced) })
+		for i := range f.shards {
+			i := i
+			reg.RegisterFunc(fmt.Sprintf("fleet.shard%d.sessions", i), func() uint64 {
+				return uint64(f.load[i])
+			})
+			reg.RegisterFunc(fmt.Sprintf("fleet.shard%d.workers", i), func() uint64 {
+				return uint64(f.shards[i].gw.NumWorkers())
+			})
+			reg.RegisterFunc(fmt.Sprintf("fleet.shard%d.served", i), func() uint64 {
+				return uint64(f.shards[i].gw.Served)
+			})
+		}
+	}
 	return f, nil
+}
+
+// Clock sums every shard machine's published cycle counters: the
+// fleet-level telemetry time base. Monotone (each machine's published
+// counters never move backwards) and purely simulation-derived, so
+// trace stamps replay bit-identically in deterministic mode.
+func (f *Fleet) Clock() uint64 {
+	var sum uint64
+	for _, s := range f.shards {
+		sum += s.host.Machine.CycleNow()
+	}
+	return sum
+}
+
+// TraceNextRequest arms request tracing: the first request of the next
+// Process call is followed router → shard → gateway → ring → worker →
+// response, emitting cycle-stamped spans into the returned trace.
+func (f *Fleet) TraceNextRequest() *telemetry.Trace {
+	t := telemetry.NewTrace(f.Clock)
+	f.traceNext = t
+	return t
 }
 
 // NumShards reports the shard count (including draining shards).
 func (f *Fleet) NumShards() int { return len(f.shards) }
+
+// Telemetry returns the registry the fleet was assembled with, nil
+// when telemetry is disabled.
+func (f *Fleet) Telemetry() *telemetry.Registry { return f.cfg.Telemetry }
 
 // Host returns shard i's booted machine stack, for observers (cycle
 // counters, monitors) — not for mutating fleet-owned state.
@@ -185,12 +263,27 @@ func (f *Fleet) Process(reqs []Request) ([][]byte, error) {
 		idx      []int
 	}
 	batches := make([]shardBatch, len(f.shards))
+	// A trace armed by TraceNextRequest follows the batch's first
+	// request; the root span covers the whole Process call.
+	tr := f.traceNext
+	f.traceNext = nil
+	root, tracedShard := -1, -1
+	if tr != nil && len(reqs) > 0 {
+		root = tr.Begin(-1, "router", "request")
+	}
+	if t := f.tel; t != nil {
+		t.batch.Observe(uint64(len(reqs)))
+	}
 	// Routing mutates the session table; it runs up front on the
 	// caller's goroutine, in request order, deterministically.
 	for i, r := range reqs {
 		s, err := f.route(r.Session)
 		if err != nil {
 			return nil, err
+		}
+		if tr != nil && i == 0 {
+			tr.End(tr.Begin(root, "router", fmt.Sprintf("route shard=%d", s)))
+			tracedShard = s
 		}
 		b := &batches[s]
 		b.keys = append(b.keys, r.Session)
@@ -203,7 +296,17 @@ func (f *Fleet) Process(reqs []Request) ([][]byte, error) {
 		if len(b.idx) == 0 {
 			return nil
 		}
+		span := -1
+		if tr != nil && s == tracedShard {
+			// The traced request routed first, so it is index 0 of its
+			// shard's batch; hand the trace down to the gateway.
+			span = tr.Begin(root, "shard", fmt.Sprintf("serve shard=%d", s))
+			f.shards[s].gw.TraceRequest(tr, span, 0)
+		}
 		resps, err := f.shards[s].gw.ProcessKeyed(b.keys, b.payloads)
+		if span >= 0 {
+			tr.End(span)
+		}
 		if err != nil {
 			return fmt.Errorf("fleet: shard %d: %w", s, err)
 		}
@@ -234,6 +337,9 @@ func (f *Fleet) Process(reqs []Request) ([][]byte, error) {
 				return nil, err
 			}
 		}
+	}
+	if tr != nil {
+		tr.End(root)
 	}
 	f.mu.Lock()
 	f.Served += len(reqs)

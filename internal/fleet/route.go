@@ -96,6 +96,11 @@ func (f *Fleet) route(session uint64) (int, error) {
 	if f.load[home] >= spillSlack && float64(f.load[home]) > f.cfg.SpillFactor*float64(f.load[least]) {
 		target = least
 		f.Spills++
+		if t := f.tel; t != nil {
+			t.spills.Inc(0)
+		}
+	} else if t := f.tel; t != nil {
+		t.home.Inc(0)
 	}
 	f.sessions[session] = target
 	f.load[target]++
@@ -171,5 +176,8 @@ func (f *Fleet) Drain(shard int) (int, error) {
 	}
 	f.load[shard] = 0
 	f.Rebalanced += len(keys)
+	if t := f.tel; t != nil {
+		t.drains.Inc(0)
+	}
 	return len(keys), nil
 }

@@ -133,6 +133,36 @@ type Machine struct {
 	// DMAAllowed is the SM-installed DMA filter (§IV-B1: the SM must be
 	// able to restrict DMA). nil denies all DMA.
 	DMAAllowed func(pa, n uint64) bool
+
+	// cyclePub mirrors each core's CPU.Cycles into a padded atomic
+	// slot so the telemetry clock can be read from any goroutine while
+	// cores run in parallel mode. Cores publish at trap dispatch and
+	// at Run exit; between publishes the mirror lags but never moves
+	// backwards, so CycleNow is monotone per observer and — being
+	// derived purely from modeled cycles — bit-identical across
+	// deterministic replays.
+	cyclePub []cycleSlot
+}
+
+type cycleSlot struct {
+	v atomic.Uint64
+	_ [56]byte
+}
+
+// CycleNow sums the published per-core cycle counters. It is the time
+// base for every telemetry stamp: simulated cycles, never wall clock.
+func (m *Machine) CycleNow() uint64 {
+	var sum uint64
+	for i := range m.cyclePub {
+		sum += m.cyclePub[i].v.Load()
+	}
+	return sum
+}
+
+// publishCycles mirrors c's cycle counter; called only from c's own
+// run goroutine.
+func (m *Machine) publishCycles(c *Core) {
+	m.cyclePub[c.ID].v.Store(c.CPU.Cycles)
 }
 
 // flushDecodeCaches drops every core's decoded-instruction cache. It
@@ -201,6 +231,7 @@ func New(cfg Config) (*Machine, error) {
 		Entropy: entropy,
 	}
 	m.Mem.SetCodeWriteHook(m.flushDecodeCaches)
+	m.cyclePub = make([]cycleSlot, cfg.Cores)
 	for i := 0; i < cfg.Cores; i++ {
 		c := &Core{
 			ID:       i,

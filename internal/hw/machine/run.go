@@ -76,6 +76,7 @@ func (m *Machine) Run(coreID int, maxSteps int) (RunResult, error) {
 	c := m.Cores[coreID]
 	c.runMu.Lock()
 	defer c.runMu.Unlock()
+	defer m.publishCycles(c)
 	steps := 0
 	for steps < maxSteps {
 		// Asynchronous events are checked at instruction boundaries.
@@ -216,6 +217,9 @@ func (c *Core) takeInterrupt() *isa.Trap {
 // per-core buffers, so any trap that escapes into a RunResult is copied
 // first.
 func (m *Machine) dispatch(c *Core, tr *isa.Trap, steps int) (RunResult, bool, error) {
+	// Publish modeled cycles before the firmware runs so monitor-side
+	// telemetry stamps see the work retired up to this trap.
+	m.publishCycles(c)
 	if tr.Cause == isa.CauseHalt {
 		// The firmware is notified (it may need to scrub protection-
 		// domain state off the core) but a halted core always stops.

@@ -9,6 +9,7 @@ import (
 
 	"sanctorum/internal/hw/machine"
 	"sanctorum/internal/sm/api"
+	"sanctorum/internal/telemetry"
 )
 
 // Gateway is the untrusted OS's request-serving front end over the
@@ -54,6 +55,46 @@ type Gateway struct {
 	// Served and Waves count gateway activity for reporting.
 	Served int
 	Waves  int
+
+	// tel caches the gateway's instrument handles (nil when the OS has
+	// no registry); trace is an armed per-request trace consumed by
+	// the next ProcessKeyed call.
+	tel   *gwTelemetry
+	trace *gwTrace
+}
+
+// gwTelemetry is the gateway's cached instrument set; stamps are
+// modeled cycles from the machine, never wall time.
+type gwTelemetry struct {
+	clock     func() uint64
+	served    *telemetry.Counter
+	waves     *telemetry.Counter
+	chunk     *telemetry.Histogram // requests per batched ring send
+	reqCycles *telemetry.Histogram // per-request end-to-end cycles
+	inflight  *telemetry.Gauge     // outstanding requests, all workers
+}
+
+// gwTrace carries one armed request trace through a ProcessKeyed call:
+// dispatch→send→execute→recv→response spans for the request at idx.
+type gwTrace struct {
+	t      *telemetry.Trace
+	parent int
+	idx    int
+	worker int
+	span   int
+	done   bool
+}
+
+// TraceRequest arms tracing for the request at index idx of the next
+// ProcessKeyed call, emitting spans under parent into t. One request
+// per call; the fleet router uses this to extend its trace through the
+// shard's gateway.
+func (g *Gateway) TraceRequest(t *telemetry.Trace, parent, idx int) {
+	if t == nil {
+		g.trace = nil
+		return
+	}
+	g.trace = &gwTrace{t: t, parent: parent, idx: idx, worker: -1, span: -1}
 }
 
 // gwWorker is one pool worker wired to its ring pair.
@@ -63,6 +104,15 @@ type gwWorker struct {
 	respRing uint64
 	inflight int   // requests sent, responses not yet drained
 	pending  []int // request indexes awaiting responses, FIFO
+
+	// stamps parallels pending with each request's send-time cycle
+	// stamp (maintained only when telemetry is wired); stampHead is
+	// the FIFO read position, so the backing array is reused across
+	// waves instead of sliding — drains reset it when it empties.
+	// depth is this worker's queue-depth gauge.
+	stamps    []uint64
+	stampHead int
+	depth     *telemetry.Gauge
 }
 
 // GatewayConfig configures NewGateway. Zero fields take defaults.
@@ -130,6 +180,16 @@ func NewGateway(o *OS, wakes WakeSource, pool *Pool, cfg GatewayConfig) (*Gatewa
 		byEID: make(map[uint64]int),
 		woken: make(map[int]bool),
 	}
+	if reg := o.Telemetry; reg != nil {
+		g.tel = &gwTelemetry{
+			clock:     o.M.CycleNow,
+			served:    reg.Counter("os.gateway.served"),
+			waves:     reg.Counter("os.gateway.waves"),
+			chunk:     reg.Histogram("os.gateway.chunk.size"),
+			reqCycles: reg.Histogram("os.gateway.request.cycles"),
+			inflight:  reg.Gauge("os.gateway.inflight"),
+		}
+	}
 	// A failed constructor unwinds what it built — rings destroyed,
 	// workers released to the pool — so retrying gateway construction
 	// leaks neither pool capacity nor SM metadata pages. Best-effort:
@@ -160,6 +220,7 @@ func NewGateway(o *OS, wakes WakeSource, pool *Pool, cfg GatewayConfig) (*Gatewa
 		}
 		g.byEID[gw.w.EID] = i
 		g.workers = append(g.workers, gw)
+		g.wireWorkerGauge(gw, i)
 	}
 	wakes.SetWakeSink(func(ringID, eid, tid uint64) {
 		g.wokenMu.Lock()
@@ -237,10 +298,20 @@ func (g *Gateway) AddWorker() error {
 	g.workers = append(g.workers, gw)
 	idx := len(g.workers) - 1
 	g.wokenMu.Unlock()
+	g.wireWorkerGauge(gw, idx)
 	if err := g.wave([]int{idx}, api.ParkedExitValue); err != nil {
 		return fmt.Errorf("os: gateway add worker startup: %w", err)
 	}
 	return nil
+}
+
+// wireWorkerGauge gives a freshly wired worker its per-worker queue
+// depth gauge. In a fleet every shard shares one registry, so the
+// gauge for worker idx aggregates across shards (Add-based deltas).
+func (g *Gateway) wireWorkerGauge(gw *gwWorker, idx int) {
+	if g.tel != nil {
+		gw.depth = g.o.Telemetry.Gauge(fmt.Sprintf("os.gateway.worker%d.inflight", idx))
+	}
 }
 
 // NumWorkers reports the current serving-set size.
@@ -275,6 +346,9 @@ func (g *Gateway) wave(idxs []int, want uint64) error {
 		tasks = append(tasks, Task{EID: gw.w.EID, TID: gw.w.TIDs[0], MaxSteps: g.cfg.MaxStepsPerWake})
 	}
 	g.Waves++
+	if t := g.tel; t != nil {
+		t.waves.Inc(0)
+	}
 	results := g.o.NewScheduler(g.cfg.Sched).RunAll(tasks)
 	for i, res := range results {
 		if res.Err != nil {
@@ -314,6 +388,18 @@ func (g *Gateway) sendChunk(gw *gwWorker, payloads [][]byte, from, n int) error 
 		gw.pending = append(gw.pending, from+i)
 	}
 	gw.inflight += n
+	if t := g.tel; t != nil {
+		if gw.stampHead == len(gw.stamps) {
+			gw.stamps, gw.stampHead = gw.stamps[:0], 0
+		}
+		now := t.clock()
+		for i := 0; i < n; i++ {
+			gw.stamps = append(gw.stamps, now)
+		}
+		t.chunk.Observe(uint64(n))
+		t.inflight.Add(int64(n))
+		gw.depth.Add(int64(n))
+	}
 	return nil
 }
 
@@ -321,6 +407,12 @@ func (g *Gateway) sendChunk(gw *gwWorker, payloads [][]byte, from, n int) error 
 // sender stamp on every record, and returns how many responses landed.
 func (g *Gateway) drain(gw *gwWorker, out [][]byte) (int, error) {
 	total := 0
+	// One clock read serves the whole drain: recv is a host-side
+	// monitor call, so no modeled cycles retire while draining.
+	var now uint64
+	if g.tel != nil && gw.inflight > 0 {
+		now = g.tel.clock()
+	}
 	for gw.inflight > 0 {
 		n, err := g.o.SM.RingRecv(gw.respRing, g.recvPA, g.cfg.Batch)
 		if errors.Is(err, api.ErrInvalidState) {
@@ -348,11 +440,20 @@ func (g *Gateway) drain(gw *gwWorker, out [][]byte) (int, error) {
 			idx := gw.pending[0]
 			gw.pending = gw.pending[1:]
 			gw.inflight--
+			if t := g.tel; t != nil {
+				t.reqCycles.Observe(now - gw.stamps[gw.stampHead])
+				gw.stampHead++
+			}
 			payload := make([]byte, api.RingMsgSize)
 			copy(payload, rec[api.RingStampSize:])
 			out[idx] = payload
 			total++
 		}
+	}
+	// The in-flight gauges fold the whole drain in one update each.
+	if t := g.tel; t != nil && total > 0 {
+		t.inflight.Add(-int64(total))
+		gw.depth.Add(-int64(total))
 	}
 	return total, nil
 }
@@ -381,6 +482,11 @@ func (g *Gateway) ProcessKeyed(keys []uint64, payloads [][]byte) ([][]byte, erro
 		return nil, fmt.Errorf("os: gateway: %d keys for %d payloads", len(keys), len(payloads))
 	}
 	out := make([][]byte, len(payloads))
+	tr := g.trace
+	g.trace = nil
+	if tr != nil && (tr.idx < 0 || tr.idx >= len(payloads)) {
+		tr = nil
+	}
 	cursor, done := 0, 0
 	space := func(i int) int { return g.cfg.RingCapacity - g.workers[i].inflight }
 	for done < len(payloads) {
@@ -415,6 +521,13 @@ func (g *Gateway) ProcessKeyed(keys []uint64, payloads [][]byte) ([][]byte, erro
 			if err := g.sendChunk(gw, payloads, cursor, n); err != nil {
 				return nil, err
 			}
+			if tr != nil && tr.worker < 0 && tr.idx >= cursor && tr.idx < cursor+n {
+				// The traced request just went out: open its dispatch
+				// span and record the (host-side, hence instant) send.
+				tr.worker = i
+				tr.span = tr.t.Begin(tr.parent, "gateway", fmt.Sprintf("dispatch worker=%d", i))
+				tr.t.End(tr.t.Begin(tr.span, "ring", fmt.Sprintf("send n=%d", n)))
+			}
 			cursor += n
 		}
 		// The sends woke every parked worker that got traffic; run them.
@@ -423,8 +536,17 @@ func (g *Gateway) ProcessKeyed(keys []uint64, payloads [][]byte) ([][]byte, erro
 			return nil, fmt.Errorf("os: gateway stalled: %d responses outstanding, no worker woken",
 				len(payloads)-done)
 		}
+		workSpan := -1
+		if tr != nil && tr.worker >= 0 && !tr.done && containsInt(woken, tr.worker) {
+			// This wave runs the traced worker's enclave: the only part
+			// of the journey where modeled cycles actually retire.
+			workSpan = tr.t.Begin(tr.span, "worker", "execute")
+		}
 		if err := g.wave(woken, api.ParkedExitValue); err != nil {
 			return nil, err
+		}
+		if workSpan >= 0 {
+			tr.t.End(workSpan)
 		}
 		for _, i := range woken {
 			n, err := g.drain(g.workers[i], out)
@@ -432,10 +554,28 @@ func (g *Gateway) ProcessKeyed(keys []uint64, payloads [][]byte) ([][]byte, erro
 				return nil, err
 			}
 			done += n
+			if tr != nil && !tr.done && tr.worker == i && out[tr.idx] != nil {
+				tr.t.End(tr.t.Begin(tr.span, "ring", "recv"))
+				tr.t.End(tr.t.Begin(tr.span, "gateway", "response"))
+				tr.t.End(tr.span)
+				tr.done = true
+			}
 		}
 	}
 	g.Served += len(payloads)
+	if t := g.tel; t != nil {
+		t.served.Add(0, uint64(len(payloads)))
+	}
 	return out, nil
+}
+
+func containsInt(xs []int, v int) bool {
+	for _, x := range xs {
+		if x == v {
+			return true
+		}
+	}
+	return false
 }
 
 // Close shuts the service down: destroy every ring (waking the parked

@@ -20,6 +20,7 @@ import (
 	"sanctorum/internal/sm"
 	"sanctorum/internal/sm/api"
 	"sanctorum/internal/smcall"
+	"sanctorum/internal/telemetry"
 )
 
 // OS is a minimal untrusted kernel for the simulated machine.
@@ -28,6 +29,12 @@ type OS struct {
 	// SM is the monitor as the OS sees it: the typed client over the
 	// unified call ABI. All monitor calls go through it.
 	SM *smcall.Client
+
+	// Telemetry is the registry OS-side components (the gateway)
+	// instrument against. Set by the facade right after construction;
+	// nil leaves them uninstrumented. Untrusted like everything else
+	// here — the monitor has its own wiring via SetTelemetry.
+	Telemetry *telemetry.Registry
 
 	// kernelRegion is the OS region used for its own page tables,
 	// staging buffers and user program images.

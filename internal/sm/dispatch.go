@@ -233,7 +233,46 @@ func (mon *Monitor) Dispatch(req api.Request) api.Response {
 
 // dispatch is the single routing point for both entries. ctx is nil for
 // host-side (OS) calls and carries the trapping core for enclave calls.
+// When the facade wired a telemetry registry, every call is observed
+// here: count, ErrRetry count, and a cycle-clocked latency histogram,
+// sharded by the trapping core. Without one, the cost is one nil check.
 func (mon *Monitor) dispatch(req api.Request, ctx *callContext) api.Response {
+	t := mon.tele
+	if t == nil {
+		return mon.dispatchCall(req, ctx)
+	}
+	ci := t.call(req.Call)
+	if ci == nil {
+		return mon.dispatchCall(req, ctx)
+	}
+	// The latency clock is the trapping core's own cycle counter, read
+	// plainly — dispatch runs on that core's goroutine, and only the
+	// core itself retires cycles during the call. Host-side calls
+	// (ctx == nil) retire zero simulated cycles by definition, so only
+	// enclave-side calls feed the cycle histogram: counting thousands
+	// of definitional zeros would cost atomics and carry no signal
+	// (DESIGN.md §13), and summing the global clock here would only
+	// pick up other cores' concurrent progress.
+	if ctx == nil {
+		resp := mon.dispatchCall(req, ctx)
+		ci.count.Inc(0)
+		if resp.Status == api.ErrRetry {
+			ci.retries.Inc(0)
+		}
+		return resp
+	}
+	shard := ctx.core.ID
+	begin := ctx.core.CPU.Cycles
+	resp := mon.dispatchCall(req, ctx)
+	ci.count.Inc(shard)
+	ci.cycles.ObserveOn(shard, ctx.core.CPU.Cycles-begin)
+	if resp.Status == api.ErrRetry {
+		ci.retries.Inc(shard)
+	}
+	return resp
+}
+
+func (mon *Monitor) dispatchCall(req api.Request, ctx *callContext) api.Response {
 	def, known := callTable[req.Call]
 	if !known {
 		return fail(api.ErrNotSupported)
@@ -301,7 +340,11 @@ func (mon *Monitor) DispatchBatch(reqs []api.Request) []api.Response {
 				}
 				held, heldID = e, req.Args[0]
 			}
-			out[i] = def.encHandler(mon, held, req)
+			if t := mon.tele; t != nil {
+				out[i] = t.observeEnc(mon, def, held, req)
+			} else {
+				out[i] = def.encHandler(mon, held, req)
+			}
 		} else {
 			// Anything else — including unknown or unauthorized calls —
 			// takes the single-call path; the held lock is released

@@ -6,6 +6,7 @@ import (
 	"sanctorum/internal/hw/mem"
 	"sanctorum/internal/hw/pt"
 	"sanctorum/internal/sm/api"
+	"sanctorum/internal/telemetry"
 )
 
 // BenchmarkDispatch measures the cost the unified ABI adds to one
@@ -48,6 +49,19 @@ func TestDispatchZeroAlloc(t *testing.T) {
 	})
 	if avg != 0 {
 		t.Fatalf("Dispatch allocates %.2f objects per call, want 0", avg)
+	}
+	// The same holds instrumented: the telemetry plane's per-call
+	// counter and cycle histogram are sharded atomics with no heap
+	// traffic, so turning observability on cannot put an allocation on
+	// the monitor-call hot path (DESIGN.md §13).
+	f.mon.SetTelemetry(telemetry.New())
+	avg = testing.AllocsPerRun(1000, func() {
+		if resp := f.mon.Dispatch(req); resp.Status != api.OK {
+			t.Fatal(resp.Status)
+		}
+	})
+	if avg != 0 {
+		t.Fatalf("instrumented Dispatch allocates %.2f objects per call, want 0", avg)
 	}
 }
 

@@ -53,6 +53,11 @@ type Ring struct {
 	waiterEID uint64
 	waiterTID uint64
 
+	// parkStamp is the telemetry cycle stamp taken when the waiter
+	// parked (guarded by mu); the wake path reads it to record the
+	// park→wake wait. Zero when telemetry is disabled.
+	parkStamp uint64
+
 	// scratch is the ring's recv staging buffer, reused across calls
 	// (guarded by mu like the slots) so batched recv allocates nothing
 	// per message.
@@ -183,11 +188,17 @@ func (mon *Monitor) ringDestroy(ringID uint64) api.Error {
 	}
 	weid, wtid := r.takeWaiterLocked()
 	r.dead = true
+	queued := r.count
 	mon.objMu.Lock()
 	delete(mon.rings, ringID)
 	mon.freeMetaPage(ringID)
 	mon.objMu.Unlock()
 	r.mu.Unlock()
+	if t := mon.tele; t != nil && queued > 0 {
+		// Undelivered messages die with the ring; keep the fleet-wide
+		// depth gauge honest.
+		t.ringDepth.Add(-int64(queued))
+	}
 	if wtid != 0 {
 		mon.postWake(machine.NoHart, ringID, weid, wtid)
 	}
@@ -231,7 +242,16 @@ func (mon *Monitor) ringEnqueue(from int, ringID, sender uint64, meas [32]byte, 
 	}
 	r.count += n
 	weid, wtid := r.takeWaiterLocked()
+	stamp := r.parkStamp
 	r.mu.Unlock()
+	if t := mon.tele; t != nil {
+		t.ringSendBatch.ObserveOn(from, uint64(n))
+		t.ringDepth.Add(int64(n))
+		if wtid != 0 {
+			t.ringWakes.Inc(from)
+			t.ringParkWait.ObserveOn(from, t.clock()-stamp)
+		}
+	}
 	if wtid != 0 {
 		mon.postWake(from, ringID, weid, wtid)
 	}
@@ -399,6 +419,14 @@ func hRingRecv(mon *Monitor, req api.Request, ctx *callContext) api.Response {
 		}
 	}
 	r.popLocked(n)
+	if t := mon.tele; t != nil {
+		shard := 0
+		if ctx != nil {
+			shard = ctx.core.ID
+		}
+		t.ringRecvBatch.ObserveOn(shard, uint64(n))
+		t.ringDepth.Add(-int64(n))
+	}
 	return ok(uint64(n))
 }
 
@@ -429,6 +457,10 @@ func hRingPark(mon *Monitor, req api.Request, ctx *callContext) api.Response {
 		return fail(api.ErrInvalidState)
 	}
 	r.waiterEID, r.waiterTID = ctx.enclave.ID, ctx.thread.ID
+	if t := mon.tele; t != nil {
+		r.parkStamp = t.clock()
+		t.ringParks.Inc(ctx.core.ID)
+	}
 	r.mu.Unlock()
 	// AEX-save with the park marker: the PC is not advanced (the trap
 	// path advances it only for non-transfer calls), so resume_aex
@@ -454,9 +486,14 @@ func hRingWake(mon *Monitor, req api.Request, ctx *callContext) api.Response {
 		return fail(api.ErrUnauthorized)
 	}
 	weid, wtid := r.takeWaiterLocked()
+	stamp := r.parkStamp
 	r.mu.Unlock()
 	if wtid == 0 {
 		return ok(0)
+	}
+	if t := mon.tele; t != nil {
+		t.ringWakes.Inc(from)
+		t.ringParkWait.ObserveOn(from, t.clock()-stamp)
 	}
 	mon.postWake(from, req.Args[0], weid, wtid)
 	return ok(1)

@@ -1,0 +1,239 @@
+package telemetry
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+)
+
+// Histogram buckets follow a log-linear (HDR-style) scheme: each
+// power-of-two octave is split into histSubCount linear sub-buckets,
+// so the relative width of any bucket is at most 1/histSubCount
+// (≈6%, ≈3% mid-bucket error). Values below histSubCount^2 / 2 — i.e.
+// below 2^histSubBits — are recorded exactly in unit-wide buckets.
+const (
+	histSubBits  = 4
+	histSubCount = 1 << histSubBits
+	// Buckets: histSubCount unit buckets for values < 2^histSubBits,
+	// then histSubCount sub-buckets per octave for octaves
+	// histSubBits..63. Max index: (63-histSubBits+1)*16 + 15 = 975.
+	histBuckets = (64-histSubBits)*histSubCount + histSubCount
+)
+
+// histShardCount is lower than counter shardCount: a histogram shard
+// is ~8 KB of buckets, and histogram write rates (one per request or
+// per batch, not per instruction) tolerate a little sharing.
+const (
+	histShardCount = 4
+	histShardMask  = histShardCount - 1
+)
+
+type histShard struct {
+	counts [histBuckets]atomic.Uint64
+}
+
+// Histogram is a sharded log-bucketed distribution of uint64 samples
+// (cycle deltas, sizes, depths). Observe is lock-free and
+// allocation-free; quantile queries merge the shards and are meant for
+// snapshot time.
+type Histogram struct {
+	shards [histShardCount]*histShard
+	count  atomic.Uint64
+	sum    atomic.Uint64
+	min    atomic.Uint64
+	max    atomic.Uint64
+}
+
+// NewHistogram returns an empty standalone histogram. Most callers get
+// histograms from a Registry; standalone construction serves tools
+// (cmd/stress) that need the quantile math without a registry.
+func NewHistogram() *Histogram {
+	h := &Histogram{}
+	for i := range h.shards {
+		h.shards[i] = &histShard{}
+	}
+	h.min.Store(math.MaxUint64)
+	return h
+}
+
+// bucketOf maps a sample to its bucket index.
+func bucketOf(v uint64) int {
+	if v < histSubCount {
+		return int(v)
+	}
+	exp := bits.Len64(v) - 1 // position of the leading one, ≥ histSubBits
+	shift := exp - histSubBits
+	sub := int(v>>uint(shift)) & (histSubCount - 1)
+	return (shift+1)<<histSubBits + sub
+}
+
+// bucketLo returns the smallest sample that maps to bucket idx.
+func bucketLo(idx int) uint64 {
+	if idx < histSubCount {
+		return uint64(idx)
+	}
+	shift := uint(idx>>histSubBits - 1)
+	sub := uint64(idx & (histSubCount - 1))
+	return (histSubCount + sub) << shift
+}
+
+// Observe records v with shard hint 0 (single-writer call sites).
+func (h *Histogram) Observe(v uint64) { h.ObserveOn(0, v) }
+
+// ObserveOn records v on the hinted shard (normally the core ID).
+// No-op on a nil histogram; never allocates.
+func (h *Histogram) ObserveOn(shard int, v uint64) {
+	if h == nil {
+		return
+	}
+	h.shards[shard&histShardMask].counts[bucketOf(v)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+	for {
+		cur := h.min.Load()
+		if v >= cur || h.min.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+	for {
+		cur := h.max.Load()
+		if v <= cur || h.max.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+}
+
+// Count returns the number of recorded samples. Zero on nil.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the exact sum of recorded samples. Zero on nil.
+func (h *Histogram) Sum() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.Load()
+}
+
+// Min returns the smallest recorded sample, 0 if empty or nil.
+func (h *Histogram) Min() uint64 {
+	if h == nil || h.count.Load() == 0 {
+		return 0
+	}
+	return h.min.Load()
+}
+
+// Max returns the largest recorded sample, 0 if empty or nil.
+func (h *Histogram) Max() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.max.Load()
+}
+
+// Mean returns the exact arithmetic mean, 0 if empty or nil.
+func (h *Histogram) Mean() float64 {
+	n := h.Count()
+	if n == 0 {
+		return 0
+	}
+	return float64(h.Sum()) / float64(n)
+}
+
+// Merge adds o's samples into h (bucket-count addition, onto shard 0).
+// Count, sum, min and max fold exactly; quantiles of the merge equal
+// quantiles over the union of both bucket sets.
+func (h *Histogram) Merge(o *Histogram) {
+	if h == nil || o == nil {
+		return
+	}
+	for s := range o.shards {
+		for b := range o.shards[s].counts {
+			if n := o.shards[s].counts[b].Load(); n != 0 {
+				h.shards[0].counts[b].Add(n)
+			}
+		}
+	}
+	h.count.Add(o.count.Load())
+	h.sum.Add(o.sum.Load())
+	if o.count.Load() > 0 {
+		h.ObserveFloor(o.min.Load())
+		h.ObserveCeil(o.max.Load())
+	}
+}
+
+// ObserveFloor lowers min to v if needed (merge bookkeeping).
+func (h *Histogram) ObserveFloor(v uint64) {
+	for {
+		cur := h.min.Load()
+		if v >= cur || h.min.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// ObserveCeil raises max to v if needed (merge bookkeeping).
+func (h *Histogram) ObserveCeil(v uint64) {
+	for {
+		cur := h.max.Load()
+		if v <= cur || h.max.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// Quantile returns the q-quantile (q in [0,1]) with linear
+// interpolation inside the landing bucket, clamped to the recorded
+// [min,max]. Zero on an empty or nil histogram. The result is
+// deterministic for identical bucket contents.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return 0
+	}
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	// Rank of the sample we want, 1-based, matching the "index into
+	// the sorted slice" convention the bespoke stress code used.
+	rank := uint64(q * float64(total))
+	if rank >= total {
+		rank = total - 1
+	}
+	rank++ // want the rank-th smallest sample (1-based)
+	var seen uint64
+	for b := 0; b < histBuckets; b++ {
+		var n uint64
+		for s := range h.shards {
+			n += h.shards[s].counts[b].Load()
+		}
+		if n == 0 {
+			continue
+		}
+		if seen+n >= rank {
+			lo, hi := bucketLo(b), bucketLo(b+1)
+			// Interpolate position-within-bucket linearly.
+			frac := float64(rank-seen-1) / float64(n)
+			v := float64(lo) + frac*float64(hi-lo)
+			if mn := float64(h.min.Load()); v < mn {
+				v = mn
+			}
+			if mx := float64(h.max.Load()); v > mx {
+				v = mx
+			}
+			return v
+		}
+		seen += n
+	}
+	return float64(h.max.Load())
+}

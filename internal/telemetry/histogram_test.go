@@ -1,0 +1,156 @@
+package telemetry
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// TestBucketBoundaries checks the structural invariants of the
+// log-linear scheme: every value lands in exactly one bucket whose
+// range contains it, bucket indices are monotone in the value, values
+// below 2^histSubBits are exact, and relative bucket width above that
+// never exceeds 1/histSubCount.
+func TestBucketBoundaries(t *testing.T) {
+	if got := bucketOf(0); got != 0 {
+		t.Fatalf("bucketOf(0) = %d", got)
+	}
+	prev := -1
+	probe := []uint64{0, 1, 2, 15, 16, 17, 31, 32, 33, 63, 64, 100, 255, 256,
+		1 << 20, 1<<20 + 1, math.MaxUint64 >> 1, math.MaxUint64}
+	for _, v := range probe {
+		b := bucketOf(v)
+		if b < prev {
+			t.Fatalf("bucketOf not monotone at %d: %d < %d", v, b, prev)
+		}
+		prev = b
+		if b < 0 || b >= histBuckets {
+			t.Fatalf("bucketOf(%d) = %d out of range", v, b)
+		}
+		lo := bucketLo(b)
+		var hi uint64 = math.MaxUint64
+		if b+1 < histBuckets {
+			hi = bucketLo(b+1) - 1
+		}
+		if v < lo || v > hi {
+			t.Fatalf("value %d outside its bucket %d range [%d,%d]", v, b, lo, hi)
+		}
+	}
+	// Exactness below 2^histSubBits.
+	for v := uint64(0); v < histSubCount; v++ {
+		if b := bucketOf(v); bucketLo(b) != v || bucketLo(b+1) != v+1 {
+			t.Fatalf("value %d not exact: bucket [%d,%d)", v, bucketLo(b), bucketLo(b+1))
+		}
+	}
+	// Bounded relative width above.
+	for b := histSubCount; b < histBuckets-1; b++ {
+		lo, next := bucketLo(b), bucketLo(b+1)
+		width := next - lo
+		if float64(width)/float64(lo) > 1.0/histSubCount+1e-12 {
+			t.Fatalf("bucket %d width %d too wide for lo %d", b, width, lo)
+		}
+	}
+	// bucketLo is the true lower boundary: lo maps into b, lo-1 below.
+	for _, b := range []int{1, 15, 16, 17, 100, 500, 975} {
+		lo := bucketLo(b)
+		if bucketOf(lo) != b {
+			t.Fatalf("bucketOf(bucketLo(%d)=%d) = %d", b, lo, bucketOf(lo))
+		}
+		if lo > 0 && bucketOf(lo-1) != b-1 {
+			t.Fatalf("bucketOf(%d) = %d, want %d", lo-1, bucketOf(lo-1), b-1)
+		}
+	}
+}
+
+// TestQuantileInterpolation compares histogram quantiles against exact
+// order statistics on a pseudo-random sample: error must stay within
+// one bucket width (≈6% relative) plus interpolation slack.
+func TestQuantileInterpolation(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	h := NewHistogram()
+	var samples []uint64
+	for i := 0; i < 20000; i++ {
+		// Log-uniform-ish spread over several octaves, like latencies.
+		v := uint64(100 + rng.Intn(100000))
+		samples = append(samples, v)
+		h.ObserveOn(i, v)
+	}
+	sort.Slice(samples, func(a, b int) bool { return samples[a] < samples[b] })
+	for _, q := range []float64{0, 0.25, 0.5, 0.9, 0.99, 0.999, 1} {
+		idx := int(q * float64(len(samples)))
+		if idx >= len(samples) {
+			idx = len(samples) - 1
+		}
+		exact := float64(samples[idx])
+		got := h.Quantile(q)
+		if relErr := math.Abs(got-exact) / exact; relErr > 1.0/histSubCount {
+			t.Fatalf("q=%.3f: histogram %.1f vs exact %.1f (rel err %.4f)", q, got, exact, relErr)
+		}
+	}
+	if h.Count() != 20000 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if h.Min() != samples[0] || h.Max() != samples[len(samples)-1] {
+		t.Fatalf("min/max %d/%d vs exact %d/%d", h.Min(), h.Max(), samples[0], samples[len(samples)-1])
+	}
+	// Quantiles clamp to recorded extremes.
+	if h.Quantile(0) < float64(samples[0]) || h.Quantile(1) > float64(samples[len(samples)-1]) {
+		t.Fatal("quantile escaped [min,max]")
+	}
+}
+
+// TestHistogramMerge verifies Merge equals observing the union.
+func TestHistogramMerge(t *testing.T) {
+	a, b, union := NewHistogram(), NewHistogram(), NewHistogram()
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 5000; i++ {
+		v := uint64(rng.Intn(1 << 18))
+		if i%2 == 0 {
+			a.ObserveOn(i, v)
+		} else {
+			b.ObserveOn(i, v)
+		}
+		union.Observe(v)
+	}
+	a.Merge(b)
+	if a.Count() != union.Count() || a.Sum() != union.Sum() {
+		t.Fatalf("merged count/sum %d/%d vs union %d/%d", a.Count(), a.Sum(), union.Count(), union.Sum())
+	}
+	if a.Min() != union.Min() || a.Max() != union.Max() {
+		t.Fatalf("merged min/max %d/%d vs union %d/%d", a.Min(), a.Max(), union.Min(), union.Max())
+	}
+	for _, q := range []float64{0.5, 0.99, 0.999} {
+		if got, want := a.Quantile(q), union.Quantile(q); got != want {
+			t.Fatalf("q=%.3f merged %.2f vs union %.2f", q, got, want)
+		}
+	}
+}
+
+// TestHistogramEmptyAndNil covers the degenerate cases instrumented
+// code relies on.
+func TestHistogramEmptyAndNil(t *testing.T) {
+	var nilH *Histogram
+	nilH.Observe(5)
+	nilH.Merge(NewHistogram())
+	if nilH.Quantile(0.5) != 0 || nilH.Count() != 0 || nilH.Min() != 0 || nilH.Max() != 0 || nilH.Mean() != 0 {
+		t.Fatal("nil histogram not inert")
+	}
+	h := NewHistogram()
+	if h.Quantile(0.99) != 0 || h.Min() != 0 || h.Max() != 0 {
+		t.Fatal("empty histogram not zero")
+	}
+	h.Observe(7)
+	if h.Quantile(0) != 7 || h.Quantile(1) != 7 || h.Mean() != 7 {
+		t.Fatalf("single-sample quantiles: %v %v", h.Quantile(0), h.Quantile(1))
+	}
+}
+
+// TestObserveZeroAlloc pins the hot-path discipline: recording a
+// sample must not allocate.
+func TestObserveZeroAlloc(t *testing.T) {
+	h := NewHistogram()
+	if n := testing.AllocsPerRun(1000, func() { h.ObserveOn(3, 12345) }); n != 0 {
+		t.Fatalf("ObserveOn allocates %.1f/op", n)
+	}
+}

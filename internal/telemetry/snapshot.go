@@ -1,0 +1,126 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// HistStats is the exported view of one histogram at snapshot time.
+type HistStats struct {
+	Count uint64  `json:"count"`
+	Sum   uint64  `json:"sum"`
+	Min   uint64  `json:"min"`
+	Max   uint64  `json:"max"`
+	P50   float64 `json:"p50"`
+	P99   float64 `json:"p99"`
+	P999  float64 `json:"p999"`
+}
+
+// Snapshot is a point-in-time export of every instrument in a
+// registry. Lazy RegisterFunc sources fold into Counters (summing
+// across registrations of the same name). All values derive from
+// simulated cycle counts and deterministic workloads, so identical
+// runs yield identical snapshots.
+type Snapshot struct {
+	Counters   map[string]uint64    `json:"counters"`
+	Gauges     map[string]int64     `json:"gauges"`
+	Histograms map[string]HistStats `json:"histograms"`
+}
+
+// Snapshot exports the registry. Meant to be called while the system
+// is quiesced (between waves, at end of run); lazy sources may read
+// plain fields that are only stable then. Empty snapshot on nil.
+func (r *Registry) Snapshot() Snapshot {
+	snap := Snapshot{
+		Counters:   make(map[string]uint64),
+		Gauges:     make(map[string]int64),
+		Histograms: make(map[string]HistStats),
+	}
+	if r == nil {
+		return snap
+	}
+	r.mu.Lock()
+	counters := make(map[string]*Counter, len(r.counters))
+	for k, v := range r.counters {
+		counters[k] = v
+	}
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	for k, v := range r.gauges {
+		gauges[k] = v
+	}
+	hists := make(map[string]*Histogram, len(r.hists))
+	for k, v := range r.hists {
+		hists[k] = v
+	}
+	funcs := make(map[string][]func() uint64, len(r.funcs))
+	for k, v := range r.funcs {
+		funcs[k] = v
+	}
+	r.mu.Unlock()
+
+	for name, c := range counters {
+		snap.Counters[name] = c.Value()
+	}
+	for name, fns := range funcs {
+		var sum uint64
+		for _, fn := range fns {
+			sum += fn()
+		}
+		snap.Counters[name] += sum
+	}
+	for name, g := range gauges {
+		snap.Gauges[name] = g.Value()
+	}
+	for name, h := range hists {
+		snap.Histograms[name] = HistStats{
+			Count: h.Count(),
+			Sum:   h.Sum(),
+			Min:   h.Min(),
+			Max:   h.Max(),
+			P50:   h.Quantile(0.50),
+			P99:   h.Quantile(0.99),
+			P999:  h.Quantile(0.999),
+		}
+	}
+	return snap
+}
+
+// Text renders the snapshot sorted by instrument name, one line each.
+func (s Snapshot) Text() string {
+	var b strings.Builder
+	names := make([]string, 0, len(s.Counters))
+	for n := range s.Counters {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Fprintf(&b, "counter   %-40s %d\n", n, s.Counters[n])
+	}
+	names = names[:0]
+	for n := range s.Gauges {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Fprintf(&b, "gauge     %-40s %d\n", n, s.Gauges[n])
+	}
+	names = names[:0]
+	for n := range s.Histograms {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		h := s.Histograms[n]
+		fmt.Fprintf(&b, "histogram %-40s count=%d sum=%d min=%d max=%d p50=%.1f p99=%.1f p999=%.1f\n",
+			n, h.Count, h.Sum, h.Min, h.Max, h.P50, h.P99, h.P999)
+	}
+	return b.String()
+}
+
+// JSON renders the snapshot as indented JSON (keys sorted by
+// encoding/json's map ordering, so byte-stable for identical data).
+func (s Snapshot) JSON() ([]byte, error) {
+	return json.MarshalIndent(s, "", "  ")
+}

@@ -1,0 +1,196 @@
+// Package telemetry is the repo's unified observability plane: a
+// zero-allocation, shard-per-core metrics registry (counters, gauges,
+// log-bucketed histograms) plus request-scoped tracing, all clocked by
+// simulated cycle counts rather than wall time so that instrumented
+// runs remain bit-identical under deterministic replay (DESIGN.md §13).
+//
+// Hot-path discipline:
+//
+//   - Counters and histograms are sharded across cache-line-padded
+//     atomic slots; writers pass a shard hint (normally the core ID)
+//     and never contend on a shared line.
+//   - No instrument method allocates. Instrument handles are resolved
+//     once at wiring time (get-or-create on the registry) and cached
+//     by the instrumented layer.
+//   - "Disabled" mode is the nil registry: every method on a nil
+//     *Registry returns a nil instrument, and every method on a nil
+//     instrument is a single-branch no-op. Instrumented code never has
+//     to guard — the disabled path compiles down to one predictable
+//     branch per site.
+package telemetry
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// padded is an atomic counter slot padded out to its own cache line so
+// that shard-neighbouring writers do not false-share.
+type padded struct {
+	v atomic.Uint64
+	_ [56]byte
+}
+
+type atomicInt64 = atomic.Int64
+
+// shardCount is the number of independent atomic slots per counter.
+// Writers index with (hint & shardMask); a power of two keeps the mask
+// branch-free and works for negative hints via Go's two's-complement &.
+const (
+	shardCount = 8
+	shardMask  = shardCount - 1
+)
+
+// Registry is a get-or-create namespace of instruments. Instrument
+// lookup takes the registry lock and may allocate; it is meant for
+// wiring time, not hot paths — callers cache the returned handles.
+// A nil *Registry is the disabled mode: all lookups return nil.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+	funcs    map[string][]func() uint64
+}
+
+// New returns an empty registry.
+func New() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+		funcs:    make(map[string][]func() uint64),
+	}
+}
+
+// Counter returns the counter registered under name, creating it on
+// first use. Two lookups of the same name return the same handle, so
+// layers that share a registry (every shard of a fleet) aggregate
+// naturally into one instrument.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c := r.counters[name]
+	if c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the gauge registered under name, creating it on first
+// use. Gauges are Add-based so sharing a name across shards aggregates
+// rather than fights.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g := r.gauges[name]
+	if g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the histogram registered under name, creating it
+// on first use.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h := r.hists[name]
+	if h == nil {
+		h = NewHistogram()
+		r.hists[name] = h
+	}
+	return h
+}
+
+// RegisterFunc registers a lazy counter: fn is invoked only at
+// Snapshot time and its value reported under name. Multiple
+// registrations under one name sum — this is how per-shard sources
+// (block-engine stats, per-client retry counters) converge onto a
+// single fleet-wide counter without adding atomics to their hot paths.
+func (r *Registry) RegisterFunc(name string, fn func() uint64) {
+	if r == nil || fn == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.funcs[name] = append(r.funcs[name], fn)
+}
+
+// Counter is a monotonically increasing count sharded across padded
+// atomic slots. The shard argument is a placement hint (normally the
+// writer's core ID); any int is safe.
+type Counter struct {
+	shards [shardCount]padded
+}
+
+// Inc adds one on the hinted shard. No-op on a nil counter.
+func (c *Counter) Inc(shard int) {
+	if c == nil {
+		return
+	}
+	c.shards[shard&shardMask].v.Add(1)
+}
+
+// Add adds d on the hinted shard. No-op on a nil counter.
+func (c *Counter) Add(shard int, d uint64) {
+	if c == nil {
+		return
+	}
+	c.shards[shard&shardMask].v.Add(d)
+}
+
+// Value sums all shards. Zero on a nil counter.
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	var sum uint64
+	for i := range c.shards {
+		sum += c.shards[i].v.Load()
+	}
+	return sum
+}
+
+// Gauge is an instantaneous signed level. Writers use Add with
+// symmetric deltas so a gauge shared across shards aggregates to the
+// fleet-wide level.
+type Gauge struct {
+	v atomicInt64
+}
+
+// Add moves the level by d. No-op on a nil gauge.
+func (g *Gauge) Add(d int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(d)
+}
+
+// Set overwrites the level. Only for single-writer gauges. No-op on a
+// nil gauge.
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(v)
+}
+
+// Value reads the level. Zero on a nil gauge.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}

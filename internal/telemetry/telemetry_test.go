@@ -1,0 +1,152 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"sync"
+	"testing"
+)
+
+// TestRegistryGetOrCreate verifies name identity: two lookups share
+// one instrument, so fleet shards sharing a registry aggregate.
+func TestRegistryGetOrCreate(t *testing.T) {
+	r := New()
+	c1, c2 := r.Counter("x"), r.Counter("x")
+	if c1 != c2 {
+		t.Fatal("same name returned distinct counters")
+	}
+	c1.Inc(0)
+	c2.Add(5, 2)
+	if c1.Value() != 3 {
+		t.Fatalf("counter = %d", c1.Value())
+	}
+	if r.Gauge("g") != r.Gauge("g") || r.Histogram("h") != r.Histogram("h") {
+		t.Fatal("gauge/histogram identity broken")
+	}
+}
+
+// TestDisabledMode verifies the nil registry and nil instruments are
+// fully inert — the compile-out Disabled mode.
+func TestDisabledMode(t *testing.T) {
+	var r *Registry
+	c, g, h := r.Counter("c"), r.Gauge("g"), r.Histogram("h")
+	if c != nil || g != nil || h != nil {
+		t.Fatal("nil registry returned live instruments")
+	}
+	c.Inc(0)
+	c.Add(1, 10)
+	g.Add(3)
+	g.Set(9)
+	h.Observe(4)
+	r.RegisterFunc("f", func() uint64 { return 1 })
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 {
+		t.Fatal("nil instruments not inert")
+	}
+	snap := r.Snapshot()
+	if len(snap.Counters) != 0 || len(snap.Gauges) != 0 || len(snap.Histograms) != 0 {
+		t.Fatal("nil registry snapshot not empty")
+	}
+}
+
+// TestCounterShardsConcurrent hammers one counter from many
+// goroutines with distinct shard hints; the sum must be exact.
+func TestCounterShardsConcurrent(t *testing.T) {
+	r := New()
+	c := r.Counter("hits")
+	var wg sync.WaitGroup
+	const workers, per = 16, 10000
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(shard int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				c.Inc(shard)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if c.Value() != workers*per {
+		t.Fatalf("lost updates: %d", c.Value())
+	}
+}
+
+// TestRegisterFuncSums verifies lazy sources merge additively under
+// one name and fold into counters of the same name.
+func TestRegisterFuncSums(t *testing.T) {
+	r := New()
+	r.Counter("retries").Add(0, 5)
+	r.RegisterFunc("retries", func() uint64 { return 7 })
+	r.RegisterFunc("retries", func() uint64 { return 11 })
+	r.RegisterFunc("lazy.only", func() uint64 { return 3 })
+	snap := r.Snapshot()
+	if snap.Counters["retries"] != 23 {
+		t.Fatalf("retries = %d, want 23", snap.Counters["retries"])
+	}
+	if snap.Counters["lazy.only"] != 3 {
+		t.Fatalf("lazy.only = %d", snap.Counters["lazy.only"])
+	}
+}
+
+// TestSnapshotDeterministic: identical instrument states must yield
+// byte-identical text and JSON expositions.
+func TestSnapshotDeterministic(t *testing.T) {
+	build := func() Snapshot {
+		r := New()
+		r.Counter("b").Add(0, 2)
+		r.Counter("a").Inc(1)
+		r.Gauge("depth").Set(4)
+		h := r.Histogram("lat")
+		for v := uint64(1); v <= 100; v++ {
+			h.Observe(v * 37)
+		}
+		return r.Snapshot()
+	}
+	s1, s2 := build(), build()
+	if s1.Text() != s2.Text() {
+		t.Fatal("text exposition diverged")
+	}
+	j1, err := s1.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2, _ := s2.JSON()
+	if string(j1) != string(j2) {
+		t.Fatal("JSON exposition diverged")
+	}
+	var back Snapshot
+	if err := json.Unmarshal(j1, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Counters["a"] != 1 || back.Counters["b"] != 2 || back.Gauges["depth"] != 4 {
+		t.Fatal("JSON round-trip lost values")
+	}
+	if back.Histograms["lat"].Count != 100 {
+		t.Fatalf("histogram count round-trip: %d", back.Histograms["lat"].Count)
+	}
+}
+
+// TestInstrumentZeroAlloc pins the zero-allocation contract for every
+// hot-path instrument method, enabled and disabled.
+func TestInstrumentZeroAlloc(t *testing.T) {
+	r := New()
+	c, g, h := r.Counter("c"), r.Gauge("g"), r.Histogram("h")
+	var nilC *Counter
+	var nilG *Gauge
+	var nilH *Histogram
+	cases := []struct {
+		name string
+		fn   func()
+	}{
+		{"counter.inc", func() { c.Inc(2) }},
+		{"counter.add", func() { c.Add(2, 3) }},
+		{"gauge.add", func() { g.Add(1) }},
+		{"hist.observe", func() { h.ObserveOn(5, 999) }},
+		{"nil.counter", func() { nilC.Inc(0) }},
+		{"nil.gauge", func() { nilG.Add(1) }},
+		{"nil.hist", func() { nilH.Observe(1) }},
+	}
+	for _, tc := range cases {
+		if n := testing.AllocsPerRun(500, tc.fn); n != 0 {
+			t.Fatalf("%s allocates %.1f/op", tc.name, n)
+		}
+	}
+}

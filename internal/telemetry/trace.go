@@ -1,0 +1,140 @@
+package telemetry
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Span is one cycle-stamped interval in a request's journey. Begin and
+// End are simulated cycle counts read from the trace's clock; an
+// instant event has End == Begin. Parent is the index of the enclosing
+// span, -1 for the root.
+type Span struct {
+	ID     int    `json:"id"`
+	Parent int    `json:"parent"`
+	Layer  string `json:"layer"`
+	Name   string `json:"name"`
+	Begin  uint64 `json:"begin"`
+	End    uint64 `json:"end"`
+}
+
+// Trace collects the spans of one request as it rides from the fleet
+// router through shard selection, gateway dispatch, ring send/recv,
+// enclave worker execution, and response matching. The trace owns its
+// clock — a func returning the current simulated cycle count — so the
+// layers emitting spans stay decoupled from where cycles live. A
+// mutex guards the span slice: in parallel fleet mode the shard-side
+// spans are emitted from a shard goroutine.
+type Trace struct {
+	mu    sync.Mutex
+	clock func() uint64
+	spans []Span
+}
+
+// NewTrace returns a trace stamped by clock. A nil clock yields zero
+// stamps (still structurally valid).
+func NewTrace(clock func() uint64) *Trace {
+	return &Trace{clock: clock}
+}
+
+// Now reads the trace clock. Zero on a nil trace or nil clock.
+func (t *Trace) Now() uint64 {
+	if t == nil || t.clock == nil {
+		return 0
+	}
+	return t.clock()
+}
+
+// Begin opens a span under parent (-1 for a root) and returns its ID.
+// Returns -1 on a nil trace, which End and further Begins accept.
+func (t *Trace) Begin(parent int, layer, name string) int {
+	if t == nil {
+		return -1
+	}
+	now := t.Now()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	id := len(t.spans)
+	t.spans = append(t.spans, Span{ID: id, Parent: parent, Layer: layer, Name: name, Begin: now, End: now})
+	return id
+}
+
+// End closes span id at the current clock. No-op on a nil trace or an
+// out-of-range id (including the -1 a nil Begin returned).
+func (t *Trace) End(id int) {
+	if t == nil {
+		return
+	}
+	now := t.Now()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if id < 0 || id >= len(t.spans) {
+		return
+	}
+	t.spans[id].End = now
+}
+
+// Mark emits an instant span (End == Begin) under parent.
+func (t *Trace) Mark(parent int, layer, name string) int {
+	if t == nil {
+		return -1
+	}
+	return t.Begin(parent, layer, name)
+}
+
+// Spans returns a copy of the recorded spans in emission order.
+func (t *Trace) Spans() []Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Span, len(t.spans))
+	copy(out, t.spans)
+	return out
+}
+
+// Render formats the trace as an indented tree, children ordered by
+// begin stamp then emission order. Deterministic for identical spans.
+func (t *Trace) Render() string {
+	spans := t.Spans()
+	if len(spans) == 0 {
+		return "(empty trace)\n"
+	}
+	children := make(map[int][]int)
+	var roots []int
+	for _, s := range spans {
+		if s.Parent < 0 || s.Parent >= len(spans) {
+			roots = append(roots, s.ID)
+		} else {
+			children[s.Parent] = append(children[s.Parent], s.ID)
+		}
+	}
+	order := func(ids []int) {
+		sort.SliceStable(ids, func(a, b int) bool {
+			if spans[ids[a]].Begin != spans[ids[b]].Begin {
+				return spans[ids[a]].Begin < spans[ids[b]].Begin
+			}
+			return ids[a] < ids[b]
+		})
+	}
+	var b strings.Builder
+	var walk func(id, depth int)
+	walk = func(id, depth int) {
+		s := spans[id]
+		fmt.Fprintf(&b, "[%-7s] %10d .. %-10d %s%s\n",
+			s.Layer, s.Begin, s.End, strings.Repeat("  ", depth), s.Name)
+		kids := children[id]
+		order(kids)
+		for _, k := range kids {
+			walk(k, depth+1)
+		}
+	}
+	order(roots)
+	for _, r := range roots {
+		walk(r, 0)
+	}
+	return b.String()
+}

@@ -1,0 +1,97 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+)
+
+// fakeClock is a deterministic monotone cycle source for trace tests.
+type fakeClock struct{ now uint64 }
+
+func (f *fakeClock) read() uint64 { f.now += 10; return f.now }
+
+// TestTraceNesting builds the canonical request span chain and checks
+// parent links, layer tags, stamp monotonicity and interval nesting.
+func TestTraceNesting(t *testing.T) {
+	clk := &fakeClock{}
+	tr := NewTrace(clk.read)
+	root := tr.Begin(-1, "router", "request")
+	route := tr.Mark(root, "router", "route shard=1")
+	shard := tr.Begin(root, "shard", "serve")
+	gw := tr.Begin(shard, "gateway", "dispatch")
+	send := tr.Begin(gw, "ring", "send")
+	tr.End(send)
+	work := tr.Begin(gw, "worker", "execute")
+	tr.End(work)
+	recv := tr.Begin(gw, "ring", "recv")
+	tr.End(recv)
+	tr.End(gw)
+	tr.End(shard)
+	tr.End(root)
+
+	spans := tr.Spans()
+	if len(spans) != 7 {
+		t.Fatalf("span count %d", len(spans))
+	}
+	byID := func(id int) Span { return spans[id] }
+	if byID(route).Parent != root || byID(shard).Parent != root || byID(gw).Parent != shard {
+		t.Fatal("parent links wrong")
+	}
+	if byID(route).Begin != byID(route).End {
+		t.Fatal("instant span has duration")
+	}
+	// Monotonic stamps in emission order.
+	var prev uint64
+	for _, s := range spans {
+		if s.Begin < prev {
+			t.Fatalf("begin stamps not monotone at span %d", s.ID)
+		}
+		prev = s.Begin
+		if s.End < s.Begin {
+			t.Fatalf("span %d ends before it begins", s.ID)
+		}
+	}
+	// Children nest inside their parents.
+	for _, s := range spans {
+		if s.Parent < 0 {
+			continue
+		}
+		p := byID(s.Parent)
+		if s.Begin < p.Begin || s.End > p.End {
+			t.Fatalf("span %d [%d,%d] escapes parent %d [%d,%d]",
+				s.ID, s.Begin, s.End, p.ID, p.Begin, p.End)
+		}
+	}
+	r := tr.Render()
+	for _, want := range []string{"router", "gateway", "worker", "recv"} {
+		if !strings.Contains(r, want) {
+			t.Fatalf("render missing %q:\n%s", want, r)
+		}
+	}
+	// Deterministic render.
+	if tr.Render() != r {
+		t.Fatal("render not stable")
+	}
+}
+
+// TestTraceNilSafe: a nil trace (tracing disabled) must accept the
+// whole emission protocol as no-ops.
+func TestTraceNilSafe(t *testing.T) {
+	var tr *Trace
+	id := tr.Begin(-1, "router", "request")
+	if id != -1 {
+		t.Fatalf("nil Begin returned %d", id)
+	}
+	tr.End(id)
+	tr.Mark(id, "x", "y")
+	if tr.Now() != 0 || tr.Spans() != nil {
+		t.Fatal("nil trace leaked state")
+	}
+	// A live trace must also ignore the -1 a nil path produced.
+	live := NewTrace(nil)
+	live.End(-1)
+	live.End(99)
+	if n := len(live.Spans()); n != 0 {
+		t.Fatalf("out-of-range End created spans: %d", n)
+	}
+}

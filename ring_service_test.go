@@ -15,6 +15,7 @@ import (
 	"sanctorum/internal/isa"
 	ios "sanctorum/internal/os"
 	"sanctorum/internal/sm/api"
+	"sanctorum/internal/telemetry"
 )
 
 // ringService builds a pool from the given ring-server program and a
@@ -298,10 +299,11 @@ func TestRingParkWakeRace(t *testing.T) {
 // TestDeterministicGatewayReplay runs the identical gateway workload
 // on two independently built systems under the deterministic scheduler
 // and requires the runs to agree observable-by-observable: every
-// response byte, the wave count, and the modeled cycle counters of
-// every core.
+// response byte, the wave count, the modeled cycle counters of every
+// core, and — because span stamps are simulated cycles, not wall clock
+// — the rendered trace of an instrumented request (DESIGN.md §13).
 func TestDeterministicGatewayReplay(t *testing.T) {
-	run := func() ([][]byte, int, []uint64) {
+	run := func() ([][]byte, int, []uint64, string) {
 		sys, err := sanctorum.NewSystem(sanctorum.Options{Kind: sanctorum.Sanctum})
 		if err != nil {
 			t.Fatal(err)
@@ -318,6 +320,8 @@ func TestDeterministicGatewayReplay(t *testing.T) {
 			}
 			reqs = append(reqs, enclaves.RingKVRequest(op, i%7, i*i))
 		}
+		tr := telemetry.NewTrace(sys.Machine.CycleNow)
+		gw.TraceRequest(tr, -1, 0)
 		resps, err := gw.Process(reqs)
 		if err != nil {
 			t.Fatal(err)
@@ -333,10 +337,10 @@ func TestDeterministicGatewayReplay(t *testing.T) {
 		for _, c := range sys.Machine.Cores {
 			cycles = append(cycles, c.CPU.Cycles)
 		}
-		return resps, waves, cycles
+		return resps, waves, cycles, tr.Render()
 	}
-	aResp, aWaves, aCycles := run()
-	bResp, bWaves, bCycles := run()
+	aResp, aWaves, aCycles, aTrace := run()
+	bResp, bWaves, bCycles, bTrace := run()
 	if aWaves != bWaves {
 		t.Fatalf("wave counts diverged: %d vs %d", aWaves, bWaves)
 	}
@@ -347,5 +351,11 @@ func TestDeterministicGatewayReplay(t *testing.T) {
 	}
 	if fmt.Sprint(aCycles) != fmt.Sprint(bCycles) {
 		t.Fatalf("modeled cycles diverged: %v vs %v", aCycles, bCycles)
+	}
+	if aTrace == "" {
+		t.Fatal("traced request produced no spans")
+	}
+	if aTrace != bTrace {
+		t.Fatalf("traced-request spans diverged:\n%s\nvs\n%s", aTrace, bTrace)
 	}
 }

@@ -27,6 +27,7 @@ import (
 	"sanctorum/internal/sm"
 	"sanctorum/internal/sm/api"
 	"sanctorum/internal/sm/boot"
+	"sanctorum/internal/telemetry"
 )
 
 // Kind selects the isolation backend.
@@ -55,6 +56,12 @@ type Options struct {
 	// SigningMeasurement is the measurement of the signing enclave to
 	// hard-code into the monitor (§VI-C); zero disables attest-sign.
 	SigningMeasurement [32]byte
+	// Telemetry injects an existing registry (fleet shards share one);
+	// nil creates a fresh registry. DisableTelemetry leaves the system
+	// fully uninstrumented — the compile-out mode benchmarks compare
+	// against.
+	Telemetry        *telemetry.Registry
+	DisableTelemetry bool
 }
 
 func (o *Options) fill() {
@@ -83,6 +90,10 @@ type System struct {
 	OS           *os.OS
 	Manufacturer *boot.Manufacturer
 	Device       *boot.Device
+
+	// Telemetry is the system's metrics registry (DESIGN.md §13); nil
+	// when Options.DisableTelemetry was set.
+	Telemetry *telemetry.Registry
 
 	// KernelRegion and MetaRegion record the layout choices NewSystem
 	// made: region 0 backs the OS kernel, RegionCount-2 the monitor's
@@ -137,10 +148,31 @@ func NewSystem(opts Options) (*System, error) {
 	if err != nil {
 		return nil, fmt.Errorf("sanctorum: starting OS: %w", err)
 	}
+	var reg *telemetry.Registry
+	if !opts.DisableTelemetry {
+		reg = opts.Telemetry
+		if reg == nil {
+			reg = telemetry.New()
+		}
+		mon.SetTelemetry(reg)
+		kernel.Telemetry = reg
+		// Converge the pre-existing counter surfaces (DESIGN.md §13):
+		// the block engine's per-core stats and the smcall client's
+		// retry counter stay the source of truth; the registry reads
+		// them lazily at Snapshot, so their hot paths gain nothing.
+		for _, c := range m.Cores {
+			c := c
+			reg.RegisterFunc("machine.block.compiled", func() uint64 { return c.BlockStats().Compiled })
+			reg.RegisterFunc("machine.block.executions", func() uint64 { return c.BlockStats().Executions })
+			reg.RegisterFunc("machine.block.instrs", func() uint64 { return c.BlockStats().Instrs })
+		}
+		reg.RegisterFunc("smcall.retries", kernel.SM.Retries)
+	}
 	return &System{
 		Machine:      m,
 		Monitor:      mon,
 		OS:           kernel,
+		Telemetry:    reg,
 		Manufacturer: mfr,
 		Device:       dev,
 		KernelRegion: 0,
@@ -303,6 +335,9 @@ type FleetOptions struct {
 	Shards int // machines in the fleet; default 2
 	Cores  int // cores per machine; default NewSystem's default
 	Config FleetConfig
+	// DisableTelemetry boots every shard uninstrumented and skips the
+	// fleet-level registry (the telemetry-off benchmark mode).
+	DisableTelemetry bool
 }
 
 // NewFleet boots Shards independent machines — each with its own
@@ -322,6 +357,15 @@ func NewFleet(opts FleetOptions) (*Fleet, error) {
 	if seed == nil {
 		seed = []byte("sanctorum-fleet")
 	}
+	// One registry serves the entire fleet: every shard's monitor and
+	// gateway instrument into it, so same-named instruments (per-call
+	// counters, ring depths) aggregate fleet-wide, and the routing tier
+	// converges its own counters onto the same namespace.
+	var reg *telemetry.Registry
+	if !opts.DisableTelemetry {
+		reg = telemetry.New()
+	}
+	opts.Config.Telemetry = reg
 	hosts := make([]FleetHost, opts.Shards)
 	for i := range hosts {
 		sys, err := NewSystem(Options{
@@ -329,6 +373,8 @@ func NewFleet(opts FleetOptions) (*Fleet, error) {
 			Cores:              opts.Cores,
 			Seed:               append(append([]byte(nil), seed...), byte(i)),
 			SigningMeasurement: meas,
+			Telemetry:          reg,
+			DisableTelemetry:   opts.DisableTelemetry,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("sanctorum: fleet machine %d: %w", i, err)
