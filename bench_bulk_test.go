@@ -1,0 +1,93 @@
+// Bulk data plane throughput benchmark (EXPERIMENTS.md E21): MB/s of
+// application payload served through the zero-copy scatter-gather path
+// versus chunking the identical payload through 64-byte ring messages.
+package sanctorum_test
+
+import (
+	"testing"
+	"time"
+
+	"sanctorum"
+)
+
+// BenchmarkBulkThroughput resolves the zero-copy plane's gain the only
+// way a ratio survives a shared host: both sides inside ONE benchmark
+// (the E18/E20 interleaved methodology). Each iteration moves the same
+// 16 KiB payload to an echo worker twice — once staged into the
+// monitor-granted buffer and described by a single scatter-gather
+// message, once chunked into 256 plain 64-byte ring messages —
+// alternating, so host-speed drift hits both halves equally and
+// cancels from the ratio. The halves are reported as "bulk-MB/s" and
+// "chunked-MB/s" on the single row; the benchjson gate holds
+// bulk/chunked ≥ 5 (EXPERIMENTS.md E21).
+func BenchmarkBulkThroughput(b *testing.B) {
+	const pages = 4
+	const size = pages * 4096
+	payload := make([]byte, size)
+	for i := range payload {
+		payload[i] = byte(i>>3) ^ 0x5A
+	}
+
+	// Bulk half: a BulkEchoServer worker with a granted buffer; the
+	// host writes the payload into the shared buffer and sends one
+	// descriptor message naming all of it.
+	bulkSys, err := sanctorum.NewSystem(sanctorum.Options{Kind: sanctorum.Sanctum})
+	if err != nil {
+		b.Fatal(err)
+	}
+	bulkPool, bulkGW := bulkService(b, bulkSys, "echo", 1, pages)
+	_, basePA, _ := bulkGW.BulkBuffer(0)
+	bulkReq := [][]byte{sg([2]uint64{0, size})}
+	serveBulk := func() time.Duration {
+		start := time.Now()
+		if err := bulkSys.OS.WriteOwned(basePA, payload); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := bulkGW.ProcessBulk(0, bulkReq); err != nil {
+			b.Fatal(err)
+		}
+		return time.Since(start)
+	}
+
+	// Chunked half: the pre-§14 way — the same bytes as size/64 plain
+	// ring messages through an ordinary echo gateway, every one copied
+	// host→ring→enclave and back by the monitor.
+	chunkSys, err := sanctorum.NewSystem(sanctorum.Options{Kind: sanctorum.Sanctum})
+	if err != nil {
+		b.Fatal(err)
+	}
+	chunkPool, chunkGW := ringService(b, chunkSys, "echo", 1, sanctorum.GatewayConfig{
+		Sched: sanctorum.SchedConfig{Mode: sanctorum.Deterministic},
+	})
+	chunks := make([][]byte, size/64)
+	for i := range chunks {
+		chunks[i] = payload[i*64 : (i+1)*64]
+	}
+	serveChunked := func() time.Duration {
+		start := time.Now()
+		if _, err := chunkGW.Process(chunks); err != nil {
+			b.Fatal(err)
+		}
+		return time.Since(start)
+	}
+
+	for i := 0; i < 2; i++ { // warm both stacks identically
+		serveBulk()
+		serveChunked()
+	}
+	var tBulk, tChunk time.Duration
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tBulk += serveBulk()
+		tChunk += serveChunked()
+	}
+	b.StopTimer()
+	moved := float64(size) * float64(b.N)
+	b.ReportMetric(moved/1e6/tBulk.Seconds(), "bulk-MB/s")
+	b.ReportMetric(moved/1e6/tChunk.Seconds(), "chunked-MB/s")
+	for _, c := range []interface{ Close() error }{bulkGW, bulkPool, chunkGW, chunkPool} {
+		if err := c.Close(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -73,6 +73,7 @@ var suites = []struct {
 	{".", "^BenchmarkGatewayServe$"},
 	{".", "^BenchmarkFleetServe$"},
 	{".", "^BenchmarkTelemetryOverhead$"},
+	{".", "^BenchmarkBulkThroughput$"},
 	{"./internal/sm", "^BenchmarkDispatch$"},
 }
 
@@ -126,6 +127,15 @@ var ratioChecks = []struct {
 // reads the row's metrics rather than living in the static
 // ratioChecks table above.
 const telemetryOverheadFloor = 0.95
+
+// bulkSpeedupFloor is the minimum bulk-MB/s / chunked-MB/s ratio for
+// the BenchmarkBulkThroughput row (EXPERIMENTS.md E21): the zero-copy
+// scatter-gather plane must move payload at least 5× faster than
+// chunking the same bytes through 64-byte ring messages. Both halves
+// come from ONE interleaved row (the E20 methodology), so the ratio is
+// machine-independent by construction; the measured steady ratio is
+// ~20×, so 5 is a regression tripwire, not a target.
+const bulkSpeedupFloor = 5
 
 // fleetScalingFloor is the minimum shards=1 / shards=4 ns ratio for
 // BenchmarkFleetServe (EXPERIMENTS.md E19), keyed on the harness's
@@ -454,6 +464,33 @@ func evaluate(base, cur File, threshold float64) (failures, suspects []string) {
 				tc.name, ratio, telemetryOverheadFloor))
 		}
 		fmt.Printf("  %-48s %38.2f×  (target ≥%g×)  %s\n", tc.name, ratio, telemetryOverheadFloor, verdict)
+	}
+	// The bulk-plane speedup (E21) also reads both halves from one
+	// interleaved row's metrics. Same skip rule: a missing row only
+	// fails files that carry the serving benchmarks at all.
+	{
+		const name = "bulk zero-copy vs chunked messages (E21)"
+		row, ok := cur.Benchmarks["BenchmarkBulkThroughput"]
+		if !ok {
+			if _, serving := cur.Benchmarks["BenchmarkGatewayServe/telemetry"]; serving {
+				failures = append(failures, name+": benchmark missing")
+			}
+		} else {
+			bulk, chunked := row.Metrics["bulk-MB/s"], row.Metrics["chunked-MB/s"]
+			if bulk <= 0 || chunked <= 0 {
+				failures = append(failures, name+": MB/s metrics missing")
+			} else {
+				ratio := bulk / chunked
+				verdict := "ok"
+				if ratio < bulkSpeedupFloor {
+					verdict = "BELOW TARGET"
+					suspects = append(suspects, "BenchmarkBulkThroughput")
+					failures = append(failures, fmt.Sprintf("%s: ratio %.2f× below the %g× floor",
+						name, ratio, float64(bulkSpeedupFloor)))
+				}
+				fmt.Printf("  %-48s %38.2f×  (target ≥%g×)  %s\n", name, ratio, float64(bulkSpeedupFloor), verdict)
+			}
+		}
 	}
 	for _, rc := range maxRatioChecks {
 		num, okN := cur.Benchmarks[rc.num]

@@ -1,0 +1,55 @@
+// Command doccheck is the CI documentation gate: every relative link
+// in the repo's top-level markdown files must resolve to a real file
+// or directory, and README.md must mention every examples/* directory
+// so new examples cannot land without a front-door pointer.
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+var linkRE = regexp.MustCompile(`\[[^\]]*\]\(([^)\s]+)\)`)
+
+func main() {
+	var broken []string
+	mds, _ := filepath.Glob("*.md")
+	for _, md := range mds {
+		data, err := os.ReadFile(md)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		for _, m := range linkRE.FindAllStringSubmatch(string(data), -1) {
+			target := m[1]
+			if strings.Contains(target, "://") || strings.HasPrefix(target, "#") {
+				continue
+			}
+			target, _, _ = strings.Cut(target, "#")
+			if _, err := os.Stat(filepath.Join(filepath.Dir(md), target)); err != nil {
+				broken = append(broken, fmt.Sprintf("%s: broken link %q", md, m[1]))
+			}
+		}
+	}
+	readme, err := os.ReadFile("README.md")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	examples, _ := os.ReadDir("examples")
+	for _, e := range examples {
+		if e.IsDir() && !strings.Contains(string(readme), "examples/"+e.Name()) {
+			broken = append(broken, fmt.Sprintf("README.md: examples/%s is not mentioned", e.Name()))
+		}
+	}
+	for _, b := range broken {
+		fmt.Fprintln(os.Stderr, b)
+	}
+	if len(broken) > 0 {
+		os.Exit(1)
+	}
+	fmt.Printf("doccheck: %d markdown files ok, %d examples covered\n", len(mds), len(examples))
+}

@@ -125,6 +125,26 @@ func TestRingBattery(t *testing.T) {
 	}
 }
 
+func TestBulkBattery(t *testing.T) {
+	// The bulk-grant attacks are monitor-state-machine attacks (grant
+	// identity, descriptor validation, in-flight pins, lifetime
+	// guards), so every platform — including the baseline — must
+	// refuse all of them.
+	for _, kind := range []sanctorum.Kind{sanctorum.Sanctum, sanctorum.Keystone, sanctorum.Baseline} {
+		sys, err := sanctorum.NewSystem(sanctorum.Options{Kind: kind})
+		if err != nil {
+			t.Fatal(err)
+		}
+		wins, err := BulkBattery(sys)
+		if err != nil {
+			t.Fatalf("%v: battery failed to run: %v", kind, err)
+		}
+		for _, w := range wins {
+			t.Errorf("%v: adversary win: %s", kind, w)
+		}
+	}
+}
+
 func TestFleetBattery(t *testing.T) {
 	// The fleet channel attacks are protocol attacks — replay, identity
 	// substitution, evidence forgery, binding splices — refused by

@@ -1,0 +1,256 @@
+package adversary
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"sanctorum"
+	"sanctorum/internal/enclaves"
+	"sanctorum/internal/hw/mem"
+	"sanctorum/internal/sm/api"
+)
+
+// BulkBattery attacks the zero-copy bulk data plane (monitor calls
+// 0x50–0x54, DESIGN.md §14): forged grant names, malformed buffer
+// shapes, scatter-gather descriptors reaching outside the grant,
+// traffic from non-endpoints, revocation races against in-flight
+// descriptors, and lifetime attacks on the page pins that anchor the
+// whole design. Every attack must be refused with the documented
+// api.Error sentinel; a non-empty return lists the attacks that
+// succeeded. Like the other batteries, the adversary speaks raw
+// api.Request values into Monitor.Dispatch.
+func BulkBattery(sys *sanctorum.System) ([]string, error) {
+	var wins []string
+	note := func(format string, args ...any) {
+		wins = append(wins, fmt.Sprintf(format, args...))
+	}
+	call := func(c api.Call, args ...uint64) api.Error {
+		return sys.Monitor.Dispatch(api.OSRequest(c, args...)).Status
+	}
+	expect := func(name string, want api.Error, c api.Call, args ...uint64) {
+		if st := call(c, args...); st != want {
+			note("%s: %v, want %v", name, st, want)
+		}
+	}
+	sgMsg := func(descs ...[2]uint64) []byte {
+		d := api.EncodeBulkDescs(descs...)
+		return d[:]
+	}
+
+	l := enclaves.DefaultLayout()
+	regions := sys.OS.FreeRegions()
+	if len(regions) < 2 {
+		return nil, fmt.Errorf("adversary: need two free regions")
+	}
+	spec, err := enclaves.Spec(l, enclaves.RingEchoServer(l), nil, regions[:1], nil)
+	if err != nil {
+		return nil, err
+	}
+	worker, err := sys.BuildEnclave(spec)
+	if err != nil {
+		return nil, err
+	}
+	stagePA, err := sys.OS.AllocPagePA()
+	if err != nil {
+		return nil, err
+	}
+	bufPA, err := sys.OS.AllocPagePA()
+	if err != nil {
+		return nil, err
+	}
+	bufPA2, err := sys.OS.AllocPagePA()
+	if err != nil {
+		return nil, err
+	}
+
+	// 1. Grant names must be free SM metadata pages, like every other
+	// monitor object id.
+	expect("grant in OS-owned memory", api.ErrInvalidValue,
+		api.CallBulkGrant, stagePA, bufPA, 1, api.DomainOS, worker.EID)
+	expect("grant over an enclave id", api.ErrInvalidValue,
+		api.CallBulkGrant, worker.EID, bufPA, 1, api.DomainOS, worker.EID)
+	expect("grant over a thread id", api.ErrInvalidValue,
+		api.CallBulkGrant, worker.TIDs[0], bufPA, 1, api.DomainOS, worker.EID)
+
+	// 2. Buffer shape: page count bounds, alignment, physical
+	// wraparound, and the buffer must be OS-owned memory — a grant over
+	// enclave memory would hand the OS a window into enclave secrets.
+	grantID, err := sys.OS.AllocMetaPage()
+	if err != nil {
+		return nil, err
+	}
+	expect("zero-page grant", api.ErrInvalidValue,
+		api.CallBulkGrant, grantID, bufPA, 0, api.DomainOS, worker.EID)
+	expect("oversized grant", api.ErrInvalidValue,
+		api.CallBulkGrant, grantID, bufPA, api.BulkMaxPages+1, api.DomainOS, worker.EID)
+	expect("unaligned buffer base", api.ErrInvalidValue,
+		api.CallBulkGrant, grantID, bufPA|8, 1, api.DomainOS, worker.EID)
+	expect("buffer wrapping the physical address space", api.ErrInvalidValue,
+		api.CallBulkGrant, grantID, ^uint64(mem.PageMask), 1, api.DomainOS, worker.EID)
+	expect("buffer over enclave memory", api.ErrInvalidValue,
+		api.CallBulkGrant, grantID, sys.Machine.DRAM.Base(regions[0]), 1, api.DomainOS, worker.EID)
+	expect("grant produced by the SM identity", api.ErrInvalidValue,
+		api.CallBulkGrant, grantID, bufPA, 1, api.DomainSM, worker.EID)
+	expect("grant consumed by a junk eid", api.ErrInvalidValue,
+		api.CallBulkGrant, grantID, bufPA, 1, api.DomainOS, 0xDEAD000)
+
+	// 3. Forged enclave callers are refused at the dispatch layer for
+	// bulk calls exactly as for every other call.
+	for _, c := range []api.Call{api.CallBulkGrant, api.CallBulkMap,
+		api.CallBulkRevoke, api.CallBulkSend, api.CallBulkRecv} {
+		req := api.Request{Caller: worker.EID, Call: c, Args: [6]uint64{grantID, stagePA, 1, grantID}}
+		if resp := sys.Monitor.Dispatch(req); resp.Status != api.ErrUnauthorized {
+			note("forged enclave caller for bulk call %#x answered %v", uint64(c), resp.Status)
+		}
+	}
+	// 4. bulk_map is the enclave's accept half of the handshake; the OS
+	// has no trap context and maps its side through its own tables.
+	expect("OS calling bulk_map", api.ErrUnauthorized,
+		api.CallBulkMap, grantID, 0x5000_1000)
+
+	// The legitimate OS↔OS grant and ring the descriptor attacks
+	// target, plus a worker↔worker grant the OS is not an endpoint of.
+	if st := call(api.CallBulkGrant, grantID, bufPA, 1, api.DomainOS, api.DomainOS); st != api.OK {
+		return nil, fmt.Errorf("adversary: benign bulk_grant: %v", st)
+	}
+	ringID, err := sys.OS.AllocMetaPage()
+	if err != nil {
+		return nil, err
+	}
+	if st := call(api.CallRingCreate, ringID, api.DomainOS, api.DomainOS, 4); st != api.OK {
+		return nil, fmt.Errorf("adversary: benign ring_create: %v", st)
+	}
+	grant2, err := sys.OS.AllocMetaPage()
+	if err != nil {
+		return nil, err
+	}
+	if st := call(api.CallBulkGrant, grant2, bufPA2, 1, worker.EID, worker.EID); st != api.OK {
+		return nil, fmt.Errorf("adversary: benign worker grant: %v", st)
+	}
+
+	// 5. Descriptor validation: every malformed message must be refused
+	// at send time, before anything is published to the ring.
+	badTag := sgMsg([2]uint64{0, 64})
+	badTag[0] ^= 0xFF
+	zeroDescs := sgMsg([2]uint64{0, 64})
+	binary.LittleEndian.PutUint64(zeroDescs[8:], 0)
+	manyDescs := sgMsg([2]uint64{0, 64})
+	binary.LittleEndian.PutUint64(manyDescs[8:], api.BulkMaxDescs+1)
+	for _, atk := range []struct {
+		name string
+		msg  []byte
+	}{
+		{"descriptor message without the bulk tag", badTag},
+		{"descriptor message with zero descriptors", zeroDescs},
+		{"descriptor message past the descriptor bound", manyDescs},
+		{"zero-length descriptor", sgMsg([2]uint64{0, 0})},
+		{"descriptor past the grant bounds", sgMsg([2]uint64{4000, 200})},
+		{"descriptor wrapping the address space", sgMsg([2]uint64{^uint64(0) - 255, 512})},
+		{"overlapping descriptors", sgMsg([2]uint64{0, 16}, [2]uint64{8, 16})},
+	} {
+		if err := sys.OS.WriteOwned(stagePA, atk.msg); err != nil {
+			return nil, err
+		}
+		expect(atk.name, api.ErrInvalidValue, api.CallBulkSend, ringID, stagePA, 1, grantID)
+	}
+	valid := sgMsg([2]uint64{0, 4096})
+	if err := sys.OS.WriteOwned(stagePA, valid); err != nil {
+		return nil, err
+	}
+	// 6. Identity and argument checks around an otherwise-valid send.
+	expect("bulk send naming an unknown grant", api.ErrInvalidValue,
+		api.CallBulkSend, ringID, stagePA, 1, 0x1234)
+	expect("bulk send on a grant the OS is no endpoint of", api.ErrUnauthorized,
+		api.CallBulkSend, ringID, stagePA, 1, grant2)
+	expect("bulk recv on a grant the OS is no endpoint of", api.ErrUnauthorized,
+		api.CallBulkRecv, ringID, stagePA, 1, grant2)
+	expect("bulk send past the batch bound", api.ErrInvalidValue,
+		api.CallBulkSend, ringID, stagePA, api.RingMaxBatch+1, grantID)
+	expect("bulk send sourcing enclave memory", api.ErrInvalidValue,
+		api.CallBulkSend, ringID, sys.Machine.DRAM.Base(regions[0]), 1, grantID)
+
+	// 7. In-flight pins: with a descriptor queued, a plain recv must
+	// not drain it (it would strand the pin), a recv into enclave
+	// memory must fail without consuming it, and revoke must refuse —
+	// in-flight data keeps the buffer alive.
+	if st := call(api.CallBulkSend, ringID, stagePA, 1, grantID); st != api.OK {
+		return nil, fmt.Errorf("adversary: benign bulk_send: %v", st)
+	}
+	expect("plain recv draining a descriptor head", api.ErrInvalidValue,
+		api.CallRingRecv, ringID, stagePA, 1)
+	expect("bulk recv into enclave memory", api.ErrInvalidValue,
+		api.CallBulkRecv, ringID, sys.Machine.DRAM.Base(regions[0]), 1, grantID)
+	expect("revoke with a descriptor in flight", api.ErrInvalidState,
+		api.CallBulkRevoke, grantID)
+	if st := call(api.CallBulkRecv, ringID, stagePA, 1, grantID); st != api.OK {
+		return nil, fmt.Errorf("adversary: benign bulk_recv: %v", st)
+	}
+	// 8. Drained, the revoke succeeds — and the freed id is dead: every
+	// use after revoke must be refused.
+	if st := call(api.CallBulkRevoke, grantID); st != api.OK {
+		return nil, fmt.Errorf("adversary: benign bulk_revoke: %v", st)
+	}
+	if err := sys.OS.WriteOwned(stagePA, valid); err != nil {
+		return nil, err
+	}
+	expect("send on a revoked grant", api.ErrInvalidValue,
+		api.CallBulkSend, ringID, stagePA, 1, grantID)
+	expect("recv on a revoked grant", api.ErrInvalidValue,
+		api.CallBulkRecv, ringID, stagePA, 1, grantID)
+	expect("double revoke", api.ErrInvalidValue, api.CallBulkRevoke, grantID)
+
+	// 9. The page pins are the ground truth: a region holding granted
+	// pages can be blocked, but clean_region must refuse to scrub it
+	// until the grant dies — the scrubbed region could otherwise reach
+	// a new protection domain while a data plane still points at it.
+	pinR := uint64(regions[1])
+	grant3, err := sys.OS.AllocMetaPage()
+	if err != nil {
+		return nil, err
+	}
+	if st := call(api.CallBulkGrant, grant3, sys.Machine.DRAM.Base(regions[1]), 1,
+		api.DomainOS, api.DomainOS); st != api.OK {
+		return nil, fmt.Errorf("adversary: benign pin grant: %v", st)
+	}
+	if st := call(api.CallBlockRegion, pinR); st != api.OK {
+		return nil, fmt.Errorf("adversary: blocking pinned region: %v", st)
+	}
+	expect("scrubbing a region with granted pages", api.ErrInvalidState,
+		api.CallCleanRegion, pinR)
+	if st := call(api.CallBulkRevoke, grant3); st != api.OK {
+		return nil, fmt.Errorf("adversary: revoking pin grant: %v", st)
+	}
+	if st := call(api.CallCleanRegion, pinR); st != api.OK {
+		return nil, fmt.Errorf("adversary: cleaning unpinned region: %v", st)
+	}
+	if st := call(api.CallGrantRegion, pinR, api.DomainOS); st != api.OK {
+		return nil, fmt.Errorf("adversary: reclaiming cleaned region: %v", st)
+	}
+
+	// 10. Deleting an enclave that is still a grant endpoint is refused
+	// — a freed eid could otherwise be recreated into the buffers of
+	// the previous tenant.
+	expect("delete worker while a grant endpoint", api.ErrInvalidState,
+		api.CallDeleteEnclave, worker.EID)
+	if st := call(api.CallBulkRevoke, grant2); st != api.OK {
+		return nil, fmt.Errorf("adversary: revoking worker grant: %v", st)
+	}
+
+	// 11. Teardown: with every grant revoked, deletion and region
+	// reclamation work normally.
+	if st := call(api.CallRingDestroy, ringID); st != api.OK {
+		return nil, fmt.Errorf("adversary: destroying ring: %v", st)
+	}
+	if st := call(api.CallDeleteEnclave, worker.EID); st != api.OK {
+		return nil, fmt.Errorf("adversary: deleting worker: %v", st)
+	}
+	for _, tid := range worker.TIDs {
+		if st := call(api.CallDeleteThread, tid); st != api.OK {
+			return nil, fmt.Errorf("adversary: deleting worker thread: %v", st)
+		}
+	}
+	if st := call(api.CallCleanRegion, uint64(regions[0])); st != api.OK {
+		return nil, fmt.Errorf("adversary: cleaning worker region: %v", st)
+	}
+	return wins, nil
+}

@@ -8,6 +8,8 @@ import (
 	"sync"
 
 	"sanctorum/internal/hw/machine"
+	"sanctorum/internal/hw/mem"
+	"sanctorum/internal/hw/pt"
 	"sanctorum/internal/sm/api"
 	"sanctorum/internal/telemetry"
 )
@@ -97,13 +99,17 @@ func (g *Gateway) TraceRequest(t *telemetry.Trace, parent, idx int) {
 	g.trace = &gwTrace{t: t, parent: parent, idx: idx, worker: -1, span: -1}
 }
 
-// gwWorker is one pool worker wired to its ring pair.
+// gwWorker is one pool worker wired to its ring pair (and, when the
+// gateway runs a bulk data plane, its grant and shared buffer).
 type gwWorker struct {
 	w        *Worker
 	reqRing  uint64
 	respRing uint64
-	inflight int   // requests sent, responses not yet drained
-	pending  []int // request indexes awaiting responses, FIFO
+	grant    uint64 // bulk grant id (0 when bulk is off)
+	bulkPA   uint64 // bulk buffer base PA
+	bulkVA   uint64 // where this worker bulk_maps the buffer
+	inflight int    // requests sent, responses not yet drained
+	pending  []int  // request indexes awaiting responses, FIFO
 
 	// stamps parallels pending with each request's send-time cycle
 	// stamp (maintained only when telemetry is wired); stampHead is
@@ -133,6 +139,27 @@ type GatewayConfig struct {
 	// Router selects the worker for each request chunk (default a
 	// RoundRobin; fleet shards install KeyAffinity).
 	Router Router
+	// BulkPages, when nonzero, turns on the zero-copy bulk data plane
+	// (DESIGN.md §14): each worker gets a contiguous BulkPages-page
+	// OS buffer under a monitor grant, mapped at a distinct per-worker
+	// VA, and ProcessBulk serves scatter-gather descriptor requests
+	// through it. The pool template must be a bulk server
+	// (internal/enclaves.BulkEchoServer / BulkKVServer) built with
+	// BulkSpec. At most api.BulkMaxPages.
+	BulkPages int
+	// BulkVABase is where worker 0 maps its bulk buffer; worker i maps
+	// at BulkVABase + i·BulkPages·4096 (default 0x50001000, inside the
+	// 2 MiB leaf BulkSpec's shared window allocates). Every worker's
+	// window must fit that leaf: under Sanctum all workers resolve
+	// these VAs through the one OS page table, which is why the
+	// addresses differ per worker in the first place.
+	BulkVABase uint64
+	// BulkRegion, when positive, is a free OS-owned DRAM region whose
+	// pages back the bulk buffers (worker i at offset i·BulkPages·4096)
+	// — the usual choice, since the kernel region is small. While any
+	// grant lives, the page pins make the monitor refuse to scrub the
+	// region for reassignment. Zero allocates from the kernel region.
+	BulkRegion int
 }
 
 // WakeSource is the monitor surface the gateway registers its
@@ -162,6 +189,12 @@ func (cfg *GatewayConfig) fill() {
 	}
 	if cfg.Router == nil {
 		cfg.Router = &RoundRobin{}
+	}
+	if cfg.BulkPages > api.BulkMaxPages {
+		cfg.BulkPages = api.BulkMaxPages
+	}
+	if cfg.BulkVABase == 0 {
+		cfg.BulkVABase = 0x50001000
 	}
 }
 
@@ -202,6 +235,11 @@ func NewGateway(o *OS, wakes WakeSource, pool *Pool, cfg GatewayConfig) (*Gatewa
 			if o.SM.RingDestroy(gw.respRing) == nil {
 				o.ReleaseMetaPage(gw.respRing)
 			}
+			// Rings first: destroying them releases any queued descriptor
+			// pins, so the revoke cannot be refused for in-flight data.
+			if gw.grant != 0 && o.SM.BulkRevoke(gw.grant) == nil {
+				o.ReleaseMetaPage(gw.grant)
+			}
 			pool.Release(gw.w)
 		}
 		return nil, err
@@ -222,6 +260,15 @@ func NewGateway(o *OS, wakes WakeSource, pool *Pool, cfg GatewayConfig) (*Gatewa
 		g.workers = append(g.workers, gw)
 		g.wireWorkerGauge(gw, i)
 	}
+	// Bulk buffers and grants must exist before the startup wave: the
+	// workers discover their grants in it.
+	if cfg.BulkPages > 0 {
+		for i, gw := range g.workers {
+			if err := g.setupBulk(gw, i); err != nil {
+				return fail(fmt.Errorf("os: gateway bulk worker %d: %w", i, err))
+			}
+		}
+	}
 	wakes.SetWakeSink(func(ringID, eid, tid uint64) {
 		g.wokenMu.Lock()
 		if i, known := g.byEID[eid]; known {
@@ -239,7 +286,91 @@ func NewGateway(o *OS, wakes WakeSource, pool *Pool, cfg GatewayConfig) (*Gatewa
 		wakes.SetWakeSink(func(ringID, eid, tid uint64) {})
 		return fail(fmt.Errorf("os: gateway startup: %w", err))
 	}
+	// Second boot phase for bulk workers: each is parked waiting for
+	// the setup message naming its window VA; send it, then run the
+	// wave in which every worker bulk_maps its buffer and parks serving.
+	if cfg.BulkPages > 0 {
+		for i, gw := range g.workers {
+			if err := g.sendBulkSetup(gw); err != nil {
+				wakes.SetWakeSink(func(ringID, eid, tid uint64) {})
+				return fail(fmt.Errorf("os: gateway bulk setup %d: %w", i, err))
+			}
+		}
+		if err := g.wave(g.takeWoken(), api.ParkedExitValue); err != nil {
+			wakes.SetWakeSink(func(ringID, eid, tid uint64) {})
+			return fail(fmt.Errorf("os: gateway bulk map: %w", err))
+		}
+	}
 	return g, nil
+}
+
+// setupBulk gives one worker its bulk data plane: contiguous OS pages,
+// a monitor grant between the OS and the worker, and the OS-side user
+// mapping at the worker's distinct VA. The OS mapping is the Sanctum
+// path (enclaves there resolve non-evrange VAs through the one OS page
+// table); under Keystone the worker's own tables serve the VA after
+// bulk_map and the OS mapping is inert.
+func (g *Gateway) setupBulk(gw *gwWorker, idx int) error {
+	pages := uint64(g.cfg.BulkPages)
+	size := pages * mem.PageSize
+	gw.bulkVA = g.cfg.BulkVABase + uint64(idx)*size
+	if r := g.cfg.BulkRegion; r > 0 {
+		off := uint64(idx) * size
+		if off+size > g.o.M.DRAM.RegionSize() {
+			return fmt.Errorf("os: bulk region %d too small for worker %d", r, idx)
+		}
+		gw.bulkPA = g.o.M.DRAM.Base(r) + off
+		for p := uint64(0); p < pages; p++ {
+			if err := g.o.MapUser(gw.bulkVA+p*mem.PageSize, gw.bulkPA+p*mem.PageSize, pt.R|pt.W|pt.U); err != nil {
+				return err
+			}
+		}
+	} else {
+		for p := uint64(0); p < pages; p++ {
+			pa, err := g.o.AllocPagePA()
+			if err != nil {
+				return err
+			}
+			if p == 0 {
+				gw.bulkPA = pa
+			} else if pa != gw.bulkPA+p*mem.PageSize {
+				// The page allocator is a bump allocator, so sequential
+				// allocations are contiguous unless it crossed into a
+				// non-adjacent range.
+				return fmt.Errorf("os: bulk buffer not contiguous at page %d", p)
+			}
+			if err := g.o.MapUser(gw.bulkVA+p*mem.PageSize, pa, pt.R|pt.W|pt.U); err != nil {
+				return err
+			}
+		}
+	}
+	grant, err := g.o.AllocMetaPage()
+	if err != nil {
+		return err
+	}
+	if err := g.o.SM.BulkGrant(grant, gw.bulkPA, g.cfg.BulkPages, api.DomainOS, gw.w.EID); err != nil {
+		g.o.ReleaseMetaPage(grant)
+		return fmt.Errorf("os: bulk_grant: %w", err)
+	}
+	gw.grant = grant
+	return nil
+}
+
+// sendBulkSetup sends the one-message VA handshake: the first (plain)
+// message on a bulk worker's request ring carries the window VA in
+// word 0. The measured template cannot embed per-worker addresses, so
+// they travel over the ring the worker already trusts for requests —
+// the VA is untrusted either way, since bulk_map validates it.
+func (g *Gateway) sendBulkSetup(gw *gwWorker) error {
+	var msg [api.RingMsgSize]byte
+	binary.LittleEndian.PutUint64(msg[:], gw.bulkVA)
+	if err := g.o.WriteOwned(g.sendPA, msg[:]); err != nil {
+		return err
+	}
+	if _, err := g.o.SM.RingSend(gw.reqRing, g.sendPA, 1); err != nil {
+		return fmt.Errorf("os: gateway bulk setup send: %w", err)
+	}
+	return nil
 }
 
 // newWorker forks one pool worker and wires its ring pair, unwinding
@@ -299,8 +430,21 @@ func (g *Gateway) AddWorker() error {
 	idx := len(g.workers) - 1
 	g.wokenMu.Unlock()
 	g.wireWorkerGauge(gw, idx)
+	if g.cfg.BulkPages > 0 {
+		if err := g.setupBulk(gw, idx); err != nil {
+			return fmt.Errorf("os: gateway add worker bulk: %w", err)
+		}
+	}
 	if err := g.wave([]int{idx}, api.ParkedExitValue); err != nil {
 		return fmt.Errorf("os: gateway add worker startup: %w", err)
+	}
+	if g.cfg.BulkPages > 0 {
+		if err := g.sendBulkSetup(gw); err != nil {
+			return fmt.Errorf("os: gateway add worker bulk setup: %w", err)
+		}
+		if err := g.wave(g.takeWoken(), api.ParkedExitValue); err != nil {
+			return fmt.Errorf("os: gateway add worker bulk map: %w", err)
+		}
 	}
 	return nil
 }
@@ -365,6 +509,22 @@ func (g *Gateway) wave(idxs []int, want uint64) error {
 // sendChunk stages payloads[from:from+n] in the staging page and
 // enqueues them on gw's request ring as one batched send.
 func (g *Gateway) sendChunk(gw *gwWorker, payloads [][]byte, from, n int) error {
+	return g.sendChunkWith(gw, payloads, from, n, func(pa uint64, n int) (int, error) {
+		return g.o.SM.RingSend(gw.reqRing, pa, n)
+	})
+}
+
+// sendBulkChunk is sendChunk over bulk_send: every payload is a
+// scatter-gather descriptor message the monitor validates against gw's
+// grant before anything is published.
+func (g *Gateway) sendBulkChunk(gw *gwWorker, payloads [][]byte, from, n int) error {
+	return g.sendChunkWith(gw, payloads, from, n, func(pa uint64, n int) (int, error) {
+		return g.o.SM.BulkSend(gw.reqRing, pa, n, gw.grant)
+	})
+}
+
+func (g *Gateway) sendChunkWith(gw *gwWorker, payloads [][]byte, from, n int,
+	send func(pa uint64, n int) (int, error)) error {
 	buf := make([]byte, n*api.RingMsgSize)
 	for i := 0; i < n; i++ {
 		p := payloads[from+i]
@@ -376,7 +536,7 @@ func (g *Gateway) sendChunk(gw *gwWorker, payloads [][]byte, from, n int) error 
 	if err := g.o.WriteOwned(g.sendPA, buf); err != nil {
 		return err
 	}
-	sent, err := g.o.SM.RingSend(gw.reqRing, g.sendPA, n)
+	sent, err := send(g.sendPA, n)
 	if err != nil {
 		return fmt.Errorf("os: gateway send: %w", err)
 	}
@@ -406,6 +566,13 @@ func (g *Gateway) sendChunk(gw *gwWorker, payloads [][]byte, from, n int) error 
 // drain empties gw's response ring into out, verifying the monitor's
 // sender stamp on every record, and returns how many responses landed.
 func (g *Gateway) drain(gw *gwWorker, out [][]byte) (int, error) {
+	return g.drainWith(gw, out, func(pa uint64, max int) (int, error) {
+		return g.o.SM.RingRecv(gw.respRing, pa, max)
+	})
+}
+
+func (g *Gateway) drainWith(gw *gwWorker, out [][]byte,
+	recv func(pa uint64, max int) (int, error)) (int, error) {
 	total := 0
 	// One clock read serves the whole drain: recv is a host-side
 	// monitor call, so no modeled cycles retire while draining.
@@ -414,7 +581,7 @@ func (g *Gateway) drain(gw *gwWorker, out [][]byte) (int, error) {
 		now = g.tel.clock()
 	}
 	for gw.inflight > 0 {
-		n, err := g.o.SM.RingRecv(gw.respRing, g.recvPA, g.cfg.Batch)
+		n, err := recv(g.recvPA, g.cfg.Batch)
 		if errors.Is(err, api.ErrInvalidState) {
 			break // empty
 		}
@@ -569,6 +736,78 @@ func (g *Gateway) ProcessKeyed(keys []uint64, payloads [][]byte) ([][]byte, erro
 	return out, nil
 }
 
+// BulkBuffer returns worker i's bulk grant id, buffer base PA and byte
+// size (zeroes when the bulk plane is off). The host stages request
+// bytes at the PA with WriteOwned, names spans of them in descriptor
+// messages (api.EncodeBulkDescs), and reads results back with
+// ReadOwned — the data itself never passes through the monitor.
+func (g *Gateway) BulkBuffer(i int) (grant, basePA uint64, size int) {
+	if i < 0 || i >= len(g.workers) || g.cfg.BulkPages == 0 {
+		return 0, 0, 0
+	}
+	gw := g.workers[i]
+	return gw.grant, gw.bulkPA, g.cfg.BulkPages * mem.PageSize
+}
+
+// ProcessBulk serves a batch of scatter-gather descriptor requests
+// through worker i's bulk grant, returning one response message per
+// request in request order with every monitor stamp verified — the
+// zero-copy analogue of Process. Requests all go to the one worker
+// whose buffer holds the data (payload placement is the caller's job,
+// so routing is too); batching, waves and FIFO response matching work
+// exactly as in Process.
+func (g *Gateway) ProcessBulk(worker int, payloads [][]byte) ([][]byte, error) {
+	if worker < 0 || worker >= len(g.workers) {
+		return nil, fmt.Errorf("os: gateway: no worker %d", worker)
+	}
+	gw := g.workers[worker]
+	if gw.grant == 0 {
+		return nil, fmt.Errorf("os: gateway: bulk plane not configured")
+	}
+	out := make([][]byte, len(payloads))
+	cursor, done := 0, 0
+	for done < len(payloads) {
+		for cursor < len(payloads) {
+			n := g.cfg.RingCapacity - gw.inflight
+			if n == 0 {
+				break // ring full: serve a wave first
+			}
+			if n > g.cfg.Batch {
+				n = g.cfg.Batch
+			}
+			if rem := len(payloads) - cursor; n > rem {
+				n = rem
+			}
+			if err := g.sendBulkChunk(gw, payloads, cursor, n); err != nil {
+				return nil, err
+			}
+			cursor += n
+		}
+		woken := g.takeWoken()
+		if len(woken) == 0 {
+			return nil, fmt.Errorf("os: gateway stalled: %d responses outstanding, no worker woken",
+				len(payloads)-done)
+		}
+		if err := g.wave(woken, api.ParkedExitValue); err != nil {
+			return nil, err
+		}
+		for _, i := range woken {
+			// Responses come back as plain messages (the worker's reply
+			// need not parse as descriptors), so the ordinary drain serves.
+			n, err := g.drain(g.workers[i], out)
+			if err != nil {
+				return nil, err
+			}
+			done += n
+		}
+	}
+	g.Served += len(payloads)
+	if t := g.tel; t != nil {
+		t.served.Add(0, uint64(len(payloads)))
+	}
+	return out, nil
+}
+
 func containsInt(xs []int, v int) bool {
 	for _, x := range xs {
 		if x == v {
@@ -602,6 +841,15 @@ func (g *Gateway) Close() error {
 			g.o.ReleaseMetaPage(gw.respRing)
 		} else {
 			keep(fmt.Errorf("os: gateway destroy response ring: %w", err))
+		}
+		// After both rings are gone no descriptor into the grant can be
+		// in flight, so the revoke cannot be refused.
+		if gw.grant != 0 {
+			if err := g.o.SM.BulkRevoke(gw.grant); err == nil {
+				g.o.ReleaseMetaPage(gw.grant)
+			} else {
+				keep(fmt.Errorf("os: gateway bulk revoke: %w", err))
+			}
 		}
 	}
 	keep(g.wave(g.takeWoken(), enclaveExitStatus))

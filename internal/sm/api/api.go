@@ -18,7 +18,10 @@
 // are expected to probe it before relying on calls newer than major 1.
 package api
 
-import "fmt"
+import (
+	"encoding/binary"
+	"fmt"
+)
 
 // Error is the status returned by every monitor call, in a0. It
 // implements the Go error interface, so statuses flow through error
@@ -105,8 +108,10 @@ const (
 	VersionMajor = 1
 	// Minor 1 added the snapshot/clone calls (0x30–0x32) and the
 	// FieldEnclaveIdentity selector. Minor 2 added the mailbox-ring
-	// calls (0x40–0x45) and the FieldEnclaveRings selector.
-	VersionMinor = 2
+	// calls (0x40–0x45) and the FieldEnclaveRings selector. Minor 3
+	// added the bulk-grant calls (0x50–0x54) and the FieldEnclaveGrants
+	// selector.
+	VersionMinor = 3
 	// Version packs major and minor into the single register the probe
 	// returns.
 	Version = VersionMajor<<16 | VersionMinor
@@ -356,6 +361,116 @@ const (
 	CallRingDestroy Call = 0x45
 )
 
+// Bulk-grant call numbers (ABI minor 3). A grant pins a span of
+// OS-owned pages as an untrusted shared buffer between a fixed
+// producer/consumer domain pair — the Fig 2 region-ownership machinery
+// narrowed to page granularity, with the page refcounts as ground
+// truth: granted pages cannot be scrubbed (clean_region refuses ranges
+// holding references) and the grant cannot be revoked while
+// scatter-gather descriptors into it are still queued in a ring. Ring
+// messages then carry descriptors — (offset, length) lists validated
+// against the grant bounds at send time — so multi-KB payloads move
+// through the buffer with zero monitor copies on the data path; the
+// monitor only ever copies the 64-byte descriptor message (DESIGN.md
+// §14).
+const (
+	// CallBulkGrant(a0=grant id, a1=base PA, a2=page count, a3=producer,
+	// a4=consumer) registers a grant over [base, base+pages*4096) in
+	// OS-owned memory and pins every page with an alias reference.
+	// grant id must be a free page inside an SM metadata region;
+	// producer/consumer are DomainOS or existing eids; page count is
+	// 1..BulkMaxPages. OS-only.
+	CallBulkGrant Call = 0x50
+	// CallBulkMap(a0=grant id, a1=va) maps the grant's pages read-write
+	// into the calling enclave's tables at va — page-aligned, outside
+	// the evrange, with the covering leaf page tables already allocated
+	// (clones inherit the template's tables, so a template built with a
+	// shared window at the same 2 MiB leaf satisfies this). The caller
+	// must be one of the grant's endpoints; each endpoint maps at most
+	// once. Enclave-only — the accept half of the grant handshake.
+	CallBulkMap Call = 0x51
+	// CallBulkRevoke(a0=grant id) unmaps the grant from every endpoint
+	// that mapped it (with targeted shootdowns), drops the page pins,
+	// and frees the id. Refused with ErrInvalidState while any
+	// scatter-gather descriptor into the grant is still queued in a
+	// ring — in-flight data keeps the buffer alive. OS-only.
+	CallBulkRevoke Call = 0x52
+	// CallBulkSend is CallRingSend for scatter-gather messages: each
+	// 64-byte payload must parse as a descriptor list into a3's grant
+	// (BulkTag ‖ count ‖ (offset, length)×BulkMaxDescs), validated
+	// against the grant bounds before anything is published. Dual-
+	// domain: (a0=ring id, a1=source VA/PA, a2=count, a3=grant id); the
+	// sender must be both the ring's producer and a grant endpoint.
+	// Queued descriptors count as in-flight on the grant until
+	// received; a plain CallRingRecv refuses them with ErrInvalidValue.
+	CallBulkSend Call = 0x53
+	// CallBulkRecv is CallRingRecv for scatter-gather messages: drains
+	// up to a2 descriptor records for a3's grant from the ring head
+	// (stopping early at a plain message) and releases their in-flight
+	// pins. Dual-domain like recv; the caller must be both the ring's
+	// consumer and a grant endpoint.
+	CallBulkRecv Call = 0x54
+)
+
+// Bulk-grant geometry. A descriptor message is one RingMsgSize payload:
+// BulkTag[8] ‖ descriptor count[8] ‖ (offset[8] ‖ length[8]) ×
+// BulkMaxDescs — exactly 64 bytes. Offsets and lengths are in bytes
+// relative to the grant base; every descriptor must have length > 0,
+// offset+length ≤ the grant's byte size (no wraparound), and no two
+// descriptors in one message may overlap.
+const (
+	// BulkTag marks a payload as a descriptor list ("blkd" in ASCII).
+	// It is a parse anchor, not a capability — authority comes from the
+	// grant id argument and the send-time bounds checks.
+	BulkTag uint64 = 0x646B6C62
+	// BulkMaxDescs is the descriptor capacity of one message.
+	BulkMaxDescs = 3
+	// BulkMaxPages bounds a grant's size in pages (256 KiB).
+	BulkMaxPages = 64
+)
+
+// EncodeBulkDescs builds one descriptor message payload from (offset,
+// length) pairs: BulkTag ‖ count ‖ the pairs, zero-padded. It encodes
+// whatever it is given — including the adversarial shapes the monitor
+// must refuse — so tests can drive the validator; callers wanting a
+// deliverable message must respect the descriptor rules themselves.
+// More than BulkMaxDescs pairs are truncated. The slots beyond the
+// descriptors (payload[16+16·len(descs):]) are application-defined;
+// bulk servers carry their opcode and key there.
+func EncodeBulkDescs(descs ...[2]uint64) [RingMsgSize]byte {
+	var msg [RingMsgSize]byte
+	if len(descs) > BulkMaxDescs {
+		descs = descs[:BulkMaxDescs]
+	}
+	binary.LittleEndian.PutUint64(msg[0:], BulkTag)
+	binary.LittleEndian.PutUint64(msg[8:], uint64(len(descs)))
+	for i, d := range descs {
+		binary.LittleEndian.PutUint64(msg[16+16*i:], d[0])
+		binary.LittleEndian.PutUint64(msg[24+16*i:], d[1])
+	}
+	return msg
+}
+
+// DecodeBulkDescs parses a received descriptor payload back into
+// (offset, length) pairs, with no validation beyond the tag and count
+// shape — the monitor already validated a delivered message at send
+// time. Returns nil if the payload is not a descriptor message.
+func DecodeBulkDescs(payload []byte) [][2]uint64 {
+	if len(payload) < RingMsgSize || binary.LittleEndian.Uint64(payload) != BulkTag {
+		return nil
+	}
+	n := binary.LittleEndian.Uint64(payload[8:])
+	if n == 0 || n > BulkMaxDescs {
+		return nil
+	}
+	out := make([][2]uint64, n)
+	for i := range out {
+		out[i][0] = binary.LittleEndian.Uint64(payload[16+16*i:])
+		out[i][1] = binary.LittleEndian.Uint64(payload[24+16*i:])
+	}
+	return out
+}
+
 // Ring geometry. Messages are fixed-size; recv prepends the
 // monitor-attested sender stamp to each.
 const (
@@ -471,6 +586,14 @@ const (
 	// worker — whose measured image cannot embed per-clone names —
 	// discovers its own request/response rings.
 	FieldEnclaveRings Field = 6
+	// FieldEnclaveGrants lists the bulk grants the calling enclave is an
+	// endpoint of (valid only for enclave callers), in grant-creation
+	// order: one 24-byte entry per grant, laid out as grant id[8] ‖
+	// role[8] ‖ byte size[8] with role 0 for consumer and 1 for
+	// producer. Like FieldEnclaveRings, this is how a cloned worker —
+	// whose measured image cannot embed per-clone names — discovers the
+	// shared buffer it should bulk_map.
+	FieldEnclaveGrants Field = 7
 )
 
 // Reserved protection-domain constants (paper §V-C: the SM and

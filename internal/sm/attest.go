@@ -56,6 +56,14 @@ func (mon *Monitor) fieldBytes(f api.Field, caller *Enclave) ([]byte, api.Error)
 			return nil, api.ErrUnauthorized
 		}
 		return mon.ringBytesForEnclave(caller.ID), api.OK
+	case api.FieldEnclaveGrants:
+		// Grant id[8] ‖ role[8] ‖ byte size[8] per grant the caller is
+		// an endpoint of, in creation order — how a cloned worker
+		// discovers the shared buffer it should bulk_map.
+		if caller == nil {
+			return nil, api.ErrUnauthorized
+		}
+		return mon.grantBytesForEnclave(caller.ID), api.OK
 	default:
 		return nil, api.ErrInvalidValue
 	}

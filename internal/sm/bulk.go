@@ -1,0 +1,547 @@
+package sm
+
+// Bulk grants (DESIGN.md §14): the zero-copy data plane. A grant pins
+// a span of OS-owned pages as an untrusted shared buffer between a
+// fixed producer/consumer pair — the region-ownership machinery of §IV
+// narrowed to page granularity, with the physical page refcounts as
+// ground truth: a granted page carries an alias reference, so
+// clean_region refuses to scrub it for as long as the grant lives.
+// Ring messages then carry scatter-gather descriptors — (offset,
+// length) lists validated against the grant bounds at send time — so
+// multi-KB payloads move through the buffer with zero monitor copies
+// on the data path; the monitor only ever copies the 64-byte
+// descriptor message itself.
+//
+// Lifecycle (the state machine of DESIGN.md §14): bulk_grant registers
+// the buffer and pins its pages; each endpoint enclave accepts with
+// bulk_map, which writes the PTEs into its own tables (outside the
+// evrange, like a Keystone shared window — the OS maps its side in its
+// own untrusted page tables, no monitor call needed); bulk_revoke
+// unmaps every endpoint with targeted shootdowns, drops the pins, and
+// frees the id — refused with ErrInvalidState while any descriptor
+// into the grant is still queued in a ring, because in-flight data
+// keeps the buffer alive.
+//
+// Concurrency: the grant's mutex is its §V-A transaction lock, taken
+// with TryLock by map and revoke. The send/recv hot paths never take
+// it — they use the dead/inflight atomics, ordered so the two cannot
+// both win: send publishes inflight before checking dead, revoke
+// publishes dead before checking inflight (both sequentially
+// consistent), so either the send sees the revoke and aborts, or the
+// revoke sees the send's descriptors and refuses. This keeps grant
+// locks out of the ring lock order entirely: a ring-transaction holder
+// never waits on a grant.
+
+import (
+	"encoding/binary"
+	"sync"
+	"sync/atomic"
+
+	"sanctorum/internal/hw/machine"
+	"sanctorum/internal/hw/mem"
+	"sanctorum/internal/hw/pt"
+	"sanctorum/internal/sm/api"
+)
+
+// Grant is the monitor's metadata for one bulk buffer grant, named —
+// like every monitor object — by a free SM metadata page.
+type Grant struct {
+	mu sync.Mutex
+
+	ID       uint64
+	BasePA   uint64
+	Pages    uint64
+	Producer uint64 // api.DomainOS or an eid
+	Consumer uint64
+	seq      uint64 // creation order, for FieldEnclaveGrants
+
+	// maps records where each enclave endpoint bulk_mapped the buffer
+	// (eid → va), guarded by mu. The OS side never appears here: the
+	// buffer is OS-owned memory the OS reaches through its own tables.
+	maps map[uint64]uint64
+
+	// dead and inflight are the revoke/send race protocol (see the
+	// package comment above): send never takes mu, so a ring-lock
+	// holder never waits on a grant transaction.
+	dead     atomic.Bool
+	inflight atomic.Int64 // descriptors queued in rings
+}
+
+// bytes returns the grant's size in bytes.
+func (g *Grant) bytes() uint64 { return g.Pages * mem.PageSize }
+
+// isEndpoint reports whether who (DomainOS or an eid) is one of the
+// grant's fixed endpoints.
+func (g *Grant) isEndpoint(who uint64) bool {
+	return who == g.Producer || who == g.Consumer
+}
+
+// lookupGrant fetches and transaction-locks a grant; contention fails
+// the transaction with ErrRetry (§V-A). The dead re-check closes the
+// lookup/revoke race exactly as lookupRing does for rings.
+func (mon *Monitor) lookupGrant(id uint64) (*Grant, api.Error) {
+	mon.objMu.RLock()
+	g := mon.grants[id]
+	mon.objMu.RUnlock()
+	if g == nil {
+		return nil, api.ErrInvalidValue
+	}
+	if !mon.tryLock(&g.mu, LockGrant, id) {
+		return nil, api.ErrRetry
+	}
+	if g.dead.Load() {
+		g.mu.Unlock()
+		return nil, api.ErrInvalidValue
+	}
+	return g, api.OK
+}
+
+// peekGrant fetches a grant without locking it, for the send/recv hot
+// paths, which synchronize through the dead/inflight atomics instead.
+// A pointer to a grant revoked after the fetch is harmless: its dead
+// flag is set, so the send protocol aborts.
+func (mon *Monitor) peekGrant(id uint64) *Grant {
+	mon.objMu.RLock()
+	g := mon.grants[id]
+	mon.objMu.RUnlock()
+	return g
+}
+
+// bulkGrant implements CallBulkGrant (OS-domain): register a grant over
+// [basePA, basePA+pages·4096) in OS-owned memory between a fixed
+// producer and consumer, pinning every page with an alias reference.
+// Endpoint enclaves are held under their transaction locks while the
+// grant registers — paired with deleteEnclave's endpoint guard, the
+// same exclusion ringCreate uses, so a grant can never attach to an
+// enclave mid-deletion and survive it.
+func (mon *Monitor) bulkGrant(grantID, basePA, pages, producer, consumer uint64) api.Error {
+	if pages == 0 || pages > api.BulkMaxPages {
+		return api.ErrInvalidValue
+	}
+	if basePA&mem.PageMask != 0 {
+		return api.ErrInvalidValue
+	}
+	size := pages * mem.PageSize
+	if basePA+size < basePA {
+		return api.ErrInvalidValue // physical wraparound
+	}
+	if !mon.osOwnsRange(basePA, size) {
+		return api.ErrInvalidValue
+	}
+	endpoints := []uint64{producer}
+	if consumer != producer {
+		endpoints = append(endpoints, consumer)
+	}
+	for _, who := range endpoints {
+		if who == api.DomainOS {
+			continue
+		}
+		e, st := mon.lookupEnclave(who)
+		if st != api.OK {
+			return st
+		}
+		defer e.mu.Unlock()
+	}
+	mon.objMu.Lock()
+	defer mon.objMu.Unlock()
+	if st := mon.allocMetaPage(grantID); st != api.OK {
+		return st
+	}
+	for p := uint64(0); p < pages; p++ {
+		mon.machine.Mem.Retain(basePA + p*mem.PageSize)
+	}
+	mon.grantSeq++
+	mon.grants[grantID] = &Grant{
+		ID:       grantID,
+		BasePA:   basePA,
+		Pages:    pages,
+		Producer: producer,
+		Consumer: consumer,
+		seq:      mon.grantSeq,
+		maps:     make(map[uint64]uint64),
+	}
+	if t := mon.tele; t != nil {
+		t.bulkGrants.Add(1)
+	}
+	return api.OK
+}
+
+// hBulkMap implements CallBulkMap (enclave trap context only): the
+// accept half of the grant handshake. The calling enclave maps the
+// grant's pages read-write into its own tables at va — page-aligned,
+// outside the evrange, with the covering leaf tables already allocated
+// (a template built with a shared window at the same 2 MiB leaf
+// satisfies this, and its clones inherit the tables). Every page is
+// validated before the first PTE is written, so a failed map changes
+// nothing. Lock order: grant → enclave, same side as bulkRevoke.
+//
+// The mapping is deliberately not recorded in e.mapped: it is
+// post-measurement untrusted window state, not enclave image — a
+// snapshot of the enclave must not capture it and a clone must not
+// inherit it (each clone bulk_maps its own grant). Double-mapping is
+// excluded by the PTE-must-be-invalid check instead.
+func hBulkMap(mon *Monitor, req api.Request, ctx *callContext) api.Response {
+	g, st := mon.lookupGrant(req.Args[0])
+	if st != api.OK {
+		return fail(st)
+	}
+	defer g.mu.Unlock()
+	e := ctx.enclave
+	if !g.isEndpoint(e.ID) {
+		return fail(api.ErrUnauthorized)
+	}
+	if _, already := g.maps[e.ID]; already {
+		return fail(api.ErrInvalidState)
+	}
+	va := req.Args[1]
+	if va&mem.PageMask != 0 || va+g.bytes() < va {
+		return fail(api.ErrInvalidValue)
+	}
+	if !mon.tryLock(&e.mu, LockEnclave, e.ID) {
+		return fail(api.ErrRetry)
+	}
+	defer e.mu.Unlock()
+	pteAddrs := make([]uint64, g.Pages)
+	for p := uint64(0); p < g.Pages; p++ {
+		pva := va + p*mem.PageSize
+		if e.InEvrange(pva) || e.mapped[pva] {
+			return fail(api.ErrInvalidValue)
+		}
+		pteAddr, okLeaf := mon.leafPTEAddr(e, pva)
+		if !okLeaf {
+			return fail(api.ErrInvalidState) // leaf table missing
+		}
+		if pte, err := mon.machine.Mem.Load(pteAddr, 8); err != nil || pte&pt.V != 0 {
+			return fail(api.ErrInvalidValue) // VA already translates
+		}
+		pteAddrs[p] = pteAddr
+	}
+	for p := uint64(0); p < g.Pages; p++ {
+		ppn := g.BasePA>>mem.PageBits + p
+		mon.machine.Mem.Store(pteAddrs[p], 8, pt.MakePTE(ppn, pt.R|pt.W|pt.V|pt.U))
+	}
+	g.maps[e.ID] = va
+	return ok()
+}
+
+// bulkRevoke implements CallBulkRevoke (OS, no-hart context only):
+// unmap the grant from every endpoint that mapped it, drop the page
+// pins, free the id, and shoot down the mapped translations on every
+// core. Refused with ErrInvalidState while descriptors into the grant
+// are queued in a ring — the dead/inflight protocol guarantees a
+// concurrent bulk_send either lands before the refusal or aborts.
+//
+// Endpoint enclaves are locked in the fixed producer-then-consumer
+// order (never Go map order — replay determinism), and every lock is
+// taken before the first mutation so contention fails with ErrRetry
+// having changed nothing. The shootdown runs after all locks are
+// released: RunOn waits for instruction boundaries, and a hart blocked
+// in stopThread's lock acquisition never reaches one, so waiting on
+// acknowledgments while holding enclave locks could deadlock. The
+// window is benign — the grant is already unregistered, and a stale
+// translation reaches only OS-owned memory the enclave could touch
+// moments earlier; by return, every core has acknowledged the flush.
+func (mon *Monitor) bulkRevoke(grantID uint64) api.Error {
+	g, st := mon.lookupGrant(grantID)
+	if st != api.OK {
+		return st
+	}
+	type mapping struct {
+		e  *Enclave
+		va uint64
+	}
+	var mappings []mapping
+	unwind := func() {
+		for _, m := range mappings {
+			m.e.mu.Unlock()
+		}
+		g.mu.Unlock()
+	}
+	endpoints := []uint64{g.Producer}
+	if g.Consumer != g.Producer {
+		endpoints = append(endpoints, g.Consumer)
+	}
+	for _, who := range endpoints {
+		va, isMapped := g.maps[who]
+		if !isMapped {
+			continue
+		}
+		// The endpoint must still exist: deleteEnclave refuses while the
+		// enclave is a grant endpoint.
+		e, st := mon.lookupEnclave(who)
+		if st != api.OK {
+			unwind()
+			return st
+		}
+		mappings = append(mappings, mapping{e: e, va: va})
+	}
+	g.dead.Store(true)
+	if g.inflight.Load() != 0 {
+		g.dead.Store(false) // rollback: queued descriptors keep it alive
+		unwind()
+		return api.ErrInvalidState
+	}
+	var vpns []uint64
+	for _, m := range mappings {
+		for p := uint64(0); p < g.Pages; p++ {
+			pva := m.va + p*mem.PageSize
+			pteAddr, okLeaf := mon.leafPTEAddr(m.e, pva)
+			if okLeaf { // always true: bulk_map verified the leaf
+				mon.machine.Mem.Store(pteAddr, 8, 0)
+			}
+			vpns = append(vpns, (pva&pt.VAMask)>>mem.PageBits)
+		}
+		delete(g.maps, m.e.ID)
+	}
+	for p := uint64(0); p < g.Pages; p++ {
+		mon.machine.Mem.ReleaseRef(g.BasePA + p*mem.PageSize)
+	}
+	mon.objMu.Lock()
+	delete(mon.grants, grantID)
+	mon.freeMetaPage(grantID)
+	mon.objMu.Unlock()
+	unwind()
+	for id := range mon.machine.Cores {
+		mon.machine.RunOn(id, machine.NoHart, func(c *machine.Core) {
+			for _, vpn := range vpns {
+				c.TLB.FlushPage(vpn)
+			}
+		})
+	}
+	if t := mon.tele; t != nil {
+		t.bulkGrants.Add(-1)
+	}
+	return api.OK
+}
+
+// bulkDesc is one parsed scatter-gather descriptor.
+type bulkDesc struct{ off, ln uint64 }
+
+// parseBulkDescs validates one 64-byte descriptor message against a
+// grant's byte size: the BulkTag anchor, a descriptor count in
+// 1..BulkMaxDescs, and per descriptor length > 0, no offset+length
+// wraparound, offset+length within the grant, and no pairwise overlap
+// inside the message. Returns the descriptors and their total byte
+// count. Trailing payload bytes beyond the last descriptor are
+// application-defined (a bulk server reads its opcode there) and not
+// the monitor's concern.
+func parseBulkDescs(payload []byte, grantBytes uint64) (descs [api.BulkMaxDescs]bulkDesc, n int, total uint64, st api.Error) {
+	if len(payload) < api.RingMsgSize {
+		return descs, 0, 0, api.ErrInvalidValue
+	}
+	if binary.LittleEndian.Uint64(payload) != api.BulkTag {
+		return descs, 0, 0, api.ErrInvalidValue
+	}
+	nd := binary.LittleEndian.Uint64(payload[8:])
+	if nd == 0 || nd > api.BulkMaxDescs {
+		return descs, 0, 0, api.ErrInvalidValue
+	}
+	n = int(nd)
+	for i := 0; i < n; i++ {
+		off := binary.LittleEndian.Uint64(payload[16+16*i:])
+		ln := binary.LittleEndian.Uint64(payload[24+16*i:])
+		if ln == 0 {
+			return descs, 0, 0, api.ErrInvalidValue
+		}
+		if off+ln < off {
+			return descs, 0, 0, api.ErrInvalidValue // wraparound
+		}
+		if off+ln > grantBytes {
+			return descs, 0, 0, api.ErrInvalidValue // out of bounds
+		}
+		for j := 0; j < i; j++ {
+			if off < descs[j].off+descs[j].ln && descs[j].off < off+ln {
+				return descs, 0, 0, api.ErrInvalidValue // overlap
+			}
+		}
+		descs[i] = bulkDesc{off: off, ln: ln}
+		total += ln
+	}
+	return descs, n, total, api.OK
+}
+
+// hBulkSend is the dual-domain scatter-gather send handler: CallRingSend
+// with every payload validated as a descriptor list into the named
+// grant before anything is published, and the queued descriptors
+// counted in-flight on the grant until received. The sender must be
+// both the ring's producer (checked by the ring transaction) and a
+// grant endpoint (checked here).
+func hBulkSend(mon *Monitor, req api.Request, ctx *callContext) api.Response {
+	n, okCount := batchLen(req.Args[2])
+	if !okCount {
+		return fail(api.ErrInvalidValue)
+	}
+	g := mon.peekGrant(req.Args[3])
+	if g == nil {
+		return fail(api.ErrInvalidValue)
+	}
+	var sender uint64
+	var meas [32]byte
+	var msgs []byte
+	from := machine.NoHart
+	if ctx != nil {
+		from = ctx.core.ID
+		sender, meas = ctx.enclave.ID, ctx.enclave.Measurement
+		var okRead bool
+		msgs, okRead = mon.readEnclave(ctx.enclave, req.Args[1], n*api.RingMsgSize)
+		if !okRead {
+			return fail(api.ErrInvalidValue)
+		}
+	} else {
+		sender = api.DomainOS
+		srcPA := req.Args[1]
+		if !mon.osOwnsRange(srcPA, uint64(n)*api.RingMsgSize) {
+			return fail(api.ErrInvalidValue)
+		}
+		msgs = make([]byte, n*api.RingMsgSize)
+		if err := mon.machine.Mem.ReadBytes(srcPA, msgs); err != nil {
+			return fail(api.ErrInvalidValue)
+		}
+	}
+	if !g.isEndpoint(sender) {
+		return fail(api.ErrUnauthorized)
+	}
+	// Validate every message before publishing any: a bad descriptor in
+	// message k must not leave messages 0..k-1 queued.
+	var msgBytes [api.RingMaxBatch]uint64
+	var msgDescs [api.RingMaxBatch]uint64
+	size := g.bytes()
+	for i := 0; i < n; i++ {
+		_, nd, total, st := parseBulkDescs(msgs[i*api.RingMsgSize:(i+1)*api.RingMsgSize], size)
+		if st != api.OK {
+			return fail(st)
+		}
+		msgBytes[i] = total
+		msgDescs[i] = uint64(nd)
+	}
+	// Publish in-flight before checking dead (the revoke protocol's
+	// mirror image): a racing revoke either sees our count and refuses,
+	// or has already marked the grant dead and we abort here.
+	g.inflight.Add(int64(n))
+	if g.dead.Load() {
+		g.inflight.Add(-int64(n))
+		return fail(api.ErrInvalidValue)
+	}
+	sent, st := mon.ringEnqueue(from, req.Args[0], sender, meas, g.ID, n,
+		func(i int, dst []byte) api.Error {
+			copy(dst, msgs[i*api.RingMsgSize:])
+			return api.OK
+		})
+	if st != api.OK {
+		g.inflight.Add(-int64(n))
+		return fail(st)
+	}
+	if int(sent) < n {
+		g.inflight.Add(-int64(n - int(sent))) // ring filled up mid-batch
+	}
+	if t := mon.tele; t != nil {
+		var total uint64
+		for i := uint64(0); i < sent; i++ {
+			total += msgBytes[i]
+			t.bulkDescs.ObserveOn(from, msgDescs[i])
+		}
+		t.bulkBytes.Add(from, total)
+	}
+	return ok(sent)
+}
+
+// hBulkRecv is the dual-domain scatter-gather recv handler: drain the
+// run of descriptor records for the named grant at the ring head
+// (stopping early at a plain message or one for another grant) and
+// release their in-flight pins. The caller must be both the ring's
+// consumer and a grant endpoint.
+func hBulkRecv(mon *Monitor, req api.Request, ctx *callContext) api.Response {
+	max, okCount := batchLen(req.Args[2])
+	if !okCount {
+		return fail(api.ErrInvalidValue)
+	}
+	g := mon.peekGrant(req.Args[3])
+	if g == nil {
+		return fail(api.ErrInvalidValue)
+	}
+	var caller uint64 = api.DomainOS
+	if ctx != nil {
+		caller = ctx.enclave.ID
+	}
+	if !g.isEndpoint(caller) {
+		return fail(api.ErrUnauthorized)
+	}
+	r, st := mon.lookupRing(req.Args[0])
+	if st != api.OK {
+		return fail(st)
+	}
+	defer r.mu.Unlock()
+	if r.Consumer != caller {
+		return fail(api.ErrUnauthorized)
+	}
+	if r.count == 0 {
+		return fail(api.ErrInvalidState)
+	}
+	n := r.headRunLocked(g.ID, max)
+	if n == 0 {
+		return fail(api.ErrInvalidValue) // head message is not this grant's
+	}
+	out := r.ringRecords(n)
+	if ctx != nil {
+		if !mon.writeEnclave(ctx.enclave, req.Args[1], out) {
+			return fail(api.ErrInvalidValue)
+		}
+	} else {
+		if !mon.osOwnsRange(req.Args[1], uint64(len(out))) {
+			return fail(api.ErrInvalidValue)
+		}
+		if err := mon.machine.Mem.WriteBytes(req.Args[1], out); err != nil {
+			return fail(api.ErrInvalidValue)
+		}
+	}
+	r.popLocked(n)
+	g.inflight.Add(-int64(n))
+	if t := mon.tele; t != nil {
+		shard := 0
+		if ctx != nil {
+			shard = ctx.core.ID
+		}
+		t.ringRecvBatch.ObserveOn(shard, uint64(n))
+		t.ringDepth.Add(-int64(n))
+	}
+	return ok(uint64(n))
+}
+
+// grantBytesForEnclave serves FieldEnclaveGrants: the grants the caller
+// is an endpoint of, in creation order, as grant id[8] ‖ role[8] ‖
+// byte size[8] entries (role 0 = consumer, 1 = producer).
+func (mon *Monitor) grantBytesForEnclave(eid uint64) []byte {
+	type entry struct {
+		seq  uint64
+		id   uint64
+		role uint64
+		size uint64
+	}
+	var entries []entry
+	mon.objMu.RLock()
+	for _, g := range mon.grants {
+		if g.Consumer == eid {
+			entries = append(entries, entry{seq: g.seq, id: g.ID, role: 0, size: g.bytes()})
+		}
+		if g.Producer == eid {
+			entries = append(entries, entry{seq: g.seq, id: g.ID, role: 1, size: g.bytes()})
+		}
+	}
+	mon.objMu.RUnlock()
+	for i := 1; i < len(entries); i++ {
+		for j := i; j > 0 && entries[j-1].seq > entries[j].seq; j-- {
+			entries[j-1], entries[j] = entries[j], entries[j-1]
+		}
+	}
+	out := make([]byte, 0, len(entries)*24)
+	var word [8]byte
+	for _, en := range entries {
+		binary.LittleEndian.PutUint64(word[:], en.id)
+		out = append(out, word[:]...)
+		binary.LittleEndian.PutUint64(word[:], en.role)
+		out = append(out, word[:]...)
+		binary.LittleEndian.PutUint64(word[:], en.size)
+		out = append(out, word[:]...)
+	}
+	return out
+}

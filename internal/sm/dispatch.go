@@ -189,6 +189,21 @@ var callTable = map[api.Call]callDef{
 			return fail(mon.ringDestroy(req.Args[0]))
 		}},
 
+	// Bulk-grant calls (0x50–0x54, ABI minor 3): the zero-copy data
+	// plane — monitor-granted shared buffers with scatter-gather
+	// descriptors over the rings (DESIGN.md §14).
+	api.CallBulkGrant: {name: "bulk_grant", domains: domainOS,
+		handler: func(mon *Monitor, req api.Request, ctx *callContext) api.Response {
+			return fail(mon.bulkGrant(req.Args[0], req.Args[1], req.Args[2], req.Args[3], req.Args[4]))
+		}},
+	api.CallBulkMap: {name: "bulk_map", domains: domainEnclave, handler: hBulkMap},
+	api.CallBulkRevoke: {name: "bulk_revoke", domains: domainOS,
+		handler: func(mon *Monitor, req api.Request, ctx *callContext) api.Response {
+			return fail(mon.bulkRevoke(req.Args[0]))
+		}},
+	api.CallBulkSend: {name: "bulk_send", domains: domainOS | domainEnclave, handler: hBulkSend},
+	api.CallBulkRecv: {name: "bulk_recv", domains: domainOS | domainEnclave, handler: hBulkRecv},
+
 	// Snapshot/clone calls (0x30–0x32, ABI minor 1): fork-from-measured-
 	// template lifecycle (DESIGN.md §8).
 	api.CallSnapshotEnclave: {name: "snapshot_enclave", domains: domainOS,

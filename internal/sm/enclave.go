@@ -435,6 +435,16 @@ func (mon *Monitor) deleteEnclave(eid uint64) api.Error {
 			return api.ErrInvalidState
 		}
 	}
+	// Bulk-grant endpoints block deletion for the same reason (and so a
+	// revoke can rely on its endpoints existing); bulkGrant registers
+	// only while holding the endpoint enclave's lock, so the scan
+	// cannot race a new attachment either.
+	for _, g := range mon.grants {
+		if g.Producer == eid || g.Consumer == eid {
+			mon.objMu.RUnlock()
+			return api.ErrInvalidState
+		}
+	}
 	mon.objMu.RUnlock()
 	var snap *Snapshot
 	if e.CloneOf != 0 {

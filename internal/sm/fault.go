@@ -35,6 +35,7 @@ const (
 	LockThread
 	LockSnapshot
 	LockRing
+	LockGrant
 	LockRegion
 	LockCoreSlot
 	LockCore
@@ -50,6 +51,8 @@ func (k LockKind) String() string {
 		return "snapshot"
 	case LockRing:
 		return "ring"
+	case LockGrant:
+		return "grant"
 	case LockRegion:
 		return "region"
 	case LockCoreSlot:

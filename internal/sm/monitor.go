@@ -130,6 +130,8 @@ type Monitor struct {
 	snapshots map[uint64]*Snapshot
 	rings     map[uint64]*Ring
 	ringSeq   uint64 // ring creation order (under objMu)
+	grants    map[uint64]*Grant
+	grantSeq  uint64 // grant creation order (under objMu)
 
 	regions []regionMeta
 	cores   []coreSlot
@@ -200,6 +202,7 @@ func New(cfg Config) (*Monitor, error) {
 		threads:            make(map[uint64]*Thread),
 		snapshots:          make(map[uint64]*Snapshot),
 		rings:              make(map[uint64]*Ring),
+		grants:             make(map[uint64]*Grant),
 		cores:              make([]coreSlot, len(cfg.Machine.Cores)),
 	}
 	for i := range mon.regions {

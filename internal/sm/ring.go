@@ -64,11 +64,32 @@ type Ring struct {
 	scratch []byte
 }
 
-// ringMsg is one queued message with its monitor-attested stamp.
+// ringMsg is one queued message with its monitor-attested stamp. grant
+// is zero for a plain message and the grant id for a scatter-gather
+// descriptor message (bulk.go) — the two are never mixed on delivery:
+// plain recv refuses a descriptor head, bulk recv drains only its own
+// grant's run.
 type ringMsg struct {
 	sender  uint64
 	meas    [32]byte
+	grant   uint64
 	payload [api.RingMsgSize]byte
+}
+
+// headRunLocked counts the consecutive messages at the ring head
+// stamped with the given grant id (zero = plain), up to max. Caller
+// holds r.mu.
+func (r *Ring) headRunLocked(grant uint64, max int) int {
+	n := max
+	if n > r.count {
+		n = r.count
+	}
+	for i := 0; i < n; i++ {
+		if r.slots[(r.head+i)%len(r.slots)].grant != grant {
+			return i
+		}
+	}
+	return n
 }
 
 // takeWaiterLocked pops the parked waiter, if any. Caller holds r.mu.
@@ -189,9 +210,24 @@ func (mon *Monitor) ringDestroy(ringID uint64) api.Error {
 	weid, wtid := r.takeWaiterLocked()
 	r.dead = true
 	queued := r.count
+	// Undelivered scatter-gather descriptors die with the ring; their
+	// in-flight pins on the grants must die too, or the grants could
+	// never be revoked. Counted under r.mu, released under objMu so a
+	// concurrent bulk_revoke sees a consistent grant table.
+	sgQueued := make(map[uint64]int64)
+	for i := 0; i < r.count; i++ {
+		if gid := r.slots[(r.head+i)%len(r.slots)].grant; gid != 0 {
+			sgQueued[gid]++
+		}
+	}
 	mon.objMu.Lock()
 	delete(mon.rings, ringID)
 	mon.freeMetaPage(ringID)
+	for gid, c := range sgQueued {
+		if g := mon.grants[gid]; g != nil {
+			g.inflight.Add(-c)
+		}
+	}
 	mon.objMu.Unlock()
 	r.mu.Unlock()
 	if t := mon.tele; t != nil && queued > 0 {
@@ -211,8 +247,10 @@ func (mon *Monitor) ringDestroy(ringID uint64) api.Error {
 // source, so batched sends allocate nothing per message; it runs with
 // the lock held but only touches slots not yet published (a failure
 // aborts before the count advances). sender and meas are the
-// monitor-attested stamp. Returns the count actually enqueued.
-func (mon *Monitor) ringEnqueue(from int, ringID, sender uint64, meas [32]byte, count int,
+// monitor-attested stamp; grant is zero for plain messages and the
+// grant id for scatter-gather descriptors (bulk.go). Returns the count
+// actually enqueued.
+func (mon *Monitor) ringEnqueue(from int, ringID, sender uint64, meas [32]byte, grant uint64, count int,
 	fill func(i int, dst []byte) api.Error) (uint64, api.Error) {
 	r, st := mon.lookupRing(ringID)
 	if st != api.OK {
@@ -239,6 +277,7 @@ func (mon *Monitor) ringEnqueue(from int, ringID, sender uint64, meas [32]byte, 
 		}
 		slot.sender = sender
 		slot.meas = meas
+		slot.grant = grant
 	}
 	r.count += n
 	weid, wtid := r.takeWaiterLocked()
@@ -367,7 +406,7 @@ func hRingSend(mon *Monitor, req api.Request, ctx *callContext) api.Response {
 			return api.OK
 		}
 	}
-	sent, st := mon.ringEnqueue(from, req.Args[0], sender, meas, n, fill)
+	sent, st := mon.ringEnqueue(from, req.Args[0], sender, meas, 0, n, fill)
 	if st != api.OK {
 		return fail(st)
 	}
@@ -398,9 +437,12 @@ func hRingRecv(mon *Monitor, req api.Request, ctx *callContext) api.Response {
 	if r.count == 0 {
 		return fail(api.ErrInvalidState)
 	}
-	n := max
-	if n > r.count {
-		n = r.count
+	// A scatter-gather descriptor head (bulk.go) must go through
+	// bulk_recv, which knows the grant and releases the in-flight pins;
+	// a plain recv draining it would strand the grant un-revocable.
+	n := r.headRunLocked(0, max)
+	if n == 0 {
+		return fail(api.ErrInvalidValue)
 	}
 	out := r.ringRecords(n)
 	if ctx != nil {

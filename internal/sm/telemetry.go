@@ -25,6 +25,10 @@ type monTelemetry struct {
 	ringParks     *telemetry.Counter
 	ringWakes     *telemetry.Counter
 	ringParkWait  *telemetry.Histogram // cycles between park and wake
+
+	bulkBytes  *telemetry.Counter   // payload bytes granted passage by bulk_send
+	bulkGrants *telemetry.Gauge     // live grants
+	bulkDescs  *telemetry.Histogram // descriptors per bulk message
 }
 
 // callInstr is one monitor call's instrument set.
@@ -73,6 +77,9 @@ func (mon *Monitor) SetTelemetry(reg *telemetry.Registry) {
 	tl.ringParks = reg.Counter("sm.ring.parks")
 	tl.ringWakes = reg.Counter("sm.ring.wakes")
 	tl.ringParkWait = reg.Histogram("sm.ring.parkwait.cycles")
+	tl.bulkBytes = reg.Counter("sm.bulk.bytes")
+	tl.bulkGrants = reg.Gauge("sm.bulk.grants")
+	tl.bulkDescs = reg.Histogram("sm.bulk.descs")
 	mon.tele = tl
 }
 

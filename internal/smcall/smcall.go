@@ -339,6 +339,45 @@ func (c *Client) RingDestroy(ringID uint64) error {
 	return err
 }
 
+// BulkGrant registers a bulk buffer grant (ABI minor 3) over
+// [basePA, basePA+pages·4096) in OS-owned memory between a fixed
+// producer and consumer (api.DomainOS or eids), pinning every page.
+// grantID must be a free SM metadata page; pages is 1..api.BulkMaxPages.
+func (c *Client) BulkGrant(grantID, basePA uint64, pages int, producer, consumer uint64) error {
+	_, err := c.call(api.CallBulkGrant, grantID, basePA, uint64(pages), producer, consumer)
+	return err
+}
+
+// BulkRevoke unmaps a grant from every endpoint that bulk_mapped it,
+// drops the page pins, and frees the id. Refused with
+// api.ErrInvalidState while scatter-gather descriptors into the grant
+// are still queued in a ring.
+func (c *Client) BulkRevoke(grantID uint64) error {
+	_, err := c.call(api.CallBulkRevoke, grantID)
+	return err
+}
+
+// BulkSend delivers count scatter-gather descriptor messages — each an
+// api.RingMsgSize payload parsing as a descriptor list into grantID's
+// buffer (see api.EncodeBulkDescs) — staged contiguously at an
+// OS-owned physical address, and returns how many were enqueued. The
+// caller must be both the ring's producer and a grant endpoint; queued
+// descriptors count as in-flight on the grant until bulk-received.
+func (c *Client) BulkSend(ringID, srcPA uint64, count int, grantID uint64) (int, error) {
+	resp, err := c.call(api.CallBulkSend, ringID, srcPA, uint64(count), grantID)
+	return int(resp.Values[0]), err
+}
+
+// BulkRecv drains up to max of grantID's descriptor records from the
+// ring head (stopping early at a plain message or another grant's)
+// into OS-owned memory at outPA, one api.RingRecordSize record each,
+// releasing their in-flight pins. The caller must be both the ring's
+// consumer and a grant endpoint.
+func (c *Client) BulkRecv(ringID, outPA uint64, max int, grantID uint64) (int, error) {
+	resp, err := c.call(api.CallBulkRecv, ringID, outPA, uint64(max), grantID)
+	return int(resp.Values[0]), err
+}
+
 // RegionInfo reports a region's lifecycle state and owner.
 func (c *Client) RegionInfo(r int) (api.RegionState, uint64, error) {
 	resp, err := c.call(api.CallRegionInfo, uint64(r))
